@@ -1,0 +1,395 @@
+// Package dpmrbench holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (Chapters 3 and 4) as Go
+// benchmarks: one Benchmark function per table/figure, reporting the
+// figure's headline quantities as custom metrics (overhead ×golden,
+// coverage fractions, detection latency in testbed milliseconds).
+//
+// The full renderings — the exact rows the paper plots — come from
+// `go run ./cmd/dpmr-exp -exp <id>`; the benches here track the same
+// numbers in a form `go test -bench` can watch over time.
+package dpmrbench
+
+import (
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/faultinject"
+	"dpmr/internal/harness"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+	"dpmr/internal/mem"
+	"dpmr/internal/workloads"
+)
+
+var benchMem = mem.Config{HeapBytes: 4 * 1024 * 1024, StackBytes: 256 * 1024, GlobalBytes: 64 * 1024}
+
+// benchVariant interprets one prepared module b.N times and reports the
+// cycle clock and overhead ratio.
+func benchVariant(b *testing.B, w workloads.Workload, v harness.Variant, golden uint64) {
+	b.Helper()
+	m := buildFor(b, w, v, nil)
+	externs := extlib.Base()
+	if v.DPMR {
+		externs = extlib.Wrapped(v.Design)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := interp.Run(m, interp.Config{Externs: externs, Mem: benchMem, Seed: 1})
+		if res.Kind != interp.ExitNormal {
+			b.Fatalf("%s/%s: %v (%s)", w.Name, v.Label(), res.Kind, res.Reason)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles/run")
+	if golden > 0 {
+		b.ReportMetric(float64(cycles)/float64(golden), "overhead-x")
+	}
+}
+
+func buildFor(b *testing.B, w workloads.Workload, v harness.Variant, inj *faultinject.Site) *ir.Module {
+	b.Helper()
+	m := w.Build()
+	if inj != nil {
+		if err := faultinject.Apply(m, *inj); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !v.DPMR {
+		return m
+	}
+	xm, err := dpmr.Transform(m, dpmr.Config{Design: v.Design, Diversity: v.Diversity, Policy: v.Policy, Seed: 12345})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return xm
+}
+
+func goldenCycles(b *testing.B, w workloads.Workload) uint64 {
+	b.Helper()
+	res := interp.Run(w.Build(), interp.Config{Externs: extlib.Base(), Mem: benchMem})
+	if res.Kind != interp.ExitNormal {
+		b.Fatalf("golden %s: %v (%s)", w.Name, res.Kind, res.Reason)
+	}
+	return res.Cycles
+}
+
+func mustWorkload(b *testing.B, name string) workloads.Workload {
+	b.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// overheadFigure benches the representative variants of an overhead
+// figure across the pointer-light/pointer-heavy extremes.
+func overheadFigure(b *testing.B, variants map[string]harness.Variant) {
+	for _, wname := range []string{"art", "mcf"} {
+		w := mustWorkload(b, wname)
+		golden := goldenCycles(b, w)
+		for label, v := range variants {
+			v := v
+			b.Run(wname+"/"+label, func(b *testing.B) {
+				benchVariant(b, w, v, golden)
+			})
+		}
+	}
+}
+
+// coverageFigure runs a quick campaign once, reports its coverage
+// fractions, and times a representative injected run.
+func coverageFigure(b *testing.B, design dpmr.Design, kind faultinject.Kind,
+	variant harness.Variant, conditional bool) {
+	r := harness.NewRunner()
+	r.Runs = 1
+	ws := workloads.All()[:2] // art + bzip2 keep bench time bounded
+	cr, err := r.RunCampaign(harness.CampaignConfig{
+		Workloads: ws,
+		Variants:  []harness.Variant{harness.Stdapp(), variant},
+		Kind:      kind,
+		MaxSites:  3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cov, dpmrDet float64
+	var n int
+	if conditional {
+		c := cr.Conditional[variant.Label()]
+		cov, dpmrDet, n = c.Coverage(), c.DpmrDet, c.N
+	} else {
+		for _, wname := range cr.Workloads {
+			c := cr.Cells[variant.Label()][wname]
+			cov += c.Coverage()
+			dpmrDet += c.DpmrDet
+			n += c.N
+		}
+		cov /= float64(len(cr.Workloads))
+		dpmrDet /= float64(len(cr.Workloads))
+	}
+	// Time one representative injected experiment per iteration.
+	w := ws[0]
+	sites := faultinject.Enumerate(w.Build(), kind)
+	if len(sites) == 0 {
+		b.Fatal("no sites")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunOnce(w, variant, &sites[0], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cov, "coverage")
+	b.ReportMetric(dpmrDet, "dpmr-det")
+	b.ReportMetric(float64(n), "injections")
+	_ = design
+}
+
+// latencyTable runs injected experiments and reports mean detection
+// latency in testbed milliseconds.
+func latencyTable(b *testing.B, design dpmr.Design, div dpmr.Diversity, pol dpmr.Policy) {
+	r := harness.NewRunner()
+	v := harness.NewVariant(design, div, pol)
+	w := mustWorkload(b, "mcf")
+	sites := faultinject.Enumerate(w.Build(), faultinject.ImmediateFree)
+	var sumMS float64
+	var det int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := r.RunOnce(w, v, &sites[i%len(sites)], 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if o.Detected() && o.SF {
+			sumMS += float64(o.T2DCycles) / harness.CyclesPerMS
+			det++
+		}
+	}
+	if det > 0 {
+		b.ReportMetric(sumMS/float64(det), "t2d-ms")
+	}
+	b.ReportMetric(float64(det)/float64(b.N), "det-rate")
+}
+
+// ---------------------------------------------------------------------------
+// Chapter 3 (SDS)
+
+func BenchmarkFig3_06_ResizeCoverageDiversity(b *testing.B) {
+	coverageFigure(b, dpmr.SDS, faultinject.HeapArrayResize,
+		harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}), false)
+}
+
+func BenchmarkFig3_07_ImmediateFreeCoverageDiversity(b *testing.B) {
+	coverageFigure(b, dpmr.SDS, faultinject.ImmediateFree,
+		harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}), false)
+}
+
+func BenchmarkFig3_08_ResizeConditionalCoverage(b *testing.B) {
+	coverageFigure(b, dpmr.SDS, faultinject.HeapArrayResize,
+		harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}), true)
+}
+
+func BenchmarkFig3_09_ImmediateFreeConditionalCoverage(b *testing.B) {
+	coverageFigure(b, dpmr.SDS, faultinject.ImmediateFree,
+		harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}), true)
+}
+
+func BenchmarkFig3_10_OverheadDiversity(b *testing.B) {
+	overheadFigure(b, map[string]harness.Variant{
+		"no-diversity":    harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+		"pad-malloc-1024": harness.NewVariant(dpmr.SDS, dpmr.PadMalloc{Pad: 1024}, dpmr.AllLoads{}),
+	})
+}
+
+func BenchmarkTab3_03_DetectionLatencyDiversity(b *testing.B) {
+	latencyTable(b, dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{})
+}
+
+func BenchmarkFig3_11_ResizeCoveragePolicies(b *testing.B) {
+	coverageFigure(b, dpmr.SDS, faultinject.HeapArrayResize,
+		harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.TemporalHalf), false)
+}
+
+func BenchmarkFig3_12_ImmediateFreeCoveragePolicies(b *testing.B) {
+	coverageFigure(b, dpmr.SDS, faultinject.ImmediateFree,
+		harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 50}), false)
+}
+
+func BenchmarkFig3_13_ResizeConditionalCoveragePolicies(b *testing.B) {
+	coverageFigure(b, dpmr.SDS, faultinject.HeapArrayResize,
+		harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 90}), true)
+}
+
+func BenchmarkFig3_14_ImmediateFreeConditionalCoveragePolicies(b *testing.B) {
+	coverageFigure(b, dpmr.SDS, faultinject.ImmediateFree,
+		harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.TemporalEighth), true)
+}
+
+func BenchmarkFig3_15_OverheadPolicies(b *testing.B) {
+	overheadFigure(b, map[string]harness.Variant{
+		"all-loads":    harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+		"temporal-1-2": harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.TemporalHalf),
+		"static-10":    harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 10}),
+	})
+}
+
+func BenchmarkFig3_16_TemporalPeriodicityAblation(b *testing.B) {
+	overheadFigure(b, map[string]harness.Variant{
+		"temporal-naive":    harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.TemporalHalf),
+		"periodic-unrolled": harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.PeriodicLoadChecking{Period: 2}),
+	})
+}
+
+func BenchmarkTab3_04_DetectionLatencyPolicies(b *testing.B) {
+	latencyTable(b, dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 90})
+}
+
+// ---------------------------------------------------------------------------
+// Chapter 4 (MDS)
+
+func BenchmarkFig4_03_SideBySideDiversityOverhead(b *testing.B) {
+	overheadFigure(b, map[string]harness.Variant{
+		"sds": harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+		"mds": harness.NewVariant(dpmr.MDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+	})
+}
+
+func BenchmarkFig4_04_SideBySidePolicyOverhead(b *testing.B) {
+	overheadFigure(b, map[string]harness.Variant{
+		"sds-static10": harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 10}),
+		"mds-static10": harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 10}),
+	})
+}
+
+func BenchmarkFig4_05_MDSOverheadDiversity(b *testing.B) {
+	overheadFigure(b, map[string]harness.Variant{
+		"no-diversity":   harness.NewVariant(dpmr.MDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+		"rearrange-heap": harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+	})
+}
+
+func BenchmarkFig4_06_MDSOverheadPolicies(b *testing.B) {
+	overheadFigure(b, map[string]harness.Variant{
+		"all-loads": harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+		"static-10": harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 10}),
+	})
+}
+
+func BenchmarkFig4_07_MDSResizeCoverageDiversity(b *testing.B) {
+	coverageFigure(b, dpmr.MDS, faultinject.HeapArrayResize,
+		harness.NewVariant(dpmr.MDS, dpmr.NoDiversity{}, dpmr.AllLoads{}), false)
+}
+
+func BenchmarkFig4_08_MDSImmediateFreeCoverageDiversity(b *testing.B) {
+	coverageFigure(b, dpmr.MDS, faultinject.ImmediateFree,
+		harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}), false)
+}
+
+func BenchmarkFig4_09_MDSResizeConditionalCoverage(b *testing.B) {
+	coverageFigure(b, dpmr.MDS, faultinject.HeapArrayResize,
+		harness.NewVariant(dpmr.MDS, dpmr.NoDiversity{}, dpmr.AllLoads{}), true)
+}
+
+func BenchmarkFig4_10_MDSImmediateFreeConditionalCoverage(b *testing.B) {
+	coverageFigure(b, dpmr.MDS, faultinject.ImmediateFree,
+		harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}), true)
+}
+
+func BenchmarkFig4_11_MDSResizeCoveragePolicies(b *testing.B) {
+	coverageFigure(b, dpmr.MDS, faultinject.HeapArrayResize,
+		harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.TemporalHalf), false)
+}
+
+func BenchmarkFig4_12_MDSImmediateFreeCoveragePolicies(b *testing.B) {
+	coverageFigure(b, dpmr.MDS, faultinject.ImmediateFree,
+		harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 50}), false)
+}
+
+func BenchmarkFig4_13_MDSResizeConditionalCoveragePolicies(b *testing.B) {
+	coverageFigure(b, dpmr.MDS, faultinject.HeapArrayResize,
+		harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 90}), true)
+}
+
+func BenchmarkFig4_14_MDSImmediateFreeConditionalCoveragePolicies(b *testing.B) {
+	coverageFigure(b, dpmr.MDS, faultinject.ImmediateFree,
+		harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.TemporalEighth), true)
+}
+
+func BenchmarkTab4_05_MDSDetectionLatencyDiversity(b *testing.B) {
+	latencyTable(b, dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{})
+}
+
+func BenchmarkTab4_06_MDSDetectionLatencyPolicies(b *testing.B) {
+	latencyTable(b, dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 90})
+}
+
+// ---------------------------------------------------------------------------
+// Ablations called out in DESIGN.md
+
+func BenchmarkAblationCacheModelOff(b *testing.B) {
+	w := mustWorkload(b, "mcf")
+	m := buildFor(b, w, harness.NewVariant(dpmr.SDS, dpmr.PadMalloc{Pad: 1024}, dpmr.AllLoads{}), nil)
+	cfg := benchMem
+	cfg.DisableCache = true
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := interp.Run(m, interp.Config{Externs: extlib.Wrapped(dpmr.SDS), Mem: cfg, Seed: 1})
+		if res.Kind != interp.ExitNormal {
+			b.Fatal(res.Reason)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles/run")
+}
+
+func BenchmarkAblationWastefulShadowSizing(b *testing.B) {
+	w := mustWorkload(b, "mcf")
+	m, err := dpmr.Transform(w.Build(), dpmr.Config{Design: dpmr.SDS, WastefulShadowSizing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var peak uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := interp.Run(m, interp.Config{Externs: extlib.Wrapped(dpmr.SDS), Mem: benchMem, Seed: 1})
+		if res.Kind != interp.ExitNormal {
+			b.Fatal(res.Reason)
+		}
+		peak = res.Mem.HeapPeak
+	}
+	b.ReportMetric(float64(peak), "heap-peak-bytes")
+}
+
+func BenchmarkAblationOptimizerPipeline(b *testing.B) {
+	// Figure 3.4's optimize stage: DPMR variants with and without the
+	// post-transform optimizer.
+	w := mustWorkload(b, "mcf")
+	golden := goldenCycles(b, w)
+	for _, on := range []bool{false, true} {
+		on := on
+		name := "opt-off"
+		if on {
+			name = "opt-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := harness.NewRunner()
+			r.Optimize = on
+			v := harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{})
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o, err := r.RunOnce(w, v, nil, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = o.Res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles/run")
+			b.ReportMetric(float64(cycles)/float64(golden), "overhead-x")
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command dpmr-exp regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	dpmr-exp -exp fig3.10            # one table/figure
+//	dpmr-exp -exp all                # the full evaluation
+//	dpmr-exp -exp tab3.3 -quick      # reduced workloads/sites for a fast pass
+//	dpmr-exp -list                   # list experiment ids
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpmr/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp      = flag.String("exp", "", "experiment id (fig3.6..fig4.14, tab3.3/3.4/4.5/4.6) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "quick mode: fewer workloads, sites, runs")
+		runs     = flag.Int("runs", 0, "runs per experiment tuple (default 2; 1 in quick mode)")
+		maxSites = flag.Int("max-sites", 0, "cap injection sites per workload (0 = all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return 0
+	}
+	if *exp == "" {
+		flag.Usage()
+		return 2
+	}
+	opts := harness.Options{Quick: *quick, Runs: *runs, MaxSites: *maxSites}
+	var err error
+	if *exp == "all" {
+		err = harness.GenerateAll(os.Stdout, opts)
+	} else {
+		err = harness.Generate(*exp, os.Stdout, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpmr-exp:", err)
+		return 1
+	}
+	return 0
+}

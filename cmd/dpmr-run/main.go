@@ -1,0 +1,137 @@
+// Command dpmr-run executes one workload under one configuration and
+// reports the outcome: exit status, output, cycles, and memory statistics.
+//
+// Usage:
+//
+//	dpmr-run -workload mcf                               # golden run
+//	dpmr-run -workload mcf -dpmr -design mds             # MDS, defaults
+//	dpmr-run -workload art -dpmr -diversity rearrange-heap -policy "static 10%"
+//	dpmr-run -workload bzip2 -dpmr -inject immediate-free -site 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/dsa"
+	"dpmr/internal/extlib"
+	"dpmr/internal/faultinject"
+	"dpmr/internal/interp"
+	"dpmr/internal/workloads"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		workload  = flag.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
+		useDPMR   = flag.Bool("dpmr", false, "apply the DPMR transformation")
+		design    = flag.String("design", "sds", "DPMR design: sds or mds")
+		diversity = flag.String("diversity", "no-diversity", "diversity transformation")
+		policy    = flag.String("policy", "all loads", "state comparison policy")
+		inject    = flag.String("inject", "", "fault to inject: heap-array-resize or immediate-free")
+		site      = flag.Int("site", 0, "allocation site id for the injection")
+		seed      = flag.Int64("seed", 1, "VM seed (diversity randomness)")
+		useDSA    = flag.Bool("dsa", false, "use the Chapter 5 DSA-refined pipeline")
+		listSites = flag.Bool("sites", false, "list injectable allocation sites and exit")
+		showIR    = flag.Bool("dump-ir", false, "print the module IR instead of running")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		return fail(err)
+	}
+	m := w.Build()
+
+	if *listSites {
+		for _, kind := range []faultinject.Kind{faultinject.HeapArrayResize, faultinject.ImmediateFree} {
+			for _, s := range faultinject.Enumerate(w.Build(), kind) {
+				fmt.Printf("%s\n", s)
+			}
+		}
+		return 0
+	}
+
+	if *inject != "" {
+		kind := faultinject.ImmediateFree
+		if *inject == "heap-array-resize" {
+			kind = faultinject.HeapArrayResize
+		} else if *inject != "immediate-free" {
+			return fail(fmt.Errorf("unknown injection %q", *inject))
+		}
+		var found bool
+		for _, s := range faultinject.Enumerate(m, kind) {
+			if s.ID == *site {
+				if err := faultinject.Apply(m, s); err != nil {
+					return fail(err)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fail(fmt.Errorf("no injectable %s site %d (try dpmr-run -workload %s -sites)", kind, *site, *workload))
+		}
+	}
+
+	d := dpmr.SDS
+	if *design == "mds" {
+		d = dpmr.MDS
+	}
+	externs := extlib.Base()
+	if *useDPMR {
+		div, err := dpmr.DiversityByName(*diversity)
+		if err != nil {
+			return fail(err)
+		}
+		pol, err := dpmr.PolicyByName(*policy)
+		if err != nil {
+			return fail(err)
+		}
+		cfg := dpmr.Config{Design: d, Diversity: div, Policy: pol}
+		if *useDSA {
+			var res *dsa.Result
+			m, res, err = dsa.Transform(m, cfg)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Printf("dsa:     %s; excluded sites %v\n", res.Stats(), res.ExcludedSites())
+		} else {
+			m, err = dpmr.Transform(m, cfg)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		externs = extlib.Wrapped(d)
+	}
+
+	if *showIR {
+		fmt.Print(m.String())
+		return 0
+	}
+
+	res := interp.Run(m, interp.Config{Externs: externs, Seed: *seed, StepLimit: 2_000_000_000})
+	fmt.Printf("exit:    %v (code %d) %s\n", res.Kind, res.Code, res.Reason)
+	fmt.Printf("steps:   %d\n", res.Steps)
+	fmt.Printf("cycles:  %d\n", res.Cycles)
+	fmt.Printf("heap:    %d allocs, %d frees, peak %d bytes\n",
+		res.Mem.HeapAllocs, res.Mem.HeapFrees, res.Mem.HeapPeak)
+	if res.FaultSeen {
+		fmt.Printf("fault:   first executed at cycle %d\n", res.FaultCycle)
+	}
+	fmt.Printf("output:\n%s", res.Output)
+	if res.Kind != interp.ExitNormal {
+		return 1
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "dpmr-run:", err)
+	return 2
+}

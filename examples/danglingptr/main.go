@@ -1,0 +1,63 @@
+// Danglingptr: show why the zero-before-free diversity transformation
+// exists (§2.6) — a read-after-free that no amount of plain replication
+// can see, because application and replica read the same stale bytes.
+//
+//	go run ./examples/danglingptr
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+)
+
+func buildUseAfterFree() *ir.Module {
+	m := ir.NewModule("danglingptr")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	order := b.MallocN(ir.I64, b.I64(3)) // a pending "order record"
+	b.Store(b.Index(order, b.I64(1)), b.I64(250))
+	b.Free(order) // order cancelled...
+	// ...but a stale pointer still reads the amount afterwards.
+	amount := b.Load(b.Index(order, b.I64(1)))
+	b.Out(amount, ir.OutInt)
+	b.Ret(b.I64(0))
+	return m
+}
+
+func main() {
+	m := buildUseAfterFree()
+	if err := ir.Verify(m); err != nil {
+		log.Fatal(err)
+	}
+	golden := interp.Run(m, interp.Config{Externs: extlib.Base()})
+	fmt.Printf("plain run:            exit=%v output=%q (stale data used as if valid)\n",
+		golden.Kind, golden.Output)
+
+	configs := []struct {
+		name string
+		div  dpmr.Diversity
+	}{
+		{"DPMR, no diversity", dpmr.NoDiversity{}},
+		{"DPMR, zero-before-free", dpmr.ZeroBeforeFree{}},
+		{"DPMR, rearrange-heap", dpmr.RearrangeHeap{}},
+	}
+	for _, cfg := range configs {
+		xm, err := dpmr.Transform(m, dpmr.Config{Design: dpmr.SDS, Diversity: cfg.div})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := interp.Run(xm, interp.Config{Externs: extlib.Wrapped(dpmr.SDS), Seed: 3})
+		verdict := "NOT DETECTED — replica read the same stale bytes"
+		if res.Kind == interp.ExitDetect {
+			verdict = "DETECTED — replica diverged from application memory"
+		}
+		fmt.Printf("%-22s exit=%v  %s\n", cfg.name+":", res.Kind, verdict)
+	}
+	fmt.Println("\nzero-before-free zeroes the replica at deallocation, so the dangling read")
+	fmt.Println("returns 250 from application memory but 0 from the replica (§2.6).")
+}

@@ -1,0 +1,62 @@
+// Overflowhunt: run the paper's heap-array-resize fault-injection study
+// on the bzip2 workload — the §1.1 motivating scenario of a production
+// system with a deterministically activated allocation bug.
+//
+//	go run ./examples/overflowhunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/faultinject"
+	"dpmr/internal/harness"
+	"dpmr/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("bzip2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sites := faultinject.Enumerate(w.Build(), faultinject.HeapArrayResize)
+	fmt.Printf("bzip2 has %d heap array allocation sites where halving the request can manifest\n\n", len(sites))
+
+	r := harness.NewRunner()
+	variants := []harness.Variant{
+		harness.Stdapp(),
+		harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+		harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+	}
+	fmt.Printf("%-28s %-34s %s\n", "variant", "per-site outcome", "meaning")
+	for _, v := range variants {
+		line := ""
+		covered := 0
+		for _, site := range sites {
+			site := site
+			o, err := r.RunOnce(w, v, &site, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch {
+			case !o.SF:
+				line += "."
+			case o.CO:
+				line += "C"
+				covered++
+			case o.DpmrDet:
+				line += "D"
+				covered++
+			case o.NatDet:
+				line += "n"
+				covered++
+			default:
+				line += "!"
+			}
+		}
+		fmt.Printf("%-28s %-34s %d/%d covered\n", v.Label(), line, covered, len(sites))
+	}
+	fmt.Println("\nlegend: C correct output, D DPMR detection, n natural detection (crash/self-check),")
+	fmt.Println("        ! escaped (wrong output, undetected), . fault never executed")
+}

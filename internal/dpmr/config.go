@@ -1,0 +1,122 @@
+// Package dpmr implements Diverse Partial Memory Replication: the paper's
+// compiler transformation that replicates a program's data memory inside a
+// single address space, diversifies the replica, and inserts state
+// comparisons that detect memory safety errors.
+//
+// The package provides both designs — SDS (Shadow Data Structures,
+// Chapter 2) and MDS (Mirrored Data Structures, Chapter 4) — the diversity
+// transformations of Table 2.8, the state comparison policies of §2.7, the
+// input-program restriction verifiers of §2.9 and §4.4, and the hooks that
+// Chapter 5's DSA-refined partial replication uses to exclude
+// unanalyzable memory from replication.
+package dpmr
+
+import (
+	"dpmr/internal/ir"
+	"dpmr/internal/shadow"
+)
+
+// Design re-exports the two DPMR designs.
+type Design = shadow.Design
+
+// Design values.
+const (
+	SDS = shadow.SDS
+	MDS = shadow.MDS
+)
+
+// Exclusion tells the transformer which parts of the program must not be
+// replicated. Chapter 5 derives it from Data Structure Analysis (markX,
+// Figure 5.7); by default nothing is excluded.
+type Exclusion interface {
+	// Site reports whether the allocation site is excluded from
+	// replication.
+	Site(site int) bool
+	// Reg reports whether the pointer register (by function name and
+	// register ID in the *input* module) may point to excluded memory.
+	Reg(fn string, regID int) bool
+}
+
+// noExclusion replicates everything.
+type noExclusion struct{}
+
+func (noExclusion) Site(int) bool        { return false }
+func (noExclusion) Reg(string, int) bool { return false }
+
+// Config controls a DPMR transformation.
+type Config struct {
+	// Design selects SDS or MDS. Zero value means SDS.
+	Design Design
+	// Diversity is the replica diversity transformation (Table 2.8).
+	// Nil means no explicit diversity (implicit diversity only).
+	Diversity Diversity
+	// Policy is the state comparison policy (§2.7). Nil means all-loads.
+	Policy Policy
+	// Seed drives compile-time randomness (static load-checking site
+	// selection).
+	Seed int64
+	// SkipRestrictionCheck disables the §2.9/§4.4 input verifier. The
+	// DSA-refined pipeline sets this, providing Exclude instead.
+	SkipRestrictionCheck bool
+	// Exclude marks memory that must not be replicated (Chapter 5).
+	Exclude Exclusion
+	// WrapperName maps an external function name to the name of its
+	// external function wrapper (§2.8). Nil means name + "__dpmr".
+	WrapperName func(string) string
+	// WastefulShadowSizing allocates 2×sizeof(at(t)) for shadow objects
+	// instead of sizeof(st(at(t))) — the §2.9 alternative called out as
+	// "quite wasteful"; kept as an ablation.
+	WastefulShadowSizing bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Design == 0 {
+		c.Design = SDS
+	}
+	if c.Diversity == nil {
+		c.Diversity = NoDiversity{}
+	}
+	if c.Policy == nil {
+		c.Policy = AllLoads{}
+	}
+	if c.Exclude == nil {
+		c.Exclude = noExclusion{}
+	}
+	if c.WrapperName == nil {
+		c.WrapperName = DefaultWrapperName
+	}
+	return c
+}
+
+// DefaultWrapperName is the default external-wrapper naming scheme.
+func DefaultWrapperName(name string) string { return name + "__dpmr" }
+
+// Names of synthesized module artifacts.
+const (
+	// MainAugName is what main() is renamed to (§3.1.1).
+	MainAugName = "mainAug"
+	// maskCounterGlobal backs temporal load-checking (Table 2.9).
+	maskCounterGlobal = "dpmr.maskCounter"
+	// rearrangeBufGlobal is rearrange-heap's pointer buffer (Table 2.8).
+	rearrangeBufGlobal = "dpmr.rearrangeBuf"
+	// ArgvRepExtern / ArgvSdwExtern build replica and shadow memory for
+	// command-line arguments (Figure 3.1).
+	ArgvRepExtern = "dpmr.argv_rep"
+	ArgvSdwExtern = "dpmr.argv_sdw"
+)
+
+// replicaSuffix / shadowSuffix name replica and shadow globals.
+const (
+	replicaSuffix = ".rep"
+	shadowSuffix  = ".sdw"
+)
+
+// nsopTypeFor returns the register type of an NSOP companion for an
+// original pointer of type pt: st(at(elem))*, or void* when the shadow is
+// null.
+func nsopTypeFor(comp *shadow.Computer, pt *ir.PointerType) ir.Type {
+	if sat := comp.ShadowAug(pt.Elem); sat != nil {
+		return ir.Ptr(sat)
+	}
+	return ir.VoidPtr()
+}

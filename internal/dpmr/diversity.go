@@ -1,0 +1,189 @@
+package dpmr
+
+import (
+	"fmt"
+
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+)
+
+// Diversity is a replica diversity transformation (Table 2.8). It rewrites
+// the replica's heap allocation and deallocation behaviour; all other
+// replica behaviour follows the standard transformation.
+type Diversity interface {
+	Name() string
+	// Prepare may add module-level artifacts (globals) to the output
+	// module before any function is transformed.
+	Prepare(m *ir.Module)
+	// ReplicaMalloc emits IR allocating the replica heap object for
+	// count (nil = one) elements of elem, returning a Ptr(elem) register.
+	ReplicaMalloc(b *ir.Builder, elem ir.Type, count *ir.Reg) *ir.Reg
+	// ReplicaFree emits IR deallocating the replica heap object.
+	ReplicaFree(b *ir.Builder, pr *ir.Reg)
+}
+
+// NoDiversity performs plain replication: only the implicit diversity of
+// interleaved app/replica/shadow allocation applies (§2.1, Figure 2.1).
+type NoDiversity struct{}
+
+// Name implements Diversity.
+func (NoDiversity) Name() string { return "no-diversity" }
+
+// Prepare implements Diversity.
+func (NoDiversity) Prepare(*ir.Module) {}
+
+// ReplicaMalloc implements Diversity.
+func (NoDiversity) ReplicaMalloc(b *ir.Builder, elem ir.Type, count *ir.Reg) *ir.Reg {
+	if count == nil {
+		return b.Malloc(elem)
+	}
+	return b.MallocN(elem, count)
+}
+
+// ReplicaFree implements Diversity.
+func (NoDiversity) ReplicaFree(b *ir.Builder, pr *ir.Reg) { b.Free(pr) }
+
+// PadMalloc increases replica heap requests by a static amount of padding
+// (pad-malloc-y): xr ← (at(τ)*)malloc(int8[sizeof(at(τ)) + y]). Chosen to
+// target buffer overflows: the initial portion of a replica overflow
+// writes into unused padding (§2.6).
+type PadMalloc struct {
+	// Pad is the number of extra bytes (8, 32, 256, 1024 in the paper).
+	Pad int
+}
+
+// Name implements Diversity.
+func (p PadMalloc) Name() string { return fmt.Sprintf("pad-malloc %d", p.Pad) }
+
+// Prepare implements Diversity.
+func (PadMalloc) Prepare(*ir.Module) {}
+
+// ReplicaMalloc implements Diversity.
+func (p PadMalloc) ReplicaMalloc(b *ir.Builder, elem ir.Type, count *ir.Reg) *ir.Reg {
+	stride := int64(interp.PaddedSize(elem))
+	var size *ir.Reg
+	if count == nil {
+		size = b.I64(stride + int64(p.Pad))
+	} else {
+		c64 := count
+		if !ir.TypesEqual(count.Type, ir.I64) {
+			c64 = b.Convert(count, ir.I64)
+		}
+		size = b.Add(b.Mul(c64, b.I64(stride)), b.I64(int64(p.Pad)))
+	}
+	raw := b.MallocN(ir.I8, size)
+	return b.Cast(raw, elem)
+}
+
+// ReplicaFree implements Diversity.
+func (PadMalloc) ReplicaFree(b *ir.Builder, pr *ir.Reg) { b.Free(pr) }
+
+// ZeroBeforeFree writes zeros over the replica buffer prior to
+// deallocation, so reads-after-free of the replica observe zeros while
+// the application reads stale data — making dangling pointer errors
+// manifest differently (§2.6).
+type ZeroBeforeFree struct{}
+
+// Name implements Diversity.
+func (ZeroBeforeFree) Name() string { return "zero-before-free" }
+
+// Prepare implements Diversity.
+func (ZeroBeforeFree) Prepare(*ir.Module) {}
+
+// ReplicaMalloc implements Diversity.
+func (ZeroBeforeFree) ReplicaMalloc(b *ir.Builder, elem ir.Type, count *ir.Reg) *ir.Reg {
+	return NoDiversity{}.ReplicaMalloc(b, elem, count)
+}
+
+// ReplicaFree implements Diversity (Table 2.8: zero the payload, then
+// free).
+func (ZeroBeforeFree) ReplicaFree(b *ir.Builder, pr *ir.Reg) {
+	size := b.HeapBufSize(pr)
+	bytes := b.Cast(pr, ir.I8)
+	zero := b.I8(0)
+	b.ForRange("zbf", b.I64(0), size, func(i *ir.Reg) {
+		b.Store(b.Index(bytes, i), zero)
+	})
+	b.Free(pr)
+}
+
+// RearrangeHeap gives each replica heap object a randomized location by
+// allocating 1..20 dummy buffers first and freeing them after (Table 2.8).
+// Designed to detect dangling pointers: a reallocated application object
+// is unlikely to pair with the memory its stale replica occupied (§2.6).
+type RearrangeHeap struct{}
+
+// Name implements Diversity.
+func (RearrangeHeap) Name() string { return "rearrange-heap" }
+
+// Prepare implements Diversity: B ← global(void*[20]).
+func (RearrangeHeap) Prepare(m *ir.Module) {
+	if m.Global(rearrangeBufGlobal) == nil {
+		m.AddGlobal(rearrangeBufGlobal, ir.Array(ir.VoidPtr(), 20))
+	}
+}
+
+// ReplicaMalloc implements Diversity.
+func (RearrangeHeap) ReplicaMalloc(b *ir.Builder, elem ir.Type, count *ir.Reg) *ir.Reg {
+	n := b.RandInt(1, 20)
+	buf := b.GlobalAddr(rearrangeBufGlobal)
+	b.ForRange("rhfill", b.I64(0), n, func(i *ir.Reg) {
+		var d *ir.Reg
+		if count == nil {
+			d = b.Malloc(elem)
+		} else {
+			d = b.MallocN(elem, count)
+		}
+		b.Store(b.Index(buf, i), b.Cast(d, ir.Void))
+	})
+	var pr *ir.Reg
+	if count == nil {
+		pr = b.Malloc(elem)
+	} else {
+		pr = b.MallocN(elem, count)
+	}
+	b.ForRange("rhdrain", b.I64(0), n, func(i *ir.Reg) {
+		b.Free(b.Load(b.Index(buf, i)))
+	})
+	return pr
+}
+
+// ReplicaFree implements Diversity.
+func (RearrangeHeap) ReplicaFree(b *ir.Builder, pr *ir.Reg) { b.Free(pr) }
+
+// DiversityByName resolves the paper's diversity transformation names,
+// used by CLIs and the harness.
+func DiversityByName(name string) (Diversity, error) {
+	switch name {
+	case "no-diversity", "", "none":
+		return NoDiversity{}, nil
+	case "zero-before-free":
+		return ZeroBeforeFree{}, nil
+	case "rearrange-heap":
+		return RearrangeHeap{}, nil
+	case "pad-malloc-8", "pad-malloc 8":
+		return PadMalloc{Pad: 8}, nil
+	case "pad-malloc-32", "pad-malloc 32":
+		return PadMalloc{Pad: 32}, nil
+	case "pad-malloc-256", "pad-malloc 256":
+		return PadMalloc{Pad: 256}, nil
+	case "pad-malloc-1024", "pad-malloc 1024":
+		return PadMalloc{Pad: 1024}, nil
+	default:
+		return nil, fmt.Errorf("dpmr: unknown diversity transformation %q", name)
+	}
+}
+
+// Diversities returns the full evaluated suite in the paper's order
+// (Figures 3.6–3.10).
+func Diversities() []Diversity {
+	return []Diversity{
+		NoDiversity{},
+		ZeroBeforeFree{},
+		RearrangeHeap{},
+		PadMalloc{Pad: 8},
+		PadMalloc{Pad: 32},
+		PadMalloc{Pad: 256},
+		PadMalloc{Pad: 1024},
+	}
+}

@@ -1,0 +1,97 @@
+package dpmr_test
+
+import (
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+)
+
+// TestStructGlobalWithEmbeddedPointerRef exercises the §2.4 global
+// initialization path where a pointer sits at a non-zero offset inside a
+// struct-typed global: the transform must map the initializer into the
+// shadow global's ROP/NSOP slots (shadowRefOffsets).
+func TestStructGlobalWithEmbeddedPointerRef(t *testing.T) {
+	m := ir.NewModule("gstruct")
+	target := m.AddGlobal("target", ir.I64)
+	target.Init = []byte{21, 0, 0, 0, 0, 0, 0, 0}
+	holder := m.AddGlobal("holder", ir.Struct(ir.I64, ir.Ptr(ir.I64), ir.F64))
+	holder.Refs = []ir.RefInit{{Offset: 8, Global: "target"}}
+
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	hp := b.GlobalAddr("holder")
+	// Load the embedded pointer, dereference, double it.
+	ptr := b.Load(b.Field(hp, 1))
+	v := b.Load(ptr)
+	b.Store(ptr, b.Mul(v, b.I64(2)))
+	b.Ret(b.Load(b.GlobalAddr("target")))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	golden := interp.Run(m, interp.Config{Externs: extlib.Base()})
+	if golden.Kind != interp.ExitNormal || golden.Code != 42 {
+		t.Fatalf("golden: %v code %d (%s)", golden.Kind, golden.Code, golden.Reason)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xres := runTransformed(t, m, dpmr.Config{Design: design}, 1)
+		assertEquivalent(t, golden, xres, design.String()+"/struct-global")
+	}
+}
+
+// TestArrayOfPointersGlobal covers refs into array elements.
+func TestArrayOfPointersGlobal(t *testing.T) {
+	m := ir.NewModule("garr")
+	a := m.AddGlobal("a", ir.I64)
+	a.Init = []byte{10, 0, 0, 0, 0, 0, 0, 0}
+	c := m.AddGlobal("c", ir.I64)
+	c.Init = []byte{32, 0, 0, 0, 0, 0, 0, 0}
+	table := m.AddGlobal("table", ir.Array(ir.Ptr(ir.I64), 2))
+	table.Refs = []ir.RefInit{
+		{Offset: 0, Global: "a"},
+		{Offset: 8, Global: "c"},
+	}
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	tp := b.GlobalAddr("table")
+	sum := b.Reg("sum", ir.I64)
+	b.MoveTo(sum, b.I64(0))
+	b.ForRange("i", b.I64(0), b.I64(2), func(i *ir.Reg) {
+		p := b.Load(b.Index(tp, i))
+		b.BinTo(sum, ir.OpAdd, sum, b.Load(p))
+	})
+	b.Ret(sum)
+	golden := interp.Run(m, interp.Config{Externs: extlib.Base()})
+	if golden.Code != 42 {
+		t.Fatalf("golden code %d (%s)", golden.Code, golden.Reason)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xres := runTransformed(t, m, dpmr.Config{Design: design}, 1)
+		assertEquivalent(t, golden, xres, design.String()+"/array-global")
+	}
+}
+
+// TestGlobalFunctionPointerRef covers function-pointer initializers: the
+// ROP shares the application address and the NSOP stays null (§2.4).
+func TestGlobalFunctionPointerRef(t *testing.T) {
+	m := ir.NewModule("gfn")
+	sig := ir.FuncOf(ir.I64, ir.I64)
+	hook := m.AddGlobal("hook", ir.Ptr(sig))
+	hook.Refs = []ir.RefInit{{Offset: 0, Func: "double"}}
+	b := ir.NewBuilder(m)
+	b.Function("double", ir.I64, []string{"x"}, ir.I64)
+	b.Ret(b.Mul(b.F.Params[0], b.I64(2)))
+	b.Function("main", ir.I64, nil)
+	fp := b.Load(b.GlobalAddr("hook"))
+	b.Ret(b.CallPtr(fp, b.I64(21)))
+	golden := interp.Run(m, interp.Config{Externs: extlib.Base()})
+	if golden.Code != 42 {
+		t.Fatalf("golden code %d (%s)", golden.Code, golden.Reason)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xres := runTransformed(t, m, dpmr.Config{Design: design}, 1)
+		assertEquivalent(t, golden, xres, design.String()+"/fn-global")
+	}
+}

@@ -1,0 +1,55 @@
+package dpmr_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpmr/internal/dpmr"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden transform files")
+
+// TestGoldenTransformFigures pins the transformed form of the paper's
+// running example — createNode/getSum under SDS (Figures 2.9/2.10) and MDS
+// (Figures 4.1/4.2) — as golden files. Any change to the transformation's
+// output shape shows up as a reviewable diff; regenerate intentionally
+// with `go test ./internal/dpmr -run Golden -update`.
+func TestGoldenTransformFigures(t *testing.T) {
+	for _, tc := range []struct {
+		design dpmr.Design
+		file   string
+	}{
+		{dpmr.SDS, "linkedlist_sds.golden"},
+		{dpmr.MDS, "linkedlist_mds.golden"},
+	} {
+		tc := tc
+		t.Run(tc.design.String(), func(t *testing.T) {
+			m := buildLinkedList()
+			xm, err := dpmr.Transform(m, dpmr.Config{Design: tc.design})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := xm.Func("createNode").String() + "\n" + xm.Func("getSum").String()
+			path := filepath.Join("testdata", tc.file)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("transformed %v output changed; run with -update if intentional.\n--- got ---\n%s\n--- want ---\n%s",
+					tc.design, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package dpmr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dpmr/internal/ir"
+)
+
+// Policy is a state comparison policy (§2.7): it decides, per load, whether
+// and how to emit the replica load and comparison. A load check is a
+// replica load plus comparison — "either both the replica load and
+// subsequent comparison occur, or neither occurs".
+type Policy interface {
+	Name() string
+	// Prepare may add module-level artifacts (globals) to the output
+	// module.
+	Prepare(m *ir.Module)
+	// EmitCheck emits the (possibly gated, possibly omitted) load check:
+	// comparing the application value x against the replica value at
+	// address register pr. rng provides compile-time randomness.
+	EmitCheck(b *ir.Builder, rng *rand.Rand, x, pr *ir.Reg)
+}
+
+// AllLoads replicates and compares every application load — the default
+// policy of the standard transformation (Table 2.6).
+type AllLoads struct{}
+
+// Name implements Policy.
+func (AllLoads) Name() string { return "all loads" }
+
+// Prepare implements Policy.
+func (AllLoads) Prepare(*ir.Module) {}
+
+// EmitCheck implements Policy.
+func (AllLoads) EmitCheck(b *ir.Builder, _ *rand.Rand, x, pr *ir.Reg) {
+	xr := b.LoadAs(pr, x.Type)
+	b.Assert(x, xr)
+}
+
+// StaticLoadChecking includes each load check at compile time with a given
+// probability (§2.7): for each load, generate r in [0,100) and insert the
+// check if r ≥ 100−percent.
+type StaticLoadChecking struct {
+	// Percent of load sites instrumented (10, 50, 90 in the paper).
+	Percent int
+}
+
+// Name implements Policy.
+func (p StaticLoadChecking) Name() string { return fmt.Sprintf("static %d%%", p.Percent) }
+
+// Prepare implements Policy.
+func (StaticLoadChecking) Prepare(*ir.Module) {}
+
+// EmitCheck implements Policy.
+func (p StaticLoadChecking) EmitCheck(b *ir.Builder, rng *rand.Rand, x, pr *ir.Reg) {
+	if rng.Float64()*100 >= float64(p.Percent) {
+		return
+	}
+	AllLoads{}.EmitCheck(b, rng, x, pr)
+}
+
+// TemporalLoadChecking checks a temporal fraction of loads at run time by
+// cycling a global counter through the bits of a 64-bit mask (Table 2.9).
+type TemporalLoadChecking struct {
+	// Mask's set bits select which of each 64 consecutive dynamic loads
+	// are checked.
+	Mask uint64
+	// Label distinguishes the paper's named fractions.
+	Label string
+}
+
+// Temporal masks evaluated in the paper (§2.7): fractions 1/8, 1/2, 7/8.
+var (
+	TemporalEighth       = TemporalLoadChecking{Mask: 0x8080808080808080, Label: "temporal 1/8"}
+	TemporalHalf         = TemporalLoadChecking{Mask: 0xAAAAAAAAAAAAAAAA, Label: "temporal 1/2"}
+	TemporalSevenEighths = TemporalLoadChecking{Mask: 0xFEFEFEFEFEFEFEFE, Label: "temporal 7/8"}
+)
+
+// Name implements Policy.
+func (t TemporalLoadChecking) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return fmt.Sprintf("temporal mask %#x", t.Mask)
+}
+
+// Prepare implements Policy: the global mask counter (Table 2.9 top).
+func (TemporalLoadChecking) Prepare(m *ir.Module) {
+	if m.Global(maskCounterGlobal) == nil {
+		m.AddGlobal(maskCounterGlobal, ir.I64)
+	}
+}
+
+// EmitCheck implements Policy. It emits the Table 2.9 transformation:
+//
+//	if ((mask << (64 - *maskCounter - 1)) >> (64 - 1)) { assert(x == *pr) }
+//	*maskCounter = (*maskCounter + 1) % 64
+//
+// The extra loads, shifts, and branch are exactly the overhead source the
+// paper identifies for temporal checking (§3.8).
+func (t TemporalLoadChecking) EmitCheck(b *ir.Builder, rng *rand.Rand, x, pr *ir.Reg) {
+	cntPtr := b.GlobalAddr(maskCounterGlobal)
+	cnt := b.Load(cntPtr)
+	mask := b.I64(int64(t.Mask))
+	shL := b.Sub(b.Sub(b.I64(64), cnt), b.I64(1))
+	shifted := b.Bin(ir.OpShl, mask, shL)
+	bit := b.Bin(ir.OpLShr, shifted, b.I64(63))
+	cond := b.Cmp(ir.CmpNE, bit, b.I64(0))
+	b.If(cond, func() {
+		AllLoads{}.EmitCheck(b, rng, x, pr)
+	}, nil)
+	next := b.Bin(ir.OpURem, b.Add(cnt, b.I64(1)), b.I64(64))
+	b.Store(cntPtr, next)
+}
+
+// PeriodicLoadChecking is the Figure 3.16 ablation: temporal checking
+// restructured to exploit periodicity. Instead of the mask-shift gate it
+// keeps a simple countdown, checking every Period-th load with a much
+// cheaper gate (one load, one add, one compare), which is the optimization
+// the paper sketches for making temporal checking efficient.
+type PeriodicLoadChecking struct {
+	// Period: one check per Period dynamic loads (2 ≈ temporal 1/2).
+	Period int64
+}
+
+// Name implements Policy.
+func (p PeriodicLoadChecking) Name() string { return fmt.Sprintf("periodic 1/%d", p.Period) }
+
+// Prepare implements Policy.
+func (PeriodicLoadChecking) Prepare(m *ir.Module) {
+	if m.Global(maskCounterGlobal) == nil {
+		m.AddGlobal(maskCounterGlobal, ir.I64)
+	}
+}
+
+// EmitCheck implements Policy.
+func (p PeriodicLoadChecking) EmitCheck(b *ir.Builder, rng *rand.Rand, x, pr *ir.Reg) {
+	cntPtr := b.GlobalAddr(maskCounterGlobal)
+	cnt := b.Load(cntPtr)
+	next := b.Add(cnt, b.I64(1))
+	cond := b.Cmp(ir.CmpSGE, next, b.I64(p.Period))
+	b.If(cond, func() {
+		AllLoads{}.EmitCheck(b, rng, x, pr)
+		b.Store(cntPtr, b.I64(0))
+	}, func() {
+		b.Store(cntPtr, next)
+	})
+}
+
+// PolicyByName resolves the paper's policy names.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "all-loads", "all loads", "":
+		return AllLoads{}, nil
+	case "temporal-1/8", "temporal 1/8":
+		return TemporalEighth, nil
+	case "temporal-1/2", "temporal 1/2":
+		return TemporalHalf, nil
+	case "temporal-7/8", "temporal 7/8":
+		return TemporalSevenEighths, nil
+	case "static-10", "static 10%":
+		return StaticLoadChecking{Percent: 10}, nil
+	case "static-50", "static 50%":
+		return StaticLoadChecking{Percent: 50}, nil
+	case "static-90", "static 90%":
+		return StaticLoadChecking{Percent: 90}, nil
+	case "periodic-2", "periodic 1/2":
+		return PeriodicLoadChecking{Period: 2}, nil
+	default:
+		return nil, fmt.Errorf("dpmr: unknown comparison policy %q", name)
+	}
+}
+
+// Policies returns the evaluated policy suite in the paper's order
+// (Figures 3.11–3.15).
+func Policies() []Policy {
+	return []Policy{
+		AllLoads{},
+		TemporalEighth,
+		TemporalHalf,
+		TemporalSevenEighths,
+		StaticLoadChecking{Percent: 10},
+		StaticLoadChecking{Percent: 50},
+		StaticLoadChecking{Percent: 90},
+	}
+}

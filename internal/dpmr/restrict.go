@@ -1,0 +1,92 @@
+package dpmr
+
+import (
+	"fmt"
+
+	"dpmr/internal/ir"
+	"dpmr/internal/shadow"
+)
+
+// RestrictionError reports violations of the input-program restrictions
+// (§2.9 for SDS, §4.4 for MDS).
+type RestrictionError struct {
+	Design     Design
+	Violations []string
+}
+
+func (e *RestrictionError) Error() string {
+	return fmt.Sprintf("dpmr: %d %s restriction violation(s), first: %s",
+		len(e.Violations), e.Design, e.Violations[0])
+}
+
+// VerifyRestrictions checks whether a module satisfies the input
+// restrictions of the given design. MDS is strictly more permissive than
+// SDS (§4.4): it drops the restrictions on non-pointer typing, pointer
+// arithmetic, and pointer-to-pointer casts.
+func VerifyRestrictions(m *ir.Module, design Design) error {
+	comp := shadow.NewComputer(design)
+	var v []string
+	add := func(fn *ir.Func, format string, args ...any) {
+		v = append(v, "@"+fn.Name+": "+fmt.Sprintf(format, args...))
+	}
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				switch i := in.(type) {
+				case *ir.IntToPtr:
+					// Forbidden under both designs (§2.9, §4.4): DPMR
+					// has no way to set corresponding ROPs and NSOPs.
+					add(f, "int-to-pointer cast %s", i)
+				case *ir.Store:
+					valPtr := ir.IsPointer(i.Val.Type)
+					slotPtr := ir.IsPointer(i.Ptr.Elem())
+					if valPtr && !slotPtr {
+						add(f, "pointer stored to memory not typed as pointer: %s", i)
+					}
+					if design == SDS && !valPtr && slotPtr {
+						add(f, "non-pointer stored to pointer-typed memory: %s", i)
+					}
+				case *ir.Load:
+					valPtr := ir.IsPointer(i.Dst.Type)
+					slotPtr := ir.IsPointer(i.Ptr.Elem())
+					if valPtr && !slotPtr {
+						add(f, "pointer loaded from memory not typed as pointer: %s", i)
+					}
+					if design == SDS && !valPtr && slotPtr {
+						add(f, "non-pointer loaded from pointer-typed memory: %s", i)
+					}
+				case *ir.BinOp:
+					// Raw pointer arithmetic defeats SDS shadow
+					// addressing (§2.9 structure/array pointer
+					// arithmetic restriction); MDS mirrors it freely
+					// because replica layout is structurally identical
+					// (§4.4).
+					if design == SDS && (ir.IsPointer(i.X.Type) || ir.IsPointer(i.Y.Type)) {
+						add(f, "raw pointer arithmetic under SDS: %s", i)
+					}
+				case *ir.Bitcast:
+					if design != SDS {
+						continue
+					}
+					// §2.9 pointer-to-pointer cast restriction
+					// (conservative form): a pointer whose pointee has
+					// a null shadow type may not be cast to a type
+					// whose pointee has a nonzero-size shadow — the
+					// NSOP would be null while shadow data is needed.
+					srcSat := comp.ShadowAug(i.Src.Elem())
+					dstSat := comp.ShadowAug(i.Dst.Elem())
+					if srcSat == nil && dstSat != nil {
+						add(f, "cast from shadow-free pointer to shadowed pointer: %s", i)
+					}
+				}
+			}
+		}
+	}
+	if len(v) == 0 {
+		return nil
+	}
+	return &RestrictionError{Design: design, Violations: v}
+}

@@ -1,0 +1,83 @@
+package dpmr_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+	"dpmr/internal/workloads"
+)
+
+// TestTransformedModulesSurviveTextRoundTrip prints DPMR-transformed
+// workload modules, parses them back, and checks the reparsed program
+// runs bit-identically (output, exit code, and cycle-for-cycle) — the
+// strongest evidence that the printer/parser pair faithfully carries the
+// full instrumented instruction stream, shadow types included.
+func TestTransformedModulesSurviveTextRoundTrip(t *testing.T) {
+	for _, wname := range []string{"mcf", "bzip2"} {
+		wname := wname
+		for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+			design := design
+			t.Run(wname+"/"+design.String(), func(t *testing.T) {
+				t.Parallel()
+				w, err := workloads.ByName(wname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				xm, err := dpmr.Transform(w.Build(), dpmr.Config{
+					Design:    design,
+					Diversity: dpmr.ZeroBeforeFree{},
+					Policy:    dpmr.StaticLoadChecking{Percent: 50},
+					Seed:      5,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				text := xm.String()
+				back, err := ir.Parse(text)
+				if err != nil {
+					t.Fatalf("parse of transformed module: %v", err)
+				}
+				if err := ir.Verify(back); err != nil {
+					t.Fatalf("reparsed module invalid: %v", err)
+				}
+				cfg := interp.Config{Externs: extlib.Wrapped(design), Seed: 3}
+				r1 := interp.Run(xm, cfg)
+				r2 := interp.Run(back, cfg)
+				if r1.Kind != interp.ExitNormal {
+					t.Fatalf("original: %v (%s)", r1.Kind, r1.Reason)
+				}
+				if r2.Kind != r1.Kind || r2.Code != r1.Code || !bytes.Equal(r1.Output, r2.Output) {
+					t.Errorf("reparsed run diverged: %v/%d vs %v/%d", r1.Kind, r1.Code, r2.Kind, r2.Code)
+				}
+				if r1.Cycles != r2.Cycles {
+					t.Errorf("cycle clocks differ: %d vs %d", r1.Cycles, r2.Cycles)
+				}
+			})
+		}
+	}
+}
+
+// TestWorkloadSourcesRoundTrip checks untransformed workloads too.
+func TestWorkloadSourcesRoundTrip(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			m := w.Build()
+			back, err := ir.Parse(m.String())
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			cfg := interp.Config{Externs: extlib.Base()}
+			r1 := interp.Run(m, cfg)
+			r2 := interp.Run(back, cfg)
+			if !bytes.Equal(r1.Output, r2.Output) || r1.Code != r2.Code || r1.Cycles != r2.Cycles {
+				t.Error("reparsed workload diverged from original")
+			}
+		})
+	}
+}

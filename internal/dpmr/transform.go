@@ -1,0 +1,841 @@
+package dpmr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dpmr/internal/ir"
+	"dpmr/internal/shadow"
+)
+
+// Transform applies the DPMR transformation to src and returns a new
+// module. The input module is not modified. The transformation implements
+// Tables 2.6/2.7 (SDS) and Tables 4.3/4.4 (MDS), the main() handling of
+// §3.1.1, the diversity transformations of Table 2.8, and the comparison
+// policies of §2.7.
+func Transform(src *ir.Module, cfg Config) (*ir.Module, error) {
+	cfg = cfg.withDefaults()
+	if src.Func(MainAugName) != nil {
+		return nil, fmt.Errorf("dpmr: module already carries a %s function — refusing to transform a transformed module", MainAugName)
+	}
+	if !cfg.SkipRestrictionCheck {
+		if err := VerifyRestrictions(src, cfg.Design); err != nil {
+			return nil, err
+		}
+	}
+	t := &transformer{
+		cfg:  cfg,
+		comp: shadow.NewComputer(cfg.Design),
+		src:  src,
+		dst:  ir.NewModule(src.Name + ".dpmr"),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	t.b = ir.NewBuilder(t.dst)
+	cfg.Policy.Prepare(t.dst)
+	cfg.Diversity.Prepare(t.dst)
+
+	t.emitGlobals()
+	t.declareFuncs()
+	for _, f := range src.Funcs {
+		if f.External {
+			continue
+		}
+		t.fillBody(f)
+	}
+	t.synthesizeMain()
+	if len(t.errs) > 0 {
+		return nil, errors.Join(t.errs...)
+	}
+	if err := ir.Verify(t.dst); err != nil {
+		return nil, fmt.Errorf("dpmr: transformed module fails verification: %w", err)
+	}
+	return t.dst, nil
+}
+
+type transformer struct {
+	cfg  Config
+	comp *shadow.Computer
+	src  *ir.Module
+	dst  *ir.Module
+	rng  *rand.Rand
+	b    *ir.Builder
+
+	// Per-function state.
+	srcFn     *ir.Func
+	dstFn     *ir.Func
+	app       map[int]*ir.Reg
+	rop       map[int]*ir.Reg
+	nsop      map[int]*ir.Reg
+	blockMap  map[*ir.Block]*ir.Block
+	rvSlot    *ir.Reg // SDS rvSop / MDS rvRopPtr parameter
+	callSlots map[*ir.Call]*ir.Reg
+
+	errs []error
+}
+
+func (t *transformer) errf(format string, args ...any) {
+	loc := ""
+	if t.srcFn != nil {
+		loc = "@" + t.srcFn.Name + ": "
+	}
+	t.errs = append(t.errs, fmt.Errorf("dpmr: "+loc+format, args...))
+}
+
+// ins appends an instruction at the builder's current cursor.
+func (t *transformer) ins(in ir.Instr) { t.b.B.Append(in) }
+
+func (t *transformer) sds() bool { return t.cfg.Design == SDS }
+
+// excludedReg reports whether an original pointer register is excluded
+// from replication (Chapter 5 DSA refinement).
+func (t *transformer) excludedReg(r *ir.Reg) bool {
+	return t.cfg.Exclude.Reg(t.srcFn.Name, r.ID)
+}
+
+// ---------------------------------------------------------------------------
+// Register mapping: γ of Equation 2.3/4.1 at the register level.
+
+// x returns the application register mapped from original register r.
+func (t *transformer) x(r *ir.Reg) *ir.Reg {
+	if m := t.app[r.ID]; m != nil {
+		return m
+	}
+	m := t.dstFn.NewReg(r.Name, t.comp.Aug(r.Type))
+	t.app[r.ID] = m
+	return m
+}
+
+// xr returns the ROP companion of pointer register r.
+func (t *transformer) xr(r *ir.Reg) *ir.Reg {
+	if m := t.rop[r.ID]; m != nil {
+		return m
+	}
+	name := r.Name
+	if name != "" {
+		name += "_r"
+	}
+	m := t.dstFn.NewReg(name, t.comp.Aug(r.Type))
+	t.rop[r.ID] = m
+	return m
+}
+
+// xs returns the NSOP companion of pointer register r (SDS only).
+func (t *transformer) xs(r *ir.Reg) *ir.Reg {
+	if m := t.nsop[r.ID]; m != nil {
+		return m
+	}
+	pt, ok := r.Type.(*ir.PointerType)
+	if !ok {
+		panic("dpmr: NSOP of non-pointer register")
+	}
+	name := r.Name
+	if name != "" {
+		name += "_s"
+	}
+	m := t.dstFn.NewReg(name, nsopTypeFor(t.comp, pt))
+	t.nsop[r.ID] = m
+	return m
+}
+
+// nsopIsTyped reports whether r's NSOP companion carries a usable shadow
+// struct pointer (rather than void*).
+func (t *transformer) nsopIsTyped(r *ir.Reg) bool {
+	pt := r.Type.(*ir.PointerType)
+	return t.comp.ShadowAug(pt.Elem) != nil
+}
+
+// ---------------------------------------------------------------------------
+// Globals (§2.4 global variable initialization)
+
+func (t *transformer) emitGlobals() {
+	for _, g := range t.src.Globals {
+		augElem := t.comp.Aug(g.Elem)
+		app := t.dst.AddGlobal(g.Name, augElem)
+		app.Init = cloneBytes(g.Init)
+		app.Refs = append([]ir.RefInit(nil), g.Refs...)
+
+		rep := t.dst.AddGlobal(g.Name+replicaSuffix, augElem)
+		rep.Init = cloneBytes(g.Init)
+		for _, ref := range g.Refs {
+			nref := ref
+			if t.cfg.Design == MDS && ref.Global != "" {
+				// MDS replica memory holds replica pointers.
+				nref.Global = ref.Global + replicaSuffix
+			}
+			// SDS replica memory holds identical (comparable) pointers.
+			rep.Refs = append(rep.Refs, nref)
+		}
+
+		if !t.sds() {
+			continue
+		}
+		sat := t.comp.ShadowAug(g.Elem)
+		if sat == nil {
+			continue
+		}
+		sdw := t.dst.AddGlobal(g.Name+shadowSuffix, sat)
+		for _, ref := range g.Refs {
+			ropOff, nsopOff, ok := shadowRefOffsets(t.comp, g.Elem, ref.Offset)
+			if !ok {
+				t.errf("global %s: cannot map initializer at offset %d into shadow layout", g.Name, ref.Offset)
+				continue
+			}
+			if ref.Global != "" {
+				sdw.Refs = append(sdw.Refs, ir.RefInit{Offset: ropOff, Global: ref.Global + replicaSuffix})
+				if target := t.src.Global(ref.Global); target != nil && t.comp.ShadowAug(target.Elem) != nil {
+					sdw.Refs = append(sdw.Refs, ir.RefInit{Offset: nsopOff, Global: ref.Global + shadowSuffix})
+				}
+			} else if ref.Func != "" {
+				// Function pointers share the application address as
+				// their ROP; the NSOP stays null (§2.4 address of a
+				// function).
+				sdw.Refs = append(sdw.Refs, ir.RefInit{Offset: ropOff, Func: t.funcName(ref.Func)})
+			}
+		}
+	}
+}
+
+// shadowRefOffsets maps the byte offset of a pointer inside type t to the
+// byte offsets of its ROP and NSOP inside st(at(t)).
+func shadowRefOffsets(comp *shadow.Computer, t ir.Type, off int) (ropOff, nsopOff int, ok bool) {
+	sat := comp.ShadowAug(t)
+	if sat == nil {
+		return 0, 0, false
+	}
+	switch tt := t.(type) {
+	case *ir.PointerType:
+		if off != 0 {
+			return 0, 0, false
+		}
+		ss := sat.(*ir.StructType)
+		return ss.Offset(0), ss.Offset(1), true
+	case *ir.StructType:
+		ss := sat.(*ir.StructType)
+		for i := 0; i < tt.NumFields(); i++ {
+			fo := tt.Offset(i)
+			f := tt.Field(i)
+			if off < fo || off >= fo+f.Size() {
+				continue
+			}
+			if comp.ShadowAug(f) == nil {
+				return 0, 0, false
+			}
+			si := comp.Phi(tt, i)
+			r, n, ok := shadowRefOffsets(comp, f, off-fo)
+			if !ok {
+				return 0, 0, false
+			}
+			return ss.Offset(si) + r, ss.Offset(si) + n, true
+		}
+		return 0, 0, false
+	case *ir.ArrayType:
+		stride := paddedOf(tt.Elem)
+		idx := off / stride
+		satArr := sat.(*ir.ArrayType)
+		sstride := paddedOf(satArr.Elem)
+		r, n, ok := shadowRefOffsets(comp, tt.Elem, off%stride)
+		if !ok {
+			return 0, 0, false
+		}
+		return idx*sstride + r, idx*sstride + n, true
+	default:
+		return 0, 0, false
+	}
+}
+
+func paddedOf(t ir.Type) int {
+	size := t.Size()
+	if a := t.Align(); a > 1 {
+		size = (size + a - 1) / a * a
+	}
+	if size == 0 {
+		size = 1
+	}
+	return size
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Function declarations
+
+// funcName maps an original callee name into the transformed module.
+func (t *transformer) funcName(name string) string {
+	if f := t.src.Func(name); f != nil && f.External {
+		return t.cfg.WrapperName(name)
+	}
+	if name == "main" {
+		return MainAugName
+	}
+	return name
+}
+
+func (t *transformer) declareFuncs() {
+	for _, f := range t.src.Funcs {
+		augSig := t.comp.AugFunc(f.Sig)
+		if f.External {
+			t.dst.AddExtern(t.cfg.WrapperName(f.Name), augSig)
+			continue
+		}
+		names := t.augParamNames(f)
+		t.dst.AddFunc(t.funcName(f.Name), augSig, names...)
+	}
+}
+
+// augParamNames builds parameter names matching the AugFunc expansion
+// order: [rvSop|rvRopPtr]? then, per original parameter, app[, rop[, nsop]].
+func (t *transformer) augParamNames(f *ir.Func) []string {
+	var names []string
+	if ir.IsPointer(f.Sig.Ret) {
+		if t.sds() {
+			names = append(names, "rvSop")
+		} else {
+			names = append(names, "rvRopPtr")
+		}
+	}
+	for _, p := range f.Params {
+		names = append(names, p.Name)
+		if ir.IsPointer(p.Type) {
+			names = append(names, p.Name+"_r")
+			if t.sds() {
+				names = append(names, p.Name+"_s")
+			}
+		}
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// Function bodies
+
+func (t *transformer) fillBody(f *ir.Func) {
+	t.srcFn = f
+	t.dstFn = t.dst.Func(t.funcName(f.Name))
+	t.app = make(map[int]*ir.Reg)
+	t.rop = make(map[int]*ir.Reg)
+	t.nsop = make(map[int]*ir.Reg)
+	t.blockMap = make(map[*ir.Block]*ir.Block, len(f.Blocks))
+	t.callSlots = make(map[*ir.Call]*ir.Reg)
+	t.rvSlot = nil
+
+	// Bind expanded parameters to the original registers' companions.
+	idx := 0
+	if ir.IsPointer(f.Sig.Ret) {
+		t.rvSlot = t.dstFn.Params[idx]
+		idx++
+	}
+	for _, p := range f.Params {
+		t.app[p.ID] = t.dstFn.Params[idx]
+		idx++
+		if ir.IsPointer(p.Type) {
+			t.rop[p.ID] = t.dstFn.Params[idx]
+			idx++
+			if t.sds() {
+				t.nsop[p.ID] = t.dstFn.Params[idx]
+				idx++
+			}
+		}
+	}
+
+	for _, blk := range f.Blocks {
+		t.blockMap[blk] = t.dstFn.NewBlock(blk.Name)
+	}
+	t.b.F = t.dstFn
+	t.b.SetBlock(t.blockMap[f.Entry()])
+
+	// Hoist per-call-site return-value slots to the entry block so loops
+	// do not grow the frame (the paper allocas at call sites; hoisting is
+	// the standard strengthening with identical semantics).
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			call, ok := in.(*ir.Call)
+			if !ok {
+				continue
+			}
+			ret := t.calleeRet(call)
+			if !ir.IsPointer(ret) {
+				continue
+			}
+			var slotElem ir.Type
+			if t.sds() {
+				slotElem = t.comp.ShadowAug(ret)
+			} else {
+				slotElem = t.comp.Aug(ret)
+			}
+			t.callSlots[call] = t.b.Alloca(slotElem)
+		}
+	}
+
+	for _, blk := range f.Blocks {
+		t.b.SetBlock(t.blockMap[blk])
+		for _, in := range blk.Instrs {
+			t.emit(in)
+		}
+	}
+}
+
+// calleeRet resolves the original return type of a call.
+func (t *transformer) calleeRet(call *ir.Call) ir.Type {
+	if call.Callee != "" {
+		if f := t.src.Func(call.Callee); f != nil {
+			return f.Sig.Ret
+		}
+		return ir.Void
+	}
+	if ft, ok := call.CalleePtr.Elem().(*ir.FuncType); ok {
+		return ft.Ret
+	}
+	return ir.Void
+}
+
+// emit transforms one original instruction (Tables 2.6/2.7 and 4.3/4.4).
+func (t *transformer) emit(in ir.Instr) {
+	switch i := in.(type) {
+	case *ir.ConstInt:
+		t.ins(&ir.ConstInt{Dst: t.x(i.Dst), Val: i.Val})
+	case *ir.ConstFloat:
+		t.ins(&ir.ConstFloat{Dst: t.x(i.Dst), Val: i.Val})
+	case *ir.ConstNull:
+		t.ins(&ir.ConstNull{Dst: t.x(i.Dst)})
+		t.ins(&ir.ConstNull{Dst: t.xr(i.Dst)})
+		if t.sds() {
+			t.ins(&ir.ConstNull{Dst: t.xs(i.Dst)})
+		}
+	case *ir.Move:
+		t.ins(&ir.Move{Dst: t.x(i.Dst), Src: t.x(i.Src)})
+		if ir.IsPointer(i.Dst.Type) {
+			t.ins(&ir.Move{Dst: t.xr(i.Dst), Src: t.xr(i.Src)})
+			if t.sds() {
+				t.ins(&ir.Move{Dst: t.xs(i.Dst), Src: t.xs(i.Src)})
+			}
+		}
+	case *ir.BinOp:
+		t.emitBinOp(i)
+	case *ir.Cmp:
+		t.ins(&ir.Cmp{Dst: t.x(i.Dst), Op: i.Op, X: t.x(i.X), Y: t.x(i.Y)})
+	case *ir.Convert:
+		t.ins(&ir.Convert{Dst: t.x(i.Dst), Src: t.x(i.Src)})
+	case *ir.Alloc:
+		t.emitAlloc(i)
+	case *ir.Free:
+		t.emitFree(i)
+	case *ir.Load:
+		t.emitLoad(i)
+	case *ir.Store:
+		t.emitStore(i)
+	case *ir.FieldAddr:
+		t.emitFieldAddr(i)
+	case *ir.IndexAddr:
+		t.emitIndexAddr(i)
+	case *ir.Bitcast:
+		t.emitBitcast(i)
+	case *ir.PtrToInt:
+		t.ins(&ir.PtrToInt{Dst: t.x(i.Dst), Src: t.x(i.Src)})
+	case *ir.IntToPtr:
+		// Only reachable in DSA mode (SkipRestrictionCheck); the result
+		// register must be excluded, so companions stay null.
+		t.ins(&ir.IntToPtr{Dst: t.x(i.Dst), Src: t.x(i.Src)})
+	case *ir.FuncAddr:
+		name := t.funcName(i.Fn)
+		t.ins(&ir.FuncAddr{Dst: t.x(i.Dst), Fn: name})
+		// Function pointers use the same value for the ROP and a null
+		// NSOP (§2.4 address of a function).
+		t.ins(&ir.FuncAddr{Dst: t.xr(i.Dst), Fn: name})
+		if t.sds() {
+			t.ins(&ir.ConstNull{Dst: t.xs(i.Dst)})
+		}
+	case *ir.GlobalAddr:
+		t.ins(&ir.GlobalAddr{Dst: t.x(i.Dst), G: i.G})
+		t.ins(&ir.GlobalAddr{Dst: t.xr(i.Dst), G: i.G + replicaSuffix})
+		if t.sds() {
+			if t.dst.Global(i.G+shadowSuffix) != nil {
+				t.ins(&ir.GlobalAddr{Dst: t.xs(i.Dst), G: i.G + shadowSuffix})
+			} else {
+				t.ins(&ir.ConstNull{Dst: t.xs(i.Dst)})
+			}
+		}
+	case *ir.Call:
+		t.emitCall(i)
+	case *ir.Ret:
+		t.emitRet(i)
+	case *ir.Br:
+		t.ins(&ir.Br{Target: t.blockMap[i.Target]})
+	case *ir.CondBr:
+		t.ins(&ir.CondBr{Cond: t.x(i.Cond), True: t.blockMap[i.True], False: t.blockMap[i.False]})
+	case *ir.Assert:
+		t.ins(&ir.Assert{X: t.x(i.X), Y: t.x(i.Y)})
+	case *ir.FaultPoint:
+		t.ins(&ir.FaultPoint{Site: i.Site})
+	case *ir.RandInt:
+		t.ins(&ir.RandInt{Dst: t.x(i.Dst), Lo: i.Lo, Hi: i.Hi})
+	case *ir.HeapBufSize:
+		t.ins(&ir.HeapBufSize{Dst: t.x(i.Dst), Ptr: t.x(i.Ptr)})
+	case *ir.Output:
+		t.ins(&ir.Output{Val: t.x(i.Val), Mode: i.Mode})
+	case *ir.Exit:
+		var v *ir.Reg
+		if i.Val != nil {
+			v = t.x(i.Val)
+		}
+		t.ins(&ir.Exit{Val: v})
+	default:
+		t.errf("unsupported instruction %s", in)
+	}
+}
+
+func (t *transformer) emitBinOp(i *ir.BinOp) {
+	t.ins(&ir.BinOp{Dst: t.x(i.Dst), X: t.x(i.X), Y: t.x(i.Y), Op: i.Op})
+	if !ir.IsPointer(i.Dst.Type) {
+		return
+	}
+	// Pointer arithmetic through integer ops: only MDS can mirror it (the
+	// replica layout is structurally identical, §4.4); SDS forbids it.
+	if t.sds() {
+		t.errf("raw pointer arithmetic is not supported under SDS: %s", i)
+		return
+	}
+	if t.excludedReg(i.Dst) {
+		return
+	}
+	xop := t.x(i.X)
+	if ir.IsPointer(i.X.Type) {
+		xop = t.xr(i.X)
+	}
+	yop := t.x(i.Y)
+	if ir.IsPointer(i.Y.Type) {
+		yop = t.xr(i.Y)
+	}
+	t.ins(&ir.BinOp{Dst: t.xr(i.Dst), X: xop, Y: yop, Op: i.Op})
+}
+
+func (t *transformer) emitAlloc(i *ir.Alloc) {
+	elemAug := t.comp.Aug(i.Elem)
+	var count *ir.Reg
+	if i.Count != nil {
+		count = t.x(i.Count)
+	}
+	t.ins(&ir.Alloc{Dst: t.x(i.Dst), Kind: i.Kind, Elem: elemAug, Count: count, Site: i.Site})
+	if t.cfg.Exclude.Site(i.Site) || t.excludedReg(i.Dst) {
+		return // Chapter 5: unanalyzable memory is not replicated.
+	}
+	// Replica allocation: diversity applies to heap replicas only
+	// (Table 2.8); stack replicas use the standard transformation.
+	if i.Kind == ir.AllocHeap {
+		pr := t.cfg.Diversity.ReplicaMalloc(t.b, elemAug, count)
+		t.ins(&ir.Move{Dst: t.xr(i.Dst), Src: pr})
+	} else {
+		t.ins(&ir.Alloc{Dst: t.xr(i.Dst), Kind: i.Kind, Elem: elemAug, Count: count, Site: -1})
+	}
+	if !t.sds() {
+		return
+	}
+	sat := t.comp.ShadowAug(i.Elem)
+	if sat == nil {
+		t.ins(&ir.ConstNull{Dst: t.xs(i.Dst)})
+		return
+	}
+	if t.cfg.WastefulShadowSizing && i.Kind == ir.AllocHeap {
+		// §2.9 ablation: 2×sizeof(at(t)) always suffices.
+		stride := int64(paddedOf(elemAug))
+		var size *ir.Reg
+		if count == nil {
+			size = t.b.I64(2 * stride)
+		} else {
+			c64 := count
+			if !ir.TypesEqual(count.Type, ir.I64) {
+				c64 = t.b.Convert(count, ir.I64)
+			}
+			size = t.b.Mul(c64, t.b.I64(2*stride))
+		}
+		raw := t.b.MallocN(ir.I8, size)
+		t.ins(&ir.Move{Dst: t.xs(i.Dst), Src: t.b.Cast(raw, sat)})
+		return
+	}
+	t.ins(&ir.Alloc{Dst: t.xs(i.Dst), Kind: i.Kind, Elem: sat, Count: count, Site: -1})
+}
+
+func (t *transformer) emitFree(i *ir.Free) {
+	t.ins(&ir.Free{Ptr: t.x(i.Ptr)})
+	if t.excludedReg(i.Ptr) {
+		return
+	}
+	t.cfg.Diversity.ReplicaFree(t.b, t.xr(i.Ptr))
+	if !t.sds() {
+		return
+	}
+	// if (ps != null) { free(ps) } — the null check is performed at run
+	// time in case the static type is not precise enough (§2.4).
+	ps := t.xs(i.Ptr)
+	null := t.b.Null(ps.Type)
+	cond := t.b.Cmp(ir.CmpNE, ps, null)
+	t.b.If(cond, func() {
+		t.b.Free(ps)
+	}, nil)
+}
+
+func (t *transformer) emitLoad(i *ir.Load) {
+	t.ins(&ir.Load{Dst: t.x(i.Dst), Ptr: t.x(i.Ptr)})
+	if t.excludedReg(i.Ptr) {
+		return
+	}
+	if ir.IsPointer(i.Dst.Type) && !t.sds() {
+		// MDS: the replica slot holds the ROP; a load comparison never
+		// occurs for pointers because the values differ by definition
+		// (Table 4.3).
+		t.ins(&ir.Load{Dst: t.xr(i.Dst), Ptr: t.xr(i.Ptr)})
+		return
+	}
+	// Policy-gated load check: replica load plus comparison (§2.7).
+	t.cfg.Policy.EmitCheck(t.b, t.rng, t.x(i.Dst), t.xr(i.Ptr))
+	if !ir.IsPointer(i.Dst.Type) {
+		return
+	}
+	if t.sds() {
+		if !t.nsopIsTyped(i.Ptr) {
+			t.errf("pointer load through shadow-free pointer %s (SDS restriction)", i.Ptr)
+			return
+		}
+		ps := t.xs(i.Ptr)
+		ropAddr := t.b.Field(ps, 0)
+		t.ins(&ir.Load{Dst: t.xr(i.Dst), Ptr: ropAddr})
+		nsopAddr := t.b.Field(ps, 1)
+		t.ins(&ir.Load{Dst: t.xs(i.Dst), Ptr: nsopAddr})
+	}
+}
+
+func (t *transformer) emitStore(i *ir.Store) {
+	t.ins(&ir.Store{Ptr: t.x(i.Ptr), Val: t.x(i.Val)})
+	if t.excludedReg(i.Ptr) {
+		return
+	}
+	if !ir.IsPointer(i.Val.Type) {
+		t.ins(&ir.Store{Ptr: t.xr(i.Ptr), Val: t.x(i.Val)})
+		return
+	}
+	if t.sds() {
+		// Identical pointer value to the replica (comparable pointers,
+		// Figure 2.3), ROP and NSOP to the shadow object (Figure 2.4).
+		t.ins(&ir.Store{Ptr: t.xr(i.Ptr), Val: t.x(i.Val)})
+		if !t.nsopIsTyped(i.Ptr) {
+			t.errf("pointer store through shadow-free pointer %s (SDS restriction)", i.Ptr)
+			return
+		}
+		ps := t.xs(i.Ptr)
+		t.ins(&ir.Store{Ptr: t.b.Field(ps, 0), Val: t.xr(i.Val)})
+		t.ins(&ir.Store{Ptr: t.b.Field(ps, 1), Val: t.xs(i.Val)})
+		return
+	}
+	// MDS: the ROP is stored to replica memory (Table 4.3).
+	t.ins(&ir.Store{Ptr: t.xr(i.Ptr), Val: t.xr(i.Val)})
+}
+
+func (t *transformer) emitFieldAddr(i *ir.FieldAddr) {
+	t.ins(&ir.FieldAddr{Dst: t.x(i.Dst), Ptr: t.x(i.Ptr), Field: i.Field})
+	if t.excludedReg(i.Ptr) {
+		return
+	}
+	t.ins(&ir.FieldAddr{Dst: t.xr(i.Dst), Ptr: t.xr(i.Ptr), Field: i.Field})
+	if !t.sds() {
+		return
+	}
+	elem := i.Ptr.Elem()
+	fieldType := fieldTypeOf(elem, i.Field)
+	if t.comp.ShadowAug(fieldType) == nil || !t.nsopIsTyped(i.Ptr) {
+		t.ins(&ir.ConstNull{Dst: t.xs(i.Dst)})
+		return
+	}
+	sIdx := t.phiOf(elem, i.Field)
+	t.ins(&ir.FieldAddr{Dst: t.xs(i.Dst), Ptr: t.xs(i.Ptr), Field: sIdx})
+}
+
+func (t *transformer) emitIndexAddr(i *ir.IndexAddr) {
+	t.ins(&ir.IndexAddr{Dst: t.x(i.Dst), Ptr: t.x(i.Ptr), Index: t.x(i.Index)})
+	if t.excludedReg(i.Ptr) {
+		return
+	}
+	t.ins(&ir.IndexAddr{Dst: t.xr(i.Dst), Ptr: t.xr(i.Ptr), Index: t.x(i.Index)})
+	if !t.sds() {
+		return
+	}
+	elem := i.Ptr.Elem()
+	if at, ok := elem.(*ir.ArrayType); ok {
+		elem = at.Elem
+	}
+	if t.comp.ShadowAug(elem) == nil || !t.nsopIsTyped(i.Ptr) {
+		t.ins(&ir.ConstNull{Dst: t.xs(i.Dst)})
+		return
+	}
+	t.ins(&ir.IndexAddr{Dst: t.xs(i.Dst), Ptr: t.xs(i.Ptr), Index: t.x(i.Index)})
+}
+
+func (t *transformer) emitBitcast(i *ir.Bitcast) {
+	t.ins(&ir.Bitcast{Dst: t.x(i.Dst), Src: t.x(i.Src)})
+	if t.excludedReg(i.Src) {
+		return
+	}
+	t.ins(&ir.Bitcast{Dst: t.xr(i.Dst), Src: t.xr(i.Src)})
+	if t.sds() {
+		t.ins(&ir.Bitcast{Dst: t.xs(i.Dst), Src: t.xs(i.Src)})
+	}
+}
+
+func (t *transformer) emitCall(i *ir.Call) {
+	retType := t.calleeRet(i)
+	var args []*ir.Reg
+	if slot, ok := t.callSlots[i]; ok {
+		args = append(args, slot)
+	}
+	for _, a := range i.Args {
+		args = append(args, t.x(a))
+		if ir.IsPointer(a.Type) {
+			args = append(args, t.xr(a))
+			if t.sds() {
+				args = append(args, t.xs(a))
+			}
+		}
+	}
+	var dst *ir.Reg
+	if i.Dst != nil {
+		dst = t.x(i.Dst)
+	}
+	call := &ir.Call{Dst: dst, Args: args}
+	if i.Callee != "" {
+		call.Callee = t.funcName(i.Callee)
+	} else {
+		call.CalleePtr = t.x(i.CalleePtr)
+	}
+	t.ins(call)
+	if !ir.IsPointer(retType) || i.Dst == nil {
+		return
+	}
+	slot := t.callSlots[i]
+	if t.sds() {
+		t.ins(&ir.Load{Dst: t.xr(i.Dst), Ptr: t.b.Field(slot, 0)})
+		t.ins(&ir.Load{Dst: t.xs(i.Dst), Ptr: t.b.Field(slot, 1)})
+	} else {
+		t.ins(&ir.Load{Dst: t.xr(i.Dst), Ptr: slot})
+	}
+}
+
+func (t *transformer) emitRet(i *ir.Ret) {
+	if i.Val == nil || !ir.IsPointer(i.Val.Type) {
+		var v *ir.Reg
+		if i.Val != nil {
+			v = t.x(i.Val)
+		}
+		t.ins(&ir.Ret{Val: v})
+		return
+	}
+	if t.rvSlot == nil {
+		t.errf("pointer return without return-value slot")
+		return
+	}
+	if t.sds() {
+		t.ins(&ir.Store{Ptr: t.b.Field(t.rvSlot, 0), Val: t.xr(i.Val)})
+		t.ins(&ir.Store{Ptr: t.b.Field(t.rvSlot, 1), Val: t.xs(i.Val)})
+	} else {
+		t.ins(&ir.Store{Ptr: t.rvSlot, Val: t.xr(i.Val)})
+	}
+	t.ins(&ir.Ret{Val: t.x(i.Val)})
+}
+
+func (t *transformer) phiOf(aggregate ir.Type, field int) int {
+	switch agg := aggregate.(type) {
+	case *ir.StructType:
+		return t.comp.Phi(agg, field)
+	case *ir.UnionType:
+		idx := 0
+		for j := 0; j < field; j++ {
+			if t.comp.ShadowAug(agg.Elem(j)) != nil {
+				idx++
+			}
+		}
+		return idx
+	default:
+		t.errf("fieldaddr through non-aggregate %s", aggregate)
+		return 0
+	}
+}
+
+func fieldTypeOf(aggregate ir.Type, field int) ir.Type {
+	switch agg := aggregate.(type) {
+	case *ir.StructType:
+		return agg.Field(field)
+	case *ir.UnionType:
+		return agg.Elem(field)
+	default:
+		return ir.Void
+	}
+}
+
+// ---------------------------------------------------------------------------
+// main() handling (§3.1.1)
+
+func (t *transformer) synthesizeMain() {
+	origMain := t.src.Func("main")
+	if origMain == nil || origMain.External {
+		t.errf("module has no transformable main")
+		return
+	}
+	sig := origMain.Sig
+	if ir.IsPointer(sig.Ret) {
+		t.errf("main returning a pointer is not supported")
+		return
+	}
+	names := make([]string, len(origMain.Params))
+	for i, p := range origMain.Params {
+		names[i] = p.Name
+	}
+	newMain := t.dst.AddFunc("main", ir.FuncOf(sig.Ret, sig.Params...), names...)
+	t.b.F = newMain
+	t.b.SetBlock(newMain.NewBlock("entry"))
+
+	switch {
+	case len(sig.Params) == 0:
+		r := t.b.Call(MainAugName)
+		t.b.Ret(r)
+	case len(sig.Params) == 2 && sig.Params[0].Kind() == ir.KindInt && isCharPP(sig.Params[1]):
+		// Replica and shadow memory for command-line arguments cannot be
+		// created at compile time (§3.1.1, Figure 3.1); runtime support
+		// externs build them before mainAug runs.
+		argc, argv := newMain.Params[0], newMain.Params[1]
+		charPP := sig.Params[1]
+		repSig := ir.FuncOf(charPP, sig.Params[0], charPP)
+		t.dst.AddExtern(ArgvRepExtern, repSig)
+		argvR := t.b.Call(ArgvRepExtern, argc, argv)
+		callArgs := []*ir.Reg{argc, argv, argvR}
+		if t.sds() {
+			// spt(argv): a pointer to the shadow type of argv's pointee
+			// (the per-entry {rop, nsop} array of Figure 3.1).
+			satPtr := ir.Ptr(t.comp.ShadowAug(charPP.(*ir.PointerType).Elem))
+			sdwSig := ir.FuncOf(satPtr, sig.Params[0], charPP, charPP)
+			t.dst.AddExtern(ArgvSdwExtern, sdwSig)
+			argvS := t.b.Call(ArgvSdwExtern, argc, argv, argvR)
+			callArgs = append(callArgs, argvS)
+		}
+		r := t.b.Call(MainAugName, callArgs...)
+		t.b.Ret(r)
+	default:
+		t.errf("unsupported main signature %s", sig)
+	}
+}
+
+func isCharPP(t ir.Type) bool {
+	p1, ok := t.(*ir.PointerType)
+	if !ok {
+		return false
+	}
+	p2, ok := p1.Elem.(*ir.PointerType)
+	if !ok {
+		return false
+	}
+	return ir.TypesEqual(p2.Elem, ir.I8)
+}

@@ -1,0 +1,625 @@
+package dpmr_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+)
+
+// buildLinkedList reproduces the paper's running example (Figures 2.9,
+// 2.10, 4.1, 4.2): createNode builds a list, getSum traverses it.
+func buildLinkedList() *ir.Module {
+	m := ir.NewModule("linkedlist")
+	b := ir.NewBuilder(m)
+	ll := ir.NamedStruct("LinkedList")
+	ll.SetBody(ir.I32, ir.Ptr(ll))
+	llp := ir.Ptr(ll)
+
+	create := b.Function("createNode", llp, []string{"data", "last"}, ir.I32, llp)
+	data, last := create.Params[0], create.Params[1]
+	n := b.Malloc(ll)
+	b.Store(b.Field(n, 0), data)
+	b.Store(b.Field(n, 1), b.Null(llp))
+	hasLast := b.Cmp(ir.CmpNE, last, b.Null(llp))
+	b.If(hasLast, func() {
+		b.Store(b.Field(last, 1), n)
+	}, nil)
+	b.Ret(n)
+
+	getSum := b.Function("getSum", ir.I32, []string{"n"}, llp)
+	cur := getSum.Params[0]
+	sum := b.Reg("sum", ir.I32)
+	b.MoveTo(sum, b.I32(0))
+	b.While("walk", func() *ir.Reg {
+		return b.Cmp(ir.CmpNE, cur, b.Null(llp))
+	}, func() {
+		v := b.Load(b.Field(cur, 0))
+		b.BinTo(sum, ir.OpAdd, sum, v)
+		b.LoadTo(cur, b.Field(cur, 1))
+	})
+	b.Ret(sum)
+
+	b.Function("main", ir.I64, nil)
+	head := b.Reg("head", llp)
+	tail := b.Reg("tail", llp)
+	b.MoveTo(head, b.Null(llp))
+	b.MoveTo(tail, b.Null(llp))
+	b.ForRange("i", b.I64(1), b.I64(11), func(i *ir.Reg) {
+		node := b.Call("createNode", b.Convert(i, ir.I32), tail)
+		b.MoveTo(tail, node)
+		isFirst := b.Cmp(ir.CmpEQ, head, b.Null(llp))
+		b.If(isFirst, func() { b.MoveTo(head, node) }, nil)
+	})
+	s := b.Call("getSum", head)
+	b.Out(b.Convert(s, ir.I64), ir.OutInt)
+	// Free the list.
+	b.While("freeing", func() *ir.Reg {
+		return b.Cmp(ir.CmpNE, head, b.Null(llp))
+	}, func() {
+		nxt := b.Load(b.Field(head, 1))
+		b.Free(head)
+		b.MoveTo(head, nxt)
+	})
+	b.Ret(b.Convert(s, ir.I64))
+	return m
+}
+
+func runGolden(t *testing.T, m *ir.Module, seed int64) *interp.Result {
+	t.Helper()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("source verify: %v", err)
+	}
+	res := interp.Run(m, interp.Config{Externs: extlib.Base(), Seed: seed})
+	if res.Kind != interp.ExitNormal {
+		t.Fatalf("golden run failed: %v (%s)", res.Kind, res.Reason)
+	}
+	return res
+}
+
+func runTransformed(t *testing.T, m *ir.Module, cfg dpmr.Config, seed int64) *interp.Result {
+	t.Helper()
+	xm, err := dpmr.Transform(m, cfg)
+	if err != nil {
+		t.Fatalf("transform (%v): %v", cfg.Design, err)
+	}
+	design := cfg.Design
+	if design == 0 {
+		design = dpmr.SDS
+	}
+	return interp.Run(xm, interp.Config{Externs: extlib.Wrapped(design), Seed: seed})
+}
+
+// assertEquivalent checks the cardinal DPMR property: under error-free
+// execution, application and replica states do not diverge, so the
+// transformed program behaves identically to the original.
+func assertEquivalent(t *testing.T, golden, xres *interp.Result, label string) {
+	t.Helper()
+	if xres.Kind != interp.ExitNormal {
+		t.Fatalf("%s: transformed run: %v (%s)", label, xres.Kind, xres.Reason)
+	}
+	if xres.Code != golden.Code {
+		t.Errorf("%s: exit code %d, golden %d", label, xres.Code, golden.Code)
+	}
+	if !bytes.Equal(xres.Output, golden.Output) {
+		t.Errorf("%s: output %q, golden %q", label, xres.Output, golden.Output)
+	}
+}
+
+func TestLinkedListEquivalenceAcrossConfigs(t *testing.T) {
+	m := buildLinkedList()
+	golden := runGolden(t, m, 1)
+	if want := "55\n"; string(golden.Output) != want {
+		t.Fatalf("golden output %q, want %q", golden.Output, want)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		for _, div := range dpmr.Diversities() {
+			for _, pol := range dpmr.Policies() {
+				cfg := dpmr.Config{Design: design, Diversity: div, Policy: pol, Seed: 42}
+				label := design.String() + "/" + div.Name() + "/" + pol.Name()
+				xres := runTransformed(t, m, cfg, 1)
+				assertEquivalent(t, golden, xres, label)
+			}
+		}
+	}
+}
+
+func TestTransformedOverheadIsPositive(t *testing.T) {
+	m := buildLinkedList()
+	golden := runGolden(t, m, 1)
+	xres := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Seed: 7}, 1)
+	if xres.Cycles <= golden.Cycles {
+		t.Errorf("transformed cycles %d not above golden %d", xres.Cycles, golden.Cycles)
+	}
+	if xres.Mem.HeapAllocs <= golden.Mem.HeapAllocs {
+		t.Errorf("transformed allocs %d not above golden %d", xres.Mem.HeapAllocs, golden.Mem.HeapAllocs)
+	}
+}
+
+func TestSDSAllocatesShadowsMDSDoesNot(t *testing.T) {
+	m := buildLinkedList()
+	sds := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Seed: 7}, 1)
+	mds := runTransformed(t, m, dpmr.Config{Design: dpmr.MDS, Seed: 7}, 1)
+	// LinkedList contains a pointer, so SDS adds a third (shadow) object
+	// per node: memory footprint strictly above MDS (§4.1: SDS 2–4×,
+	// MDS 2×).
+	if sds.Mem.HeapPeak <= mds.Mem.HeapPeak {
+		t.Errorf("SDS heap peak %d not above MDS %d", sds.Mem.HeapPeak, mds.Mem.HeapPeak)
+	}
+	if sds.Mem.HeapAllocs != mds.Mem.HeapAllocs+10+1 { // 10 nodes + argv? no argv: 10 shadow nodes
+		t.Logf("allocs: sds=%d mds=%d (informational)", sds.Mem.HeapAllocs, mds.Mem.HeapAllocs)
+	}
+}
+
+// Figure 2.9/2.10 structural expectations on the transformed text.
+func TestTransformedTextSDS(t *testing.T) {
+	m := buildLinkedList()
+	xm, err := dpmr.Transform(m, dpmr.Config{Design: dpmr.SDS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := xm.String()
+	for _, want := range []string{
+		"@mainAug",               // §3.1.1 main renaming
+		"rvSop",                  // augmented pointer-return parameter
+		"last_r",                 // ROP parameter
+		"last_s",                 // NSOP parameter
+		"malloc %LinkedList.sdw", // shadow object allocation
+		"assert",                 // load checks
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("transformed module missing %q", want)
+		}
+	}
+	// New main calls mainAug.
+	mainFn := xm.Func("main")
+	if mainFn == nil {
+		t.Fatal("no synthesized main")
+	}
+	if !strings.Contains(mainFn.String(), "call @mainAug") {
+		t.Error("main must delegate to mainAug")
+	}
+}
+
+func TestTransformedTextMDS(t *testing.T) {
+	m := buildLinkedList()
+	xm, err := dpmr.Transform(m, dpmr.Config{Design: dpmr.MDS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := xm.String()
+	if strings.Contains(text, ".sdw") {
+		t.Error("MDS must not allocate shadow objects")
+	}
+	if !strings.Contains(text, "rvRopPtr") {
+		t.Error("MDS pointer returns use rvRopPtr")
+	}
+}
+
+// buildOverflow constructs a program with a deliberate buffer overflow
+// whose golden run silently corrupts a neighbour object.
+func buildOverflow() *ir.Module {
+	m := ir.NewModule("overflow")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	x := b.MallocN(ir.I64, b.I64(3)) // 24-byte class
+	y := b.MallocN(ir.I64, b.I64(3))
+	b.Store(b.Index(x, b.I64(0)), b.I64(7))
+	b.Store(b.Index(y, b.I64(0)), b.I64(5))
+	// Out-of-bounds store: x[5] lands 40 bytes past x — in the golden
+	// layout that is y[0]; in the DPMR layout it is the replica of x.
+	b.Store(b.Index(x, b.I64(5)), b.I64(999))
+	v := b.Load(b.Index(x, b.I64(0)))
+	w := b.Load(b.Index(y, b.I64(0)))
+	b.Out(b.Add(v, w), ir.OutInt)
+	b.Ret(b.I64(0))
+	return m
+}
+
+func TestOverflowDetectedByImplicitDiversity(t *testing.T) {
+	m := buildOverflow()
+	golden := interp.Run(m, interp.Config{Externs: extlib.Base()})
+	if golden.Kind != interp.ExitNormal {
+		t.Fatalf("golden: %v (%s)", golden.Kind, golden.Reason)
+	}
+	// Golden output is corrupted (7+999 instead of 7+5): the bug is
+	// silent there.
+	if string(golden.Output) != "1006\n" {
+		t.Fatalf("golden output %q", golden.Output)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xres := runTransformed(t, m, dpmr.Config{Design: design}, 1)
+		if xres.Kind != interp.ExitDetect {
+			t.Errorf("%v: overflow not detected: %v (%s) out=%q", design, xres.Kind, xres.Reason, xres.Output)
+		}
+	}
+}
+
+// buildDanglingRead reads a freed buffer at word 1 (word 0 is clobbered by
+// allocator metadata, word 1 keeps stale data).
+func buildDanglingRead() *ir.Module {
+	m := ir.NewModule("dangling")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	x := b.MallocN(ir.I64, b.I64(3))
+	b.Store(b.Index(x, b.I64(1)), b.I64(7))
+	b.Free(x)
+	v := b.Load(b.Index(x, b.I64(1))) // read after free
+	b.Out(v, ir.OutInt)
+	b.Ret(b.I64(0))
+	return m
+}
+
+func TestZeroBeforeFreeDetectsDanglingRead(t *testing.T) {
+	m := buildDanglingRead()
+	// Without diversity both application and replica read the same stale
+	// value: undetected (the §2.6 motivation for zero-before-free).
+	plain := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Diversity: dpmr.NoDiversity{}}, 1)
+	if plain.Kind != interp.ExitNormal {
+		t.Fatalf("no-diversity: %v (%s)", plain.Kind, plain.Reason)
+	}
+	// With zero-before-free the replica reads 0 while the application
+	// reads 7: detected.
+	zbf := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Diversity: dpmr.ZeroBeforeFree{}}, 1)
+	if zbf.Kind != interp.ExitDetect {
+		t.Errorf("zero-before-free: %v (%s), want detection", zbf.Kind, zbf.Reason)
+	}
+}
+
+func TestRearrangeHeapChangesReplicaPlacement(t *testing.T) {
+	m := buildLinkedList()
+	golden := runGolden(t, m, 1)
+	xres := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Diversity: dpmr.RearrangeHeap{}}, 1)
+	assertEquivalent(t, golden, xres, "rearrange-heap")
+	plain := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS}, 1)
+	if xres.Mem.HeapAllocs <= plain.Mem.HeapAllocs {
+		t.Error("rearrange-heap must issue extra (dummy) allocations")
+	}
+}
+
+func TestRestrictionVerifierIntToPtr(t *testing.T) {
+	m := ir.NewModule("i2p")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	p := b.Malloc(ir.I64)
+	raw := b.PtrToInt(p)
+	q := b.IntToPtr(raw, ir.I64)
+	b.Ret(b.Load(q))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		if _, err := dpmr.Transform(m, dpmr.Config{Design: design}); err == nil {
+			t.Errorf("%v: int-to-pointer cast must be rejected", design)
+		}
+	}
+}
+
+func TestRestrictionVerifierPointerTyping(t *testing.T) {
+	m := ir.NewModule("badstore")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	slot := b.Malloc(ir.I64)
+	p := b.Malloc(ir.I32)
+	// Store a pointer through an i64*-typed slot: forbidden both designs.
+	b.Store(slot, b.PtrToInt(p)) // legal: stores an integer
+	slotAsPP := b.Cast(slot, ir.Ptr(ir.I32))
+	b.Store(slotAsPP, p) // pointer stored through... actually typed fine
+	b.Ret(b.I64(0))
+	// Build the actual violation: store pointer via integer-typed slot.
+	m2 := ir.NewModule("badstore2")
+	b2 := ir.NewBuilder(m2)
+	b2.Function("main", ir.I64, nil)
+	islot := b2.Malloc(ir.I64)
+	q := b2.Malloc(ir.I32)
+	b2.B.Append(&ir.Store{Ptr: islot, Val: q})
+	b2.Ret(b2.I64(0))
+	err := dpmr.VerifyRestrictions(m2, dpmr.SDS)
+	if err == nil {
+		t.Error("SDS: pointer stored as non-pointer must be rejected")
+	}
+	if err := dpmr.VerifyRestrictions(m2, dpmr.MDS); err == nil {
+		t.Error("MDS: pointer stored as non-pointer must be rejected")
+	}
+}
+
+func TestSDSRejectsNonPointerThroughPointerSlot(t *testing.T) {
+	m := ir.NewModule("nonptr")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	pp := b.Malloc(ir.Ptr(ir.I64))
+	v := b.I64(7)
+	b.B.Append(&ir.Store{Ptr: pp, Val: v})
+	b.Ret(b.I64(0))
+	if err := dpmr.VerifyRestrictions(m, dpmr.SDS); err == nil {
+		t.Error("SDS requires non-pointers typed as non-pointers at stores")
+	}
+	// §4.4: MDS drops this restriction.
+	if err := dpmr.VerifyRestrictions(m, dpmr.MDS); err != nil {
+		t.Errorf("MDS should accept: %v", err)
+	}
+}
+
+func TestMDSAllowsRawPointerArithmeticSDSRejects(t *testing.T) {
+	m := ir.NewModule("ptrarith")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	arr := b.MallocN(ir.I64, b.I64(4))
+	b.Store(b.Index(arr, b.I64(2)), b.I64(77))
+	// Raw pointer arithmetic: p2 = arr + 16 bytes.
+	p2 := b.Reg("p2", ir.Ptr(ir.I64))
+	b.B.Append(&ir.BinOp{Dst: p2, X: arr, Y: b.I64(16), Op: ir.OpAdd})
+	b.Ret(b.Load(p2))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dpmr.Transform(m, dpmr.Config{Design: dpmr.SDS}); err == nil {
+		t.Error("SDS must reject raw pointer arithmetic")
+	}
+	xres := runTransformed(t, m, dpmr.Config{Design: dpmr.MDS}, 1)
+	if xres.Kind != interp.ExitNormal || xres.Code != 77 {
+		t.Errorf("MDS pointer arithmetic: %v code %d (%s)", xres.Kind, xres.Code, xres.Reason)
+	}
+}
+
+func TestGlobalsReplicatedWithRefs(t *testing.T) {
+	m := ir.NewModule("globals")
+	cnt := m.AddGlobal("counter", ir.I64)
+	cnt.Init = []byte{9, 0, 0, 0, 0, 0, 0, 0}
+	holder := m.AddGlobal("holder", ir.Ptr(ir.I64))
+	holder.Refs = []ir.RefInit{{Offset: 0, Global: "counter"}}
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	hp := b.GlobalAddr("holder")
+	cp := b.Load(hp)
+	v := b.Load(cp)
+	b.Store(cp, b.Add(v, b.I64(1)))
+	b.Ret(b.Load(b.GlobalAddr("counter")))
+	golden := runGolden(t, m, 1)
+	if golden.Code != 10 {
+		t.Fatalf("golden code %d", golden.Code)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xres := runTransformed(t, m, dpmr.Config{Design: design}, 1)
+		assertEquivalent(t, golden, xres, design.String()+"/globals")
+	}
+}
+
+func TestExternWrappersStrcpyPuts(t *testing.T) {
+	m := ir.NewModule("externs")
+	if err := extlib.Declare(m, "strcpy", "puts", "strlen"); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	src := b.MallocN(ir.I8, b.I64(16))
+	for i, c := range []byte("hello") {
+		b.Store(b.Index(src, b.I64(int64(i))), b.I8(int64(c)))
+	}
+	b.Store(b.Index(src, b.I64(5)), b.I8(0))
+	dst := b.MallocN(ir.I8, b.I64(16))
+	cp := b.Call("strcpy", dst, src)
+	b.Call("puts", cp)
+	n := b.Call("strlen", cp)
+	b.Ret(n)
+	golden := runGolden(t, m, 1)
+	if string(golden.Output) != "hello\n" || golden.Code != 5 {
+		t.Fatalf("golden: %q code %d", golden.Output, golden.Code)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xres := runTransformed(t, m, dpmr.Config{Design: design}, 1)
+		assertEquivalent(t, golden, xres, design.String()+"/strcpy")
+	}
+}
+
+func TestQsortWrapperWithCallback(t *testing.T) {
+	m := ir.NewModule("qsort")
+	if err := extlib.Declare(m, "qsort_i64"); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewBuilder(m)
+	// Comparator: *a - *b.
+	cmp := b.Function("cmpI64", ir.I64, []string{"a", "b"}, ir.Ptr(ir.I64), ir.Ptr(ir.I64))
+	av := b.Load(cmp.Params[0])
+	bv := b.Load(cmp.Params[1])
+	b.Ret(b.Sub(av, bv))
+
+	b.Function("main", ir.I64, nil)
+	arr := b.MallocN(ir.I64, b.I64(8))
+	vals := []int64{5, 3, 8, 1, 9, 2, 7, 4}
+	for i, v := range vals {
+		b.Store(b.Index(arr, b.I64(int64(i))), b.I64(v))
+	}
+	fp := b.FuncAddr("cmpI64")
+	b.Call("qsort_i64", arr, b.I64(8), fp)
+	b.ForRange("i", b.I64(0), b.I64(8), func(i *ir.Reg) {
+		b.OutInt(b.Load(b.Index(arr, i)))
+	})
+	b.Ret(b.I64(0))
+
+	golden := runGolden(t, m, 1)
+	if string(golden.Output) != "1\n2\n3\n4\n5\n7\n8\n9\n" {
+		t.Fatalf("golden: %q", golden.Output)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xres := runTransformed(t, m, dpmr.Config{Design: design}, 1)
+		assertEquivalent(t, golden, xres, design.String()+"/qsort")
+	}
+}
+
+func TestFunctionPointerIndirectCalls(t *testing.T) {
+	m := ir.NewModule("fnptr")
+	b := ir.NewBuilder(m)
+	sig := ir.FuncOf(ir.I64, ir.I64)
+	b.Function("twice", ir.I64, []string{"x"}, ir.I64)
+	b.Ret(b.Mul(b.F.Params[0], b.I64(2)))
+	b.Function("thrice", ir.I64, []string{"x"}, ir.I64)
+	b.Ret(b.Mul(b.F.Params[0], b.I64(3)))
+
+	b.Function("main", ir.I64, nil)
+	slot := b.Malloc(ir.Ptr(sig))
+	b.Store(slot, b.FuncAddr("twice"))
+	f1 := b.Load(slot)
+	r1 := b.CallPtr(f1, b.I64(10))
+	b.Store(slot, b.FuncAddr("thrice"))
+	f2 := b.Load(slot)
+	r2 := b.CallPtr(f2, b.I64(10))
+	b.Free(slot)
+	b.Ret(b.Add(r1, r2))
+
+	golden := runGolden(t, m, 1)
+	if golden.Code != 50 {
+		t.Fatalf("golden code %d", golden.Code)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xres := runTransformed(t, m, dpmr.Config{Design: design}, 1)
+		assertEquivalent(t, golden, xres, design.String()+"/fnptr")
+	}
+}
+
+func TestArgvReplication(t *testing.T) {
+	m := ir.NewModule("argvprog")
+	if err := extlib.Declare(m, "atoi", "puts"); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, []string{"argc", "argv"}, ir.I64, ir.Ptr(ir.Ptr(ir.I8)))
+	argc, argv := b.F.Params[0], b.F.Params[1]
+	sum := b.Reg("sum", ir.I64)
+	b.MoveTo(sum, b.I64(0))
+	b.ForRange("i", b.I64(1), argc, func(i *ir.Reg) {
+		arg := b.Load(b.Index(argv, i))
+		b.Call("puts", arg)
+		v := b.Call("atoi", arg)
+		b.BinTo(sum, ir.OpAdd, sum, v)
+	})
+	b.Ret(sum)
+
+	args := []string{"12", "30"}
+	golden := interp.Run(m, interp.Config{Externs: extlib.Base(), Args: args})
+	if golden.Kind != interp.ExitNormal || golden.Code != 42 {
+		t.Fatalf("golden: %v code %d (%s)", golden.Kind, golden.Code, golden.Reason)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xm, err := dpmr.Transform(m, dpmr.Config{Design: design})
+		if err != nil {
+			t.Fatalf("%v: %v", design, err)
+		}
+		xres := interp.Run(xm, interp.Config{Externs: extlib.Wrapped(design), Args: args})
+		assertEquivalent(t, golden, xres, design.String()+"/argv")
+	}
+}
+
+func TestWastefulShadowSizingAblation(t *testing.T) {
+	m := buildLinkedList()
+	golden := runGolden(t, m, 1)
+	exact := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS}, 1)
+	waste := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, WastefulShadowSizing: true}, 1)
+	assertEquivalent(t, golden, waste, "wasteful sizing")
+	if waste.Mem.HeapPeak <= exact.Mem.HeapPeak {
+		t.Errorf("wasteful sizing peak %d not above exact %d", waste.Mem.HeapPeak, exact.Mem.HeapPeak)
+	}
+}
+
+func TestStaticPolicyReducesChecksTemporalAddsWork(t *testing.T) {
+	m := buildLinkedList()
+	all := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Policy: dpmr.AllLoads{}}, 1)
+	s10 := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Policy: dpmr.StaticLoadChecking{Percent: 10}}, 1)
+	tmp := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Policy: dpmr.TemporalHalf}, 1)
+	if s10.Cycles >= all.Cycles {
+		t.Errorf("static 10%% cycles %d not below all-loads %d", s10.Cycles, all.Cycles)
+	}
+	// §3.8: temporal checking *increases* overhead relative to all loads
+	// (gate computation, extra branches).
+	if tmp.Cycles <= all.Cycles {
+		t.Errorf("temporal 1/2 cycles %d not above all-loads %d", tmp.Cycles, all.Cycles)
+	}
+}
+
+func TestPeriodicPolicyCheaperThanTemporal(t *testing.T) {
+	m := buildLinkedList()
+	tmp := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Policy: dpmr.TemporalHalf}, 1)
+	per := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Policy: dpmr.PeriodicLoadChecking{Period: 2}}, 1)
+	if per.Cycles >= tmp.Cycles {
+		t.Errorf("periodic cycles %d not below temporal %d (Fig 3.16 optimization)", per.Cycles, tmp.Cycles)
+	}
+}
+
+func TestTemporalPolicyStillDetects(t *testing.T) {
+	// A repeated overflow read: even with reduced checking, periodicity
+	// of the bug lets temporal checking catch it (§3.8 robustness).
+	m := ir.NewModule("periodicbug")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	x := b.MallocN(ir.I64, b.I64(3))
+	y := b.MallocN(ir.I64, b.I64(3))
+	b.Store(b.Index(y, b.I64(0)), b.I64(1))
+	// Corrupt all three words of x's replica (overflow out of x).
+	for k := int64(5); k <= 7; k++ {
+		b.Store(b.Index(x, b.I64(k)), b.I64(999))
+	}
+	acc := b.Reg("acc", ir.I64)
+	b.MoveTo(acc, b.I64(0))
+	b.ForRange("i", b.I64(0), b.I64(200), func(i *ir.Reg) {
+		b.BinTo(acc, ir.OpAdd, acc, b.Load(b.Index(x, b.I64(0))))
+		b.BinTo(acc, ir.OpAdd, acc, b.Load(b.Index(x, b.I64(1))))
+		b.BinTo(acc, ir.OpAdd, acc, b.Load(b.Index(x, b.I64(2))))
+	})
+	b.Out(acc, ir.OutInt)
+	b.Ret(b.I64(0))
+	for _, pol := range []dpmr.Policy{dpmr.TemporalEighth, dpmr.StaticLoadChecking{Percent: 50}} {
+		xres := runTransformed(t, m, dpmr.Config{Design: dpmr.SDS, Policy: pol, Seed: 2}, 1)
+		if xres.Kind != interp.ExitDetect {
+			t.Errorf("%s: %v (%s), want detection", pol.Name(), xres.Kind, xres.Reason)
+		}
+	}
+}
+
+func TestStackAllocationsReplicated(t *testing.T) {
+	m := ir.NewModule("stack")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	p := b.Alloca(ir.I64)
+	b.Store(p, b.I64(11))
+	arr := b.AllocaN(ir.I32, b.I64(4))
+	b.Store(b.Index(arr, b.I64(2)), b.I32(31))
+	v := b.Load(p)
+	w := b.Convert(b.Load(b.Index(arr, b.I64(2))), ir.I64)
+	b.Ret(b.Add(v, w))
+	golden := runGolden(t, m, 1)
+	if golden.Code != 42 {
+		t.Fatalf("golden code %d", golden.Code)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xres := runTransformed(t, m, dpmr.Config{Design: design}, 1)
+		assertEquivalent(t, golden, xres, design.String()+"/stack")
+	}
+}
+
+func TestDiversityAndPolicyLookups(t *testing.T) {
+	for _, name := range []string{"no-diversity", "zero-before-free", "rearrange-heap", "pad-malloc 8", "pad-malloc 1024"} {
+		d, err := dpmr.DiversityByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if d.Name() != name && name != "no-diversity" {
+			t.Errorf("round trip %q → %q", name, d.Name())
+		}
+	}
+	if _, err := dpmr.DiversityByName("bogus"); err == nil {
+		t.Error("bogus diversity must error")
+	}
+	for _, name := range []string{"all loads", "temporal 1/2", "static 10%", "periodic 1/2"} {
+		if _, err := dpmr.PolicyByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := dpmr.PolicyByName("bogus"); err == nil {
+		t.Error("bogus policy must error")
+	}
+}

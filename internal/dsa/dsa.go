@@ -1,0 +1,491 @@
+// Package dsa implements the pointer analysis that Chapter 5 uses to
+// extend DPMR's scope to programs the §2.9/§4.4 restriction verifiers
+// reject. It is a whole-program, flow-insensitive, unification-based
+// points-to analysis in the spirit of Data Structure Analysis, maintaining
+// the DS-node flags of §5.1 (heap/stack/global segments, array, collapsed,
+// pointer-to-int, int-to-pointer, unknown, completeness). Two
+// simplifications relative to full DSA are deliberate and documented in
+// DESIGN.md: the analysis is context-insensitive (one graph for the whole
+// program rather than per-acyclic-call-path heap cloning) and
+// field-insensitive (a derived pointer aliases its base object), both of
+// which only make the markX exclusion more conservative, never unsound.
+//
+// Its product is the markX set (Figure 5.7): memory that DPMR must not
+// replicate because its pointer behaviour cannot be reasoned about —
+// int-to-pointer casts, pointers masquerading as integers, and unknown
+// allocation sources. The dpmr.Exclusion implementation returned by
+// Exclusion() feeds directly into the transformer, realizing the
+// refined partial replication of §5.3.
+package dsa
+
+import (
+	"fmt"
+	"sort"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/ir"
+)
+
+// Flags are DS node flags (§5.1).
+type Flags uint16
+
+// Flag values. They start at 1<<0 and mirror the paper's letters.
+const (
+	FlagHeap       Flags = 1 << iota // H
+	FlagStack                        // S
+	FlagGlobal                       // G
+	FlagArray                        // A
+	FlagCollapsed                    // O
+	FlagPtrToInt                     // P
+	FlagIntToPtr                     // 2
+	FlagUnknown                      // U
+	FlagIncomplete                   // I (¬C)
+	FlagFunc
+)
+
+func (f Flags) String() string {
+	out := ""
+	add := func(b Flags, c string) {
+		if f&b != 0 {
+			out += c
+		}
+	}
+	add(FlagHeap, "H")
+	add(FlagStack, "S")
+	add(FlagGlobal, "G")
+	add(FlagArray, "A")
+	add(FlagCollapsed, "O")
+	add(FlagPtrToInt, "P")
+	add(FlagIntToPtr, "2")
+	add(FlagUnknown, "U")
+	add(FlagIncomplete, "I")
+	add(FlagFunc, "F")
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+// Node is a DS node: a set of memory objects the program may treat
+// uniformly. Nodes form union-find trees; always operate on find(n).
+type Node struct {
+	id     int
+	parent *Node
+	flags  Flags
+	points *Node // single outgoing points-to edge (unification-based)
+
+	Globals []string
+	Funcs   []string
+	Sites   []int
+}
+
+// Flags returns the node's flag set.
+func (n *Node) Flags() Flags { return n.find().flags }
+
+func (n *Node) find() *Node {
+	root := n
+	for root.parent != nil {
+		root = root.parent
+	}
+	// Path compression.
+	for n.parent != nil {
+		next := n.parent
+		n.parent = root
+		n = next
+	}
+	return root
+}
+
+// Result is the analysis output.
+type Result struct {
+	nodes    []*Node
+	regNode  map[regKey]*Node
+	siteNode map[int]*Node
+	globNode map[string]*Node
+	excluded map[*Node]bool
+	nextID   int
+}
+
+type regKey struct {
+	fn  string
+	reg int
+}
+
+// Analyze runs the analysis over a whole module.
+func Analyze(m *ir.Module) *Result {
+	r := &Result{
+		regNode:  make(map[regKey]*Node),
+		siteNode: make(map[int]*Node),
+		globNode: make(map[string]*Node),
+		excluded: make(map[*Node]bool),
+	}
+	// Global variable nodes.
+	for _, g := range m.Globals {
+		n := r.newNode()
+		n.flags |= FlagGlobal
+		n.Globals = append(n.Globals, g.Name)
+		r.globNode[g.Name] = n
+		// Pointer initializers give the global's cell outgoing edges.
+		for _, ref := range g.Refs {
+			if ref.Global != "" {
+				r.addEdge(n, r.globalNode(ref.Global))
+			}
+		}
+	}
+	// Process every instruction of every function (flow-insensitive).
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				r.process(m, f, in)
+			}
+		}
+	}
+	r.markX()
+	return r
+}
+
+func (r *Result) newNode() *Node {
+	n := &Node{id: r.nextID}
+	r.nextID++
+	r.nodes = append(r.nodes, n)
+	return n
+}
+
+func (r *Result) globalNode(name string) *Node {
+	if n, ok := r.globNode[name]; ok {
+		return n.find()
+	}
+	n := r.newNode()
+	n.flags |= FlagGlobal
+	r.globNode[name] = n
+	return n
+}
+
+func (r *Result) reg(f *ir.Func, reg *ir.Reg) *Node {
+	k := regKey{fn: f.Name, reg: reg.ID}
+	if n, ok := r.regNode[k]; ok {
+		return n.find()
+	}
+	n := r.newNode()
+	r.regNode[k] = n
+	return n
+}
+
+// pts returns (creating on demand) the points-to target of n.
+func (r *Result) pts(n *Node) *Node {
+	n = n.find()
+	if n.points == nil {
+		n.points = r.newNode()
+	}
+	return n.points.find()
+}
+
+// addEdge unifies n's points-to target with target.
+func (r *Result) addEdge(n, target *Node) {
+	n = n.find()
+	target = target.find()
+	if n.points == nil {
+		n.points = target
+		return
+	}
+	r.unify(n.points, target)
+}
+
+// unify merges two nodes (Steensgaard-style), merging flags, members, and
+// recursively their points-to targets.
+func (r *Result) unify(a, b *Node) *Node {
+	a, b = a.find(), b.find()
+	if a == b {
+		return a
+	}
+	// Merge b into a.
+	b.parent = a
+	a.flags |= b.flags
+	a.Globals = append(a.Globals, b.Globals...)
+	a.Funcs = append(a.Funcs, b.Funcs...)
+	a.Sites = append(a.Sites, b.Sites...)
+	bp := b.points
+	b.points = nil
+	if bp != nil {
+		if a.points == nil {
+			a.points = bp
+		} else {
+			r.unify(a.points, bp)
+		}
+	}
+	return a
+}
+
+func (r *Result) process(m *ir.Module, f *ir.Func, in ir.Instr) {
+	switch i := in.(type) {
+	case *ir.Alloc:
+		target := r.pts(r.reg(f, i.Dst))
+		switch i.Kind {
+		case ir.AllocHeap:
+			target.find().flags |= FlagHeap
+		default:
+			target.find().flags |= FlagStack
+		}
+		if i.Count != nil {
+			target.find().flags |= FlagArray
+		}
+		target = target.find()
+		target.Sites = append(target.Sites, i.Site)
+		r.siteNode[i.Site] = target
+	case *ir.GlobalAddr:
+		r.addEdge(r.reg(f, i.Dst), r.globalNode(i.G))
+	case *ir.FuncAddr:
+		fn := r.pts(r.reg(f, i.Dst))
+		fn = fn.find()
+		fn.flags |= FlagFunc
+		fn.Funcs = append(fn.Funcs, i.Fn)
+	case *ir.Move:
+		r.unify(r.reg(f, i.Dst), r.reg(f, i.Src))
+	case *ir.Bitcast:
+		r.unify(r.reg(f, i.Dst), r.reg(f, i.Src))
+	case *ir.FieldAddr:
+		// Field-insensitive: the derived pointer aliases the base.
+		r.unify(r.reg(f, i.Dst), r.reg(f, i.Ptr))
+	case *ir.IndexAddr:
+		r.unify(r.reg(f, i.Dst), r.reg(f, i.Ptr))
+		r.pts(r.reg(f, i.Ptr)).find().flags |= FlagArray
+	case *ir.Load:
+		obj := r.pts(r.reg(f, i.Ptr))
+		slotPtr := ir.IsPointer(i.Ptr.Elem())
+		switch {
+		case ir.IsPointer(i.Dst.Type) && slotPtr:
+			// dst = *ptr: dst points wherever the stored pointers point.
+			r.addEdge(r.reg(f, i.Dst), r.pts(obj))
+		case ir.IsPointer(i.Dst.Type) && !slotPtr:
+			// A pointer loaded from memory not typed as a pointer: its
+			// targets cannot be tracked (§5.2).
+			r.addEdge(r.reg(f, i.Dst), r.pts(obj))
+			r.pts(obj).find().flags |= FlagUnknown
+			obj.find().flags |= FlagCollapsed
+		case !ir.IsPointer(i.Dst.Type) && slotPtr:
+			// A pointer read as an integer (Figure 5.1(b) layered
+			// pointer-to-int): the stored pointers' targets escape into
+			// integers — poison them.
+			obj.find().flags |= FlagCollapsed | FlagPtrToInt
+			r.pts(obj).find().flags |= FlagUnknown | FlagPtrToInt
+		}
+	case *ir.Store:
+		obj := r.pts(r.reg(f, i.Ptr))
+		slotPtr := ir.IsPointer(i.Ptr.Elem())
+		switch {
+		case ir.IsPointer(i.Val.Type) && slotPtr:
+			// *ptr = v: pointers stored in obj point where v points.
+			r.addEdge(obj, r.pts(r.reg(f, i.Val)))
+		case ir.IsPointer(i.Val.Type) && !slotPtr:
+			// Pointer stored through non-pointer-typed memory (§5.2):
+			// collapsed object; the pointee can no longer be maintained.
+			r.addEdge(obj, r.pts(r.reg(f, i.Val)))
+			obj.find().flags |= FlagCollapsed | FlagPtrToInt
+			r.pts(r.reg(f, i.Val)).find().flags |= FlagUnknown
+		default:
+			cell := r.reg(f, i.Val)
+			if cell.find().flags&FlagPtrToInt != 0 {
+				// A pointer masquerading as an integer is stored to
+				// memory (Figure 5.3): DSA does not track pointers
+				// through integers, so the target must be excluded.
+				r.pts(cell).find().flags |= FlagUnknown
+			}
+			if slotPtr {
+				// Integer overwrites a pointer slot: what is read back
+				// as a pointer is untracked (update omission risk,
+				// Figure 5.4).
+				r.pts(obj).find().flags |= FlagUnknown | FlagIntToPtr
+			}
+		}
+	case *ir.PtrToInt:
+		// Keep register-level lineage so a register round-trip is
+		// recognized; flag the cell as carrying a pointer-as-integer.
+		r.unify(r.reg(f, i.Dst), r.reg(f, i.Src))
+		r.reg(f, i.Dst).find().flags |= FlagPtrToInt
+	case *ir.IntToPtr:
+		// DSA does not track pointers through integers (§5.1): the
+		// result's target is int-to-pointer + unknown. Register-level
+		// lineage (from PtrToInt) makes the original target the one that
+		// gets poisoned, which is exactly what soundness requires.
+		r.unify(r.reg(f, i.Dst), r.reg(f, i.Src))
+		t := r.pts(r.reg(f, i.Dst)).find()
+		t.flags |= FlagIntToPtr | FlagUnknown
+	case *ir.BinOp:
+		if ir.IsPointer(i.Dst.Type) {
+			if ir.IsPointer(i.X.Type) {
+				r.unify(r.reg(f, i.Dst), r.reg(f, i.X))
+			}
+			if ir.IsPointer(i.Y.Type) {
+				r.unify(r.reg(f, i.Dst), r.reg(f, i.Y))
+			}
+		}
+	case *ir.Call:
+		r.processCall(m, f, i)
+	case *ir.Ret:
+		if i.Val != nil && ir.IsPointer(i.Val.Type) {
+			r.unify(r.retNode(f), r.reg(f, i.Val))
+		}
+	}
+}
+
+func (r *Result) retNode(f *ir.Func) *Node {
+	return r.reg(f, &ir.Reg{ID: -1}) // reserved key for the return cell
+}
+
+func (r *Result) processCall(m *ir.Module, f *ir.Func, call *ir.Call) {
+	var callees []*ir.Func
+	if call.Callee != "" {
+		if cf := m.Func(call.Callee); cf != nil {
+			callees = append(callees, cf)
+		}
+	} else {
+		// Indirect call: all functions whose address is taken and unified
+		// into the callee pointer's target.
+		t := r.pts(r.reg(f, call.CalleePtr)).find()
+		seen := map[string]bool{}
+		for _, name := range t.Funcs {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			if cf := m.Func(name); cf != nil {
+				callees = append(callees, cf)
+			}
+		}
+	}
+	for _, cf := range callees {
+		if cf.External {
+			// External functions are covered by wrappers (§5.4), so
+			// their pointer arguments remain analyzable; nothing new
+			// escapes. Pointer returns, however, come from wrapper
+			// logic: treat them as aliases of the pointer arguments.
+			for _, a := range call.Args {
+				if ir.IsPointer(a.Type) && call.Dst != nil && ir.IsPointer(call.Dst.Type) {
+					r.unify(r.reg(f, call.Dst), r.reg(f, a))
+				}
+			}
+			continue
+		}
+		for k, a := range call.Args {
+			if k >= len(cf.Params) {
+				break
+			}
+			if ir.IsPointer(a.Type) || ir.IsPointer(cf.Params[k].Type) {
+				r.unify(r.reg(f, a), r.reg(cf, cf.Params[k]))
+			}
+		}
+		if call.Dst != nil && ir.IsPointer(call.Dst.Type) {
+			r.unify(r.reg(f, call.Dst), r.retNode(cf))
+		}
+	}
+}
+
+// markX computes the exclusion set (Figure 5.7): nodes whose pointer
+// behaviour DSA cannot vouch for — unknown, int-to-pointer, or collapsed
+// pointer-to-int — plus everything reachable from them, since memory
+// reachable only through untracked pointers cannot keep its replica and
+// shadow structures consistent (update omission, Figure 5.4).
+func (r *Result) markX() {
+	var work []*Node
+	seen := map[*Node]bool{}
+	for _, n := range r.nodes {
+		root := n.find()
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		if root.flags&(FlagUnknown|FlagIntToPtr) != 0 {
+			r.excluded[root] = true
+			work = append(work, root)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if n.points == nil {
+			continue
+		}
+		t := n.points.find()
+		if !r.excluded[t] {
+			r.excluded[t] = true
+			work = append(work, t)
+		}
+	}
+}
+
+// NodeOfSite returns the node of an allocation site.
+func (r *Result) NodeOfSite(site int) (*Node, bool) {
+	n, ok := r.siteNode[site]
+	if !ok {
+		return nil, false
+	}
+	return n.find(), true
+}
+
+// NodeOfReg returns the points-to target node of a register.
+func (r *Result) NodeOfReg(fn string, regID int) (*Node, bool) {
+	n, ok := r.regNode[regKey{fn: fn, reg: regID}]
+	if !ok {
+		return nil, false
+	}
+	return r.pts(n), true
+}
+
+// ExcludedSites lists excluded allocation sites (sorted, for diagnostics).
+func (r *Result) ExcludedSites() []int {
+	var out []int
+	for site, n := range r.siteNode {
+		if r.excluded[n.find()] {
+			out = append(out, site)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stats summarizes the analysis.
+func (r *Result) Stats() string {
+	roots := map[*Node]bool{}
+	for _, n := range r.nodes {
+		roots[n.find()] = true
+	}
+	return fmt.Sprintf("dsa: %d cells, %d nodes, %d excluded", len(r.nodes), len(roots), len(r.excluded))
+}
+
+// ---------------------------------------------------------------------------
+// Exclusion bridge into the transformer
+
+// Exclusion returns the dpmr.Exclusion view of the markX set.
+func (r *Result) Exclusion() dpmr.Exclusion { return exclusion{r} }
+
+type exclusion struct{ r *Result }
+
+func (e exclusion) Site(site int) bool {
+	n, ok := e.r.siteNode[site]
+	return ok && e.r.excluded[n.find()]
+}
+
+func (e exclusion) Reg(fn string, regID int) bool {
+	n, ok := e.r.regNode[regKey{fn: fn, reg: regID}]
+	if !ok {
+		return false
+	}
+	return e.r.excluded[e.r.pts(n).find()]
+}
+
+// Transform is the Chapter 5 pipeline: analyze, compute markX, and apply
+// DPMR with restriction checking replaced by DSA-refined partial
+// replication (§5.3).
+func Transform(m *ir.Module, cfg dpmr.Config) (*ir.Module, *Result, error) {
+	res := Analyze(m)
+	cfg.SkipRestrictionCheck = true
+	cfg.Exclude = res.Exclusion()
+	out, err := dpmr.Transform(m, cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	return out, res, nil
+}

@@ -1,0 +1,78 @@
+package dsa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DumpGraph renders the analysis result as a textual DS graph in the
+// spirit of the paper's Figures 5.5/5.6: one line per representative node
+// with its flags, member allocation sites/globals/functions, and its
+// points-to edge, followed by the register cells grouped by function.
+func (r *Result) DumpGraph() string {
+	// Collect representatives and assign stable display ids.
+	repIdx := map[*Node]int{}
+	var reps []*Node
+	for _, n := range r.nodes {
+		root := n.find()
+		if _, ok := repIdx[root]; !ok {
+			repIdx[root] = len(reps)
+			reps = append(reps, root)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("ds-graph:\n")
+	for i, n := range reps {
+		fmt.Fprintf(&sb, "  n%-3d [%s]", i, n.flags)
+		if r.excluded[n] {
+			sb.WriteString(" X")
+		}
+		if len(n.Sites) > 0 {
+			sites := append([]int(nil), n.Sites...)
+			sort.Ints(sites)
+			fmt.Fprintf(&sb, " sites=%v", sites)
+		}
+		if len(n.Globals) > 0 {
+			gs := append([]string(nil), n.Globals...)
+			sort.Strings(gs)
+			fmt.Fprintf(&sb, " globals=%v", gs)
+		}
+		if len(n.Funcs) > 0 {
+			fs := append([]string(nil), n.Funcs...)
+			sort.Strings(fs)
+			fmt.Fprintf(&sb, " funcs=%v", fs)
+		}
+		if n.points != nil {
+			fmt.Fprintf(&sb, " -> n%d", repIdx[n.points.find()])
+		}
+		sb.WriteString("\n")
+	}
+	// Register cells, grouped and sorted for stable output.
+	keys := make([]regKey, 0, len(r.regNode))
+	for k := range r.regNode {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].fn != keys[j].fn {
+			return keys[i].fn < keys[j].fn
+		}
+		return keys[i].reg < keys[j].reg
+	})
+	cur := ""
+	for _, k := range keys {
+		if k.fn != cur {
+			cur = k.fn
+			fmt.Fprintf(&sb, "  @%s:\n", cur)
+		}
+		label := fmt.Sprintf("r%d", k.reg)
+		if k.reg == -1 {
+			label = "ret"
+		}
+		fmt.Fprintf(&sb, "    %-6s cell n%d\n", label, repIdx[r.regNode[k].find()])
+	}
+	return sb.String()
+}
+
+// ExcludedCount returns the number of excluded representative nodes.
+func (r *Result) ExcludedCount() int { return len(r.excluded) }

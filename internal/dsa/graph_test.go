@@ -1,0 +1,72 @@
+package dsa_test
+
+import (
+	"strings"
+	"testing"
+
+	"dpmr/internal/dsa"
+	"dpmr/internal/ir"
+)
+
+func TestDumpGraphRendersNodesAndCells(t *testing.T) {
+	m := ir.NewModule("g")
+	m.AddGlobal("gv", ir.I64)
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	p := b.Malloc(ir.I64) // site 0
+	b.Store(p, b.I64(1))
+	q := b.IntToPtr(b.PtrToInt(p), ir.I64)
+	_ = q
+	gp := b.GlobalAddr("gv")
+	b.Store(gp, b.I64(2))
+	b.Free(p)
+	b.Ret(b.I64(0))
+	res := dsa.Analyze(m)
+	out := res.DumpGraph()
+	for _, want := range []string{
+		"ds-graph:",
+		"sites=[0]",
+		"globals=[gv]",
+		"@main:",
+		" X ", // the laundered node is marked excluded
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("graph missing %q in:\n%s", want, out)
+		}
+	}
+	if res.ExcludedCount() == 0 {
+		t.Error("expected at least one excluded node")
+	}
+}
+
+func TestDumpGraphStable(t *testing.T) {
+	build := func() string {
+		m := ir.NewModule("stable")
+		b := ir.NewBuilder(m)
+		b.Function("main", ir.I64, nil)
+		x := b.Malloc(ir.I64)
+		y := b.Malloc(ir.I64)
+		b.Store(x, b.I64(1))
+		b.Store(y, b.I64(2))
+		b.Free(x)
+		b.Free(y)
+		b.Ret(b.I64(0))
+		return dsa.Analyze(m).DumpGraph()
+	}
+	if build() != build() {
+		t.Error("graph rendering must be deterministic")
+	}
+}
+
+func TestGraphFlagsString(t *testing.T) {
+	f := dsa.FlagHeap | dsa.FlagArray | dsa.FlagUnknown
+	s := f.String()
+	for _, c := range []string{"H", "A", "U"} {
+		if !strings.Contains(s, c) {
+			t.Errorf("flags %q missing %s", s, c)
+		}
+	}
+	if dsa.Flags(0).String() != "-" {
+		t.Error("empty flags render as -")
+	}
+}

@@ -1,0 +1,336 @@
+// Package extlib is DPMR's external code support library (§2.8, §3.1).
+// It provides a small libc-analogue: base implementations used by
+// untransformed (golden / fault-injection stdapp) variants, and external
+// function wrappers for DPMR-transformed variants. A wrapper performs the
+// external function's behaviour plus the application-visible DPMR
+// behaviour the transformation would have added: replica/shadow
+// maintenance for stores, load checks for reads, and ROP/NSOP delivery
+// for pointer returns (Figure 2.11; §4.3 for MDS).
+package extlib
+
+import (
+	"fmt"
+
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+	"dpmr/internal/shadow"
+)
+
+// maxCString bounds C-string scans so a lost terminator turns into a trap
+// rather than an unbounded walk.
+const maxCString = 1 << 20
+
+// cmpFuncType is the comparator signature used by qsort_i64.
+func cmpFuncType() *ir.FuncType {
+	return ir.FuncOf(ir.I64, ir.Ptr(ir.I64), ir.Ptr(ir.I64))
+}
+
+// Sigs returns the canonical signature of every external function the
+// library provides.
+func Sigs() map[string]*ir.FuncType {
+	i8p := ir.Ptr(ir.I8)
+	out := map[string]*ir.FuncType{
+		"memcpy":    ir.FuncOf(ir.Void, i8p, i8p, ir.I64),
+		"memset":    ir.FuncOf(ir.Void, i8p, ir.I8, ir.I64),
+		"strcpy":    ir.FuncOf(i8p, i8p, i8p),
+		"strlen":    ir.FuncOf(ir.I64, i8p),
+		"strcmp":    ir.FuncOf(ir.I64, i8p, i8p),
+		"puts":      ir.FuncOf(ir.Void, i8p),
+		"atoi":      ir.FuncOf(ir.I64, i8p),
+		"abort":     ir.FuncOf(ir.Void),
+		"exit":      ir.FuncOf(ir.Void, ir.I64),
+		"qsort_i64": ir.FuncOf(ir.Void, ir.Ptr(ir.I64), ir.I64, ir.Ptr(cmpFuncType())),
+	}
+	for name, sig := range extraSigs() {
+		out[name] = sig
+	}
+	return out
+}
+
+// Declare adds extern declarations for the named functions to a module
+// being built. Workload builders call this for the externs they use.
+func Declare(m *ir.Module, names ...string) error {
+	sigs := Sigs()
+	for _, n := range names {
+		sig, ok := sigs[n]
+		if !ok {
+			return fmt.Errorf("extlib: unknown external function %q", n)
+		}
+		if m.Func(n) == nil {
+			m.AddExtern(n, sig)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+func readCString(vm *interp.VM, addr uint64) ([]byte, error) {
+	var out []byte
+	for i := uint64(0); i < maxCString; i++ {
+		b, trap := vm.Space.Load(addr+i, 1)
+		if trap != nil {
+			return nil, trap
+		}
+		if b == 0 {
+			return out, nil
+		}
+		out = append(out, byte(b))
+	}
+	return nil, fmt.Errorf("extlib: unterminated string at %#x", addr)
+}
+
+// checkRegion compares n bytes of application memory against replica
+// memory and raises a DPMR detection on mismatch — the wrapper-side load
+// check of §2.8.
+func checkRegion(vm *interp.VM, what string, app, rep, n uint64) error {
+	a, trap := vm.Space.ReadBytes(app, n)
+	if trap != nil {
+		return trap
+	}
+	r, trap := vm.Space.ReadBytes(rep, n)
+	if trap != nil {
+		return trap
+	}
+	for i := range a {
+		if a[i] != r[i] {
+			return &interp.Detection{
+				Reason: fmt.Sprintf("wrapper %s: replica mismatch at byte %d", what, i),
+			}
+		}
+	}
+	vm.Charge(n / 2)
+	return nil
+}
+
+// checkByte compares one application byte against its replica counterpart.
+// Wrappers that emulate string parsing (§3.1.5 strcmp/atof discussion)
+// compare exactly as much of the input as the external function read.
+func checkByte(vm *interp.VM, what string, app, rep uint64, off uint64) error {
+	a, trap := vm.Space.Load(app+off, 1)
+	if trap != nil {
+		return trap
+	}
+	r, trap := vm.Space.Load(rep+off, 1)
+	if trap != nil {
+		return trap
+	}
+	if a != r {
+		return &interp.Detection{
+			Reason: fmt.Sprintf("wrapper %s: replica mismatch at byte %d", what, off),
+		}
+	}
+	return nil
+}
+
+func copyRegion(vm *interp.VM, dst, src, n uint64) error {
+	b, trap := vm.Space.ReadBytes(src, n)
+	if trap != nil {
+		return trap
+	}
+	if trap := vm.Space.WriteBytes(dst, b); trap != nil {
+		return trap
+	}
+	vm.Charge(n / 2)
+	return nil
+}
+
+// atoiParse emulates atoi's parsing, returning the value and the number of
+// bytes consumed.
+func atoiParse(s []byte) (int64, int) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	neg := false
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		neg = s[i] == '-'
+		i++
+	}
+	var v int64
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		v = v*10 + int64(s[i]-'0')
+		i++
+	}
+	if neg {
+		v = -v
+	}
+	return v, i
+}
+
+// qsortCallArgs builds comparator arguments for one design: the app
+// element addresses plus ROP (and null NSOP) companions.
+func qsortCallArgs(design shadow.Design, a, ar, b, br uint64) []uint64 {
+	if design == shadow.SDS {
+		return []uint64{a, ar, 0, b, br, 0}
+	}
+	return []uint64{a, ar, b, br}
+}
+
+// qsortRun insertion-sorts n 8-byte elements at base, mirroring every swap
+// at mirror (0 = none), using comparator fn invoked through the VM with
+// design-appropriate argument expansion (design 0 = untransformed).
+func qsortRun(vm *interp.VM, base, mirror uint64, n uint64, fnAddr uint64, design shadow.Design) error {
+	fn, ok := vm.FuncByAddr(fnAddr)
+	if !ok {
+		return fmt.Errorf("qsort: invalid comparator pointer %#x", fnAddr)
+	}
+	swap := func(region uint64, i, j uint64) error {
+		x, trap := vm.Space.Load(region+i*8, 8)
+		if trap != nil {
+			return trap
+		}
+		y, trap := vm.Space.Load(region+j*8, 8)
+		if trap != nil {
+			return trap
+		}
+		if trap := vm.Space.Store(region+i*8, 8, y); trap != nil {
+			return trap
+		}
+		if trap := vm.Space.Store(region+j*8, 8, x); trap != nil {
+			return trap
+		}
+		return nil
+	}
+	for i := uint64(1); i < n; i++ {
+		for j := i; j > 0; j-- {
+			a := base + (j-1)*8
+			b := base + j*8
+			var args []uint64
+			if design == 0 {
+				args = []uint64{a, b}
+			} else {
+				args = qsortCallArgs(design, a, mirror+(j-1)*8, b, mirror+j*8)
+			}
+			r, err := vm.Call(fn, args)
+			if err != nil {
+				return err
+			}
+			if int64(r) <= 0 {
+				break
+			}
+			if err := swap(base, j-1, j); err != nil {
+				return err
+			}
+			if mirror != 0 {
+				if err := swap(mirror, j-1, j); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Base implementations (golden / stdapp variants)
+
+// Base returns the plain external function implementations.
+func Base() map[string]interp.Extern {
+	out := map[string]interp.Extern{
+		"memcpy": func(vm *interp.VM, a []uint64) (uint64, error) {
+			return 0, copyRegion(vm, a[0], a[1], a[2])
+		},
+		"memset": func(vm *interp.VM, a []uint64) (uint64, error) {
+			return 0, memsetRegion(vm, a[0], byte(a[1]), a[2])
+		},
+		"strcpy": func(vm *interp.VM, a []uint64) (uint64, error) {
+			s, err := readCString(vm, a[1])
+			if err != nil {
+				return 0, err
+			}
+			if trap := vm.Space.WriteBytes(a[0], append(s, 0)); trap != nil {
+				return 0, trap
+			}
+			vm.Charge(uint64(len(s)))
+			return a[0], nil
+		},
+		"strlen": func(vm *interp.VM, a []uint64) (uint64, error) {
+			s, err := readCString(vm, a[0])
+			if err != nil {
+				return 0, err
+			}
+			vm.Charge(uint64(len(s)))
+			return uint64(len(s)), nil
+		},
+		"strcmp": func(vm *interp.VM, a []uint64) (uint64, error) {
+			return strcmpImpl(vm, a[0], a[1], 0, 0, false)
+		},
+		"puts": func(vm *interp.VM, a []uint64) (uint64, error) {
+			s, err := readCString(vm, a[0])
+			if err != nil {
+				return 0, err
+			}
+			vm.AppendOutput(append(s, '\n'))
+			return 0, nil
+		},
+		"atoi": func(vm *interp.VM, a []uint64) (uint64, error) {
+			s, err := readCString(vm, a[0])
+			if err != nil {
+				return 0, err
+			}
+			v, _ := atoiParse(s)
+			return uint64(v), nil
+		},
+		"abort": func(vm *interp.VM, a []uint64) (uint64, error) {
+			return 0, &interp.ExitRequest{Code: 134} // SIGABRT-style
+		},
+		"exit": func(vm *interp.VM, a []uint64) (uint64, error) {
+			return 0, &interp.ExitRequest{Code: int64(a[0])}
+		},
+		"qsort_i64": func(vm *interp.VM, a []uint64) (uint64, error) {
+			return 0, qsortRun(vm, a[0], 0, a[1], a[2], 0)
+		},
+	}
+	for name, impl := range extraBase() {
+		out[name] = impl
+	}
+	return out
+}
+
+func memsetRegion(vm *interp.VM, dst uint64, c byte, n uint64) error {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	if trap := vm.Space.WriteBytes(dst, b); trap != nil {
+		return trap
+	}
+	vm.Charge(n / 2)
+	return nil
+}
+
+// strcmpImpl emulates strcmp's parsing (§3.1.5): it reads only as many
+// bytes as needed to decide, and when check is true it verifies exactly
+// those bytes against the replica strings.
+func strcmpImpl(vm *interp.VM, x, y, xr, yr uint64, check bool) (uint64, error) {
+	for off := uint64(0); off < maxCString; off++ {
+		a, trap := vm.Space.Load(x+off, 1)
+		if trap != nil {
+			return 0, trap
+		}
+		b, trap := vm.Space.Load(y+off, 1)
+		if trap != nil {
+			return 0, trap
+		}
+		if check {
+			if err := checkByte(vm, "strcmp", x, xr, off); err != nil {
+				return 0, err
+			}
+			if err := checkByte(vm, "strcmp", y, yr, off); err != nil {
+				return 0, err
+			}
+		}
+		if a != b {
+			if a < b {
+				return uint64(^uint64(0)), nil // -1
+			}
+			return 1, nil
+		}
+		if a == 0 {
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("strcmp: unterminated strings")
+}

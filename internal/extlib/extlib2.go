@@ -1,0 +1,186 @@
+package extlib
+
+import (
+	"fmt"
+
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+)
+
+// Additional libc-analogue functions (§3.1.5 discusses memmove alongside
+// memcpy and qsort). Base implementations live here; design-specific
+// wrappers are added by wrapExtra from wrappers.go.
+
+// extraSigs extends Sigs with the second batch of external functions.
+func extraSigs() map[string]*ir.FuncType {
+	i8p := ir.Ptr(ir.I8)
+	return map[string]*ir.FuncType{
+		"memmove": ir.FuncOf(ir.Void, i8p, i8p, ir.I64),
+		"memcmp":  ir.FuncOf(ir.I64, i8p, i8p, ir.I64),
+		"strcat":  ir.FuncOf(i8p, i8p, i8p),
+		"calloc":  ir.FuncOf(i8p, ir.I64, ir.I64),
+	}
+}
+
+func extraBase() map[string]interp.Extern {
+	return map[string]interp.Extern{
+		// memmove: overlap-safe copy (ReadBytes snapshots the source, so
+		// overlap is handled by construction).
+		"memmove": func(vm *interp.VM, a []uint64) (uint64, error) {
+			return 0, copyRegion(vm, a[0], a[1], a[2])
+		},
+		"memcmp": func(vm *interp.VM, a []uint64) (uint64, error) {
+			return memcmpImpl(vm, a[0], a[1], 0, 0, a[2], false)
+		},
+		"strcat": func(vm *interp.VM, a []uint64) (uint64, error) {
+			dst, err := readCString(vm, a[0])
+			if err != nil {
+				return 0, err
+			}
+			src, err := readCString(vm, a[1])
+			if err != nil {
+				return 0, err
+			}
+			if trap := vm.Space.WriteBytes(a[0]+uint64(len(dst)), append(src, 0)); trap != nil {
+				return 0, trap
+			}
+			vm.Charge(uint64(len(src)))
+			return a[0], nil
+		},
+		// calloc(nmemb, size): zeroed heap allocation.
+		"calloc": func(vm *interp.VM, a []uint64) (uint64, error) {
+			total := a[0] * a[1]
+			addr, trap := vm.Space.Malloc(total)
+			if trap != nil {
+				return 0, trap
+			}
+			if err := memsetRegion(vm, addr, 0, total); err != nil {
+				return 0, err
+			}
+			return addr, nil
+		},
+	}
+}
+
+// memcmpImpl compares byte regions, emulating the early-exit parse like
+// strcmp (§3.1.5): when check is true, only bytes actually read are
+// verified against their replicas.
+func memcmpImpl(vm *interp.VM, x, y, xr, yr, n uint64, check bool) (uint64, error) {
+	for off := uint64(0); off < n; off++ {
+		a, trap := vm.Space.Load(x+off, 1)
+		if trap != nil {
+			return 0, trap
+		}
+		b, trap := vm.Space.Load(y+off, 1)
+		if trap != nil {
+			return 0, trap
+		}
+		if check {
+			if err := checkByte(vm, "memcmp", x, xr, off); err != nil {
+				return 0, err
+			}
+			if err := checkByte(vm, "memcmp", y, yr, off); err != nil {
+				return 0, err
+			}
+		}
+		if a != b {
+			if a < b {
+				return uint64(^uint64(0)), nil
+			}
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// wrapExtra adds the SDS/MDS wrappers for the second batch. k is the
+// pointer-parameter stride (3 under SDS, 2 under MDS).
+func wrapExtra(m map[string]interp.Extern, sds bool, k int, w func(string) string) {
+	// memmove(dest, src, n): same wrapper obligations as memcpy.
+	m[w("memmove")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		dest, destR := a[0], a[1]
+		src, srcR := a[k], a[k+1]
+		n := a[2*k]
+		if sds && a[2] != 0 {
+			return 0, fmt.Errorf("memmove wrapper: pointer-bearing destination unsupported (needs sdwSize, §3.1.5)")
+		}
+		if err := checkRegion(vm, "memmove", src, srcR, n); err != nil {
+			return 0, err
+		}
+		if err := copyRegion(vm, dest, src, n); err != nil {
+			return 0, err
+		}
+		return 0, copyRegion(vm, destR, dest, n)
+	}
+	// memcmp(a, b, n): read-only; checks exactly the bytes compared.
+	m[w("memcmp")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		return memcmpImpl(vm, a[0], a[k], a[1], a[k+1], a[2*k], true)
+	}
+	// strcat(dest, src) → dest: reads dest's tail and src, appends to
+	// both copies, and returns dest with its ROP/NSOP.
+	m[w("strcat")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		rv := a[0]
+		dest, destR := a[1], a[2]
+		src, srcR := a[1+k], a[2+k]
+		dstStr, err := readCString(vm, dest)
+		if err != nil {
+			return 0, err
+		}
+		if err := checkRegion(vm, "strcat", dest, destR, uint64(len(dstStr))+1); err != nil {
+			return 0, err
+		}
+		srcStr, err := readCString(vm, src)
+		if err != nil {
+			return 0, err
+		}
+		if err := checkRegion(vm, "strcat", src, srcR, uint64(len(srcStr))+1); err != nil {
+			return 0, err
+		}
+		tail := append(srcStr, 0)
+		if trap := vm.Space.WriteBytes(dest+uint64(len(dstStr)), tail); trap != nil {
+			return 0, trap
+		}
+		if trap := vm.Space.WriteBytes(destR+uint64(len(dstStr)), tail); trap != nil {
+			return 0, trap
+		}
+		if trap := vm.Space.Store(rv, 8, destR); trap != nil { // rop
+			return 0, trap
+		}
+		if sds {
+			if trap := vm.Space.Store(rv+8, 8, a[3]); trap != nil { // nsop = dest_s
+				return 0, trap
+			}
+		}
+		return dest, nil
+	}
+	// calloc(nmemb, size) → ptr: the wrapper must allocate the replica
+	// (and would allocate shadow memory if byte buffers carried any,
+	// §2.8 responsibility 1) and zero both.
+	m[w("calloc")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		rv := a[0]
+		total := a[1] * a[2]
+		app, trap := vm.Space.Malloc(total)
+		if trap != nil {
+			return 0, trap
+		}
+		rep, trap := vm.Space.Malloc(total)
+		if trap != nil {
+			return 0, trap
+		}
+		if err := memsetRegion(vm, app, 0, total); err != nil {
+			return 0, err
+		}
+		if err := memsetRegion(vm, rep, 0, total); err != nil {
+			return 0, err
+		}
+		if trap := vm.Space.Store(rv, 8, rep); trap != nil { // rop
+			return 0, trap
+		}
+		if sds {
+			if trap := vm.Space.Store(rv+8, 8, 0); trap != nil { // nsop: null
+				return 0, trap
+			}
+		}
+		return app, nil
+	}
+}

@@ -1,0 +1,144 @@
+package extlib_test
+
+import (
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+)
+
+func TestBaseMemcmp(t *testing.T) {
+	base := extlib.Base()
+	vm := vmWith(t, base)
+	a := putString(t, vm, "abcdef")
+	b2 := putString(t, vm, "abcxef")
+	r, err := base["memcmp"](vm, []uint64{a, b2, 3})
+	if err != nil || r != 0 {
+		t.Errorf("equal prefix: %d (%v)", int64(r), err)
+	}
+	r, err = base["memcmp"](vm, []uint64{a, b2, 6})
+	if err != nil || int64(r) >= 0 {
+		t.Errorf("differing region: %d (%v)", int64(r), err)
+	}
+}
+
+func TestBaseStrcatAndCalloc(t *testing.T) {
+	base := extlib.Base()
+	vm := vmWith(t, base)
+	dst, _ := vm.Space.Malloc(32)
+	_ = vm.Space.WriteBytes(dst, append([]byte("foo"), 0))
+	src := putString(t, vm, "bar")
+	r, err := base["strcat"](vm, []uint64{dst, src})
+	if err != nil || r != dst {
+		t.Fatalf("strcat: %v", err)
+	}
+	got, _ := vm.Space.ReadBytes(dst, 7)
+	if string(got) != "foobar\x00" {
+		t.Errorf("strcat result %q", got)
+	}
+	addr, err := base["calloc"](vm, []uint64{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 32; i += 8 {
+		v, _ := vm.Space.Load(addr+i, 8)
+		if v != 0 {
+			t.Errorf("calloc byte %d not zeroed", i)
+		}
+	}
+}
+
+func TestWrappedCallocAllocatesReplica(t *testing.T) {
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		w := extlib.Wrapped(design)
+		vm := vmWith(t, w)
+		slot, _ := vm.Space.Malloc(16)
+		app, err := w[dpmr.DefaultWrapperName("calloc")](vm, []uint64{slot, 3, 8})
+		if err != nil {
+			t.Fatalf("%v: %v", design, err)
+		}
+		rop, _ := vm.Space.Load(slot, 8)
+		if rop == 0 || rop == app {
+			t.Errorf("%v: replica pointer %#x invalid (app %#x)", design, rop, app)
+		}
+		v, trap := vm.Space.Load(rop, 8)
+		if trap != nil || v != 0 {
+			t.Errorf("%v: replica not zeroed", design)
+		}
+	}
+}
+
+func TestWrappedMemcmpChecksOnlyReadBytes(t *testing.T) {
+	w := extlib.Wrapped(dpmr.MDS)
+	vm := vmWith(t, w)
+	a := putString(t, vm, "axz")
+	aR := putString(t, vm, "axz")
+	b2 := putString(t, vm, "ayz")
+	bR := putString(t, vm, "ayz")
+	name := dpmr.DefaultWrapperName("memcmp")
+	// Comparison stops at index 1 ('x' vs 'y'): a replica mismatch at
+	// index 2 is never read, so no detection.
+	_ = vm.Space.Store(aR+2, 1, 'Q')
+	r, err := w[name](vm, []uint64{a, aR, b2, bR, 3})
+	if err != nil {
+		t.Fatalf("unread replica byte must not detect: %v", err)
+	}
+	if int64(r) >= 0 {
+		t.Errorf("memcmp sign: %d", int64(r))
+	}
+	// A mismatch inside the read prefix detects.
+	_ = vm.Space.Store(aR, 1, 'Z')
+	if _, err := w[name](vm, []uint64{a, aR, b2, bR, 3}); err == nil {
+		t.Error("read replica mismatch must detect")
+	}
+}
+
+// End-to-end: a program using the batch-2 externs behaves identically
+// under DPMR.
+func TestExtraExternsEndToEnd(t *testing.T) {
+	m := ir.NewModule("extra")
+	if err := extlib.Declare(m, "calloc", "strcat", "memcmp", "memmove", "puts"); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	buf := b.Call("calloc", b.I64(4), b.I64(8))
+	for i, c := range []byte("hi") {
+		b.Store(b.Index(buf, b.I64(int64(i))), b.I8(int64(c)))
+	}
+	tail := b.MallocN(ir.I8, b.I64(8))
+	for i, c := range []byte("-there") {
+		b.Store(b.Index(tail, b.I64(int64(i))), b.I8(int64(c)))
+	}
+	b.Store(b.Index(tail, b.I64(6)), b.I8(0))
+	cat := b.Call("strcat", buf, tail)
+	b.Call("puts", cat)
+	// memmove within the same buffer (overlapping regions).
+	b.Call("memmove", b.Index(buf, b.I64(2)), buf, b.I64(8))
+	b.Call("puts", buf)
+	cmp := b.Call("memcmp", buf, tail, b.I64(3))
+	b.Free(buf)
+	b.Free(tail)
+	b.Ret(cmp)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	golden := interp.Run(m, interp.Config{Externs: extlib.Base()})
+	if golden.Kind != interp.ExitNormal {
+		t.Fatalf("golden: %v (%s)", golden.Kind, golden.Reason)
+	}
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		xm, err := dpmr.Transform(m, dpmr.Config{Design: design})
+		if err != nil {
+			t.Fatalf("%v: %v", design, err)
+		}
+		res := interp.Run(xm, interp.Config{Externs: extlib.Wrapped(design)})
+		if res.Kind != interp.ExitNormal || res.Code != golden.Code ||
+			string(res.Output) != string(golden.Output) {
+			t.Errorf("%v: diverged: %v code %d out %q (golden %d %q) %s",
+				design, res.Kind, res.Code, res.Output, golden.Code, golden.Output, res.Reason)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package extlib_test
+
+import (
+	"strings"
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+)
+
+// vmWith builds a VM over an empty module with the given externs and a
+// few heap strings prepared.
+func vmWith(t *testing.T, externs map[string]interp.Extern) *interp.VM {
+	t.Helper()
+	m := ir.NewModule("ext")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	b.Ret(b.I64(0))
+	vm, err := interp.NewVM(m, interp.Config{Externs: externs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func putString(t *testing.T, vm *interp.VM, s string) uint64 {
+	t.Helper()
+	addr, trap := vm.Space.Malloc(uint64(len(s)) + 1)
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if trap := vm.Space.WriteBytes(addr, append([]byte(s), 0)); trap != nil {
+		t.Fatal(trap)
+	}
+	return addr
+}
+
+func TestSigsDeclare(t *testing.T) {
+	m := ir.NewModule("decl")
+	if err := extlib.Declare(m, "memcpy", "strcpy", "qsort_i64"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("memcpy") == nil || !m.Func("memcpy").External {
+		t.Error("memcpy not declared external")
+	}
+	if err := extlib.Declare(m, "frobnicate"); err == nil {
+		t.Error("unknown extern must error")
+	}
+	// Redeclaring is idempotent.
+	if err := extlib.Declare(m, "memcpy"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseStrcmpSemantics(t *testing.T) {
+	base := extlib.Base()
+	vm := vmWith(t, base)
+	a := putString(t, vm, "apple")
+	b2 := putString(t, vm, "apricot")
+	eq := putString(t, vm, "apple")
+	r, err := base["strcmp"](vm, []uint64{a, b2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(r) >= 0 {
+		t.Errorf("strcmp(apple, apricot) = %d, want < 0", int64(r))
+	}
+	r, err = base["strcmp"](vm, []uint64{a, eq})
+	if err != nil || r != 0 {
+		t.Errorf("strcmp equal = %d (%v)", int64(r), err)
+	}
+	r, err = base["strcmp"](vm, []uint64{b2, a})
+	if err != nil || int64(r) <= 0 {
+		t.Errorf("strcmp(apricot, apple) = %d, want > 0", int64(r))
+	}
+}
+
+func TestBaseAtoiParsing(t *testing.T) {
+	base := extlib.Base()
+	vm := vmWith(t, base)
+	tests := map[string]int64{
+		"42":      42,
+		"  -17xy": -17,
+		"+8":      8,
+		"abc":     0,
+		"":        0,
+	}
+	for s, want := range tests {
+		addr := putString(t, vm, s)
+		r, err := base["atoi"](vm, []uint64{addr})
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if int64(r) != want {
+			t.Errorf("atoi(%q) = %d, want %d", s, int64(r), want)
+		}
+	}
+}
+
+func TestBaseStrcpyAndStrlen(t *testing.T) {
+	base := extlib.Base()
+	vm := vmWith(t, base)
+	src := putString(t, vm, "hello")
+	dst, _ := vm.Space.Malloc(16)
+	r, err := base["strcpy"](vm, []uint64{dst, src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != dst {
+		t.Error("strcpy must return dest")
+	}
+	n, err := base["strlen"](vm, []uint64{dst})
+	if err != nil || n != 5 {
+		t.Errorf("strlen after copy = %d (%v)", n, err)
+	}
+}
+
+func TestBaseExitAndAbort(t *testing.T) {
+	base := extlib.Base()
+	vm := vmWith(t, base)
+	_, err := base["exit"](vm, []uint64{3})
+	req, ok := err.(*interp.ExitRequest)
+	if !ok || req.Code != 3 {
+		t.Errorf("exit: %v", err)
+	}
+	_, err = base["abort"](vm, nil)
+	if _, ok := err.(*interp.ExitRequest); !ok {
+		t.Errorf("abort: %v", err)
+	}
+}
+
+func TestWrappedStrcmpDetectsReplicaMismatch(t *testing.T) {
+	// The SDS strcmp wrapper checks exactly the bytes it reads against
+	// the replica strings (§3.1.5): a mismatched replica byte within the
+	// compared prefix is a detection; one beyond it is not.
+	w := extlib.Wrapped(dpmr.SDS)
+	vm := vmWith(t, w)
+	a := putString(t, vm, "abcdef")
+	aRep := putString(t, vm, "abcdef")
+	b2 := putString(t, vm, "abX")
+	bRep := putString(t, vm, "abX")
+	name := dpmr.DefaultWrapperName("strcmp")
+	// Clean: no detection.
+	if _, err := w[name](vm, []uint64{a, aRep, 0, b2, bRep, 0}); err != nil {
+		t.Fatalf("clean strcmp: %v", err)
+	}
+	// Corrupt a's replica inside the compared prefix (index 2; comparison
+	// stops at index 2 where 'c' != 'X').
+	if trap := vm.Space.Store(aRep+2, 1, 'z'); trap != nil {
+		t.Fatal(trap)
+	}
+	_, err := w[name](vm, []uint64{a, aRep, 0, b2, bRep, 0})
+	if _, ok := err.(*interp.Detection); !ok {
+		t.Errorf("corrupted replica prefix must detect, got %v", err)
+	}
+	// Restore, then corrupt beyond the compared prefix: not read, so not
+	// detected (exactly the emulation subtlety the paper describes).
+	_ = vm.Space.Store(aRep+2, 1, 'c')
+	_ = vm.Space.Store(aRep+5, 1, 'z')
+	if _, err := w[name](vm, []uint64{a, aRep, 0, b2, bRep, 0}); err != nil {
+		t.Errorf("mismatch beyond compared prefix must not detect: %v", err)
+	}
+}
+
+func TestWrappedStrcpyDeliversROP(t *testing.T) {
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		w := extlib.Wrapped(design)
+		vm := vmWith(t, w)
+		src := putString(t, vm, "hi")
+		srcRep := putString(t, vm, "hi")
+		dst, _ := vm.Space.Malloc(8)
+		dstRep, _ := vm.Space.Malloc(8)
+		slot, _ := vm.Space.Malloc(16) // rvSop / rvRopPtr
+		name := dpmr.DefaultWrapperName("strcpy")
+		var args []uint64
+		if design == dpmr.SDS {
+			args = []uint64{slot, dst, dstRep, 0, src, srcRep, 0}
+		} else {
+			args = []uint64{slot, dst, dstRep, src, srcRep}
+		}
+		r, err := w[name](vm, args)
+		if err != nil {
+			t.Fatalf("%v: %v", design, err)
+		}
+		if r != dst {
+			t.Errorf("%v: return %#x, want dest", design, r)
+		}
+		rop, _ := vm.Space.Load(slot, 8)
+		if rop != dstRep {
+			t.Errorf("%v: rop = %#x, want dest replica %#x", design, rop, dstRep)
+		}
+		// Replica must carry the copied bytes.
+		got, _ := vm.Space.ReadBytes(dstRep, 3)
+		if string(got) != "hi\x00" {
+			t.Errorf("%v: replica content %q", design, got)
+		}
+	}
+}
+
+func TestWrappedMemcpyChecksSource(t *testing.T) {
+	w := extlib.Wrapped(dpmr.MDS)
+	vm := vmWith(t, w)
+	src, _ := vm.Space.Malloc(8)
+	srcRep, _ := vm.Space.Malloc(8)
+	dst, _ := vm.Space.Malloc(8)
+	dstRep, _ := vm.Space.Malloc(8)
+	_ = vm.Space.Store(src, 8, 0x1122)
+	_ = vm.Space.Store(srcRep, 8, 0x1122)
+	name := dpmr.DefaultWrapperName("memcpy")
+	if _, err := w[name](vm, []uint64{dst, dstRep, src, srcRep, 8}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := vm.Space.Load(dstRep, 8)
+	if v != 0x1122 {
+		t.Error("replica dest not mirrored")
+	}
+	// Diverged source replica → detection.
+	_ = vm.Space.Store(srcRep, 8, 0x9999)
+	_, err := w[name](vm, []uint64{dst, dstRep, src, srcRep, 8})
+	if _, ok := err.(*interp.Detection); !ok {
+		t.Errorf("diverged source must detect, got %v", err)
+	}
+}
+
+func TestArgvExterns(t *testing.T) {
+	w := extlib.Wrapped(dpmr.SDS)
+	vm := vmWith(t, w)
+	// Fake argv with two strings.
+	s0 := putString(t, vm, "prog")
+	s1 := putString(t, vm, "arg1")
+	argv, _ := vm.Space.Malloc(16)
+	_ = vm.Space.Store(argv, 8, s0)
+	_ = vm.Space.Store(argv+8, 8, s1)
+
+	rep, err := w[dpmr.ArgvRepExtern](vm, []uint64{2, argv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SDS: replica argv holds identical pointer values (Figure 3.1).
+	p0, _ := vm.Space.Load(rep, 8)
+	if p0 != s0 {
+		t.Errorf("SDS argv_r[0] = %#x, want %#x", p0, s0)
+	}
+	sdw, err := w[dpmr.ArgvSdwExtern](vm, []uint64{2, argv, rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shadow entry 1 ROP points at a replica of "arg1".
+	rop, _ := vm.Space.Load(sdw+16, 8)
+	if rop == s1 || rop == 0 {
+		t.Errorf("shadow rop must point at a fresh replica string, got %#x", rop)
+	}
+	got, trap := vm.Space.ReadBytes(rop, 5)
+	if trap != nil || string(got) != "arg1\x00" {
+		t.Errorf("replica string = %q (%v)", got, trap)
+	}
+
+	// MDS: replica argv holds pointers to replica strings.
+	wm := extlib.Wrapped(dpmr.MDS)
+	repM, err := wm[dpmr.ArgvRepExtern](vm, []uint64{2, argv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := vm.Space.Load(repM, 8)
+	if pm == s0 {
+		t.Error("MDS argv_r[0] must be a replica pointer, not the app pointer")
+	}
+}
+
+func TestWrapperSetCoversAllExterns(t *testing.T) {
+	for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+		w := extlib.Wrapped(design)
+		for name := range extlib.Sigs() {
+			wn := dpmr.DefaultWrapperName(name)
+			if _, ok := w[wn]; !ok {
+				t.Errorf("%v: missing wrapper for %s", design, name)
+			}
+		}
+	}
+}
+
+func TestExternsFor(t *testing.T) {
+	if m := extlib.ExternsFor(false, dpmr.SDS); m["memcpy"] == nil {
+		t.Error("base map must carry plain names")
+	}
+	if m := extlib.ExternsFor(true, dpmr.MDS); m[dpmr.DefaultWrapperName("memcpy")] == nil {
+		t.Error("wrapped map must carry wrapper names")
+	}
+}
+
+func TestUnterminatedStringErrors(t *testing.T) {
+	base := extlib.Base()
+	vm := vmWith(t, base)
+	// A string that runs into the guard gap traps rather than hanging.
+	addr, _ := vm.Space.Malloc(64)
+	for i := uint64(0); i < 64; i++ {
+		_ = vm.Space.Store(addr+i, 1, 'x')
+	}
+	_, err := base["strlen"](vm, []uint64{addr})
+	if err == nil {
+		t.Skip("string found a terminator in adjacent heap bytes (acceptable)")
+	}
+	if !strings.Contains(err.Error(), "trap") && !strings.Contains(err.Error(), "unterminated") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

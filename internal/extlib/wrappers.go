@@ -1,0 +1,258 @@
+package extlib
+
+import (
+	"fmt"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/interp"
+	"dpmr/internal/shadow"
+)
+
+// Wrapped returns the external function implementations for a
+// DPMR-transformed module under the given design, keyed by wrapper name
+// (dpmr.DefaultWrapperName). It also includes the runtime argv support
+// externs of §3.1.1.
+//
+// Wrapper argument layouts follow the augmented function types exactly:
+// under SDS every pointer parameter p expands to (p, p_r, p_s) and
+// pointer-returning functions receive a leading rvSop; under MDS p expands
+// to (p, p_r) with a leading rvRopPtr (§2.8, §4.3).
+func Wrapped(design shadow.Design) map[string]interp.Extern {
+	sds := design == shadow.SDS
+	w := func(name string) string { return dpmr.DefaultWrapperName(name) }
+
+	// idx computes positional offsets: a pointer param occupies k slots.
+	k := 2
+	if sds {
+		k = 3
+	}
+
+	m := map[string]interp.Extern{}
+
+	// memcpy(dest, src, n): reads src (load-checked), writes dest
+	// (mirrored to dest_r). Copying pointer-containing memory would need
+	// the §3.1.5 shadow-size parameter; this library's memcpy supports
+	// byte data, which is all the workloads move.
+	m[w("memcpy")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		dest, destR := a[0], a[1]
+		src, srcR := a[k], a[k+1]
+		n := a[2*k]
+		if sds && a[2] != 0 {
+			return 0, fmt.Errorf("memcpy wrapper: pointer-bearing destination unsupported (needs sdwSize, §3.1.5)")
+		}
+		if err := checkRegion(vm, "memcpy", src, srcR, n); err != nil {
+			return 0, err
+		}
+		if err := copyRegion(vm, dest, src, n); err != nil {
+			return 0, err
+		}
+		return 0, copyRegion(vm, destR, dest, n)
+	}
+
+	// memset(dest, c, n): mirrored store.
+	m[w("memset")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		dest, destR := a[0], a[1]
+		c := byte(a[k])
+		n := a[k+1]
+		if err := memsetRegion(vm, dest, c, n); err != nil {
+			return 0, err
+		}
+		return 0, memsetRegion(vm, destR, c, n)
+	}
+
+	// strcpy(dest, src) → dest: Figure 2.11 verbatim — verify src against
+	// its replica, perform the copy, mirror the write, deliver the return
+	// value's ROP/NSOP.
+	m[w("strcpy")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		// SDS: rvSop, dest, dest_r, dest_s, src, src_r, src_s
+		// MDS: rvRopPtr, dest, dest_r, src, src_r
+		rv := a[0]
+		dest, destR := a[1], a[2]
+		src, srcR := a[1+k], a[2+k]
+		s, err := readCString(vm, src)
+		if err != nil {
+			return 0, err
+		}
+		if err := checkRegion(vm, "strcpy", src, srcR, uint64(len(s))+1); err != nil {
+			return 0, err
+		}
+		if trap := vm.Space.WriteBytes(dest, append(s, 0)); trap != nil {
+			return 0, trap
+		}
+		if trap := vm.Space.WriteBytes(destR, append(s, 0)); trap != nil {
+			return 0, trap
+		}
+		vm.Charge(uint64(len(s)))
+		if sds {
+			destS := a[3]
+			if trap := vm.Space.Store(rv, 8, destR); trap != nil { // rvSop->rop
+				return 0, trap
+			}
+			if trap := vm.Space.Store(rv+8, 8, destS); trap != nil { // rvSop->nsop
+				return 0, trap
+			}
+		} else {
+			if trap := vm.Space.Store(rv, 8, destR); trap != nil { // *rvRopPtr
+				return 0, trap
+			}
+		}
+		return dest, nil
+	}
+
+	// strlen(s): reads s up to and including the terminator.
+	m[w("strlen")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		s, sR := a[0], a[1]
+		str, err := readCString(vm, s)
+		if err != nil {
+			return 0, err
+		}
+		if err := checkRegion(vm, "strlen", s, sR, uint64(len(str))+1); err != nil {
+			return 0, err
+		}
+		return uint64(len(str)), nil
+	}
+
+	// strcmp(a, b): emulates the parse so it checks exactly the bytes
+	// read (§3.1.5 — input strings need not be terminated).
+	m[w("strcmp")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		return strcmpImpl(vm, a[0], a[k], a[1], a[k+1], true)
+	}
+
+	// puts(s): reads s, checks it, emits output.
+	m[w("puts")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		s, sR := a[0], a[1]
+		str, err := readCString(vm, s)
+		if err != nil {
+			return 0, err
+		}
+		if err := checkRegion(vm, "puts", s, sR, uint64(len(str))+1); err != nil {
+			return 0, err
+		}
+		vm.AppendOutput(append(str, '\n'))
+		return 0, nil
+	}
+
+	// atoi(s): checks exactly the consumed prefix.
+	m[w("atoi")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		s, sR := a[0], a[1]
+		str, err := readCString(vm, s)
+		if err != nil {
+			return 0, err
+		}
+		v, consumed := atoiParse(str)
+		if err := checkRegion(vm, "atoi", s, sR, uint64(consumed)); err != nil {
+			return 0, err
+		}
+		return uint64(v), nil
+	}
+
+	m[w("abort")] = Base()["abort"]
+	m[w("exit")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		return 0, &interp.ExitRequest{Code: int64(a[0])}
+	}
+
+	// qsort_i64(base, n, cmp): sorts the application array, mirroring
+	// every swap into the replica array; the comparator is transformed
+	// code, so its loads carry their own checks (§3.1.5/§4.3 note that
+	// qsort's load comparisons can be left to the comparison function).
+	m[w("qsort_i64")] = func(vm *interp.VM, a []uint64) (uint64, error) {
+		base, baseR := a[0], a[1]
+		n := a[k]
+		cmp := a[k+1]
+		return 0, qsortRun(vm, base, baseR, n, cmp, design)
+	}
+
+	wrapExtra(m, sds, k, w)
+
+	// Runtime argv support (§3.1.1, Figure 3.1).
+	m[dpmr.ArgvRepExtern] = argvRep(design)
+	if sds {
+		m[dpmr.ArgvSdwExtern] = argvSdw()
+	}
+	return m
+}
+
+// argvRep builds the replica argv array. Under SDS the replica array
+// holds pointer values identical to argv's (comparable pointers); under
+// MDS it holds pointers to replica copies of each argument string.
+func argvRep(design shadow.Design) interp.Extern {
+	return func(vm *interp.VM, a []uint64) (uint64, error) {
+		argc, argv := a[0], a[1]
+		arr, trap := vm.Space.Malloc(argc * 8)
+		if trap != nil {
+			return 0, trap
+		}
+		for i := uint64(0); i < argc; i++ {
+			p, trap := vm.Space.Load(argv+i*8, 8)
+			if trap != nil {
+				return 0, trap
+			}
+			val := p
+			if design == shadow.MDS {
+				rep, err := replicateString(vm, p)
+				if err != nil {
+					return 0, err
+				}
+				val = rep
+			}
+			if trap := vm.Space.Store(arr+i*8, 8, val); trap != nil {
+				return 0, trap
+			}
+		}
+		return arr, nil
+	}
+}
+
+// argvSdw builds the SDS shadow argv array: per entry a {rop, nsop} pair
+// whose ROP points to a replica of the i-th argument string and whose
+// NSOP is null (byte strings have no shadow).
+func argvSdw() interp.Extern {
+	return func(vm *interp.VM, a []uint64) (uint64, error) {
+		argc, argv := a[0], a[1]
+		arr, trap := vm.Space.Malloc(argc * 16)
+		if trap != nil {
+			return 0, trap
+		}
+		for i := uint64(0); i < argc; i++ {
+			p, trap := vm.Space.Load(argv+i*8, 8)
+			if trap != nil {
+				return 0, trap
+			}
+			rep, err := replicateString(vm, p)
+			if err != nil {
+				return 0, err
+			}
+			if trap := vm.Space.Store(arr+i*16, 8, rep); trap != nil {
+				return 0, trap
+			}
+			if trap := vm.Space.Store(arr+i*16+8, 8, 0); trap != nil {
+				return 0, trap
+			}
+		}
+		return arr, nil
+	}
+}
+
+func replicateString(vm *interp.VM, p uint64) (uint64, error) {
+	s, err := readCString(vm, p)
+	if err != nil {
+		return 0, err
+	}
+	buf, trap := vm.Space.Malloc(uint64(len(s)) + 1)
+	if trap != nil {
+		return 0, trap
+	}
+	if trap := vm.Space.WriteBytes(buf, append(s, 0)); trap != nil {
+		return 0, trap
+	}
+	return buf, nil
+}
+
+// ExternsFor returns the full extern map for a variant: Base() for
+// untransformed modules, Wrapped(design) for transformed ones.
+func ExternsFor(transformed bool, design shadow.Design) map[string]interp.Extern {
+	if transformed {
+		return Wrapped(design)
+	}
+	return Base()
+}

@@ -1,0 +1,159 @@
+// Package faultinject implements the paper's compiler-based fault
+// injection framework (§3.4). Faults simulate software bugs: injected
+// faulty code executes every time the injected location executes, unlike
+// runtime injectors that fire once. Injections are applied to the input
+// program *before* the DPMR transformation, just as real bugs would be.
+//
+// Two fault types are provided:
+//
+//   - heap array resize — the number of objects requested at a heap array
+//     allocation site is reduced by 50%, leading to out-of-bounds accesses;
+//   - immediate free — a heap buffer is deallocated immediately after its
+//     allocation, leading to reads, writes, and frees after free.
+//
+// A FaultPoint marker is inserted with the faulty code so the interpreter
+// records the cycle of first execution ("successful fault injection").
+package faultinject
+
+import (
+	"fmt"
+
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+	"dpmr/internal/mem"
+)
+
+// Kind is a fault-injection type.
+type Kind uint8
+
+// The evaluated fault types (§3.4).
+const (
+	HeapArrayResize Kind = iota + 1
+	ImmediateFree
+)
+
+func (k Kind) String() string {
+	switch k {
+	case HeapArrayResize:
+		return "heap-array-resize"
+	case ImmediateFree:
+		return "immediate-free"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Site identifies one injectable location.
+type Site struct {
+	Kind Kind
+	ID   int // allocation-site id (ir.Alloc.Site)
+	Fn   string
+}
+
+func (s Site) String() string {
+	return fmt.Sprintf("%s@%s/site%d", s.Kind, s.Fn, s.ID)
+}
+
+// Enumerate lists the injectable sites of the given kind in deterministic
+// order. Heap array resizes target heap array allocation sites; immediate
+// frees target all heap allocation sites. Statically non-manifestable
+// resizes (the halved request rounds to the same allocator size class,
+// §3.4) are filtered out.
+func Enumerate(m *ir.Module, kind Kind) []Site {
+	var sites []Site
+	for _, as := range m.HeapAllocSites() {
+		a := as.Alloc
+		switch kind {
+		case HeapArrayResize:
+			if a.Count == nil {
+				continue
+			}
+			if v, ok := staticCount(as.Fn, a.Count); ok {
+				stride := uint64(interp.PaddedSize(a.Elem))
+				if mem.ClassFor(v*stride) == mem.ClassFor(v/2*stride) {
+					continue // provably benign
+				}
+			}
+			sites = append(sites, Site{Kind: kind, ID: a.Site, Fn: as.Fn.Name})
+		case ImmediateFree:
+			sites = append(sites, Site{Kind: kind, ID: a.Site, Fn: as.Fn.Name})
+		}
+	}
+	return sites
+}
+
+// staticCount reports the constant value of reg if it is defined exactly
+// once in fn, by an integer constant.
+func staticCount(fn *ir.Func, reg *ir.Reg) (uint64, bool) {
+	var val uint64
+	defs := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			d := ir.Def(in)
+			if d != reg {
+				continue
+			}
+			defs++
+			ci, ok := in.(*ir.ConstInt)
+			if !ok {
+				return 0, false
+			}
+			val = uint64(ci.Val)
+		}
+	}
+	if defs != 1 {
+		return 0, false
+	}
+	return val, true
+}
+
+// Apply injects the fault at site into m, in place. The module must be
+// freshly built (workload builders are deterministic, so the harness
+// rebuilds the module per experiment, mirroring the paper's per-injection
+// variant builds, Figure 3.5).
+func Apply(m *ir.Module, s Site) error {
+	fn := m.Func(s.Fn)
+	if fn == nil {
+		return fmt.Errorf("faultinject: no function %s", s.Fn)
+	}
+	for _, blk := range fn.Blocks {
+		for idx, in := range blk.Instrs {
+			a, ok := in.(*ir.Alloc)
+			if !ok || a.Site != s.ID || a.Kind != ir.AllocHeap {
+				continue
+			}
+			switch s.Kind {
+			case HeapArrayResize:
+				if a.Count == nil {
+					return fmt.Errorf("faultinject: site %d is not an array site", s.ID)
+				}
+				// count' = count / 2, inserted before the allocation.
+				two := fn.NewReg("fi.two", a.Count.Type)
+				half := fn.NewReg("fi.half", a.Count.Type)
+				pre := []ir.Instr{
+					&ir.FaultPoint{Site: s.ID},
+					&ir.ConstInt{Dst: two, Val: 2},
+					&ir.BinOp{Dst: half, X: a.Count, Y: two, Op: ir.OpUDiv},
+				}
+				blk.Instrs = spliceBefore(blk.Instrs, idx, pre)
+				a.Count = half
+			case ImmediateFree:
+				post := []ir.Instr{
+					&ir.FaultPoint{Site: s.ID},
+					&ir.Free{Ptr: a.Dst},
+				}
+				blk.Instrs = spliceBefore(blk.Instrs, idx+1, post)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("faultinject: site %d not found in %s", s.ID, s.Fn)
+}
+
+func spliceBefore(instrs []ir.Instr, idx int, ins []ir.Instr) []ir.Instr {
+	out := make([]ir.Instr, 0, len(instrs)+len(ins))
+	out = append(out, instrs[:idx]...)
+	out = append(out, ins...)
+	out = append(out, instrs[idx:]...)
+	return out
+}

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"testing"
+
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+)
+
+// buildProgram: allocates a 6-element array with a dynamic-ish count,
+// fills it, sums it, frees it.
+func buildProgram() *ir.Module {
+	m := ir.NewModule("fi")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	n := b.I64(6)
+	arr := b.MallocN(ir.I64, n) // site 0: 48-byte class
+	small := b.Malloc(ir.I64)   // site 1: scalar
+	b.Store(small, b.I64(1))
+	b.ForRange("i", b.I64(0), n, func(i *ir.Reg) {
+		b.Store(b.Index(arr, i), i)
+	})
+	s := b.Reg("s", ir.I64)
+	b.MoveTo(s, b.I64(0))
+	b.ForRange("j", b.I64(0), n, func(j *ir.Reg) {
+		b.BinTo(s, ir.OpAdd, s, b.Load(b.Index(arr, j)))
+	})
+	b.BinTo(s, ir.OpAdd, s, b.Load(small))
+	b.Free(arr)
+	b.Free(small)
+	b.Ret(s)
+	return m
+}
+
+func TestEnumerateResizeSitesOnlyArrays(t *testing.T) {
+	m := buildProgram()
+	sites := Enumerate(m, HeapArrayResize)
+	if len(sites) != 1 {
+		t.Fatalf("resize sites = %d, want 1 (scalar site excluded)", len(sites))
+	}
+	if sites[0].ID != 0 {
+		t.Errorf("site id = %d, want 0", sites[0].ID)
+	}
+}
+
+func TestEnumerateImmediateFreeAllHeapSites(t *testing.T) {
+	m := buildProgram()
+	sites := Enumerate(m, ImmediateFree)
+	if len(sites) != 2 {
+		t.Fatalf("immediate-free sites = %d, want 2", len(sites))
+	}
+}
+
+func TestStaticFilterDropsBenignResizes(t *testing.T) {
+	m := ir.NewModule("benign")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	// 3 i64s = 24 bytes; halved to 1 → 8 bytes → still the 24-byte class:
+	// the resize provably cannot manifest (§3.4's example).
+	arr := b.MallocN(ir.I64, b.I64(3))
+	b.Store(b.Index(arr, b.I64(0)), b.I64(1))
+	b.Ret(b.Load(b.Index(arr, b.I64(0))))
+	sites := Enumerate(m, HeapArrayResize)
+	if len(sites) != 0 {
+		t.Errorf("benign resize must be filtered, got %d sites", len(sites))
+	}
+}
+
+func TestApplyResizeFaultManifests(t *testing.T) {
+	m := buildProgram()
+	sites := Enumerate(m, HeapArrayResize)
+	if err := Apply(m, sites[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("injected module fails verify: %v", err)
+	}
+	res := interp.Run(m, interp.Config{})
+	if !res.FaultSeen {
+		t.Fatal("fault point never executed")
+	}
+	// 6 i64 halved to 3 → 24-byte class instead of 48: writes to arr[3..5]
+	// overflow into the next buffer. The run proceeds (no trap) but the
+	// result is corrupted relative to golden 16.
+	golden := interp.Run(buildProgram(), interp.Config{})
+	if golden.Code != 16 {
+		t.Fatalf("golden = %d", golden.Code)
+	}
+	if res.Kind == interp.ExitNormal && res.Code == golden.Code {
+		t.Error("resize fault did not change observable behaviour")
+	}
+}
+
+func TestApplyImmediateFreeManifests(t *testing.T) {
+	m := buildProgram()
+	site := Site{Kind: ImmediateFree, ID: 0, Fn: "main"}
+	if err := Apply(m, site); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("injected module fails verify: %v", err)
+	}
+	res := interp.Run(m, interp.Config{})
+	if !res.FaultSeen {
+		t.Fatal("fault point never executed")
+	}
+	// The array is freed immediately; the later legitimate free is a
+	// double free (allocator trap) unless the buffer was reallocated.
+	if res.Kind != interp.ExitTrap {
+		t.Errorf("expected trap from double free, got %v code %d", res.Kind, res.Code)
+	}
+}
+
+func TestApplyUnknownSiteErrors(t *testing.T) {
+	m := buildProgram()
+	if err := Apply(m, Site{Kind: ImmediateFree, ID: 99, Fn: "main"}); err == nil {
+		t.Error("unknown site must error")
+	}
+	if err := Apply(m, Site{Kind: ImmediateFree, ID: 0, Fn: "nope"}); err == nil {
+		t.Error("unknown function must error")
+	}
+}
+
+func TestFaultCycleRecorded(t *testing.T) {
+	m := buildProgram()
+	_ = Apply(m, Site{Kind: ImmediateFree, ID: 1, Fn: "main"})
+	res := interp.Run(m, interp.Config{})
+	if !res.FaultSeen || res.FaultCycle == 0 {
+		t.Error("fault cycle must be recorded for time-to-detection")
+	}
+}

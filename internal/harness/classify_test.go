@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"testing"
+
+	"dpmr/internal/interp"
+)
+
+// TestClassification pins the §3.6 outcome taxonomy against every exit
+// kind the interpreter can produce.
+func TestClassification(t *testing.T) {
+	r := NewRunner()
+	golden := &interp.Result{Kind: interp.ExitNormal, Code: 0, Output: []byte("ok\n")}
+	tests := []struct {
+		name    string
+		res     *interp.Result
+		co      bool
+		nat     bool
+		dpmrDet bool
+		covered bool
+	}{
+		{
+			name:    "correct output",
+			res:     &interp.Result{Kind: interp.ExitNormal, Code: 0, Output: []byte("ok\n"), FaultSeen: true},
+			co:      true,
+			covered: true,
+		},
+		{
+			name: "wrong output, clean exit — escaped",
+			res:  &interp.Result{Kind: interp.ExitNormal, Code: 0, Output: []byte("bad\n"), FaultSeen: true},
+		},
+		{
+			name:    "application error exit",
+			res:     &interp.Result{Kind: interp.ExitNormal, Code: 2, Output: []byte("verify failed\n"), FaultSeen: true},
+			nat:     true,
+			covered: true,
+		},
+		{
+			name:    "crash",
+			res:     &interp.Result{Kind: interp.ExitTrap, Reason: "segv", FaultSeen: true, Cycles: 100, FaultCycle: 40},
+			nat:     true,
+			covered: true,
+		},
+		{
+			name:    "dpmr detection",
+			res:     &interp.Result{Kind: interp.ExitDetect, Reason: "mismatch", FaultSeen: true, Cycles: 90, FaultCycle: 50},
+			dpmrDet: true,
+			covered: true,
+		},
+		{
+			name: "timeout — uncovered",
+			res:  &interp.Result{Kind: interp.ExitTimeout, FaultSeen: true},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			o := r.classify(golden, tc.res)
+			if o.CO != tc.co || o.NatDet != tc.nat || o.DpmrDet != tc.dpmrDet {
+				t.Errorf("got CO=%v Nat=%v Dpmr=%v, want %v/%v/%v",
+					o.CO, o.NatDet, o.DpmrDet, tc.co, tc.nat, tc.dpmrDet)
+			}
+			if o.Covered() != tc.covered {
+				t.Errorf("covered = %v, want %v", o.Covered(), tc.covered)
+			}
+		})
+	}
+}
+
+func TestT2DComputation(t *testing.T) {
+	r := NewRunner()
+	golden := &interp.Result{Kind: interp.ExitNormal, Code: 0, Output: []byte("ok\n")}
+	res := &interp.Result{Kind: interp.ExitDetect, FaultSeen: true, Cycles: 5_000_000, FaultCycle: 1_000_000}
+	o := r.classify(golden, res)
+	if o.T2DCycles != 4_000_000 {
+		t.Errorf("T2D = %d, want 4000000", o.T2DCycles)
+	}
+	// 4M cycles at 2 GHz = 2 ms.
+	if ms := float64(o.T2DCycles) / CyclesPerMS; ms != 2.0 {
+		t.Errorf("ms = %f", ms)
+	}
+	// Detection without a successful injection carries no latency.
+	res2 := &interp.Result{Kind: interp.ExitDetect, FaultSeen: false, Cycles: 100}
+	if o2 := r.classify(golden, res2); o2.T2DCycles != 0 {
+		t.Error("no injection → no latency")
+	}
+}

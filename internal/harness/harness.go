@@ -1,0 +1,467 @@
+// Package harness implements the paper's experimental framework
+// (§3.3–§3.6): variant builds (Figure 3.5), the experiment tuple
+// (W, C, D, I, RN), and the evaluation metrics — overhead, coverage,
+// conditional coverage, and detection latency — together with the
+// campaign drivers and renderers that regenerate every table and figure
+// of the evaluation chapters.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/faultinject"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+	"dpmr/internal/mem"
+	"dpmr/internal/opt"
+	"dpmr/internal/workloads"
+)
+
+// CyclesPerMS converts the deterministic cycle clock to "milliseconds" of
+// the Table 3.1 testbed (2 GHz CPU).
+const CyclesPerMS = 2_000_000
+
+// transformSeed fixes compile-time randomness (static load-checking site
+// selection) so every run of a variant executes the same binary.
+const transformSeed = 12345
+
+// Variant is one build configuration (Figure 3.5): the standard
+// application, or a DPMR build identified by design, diversity
+// transformation, and comparison policy.
+type Variant struct {
+	DPMR      bool
+	Design    dpmr.Design
+	Diversity dpmr.Diversity
+	Policy    dpmr.Policy
+}
+
+// Stdapp is the untransformed application variant.
+func Stdapp() Variant { return Variant{} }
+
+// NewVariant builds a DPMR variant.
+func NewVariant(design dpmr.Design, div dpmr.Diversity, pol dpmr.Policy) Variant {
+	return Variant{DPMR: true, Design: design, Diversity: div, Policy: pol}
+}
+
+// Label uniquely identifies the variant (used as the result-map key).
+func (v Variant) Label() string {
+	if !v.DPMR {
+		return "stdapp"
+	}
+	return v.Design.String() + "/" + v.Diversity.Name() + "/" + v.Policy.Name()
+}
+
+// DiversityLabel is the per-diversity short label used in Figures
+// 3.6–3.10.
+func (v Variant) DiversityLabel() string {
+	if !v.DPMR {
+		return "stdapp"
+	}
+	return v.Diversity.Name()
+}
+
+// PolicyLabel is the per-policy short label used in Figures 3.11–3.15.
+func (v Variant) PolicyLabel() string {
+	if !v.DPMR {
+		return "stdapp"
+	}
+	return v.Policy.Name()
+}
+
+// DiversityVariants returns the Figure 3.6–3.10 variant set: stdapp plus
+// one DPMR variant per diversity transformation, all using the all-loads
+// policy.
+func DiversityVariants(design dpmr.Design) []Variant {
+	out := []Variant{Stdapp()}
+	for _, d := range dpmr.Diversities() {
+		out = append(out, NewVariant(design, d, dpmr.AllLoads{}))
+	}
+	return out
+}
+
+// PolicyVariants returns the Figure 3.11–3.15 variant set: stdapp plus one
+// DPMR variant per comparison policy, all using rearrange-heap (the
+// best-performing diversity, §3.8).
+func PolicyVariants(design dpmr.Design) []Variant {
+	out := []Variant{Stdapp()}
+	for _, p := range dpmr.Policies() {
+		out = append(out, NewVariant(design, dpmr.RearrangeHeap{}, p))
+	}
+	return out
+}
+
+// Runner executes experiments. The zero value is not usable; construct
+// with NewRunner.
+type Runner struct {
+	// Runs per (W, C, D, I) tuple; each run RN seeds the VM differently.
+	Runs int
+	// TimeoutFactor multiplies golden steps into the step budget
+	// ("approximately 20 times the normal running time", §3.6).
+	TimeoutFactor uint64
+	// MemConfig sizes experiment address spaces.
+	MemConfig mem.Config
+	// Optimize runs the post-transform optimizer stage on every variant
+	// build, golden included (Figure 3.5 applies an optimize stage to all
+	// compilation paths). Off by default so recorded numbers stay stable;
+	// the optimizer ablation bench flips it.
+	Optimize bool
+
+	golden map[string]*goldenInfo
+}
+
+type goldenInfo struct {
+	res *interp.Result
+}
+
+// NewRunner returns a Runner with the paper-matching defaults.
+func NewRunner() *Runner {
+	return &Runner{
+		Runs:          2,
+		TimeoutFactor: 20,
+		MemConfig: mem.Config{
+			HeapBytes:   4 * 1024 * 1024,
+			StackBytes:  256 * 1024,
+			GlobalBytes: 64 * 1024,
+		},
+		golden: make(map[string]*goldenInfo),
+	}
+}
+
+// Golden runs (and caches) the fault-free standard build of w.
+func (r *Runner) Golden(w workloads.Workload) (*interp.Result, error) {
+	if g, ok := r.golden[w.Name]; ok {
+		return g.res, nil
+	}
+	m := w.Build()
+	if r.Optimize {
+		opt.Run(m)
+	}
+	res := interp.Run(m, interp.Config{Externs: extlib.Base(), Mem: r.MemConfig})
+	if res.Kind != interp.ExitNormal || res.Code != 0 {
+		return nil, fmt.Errorf("harness: golden %s failed: %v code %d (%s)", w.Name, res.Kind, res.Code, res.Reason)
+	}
+	r.golden[w.Name] = &goldenInfo{res: res}
+	return res, nil
+}
+
+// buildVariant produces the executable module for (workload, variant,
+// injection).
+func (r *Runner) buildVariant(w workloads.Workload, v Variant, inj *faultinject.Site) (*ir.Module, error) {
+	m := w.Build()
+	if inj != nil {
+		if err := faultinject.Apply(m, *inj); err != nil {
+			return nil, err
+		}
+	}
+	if !v.DPMR {
+		if r.Optimize {
+			opt.Run(m)
+		}
+		return m, nil
+	}
+	xm, err := dpmr.Transform(m, dpmr.Config{
+		Design:    v.Design,
+		Diversity: v.Diversity,
+		Policy:    v.Policy,
+		Seed:      transformSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.Optimize {
+		opt.Run(xm)
+	}
+	return xm, nil
+}
+
+// Outcome classifies one experiment run per §3.6.
+type Outcome struct {
+	Res *interp.Result
+	// SF: the injected fault code executed at least once.
+	SF bool
+	// CO: literal correct output — the run produced exactly the golden
+	// run's output and exit status.
+	CO bool
+	// NatDet: natural detection — a crash (trap) or application-level
+	// error signalling (nonzero, non-golden exit code).
+	NatDet bool
+	// DpmrDet: DPMR replica-comparison detection.
+	DpmrDet bool
+	// T2DCycles: time to fault detection (total − time to first
+	// successful injection), valid when Detected() and SF.
+	T2DCycles uint64
+}
+
+// Covered reports CO ∨ NatDet ∨ DpmrDet (Equation 3.2).
+func (o Outcome) Covered() bool { return o.CO || o.NatDet || o.DpmrDet }
+
+// Detected reports any detection.
+func (o Outcome) Detected() bool { return o.NatDet || o.DpmrDet }
+
+// RunOnce executes one experiment (W, C, D, I, RN).
+func (r *Runner) RunOnce(w workloads.Workload, v Variant, inj *faultinject.Site, rn int) (Outcome, error) {
+	golden, err := r.Golden(w)
+	if err != nil {
+		return Outcome{}, err
+	}
+	m, err := r.buildVariant(w, v, inj)
+	if err != nil {
+		return Outcome{}, err
+	}
+	externs := extlib.Base()
+	if v.DPMR {
+		externs = extlib.Wrapped(v.Design)
+	}
+	res := interp.Run(m, interp.Config{
+		Externs:   externs,
+		Mem:       r.MemConfig,
+		Seed:      int64(rn) + 1,
+		StepLimit: golden.Steps * r.TimeoutFactor * 5, // DPMR variants are slower per step budget
+	})
+	return r.classify(golden, res), nil
+}
+
+func (r *Runner) classify(golden, res *interp.Result) Outcome {
+	o := Outcome{Res: res, SF: res.FaultSeen}
+	switch res.Kind {
+	case interp.ExitNormal:
+		if res.Code == golden.Code && bytes.Equal(res.Output, golden.Output) {
+			o.CO = true
+		} else if res.Code != 0 && res.Code != golden.Code {
+			// Application-dependent error signalling (§3.6 natural
+			// detection: "an exit with an error-identifying return
+			// value").
+			o.NatDet = true
+		}
+	case interp.ExitTrap:
+		o.NatDet = true
+	case interp.ExitDetect:
+		o.DpmrDet = true
+	case interp.ExitTimeout:
+		// Neither covered nor detected.
+	case interp.ExitError:
+		// Harness bug: surface loudly via NatDet=false, CO=false.
+	}
+	if o.Detected() && res.FaultSeen && res.Cycles >= res.FaultCycle {
+		o.T2DCycles = res.Cycles - res.FaultCycle
+	}
+	return o
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated metrics
+
+// CoverageCell aggregates coverage for one (workload, variant) pair:
+// disjoint fractions of successfully injected experiments (Figures
+// 3.6–3.9 stacked bars).
+type CoverageCell struct {
+	N       int     // successful injections observed
+	CO      float64 // correct output
+	NatDet  float64 // natural detection (and not CO)
+	DpmrDet float64 // DPMR detection (and not CO)
+	// MeanT2DMS averages detection latency over detected runs
+	// (Tables 3.3/3.4/4.5/4.6).
+	MeanT2DMS float64
+	detN      int
+}
+
+// Coverage returns total coverage.
+func (c CoverageCell) Coverage() float64 { return c.CO + c.NatDet + c.DpmrDet }
+
+func (c *CoverageCell) add(o Outcome) {
+	if !o.SF {
+		return
+	}
+	c.N++
+	switch {
+	case o.CO:
+		c.CO++
+	case o.DpmrDet:
+		c.DpmrDet++
+	case o.NatDet:
+		c.NatDet++
+	}
+	if o.Detected() && !o.CO {
+		c.MeanT2DMS += float64(o.T2DCycles) / CyclesPerMS
+		c.detN++
+	}
+}
+
+func (c *CoverageCell) finalize() {
+	if c.N > 0 {
+		c.CO /= float64(c.N)
+		c.NatDet /= float64(c.N)
+		c.DpmrDet /= float64(c.N)
+	}
+	if c.detN > 0 {
+		c.MeanT2DMS /= float64(c.detN)
+	}
+}
+
+// CampaignConfig controls a fault-injection campaign.
+type CampaignConfig struct {
+	Workloads []workloads.Workload
+	Variants  []Variant
+	Kind      faultinject.Kind
+	// MaxSites caps injection sites per workload (0 = all); the cap
+	// samples evenly across the site list.
+	MaxSites int
+}
+
+// CampaignResult holds per-(workload, variant) coverage plus the
+// conditional-coverage aggregate (Figures 3.8/3.9: combined across
+// applications, conditioned on StdNotAllDet).
+type CampaignResult struct {
+	Kind        faultinject.Kind
+	Workloads   []string
+	Variants    []Variant
+	Cells       map[string]map[string]*CoverageCell // variant label → workload → cell
+	Conditional map[string]*CoverageCell            // variant label → aggregate
+}
+
+// Cell retrieves a coverage cell.
+func (cr *CampaignResult) Cell(variant Variant, workload string) *CoverageCell {
+	return cr.Cells[variant.Label()][workload]
+}
+
+// RunCampaign executes the full injection campaign: for every workload,
+// every enumerated site of the fault kind, every variant, Runs runs.
+func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	cr := &CampaignResult{
+		Kind:        cfg.Kind,
+		Variants:    cfg.Variants,
+		Cells:       make(map[string]map[string]*CoverageCell),
+		Conditional: make(map[string]*CoverageCell),
+	}
+	for _, v := range cfg.Variants {
+		cr.Cells[v.Label()] = make(map[string]*CoverageCell)
+		cr.Conditional[v.Label()] = &CoverageCell{}
+	}
+	for _, w := range cfg.Workloads {
+		cr.Workloads = append(cr.Workloads, w.Name)
+		sites := faultinject.Enumerate(w.Build(), cfg.Kind)
+		sites = sampleSites(sites, cfg.MaxSites)
+		for _, v := range cfg.Variants {
+			if cr.Cells[v.Label()][w.Name] == nil {
+				cr.Cells[v.Label()][w.Name] = &CoverageCell{}
+			}
+		}
+		for _, site := range sites {
+			site := site
+			// Per-injection StdNotAllDet: at least one stdapp run with
+			// incorrect output and no natural detection (Table 3.2).
+			stdNotAllDet := false
+			stdOutcomes := make([]Outcome, 0, r.Runs)
+			for rn := 0; rn < r.Runs; rn++ {
+				o, err := r.RunOnce(w, Stdapp(), &site, rn)
+				if err != nil {
+					return nil, fmt.Errorf("stdapp %s %s: %w", w.Name, site, err)
+				}
+				stdOutcomes = append(stdOutcomes, o)
+				if o.SF && !o.CO && !o.NatDet {
+					stdNotAllDet = true
+				}
+			}
+			for _, v := range cfg.Variants {
+				outcomes := stdOutcomes
+				if v.DPMR {
+					outcomes = outcomes[:0:0]
+					for rn := 0; rn < r.Runs; rn++ {
+						o, err := r.RunOnce(w, v, &site, rn)
+						if err != nil {
+							return nil, fmt.Errorf("%s %s %s: %w", v.Label(), w.Name, site, err)
+						}
+						outcomes = append(outcomes, o)
+					}
+				}
+				cell := cr.Cells[v.Label()][w.Name]
+				cond := cr.Conditional[v.Label()]
+				for _, o := range outcomes {
+					cell.add(o)
+					if stdNotAllDet {
+						cond.add(o)
+					}
+				}
+			}
+		}
+	}
+	for _, byW := range cr.Cells {
+		for _, c := range byW {
+			c.finalize()
+		}
+	}
+	for _, c := range cr.Conditional {
+		c.finalize()
+	}
+	return cr, nil
+}
+
+func sampleSites(sites []faultinject.Site, max int) []faultinject.Site {
+	if max <= 0 || len(sites) <= max {
+		return sites
+	}
+	out := make([]faultinject.Site, 0, max)
+	step := float64(len(sites)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, sites[int(float64(i)*step)])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Overhead experiments (no injections)
+
+// OverheadResult maps variant label → workload → overhead (×golden,
+// Equation 3.1).
+type OverheadResult struct {
+	Workloads []string
+	Variants  []Variant
+	Ratio     map[string]map[string]float64
+	// Cycles carries the raw per-variant cycles for benches.
+	Cycles map[string]map[string]uint64
+}
+
+// RunOverhead measures execution-time overhead for each variant.
+func (r *Runner) RunOverhead(ws []workloads.Workload, variants []Variant) (*OverheadResult, error) {
+	or := &OverheadResult{
+		Variants: variants,
+		Ratio:    make(map[string]map[string]float64),
+		Cycles:   make(map[string]map[string]uint64),
+	}
+	for _, v := range variants {
+		or.Ratio[v.Label()] = make(map[string]float64)
+		or.Cycles[v.Label()] = make(map[string]uint64)
+	}
+	for _, w := range ws {
+		or.Workloads = append(or.Workloads, w.Name)
+		golden, err := r.Golden(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range variants {
+			if !v.DPMR {
+				or.Ratio[v.Label()][w.Name] = 1.0
+				or.Cycles[v.Label()][w.Name] = golden.Cycles
+				continue
+			}
+			m, err := r.buildVariant(w, v, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, v.Label(), err)
+			}
+			res := interp.Run(m, interp.Config{
+				Externs: extlib.Wrapped(v.Design),
+				Mem:     r.MemConfig,
+				Seed:    1,
+			})
+			if res.Kind != interp.ExitNormal {
+				return nil, fmt.Errorf("%s/%s: %v (%s)", w.Name, v.Label(), res.Kind, res.Reason)
+			}
+			or.Ratio[v.Label()][w.Name] = float64(res.Cycles) / float64(golden.Cycles)
+			or.Cycles[v.Label()][w.Name] = res.Cycles
+		}
+	}
+	return or, nil
+}

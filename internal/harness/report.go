@@ -1,0 +1,361 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/faultinject"
+	"dpmr/internal/workloads"
+)
+
+// Options tunes experiment regeneration.
+type Options struct {
+	// Runs per experiment tuple (default 2).
+	Runs int
+	// MaxSites caps injection sites per workload (default 0 = all).
+	MaxSites int
+	// Quick restricts to two workloads and few sites for smoke runs.
+	Quick bool
+}
+
+func (o Options) runner() *Runner {
+	r := NewRunner()
+	if o.Runs > 0 {
+		r.Runs = o.Runs
+	}
+	if o.Quick && o.Runs == 0 {
+		r.Runs = 1
+	}
+	return r
+}
+
+func (o Options) workloads() []workloads.Workload {
+	all := workloads.All()
+	if o.Quick {
+		return all[:2]
+	}
+	return all
+}
+
+func (o Options) maxSites() int {
+	if o.Quick && o.MaxSites == 0 {
+		return 3
+	}
+	return o.MaxSites
+}
+
+// ExperimentIDs lists every regenerable table/figure id in paper order.
+func ExperimentIDs() []string {
+	return []string{
+		"fig3.6", "fig3.7", "fig3.8", "fig3.9", "fig3.10",
+		"tab3.3", "fig3.11", "fig3.12", "fig3.13", "fig3.14",
+		"fig3.15", "fig3.16", "tab3.4",
+		"fig4.3", "fig4.4", "fig4.5", "fig4.6",
+		"fig4.7", "fig4.8", "fig4.9", "fig4.10",
+		"fig4.11", "fig4.12", "fig4.13", "fig4.14",
+		"tab4.5", "tab4.6",
+	}
+}
+
+// Generate regenerates the named table/figure, writing its data to w.
+func Generate(id string, w io.Writer, opts Options) error {
+	gen, ok := generators()[id]
+	if !ok {
+		return fmt.Errorf("harness: unknown experiment id %q (known: %s)",
+			id, strings.Join(ExperimentIDs(), ", "))
+	}
+	return gen(w, opts)
+}
+
+type genFunc func(io.Writer, Options) error
+
+func generators() map[string]genFunc {
+	g := map[string]genFunc{}
+
+	// Chapter 3 (SDS) — diversity transformations.
+	g["fig3.6"] = coverageGen("Figure 3.6: Mean heap array resize coverage of diversity transformations (SDS)",
+		dpmr.SDS, faultinject.HeapArrayResize, DiversityVariants, false, labelDiversity)
+	g["fig3.7"] = coverageGen("Figure 3.7: Mean immediate free coverage of diversity transformations (SDS)",
+		dpmr.SDS, faultinject.ImmediateFree, DiversityVariants, false, labelDiversity)
+	g["fig3.8"] = coverageGen("Figure 3.8: Mean heap array resize conditional coverage of diversity transformations (SDS)",
+		dpmr.SDS, faultinject.HeapArrayResize, DiversityVariants, true, labelDiversity)
+	g["fig3.9"] = coverageGen("Figure 3.9: Mean immediate free conditional coverage of diversity transformations (SDS)",
+		dpmr.SDS, faultinject.ImmediateFree, DiversityVariants, true, labelDiversity)
+	g["fig3.10"] = overheadGen("Figure 3.10: Overhead of diversity transformations (SDS, ×golden)",
+		func() []Variant { return DiversityVariants(dpmr.SDS) }, labelDiversity)
+	g["tab3.3"] = latencyGen("Table 3.3: Mean time to detection of diversity transformations (SDS, ms)",
+		dpmr.SDS, DiversityVariants, labelDiversity)
+
+	// Chapter 3 (SDS) — comparison policies.
+	g["fig3.11"] = coverageGen("Figure 3.11: Mean heap array resize coverage of state comparison policies (SDS, rearrange-heap)",
+		dpmr.SDS, faultinject.HeapArrayResize, PolicyVariants, false, labelPolicy)
+	g["fig3.12"] = coverageGen("Figure 3.12: Mean immediate free coverage of state comparison policies (SDS, rearrange-heap)",
+		dpmr.SDS, faultinject.ImmediateFree, PolicyVariants, false, labelPolicy)
+	g["fig3.13"] = coverageGen("Figure 3.13: Mean heap array resize conditional coverage of state comparison policies (SDS)",
+		dpmr.SDS, faultinject.HeapArrayResize, PolicyVariants, true, labelPolicy)
+	g["fig3.14"] = coverageGen("Figure 3.14: Mean immediate free conditional coverage of state comparison policies (SDS)",
+		dpmr.SDS, faultinject.ImmediateFree, PolicyVariants, true, labelPolicy)
+	g["fig3.15"] = overheadGen("Figure 3.15: Overhead of state comparison policies (SDS, rearrange-heap, ×golden)",
+		func() []Variant { return PolicyVariants(dpmr.SDS) }, labelPolicy)
+	g["fig3.16"] = fig316
+	g["tab3.4"] = latencyGen("Table 3.4: Mean time to detection of state comparison policies (SDS, ms)",
+		dpmr.SDS, PolicyVariants, labelPolicy)
+
+	// Chapter 4 (MDS).
+	g["fig4.3"] = fig43
+	g["fig4.4"] = fig44
+	g["fig4.5"] = overheadGen("Figure 4.5: MDS overhead of diversity transformations (×golden)",
+		func() []Variant { return DiversityVariants(dpmr.MDS) }, labelDiversity)
+	g["fig4.6"] = overheadGen("Figure 4.6: MDS overhead of state comparison policies (rearrange-heap, ×golden)",
+		func() []Variant { return PolicyVariants(dpmr.MDS) }, labelPolicy)
+	g["fig4.7"] = coverageGen("Figure 4.7: Mean MDS heap array resize coverage of diversity transformations",
+		dpmr.MDS, faultinject.HeapArrayResize, DiversityVariants, false, labelDiversity)
+	g["fig4.8"] = coverageGen("Figure 4.8: Mean MDS immediate free coverage of diversity transformations",
+		dpmr.MDS, faultinject.ImmediateFree, DiversityVariants, false, labelDiversity)
+	g["fig4.9"] = coverageGen("Figure 4.9: Mean MDS heap array resize conditional coverage of diversity transformations",
+		dpmr.MDS, faultinject.HeapArrayResize, DiversityVariants, true, labelDiversity)
+	g["fig4.10"] = coverageGen("Figure 4.10: Mean MDS immediate free conditional coverage of diversity transformations",
+		dpmr.MDS, faultinject.ImmediateFree, DiversityVariants, true, labelDiversity)
+	g["fig4.11"] = coverageGen("Figure 4.11: Mean MDS heap array resize coverage of state comparison policies",
+		dpmr.MDS, faultinject.HeapArrayResize, PolicyVariants, false, labelPolicy)
+	g["fig4.12"] = coverageGen("Figure 4.12: Mean MDS immediate free coverage of state comparison policies",
+		dpmr.MDS, faultinject.ImmediateFree, PolicyVariants, false, labelPolicy)
+	g["fig4.13"] = coverageGen("Figure 4.13: Mean MDS heap array resize conditional coverage of state comparison policies",
+		dpmr.MDS, faultinject.HeapArrayResize, PolicyVariants, true, labelPolicy)
+	g["fig4.14"] = coverageGen("Figure 4.14: Mean MDS immediate free conditional coverage of state comparison policies",
+		dpmr.MDS, faultinject.ImmediateFree, PolicyVariants, true, labelPolicy)
+	g["tab4.5"] = latencyGen("Table 4.5: Mean time to detection of diversity transformations under MDS (ms)",
+		dpmr.MDS, DiversityVariants, labelDiversity)
+	g["tab4.6"] = latencyGen("Table 4.6: Mean time to detection of state comparison policies under MDS (ms)",
+		dpmr.MDS, PolicyVariants, labelPolicy)
+	return g
+}
+
+type labelFunc func(Variant) string
+
+func labelDiversity(v Variant) string { return v.DiversityLabel() }
+func labelPolicy(v Variant) string    { return v.PolicyLabel() }
+
+// ---------------------------------------------------------------------------
+// Generators
+
+func coverageGen(title string, design dpmr.Design, kind faultinject.Kind,
+	variantsOf func(dpmr.Design) []Variant, conditional bool, lbl labelFunc) genFunc {
+	return func(w io.Writer, opts Options) error {
+		r := opts.runner()
+		ws := opts.workloads()
+		cr, err := r.RunCampaign(CampaignConfig{
+			Workloads: ws,
+			Variants:  variantsOf(design),
+			Kind:      kind,
+			MaxSites:  opts.maxSites(),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, title)
+		if conditional {
+			renderConditional(w, cr, lbl)
+		} else {
+			renderCoverage(w, cr, lbl)
+		}
+		return nil
+	}
+}
+
+func renderCoverage(w io.Writer, cr *CampaignResult, lbl labelFunc) {
+	fmt.Fprintf(w, "%-20s", "variant")
+	for _, name := range cr.Workloads {
+		fmt.Fprintf(w, " %26s", name+" (CO/Nat/Dpmr=cov)")
+	}
+	fmt.Fprintln(w)
+	for _, v := range cr.Variants {
+		fmt.Fprintf(w, "%-20s", lbl(v))
+		for _, name := range cr.Workloads {
+			c := cr.Cells[v.Label()][name]
+			fmt.Fprintf(w, " %10s", "")
+			fmt.Fprintf(w, "%.2f/%.2f/%.2f=%.2f", c.CO, c.NatDet, c.DpmrDet, c.Coverage())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func renderConditional(w io.Writer, cr *CampaignResult, lbl labelFunc) {
+	fmt.Fprintf(w, "%-20s %8s %8s %8s %8s %6s\n", "variant", "CO", "NatDet", "DpmrDet", "coverage", "n")
+	for _, v := range cr.Variants {
+		c := cr.Conditional[v.Label()]
+		fmt.Fprintf(w, "%-20s %8.2f %8.2f %8.2f %8.2f %6d\n",
+			lbl(v), c.CO, c.NatDet, c.DpmrDet, c.Coverage(), c.N)
+	}
+}
+
+func overheadGen(title string, variantsOf func() []Variant, lbl labelFunc) genFunc {
+	return func(w io.Writer, opts Options) error {
+		r := opts.runner()
+		ws := opts.workloads()
+		or, err := r.RunOverhead(ws, variantsOf())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, title)
+		renderOverhead(w, or, lbl)
+		return nil
+	}
+}
+
+func renderOverhead(w io.Writer, or *OverheadResult, lbl labelFunc) {
+	fmt.Fprintf(w, "%-20s", "variant")
+	for _, name := range or.Workloads {
+		fmt.Fprintf(w, " %8s", name)
+	}
+	fmt.Fprintln(w)
+	for _, v := range or.Variants {
+		fmt.Fprintf(w, "%-20s", lbl(v))
+		for _, name := range or.Workloads {
+			fmt.Fprintf(w, " %8.2f", or.Ratio[v.Label()][name])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func latencyGen(title string, design dpmr.Design, variantsOf func(dpmr.Design) []Variant, lbl labelFunc) genFunc {
+	return func(w io.Writer, opts Options) error {
+		r := opts.runner()
+		ws := opts.workloads()
+		fmt.Fprintln(w, title)
+		for _, kind := range []faultinject.Kind{faultinject.HeapArrayResize, faultinject.ImmediateFree} {
+			cr, err := r.RunCampaign(CampaignConfig{
+				Workloads: ws,
+				Variants:  variantsOf(design),
+				Kind:      kind,
+				MaxSites:  opts.maxSites(),
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "-- %s --\n", kind)
+			fmt.Fprintf(w, "%-20s", "variant")
+			for _, name := range cr.Workloads {
+				fmt.Fprintf(w, " %10s", name)
+			}
+			fmt.Fprintln(w)
+			for _, v := range cr.Variants {
+				if !v.DPMR {
+					continue // the tables list DPMR variants only
+				}
+				fmt.Fprintf(w, "%-20s", lbl(v))
+				for _, name := range cr.Workloads {
+					fmt.Fprintf(w, " %10.3f", cr.Cells[v.Label()][name].MeanT2DMS)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+		return nil
+	}
+}
+
+// fig316 is the Figure 3.16 ablation: naive temporal checking vs. the
+// periodicity-exploiting gate.
+func fig316(w io.Writer, opts Options) error {
+	r := opts.runner()
+	ws := opts.workloads()
+	variants := []Variant{
+		Stdapp(),
+		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.TemporalHalf),
+		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.PeriodicLoadChecking{Period: 2}),
+	}
+	or, err := r.RunOverhead(ws, variants)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 3.16: Exploiting periodicity to improve temporal load-checking overhead (SDS, ×golden)")
+	renderOverhead(w, or, labelPolicy)
+	return nil
+}
+
+// fig43 renders the side-by-side SDS/MDS diversity overhead comparison.
+func fig43(w io.Writer, opts Options) error {
+	r := opts.runner()
+	ws := opts.workloads()
+	divs := []dpmr.Diversity{
+		dpmr.NoDiversity{}, dpmr.ZeroBeforeFree{}, dpmr.RearrangeHeap{}, dpmr.PadMalloc{Pad: 32},
+	}
+	fmt.Fprintln(w, "Figure 4.3: Side-by-side diversity transformation overheads of SDS and MDS (×golden)")
+	return sideBySide(w, r, ws, func(design dpmr.Design) []Variant {
+		var vs []Variant
+		for _, d := range divs {
+			vs = append(vs, NewVariant(design, d, dpmr.AllLoads{}))
+		}
+		return vs
+	}, labelDiversity)
+}
+
+// fig44 renders the side-by-side SDS/MDS policy overhead comparison
+// (static policies plus all-loads; temporal is excluded as in the paper,
+// §4.5).
+func fig44(w io.Writer, opts Options) error {
+	r := opts.runner()
+	ws := opts.workloads()
+	pols := []dpmr.Policy{
+		dpmr.StaticLoadChecking{Percent: 10},
+		dpmr.StaticLoadChecking{Percent: 50},
+		dpmr.StaticLoadChecking{Percent: 90},
+		dpmr.AllLoads{},
+	}
+	fmt.Fprintln(w, "Figure 4.4: Side-by-side comparison policy overheads of SDS and MDS (rearrange-heap, ×golden)")
+	return sideBySide(w, r, ws, func(design dpmr.Design) []Variant {
+		var vs []Variant
+		for _, p := range pols {
+			vs = append(vs, NewVariant(design, dpmr.RearrangeHeap{}, p))
+		}
+		return vs
+	}, labelPolicy)
+}
+
+func sideBySide(w io.Writer, r *Runner, ws []workloads.Workload,
+	variantsOf func(dpmr.Design) []Variant, lbl labelFunc) error {
+	sds, err := r.RunOverhead(ws, variantsOf(dpmr.SDS))
+	if err != nil {
+		return err
+	}
+	mds, err := r.RunOverhead(ws, variantsOf(dpmr.MDS))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-26s", "variant")
+	for _, name := range sds.Workloads {
+		fmt.Fprintf(w, " %8s", name)
+	}
+	fmt.Fprintln(w)
+	for i, v := range sds.Variants {
+		fmt.Fprintf(w, "SDS %-22s", lbl(v))
+		for _, name := range sds.Workloads {
+			fmt.Fprintf(w, " %8.2f", sds.Ratio[v.Label()][name])
+		}
+		fmt.Fprintln(w)
+		mv := mds.Variants[i]
+		fmt.Fprintf(w, "MDS %-22s", lbl(mv))
+		for _, name := range mds.Workloads {
+			fmt.Fprintf(w, " %8.2f", mds.Ratio[mv.Label()][name])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// GenerateAll regenerates every experiment in order.
+func GenerateAll(w io.Writer, opts Options) error {
+	ids := ExperimentIDs()
+	sort.SliceStable(ids, func(i, j int) bool { return false }) // keep paper order
+	for _, id := range ids {
+		if err := Generate(id, w, opts); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

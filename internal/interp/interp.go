@@ -1,0 +1,775 @@
+// Package interp executes IR modules over the simulated address space.
+// It is the runtime substrate for both untransformed ("golden"/"stdapp")
+// and DPMR-transformed program variants, and implements the observable
+// behaviours the paper's evaluation measures: normal exits, crashes
+// (traps), DPMR detections, timeouts, program output, a deterministic
+// cycle clock, and the time of first execution of injected fault code.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"dpmr/internal/ir"
+	"dpmr/internal/mem"
+)
+
+// ExitKind classifies how a program run ended.
+type ExitKind uint8
+
+// Exit kinds. ExitNormal covers both falling off main and explicit exit;
+// the harness inspects Code to distinguish error-signalling exits
+// (application-level natural detection, §3.6).
+const (
+	ExitNormal  ExitKind = iota + 1
+	ExitTrap             // simulated hardware fault: the paper's signal exit
+	ExitDetect           // DPMR detection (replica comparison mismatch)
+	ExitTimeout          // exceeded the step budget (§3.6 timeout exits)
+	ExitError            // harness/runtime configuration error
+)
+
+func (k ExitKind) String() string {
+	switch k {
+	case ExitNormal:
+		return "normal"
+	case ExitTrap:
+		return "trap"
+	case ExitDetect:
+		return "dpmr-detect"
+	case ExitTimeout:
+		return "timeout"
+	case ExitError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Result describes one program run.
+type Result struct {
+	Kind       ExitKind
+	Code       int64  // exit code for ExitNormal
+	Reason     string // trap/detection/error detail
+	Steps      uint64 // instructions executed
+	Cycles     uint64 // deterministic cycle clock
+	Output     []byte // program output stream
+	FaultSeen  bool   // a FaultPoint executed ("successful fault injection")
+	FaultCycle uint64 // cycle count at first FaultPoint execution
+	Mem        mem.Stats
+}
+
+// Extern is a Go-implemented external function (§2.8). It receives raw
+// argument scalars and returns a raw result. It may return a *mem.Trap, a
+// *Detection, or an *ExitRequest to stop the program.
+type Extern func(vm *VM, args []uint64) (uint64, error)
+
+// Detection is returned by externs (and raised by Assert) when DPMR state
+// comparison finds a mismatch.
+type Detection struct{ Reason string }
+
+func (d *Detection) Error() string { return "dpmr detection: " + d.Reason }
+
+// ExitRequest terminates the program from inside an extern.
+type ExitRequest struct{ Code int64 }
+
+func (e *ExitRequest) Error() string { return fmt.Sprintf("exit(%d)", e.Code) }
+
+// timeoutErr is an internal sentinel.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string { return "step budget exhausted" }
+
+// Config configures a VM.
+type Config struct {
+	Mem       mem.Config
+	StepLimit uint64 // 0 = effectively unlimited
+	Seed      int64  // PRNG seed (RandInt instruction, rearrange-heap)
+	Externs   map[string]Extern
+	MaxDepth  int // call depth limit; 0 = default 4096
+	// Args are command-line arguments (argv[1:]; argv[0] is the module
+	// name), materialized on the heap when main has an (argc, argv)
+	// signature.
+	Args []string
+	// Trace, when non-nil, receives one line per executed instruction
+	// ("cycle fn.block: instr"). Intended for debugging small programs;
+	// tracing a workload produces megabytes.
+	Trace io.Writer
+	// TraceLimit caps traced instructions (0 = unlimited).
+	TraceLimit uint64
+}
+
+// Instruction cycle costs beyond the base cost of 1.
+const (
+	costLoadBase  = 1
+	costStoreBase = 1
+	costBranch    = 2
+	costCall      = 6
+	costRet       = 3
+	costMallocOp  = 30
+	costFreeOp    = 20
+	costAlloca    = 4
+	costDiv       = 10
+	costFloatOp   = 3
+	costOutput    = 20
+	costAssert    = 2
+	costIntrinsic = 5
+)
+
+// VM is one executing program instance.
+type VM struct {
+	Module *ir.Module
+	Space  *mem.Space
+
+	cfg     Config
+	rng     *rand.Rand
+	output  []byte
+	steps   uint64
+	cycles  uint64
+	limit   uint64
+	depth   int
+	maxDep  int
+	globals map[string]uint64
+
+	faultSeen  bool
+	faultCycle uint64
+
+	funcAddr map[string]uint64
+	addrFunc map[uint64]*ir.Func
+}
+
+const funcAddrBase = 0x7F00_0000_0000_0000
+
+// NewVM builds a VM for module m, allocating and initializing globals.
+func NewVM(m *ir.Module, cfg Config) (*VM, error) {
+	limit := cfg.StepLimit
+	if limit == 0 {
+		limit = math.MaxUint64
+	}
+	maxDep := cfg.MaxDepth
+	if maxDep == 0 {
+		maxDep = 4096
+	}
+	vm := &VM{
+		Module:   m,
+		Space:    mem.NewSpace(cfg.Mem),
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		limit:    limit,
+		maxDep:   maxDep,
+		globals:  make(map[string]uint64, len(m.Globals)),
+		funcAddr: make(map[string]uint64, len(m.Funcs)),
+		addrFunc: make(map[uint64]*ir.Func, len(m.Funcs)),
+	}
+	for i, f := range m.Funcs {
+		a := uint64(funcAddrBase) + uint64(i)*16
+		vm.funcAddr[f.Name] = a
+		vm.addrFunc[a] = f
+	}
+	for _, g := range m.Globals {
+		addr, err := vm.Space.AllocGlobal(g.Elem.Size())
+		if err != nil {
+			return nil, fmt.Errorf("interp: global %s: %w", g.Name, err)
+		}
+		vm.globals[g.Name] = addr
+	}
+	// Apply initial images and pointer fixups after all addresses exist.
+	for _, g := range m.Globals {
+		addr := vm.globals[g.Name]
+		if g.Init != nil {
+			if len(g.Init) != g.Elem.Size() {
+				return nil, fmt.Errorf("interp: global %s init size %d, want %d", g.Name, len(g.Init), g.Elem.Size())
+			}
+			if trap := vm.Space.WriteBytes(addr, g.Init); trap != nil {
+				return nil, fmt.Errorf("interp: global %s init: %w", g.Name, trap)
+			}
+		}
+		for _, ref := range g.Refs {
+			var target uint64
+			switch {
+			case ref.Global != "":
+				target = vm.globals[ref.Global]
+			case ref.Func != "":
+				target = vm.funcAddr[ref.Func]
+			}
+			if target == 0 {
+				return nil, fmt.Errorf("interp: global %s ref to unknown symbol", g.Name)
+			}
+			if trap := vm.Space.Store(addr+uint64(ref.Offset), 8, target); trap != nil {
+				return nil, fmt.Errorf("interp: global %s ref fixup: %w", g.Name, trap)
+			}
+		}
+	}
+	return vm, nil
+}
+
+// Run executes main() and returns the run result. It never returns an
+// error for program-level failures — those are encoded in the Result.
+func Run(m *ir.Module, cfg Config) *Result {
+	vm, err := NewVM(m, cfg)
+	if err != nil {
+		return &Result{Kind: ExitError, Reason: err.Error()}
+	}
+	return vm.Run()
+}
+
+// Run executes main() on an initialized VM.
+func (vm *VM) Run() *Result {
+	mainFn := vm.Module.Func("main")
+	res := &Result{}
+	if mainFn == nil {
+		res.Kind = ExitError
+		res.Reason = "no main function"
+		return res
+	}
+	args, err := vm.mainArgs(mainFn)
+	if err != nil {
+		res.Kind = ExitError
+		res.Reason = err.Error()
+		return res
+	}
+	ret, err := vm.Call(mainFn, args)
+	switch e := err.(type) {
+	case nil:
+		res.Kind = ExitNormal
+		if mainFn.Sig.Ret.Kind() != ir.KindVoid {
+			res.Code = int64(ret)
+		}
+	case *mem.Trap:
+		res.Kind = ExitTrap
+		res.Reason = e.Reason
+	case *Detection:
+		res.Kind = ExitDetect
+		res.Reason = e.Reason
+	case *ExitRequest:
+		res.Kind = ExitNormal
+		res.Code = e.Code
+	case timeoutErr:
+		res.Kind = ExitTimeout
+		res.Reason = "timeout"
+	default:
+		res.Kind = ExitError
+		res.Reason = err.Error()
+	}
+	res.Steps = vm.steps
+	res.Cycles = vm.cycles
+	res.Output = vm.output
+	res.FaultSeen = vm.faultSeen
+	res.FaultCycle = vm.faultCycle
+	res.Mem = vm.Space.Stats()
+	return res
+}
+
+// mainArgs materializes argc/argv for main(argc, argv)-style entry points
+// (empty for parameterless main). argv[0] is the module name.
+func (vm *VM) mainArgs(mainFn *ir.Func) ([]uint64, error) {
+	switch len(mainFn.Params) {
+	case 0:
+		return nil, nil
+	case 2:
+		argvStrings := append([]string{vm.Module.Name}, vm.cfg.Args...)
+		argc := uint64(len(argvStrings))
+		arr, trap := vm.Space.Malloc(argc * 8)
+		if trap != nil {
+			return nil, trap
+		}
+		for i, s := range argvStrings {
+			buf, trap := vm.Space.Malloc(uint64(len(s)) + 1)
+			if trap != nil {
+				return nil, trap
+			}
+			if trap := vm.Space.WriteBytes(buf, append([]byte(s), 0)); trap != nil {
+				return nil, trap
+			}
+			if trap := vm.Space.Store(arr+uint64(i)*8, 8, buf); trap != nil {
+				return nil, trap
+			}
+		}
+		return []uint64{argc, arr}, nil
+	default:
+		return nil, fmt.Errorf("unsupported main signature with %d params", len(mainFn.Params))
+	}
+}
+
+// Cycles returns the current cycle clock.
+func (vm *VM) Cycles() uint64 { return vm.cycles }
+
+// Charge adds cycles to the clock (used by extern implementations).
+func (vm *VM) Charge(c uint64) { vm.cycles += c }
+
+// Rand exposes the deterministic PRNG to externs.
+func (vm *VM) Rand() *rand.Rand { return vm.rng }
+
+// AppendOutput adds bytes to the program output stream.
+func (vm *VM) AppendOutput(b []byte) { vm.output = append(vm.output, b...) }
+
+// GlobalAddr returns the runtime address of a global.
+func (vm *VM) GlobalAddr(name string) (uint64, bool) {
+	a, ok := vm.globals[name]
+	return a, ok
+}
+
+// FuncByAddr resolves a function pointer value.
+func (vm *VM) FuncByAddr(addr uint64) (*ir.Func, bool) {
+	f, ok := vm.addrFunc[addr]
+	return f, ok
+}
+
+// FuncAddr returns the synthetic address of a function.
+func (vm *VM) FuncAddr(name string) (uint64, bool) {
+	a, ok := vm.funcAddr[name]
+	return a, ok
+}
+
+// Call invokes fn with raw argument scalars. Used for main and by extern
+// wrappers that need to call back into IR (e.g. qsort's comparator).
+func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
+	if fn.External {
+		impl, ok := vm.cfg.Externs[fn.Name]
+		if !ok {
+			return 0, fmt.Errorf("unresolved external function %s", fn.Name)
+		}
+		vm.cycles += costCall
+		return impl(vm, args)
+	}
+	if vm.depth >= vm.maxDep {
+		return 0, &mem.Trap{Reason: "call stack depth exceeded"}
+	}
+	if len(args) != len(fn.Params) {
+		return 0, fmt.Errorf("call of %s with %d args, want %d", fn.Name, len(args), len(fn.Params))
+	}
+	vm.depth++
+	mark := vm.Space.PushFrame()
+	defer func() {
+		vm.Space.PopFrame(mark)
+		vm.depth--
+	}()
+
+	regs := make([]uint64, fn.NumRegs())
+	for i, p := range fn.Params {
+		regs[p.ID] = args[i]
+	}
+	block := fn.Entry()
+	ip := 0
+	for {
+		if ip >= len(block.Instrs) {
+			return 0, fmt.Errorf("fell off block %s in %s", block.Name, fn.Name)
+		}
+		in := block.Instrs[ip]
+		vm.steps++
+		vm.cycles++
+		if vm.steps > vm.limit {
+			return 0, timeoutErr{}
+		}
+		if vm.cfg.Trace != nil && (vm.cfg.TraceLimit == 0 || vm.steps <= vm.cfg.TraceLimit) {
+			fmt.Fprintf(vm.cfg.Trace, "%10d @%s.%s: %s\n", vm.cycles, fn.Name, block.Name, in)
+		}
+		switch i := in.(type) {
+		case *ir.ConstInt:
+			regs[i.Dst.ID] = normInt(uint64(i.Val), i.Dst.Type)
+		case *ir.ConstFloat:
+			regs[i.Dst.ID] = floatBits(i.Val, i.Dst.Type)
+		case *ir.ConstNull:
+			regs[i.Dst.ID] = 0
+		case *ir.Move:
+			regs[i.Dst.ID] = regs[i.Src.ID]
+		case *ir.BinOp:
+			v, err := vm.binop(i, regs[i.X.ID], regs[i.Y.ID])
+			if err != nil {
+				return 0, err
+			}
+			regs[i.Dst.ID] = v
+		case *ir.Cmp:
+			regs[i.Dst.ID] = cmp(i, regs[i.X.ID], regs[i.Y.ID])
+		case *ir.Convert:
+			regs[i.Dst.ID] = convert(regs[i.Src.ID], i.Src.Type, i.Dst.Type)
+		case *ir.Alloc:
+			addr, err := vm.alloc(i, regs)
+			if err != nil {
+				return 0, err
+			}
+			regs[i.Dst.ID] = addr
+		case *ir.Free:
+			vm.cycles += costFreeOp
+			if trap := vm.Space.Free(regs[i.Ptr.ID]); trap != nil {
+				return 0, trap
+			}
+		case *ir.Load:
+			addr := regs[i.Ptr.ID]
+			n := i.Dst.Type.Size()
+			vm.cycles += costLoadBase + vm.Space.AccessCost(addr)
+			raw, trap := vm.Space.Load(addr, n)
+			if trap != nil {
+				return 0, trap
+			}
+			regs[i.Dst.ID] = normLoaded(raw, i.Dst.Type)
+		case *ir.Store:
+			addr := regs[i.Ptr.ID]
+			n := i.Val.Type.Size()
+			vm.cycles += costStoreBase + vm.Space.AccessCost(addr)
+			if trap := vm.Space.Store(addr, n, regs[i.Val.ID]); trap != nil {
+				return 0, trap
+			}
+		case *ir.FieldAddr:
+			off, err := fieldOffset(i.Ptr.Elem(), i.Field)
+			if err != nil {
+				return 0, err
+			}
+			regs[i.Dst.ID] = regs[i.Ptr.ID] + uint64(off)
+		case *ir.IndexAddr:
+			stride := indexStride(i.Ptr.Elem())
+			idx := int64(regs[i.Index.ID])
+			regs[i.Dst.ID] = uint64(int64(regs[i.Ptr.ID]) + idx*int64(stride))
+		case *ir.Bitcast:
+			regs[i.Dst.ID] = regs[i.Src.ID]
+		case *ir.PtrToInt:
+			regs[i.Dst.ID] = normInt(regs[i.Src.ID], i.Dst.Type)
+		case *ir.IntToPtr:
+			regs[i.Dst.ID] = regs[i.Src.ID]
+		case *ir.FuncAddr:
+			regs[i.Dst.ID] = vm.funcAddr[i.Fn]
+		case *ir.GlobalAddr:
+			regs[i.Dst.ID] = vm.globals[i.G]
+		case *ir.Call:
+			vm.cycles += costCall
+			var callee *ir.Func
+			if i.Callee != "" {
+				callee = vm.Module.Func(i.Callee)
+			} else {
+				fp := regs[i.CalleePtr.ID]
+				f, ok := vm.addrFunc[fp]
+				if !ok {
+					return 0, &mem.Trap{Reason: "indirect call through invalid function pointer", Addr: fp}
+				}
+				callee = f
+			}
+			callArgs := make([]uint64, len(i.Args))
+			for k, a := range i.Args {
+				callArgs[k] = regs[a.ID]
+			}
+			rv, err := vm.Call(callee, callArgs)
+			if err != nil {
+				return 0, err
+			}
+			if i.Dst != nil {
+				regs[i.Dst.ID] = rv
+			}
+		case *ir.Ret:
+			vm.cycles += costRet
+			if i.Val != nil {
+				return regs[i.Val.ID], nil
+			}
+			return 0, nil
+		case *ir.Br:
+			vm.cycles += costBranch
+			block = i.Target
+			ip = 0
+			continue
+		case *ir.CondBr:
+			vm.cycles += costBranch
+			if regs[i.Cond.ID] != 0 {
+				block = i.True
+			} else {
+				block = i.False
+			}
+			ip = 0
+			continue
+		case *ir.Assert:
+			vm.cycles += costAssert
+			if regs[i.X.ID] != regs[i.Y.ID] {
+				return 0, &Detection{Reason: fmt.Sprintf("replica mismatch in %s: %#x != %#x", fn.Name, regs[i.X.ID], regs[i.Y.ID])}
+			}
+		case *ir.FaultPoint:
+			if !vm.faultSeen {
+				vm.faultSeen = true
+				vm.faultCycle = vm.cycles
+			}
+		case *ir.RandInt:
+			vm.cycles += costIntrinsic
+			span := i.Hi - i.Lo + 1
+			regs[i.Dst.ID] = uint64(i.Lo + vm.rng.Int63n(span))
+		case *ir.HeapBufSize:
+			vm.cycles += costIntrinsic
+			size, trap := vm.Space.HeapPayloadSize(regs[i.Ptr.ID])
+			if trap != nil {
+				return 0, trap
+			}
+			regs[i.Dst.ID] = size
+		case *ir.Output:
+			vm.cycles += costOutput
+			vm.emitOutput(i, regs[i.Val.ID])
+		case *ir.Exit:
+			code := int64(0)
+			if i.Val != nil {
+				code = int64(regs[i.Val.ID])
+			}
+			return 0, &ExitRequest{Code: code}
+		default:
+			return 0, fmt.Errorf("unknown instruction %T in %s", in, fn.Name)
+		}
+		ip++
+	}
+}
+
+func (vm *VM) alloc(i *ir.Alloc, regs []uint64) (uint64, error) {
+	count := int64(1)
+	if i.Count != nil {
+		count = int64(regs[i.Count.ID])
+		if count < 0 {
+			return 0, &mem.Trap{Reason: "negative allocation count"}
+		}
+	}
+	size := uint64(count) * uint64(paddedSize(i.Elem))
+	switch i.Kind {
+	case ir.AllocHeap:
+		vm.cycles += costMallocOp
+		addr, trap := vm.Space.Malloc(size)
+		if trap != nil {
+			return 0, trap
+		}
+		return addr, nil
+	default:
+		vm.cycles += costAlloca
+		addr, trap := vm.Space.Alloca(size)
+		if trap != nil {
+			return 0, trap
+		}
+		return addr, nil
+	}
+}
+
+func (vm *VM) emitOutput(i *ir.Output, raw uint64) {
+	switch i.Mode {
+	case ir.OutInt:
+		vm.output = strconv.AppendInt(vm.output, int64(raw), 10)
+		vm.output = append(vm.output, '\n')
+	case ir.OutFloat:
+		v := bitsToFloat(raw, i.Val.Type)
+		vm.output = strconv.AppendFloat(vm.output, v, 'g', 6, 64)
+		vm.output = append(vm.output, '\n')
+	case ir.OutByte:
+		vm.output = append(vm.output, byte(raw))
+	}
+}
+
+func (vm *VM) binop(i *ir.BinOp, x, y uint64) (uint64, error) {
+	t := i.Dst.Type
+	if i.Op.IsFloat() {
+		vm.cycles += costFloatOp
+		a := bitsToFloat(x, i.X.Type)
+		b := bitsToFloat(y, i.Y.Type)
+		var r float64
+		switch i.Op {
+		case ir.OpFAdd:
+			r = a + b
+		case ir.OpFSub:
+			r = a - b
+		case ir.OpFMul:
+			r = a * b
+		case ir.OpFDiv:
+			r = a / b
+		}
+		return floatBits(r, t), nil
+	}
+	width := uint(t.Size() * 8)
+	switch i.Op {
+	case ir.OpAdd:
+		return normInt(x+y, t), nil
+	case ir.OpSub:
+		return normInt(x-y, t), nil
+	case ir.OpMul:
+		return normInt(x*y, t), nil
+	case ir.OpSDiv:
+		vm.cycles += costDiv
+		if y == 0 {
+			return 0, &mem.Trap{Reason: "integer division by zero"}
+		}
+		return normInt(uint64(int64(x)/int64(y)), t), nil
+	case ir.OpUDiv:
+		vm.cycles += costDiv
+		if maskTo(y, width) == 0 {
+			return 0, &mem.Trap{Reason: "integer division by zero"}
+		}
+		return normInt(maskTo(x, width)/maskTo(y, width), t), nil
+	case ir.OpSRem:
+		vm.cycles += costDiv
+		if y == 0 {
+			return 0, &mem.Trap{Reason: "integer division by zero"}
+		}
+		return normInt(uint64(int64(x)%int64(y)), t), nil
+	case ir.OpURem:
+		vm.cycles += costDiv
+		if maskTo(y, width) == 0 {
+			return 0, &mem.Trap{Reason: "integer division by zero"}
+		}
+		return normInt(maskTo(x, width)%maskTo(y, width), t), nil
+	case ir.OpAnd:
+		return normInt(x&y, t), nil
+	case ir.OpOr:
+		return normInt(x|y, t), nil
+	case ir.OpXor:
+		return normInt(x^y, t), nil
+	case ir.OpShl:
+		return normInt(x<<(y&63), t), nil
+	case ir.OpLShr:
+		return normInt(maskTo(x, width)>>(y&63), t), nil
+	case ir.OpAShr:
+		return normInt(uint64(int64(x)>>(y&63)), t), nil
+	}
+	return 0, fmt.Errorf("unknown binop %v", i.Op)
+}
+
+func cmp(i *ir.Cmp, x, y uint64) uint64 {
+	var b bool
+	switch i.Op {
+	case ir.CmpEQ:
+		b = x == y
+	case ir.CmpNE:
+		b = x != y
+	case ir.CmpSLT:
+		b = int64(x) < int64(y)
+	case ir.CmpSLE:
+		b = int64(x) <= int64(y)
+	case ir.CmpSGT:
+		b = int64(x) > int64(y)
+	case ir.CmpSGE:
+		b = int64(x) >= int64(y)
+	case ir.CmpULT:
+		b = x < y
+	case ir.CmpULE:
+		b = x <= y
+	case ir.CmpUGT:
+		b = x > y
+	case ir.CmpUGE:
+		b = x >= y
+	default:
+		a := bitsToFloat(x, i.X.Type)
+		c := bitsToFloat(y, i.Y.Type)
+		switch i.Op {
+		case ir.CmpFEQ:
+			b = a == c
+		case ir.CmpFNE:
+			b = a != c
+		case ir.CmpFLT:
+			b = a < c
+		case ir.CmpFLE:
+			b = a <= c
+		case ir.CmpFGT:
+			b = a > c
+		case ir.CmpFGE:
+			b = a >= c
+		}
+	}
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func convert(v uint64, from, to ir.Type) uint64 {
+	switch {
+	case from.Kind() == ir.KindInt && to.Kind() == ir.KindInt:
+		return normInt(v, to)
+	case from.Kind() == ir.KindInt && to.Kind() == ir.KindFloat:
+		return floatBits(float64(int64(v)), to)
+	case from.Kind() == ir.KindFloat && to.Kind() == ir.KindInt:
+		return normInt(uint64(int64(bitsToFloat(v, from))), to)
+	case from.Kind() == ir.KindFloat && to.Kind() == ir.KindFloat:
+		return floatBits(bitsToFloat(v, from), to)
+	}
+	return v
+}
+
+// normInt sign-extends v to the canonical 64-bit register representation
+// of integer type t.
+func normInt(v uint64, t ir.Type) uint64 {
+	it, ok := t.(*ir.IntType)
+	if !ok {
+		return v
+	}
+	switch it.Bits {
+	case 1:
+		return v & 1
+	case 8:
+		return uint64(int64(int8(v)))
+	case 16:
+		return uint64(int64(int16(v)))
+	case 32:
+		return uint64(int64(int32(v)))
+	default:
+		return v
+	}
+}
+
+// normLoaded normalizes a freshly loaded raw value for register storage.
+func normLoaded(raw uint64, t ir.Type) uint64 {
+	if t.Kind() == ir.KindInt {
+		return normInt(raw, t)
+	}
+	return raw // pointers and floats are stored raw
+}
+
+func maskTo(v uint64, width uint) uint64 {
+	if width >= 64 {
+		return v
+	}
+	return v & ((1 << width) - 1)
+}
+
+func floatBits(f float64, t ir.Type) uint64 {
+	if ft, ok := t.(*ir.FloatType); ok && ft.Bits == 32 {
+		return uint64(math.Float32bits(float32(f)))
+	}
+	return math.Float64bits(f)
+}
+
+func bitsToFloat(v uint64, t ir.Type) float64 {
+	if ft, ok := t.(*ir.FloatType); ok && ft.Bits == 32 {
+		return float64(math.Float32frombits(uint32(v)))
+	}
+	return math.Float64frombits(v)
+}
+
+func fieldOffset(elem ir.Type, field int) (int, error) {
+	switch et := elem.(type) {
+	case *ir.StructType:
+		return et.Offset(field), nil
+	case *ir.UnionType:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("fieldaddr through pointer to %s", elem)
+	}
+}
+
+// paddedSize returns sizeof(t) rounded up to t's alignment, i.e. the
+// per-element footprint in arrays and array allocations.
+func paddedSize(t ir.Type) int {
+	size := t.Size()
+	a := t.Align()
+	if a > 1 {
+		size = (size + a - 1) / a * a
+	}
+	if size == 0 {
+		size = 1
+	}
+	return size
+}
+
+// indexStride returns the stride IndexAddr advances by: indexing a pointer
+// to an array steps over the array's element type; indexing any other
+// pointer steps over the pointee (C-style pointer arithmetic).
+func indexStride(elem ir.Type) int {
+	if at, ok := elem.(*ir.ArrayType); ok {
+		elem = at.Elem
+	}
+	return paddedSize(elem)
+}
+
+// Stride exposes indexStride for transforms that need consistent layout
+// math.
+func Stride(elem ir.Type) int { return indexStride(elem) }
+
+// PaddedSize exposes paddedSize for transforms and the fault injector.
+func PaddedSize(t ir.Type) int { return paddedSize(t) }

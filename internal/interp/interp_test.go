@@ -1,0 +1,439 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"dpmr/internal/ir"
+	"dpmr/internal/mem"
+)
+
+func runMain(t *testing.T, build func(b *ir.Builder)) *Result {
+	t.Helper()
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	build(b)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return Run(m, Config{})
+}
+
+func TestArithmeticAndReturn(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		x := b.I64(21)
+		y := b.I64(2)
+		b.Ret(b.Mul(x, y))
+	})
+	if res.Kind != ExitNormal || res.Code != 42 {
+		t.Fatalf("got %v code %d (%s)", res.Kind, res.Code, res.Reason)
+	}
+}
+
+func TestSignedNarrowArithmetic(t *testing.T) {
+	// i8 127 + 1 wraps to -128 under two's complement.
+	res := runMain(t, func(b *ir.Builder) {
+		x := b.I8(127)
+		y := b.I8(1)
+		s := b.Add(x, y)
+		b.Ret(b.Convert(s, ir.I64))
+	})
+	if res.Code != -128 {
+		t.Fatalf("i8 overflow: got %d, want -128", res.Code)
+	}
+}
+
+func TestUnsignedDivisionMasksWidth(t *testing.T) {
+	// In i8, -2 is 0xFE = 254 unsigned; 254 udiv 2 = 127.
+	res := runMain(t, func(b *ir.Builder) {
+		x := b.I8(-2)
+		y := b.I8(2)
+		d := b.Bin(ir.OpUDiv, x, y)
+		b.Ret(b.Convert(d, ir.I64))
+	})
+	if res.Code != 127 {
+		t.Fatalf("udiv: got %d, want 127", res.Code)
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		b.Ret(b.Bin(ir.OpSDiv, b.I64(1), b.I64(0)))
+	})
+	if res.Kind != ExitTrap {
+		t.Fatalf("got %v, want trap", res.Kind)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		x := b.F64c(1.5)
+		y := b.F64c(2.25)
+		s := b.Bin(ir.OpFMul, x, y)
+		b.Ret(b.Convert(s, ir.I64)) // 3.375 → 3
+	})
+	if res.Code != 3 {
+		t.Fatalf("float mul: got %d, want 3", res.Code)
+	}
+}
+
+func TestFloat32RoundTripThroughMemory(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		p := b.Malloc(ir.F32)
+		v := b.Float(ir.F32, 2.5)
+		b.Store(p, v)
+		got := b.Load(p)
+		wide := b.Convert(got, ir.F64)
+		scaled := b.Bin(ir.OpFMul, wide, b.F64c(4))
+		b.Ret(b.Convert(scaled, ir.I64)) // 10
+	})
+	if res.Code != 10 {
+		t.Fatalf("f32 roundtrip: got %d, want 10", res.Code)
+	}
+}
+
+func TestHeapLoadStoreAndStructFields(t *testing.T) {
+	node := ir.NamedStruct("Node")
+	node.SetBody(ir.I32, ir.Ptr(node))
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	n1 := b.Malloc(node)
+	n2 := b.Malloc(node)
+	b.Store(b.Field(n1, 0), b.I32(7))
+	b.Store(b.Field(n1, 1), n2)
+	b.Store(b.Field(n2, 0), b.I32(35))
+	b.Store(b.Field(n2, 1), b.Null(ir.Ptr(node)))
+	// Walk: sum = n1.data + n1.nxt->data
+	d1 := b.Load(b.Field(n1, 0))
+	nxt := b.Load(b.Field(n1, 1))
+	d2 := b.Load(b.Field(nxt, 0))
+	sum := b.Add(b.Convert(d1, ir.I64), b.Convert(d2, ir.I64))
+	b.Ret(sum)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if res.Kind != ExitNormal || res.Code != 42 {
+		t.Fatalf("got %v code %d (%s)", res.Kind, res.Code, res.Reason)
+	}
+}
+
+func TestArrayIndexing(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		arr := b.MallocN(ir.I64, b.I64(10))
+		b.ForRange("i", b.I64(0), b.I64(10), func(i *ir.Reg) {
+			b.Store(b.Index(arr, i), i)
+		})
+		s := b.Reg("s", ir.I64)
+		b.MoveTo(s, b.I64(0))
+		b.ForRange("j", b.I64(0), b.I64(10), func(j *ir.Reg) {
+			b.BinTo(s, ir.OpAdd, s, b.Load(b.Index(arr, j)))
+		})
+		b.Free(arr)
+		b.Ret(s)
+	})
+	if res.Code != 45 {
+		t.Fatalf("array sum: got %d, want 45", res.Code)
+	}
+}
+
+func TestNullDereferenceTraps(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		p := b.Null(ir.Ptr(ir.I64))
+		b.Ret(b.Load(p))
+	})
+	if res.Kind != ExitTrap {
+		t.Fatalf("got %v, want trap", res.Kind)
+	}
+	if !strings.Contains(res.Reason, "unmapped or protected") {
+		t.Errorf("reason: %s", res.Reason)
+	}
+}
+
+func TestUseAfterFreeReadsStaleOrMetadata(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		p := b.Malloc(ir.I64)
+		b.Store(p, b.I64(111))
+		b.Free(p)
+		b.Ret(b.Load(p)) // dangling read: no trap, garbage value
+	})
+	if res.Kind != ExitNormal {
+		t.Fatalf("dangling read should not trap, got %v (%s)", res.Kind, res.Reason)
+	}
+	if res.Code == 111 {
+		t.Error("free should have clobbered the first word with metadata")
+	}
+}
+
+func TestDoubleFreeTrap(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		p := b.Malloc(ir.I64)
+		b.Free(p)
+		b.Free(p)
+		b.Ret(b.I64(0))
+	})
+	if res.Kind != ExitTrap {
+		t.Fatalf("got %v, want trap", res.Kind)
+	}
+}
+
+func TestGlobalsInitAndRefs(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.AddGlobal("counter", ir.I64)
+	g.Init = []byte{5, 0, 0, 0, 0, 0, 0, 0}
+	holder := m.AddGlobal("holder", ir.Ptr(ir.I64))
+	holder.Refs = []ir.RefInit{{Offset: 0, Global: "counter"}}
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	hp := b.GlobalAddr("holder")
+	cp := b.Load(hp) // pointer to counter via ref fixup
+	v := b.Load(cp)
+	b.Store(cp, b.Add(v, b.I64(1)))
+	b.Ret(b.Load(b.GlobalAddr("counter")))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if res.Kind != ExitNormal || res.Code != 6 {
+		t.Fatalf("got %v code %d (%s)", res.Kind, res.Code, res.Reason)
+	}
+}
+
+func TestFunctionCallsAndRecursion(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	fib := b.Function("fib", ir.I64, []string{"n"}, ir.I64)
+	n := fib.Params[0]
+	c := b.Cmp(ir.CmpSLT, n, b.I64(2))
+	base := b.Block("base")
+	rec := b.Block("rec")
+	b.CondBr(c, base, rec)
+	b.SetBlock(base)
+	b.Ret(n)
+	b.SetBlock(rec)
+	a := b.Call("fib", b.Sub(n, b.I64(1)))
+	d := b.Call("fib", b.Sub(n, b.I64(2)))
+	b.Ret(b.Add(a, d))
+
+	b.Function("main", ir.I64, nil)
+	b.Ret(b.Call("fib", b.I64(15)))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if res.Code != 610 {
+		t.Fatalf("fib(15): got %d, want 610", res.Code)
+	}
+}
+
+func TestIndirectCallThroughFunctionPointer(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("double", ir.I64, []string{"x"}, ir.I64)
+	b.Ret(b.Mul(b.F.Params[0], b.I64(2)))
+	b.Function("main", ir.I64, nil)
+	fp := b.FuncAddr("double")
+	b.Ret(b.CallPtr(fp, b.I64(21)))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if res.Code != 42 {
+		t.Fatalf("got %d, want 42", res.Code)
+	}
+}
+
+func TestIndirectCallThroughBadPointerTraps(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	p := b.Malloc(ir.I64) // not a function address
+	fp := b.Cast(p, ir.FuncOf(ir.I64))
+	b.Ret(b.CallPtr(fp))
+	res := Run(m, Config{})
+	if res.Kind != ExitTrap {
+		t.Fatalf("got %v, want trap", res.Kind)
+	}
+}
+
+func TestOutputStream(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		b.OutInt(b.I64(7))
+		b.Out(b.F64c(1.5), ir.OutFloat)
+		b.Out(b.I8('A'), ir.OutByte)
+		b.Ret(b.I64(0))
+	})
+	want := "7\n1.5\nA"
+	if string(res.Output) != want {
+		t.Fatalf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestExitInstruction(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		b.Exit(b.I64(3))
+	})
+	if res.Kind != ExitNormal || res.Code != 3 {
+		t.Fatalf("got %v code %d", res.Kind, res.Code)
+	}
+}
+
+func TestAssertDetection(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		b.Assert(b.I64(1), b.I64(1)) // passes
+		b.Assert(b.I64(1), b.I64(2)) // detects
+		b.Ret(b.I64(0))
+	})
+	if res.Kind != ExitDetect {
+		t.Fatalf("got %v, want detect", res.Kind)
+	}
+}
+
+func TestTimeoutBudget(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	loop := b.Block("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop)
+	res := Run(m, Config{StepLimit: 1000})
+	if res.Kind != ExitTimeout {
+		t.Fatalf("got %v, want timeout", res.Kind)
+	}
+}
+
+func TestFaultPointRecordsFirstExecution(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		b.ForRange("i", b.I64(0), b.I64(5), func(i *ir.Reg) {
+			b.B.Append(&ir.FaultPoint{Site: 0})
+		})
+		b.Ret(b.I64(0))
+	})
+	if !res.FaultSeen {
+		t.Fatal("fault point not recorded")
+	}
+	if res.FaultCycle == 0 || res.FaultCycle >= res.Cycles {
+		t.Errorf("fault cycle %d out of range (total %d)", res.FaultCycle, res.Cycles)
+	}
+}
+
+func TestExternCall(t *testing.T) {
+	m := ir.NewModule("t")
+	m.AddExtern("add3", ir.FuncOf(ir.I64, ir.I64))
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	b.Ret(b.Call("add3", b.I64(39)))
+	res := Run(m, Config{Externs: map[string]Extern{
+		"add3": func(vm *VM, args []uint64) (uint64, error) { return args[0] + 3, nil },
+	}})
+	if res.Code != 42 {
+		t.Fatalf("got %d, want 42 (%s)", res.Code, res.Reason)
+	}
+}
+
+func TestUnresolvedExternErrors(t *testing.T) {
+	m := ir.NewModule("t")
+	m.AddExtern("mystery", ir.FuncOf(ir.I64))
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	b.Ret(b.Call("mystery"))
+	res := Run(m, Config{})
+	if res.Kind != ExitError {
+		t.Fatalf("got %v, want error", res.Kind)
+	}
+}
+
+func TestDeterministicCyclesAndRand(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("t")
+		b := ir.NewBuilder(m)
+		b.Function("main", ir.I64, nil)
+		r := b.RandInt(1, 20)
+		arr := b.MallocN(ir.I64, b.I64(100))
+		b.ForRange("i", b.I64(0), b.I64(100), func(i *ir.Reg) {
+			b.Store(b.Index(arr, i), r)
+		})
+		b.Ret(b.Load(b.Index(arr, b.I64(50))))
+		return m
+	}
+	m1, m2 := build(), build()
+	r1 := Run(m1, Config{Seed: 7})
+	r2 := Run(m2, Config{Seed: 7})
+	if r1.Cycles != r2.Cycles || r1.Code != r2.Code {
+		t.Error("same seed must give identical cycles and results")
+	}
+	r3 := Run(build(), Config{Seed: 8})
+	if r3.Code == r1.Code {
+		t.Log("different seeds gave same rand value (possible but unlikely)")
+	}
+	if r1.Code < 1 || r1.Code > 20 {
+		t.Errorf("randint out of range: %d", r1.Code)
+	}
+}
+
+func TestStackFramesPopOnReturn(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("leaf", ir.I64, nil)
+	p := b.Alloca(ir.I64)
+	b.Store(p, b.I64(9))
+	b.Ret(b.Load(p))
+
+	b.Function("main", ir.I64, nil)
+	s := b.Reg("s", ir.I64)
+	b.MoveTo(s, b.I64(0))
+	b.ForRange("i", b.I64(0), b.I64(10000), func(i *ir.Reg) {
+		b.BinTo(s, ir.OpAdd, s, b.Call("leaf"))
+	})
+	b.Ret(s)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// With a tiny stack this only survives if frames pop.
+	res := Run(m, Config{Mem: mem.Config{StackBytes: 4096, HeapBytes: 64 * 1024, GlobalBytes: 4096}})
+	if res.Kind != ExitNormal || res.Code != 90000 {
+		t.Fatalf("got %v code %d (%s)", res.Kind, res.Code, res.Reason)
+	}
+}
+
+func TestHeapBufSizeIntrinsic(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		p := b.MallocN(ir.I8, b.I64(100))
+		b.Ret(b.HeapBufSize(p))
+	})
+	if res.Code != 128 {
+		t.Fatalf("heapbufsize: got %d, want 128", res.Code)
+	}
+}
+
+func TestPtrToIntAndBack(t *testing.T) {
+	res := runMain(t, func(b *ir.Builder) {
+		p := b.Malloc(ir.I64)
+		b.Store(p, b.I64(77))
+		raw := b.PtrToInt(p)
+		q := b.IntToPtr(raw, ir.I64)
+		b.Ret(b.Load(q))
+	})
+	if res.Code != 77 {
+		t.Fatalf("got %d, want 77", res.Code)
+	}
+}
+
+func TestOverflowCorruptsNeighborObject(t *testing.T) {
+	// Two adjacent 24-byte buffers: writing past the first lands in the
+	// second (through the 16-byte header).
+	res := runMain(t, func(b *ir.Builder) {
+		a := b.MallocN(ir.I64, b.I64(3)) // 24 bytes
+		c := b.MallocN(ir.I64, b.I64(3))
+		b.Store(b.Index(c, b.I64(0)), b.I64(1234))
+		// a[5] = offset 40 = 24 payload + 16 header → c[0]
+		b.Store(b.Index(a, b.I64(5)), b.I64(999))
+		b.Ret(b.Load(b.Index(c, b.I64(0))))
+	})
+	if res.Code != 999 {
+		t.Fatalf("overflow should corrupt neighbour: got %d", res.Code)
+	}
+}

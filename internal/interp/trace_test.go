@@ -1,0 +1,42 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"dpmr/internal/ir"
+)
+
+func TestTraceStreamsInstructions(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	x := b.I64(1)
+	y := b.I64(2)
+	b.Ret(b.Add(x, y))
+	var sb strings.Builder
+	res := Run(m, Config{Trace: &sb})
+	if res.Code != 3 {
+		t.Fatalf("code %d", res.Code)
+	}
+	out := sb.String()
+	for _, want := range []string{"@main.entry", "const i64 1", "add", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceLimitCaps(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	b.ForRange("i", b.I64(0), b.I64(100), func(i *ir.Reg) {})
+	b.Ret(b.I64(0))
+	var sb strings.Builder
+	Run(m, Config{Trace: &sb, TraceLimit: 5})
+	lines := strings.Count(sb.String(), "\n")
+	if lines != 5 {
+		t.Errorf("traced %d lines, want 5", lines)
+	}
+}

@@ -1,0 +1,401 @@
+package ir
+
+import "fmt"
+
+// Builder provides a cursor-style API for constructing IR. It tracks the
+// current module, function, and insertion block, and allocates module-wide
+// allocation-site identifiers so the fault injector can address sites
+// stably.
+type Builder struct {
+	M *Module
+	F *Func
+	B *Block
+
+	nextSite int
+}
+
+// NewBuilder returns a builder over module m.
+func NewBuilder(m *Module) *Builder { return &Builder{M: m} }
+
+// Function starts a new function with an entry block and positions the
+// builder at the entry. It returns the function; parameter registers are
+// available as fn.Params.
+func (b *Builder) Function(name string, ret Type, paramNames []string, params ...Type) *Func {
+	f := b.M.AddFunc(name, FuncOf(ret, params...), paramNames...)
+	b.F = f
+	b.B = f.NewBlock("entry")
+	return f
+}
+
+// Block creates a new block in the current function without moving the
+// cursor.
+func (b *Builder) Block(name string) *Block { return b.F.NewBlock(name) }
+
+// SetBlock moves the insertion cursor to blk.
+func (b *Builder) SetBlock(blk *Block) { b.B = blk }
+
+// emit appends an instruction at the cursor.
+func (b *Builder) emit(in Instr) {
+	if b.B == nil {
+		panic("ir: builder has no insertion block")
+	}
+	b.B.Append(in)
+}
+
+// Reg creates a fresh named register in the current function.
+func (b *Builder) Reg(name string, t Type) *Reg { return b.F.NewReg(name, t) }
+
+func (b *Builder) tmp(t Type) *Reg { return b.F.NewReg("", t) }
+
+// ---------------------------------------------------------------------------
+// Constants
+
+// Const emits an integer constant of type t.
+func (b *Builder) Const(t Type, v int64) *Reg {
+	r := b.tmp(t)
+	b.emit(&ConstInt{Dst: r, Val: v})
+	return r
+}
+
+// I64 emits an i64 constant.
+func (b *Builder) I64(v int64) *Reg { return b.Const(I64, v) }
+
+// I32 emits an i32 constant.
+func (b *Builder) I32(v int64) *Reg { return b.Const(I32, v) }
+
+// I8 emits an i8 constant.
+func (b *Builder) I8(v int64) *Reg { return b.Const(I8, v) }
+
+// Float emits a floating point constant of type t.
+func (b *Builder) Float(t Type, v float64) *Reg {
+	r := b.tmp(t)
+	b.emit(&ConstFloat{Dst: r, Val: v})
+	return r
+}
+
+// F64c emits an f64 constant.
+func (b *Builder) F64c(v float64) *Reg { return b.Float(F64, v) }
+
+// Null emits a null pointer of type pt.
+func (b *Builder) Null(pt Type) *Reg {
+	r := b.tmp(pt)
+	b.emit(&ConstNull{Dst: r})
+	return r
+}
+
+// MoveTo emits dst = src.
+func (b *Builder) MoveTo(dst, src *Reg) { b.emit(&Move{Dst: dst, Src: src}) }
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+
+// Bin emits dst = x op y with dst typed like x.
+func (b *Builder) Bin(op BinKind, x, y *Reg) *Reg {
+	r := b.tmp(x.Type)
+	b.emit(&BinOp{Dst: r, X: x, Y: y, Op: op})
+	return r
+}
+
+// BinTo emits dst = x op y into an existing register.
+func (b *Builder) BinTo(dst *Reg, op BinKind, x, y *Reg) {
+	b.emit(&BinOp{Dst: dst, X: x, Y: y, Op: op})
+}
+
+// Add emits x + y.
+func (b *Builder) Add(x, y *Reg) *Reg { return b.Bin(OpAdd, x, y) }
+
+// Sub emits x - y.
+func (b *Builder) Sub(x, y *Reg) *Reg { return b.Bin(OpSub, x, y) }
+
+// Mul emits x * y.
+func (b *Builder) Mul(x, y *Reg) *Reg { return b.Bin(OpMul, x, y) }
+
+// Cmp emits the i1 predicate x op y.
+func (b *Builder) Cmp(op CmpKind, x, y *Reg) *Reg {
+	r := b.tmp(I1)
+	b.emit(&Cmp{Dst: r, Op: op, X: x, Y: y})
+	return r
+}
+
+// Convert emits a numeric conversion of src to type t.
+func (b *Builder) Convert(src *Reg, t Type) *Reg {
+	r := b.tmp(t)
+	b.emit(&Convert{Dst: r, Src: src})
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+
+func (b *Builder) site() int {
+	s := b.nextSite
+	b.nextSite++
+	return s
+}
+
+// Malloc emits a heap allocation of one elem, returning an elem* register.
+func (b *Builder) Malloc(elem Type) *Reg {
+	r := b.tmp(Ptr(elem))
+	b.emit(&Alloc{Dst: r, Kind: AllocHeap, Elem: elem, Site: b.site()})
+	return r
+}
+
+// MallocN emits a heap array allocation of count elems.
+func (b *Builder) MallocN(elem Type, count *Reg) *Reg {
+	r := b.tmp(Ptr(elem))
+	b.emit(&Alloc{Dst: r, Kind: AllocHeap, Elem: elem, Count: count, Site: b.site()})
+	return r
+}
+
+// Alloca emits a stack allocation of one elem.
+func (b *Builder) Alloca(elem Type) *Reg {
+	r := b.tmp(Ptr(elem))
+	b.emit(&Alloc{Dst: r, Kind: AllocStack, Elem: elem, Site: b.site()})
+	return r
+}
+
+// AllocaN emits a stack array allocation of count elems.
+func (b *Builder) AllocaN(elem Type, count *Reg) *Reg {
+	r := b.tmp(Ptr(elem))
+	b.emit(&Alloc{Dst: r, Kind: AllocStack, Elem: elem, Count: count, Site: b.site()})
+	return r
+}
+
+// Free emits free(p).
+func (b *Builder) Free(p *Reg) { b.emit(&Free{Ptr: p}) }
+
+// Load emits a load of the scalar pointee of p.
+func (b *Builder) Load(p *Reg) *Reg {
+	elem := p.Elem()
+	if !IsScalar(elem) {
+		panic(fmt.Sprintf("ir: load of non-scalar %s through %s", elem, p))
+	}
+	r := b.tmp(elem)
+	b.emit(&Load{Dst: r, Ptr: p})
+	return r
+}
+
+// LoadAs emits a load through p typed as t (for type-generic access).
+func (b *Builder) LoadAs(p *Reg, t Type) *Reg {
+	r := b.tmp(t)
+	b.emit(&Load{Dst: r, Ptr: p})
+	return r
+}
+
+// LoadTo emits a load into an existing register.
+func (b *Builder) LoadTo(dst, p *Reg) { b.emit(&Load{Dst: dst, Ptr: p}) }
+
+// Store emits store v through p.
+func (b *Builder) Store(p, v *Reg) { b.emit(&Store{Ptr: p, Val: v}) }
+
+// Field emits &(p->i) for a pointer to struct or union.
+func (b *Builder) Field(p *Reg, i int) *Reg {
+	var ft Type
+	switch et := p.Elem().(type) {
+	case *StructType:
+		ft = et.Field(i)
+	case *UnionType:
+		ft = et.Elem(i)
+	default:
+		panic(fmt.Sprintf("ir: fieldaddr through non-aggregate pointer %s: %s", p, p.Type))
+	}
+	r := b.tmp(Ptr(ft))
+	b.emit(&FieldAddr{Dst: r, Ptr: p, Field: i})
+	return r
+}
+
+// Index emits &p[i]. If p points to an array the result points to the
+// array's element type; otherwise C-style pointer indexing over the pointee
+// is performed.
+func (b *Builder) Index(p, i *Reg) *Reg {
+	elem := p.Elem()
+	if at, ok := elem.(*ArrayType); ok {
+		elem = at.Elem
+	}
+	r := b.tmp(Ptr(elem))
+	b.emit(&IndexAddr{Dst: r, Ptr: p, Index: i})
+	return r
+}
+
+// Cast emits a pointer-to-pointer cast of p to elem*.
+func (b *Builder) Cast(p *Reg, elem Type) *Reg {
+	r := b.tmp(Ptr(elem))
+	b.emit(&Bitcast{Dst: r, Src: p})
+	return r
+}
+
+// PtrToInt emits an integer view of pointer p.
+func (b *Builder) PtrToInt(p *Reg) *Reg {
+	r := b.tmp(I64)
+	b.emit(&PtrToInt{Dst: r, Src: p})
+	return r
+}
+
+// IntToPtr emits a pointer of type elem* from integer v.
+func (b *Builder) IntToPtr(v *Reg, elem Type) *Reg {
+	r := b.tmp(Ptr(elem))
+	b.emit(&IntToPtr{Dst: r, Src: v})
+	return r
+}
+
+// FuncAddr emits the address of function fn typed as sig*.
+func (b *Builder) FuncAddr(fn string) *Reg {
+	f := b.M.Func(fn)
+	if f == nil {
+		panic("ir: funcaddr of unknown function " + fn)
+	}
+	r := b.tmp(Ptr(f.Sig))
+	b.emit(&FuncAddr{Dst: r, Fn: fn})
+	return r
+}
+
+// GlobalAddr emits the address of global g.
+func (b *Builder) GlobalAddr(g string) *Reg {
+	gv := b.M.Global(g)
+	if gv == nil {
+		panic("ir: globaladdr of unknown global " + g)
+	}
+	r := b.tmp(Ptr(gv.Elem))
+	b.emit(&GlobalAddr{Dst: r, G: g})
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Calls, control flow, and intrinsics
+
+// Call emits a direct call; it returns the result register, or nil for void
+// callees.
+func (b *Builder) Call(fn string, args ...*Reg) *Reg {
+	f := b.M.Func(fn)
+	if f == nil {
+		panic("ir: call to unknown function " + fn)
+	}
+	var dst *Reg
+	if f.Sig.Ret.Kind() != KindVoid {
+		dst = b.tmp(f.Sig.Ret)
+	}
+	b.emit(&Call{Dst: dst, Callee: fn, Args: args})
+	return dst
+}
+
+// CallPtr emits an indirect call through fp, which must have a function
+// pointer type.
+func (b *Builder) CallPtr(fp *Reg, args ...*Reg) *Reg {
+	ft, ok := fp.Elem().(*FuncType)
+	if !ok {
+		panic("ir: indirect call through non-function pointer " + fp.Type.String())
+	}
+	var dst *Reg
+	if ft.Ret.Kind() != KindVoid {
+		dst = b.tmp(ft.Ret)
+	}
+	b.emit(&Call{Dst: dst, CalleePtr: fp, Args: args})
+	return dst
+}
+
+// Ret emits a return of v (nil for void).
+func (b *Builder) Ret(v *Reg) { b.emit(&Ret{Val: v}) }
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(t *Block) { b.emit(&Br{Target: t}) }
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(c *Reg, t, f *Block) { b.emit(&CondBr{Cond: c, True: t, False: f}) }
+
+// Assert emits a DPMR equality check.
+func (b *Builder) Assert(x, y *Reg) { b.emit(&Assert{X: x, Y: y}) }
+
+// Out emits program output of v.
+func (b *Builder) Out(v *Reg, mode OutputMode) { b.emit(&Output{Val: v, Mode: mode}) }
+
+// OutInt is shorthand for integer output.
+func (b *Builder) OutInt(v *Reg) { b.Out(v, OutInt) }
+
+// Exit emits program termination with code v.
+func (b *Builder) Exit(v *Reg) { b.emit(&Exit{Val: v}) }
+
+// RandInt emits a deterministic-PRNG random draw in [lo, hi].
+func (b *Builder) RandInt(lo, hi int64) *Reg {
+	r := b.tmp(I64)
+	b.emit(&RandInt{Dst: r, Lo: lo, Hi: hi})
+	return r
+}
+
+// HeapBufSize emits a query of the heap payload size of p.
+func (b *Builder) HeapBufSize(p *Reg) *Reg {
+	r := b.tmp(I64)
+	b.emit(&HeapBufSize{Dst: r, Ptr: p})
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Structured control-flow helpers
+
+// ForRange builds a counted loop over [lo, hi) with a fresh i64 induction
+// register passed to body. The body callback may emit arbitrary control
+// flow but must leave the cursor in a block that falls through (the helper
+// appends the back-edge). The cursor ends in the loop exit block.
+func (b *Builder) ForRange(name string, lo, hi *Reg, body func(i *Reg)) {
+	i := b.Reg(name, I64)
+	b.MoveTo(i, lo)
+	head := b.Block(name + ".head")
+	bodyB := b.Block(name + ".body")
+	exit := b.Block(name + ".exit")
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := b.Cmp(CmpSLT, i, hi)
+	b.CondBr(c, bodyB, exit)
+
+	b.SetBlock(bodyB)
+	body(i)
+	one := b.I64(1)
+	b.BinTo(i, OpAdd, i, one)
+	b.Br(head)
+
+	b.SetBlock(exit)
+}
+
+// While builds a loop that evaluates cond at the head and runs body while
+// it is true. cond is re-emitted each iteration via the callback.
+func (b *Builder) While(name string, cond func() *Reg, body func()) {
+	head := b.Block(name + ".head")
+	bodyB := b.Block(name + ".body")
+	exit := b.Block(name + ".exit")
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := cond()
+	b.CondBr(c, bodyB, exit)
+
+	b.SetBlock(bodyB)
+	body()
+	b.Br(head)
+
+	b.SetBlock(exit)
+}
+
+// If builds a two-armed conditional. Either arm may be nil. The cursor
+// ends in the join block.
+func (b *Builder) If(c *Reg, then func(), els func()) {
+	thenB := b.Block("if.then")
+	join := b.Block("if.join")
+	elseB := join
+	if els != nil {
+		elseB = b.Block("if.else")
+	}
+	b.CondBr(c, thenB, elseB)
+
+	b.SetBlock(thenB)
+	if then != nil {
+		then()
+	}
+	b.Br(join)
+
+	if els != nil {
+		b.SetBlock(elseB)
+		els()
+		b.Br(join)
+	}
+	b.SetBlock(join)
+}

@@ -1,0 +1,482 @@
+package ir
+
+import "fmt"
+
+// Reg is a virtual register. Registers are typed and hold exactly one
+// scalar value (integer, float, or pointer). The IR is a conventional
+// register machine rather than SSA: a register may be assigned more than
+// once, but its type is fixed, which is what the paper's transformation
+// rules assume (type() of a register is well defined).
+type Reg struct {
+	ID   int
+	Name string
+	Type Type
+}
+
+func (r *Reg) String() string {
+	if r == nil {
+		return "<nil-reg>"
+	}
+	if r.Name != "" {
+		// The ID suffix disambiguates same-named registers (the IR is
+		// not SSA and builders reuse loop-variable names), keeping the
+		// textual form round-trippable through the parser.
+		return fmt.Sprintf("%%%s.%d", r.Name, r.ID)
+	}
+	return fmt.Sprintf("%%r%d", r.ID)
+}
+
+// Elem returns the pointee type of a pointer-typed register.
+func (r *Reg) Elem() Type {
+	pt, ok := r.Type.(*PointerType)
+	if !ok {
+		panic(fmt.Sprintf("ir: Elem of non-pointer register %s: %s", r, r.Type))
+	}
+	return pt.Elem
+}
+
+// BinKind enumerates binary arithmetic and bitwise operations.
+type BinKind uint8
+
+// Binary operation kinds. Integer operations interpret registers as signed
+// two's-complement unless the U-prefixed variant is used.
+const (
+	OpAdd BinKind = iota + 1
+	OpSub
+	OpMul
+	OpSDiv
+	OpUDiv
+	OpSRem
+	OpURem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr // logical shift right
+	OpAShr // arithmetic shift right
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+)
+
+var binNames = map[BinKind]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpUDiv: "udiv",
+	OpSRem: "srem", OpURem: "urem", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+}
+
+func (k BinKind) String() string { return binNames[k] }
+
+// IsFloat reports whether the operation is a floating point operation.
+func (k BinKind) IsFloat() bool { return k >= OpFAdd }
+
+// CmpKind enumerates comparison predicates.
+type CmpKind uint8
+
+// Comparison kinds. Pointer comparisons use the unsigned integer forms.
+const (
+	CmpEQ CmpKind = iota + 1
+	CmpNE
+	CmpSLT
+	CmpSLE
+	CmpSGT
+	CmpSGE
+	CmpULT
+	CmpULE
+	CmpUGT
+	CmpUGE
+	CmpFEQ
+	CmpFNE
+	CmpFLT
+	CmpFLE
+	CmpFGT
+	CmpFGE
+)
+
+var cmpNames = map[CmpKind]string{
+	CmpEQ: "eq", CmpNE: "ne", CmpSLT: "slt", CmpSLE: "sle", CmpSGT: "sgt",
+	CmpSGE: "sge", CmpULT: "ult", CmpULE: "ule", CmpUGT: "ugt", CmpUGE: "uge",
+	CmpFEQ: "feq", CmpFNE: "fne", CmpFLT: "flt", CmpFLE: "fle", CmpFGT: "fgt",
+	CmpFGE: "fge",
+}
+
+func (k CmpKind) String() string { return cmpNames[k] }
+
+// AllocKind identifies the memory segment an allocation targets.
+type AllocKind uint8
+
+// Allocation kinds per the paper: heap (malloc), stack (alloca), and global
+// variable memory (declared at module level, so not an instruction kind).
+const (
+	AllocHeap AllocKind = iota + 1
+	AllocStack
+)
+
+func (k AllocKind) String() string {
+	if k == AllocHeap {
+		return "malloc"
+	}
+	return "alloca"
+}
+
+// Instr is an IR instruction.
+type Instr interface {
+	isInstr()
+	String() string
+}
+
+// Def returns the register an instruction defines, or nil.
+func Def(in Instr) *Reg {
+	switch i := in.(type) {
+	case *ConstInt:
+		return i.Dst
+	case *ConstFloat:
+		return i.Dst
+	case *ConstNull:
+		return i.Dst
+	case *Move:
+		return i.Dst
+	case *BinOp:
+		return i.Dst
+	case *Cmp:
+		return i.Dst
+	case *Convert:
+		return i.Dst
+	case *Alloc:
+		return i.Dst
+	case *Load:
+		return i.Dst
+	case *FieldAddr:
+		return i.Dst
+	case *IndexAddr:
+		return i.Dst
+	case *Bitcast:
+		return i.Dst
+	case *PtrToInt:
+		return i.Dst
+	case *IntToPtr:
+		return i.Dst
+	case *FuncAddr:
+		return i.Dst
+	case *GlobalAddr:
+		return i.Dst
+	case *Call:
+		return i.Dst
+	case *RandInt:
+		return i.Dst
+	case *HeapBufSize:
+		return i.Dst
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Constants and moves
+
+// ConstInt loads the integer immediate Val into Dst.
+type ConstInt struct {
+	Dst *Reg
+	Val int64
+}
+
+// ConstFloat loads the float immediate Val into Dst.
+type ConstFloat struct {
+	Dst *Reg
+	Val float64
+}
+
+// ConstNull loads a null pointer into the pointer register Dst.
+type ConstNull struct{ Dst *Reg }
+
+// Move copies Src into Dst. Both registers must have compatible scalar
+// types. Transforms use moves to re-bind replica registers.
+type Move struct{ Dst, Src *Reg }
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+
+// BinOp computes Dst = X op Y.
+type BinOp struct {
+	Dst, X, Y *Reg
+	Op        BinKind
+}
+
+// Cmp computes the i1 predicate Dst = X op Y.
+type Cmp struct {
+	Dst  *Reg
+	Op   CmpKind
+	X, Y *Reg
+}
+
+// Convert performs a numeric conversion between integer widths, between
+// floats, or between int and float, based on the register types.
+type Convert struct{ Dst, Src *Reg }
+
+// ---------------------------------------------------------------------------
+// Memory
+
+// Alloc allocates memory for Count elements (Count nil means one) of type
+// Elem on the heap or stack and stores the address in Dst. Dst must have
+// type Elem*. Site is a stable identifier of the allocation site used by
+// the fault-injection framework and by DSA.
+type Alloc struct {
+	Dst   *Reg
+	Kind  AllocKind
+	Elem  Type
+	Count *Reg // nil = scalar allocation of one Elem
+	Site  int
+}
+
+// Free deallocates the heap buffer pointed to by Ptr.
+type Free struct{ Ptr *Reg }
+
+// Load loads a scalar of Dst's type from memory at Ptr.
+type Load struct{ Dst, Ptr *Reg }
+
+// Store stores the scalar Val to memory at Ptr.
+type Store struct{ Ptr, Val *Reg }
+
+// FieldAddr computes Dst = &(Ptr->field). Ptr must point to a struct (or a
+// union, in which case Field selects the union member and the offset is
+// zero).
+type FieldAddr struct {
+	Dst, Ptr *Reg
+	Field    int
+}
+
+// IndexAddr computes Dst = &Ptr[Index]. Ptr must point to an array type or
+// be treated as a pointer to a sequence of its pointee type (C-style
+// pointer indexing).
+type IndexAddr struct{ Dst, Ptr, Index *Reg }
+
+// Bitcast reinterprets the pointer Src as Dst's pointer type
+// (pointer-to-pointer cast).
+type Bitcast struct{ Dst, Src *Reg }
+
+// PtrToInt casts the pointer Src to an integer register Dst.
+type PtrToInt struct{ Dst, Src *Reg }
+
+// IntToPtr casts the integer Src to a pointer register Dst. Forbidden by
+// the SDS and MDS restriction verifiers; permitted under DSA-refined DPMR
+// (Chapter 5).
+type IntToPtr struct{ Dst, Src *Reg }
+
+// ---------------------------------------------------------------------------
+// Addresses of functions and globals
+
+// FuncAddr loads the address of function Fn into Dst.
+type FuncAddr struct {
+	Dst *Reg
+	Fn  string
+}
+
+// GlobalAddr loads the address of global G into Dst.
+type GlobalAddr struct {
+	Dst *Reg
+	G   string
+}
+
+// ---------------------------------------------------------------------------
+// Calls and control flow
+
+// Call invokes Callee (a direct call if Callee != "", otherwise an indirect
+// call through CalleePtr) with Args. Dst receives the return value and is
+// nil for void calls.
+type Call struct {
+	Dst       *Reg
+	Callee    string
+	CalleePtr *Reg
+	Args      []*Reg
+}
+
+// Ret returns from the current function with optional value Val.
+type Ret struct{ Val *Reg }
+
+// Br branches unconditionally to Target.
+type Br struct{ Target *Block }
+
+// CondBr branches to True if Cond is nonzero, else to False.
+type CondBr struct {
+	Cond        *Reg
+	True, False *Block
+}
+
+// ---------------------------------------------------------------------------
+// DPMR runtime and instrumentation intrinsics
+
+// Assert traps with a DPMR detection if X != Y (bitwise on the scalar
+// values). It is the runtime realization of the assert(x == *pr) checks the
+// transformation inserts (Table 2.6); using one instruction keeps the
+// instrumented instruction stream compact while the interpreter charges it
+// the cost of a compare and branch.
+type Assert struct{ X, Y *Reg }
+
+// FaultPoint marks the location of injected faulty code. Executing it
+// records the cycle of first execution ("successful fault injection",
+// §3.6) and has no other effect.
+type FaultPoint struct{ Site int }
+
+// RandInt sets Dst to a uniform random integer in [Lo, Hi] drawn from the
+// VM's deterministic PRNG. Used by the rearrange-heap diversity
+// transformation (Table 2.8).
+type RandInt struct {
+	Dst    *Reg
+	Lo, Hi int64
+}
+
+// HeapBufSize sets Dst to the payload size in bytes of the heap buffer
+// pointed to by Ptr (the paper's heapBufSize(), Table 2.8).
+type HeapBufSize struct{ Dst, Ptr *Reg }
+
+// Output appends the Val register's bytes (formatted per Mode) to the
+// program's output stream. Workloads use it to produce checkable output.
+type Output struct {
+	Val  *Reg
+	Mode OutputMode
+}
+
+// OutputMode selects the formatting of an Output instruction.
+type OutputMode uint8
+
+// Output formatting modes.
+const (
+	OutInt   OutputMode = iota + 1 // decimal integer + '\n'
+	OutFloat                       // %g float + '\n'
+	OutByte                        // single raw byte
+)
+
+// Exit terminates the program immediately with the code held in Val (or 0
+// when Val is nil, distinct from falling off main). A nonzero exit code is
+// treated as application-level error signaling (natural detection, §3.6).
+type Exit struct{ Val *Reg }
+
+func (*ConstInt) isInstr()    {}
+func (*ConstFloat) isInstr()  {}
+func (*ConstNull) isInstr()   {}
+func (*Move) isInstr()        {}
+func (*BinOp) isInstr()       {}
+func (*Cmp) isInstr()         {}
+func (*Convert) isInstr()     {}
+func (*Alloc) isInstr()       {}
+func (*Free) isInstr()        {}
+func (*Load) isInstr()        {}
+func (*Store) isInstr()       {}
+func (*FieldAddr) isInstr()   {}
+func (*IndexAddr) isInstr()   {}
+func (*Bitcast) isInstr()     {}
+func (*PtrToInt) isInstr()    {}
+func (*IntToPtr) isInstr()    {}
+func (*FuncAddr) isInstr()    {}
+func (*GlobalAddr) isInstr()  {}
+func (*Call) isInstr()        {}
+func (*Ret) isInstr()         {}
+func (*Br) isInstr()          {}
+func (*CondBr) isInstr()      {}
+func (*Assert) isInstr()      {}
+func (*FaultPoint) isInstr()  {}
+func (*RandInt) isInstr()     {}
+func (*HeapBufSize) isInstr() {}
+func (*Output) isInstr()      {}
+func (*Exit) isInstr()        {}
+
+func (i *ConstInt) String() string {
+	return fmt.Sprintf("%s = const %s %d", i.Dst, i.Dst.Type, i.Val)
+}
+func (i *ConstFloat) String() string {
+	return fmt.Sprintf("%s = const %s %g", i.Dst, i.Dst.Type, i.Val)
+}
+func (i *ConstNull) String() string { return fmt.Sprintf("%s = null %s", i.Dst, i.Dst.Type) }
+func (i *Move) String() string      { return fmt.Sprintf("%s = move %s", i.Dst, i.Src) }
+func (i *BinOp) String() string {
+	return fmt.Sprintf("%s = %s %s, %s", i.Dst, i.Op, i.X, i.Y)
+}
+func (i *Cmp) String() string {
+	return fmt.Sprintf("%s = cmp %s %s, %s", i.Dst, i.Op, i.X, i.Y)
+}
+func (i *Convert) String() string {
+	return fmt.Sprintf("%s = convert %s to %s", i.Dst, i.Src, i.Dst.Type)
+}
+func (i *Alloc) String() string {
+	if i.Count != nil {
+		return fmt.Sprintf("%s = %s %s, count %s ; site %d", i.Dst, i.Kind, i.Elem, i.Count, i.Site)
+	}
+	return fmt.Sprintf("%s = %s %s ; site %d", i.Dst, i.Kind, i.Elem, i.Site)
+}
+func (i *Free) String() string { return fmt.Sprintf("free %s", i.Ptr) }
+func (i *Load) String() string {
+	return fmt.Sprintf("%s = load %s, %s", i.Dst, i.Dst.Type, i.Ptr)
+}
+func (i *Store) String() string { return fmt.Sprintf("store %s, %s", i.Val, i.Ptr) }
+func (i *FieldAddr) String() string {
+	return fmt.Sprintf("%s = fieldaddr %s, %d", i.Dst, i.Ptr, i.Field)
+}
+func (i *IndexAddr) String() string {
+	return fmt.Sprintf("%s = indexaddr %s, %s", i.Dst, i.Ptr, i.Index)
+}
+func (i *Bitcast) String() string {
+	return fmt.Sprintf("%s = bitcast %s to %s", i.Dst, i.Src, i.Dst.Type)
+}
+func (i *PtrToInt) String() string {
+	return fmt.Sprintf("%s = ptrtoint %s", i.Dst, i.Src)
+}
+func (i *IntToPtr) String() string {
+	return fmt.Sprintf("%s = inttoptr %s to %s", i.Dst, i.Src, i.Dst.Type)
+}
+func (i *FuncAddr) String() string   { return fmt.Sprintf("%s = funcaddr @%s", i.Dst, i.Fn) }
+func (i *GlobalAddr) String() string { return fmt.Sprintf("%s = globaladdr @%s", i.Dst, i.G) }
+func (i *Call) String() string {
+	args := ""
+	for j, a := range i.Args {
+		if j > 0 {
+			args += ", "
+		}
+		args += a.String()
+	}
+	callee := "@" + i.Callee
+	if i.Callee == "" {
+		callee = i.CalleePtr.String()
+	}
+	if i.Dst != nil {
+		return fmt.Sprintf("%s = call %s(%s)", i.Dst, callee, args)
+	}
+	return fmt.Sprintf("call %s(%s)", callee, args)
+}
+func (i *Ret) String() string {
+	if i.Val != nil {
+		return fmt.Sprintf("ret %s", i.Val)
+	}
+	return "ret"
+}
+func (i *Br) String() string { return fmt.Sprintf("br .%s", i.Target.Name) }
+func (i *CondBr) String() string {
+	return fmt.Sprintf("condbr %s, .%s, .%s", i.Cond, i.True.Name, i.False.Name)
+}
+func (i *Assert) String() string     { return fmt.Sprintf("assert %s == %s", i.X, i.Y) }
+func (i *FaultPoint) String() string { return fmt.Sprintf("faultpoint %d", i.Site) }
+func (i *RandInt) String() string {
+	return fmt.Sprintf("%s = randint %d, %d", i.Dst, i.Lo, i.Hi)
+}
+func (i *HeapBufSize) String() string {
+	return fmt.Sprintf("%s = heapbufsize %s", i.Dst, i.Ptr)
+}
+func (i *Output) String() string {
+	mode := map[OutputMode]string{OutInt: "int", OutFloat: "float", OutByte: "byte"}[i.Mode]
+	return fmt.Sprintf("output %s %s", mode, i.Val)
+}
+func (i *Exit) String() string {
+	if i.Val == nil {
+		return "exit"
+	}
+	return fmt.Sprintf("exit %s", i.Val)
+}
+
+// IsTerminator reports whether in ends a basic block.
+func IsTerminator(in Instr) bool {
+	switch in.(type) {
+	case *Ret, *Br, *CondBr, *Exit:
+		return true
+	}
+	return false
+}

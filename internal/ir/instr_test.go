@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInstructionStrings covers the printer for every instruction kind;
+// the parser tests rely on these exact forms.
+func TestInstructionStrings(t *testing.T) {
+	m := NewModule("s")
+	m.AddGlobal("g", I64)
+	b := NewBuilder(m)
+	f := b.Function("main", I64, nil)
+	_ = f
+	i64r := b.F.NewReg("x", I64)
+	f64r := b.F.NewReg("f", F64)
+	ptr := b.F.NewReg("p", Ptr(I64))
+	sptr := b.F.NewReg("s", Ptr(Struct(I64, Ptr(I8))))
+	i1r := b.F.NewReg("c", I1)
+	blk := &Block{Name: "tgt"}
+
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{&ConstInt{Dst: i64r, Val: 42}, "= const i64 42"},
+		{&ConstFloat{Dst: f64r, Val: 1.5}, "= const f64 1.5"},
+		{&ConstNull{Dst: ptr}, "= null i64*"},
+		{&Move{Dst: i64r, Src: i64r}, "= move"},
+		{&BinOp{Dst: i64r, X: i64r, Y: i64r, Op: OpAdd}, "= add"},
+		{&BinOp{Dst: f64r, X: f64r, Y: f64r, Op: OpFMul}, "= fmul"},
+		{&Cmp{Dst: i1r, Op: CmpSLT, X: i64r, Y: i64r}, "= cmp slt"},
+		{&Convert{Dst: f64r, Src: i64r}, "to f64"},
+		{&Alloc{Dst: ptr, Kind: AllocHeap, Elem: I64, Site: 3}, "malloc i64 ; site 3"},
+		{&Alloc{Dst: ptr, Kind: AllocStack, Elem: I64, Count: i64r, Site: 4}, "alloca i64, count"},
+		{&Free{Ptr: ptr}, "free"},
+		{&Load{Dst: i64r, Ptr: ptr}, "= load i64,"},
+		{&Store{Ptr: ptr, Val: i64r}, "store"},
+		{&FieldAddr{Dst: ptr, Ptr: sptr, Field: 0}, "fieldaddr"},
+		{&IndexAddr{Dst: ptr, Ptr: ptr, Index: i64r}, "indexaddr"},
+		{&Bitcast{Dst: ptr, Src: ptr}, "bitcast"},
+		{&PtrToInt{Dst: i64r, Src: ptr}, "ptrtoint"},
+		{&IntToPtr{Dst: ptr, Src: i64r}, "inttoptr"},
+		{&FuncAddr{Dst: ptr, Fn: "main"}, "funcaddr @main"},
+		{&GlobalAddr{Dst: ptr, G: "g"}, "globaladdr @g"},
+		{&Call{Dst: i64r, Callee: "main"}, "= call @main()"},
+		{&Call{CalleePtr: ptr, Args: []*Reg{i64r}}, "call %p."},
+		{&Ret{Val: i64r}, "ret %x"},
+		{&Ret{}, "ret"},
+		{&Br{Target: blk}, "br .tgt"},
+		{&CondBr{Cond: i1r, True: blk, False: blk}, "condbr"},
+		{&Assert{X: i64r, Y: i64r}, "assert"},
+		{&FaultPoint{Site: 7}, "faultpoint 7"},
+		{&RandInt{Dst: i64r, Lo: 1, Hi: 20}, "randint 1, 20"},
+		{&HeapBufSize{Dst: i64r, Ptr: ptr}, "heapbufsize"},
+		{&Output{Val: i64r, Mode: OutInt}, "output int"},
+		{&Output{Val: f64r, Mode: OutFloat}, "output float"},
+		{&Exit{Val: i64r}, "exit"},
+		{&Exit{}, "exit"},
+	}
+	for _, tc := range tests {
+		got := tc.in.String()
+		if !strings.Contains(got, tc.want) {
+			t.Errorf("%T: %q does not contain %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDefCoversAllDefiningInstructions(t *testing.T) {
+	m := NewModule("d")
+	b := NewBuilder(m)
+	b.Function("main", I64, nil)
+	r := b.F.NewReg("r", I64)
+	p := b.F.NewReg("p", Ptr(I64))
+	defining := []Instr{
+		&ConstInt{Dst: r}, &ConstFloat{Dst: r}, &ConstNull{Dst: p},
+		&Move{Dst: r, Src: r}, &BinOp{Dst: r, X: r, Y: r, Op: OpAdd},
+		&Cmp{Dst: r, X: r, Y: r, Op: CmpEQ}, &Convert{Dst: r, Src: r},
+		&Alloc{Dst: p, Elem: I64}, &Load{Dst: r, Ptr: p},
+		&FieldAddr{Dst: p, Ptr: p}, &IndexAddr{Dst: p, Ptr: p, Index: r},
+		&Bitcast{Dst: p, Src: p}, &PtrToInt{Dst: r, Src: p},
+		&IntToPtr{Dst: p, Src: r}, &FuncAddr{Dst: p}, &GlobalAddr{Dst: p},
+		&Call{Dst: r}, &RandInt{Dst: r}, &HeapBufSize{Dst: r, Ptr: p},
+	}
+	for _, in := range defining {
+		if Def(in) == nil {
+			t.Errorf("%T: Def returned nil", in)
+		}
+	}
+	nonDefining := []Instr{
+		&Free{Ptr: p}, &Store{Ptr: p, Val: r}, &Ret{}, &Br{},
+		&CondBr{Cond: r}, &Assert{X: r, Y: r}, &FaultPoint{},
+		&Output{Val: r}, &Exit{},
+	}
+	for _, in := range nonDefining {
+		if Def(in) != nil {
+			t.Errorf("%T: Def should be nil", in)
+		}
+	}
+}
+
+func TestIsTerminator(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.Function("main", I64, nil)
+	r := b.F.NewReg("r", I64)
+	terms := []Instr{&Ret{}, &Br{}, &CondBr{Cond: r}, &Exit{}}
+	for _, in := range terms {
+		if !IsTerminator(in) {
+			t.Errorf("%T must be a terminator", in)
+		}
+	}
+	if IsTerminator(&ConstInt{Dst: r}) || IsTerminator(&Free{Ptr: r}) {
+		t.Error("non-terminators misclassified")
+	}
+}

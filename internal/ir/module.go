@@ -1,0 +1,376 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RefInit records that the pointer-sized word at Offset within a global's
+// initial image holds the address of another global (Global != "") or of a
+// function (Func != ""). This models compile-time global-variable
+// initialization containing pointers (§2.4).
+type RefInit struct {
+	Offset int
+	Global string
+	Func   string
+}
+
+// Global is a module-level variable. Per the paper's assumptions, every
+// global variable is a pointer to memory of type Elem; referencing the
+// global (GlobalAddr) yields that pointer.
+type Global struct {
+	Name string
+	Elem Type
+	// Init is the initial byte image; nil means zero-initialized. If
+	// non-nil, len(Init) must equal Elem.Size().
+	Init []byte
+	// Refs are pointer fixups applied over Init at program start.
+	Refs []RefInit
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator.
+type Block struct {
+	Name   string
+	Index  int
+	Instrs []Instr
+}
+
+// Append adds instructions to the block.
+func (b *Block) Append(ins ...Instr) { b.Instrs = append(b.Instrs, ins...) }
+
+// Func is an IR function. External functions have no blocks and are
+// resolved against the registered external-function implementations at run
+// time (§2.8).
+type Func struct {
+	Name     string
+	Sig      *FuncType
+	Params   []*Reg
+	Blocks   []*Block
+	External bool
+
+	nextReg    int
+	nextBlock  int
+	blockNames map[string]bool
+}
+
+// NewReg creates a fresh register of type t in f.
+func (f *Func) NewReg(name string, t Type) *Reg {
+	if t == nil {
+		panic("ir: NewReg with nil type in " + f.Name)
+	}
+	if !IsScalar(t) {
+		panic(fmt.Sprintf("ir: register %q of non-scalar type %s in %s", name, t, f.Name))
+	}
+	r := &Reg{ID: f.nextReg, Name: name, Type: t}
+	f.nextReg++
+	return r
+}
+
+// NumRegs returns the number of registers created so far; register IDs are
+// dense in [0, NumRegs).
+func (f *Func) NumRegs() int { return f.nextReg }
+
+// NewBlock appends a new, empty basic block to f. Names are made unique
+// within the function (builders and the DPMR transformer reuse structural
+// names like "if.then"), keeping the textual form unambiguous for Parse.
+func (f *Func) NewBlock(name string) *Block {
+	if name == "" {
+		name = fmt.Sprintf("b%d", f.nextBlock)
+	}
+	if f.blockNames == nil {
+		f.blockNames = make(map[string]bool)
+	}
+	if f.blockNames[name] {
+		name = fmt.Sprintf("%s.%d", name, f.nextBlock)
+	}
+	f.blockNames[name] = true
+	b := &Block{Name: name, Index: f.nextBlock}
+	f.nextBlock++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Module is a whole program: globals plus functions.
+type Module struct {
+	Name    string
+	Globals []*Global
+	Funcs   []*Func
+
+	funcIdx   map[string]*Func
+	globalIdx map[string]*Global
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:      name,
+		funcIdx:   make(map[string]*Func),
+		globalIdx: make(map[string]*Global),
+	}
+}
+
+// AddFunc creates a function with the given signature and adds it to m.
+// Parameter registers are created from the signature's parameter types.
+func (m *Module) AddFunc(name string, sig *FuncType, paramNames ...string) *Func {
+	if _, dup := m.funcIdx[name]; dup {
+		panic("ir: duplicate function " + name)
+	}
+	f := &Func{Name: name, Sig: sig}
+	for i, pt := range sig.Params {
+		pn := fmt.Sprintf("a%d", i)
+		if i < len(paramNames) && paramNames[i] != "" {
+			pn = paramNames[i]
+		}
+		f.Params = append(f.Params, f.NewReg(pn, pt))
+	}
+	m.Funcs = append(m.Funcs, f)
+	m.funcIdx[name] = f
+	return f
+}
+
+// AddExtern declares an external function with the given signature.
+func (m *Module) AddExtern(name string, sig *FuncType) *Func {
+	f := m.AddFunc(name, sig)
+	f.External = true
+	return f
+}
+
+// AddGlobal adds a zero-initialized global variable of type elem.
+func (m *Module) AddGlobal(name string, elem Type) *Global {
+	if _, dup := m.globalIdx[name]; dup {
+		panic("ir: duplicate global " + name)
+	}
+	g := &Global{Name: name, Elem: elem}
+	m.Globals = append(m.Globals, g)
+	m.globalIdx[name] = g
+	return g
+}
+
+// Func looks up a function by name.
+func (m *Module) Func(name string) *Func { return m.funcIdx[name] }
+
+// Global looks up a global by name.
+func (m *Module) Global(name string) *Global { return m.globalIdx[name] }
+
+// RenameFunc renames a function, updating the index. Used by the DPMR
+// transformation's main() handling (§3.1.1: main is renamed to mainAug).
+func (m *Module) RenameFunc(f *Func, newName string) {
+	if _, dup := m.funcIdx[newName]; dup {
+		panic("ir: rename collides with existing function " + newName)
+	}
+	delete(m.funcIdx, f.Name)
+	f.Name = newName
+	m.funcIdx[newName] = f
+}
+
+// AllocSites returns the Alloc instructions of the given kind across the
+// module in a deterministic order, as (function, block index, instr index)
+// references. The fault-injection framework enumerates these.
+type AllocSite struct {
+	Fn    *Func
+	Block int
+	Instr int
+	Alloc *Alloc
+}
+
+// HeapAllocSites returns every heap allocation site in deterministic order.
+func (m *Module) HeapAllocSites() []AllocSite {
+	var sites []AllocSite
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		for bi, b := range f.Blocks {
+			for ii, in := range b.Instrs {
+				if a, ok := in.(*Alloc); ok && a.Kind == AllocHeap {
+					sites = append(sites, AllocSite{Fn: f, Block: bi, Instr: ii, Alloc: a})
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// String renders the whole module as text, in the form accepted by Parse:
+// named-type definitions first, then globals, then functions.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, td := range m.namedTypes() {
+		switch tt := td.(type) {
+		case *StructType:
+			fmt.Fprintf(&sb, "type %%%s = %s\n", tt.Name, tt.BodyString())
+		case *UnionType:
+			parts := make([]string, tt.NumElems())
+			for i := range parts {
+				parts[i] = tt.Elem(i).String()
+			}
+			fmt.Fprintf(&sb, "type %%u.%s = union{ %s }\n", tt.Name, strings.Join(parts, "; "))
+		}
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global @%s : %s\n", g.Name, g.Elem)
+		for _, ref := range g.Refs {
+			target := "@" + ref.Global
+			if ref.Func != "" {
+				target = "@@" + ref.Func
+			}
+			fmt.Fprintf(&sb, "  ref %d %s\n", ref.Offset, target)
+		}
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// namedTypes collects every named struct/union reachable from the
+// module's globals, signatures, and instructions, in first-use order.
+func (m *Module) namedTypes() []Type {
+	var out []Type
+	seen := map[string]bool{}
+	var visit func(t Type)
+	visit = func(t Type) {
+		if t == nil {
+			return
+		}
+		switch tt := t.(type) {
+		case *PointerType:
+			visit(tt.Elem)
+		case *ArrayType:
+			visit(tt.Elem)
+		case *FuncType:
+			visit(tt.Ret)
+			for _, p := range tt.Params {
+				visit(p)
+			}
+		case *StructType:
+			if tt.Name != "" {
+				if seen[tt.Name] {
+					return
+				}
+				seen[tt.Name] = true
+				out = append(out, tt)
+			}
+			for _, f := range tt.Fields() {
+				visit(f)
+			}
+		case *UnionType:
+			if tt.Name != "" {
+				if seen["u."+tt.Name] {
+					return
+				}
+				seen["u."+tt.Name] = true
+				out = append(out, tt)
+			}
+			for i := 0; i < tt.NumElems(); i++ {
+				visit(tt.Elem(i))
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		visit(g.Elem)
+	}
+	for _, f := range m.Funcs {
+		visit(f.Sig)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if a, ok := in.(*Alloc); ok {
+					visit(a.Elem)
+				}
+				if d := Def(in); d != nil {
+					visit(d.Type)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String renders the function as text.
+func (f *Func) String() string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s: %s", p, p.Type)
+	}
+	kind := "func"
+	if f.External {
+		kind = "extern func"
+	}
+	fmt.Fprintf(&sb, "%s @%s(%s) %s", kind, f.Name, strings.Join(params, ", "), f.Sig.Ret)
+	if f.External {
+		sb.WriteString("\n")
+		return sb.String()
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, ".%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Stats summarizes a module for reporting.
+type Stats struct {
+	Funcs      int
+	Blocks     int
+	Instrs     int
+	HeapSites  int
+	ArraySites int
+	Loads      int
+	Stores     int
+	Asserts    int
+}
+
+// CollectStats walks the module and tallies instruction statistics.
+func (m *Module) CollectStats() Stats {
+	var s Stats
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		s.Funcs++
+		for _, b := range f.Blocks {
+			s.Blocks++
+			for _, in := range b.Instrs {
+				s.Instrs++
+				switch i := in.(type) {
+				case *Alloc:
+					if i.Kind == AllocHeap {
+						s.HeapSites++
+						if i.Count != nil {
+							s.ArraySites++
+						}
+					}
+				case *Load:
+					s.Loads++
+				case *Store:
+					s.Stores++
+				case *Assert:
+					s.Asserts++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// SortedFuncNames returns the module's function names sorted, for stable
+// diagnostics.
+func (m *Module) SortedFuncNames() []string {
+	names := make([]string, 0, len(m.Funcs))
+	for _, f := range m.Funcs {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}

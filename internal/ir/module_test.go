@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSumModule builds a tiny module:
+//
+//	func sum(n i64) i64 { s := 0; for i in [0,n) { s += i }; return s }
+//	func main() i64 { return sum(10) }
+func buildSumModule(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("sumtest")
+	b := NewBuilder(m)
+
+	f := b.Function("sum", I64, []string{"n"}, I64)
+	n := f.Params[0]
+	s := b.Reg("s", I64)
+	zero := b.I64(0)
+	b.MoveTo(s, zero)
+	b.ForRange("i", b.I64(0), n, func(i *Reg) {
+		b.BinTo(s, OpAdd, s, i)
+	})
+	b.Ret(s)
+
+	b.Function("main", I64, nil)
+	r := b.Call("sum", b.I64(10))
+	b.Ret(r)
+
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestBuilderProducesVerifiableModule(t *testing.T) {
+	m := buildSumModule(t)
+	if m.Func("sum") == nil || m.Func("main") == nil {
+		t.Fatal("functions not registered")
+	}
+	st := m.CollectStats()
+	if st.Funcs != 2 {
+		t.Errorf("funcs = %d, want 2", st.Funcs)
+	}
+	if st.Blocks < 5 {
+		t.Errorf("blocks = %d, want >= 5 (loop structure)", st.Blocks)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m)
+	b.Function("main", I64, nil)
+	b.I64(1) // no terminator
+	err := Verify(m)
+	if err == nil {
+		t.Fatal("want verify error for missing terminator")
+	}
+	if !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyCatchesMidBlockTerminator(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m)
+	b.Function("main", I64, nil)
+	v := b.I64(1)
+	blk := b.B
+	blk.Append(&Ret{Val: v})
+	blk.Append(&Ret{Val: v})
+	if err := Verify(m); err == nil {
+		t.Fatal("want verify error for terminator in middle of block")
+	}
+}
+
+func TestVerifyCatchesCallArityMismatch(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m)
+	b.Function("callee", I64, nil, I64, I64)
+	b.Ret(b.I64(0))
+	b.Function("main", I64, nil)
+	one := b.I64(1)
+	dst := b.Reg("r", I64)
+	b.B.Append(&Call{Dst: dst, Callee: "callee", Args: []*Reg{one}})
+	b.Ret(dst)
+	if err := Verify(m); err == nil {
+		t.Fatal("want verify error for arity mismatch")
+	}
+}
+
+func TestVerifyCatchesReturnTypeMismatch(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m)
+	b.Function("main", I64, nil)
+	v := b.I32(1)
+	b.B.Append(&Ret{Val: v})
+	if err := Verify(m); err == nil {
+		t.Fatal("want verify error for return type mismatch")
+	}
+}
+
+func TestVerifyCatchesMissingMain(t *testing.T) {
+	m := NewModule("nomain")
+	b := NewBuilder(m)
+	b.Function("f", Void, nil)
+	b.Ret(nil)
+	if err := Verify(m); err == nil {
+		t.Fatal("want verify error for missing main")
+	}
+}
+
+func TestVerifyExternalWithBody(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m)
+	b.Function("main", I64, nil)
+	b.Ret(b.I64(0))
+	ext := m.AddExtern("memcpy", FuncOf(Void, Ptr(I8), Ptr(I8), I64))
+	ext.Blocks = append(ext.Blocks, &Block{Name: "oops"})
+	if err := Verify(m); err == nil {
+		t.Fatal("want verify error for external function with body")
+	}
+}
+
+func TestHeapAllocSitesDeterministic(t *testing.T) {
+	m := NewModule("sites")
+	b := NewBuilder(m)
+	b.Function("main", I64, nil)
+	p := b.Malloc(I64)
+	q := b.MallocN(I32, b.I64(8))
+	b.Free(p)
+	b.Free(q)
+	b.Ret(b.I64(0))
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	sites := m.HeapAllocSites()
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d, want 2", len(sites))
+	}
+	if sites[0].Alloc.Site == sites[1].Alloc.Site {
+		t.Error("site ids must be distinct")
+	}
+	if sites[0].Alloc.Count != nil {
+		t.Error("first site is scalar")
+	}
+	if sites[1].Alloc.Count == nil {
+		t.Error("second site is an array site")
+	}
+}
+
+func TestRenameFunc(t *testing.T) {
+	m := buildSumModule(t)
+	f := m.Func("main")
+	m.RenameFunc(f, "mainAug")
+	if m.Func("main") != nil {
+		t.Error("old name still resolves")
+	}
+	if m.Func("mainAug") != f {
+		t.Error("new name does not resolve")
+	}
+}
+
+func TestModulePrinting(t *testing.T) {
+	m := buildSumModule(t)
+	s := m.String()
+	for _, want := range []string{"func @sum", "func @main", ".entry:", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed module missing %q", want)
+		}
+	}
+}
+
+func TestBuilderIfBothArms(t *testing.T) {
+	m := NewModule("ifm")
+	b := NewBuilder(m)
+	b.Function("main", I64, nil)
+	r := b.Reg("r", I64)
+	c := b.Cmp(CmpSLT, b.I64(1), b.I64(2))
+	b.If(c, func() {
+		b.MoveTo(r, b.I64(10))
+	}, func() {
+		b.MoveTo(r, b.I64(20))
+	})
+	b.Ret(r)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}

@@ -1,0 +1,1021 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual form produced by Module.String back into a
+// Module, making the printer/parser a round-trip pair. The accepted
+// grammar is exactly what the printer emits; the one structural
+// requirement beyond that is that a register's defining instruction
+// appears textually before its uses (true of all builder- and
+// transformer-produced modules, whose entry blocks dominate textually).
+func Parse(text string) (*Module, error) {
+	p := &parser{types: map[string]Type{}}
+	if err := p.run(text); err != nil {
+		return nil, err
+	}
+	return p.m, nil
+}
+
+type parser struct {
+	m     *Module
+	types map[string]Type
+}
+
+type funcBody struct {
+	fn    *Func
+	lines []string
+}
+
+func (p *parser) run(text string) error {
+	raw := strings.Split(text, "\n")
+	lines := make([]string, 0, len(raw))
+	for _, l := range raw {
+		l = strings.TrimRight(l, " \t")
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "module ") {
+		return fmt.Errorf("ir parse: missing module header")
+	}
+	p.m = NewModule(strings.TrimSpace(strings.TrimPrefix(lines[0], "module ")))
+	lines = lines[1:]
+
+	// Sweep 1: create opaque named types so bodies can be recursive.
+	for _, l := range lines {
+		t := strings.TrimSpace(l)
+		if !strings.HasPrefix(t, "type %") {
+			continue
+		}
+		name, _, ok := strings.Cut(strings.TrimPrefix(t, "type %"), " =")
+		if !ok {
+			return fmt.Errorf("ir parse: bad type line %q", l)
+		}
+		if rest, isU := strings.CutPrefix(name, "u."); isU {
+			p.types[name] = NamedUnion(rest)
+		} else {
+			p.types[name] = NamedStruct(name)
+		}
+	}
+	// Sweep 2: fill type bodies.
+	for _, l := range lines {
+		t := strings.TrimSpace(l)
+		if !strings.HasPrefix(t, "type %") {
+			continue
+		}
+		name, body, _ := strings.Cut(strings.TrimPrefix(t, "type %"), " = ")
+		if err := p.fillTypeBody(name, body); err != nil {
+			return fmt.Errorf("ir parse: type %%%s: %w", name, err)
+		}
+	}
+
+	// Sweep 3: globals, function headers, and body collection.
+	var bodies []*funcBody
+	var cur *funcBody
+	var lastGlobal *Global
+	for _, l := range lines {
+		t := strings.TrimSpace(l)
+		switch {
+		case strings.HasPrefix(t, "type %"):
+			// handled above
+		case strings.HasPrefix(t, "global @"):
+			g, err := p.parseGlobal(t)
+			if err != nil {
+				return err
+			}
+			lastGlobal = g
+		case strings.HasPrefix(t, "ref "):
+			if lastGlobal == nil {
+				return fmt.Errorf("ir parse: ref outside global: %q", t)
+			}
+			if err := p.parseRef(lastGlobal, t); err != nil {
+				return err
+			}
+		case strings.HasPrefix(t, "extern func @"):
+			if _, err := p.parseFuncHeader(t, true); err != nil {
+				return err
+			}
+		case strings.HasPrefix(t, "func @"):
+			fn, err := p.parseFuncHeader(t, false)
+			if err != nil {
+				return err
+			}
+			cur = &funcBody{fn: fn}
+			bodies = append(bodies, cur)
+		case t == "}":
+			cur = nil
+		default:
+			if cur == nil {
+				return fmt.Errorf("ir parse: stray line %q", t)
+			}
+			cur.lines = append(cur.lines, t)
+		}
+	}
+	for _, fb := range bodies {
+		if err := p.parseBody(fb); err != nil {
+			return fmt.Errorf("ir parse: @%s: %w", fb.fn.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *parser) fillTypeBody(name, body string) error {
+	cur := newCursor(body)
+	if u, ok := p.types[name].(*UnionType); ok {
+		elems, err := p.parseAggregateBody(cur, "union{")
+		if err != nil {
+			return err
+		}
+		u.SetBody(elems...)
+		return nil
+	}
+	s := p.types[name].(*StructType)
+	fields, err := p.parseAggregateBody(cur, "{")
+	if err != nil {
+		return err
+	}
+	s.SetBody(fields...)
+	return nil
+}
+
+// parseAggregateBody parses "{ T; T; ... }" or "union{ ... }" bodies.
+func (p *parser) parseAggregateBody(cur *cursor, open string) ([]Type, error) {
+	if !cur.eat(open) {
+		return nil, fmt.Errorf("expected %q at %q", open, cur.rest())
+	}
+	var out []Type
+	for {
+		cur.skipSpace()
+		if cur.eat("}") {
+			return out, nil
+		}
+		t, err := p.parseType(cur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		cur.skipSpace()
+		cur.eat(";")
+	}
+}
+
+func (p *parser) parseGlobal(line string) (*Global, error) {
+	rest := strings.TrimPrefix(line, "global @")
+	name, typ, ok := strings.Cut(rest, " : ")
+	if !ok {
+		return nil, fmt.Errorf("ir parse: bad global line %q", line)
+	}
+	t, err := p.parseTypeString(typ)
+	if err != nil {
+		return nil, fmt.Errorf("ir parse: global @%s: %w", name, err)
+	}
+	return p.m.AddGlobal(name, t), nil
+}
+
+func (p *parser) parseRef(g *Global, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return fmt.Errorf("ir parse: bad ref line %q", line)
+	}
+	off, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return err
+	}
+	ref := RefInit{Offset: off}
+	if fn, ok := strings.CutPrefix(fields[2], "@@"); ok {
+		ref.Func = fn
+	} else {
+		ref.Global = strings.TrimPrefix(fields[2], "@")
+	}
+	g.Refs = append(g.Refs, ref)
+	return nil
+}
+
+// parseFuncHeader parses:
+//
+//	func @name(%p.0: i64, %q.1: i8*) i64 {
+//	extern func @name(%a0.0: i8*) void
+func (p *parser) parseFuncHeader(line string, external bool) (*Func, error) {
+	rest := line
+	if external {
+		rest = strings.TrimPrefix(rest, "extern ")
+	}
+	rest = strings.TrimPrefix(rest, "func @")
+	name, rest, ok := strings.Cut(rest, "(")
+	if !ok {
+		return nil, fmt.Errorf("ir parse: bad func header %q", line)
+	}
+	paramsText, rest, ok := cutTopLevel(rest, ')')
+	if !ok {
+		return nil, fmt.Errorf("ir parse: unterminated params in %q", line)
+	}
+	retText := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "{"))
+	ret, err := p.parseTypeString(retText)
+	if err != nil {
+		return nil, fmt.Errorf("ir parse: @%s return: %w", name, err)
+	}
+	var paramTypes []Type
+	var paramNames []string
+	for _, part := range splitTopLevel(paramsText, ',') {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		pn, pt, ok := strings.Cut(part, ": ")
+		if !ok {
+			return nil, fmt.Errorf("ir parse: bad param %q in @%s", part, name)
+		}
+		t, err := p.parseTypeString(pt)
+		if err != nil {
+			return nil, fmt.Errorf("ir parse: @%s param %s: %w", name, pn, err)
+		}
+		paramTypes = append(paramTypes, t)
+		paramNames = append(paramNames, regNameOf(pn))
+	}
+	fn := p.m.AddFunc(name, FuncOf(ret, paramTypes...), paramNames...)
+	fn.External = external
+	return fn, nil
+}
+
+// regNameOf strips the % sigil and the .ID disambiguator.
+func regNameOf(tok string) string {
+	tok = strings.TrimPrefix(tok, "%")
+	if i := strings.LastIndexByte(tok, '.'); i > 0 {
+		if _, err := strconv.Atoi(tok[i+1:]); err == nil {
+			return tok[:i]
+		}
+	}
+	return tok
+}
+
+// ---------------------------------------------------------------------------
+// Function bodies
+
+type bodyParser struct {
+	p      *parser
+	fn     *Func
+	regs   map[string]*Reg
+	blocks map[string]*Block
+	block  *Block
+}
+
+func (p *parser) parseBody(fb *funcBody) error {
+	bp := &bodyParser{
+		p:      p,
+		fn:     fb.fn,
+		regs:   map[string]*Reg{},
+		blocks: map[string]*Block{},
+	}
+	// Parameters are pre-bound. Their textual tokens use name.ID with the
+	// *new* IDs assigned by AddFunc — but the source text used original
+	// IDs. Bind by position instead: the printer emits parameters in
+	// order, so the i-th parameter token in the header is fn.Params[i].
+	// Since instruction operands reference the token, reconstruct it from
+	// the source header later; simplest is to bind both the printed form
+	// of the new reg and, during instruction parsing, treat unknown
+	// %name.N tokens matching a parameter name as that parameter.
+	for _, prm := range fb.fn.Params {
+		bp.regs[prm.String()[1:]] = prm
+	}
+	// Pre-create blocks in order of their labels.
+	for _, l := range fb.lines {
+		if strings.HasPrefix(l, ".") && strings.HasSuffix(l, ":") {
+			name := strings.TrimSuffix(strings.TrimPrefix(l, "."), ":")
+			bp.blocks[name] = fb.fn.NewBlock(name)
+		}
+	}
+	for _, l := range fb.lines {
+		if strings.HasPrefix(l, ".") && strings.HasSuffix(l, ":") {
+			name := strings.TrimSuffix(strings.TrimPrefix(l, "."), ":")
+			bp.block = bp.blocks[name]
+			continue
+		}
+		if bp.block == nil {
+			return fmt.Errorf("instruction before first block: %q", l)
+		}
+		if err := bp.parseInstr(l); err != nil {
+			return fmt.Errorf("%q: %w", l, err)
+		}
+	}
+	return nil
+}
+
+// lookup resolves a register token (without %), falling back to parameter
+// names whose printed IDs differ between source and reconstruction.
+func (bp *bodyParser) lookup(tok string) (*Reg, error) {
+	tok = strings.TrimPrefix(tok, "%")
+	if r, ok := bp.regs[tok]; ok {
+		return r, nil
+	}
+	name := regNameOf("%" + tok)
+	for _, prm := range bp.fn.Params {
+		if prm.Name == name {
+			bp.regs[tok] = prm
+			return prm, nil
+		}
+	}
+	return nil, fmt.Errorf("use of undefined register %%%s", tok)
+}
+
+// define creates (or reuses) the destination register for token tok with
+// type t. Reuse happens on reassignment (non-SSA moves/loops).
+func (bp *bodyParser) define(tok string, t Type) (*Reg, error) {
+	tok = strings.TrimPrefix(tok, "%")
+	if r, ok := bp.regs[tok]; ok {
+		if !TypesEqual(r.Type, t) {
+			return nil, fmt.Errorf("register %%%s redefined with type %s (was %s)", tok, t, r.Type)
+		}
+		return r, nil
+	}
+	r := bp.fn.NewReg(regNameOf("%"+tok), t)
+	bp.regs[tok] = r
+	return r, nil
+}
+
+func (bp *bodyParser) parseInstr(line string) error {
+	line = strings.TrimSpace(line)
+	// Strip the allocation-site comment before tokenizing.
+	site := -1
+	if idx := strings.Index(line, "; site "); idx >= 0 {
+		n, err := strconv.Atoi(strings.TrimSpace(line[idx+7:]))
+		if err != nil {
+			return err
+		}
+		site = n
+		line = strings.TrimSpace(line[:idx])
+	}
+
+	var dstTok string
+	if strings.HasPrefix(line, "%") {
+		if d, rest, ok := strings.Cut(line, " = "); ok {
+			dstTok = d
+			line = rest
+		}
+	}
+	op, rest, _ := strings.Cut(line, " ")
+	emit := func(in Instr) { bp.block.Append(in) }
+
+	switch op {
+	case "const":
+		typText, valText, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf("bad const")
+		}
+		t, err := bp.p.parseTypeString(typText)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, t)
+		if err != nil {
+			return err
+		}
+		if t.Kind() == KindFloat {
+			v, err := strconv.ParseFloat(valText, 64)
+			if err != nil {
+				return err
+			}
+			emit(&ConstFloat{Dst: dst, Val: v})
+		} else {
+			v, err := strconv.ParseInt(valText, 10, 64)
+			if err != nil {
+				return err
+			}
+			emit(&ConstInt{Dst: dst, Val: v})
+		}
+	case "null":
+		t, err := bp.p.parseTypeString(rest)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, t)
+		if err != nil {
+			return err
+		}
+		emit(&ConstNull{Dst: dst})
+	case "move":
+		src, err := bp.lookup(rest)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, src.Type)
+		if err != nil {
+			return err
+		}
+		emit(&Move{Dst: dst, Src: src})
+	case "cmp":
+		predText, ops, _ := strings.Cut(rest, " ")
+		pred, ok := cmpByName[predText]
+		if !ok {
+			return fmt.Errorf("unknown predicate %q", predText)
+		}
+		x, y, err := bp.twoRegs(ops)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, I1)
+		if err != nil {
+			return err
+		}
+		emit(&Cmp{Dst: dst, Op: pred, X: x, Y: y})
+	case "convert":
+		srcTok, typText, ok := strings.Cut(rest, " to ")
+		if !ok {
+			return fmt.Errorf("bad convert")
+		}
+		src, err := bp.lookup(srcTok)
+		if err != nil {
+			return err
+		}
+		t, err := bp.p.parseTypeString(typText)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, t)
+		if err != nil {
+			return err
+		}
+		emit(&Convert{Dst: dst, Src: src})
+	case "malloc", "alloca":
+		kind := AllocHeap
+		if op == "alloca" {
+			kind = AllocStack
+		}
+		typText := rest
+		var count *Reg
+		if tt, cTok, ok := cutTopLevelStr(rest, ", count "); ok {
+			typText = tt
+			c, err := bp.lookup(strings.TrimSpace(cTok))
+			if err != nil {
+				return err
+			}
+			count = c
+		}
+		elem, err := bp.p.parseTypeString(strings.TrimSpace(typText))
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, Ptr(elem))
+		if err != nil {
+			return err
+		}
+		emit(&Alloc{Dst: dst, Kind: kind, Elem: elem, Count: count, Site: site})
+	case "free":
+		ptr, err := bp.lookup(rest)
+		if err != nil {
+			return err
+		}
+		emit(&Free{Ptr: ptr})
+	case "load":
+		typText, ptrTok, ok := cutTopLevelStr(rest, ", ")
+		if !ok {
+			return fmt.Errorf("bad load")
+		}
+		t, err := bp.p.parseTypeString(typText)
+		if err != nil {
+			return err
+		}
+		ptr, err := bp.lookup(strings.TrimSpace(ptrTok))
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, t)
+		if err != nil {
+			return err
+		}
+		emit(&Load{Dst: dst, Ptr: ptr})
+	case "store":
+		val, ptr, err := bp.twoRegsOrdered(rest)
+		if err != nil {
+			return err
+		}
+		emit(&Store{Ptr: ptr, Val: val})
+	case "fieldaddr":
+		ptrTok, idxText, ok := strings.Cut(rest, ", ")
+		if !ok {
+			return fmt.Errorf("bad fieldaddr")
+		}
+		ptr, err := bp.lookup(ptrTok)
+		if err != nil {
+			return err
+		}
+		field, err := strconv.Atoi(strings.TrimSpace(idxText))
+		if err != nil {
+			return err
+		}
+		var ft Type
+		switch agg := ptr.Elem().(type) {
+		case *StructType:
+			ft = agg.Field(field)
+		case *UnionType:
+			ft = agg.Elem(field)
+		default:
+			return fmt.Errorf("fieldaddr through %s", ptr.Type)
+		}
+		dst, err := bp.define(dstTok, Ptr(ft))
+		if err != nil {
+			return err
+		}
+		emit(&FieldAddr{Dst: dst, Ptr: ptr, Field: field})
+	case "indexaddr":
+		ptr, idx, err := bp.twoRegsOrdered(rest)
+		if err != nil {
+			return err
+		}
+		elem := ptr.Elem()
+		if at, ok := elem.(*ArrayType); ok {
+			elem = at.Elem
+		}
+		dst, err := bp.define(dstTok, Ptr(elem))
+		if err != nil {
+			return err
+		}
+		emit(&IndexAddr{Dst: dst, Ptr: ptr, Index: idx})
+	case "bitcast", "inttoptr":
+		srcTok, typText, ok := strings.Cut(rest, " to ")
+		if !ok {
+			return fmt.Errorf("bad %s", op)
+		}
+		src, err := bp.lookup(srcTok)
+		if err != nil {
+			return err
+		}
+		t, err := bp.p.parseTypeString(typText)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, t)
+		if err != nil {
+			return err
+		}
+		if op == "bitcast" {
+			emit(&Bitcast{Dst: dst, Src: src})
+		} else {
+			emit(&IntToPtr{Dst: dst, Src: src})
+		}
+	case "ptrtoint":
+		src, err := bp.lookup(rest)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, I64)
+		if err != nil {
+			return err
+		}
+		emit(&PtrToInt{Dst: dst, Src: src})
+	case "funcaddr":
+		name := strings.TrimPrefix(rest, "@")
+		callee := bp.p.m.Func(name)
+		if callee == nil {
+			return fmt.Errorf("funcaddr of unknown @%s", name)
+		}
+		dst, err := bp.define(dstTok, Ptr(callee.Sig))
+		if err != nil {
+			return err
+		}
+		emit(&FuncAddr{Dst: dst, Fn: name})
+	case "globaladdr":
+		name := strings.TrimPrefix(rest, "@")
+		g := bp.p.m.Global(name)
+		if g == nil {
+			return fmt.Errorf("globaladdr of unknown @%s", name)
+		}
+		dst, err := bp.define(dstTok, Ptr(g.Elem))
+		if err != nil {
+			return err
+		}
+		emit(&GlobalAddr{Dst: dst, G: name})
+	case "call":
+		return bp.parseCall(dstTok, rest, emit)
+	case "ret":
+		if rest == "" {
+			emit(&Ret{})
+			return nil
+		}
+		v, err := bp.lookup(rest)
+		if err != nil {
+			return err
+		}
+		emit(&Ret{Val: v})
+	case "br":
+		blk, ok := bp.blocks[strings.TrimPrefix(rest, ".")]
+		if !ok {
+			return fmt.Errorf("branch to unknown block %s", rest)
+		}
+		emit(&Br{Target: blk})
+	case "condbr":
+		parts := splitTopLevel(rest, ',')
+		if len(parts) != 3 {
+			return fmt.Errorf("bad condbr")
+		}
+		cond, err := bp.lookup(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return err
+		}
+		tb := bp.blocks[strings.TrimPrefix(strings.TrimSpace(parts[1]), ".")]
+		fb := bp.blocks[strings.TrimPrefix(strings.TrimSpace(parts[2]), ".")]
+		if tb == nil || fb == nil {
+			return fmt.Errorf("condbr to unknown block")
+		}
+		emit(&CondBr{Cond: cond, True: tb, False: fb})
+	case "assert":
+		xTok, yTok, ok := strings.Cut(rest, " == ")
+		if !ok {
+			return fmt.Errorf("bad assert")
+		}
+		x, err := bp.lookup(xTok)
+		if err != nil {
+			return err
+		}
+		y, err := bp.lookup(yTok)
+		if err != nil {
+			return err
+		}
+		emit(&Assert{X: x, Y: y})
+	case "faultpoint":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return err
+		}
+		emit(&FaultPoint{Site: n})
+	case "randint":
+		loText, hiText, ok := strings.Cut(rest, ", ")
+		if !ok {
+			return fmt.Errorf("bad randint")
+		}
+		lo, err := strconv.ParseInt(loText, 10, 64)
+		if err != nil {
+			return err
+		}
+		hi, err := strconv.ParseInt(hiText, 10, 64)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, I64)
+		if err != nil {
+			return err
+		}
+		emit(&RandInt{Dst: dst, Lo: lo, Hi: hi})
+	case "heapbufsize":
+		ptr, err := bp.lookup(rest)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, I64)
+		if err != nil {
+			return err
+		}
+		emit(&HeapBufSize{Dst: dst, Ptr: ptr})
+	case "output":
+		modeText, valTok, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf("bad output")
+		}
+		mode, ok := map[string]OutputMode{"int": OutInt, "float": OutFloat, "byte": OutByte}[modeText]
+		if !ok {
+			return fmt.Errorf("unknown output mode %q", modeText)
+		}
+		v, err := bp.lookup(valTok)
+		if err != nil {
+			return err
+		}
+		emit(&Output{Val: v, Mode: mode})
+	case "exit":
+		if rest == "" {
+			emit(&Exit{})
+			return nil
+		}
+		v, err := bp.lookup(rest)
+		if err != nil {
+			return err
+		}
+		emit(&Exit{Val: v})
+	default:
+		if bin, ok := binByName[op]; ok {
+			x, y, err := bp.twoRegs(rest)
+			if err != nil {
+				return err
+			}
+			dst, err := bp.define(dstTok, x.Type)
+			if err != nil {
+				return err
+			}
+			emit(&BinOp{Dst: dst, X: x, Y: y, Op: bin})
+			return nil
+		}
+		return fmt.Errorf("unknown instruction %q", op)
+	}
+	return nil
+}
+
+func (bp *bodyParser) parseCall(dstTok, rest string, emit func(Instr)) error {
+	calleeText, argsText, ok := strings.Cut(rest, "(")
+	if !ok {
+		return fmt.Errorf("bad call")
+	}
+	argsText = strings.TrimSuffix(argsText, ")")
+	var args []*Reg
+	for _, a := range splitTopLevel(argsText, ',') {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		r, err := bp.lookup(a)
+		if err != nil {
+			return err
+		}
+		args = append(args, r)
+	}
+	call := &Call{Args: args}
+	var ret Type = Void
+	if name, ok := strings.CutPrefix(calleeText, "@"); ok {
+		callee := bp.p.m.Func(name)
+		if callee == nil {
+			return fmt.Errorf("call to unknown @%s", name)
+		}
+		call.Callee = name
+		ret = callee.Sig.Ret
+	} else {
+		fp, err := bp.lookup(calleeText)
+		if err != nil {
+			return err
+		}
+		call.CalleePtr = fp
+		ft, ok := fp.Elem().(*FuncType)
+		if !ok {
+			return fmt.Errorf("indirect call through %s", fp.Type)
+		}
+		ret = ft.Ret
+	}
+	if dstTok != "" {
+		dst, err := bp.define(dstTok, ret)
+		if err != nil {
+			return err
+		}
+		call.Dst = dst
+	}
+	emit(call)
+	return nil
+}
+
+func (bp *bodyParser) twoRegs(s string) (*Reg, *Reg, error) {
+	return bp.twoRegsOrdered(s)
+}
+
+func (bp *bodyParser) twoRegsOrdered(s string) (*Reg, *Reg, error) {
+	a, b, ok := strings.Cut(s, ", ")
+	if !ok {
+		return nil, nil, fmt.Errorf("expected two operands in %q", s)
+	}
+	x, err := bp.lookup(strings.TrimSpace(a))
+	if err != nil {
+		return nil, nil, err
+	}
+	y, err := bp.lookup(strings.TrimSpace(b))
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, y, nil
+}
+
+var binByName = func() map[string]BinKind {
+	out := map[string]BinKind{}
+	for k, v := range binNames {
+		out[v] = k
+	}
+	return out
+}()
+
+var cmpByName = func() map[string]CmpKind {
+	out := map[string]CmpKind{}
+	for k, v := range cmpNames {
+		out[v] = k
+	}
+	return out
+}()
+
+// ---------------------------------------------------------------------------
+// Type expressions
+
+func (p *parser) parseTypeString(s string) (Type, error) {
+	cur := newCursor(s)
+	t, err := p.parseType(cur)
+	if err != nil {
+		return nil, err
+	}
+	cur.skipSpace()
+	if !cur.done() {
+		return nil, fmt.Errorf("trailing type text %q", cur.rest())
+	}
+	return t, nil
+}
+
+// parseType parses one type expression, including pointer suffixes and
+// function types (ret (params)).
+func (p *parser) parseType(cur *cursor) (Type, error) {
+	cur.skipSpace()
+	var base Type
+	switch {
+	case cur.eat("union{"):
+		cur.unread(len("union{"))
+		elems, err := p.parseAggregateBody(cur, "union{")
+		if err != nil {
+			return nil, err
+		}
+		base = Union(elems...)
+	case cur.peekIs("{"):
+		fields, err := p.parseAggregateBody(cur, "{")
+		if err != nil {
+			return nil, err
+		}
+		base = Struct(fields...)
+	case cur.eat("["):
+		nText := cur.until(' ')
+		n, err := strconv.Atoi(nText)
+		if err != nil {
+			return nil, fmt.Errorf("bad array length %q", nText)
+		}
+		if !cur.eat(" x ") {
+			return nil, fmt.Errorf("bad array type at %q", cur.rest())
+		}
+		elem, err := p.parseType(cur)
+		if err != nil {
+			return nil, err
+		}
+		if !cur.eat("]") {
+			return nil, fmt.Errorf("unterminated array at %q", cur.rest())
+		}
+		base = Array(elem, n)
+	case cur.eat("%"):
+		name := cur.ident()
+		t, ok := p.types[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown named type %%%s", name)
+		}
+		base = t
+	default:
+		word := cur.ident()
+		switch word {
+		case "i1":
+			base = I1
+		case "i8":
+			base = I8
+		case "i16":
+			base = I16
+		case "i32":
+			base = I32
+		case "i64":
+			base = I64
+		case "f32":
+			base = F32
+		case "f64":
+			base = F64
+		case "void":
+			base = Void
+		default:
+			return nil, fmt.Errorf("unknown type %q", word)
+		}
+	}
+	// Function type: "ret (params)". Save the position locally — this
+	// function recurses, so a shared mark would be clobbered.
+	pos := cur.i
+	cur.skipSpace()
+	if cur.eat("(") {
+		var params []Type
+		for {
+			cur.skipSpace()
+			if cur.eat(")") {
+				break
+			}
+			pt, err := p.parseType(cur)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, pt)
+			cur.skipSpace()
+			cur.eat(",")
+		}
+		base = FuncOf(base, params...)
+	} else {
+		cur.i = pos
+	}
+	for cur.eat("*") {
+		base = Ptr(base)
+	}
+	return base, nil
+}
+
+// ---------------------------------------------------------------------------
+// Cursor and top-level splitting helpers
+
+type cursor struct {
+	s string
+	i int
+}
+
+func newCursor(s string) *cursor { return &cursor{s: s} }
+
+func (c *cursor) done() bool   { return c.i >= len(c.s) }
+func (c *cursor) rest() string { return c.s[c.i:] }
+func (c *cursor) unread(n int) { c.i -= n }
+
+func (c *cursor) skipSpace() {
+	for c.i < len(c.s) && c.s[c.i] == ' ' {
+		c.i++
+	}
+}
+
+func (c *cursor) eat(tok string) bool {
+	if strings.HasPrefix(c.s[c.i:], tok) {
+		c.i += len(tok)
+		return true
+	}
+	return false
+}
+
+func (c *cursor) peekIs(tok string) bool { return strings.HasPrefix(c.s[c.i:], tok) }
+
+func (c *cursor) ident() string {
+	start := c.i
+	for c.i < len(c.s) {
+		ch := c.s[c.i]
+		if ch == ' ' || ch == '*' || ch == ';' || ch == ',' || ch == ')' || ch == ']' || ch == '}' || ch == '(' {
+			break
+		}
+		c.i++
+	}
+	return c.s[start:c.i]
+}
+
+func (c *cursor) until(stop byte) string {
+	start := c.i
+	for c.i < len(c.s) && c.s[c.i] != stop {
+		c.i++
+	}
+	return c.s[start:c.i]
+}
+
+// cutTopLevel splits s at the first occurrence of close that is not
+// nested inside (), [], or {}.
+func cutTopLevel(s string, close byte) (before, after string, ok bool) {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			if depth == 0 && s[i] == close {
+				return s[:i], s[i+1:], true
+			}
+			depth--
+		default:
+			if depth == 0 && s[i] == close {
+				return s[:i], s[i+1:], true
+			}
+		}
+	}
+	return s, "", false
+}
+
+// cutTopLevelStr splits s at the first top-level occurrence of sep.
+func cutTopLevelStr(s, sep string) (before, after string, ok bool) {
+	depth := 0
+	for i := 0; i+len(sep) <= len(s); i++ {
+		switch s[i] {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		}
+		if depth == 0 && strings.HasPrefix(s[i:], sep) {
+			return s[:i], s[i+len(sep):], true
+		}
+	}
+	return s, "", false
+}
+
+// splitTopLevel splits on sep occurrences outside any nesting.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		default:
+			if depth == 0 && s[i] == sep {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

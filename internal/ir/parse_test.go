@@ -1,0 +1,225 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTinyModule(t *testing.T) {
+	text := `module tiny
+func @main() i64 {
+.entry:
+  %a.0 = const i64 40
+  %b.1 = const i64 2
+  %c.2 = add %a.0, %b.1
+  ret %c.2
+}
+`
+	m, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "tiny" {
+		t.Errorf("name = %s", m.Name)
+	}
+	if got := len(m.Func("main").Blocks); got != 1 {
+		t.Errorf("blocks = %d", got)
+	}
+}
+
+func TestParseTypeExpressions(t *testing.T) {
+	p := &parser{types: map[string]Type{}}
+	ll := NamedStruct("LL")
+	ll.SetBody(I32, Ptr(ll))
+	p.types["LL"] = ll
+	tests := map[string]string{
+		"i64":               "i64",
+		"i8*":               "i8*",
+		"i8**":              "i8**",
+		"[4 x i64]":         "[4xi64]",
+		"[2 x [3 x f32]]*":  "[2x[3xf32]]*",
+		"{ i64; i8* }":      "{i64,i8*}",
+		"union{ i64; f64 }": "u{i64,f64}",
+		"%LL":               "%LL",
+		"%LL*":              "%LL*",
+		"i64 (i64, i8*)*":   "i64(i64,i8*)*",
+		"void (i8*)*":       "void(i8*)*",
+		"{ i8*; void* }*":   "{i8*,void*}*",
+	}
+	for text, wantKey := range tests {
+		got, err := p.parseTypeString(text)
+		if err != nil {
+			t.Errorf("%q: %v", text, err)
+			continue
+		}
+		if got.Key() != wantKey {
+			t.Errorf("%q: key %q, want %q", text, got.Key(), wantKey)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                     // no header
+		"module x\nbogus line", // stray line
+		"module x\nfunc @f() i64 {\n.e:\n  %a.0 = frob %b.1\n}", // unknown op
+		"module x\nfunc @f() i64 {\n.e:\n  ret %nope.9\n}",      // undefined reg
+		"module x\nglobal @g : wat",                             // bad type
+	}
+	for _, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("expected error for %q", text)
+		}
+	}
+}
+
+// buildRich builds a module exercising every instruction the printer can
+// emit (except DPMR-inserted ones, covered by the transform round-trip in
+// package dpmr's tests).
+func buildRich(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("rich")
+	node := NamedStruct("RNode")
+	node.SetBody(I64, Ptr(node), Union(I32, F64))
+	g := m.AddGlobal("gv", I64)
+	g.Init = nil
+	m.AddGlobal("gptr", Ptr(I64))
+	m.Global("gptr").Refs = []RefInit{{Offset: 0, Global: "gv"}}
+	m.AddExtern("ext", FuncOf(I64, Ptr(I8), I64))
+
+	b := NewBuilder(m)
+	helper := b.Function("helper", Ptr(node), []string{"prev"}, Ptr(node))
+	n := b.Malloc(node)
+	b.Store(b.Field(n, 0), b.I64(5))
+	b.Store(b.Field(n, 1), helper.Params[0])
+	b.Ret(n)
+
+	b.Function("main", I64, nil)
+	acc := b.Reg("acc", I64)
+	b.MoveTo(acc, b.I64(0))
+	h := b.Call("helper", b.Null(Ptr(node)))
+	h2 := b.Call("helper", h)
+	b.ForRange("i", b.I64(0), b.I64(4), func(i *Reg) {
+		v := b.Load(b.Field(h2, 0))
+		b.BinTo(acc, OpAdd, acc, v)
+	})
+	fv := b.Float(F32, 1.5)
+	wide := b.Convert(fv, F64)
+	b.BinTo(acc, OpAdd, acc, b.Convert(wide, I64))
+	arr := b.AllocaN(I32, b.I64(4))
+	b.Store(b.Index(arr, b.I64(2)), b.I32(9))
+	b.BinTo(acc, OpAdd, acc, b.Convert(b.Load(b.Index(arr, b.I64(2))), I64))
+	gp := b.GlobalAddr("gv")
+	b.Store(gp, acc)
+	fp := b.FuncAddr("helper")
+	h3 := b.CallPtr(fp, h2)
+	b.Free(h3)
+	b.Free(h2)
+	b.Free(h)
+	c := b.Cmp(CmpSGT, acc, b.I64(3))
+	b.If(c, func() {
+		b.BinTo(acc, OpXor, acc, b.I64(1))
+	}, nil)
+	raw := b.PtrToInt(gp)
+	_ = raw
+	b.Out(acc, OutInt)
+	b.Ret(b.Load(b.GlobalAddr("gv")))
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParsePrintFixpoint(t *testing.T) {
+	// Register IDs may be renumbered on the first parse, but
+	// Parse∘String must reach a fixpoint after one round.
+	m := buildRich(t)
+	text1 := m.String()
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("first parse: %v", err)
+	}
+	if err := Verify(m2); err != nil {
+		t.Fatalf("reparsed module invalid: %v", err)
+	}
+	text2 := m2.String()
+	m3, err := Parse(text2)
+	if err != nil {
+		t.Fatalf("second parse: %v", err)
+	}
+	text3 := m3.String()
+	if text2 != text3 {
+		t.Error("printer/parser did not reach a fixpoint")
+		for i := 0; i < len(text2) && i < len(text3); i++ {
+			if text2[i] != text3[i] {
+				lo := i - 50
+				if lo < 0 {
+					lo = 0
+				}
+				t.Logf("first divergence near %q vs %q", text2[lo:i+20], text3[lo:i+20])
+				break
+			}
+		}
+	}
+}
+
+func TestParsePreservesStructure(t *testing.T) {
+	m := buildRich(t)
+	m2, err := Parse(m.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := m.CollectStats(), m2.CollectStats()
+	if s1 != s2 {
+		t.Errorf("stats changed: %+v vs %+v", s1, s2)
+	}
+	if len(m2.Globals) != len(m.Globals) {
+		t.Error("globals lost")
+	}
+	g := m2.Global("gptr")
+	if len(g.Refs) != 1 || g.Refs[0].Global != "gv" {
+		t.Errorf("refs lost: %+v", g.Refs)
+	}
+	ext := m2.Func("ext")
+	if ext == nil || !ext.External {
+		t.Error("extern lost")
+	}
+	if !strings.Contains(m2.String(), "type %RNode") {
+		t.Error("named type definition lost")
+	}
+}
+
+func TestParseRecursiveNamedType(t *testing.T) {
+	text := `module rec
+type %LL = { i32; %LL* }
+func @main() i64 {
+.entry:
+  %n.0 = malloc %LL ; site 0
+  %f.1 = fieldaddr %n.0, 0
+  %c.2 = const i32 7
+  store %c.2, %f.1
+  %v.3 = load i32, %f.1
+  free %n.0
+  %w.4 = convert %v.3 to i64
+  ret %w.4
+}
+`
+	m, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	ll := m.Func("main").Blocks[0].Instrs[0].(*Alloc).Elem.(*StructType)
+	if ll.Name != "LL" {
+		t.Errorf("alloc elem = %s", ll.Name)
+	}
+	inner := ll.Field(1).(*PointerType).Elem.(*StructType)
+	if inner != ll {
+		t.Error("recursion not tied back to the same named struct")
+	}
+}

@@ -1,0 +1,191 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveSizes(t *testing.T) {
+	tests := []struct {
+		t     Type
+		size  int
+		align int
+	}{
+		{I1, 1, 1},
+		{I8, 1, 1},
+		{I16, 2, 2},
+		{I32, 4, 4},
+		{I64, 8, 8},
+		{F32, 4, 4},
+		{F64, 8, 8},
+		{Void, 0, 1},
+		{Ptr(I32), 8, 8},
+		{Ptr(Void), 8, 8},
+	}
+	for _, tc := range tests {
+		if got := tc.t.Size(); got != tc.size {
+			t.Errorf("%s: size %d, want %d", tc.t, got, tc.size)
+		}
+		if got := tc.t.Align(); got != tc.align {
+			t.Errorf("%s: align %d, want %d", tc.t, got, tc.align)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	// struct{ i8; i32; i8; i64 } → offsets 0, 4, 8, 16; size 24.
+	s := Struct(I8, I32, I8, I64)
+	wantOff := []int{0, 4, 8, 16}
+	for i, w := range wantOff {
+		if got := s.Offset(i); got != w {
+			t.Errorf("offset(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := s.Size(); got != 24 {
+		t.Errorf("size = %d, want 24", got)
+	}
+	if got := s.Align(); got != 8 {
+		t.Errorf("align = %d, want 8", got)
+	}
+}
+
+func TestArrayEquivalentToStruct(t *testing.T) {
+	// Paper Ch.2: struct{int32; int32; int32;} is equivalent to int32[3]
+	// in size.
+	s := Struct(I32, I32, I32)
+	a := Array(I32, 3)
+	if s.Size() != a.Size() {
+		t.Errorf("struct size %d != array size %d", s.Size(), a.Size())
+	}
+	if a.Size() != 12 {
+		t.Errorf("array size = %d, want 12", a.Size())
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := Union(I8, F64, I32)
+	if got := u.Size(); got != 8 {
+		t.Errorf("union size = %d, want 8", got)
+	}
+	if got := u.Align(); got != 8 {
+		t.Errorf("union align = %d, want 8", got)
+	}
+}
+
+func TestRecursiveNamedStruct(t *testing.T) {
+	// struct LinkedList { int32 data; struct LinkedList* nxt; }
+	ll := NamedStruct("LinkedList")
+	ll.SetBody(I32, Ptr(ll))
+	if got := ll.Size(); got != 16 {
+		t.Errorf("linked list size = %d, want 16", got)
+	}
+	if got := ll.Offset(1); got != 8 {
+		t.Errorf("nxt offset = %d, want 8", got)
+	}
+	if !ContainsPointerOutsideFunc(ll) {
+		t.Error("linked list should contain a pointer")
+	}
+}
+
+func TestTypeKeysNominalVsStructural(t *testing.T) {
+	a := Struct(I32, I64)
+	b := Struct(I32, I64)
+	if !TypesEqual(a, b) {
+		t.Error("identical anonymous structs must be equal")
+	}
+	n1 := NamedStruct("A").SetBody(I32)
+	n2 := NamedStruct("B").SetBody(I32)
+	if TypesEqual(n1, n2) {
+		t.Error("distinct named structs must not be equal")
+	}
+	if !TypesEqual(Ptr(n1), Ptr(n1)) {
+		t.Error("pointers to same named struct must be equal")
+	}
+}
+
+func TestContainsPointerOutsideFunc(t *testing.T) {
+	tests := []struct {
+		t    Type
+		want bool
+	}{
+		{I32, false},
+		{F64, false},
+		{Ptr(I32), true},
+		{Array(I32, 4), false},
+		{Array(Ptr(I8), 2), true},
+		{Struct(I32, F64), false},
+		{Struct(I32, Ptr(I8)), true},
+		{Union(I32, Ptr(I8)), true},
+		{FuncOf(Ptr(I8), Ptr(I8)), false}, // pointers inside function types do not count
+		{Struct(I32, FuncOf(Ptr(I8))), false},
+	}
+	for _, tc := range tests {
+		if got := ContainsPointerOutsideFunc(tc.t); got != tc.want {
+			t.Errorf("ContainsPointerOutsideFunc(%s) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestScalarPredicate(t *testing.T) {
+	if !IsScalar(I32) || !IsScalar(F64) || !IsScalar(Ptr(I8)) {
+		t.Error("ints, floats, pointers are scalars")
+	}
+	if IsScalar(Struct(I32)) || IsScalar(Array(I8, 3)) || IsScalar(Void) || IsScalar(nil) {
+		t.Error("aggregates, void, nil are not scalars")
+	}
+}
+
+func TestStructSizeAlwaysAligned(t *testing.T) {
+	// Property: for any combination of primitive fields, struct size is a
+	// multiple of its alignment and offsets are monotonically increasing
+	// and aligned.
+	prims := []Type{I8, I16, I32, I64, F32, F64, Ptr(I8)}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		if len(picks) > 12 {
+			picks = picks[:12]
+		}
+		fields := make([]Type, len(picks))
+		for i, p := range picks {
+			fields[i] = prims[int(p)%len(prims)]
+		}
+		s := Struct(fields...)
+		if s.Size()%s.Align() != 0 {
+			return false
+		}
+		prev := -1
+		for i := range fields {
+			off := s.Offset(i)
+			if off <= prev && i > 0 && fields[i-1].Size() > 0 {
+				return false
+			}
+			if off%fields[i].Align() != 0 {
+				return false
+			}
+			prev = off
+		}
+		return s.Size() >= s.Offset(len(fields)-1)+fields[len(fields)-1].Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuncTypeString(t *testing.T) {
+	ft := FuncOf(Ptr(I8), Ptr(I8), I32)
+	want := "i8* (i8*, i32)"
+	if got := ft.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestOpaqueStructPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("sizeof opaque struct should panic")
+		}
+	}()
+	_ = NamedStruct("op").Size()
+}

@@ -1,0 +1,249 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VerifyError aggregates all verification failures found in a module.
+type VerifyError struct {
+	Problems []string
+}
+
+func (e *VerifyError) Error() string {
+	if len(e.Problems) == 1 {
+		return "ir verify: " + e.Problems[0]
+	}
+	return fmt.Sprintf("ir verify: %d problems, first: %s", len(e.Problems), e.Problems[0])
+}
+
+// Verify checks the structural well-formedness of a module: every block
+// ends in exactly one terminator, operand and signature types are
+// consistent, and instruction operands are sane. It does not enforce the
+// DPMR input restrictions of §2.9/§4.4 — those live in package dpmr, since
+// programs that violate them are still executable (and Chapter 5 exists to
+// admit them).
+func Verify(m *Module) error {
+	var probs []string
+	add := func(f *Func, b *Block, format string, args ...any) {
+		loc := ""
+		if f != nil {
+			loc = "@" + f.Name
+			if b != nil {
+				loc += "." + b.Name
+			}
+			loc += ": "
+		}
+		probs = append(probs, loc+fmt.Sprintf(format, args...))
+	}
+
+	if m.Func("main") == nil {
+		add(nil, nil, "module has no main function")
+	}
+
+	for _, f := range m.Funcs {
+		if f.External {
+			if len(f.Blocks) != 0 {
+				add(f, nil, "external function has a body")
+			}
+			continue
+		}
+		if len(f.Blocks) == 0 {
+			add(f, nil, "function has no blocks")
+			continue
+		}
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				add(f, b, "empty block")
+				continue
+			}
+			for k, in := range b.Instrs {
+				last := k == len(b.Instrs)-1
+				if IsTerminator(in) != last {
+					if last {
+						add(f, b, "block does not end in a terminator (ends with %s)", in)
+					} else {
+						add(f, b, "terminator %s in middle of block", in)
+					}
+				}
+				if p := checkInstr(m, f, in); p != "" {
+					add(f, b, "%s: %s", in, p)
+				}
+			}
+		}
+	}
+	if len(probs) == 0 {
+		return nil
+	}
+	return &VerifyError{Problems: probs}
+}
+
+func checkInstr(m *Module, f *Func, in Instr) string {
+	switch i := in.(type) {
+	case *ConstInt:
+		if i.Dst.Type.Kind() != KindInt {
+			return "integer constant into non-integer register"
+		}
+	case *ConstFloat:
+		if i.Dst.Type.Kind() != KindFloat {
+			return "float constant into non-float register"
+		}
+	case *ConstNull:
+		if !IsPointer(i.Dst.Type) {
+			return "null into non-pointer register"
+		}
+	case *Move:
+		if i.Dst.Type.Size() != i.Src.Type.Size() || i.Dst.Type.Kind() != i.Src.Type.Kind() {
+			return fmt.Sprintf("move between incompatible types %s and %s", i.Src.Type, i.Dst.Type)
+		}
+	case *BinOp:
+		if i.Op.IsFloat() {
+			if i.X.Type.Kind() != KindFloat || i.Y.Type.Kind() != KindFloat {
+				return "float op on non-float operands"
+			}
+		} else if i.X.Type.Kind() == KindFloat || i.Y.Type.Kind() == KindFloat {
+			return "integer op on float operands"
+		}
+		if !TypesEqual(i.X.Type, i.Y.Type) && !(IsPointer(i.X.Type) && i.Y.Type.Kind() == KindInt) {
+			return fmt.Sprintf("mismatched operand types %s and %s", i.X.Type, i.Y.Type)
+		}
+	case *Cmp:
+		if !TypesEqual(i.Dst.Type, I1) {
+			return "cmp result must be i1"
+		}
+	case *Alloc:
+		if !IsPointer(i.Dst.Type) || !TypesEqual(i.Dst.Elem(), i.Elem) {
+			return fmt.Sprintf("alloc of %s into register of type %s", i.Elem, i.Dst.Type)
+		}
+		if i.Count != nil && i.Count.Type.Kind() != KindInt {
+			return "alloc count must be an integer"
+		}
+		if i.Elem.Kind() == KindVoid || i.Elem.Kind() == KindFunc {
+			return "cannot allocate void or function type"
+		}
+	case *Free:
+		if !IsPointer(i.Ptr.Type) {
+			return "free of non-pointer"
+		}
+	case *Load:
+		if !IsPointer(i.Ptr.Type) {
+			return "load through non-pointer"
+		}
+		if !IsScalar(i.Dst.Type) {
+			return "load of non-scalar"
+		}
+	case *Store:
+		if !IsPointer(i.Ptr.Type) {
+			return "store through non-pointer"
+		}
+		if !IsScalar(i.Val.Type) {
+			return "store of non-scalar"
+		}
+	case *FieldAddr:
+		switch et := i.Ptr.Elem().(type) {
+		case *StructType:
+			if i.Field < 0 || i.Field >= et.NumFields() {
+				return fmt.Sprintf("field %d out of range for %s", i.Field, et)
+			}
+			if !TypesEqual(i.Dst.Elem(), et.Field(i.Field)) {
+				return "fieldaddr result type mismatch"
+			}
+		case *UnionType:
+			if i.Field < 0 || i.Field >= et.NumElems() {
+				return fmt.Sprintf("member %d out of range for %s", i.Field, et)
+			}
+		default:
+			return "fieldaddr through pointer to non-aggregate"
+		}
+	case *IndexAddr:
+		if !IsPointer(i.Ptr.Type) {
+			return "indexaddr through non-pointer"
+		}
+		if i.Index.Type.Kind() != KindInt {
+			return "indexaddr with non-integer index"
+		}
+	case *Bitcast:
+		if !IsPointer(i.Src.Type) || !IsPointer(i.Dst.Type) {
+			return "bitcast requires pointer operands"
+		}
+	case *PtrToInt:
+		if !IsPointer(i.Src.Type) || i.Dst.Type.Kind() != KindInt {
+			return "ptrtoint requires pointer source and integer destination"
+		}
+	case *IntToPtr:
+		if i.Src.Type.Kind() != KindInt || !IsPointer(i.Dst.Type) {
+			return "inttoptr requires integer source and pointer destination"
+		}
+	case *FuncAddr:
+		if m.Func(i.Fn) == nil {
+			return "address of unknown function " + i.Fn
+		}
+	case *GlobalAddr:
+		if m.Global(i.G) == nil {
+			return "address of unknown global " + i.G
+		}
+	case *Call:
+		var sig *FuncType
+		if i.Callee != "" {
+			callee := m.Func(i.Callee)
+			if callee == nil {
+				return "call to unknown function " + i.Callee
+			}
+			sig = callee.Sig
+		} else {
+			if i.CalleePtr == nil {
+				return "call with neither symbol nor pointer"
+			}
+			ft, ok := i.CalleePtr.Elem().(*FuncType)
+			if !ok {
+				return "indirect call through non-function pointer"
+			}
+			sig = ft
+		}
+		if len(i.Args) != len(sig.Params) {
+			return fmt.Sprintf("call arity %d, want %d", len(i.Args), len(sig.Params))
+		}
+		for k, a := range i.Args {
+			if !TypesEqual(a.Type, sig.Params[k]) {
+				return fmt.Sprintf("arg %d type %s, want %s", k, a.Type, sig.Params[k])
+			}
+		}
+		if sig.Ret.Kind() == KindVoid {
+			if i.Dst != nil {
+				return "void call with result register"
+			}
+		} else if i.Dst != nil && !TypesEqual(i.Dst.Type, sig.Ret) {
+			return fmt.Sprintf("call result type %s, want %s", i.Dst.Type, sig.Ret)
+		}
+	case *Ret:
+		want := f.Sig.Ret
+		if want.Kind() == KindVoid {
+			if i.Val != nil {
+				return "return of value from void function"
+			}
+		} else {
+			if i.Val == nil {
+				return "missing return value"
+			}
+			if !TypesEqual(i.Val.Type, want) {
+				return fmt.Sprintf("return type %s, want %s", i.Val.Type, want)
+			}
+		}
+	case *CondBr:
+		if i.Cond.Type.Kind() != KindInt {
+			return "condbr on non-integer condition"
+		}
+	case *Assert:
+		if i.X.Type.Size() != i.Y.Type.Size() {
+			return "assert operands of different widths"
+		}
+	case *HeapBufSize:
+		if !IsPointer(i.Ptr.Type) {
+			return "heapbufsize of non-pointer"
+		}
+	}
+	return ""
+}
+
+// ErrNoMain is returned by helpers that need an entry point.
+var ErrNoMain = errors.New("ir: module has no main function")

@@ -1,0 +1,155 @@
+package mem
+
+import "encoding/binary"
+
+// heapAlloc is a segregated-fit boundary-tag allocator. Every buffer is
+// preceded by a 16-byte inline header:
+//
+//	[size:8][magic:8] [payload ...]
+//
+// Freed buffers keep their header (magic switched to magicFree) and the
+// first 8 payload bytes are reused as the free-list link — real allocators
+// store heap metadata in freed buffers, which is exactly the corruption
+// channel the paper's free-error analysis relies on (§2.5.3).
+//
+// Requests are rounded up to fixed size classes with a minimum payload of
+// 24 bytes, reproducing the over-allocation effect that makes some heap
+// array resizes benign (§3.4, §3.7).
+type heapAlloc struct {
+	base     uint64            // segment start
+	end      uint64            // segment end
+	cur      uint64            // wilderness pointer
+	freeList map[uint64]uint64 // size class → head of free list (payload addr)
+}
+
+const (
+	headerBytes = 16
+	minPayload  = 24
+
+	magicInUse uint64 = 0xA110C8ED0BADF00D
+	magicFree  uint64 = 0xF4EEB10CDEADBEEF
+)
+
+// sizeClasses are the fixed payload sizes the allocator hands out. Larger
+// requests are rounded to 4 KiB multiples.
+var sizeClasses = []uint64{
+	24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768,
+	1024, 1536, 2048, 3072, 4096,
+}
+
+// ClassFor returns the allocator's rounded payload size for a request.
+// Exported so the fault injector can statically filter injections that
+// cannot manifest (same class before and after the resize, §3.4).
+func ClassFor(size uint64) uint64 {
+	for _, c := range sizeClasses {
+		if size <= c {
+			return c
+		}
+	}
+	return (size + 4095) &^ 4095
+}
+
+func (h *heapAlloc) init(base, end uint64) {
+	h.base = base
+	h.end = end
+	h.cur = base
+	h.freeList = make(map[uint64]uint64)
+}
+
+func (h *heapAlloc) header(s *Space, payload uint64) (size, magic uint64, ok bool) {
+	if payload < h.base+headerBytes || payload+8 > h.end {
+		return 0, 0, false
+	}
+	hdr := payload - headerBytes
+	size = binary.LittleEndian.Uint64(s.data[hdr : hdr+8])
+	magic = binary.LittleEndian.Uint64(s.data[hdr+8 : hdr+16])
+	return size, magic, true
+}
+
+func (h *heapAlloc) setHeader(s *Space, payload, size, magic uint64) {
+	hdr := payload - headerBytes
+	binary.LittleEndian.PutUint64(s.data[hdr:hdr+8], size)
+	binary.LittleEndian.PutUint64(s.data[hdr+8:hdr+16], magic)
+}
+
+func (h *heapAlloc) malloc(s *Space, request uint64) (uint64, *Trap) {
+	class := ClassFor(request)
+	if class < minPayload {
+		class = minPayload
+	}
+	// Pop the free list for this class if possible. The link word lives
+	// in the freed payload, so a use-after-free write can corrupt it; a
+	// link that no longer points into the heap is metadata corruption and
+	// crashes the allocator, as a real malloc would.
+	if head, ok := h.freeList[class]; ok && head != 0 {
+		if head < h.base+headerBytes || head+8 > h.end {
+			return 0, &Trap{Reason: "heap metadata corruption detected at allocation", Addr: head}
+		}
+		next := binary.LittleEndian.Uint64(s.data[head : head+8])
+		h.freeList[class] = next
+		h.setHeader(s, head, class, magicInUse)
+		return head, nil
+	}
+	// Otherwise carve from the wilderness.
+	payload := h.cur + headerBytes
+	newCur := payload + class
+	if newCur > h.end {
+		return 0, &Trap{Reason: "out of heap memory", Addr: h.cur}
+	}
+	h.cur = newCur
+	h.setHeader(s, payload, class, magicInUse)
+	return payload, nil
+}
+
+// free releases payload and returns its class size. Sanity checking
+// mirrors a real allocator: a header that does not carry the in-use magic
+// is rejected (double free or invalid free), and a header whose size field
+// is not a valid class means the inline metadata was corrupted.
+func (h *heapAlloc) free(s *Space, payload uint64) (uint64, *Trap) {
+	size, magic, ok := h.header(s, payload)
+	if !ok {
+		return 0, &Trap{Reason: "free of pointer outside heap", Addr: payload}
+	}
+	switch magic {
+	case magicInUse:
+		// fall through to the actual free
+	case magicFree:
+		return 0, &Trap{Reason: "double free detected by allocator", Addr: payload}
+	default:
+		return 0, &Trap{Reason: "invalid free (no allocation header)", Addr: payload}
+	}
+	if !validClass(size) || payload+size > h.end {
+		return 0, &Trap{Reason: "heap metadata corruption detected at free", Addr: payload}
+	}
+	h.setHeader(s, payload, size, magicFree)
+	// Thread onto the free list: the link lives in the payload itself.
+	head := h.freeList[size]
+	binary.LittleEndian.PutUint64(s.data[payload:payload+8], head)
+	h.freeList[size] = payload
+	return size, nil
+}
+
+func (h *heapAlloc) payloadSize(s *Space, payload uint64) uint64 {
+	size, _, ok := h.header(s, payload)
+	if !ok {
+		return 0
+	}
+	return size
+}
+
+func (h *heapAlloc) inUsePayload(s *Space, payload uint64) (uint64, *Trap) {
+	size, magic, ok := h.header(s, payload)
+	if !ok || magic != magicInUse {
+		return 0, &Trap{Reason: "heapbufsize of non-live buffer", Addr: payload}
+	}
+	return size, nil
+}
+
+func validClass(size uint64) bool {
+	for _, c := range sizeClasses {
+		if size == c {
+			return true
+		}
+	}
+	return size > 4096 && size%4096 == 0
+}

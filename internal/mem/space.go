@@ -1,0 +1,325 @@
+// Package mem implements the simulated flat address space that DPMR-
+// transformed programs execute against. Go's runtime and garbage collector
+// hide real memory layout, so this package restores the property the paper
+// depends on: application objects, replica objects, and shadow objects
+// live at concrete addresses in one address space, and out-of-bounds,
+// dangling, and wild accesses really corrupt neighbouring bytes, heap
+// metadata, and freed buffers.
+//
+// The layout is:
+//
+//	[0, 4096)            protected null page      → trap on access
+//	[globalsBase, ...)   global variables (bump-allocated at startup)
+//	  ... guard gap ...
+//	[heapBase, heapEnd)  heap (boundary-tag allocator, size classes)
+//	  ... guard gap ...
+//	[stackBase, stackTop) stack, grows downward
+//
+// Accesses to the null page, the guard gaps, or outside the space trap,
+// which the interpreter reports as a crash (the paper's "natural
+// detection" by signal exit).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Trap is a simulated hardware fault: the memory analogue of SIGSEGV/abort.
+type Trap struct {
+	Reason string
+	Addr   uint64
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("trap: %s (addr 0x%x)", t.Reason, t.Addr)
+}
+
+// Layout constants.
+const (
+	nullPageEnd = 4096
+	guardGap    = 64 * 1024
+)
+
+// Config sizes a Space. The zero value selects defaults.
+type Config struct {
+	GlobalBytes int // default 256 KiB
+	HeapBytes   int // default 16 MiB
+	StackBytes  int // default 1 MiB
+	// DisableCache turns off the cache cost model (all accesses cost
+	// CacheHitCost). Used by ablation benches.
+	DisableCache bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.GlobalBytes == 0 {
+		c.GlobalBytes = 256 * 1024
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 16 * 1024 * 1024
+	}
+	if c.StackBytes == 0 {
+		c.StackBytes = 1024 * 1024
+	}
+	return c
+}
+
+// Stats aggregates allocation activity, used by the harness to report
+// memory overheads (e.g. SDS 2–4× vs MDS 2×, §4.1).
+type Stats struct {
+	HeapAllocs    uint64
+	HeapFrees     uint64
+	HeapLive      uint64 // current live payload bytes
+	HeapPeak      uint64 // peak live payload bytes
+	HeapRequested uint64 // total payload bytes requested over the run
+	Loads         uint64
+	Stores        uint64
+}
+
+// Space is one simulated address space.
+type Space struct {
+	data []byte
+
+	globalsBase uint64
+	globalsCur  uint64
+	globalsEnd  uint64
+
+	heapBase uint64
+	heapEnd  uint64
+
+	stackBase uint64
+	stackTop  uint64
+	sp        uint64
+
+	alloc heapAlloc
+	cache *Cache
+	stats Stats
+}
+
+// NewSpace creates a fresh address space.
+func NewSpace(cfg Config) *Space {
+	cfg = cfg.withDefaults()
+	globalsBase := uint64(nullPageEnd)
+	globalsEnd := globalsBase + uint64(cfg.GlobalBytes)
+	heapBase := globalsEnd + guardGap
+	heapEnd := heapBase + uint64(cfg.HeapBytes)
+	stackBase := heapEnd + guardGap
+	stackTop := stackBase + uint64(cfg.StackBytes)
+
+	s := &Space{
+		data:        make([]byte, stackTop),
+		globalsBase: globalsBase,
+		globalsCur:  globalsBase,
+		globalsEnd:  globalsEnd,
+		heapBase:    heapBase,
+		heapEnd:     heapEnd,
+		stackBase:   stackBase,
+		stackTop:    stackTop,
+		sp:          stackTop,
+	}
+	s.alloc.init(heapBase, heapEnd)
+	if !cfg.DisableCache {
+		s.cache = NewCache(DefaultCacheConfig())
+	}
+	return s
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (s *Space) Stats() Stats { return s.stats }
+
+// mapped reports whether [addr, addr+n) lies entirely within one mapped
+// segment.
+func (s *Space) mapped(addr, n uint64) bool {
+	end := addr + n
+	if end < addr { // overflow
+		return false
+	}
+	switch {
+	case addr >= s.globalsBase && end <= s.globalsEnd:
+		return true
+	case addr >= s.heapBase && end <= s.heapEnd:
+		return true
+	case addr >= s.stackBase && end <= s.stackTop:
+		return true
+	}
+	return false
+}
+
+// AccessCost returns the cycle cost of touching addr through the cache
+// model.
+func (s *Space) AccessCost(addr uint64) uint64 {
+	if s.cache == nil {
+		return CacheHitCost
+	}
+	return s.cache.Access(addr)
+}
+
+// Load reads an n-byte little-endian scalar at addr. n ∈ {1,2,4,8}.
+func (s *Space) Load(addr uint64, n int) (uint64, *Trap) {
+	if !s.mapped(addr, uint64(n)) {
+		return 0, &Trap{Reason: "load from unmapped or protected memory", Addr: addr}
+	}
+	s.stats.Loads++
+	b := s.data[addr : addr+uint64(n)]
+	switch n {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), nil
+	case 8:
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	return 0, &Trap{Reason: fmt.Sprintf("load of unsupported width %d", n), Addr: addr}
+}
+
+// Store writes an n-byte little-endian scalar at addr.
+func (s *Space) Store(addr uint64, n int, val uint64) *Trap {
+	if !s.mapped(addr, uint64(n)) {
+		return &Trap{Reason: "store to unmapped or protected memory", Addr: addr}
+	}
+	s.stats.Stores++
+	b := s.data[addr : addr+uint64(n)]
+	switch n {
+	case 1:
+		b[0] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(b, val)
+	default:
+		return &Trap{Reason: fmt.Sprintf("store of unsupported width %d", n), Addr: addr}
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes out of the space (used by external function
+// wrappers and output). It traps like Load.
+func (s *Space) ReadBytes(addr, n uint64) ([]byte, *Trap) {
+	if n == 0 {
+		return nil, nil
+	}
+	if !s.mapped(addr, n) {
+		return nil, &Trap{Reason: "read from unmapped or protected memory", Addr: addr}
+	}
+	out := make([]byte, n)
+	copy(out, s.data[addr:addr+n])
+	return out, nil
+}
+
+// WriteBytes copies bytes into the space.
+func (s *Space) WriteBytes(addr uint64, b []byte) *Trap {
+	if len(b) == 0 {
+		return nil
+	}
+	if !s.mapped(addr, uint64(len(b))) {
+		return &Trap{Reason: "write to unmapped or protected memory", Addr: addr}
+	}
+	copy(s.data[addr:], b)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Globals
+
+// AllocGlobal reserves size bytes (8-byte aligned) in the globals segment.
+// Globals are allocated once at program startup and never freed.
+func (s *Space) AllocGlobal(size int) (uint64, error) {
+	if size < 1 {
+		size = 1
+	}
+	addr := align8(s.globalsCur)
+	end := addr + uint64(size)
+	if end > s.globalsEnd {
+		return 0, fmt.Errorf("mem: globals segment exhausted (need %d bytes)", size)
+	}
+	s.globalsCur = end
+	return addr, nil
+}
+
+// ---------------------------------------------------------------------------
+// Stack
+
+// StackMark is an opaque frame marker.
+type StackMark uint64
+
+// PushFrame returns a marker for the current stack pointer.
+func (s *Space) PushFrame() StackMark { return StackMark(s.sp) }
+
+// PopFrame releases all allocas made since mark.
+func (s *Space) PopFrame(m StackMark) { s.sp = uint64(m) }
+
+// Alloca allocates size bytes on the stack (8-byte aligned, growing down).
+func (s *Space) Alloca(size uint64) (uint64, *Trap) {
+	if size == 0 {
+		size = 1
+	}
+	newSP := (s.sp - size) &^ 7
+	if newSP < s.stackBase || newSP > s.sp {
+		return 0, &Trap{Reason: "stack overflow", Addr: newSP}
+	}
+	s.sp = newSP
+	return newSP, nil
+}
+
+// StackPointer exposes the current stack pointer (for diagnostics).
+func (s *Space) StackPointer() uint64 { return s.sp }
+
+// ---------------------------------------------------------------------------
+// Heap
+
+// Malloc allocates a heap buffer with at least size payload bytes and
+// returns its address. The allocator rounds requests up to its size
+// classes (so an under-sized request may still receive enough memory —
+// the over-allocation effect the paper notes for heap array resizes,
+// §3.7).
+func (s *Space) Malloc(size uint64) (uint64, *Trap) {
+	addr, trap := s.alloc.malloc(s, size)
+	if trap != nil {
+		return 0, trap
+	}
+	s.stats.HeapAllocs++
+	s.stats.HeapRequested += size
+	payload := s.alloc.payloadSize(s, addr)
+	s.stats.HeapLive += payload
+	if s.stats.HeapLive > s.stats.HeapPeak {
+		s.stats.HeapPeak = s.stats.HeapLive
+	}
+	return addr, nil
+}
+
+// Free releases a heap buffer. Like a real allocator it performs cheap
+// sanity checks against its inline metadata: a free of a pointer that does
+// not carry a valid in-use header traps ("a crash would occur if error
+// checking in the heap allocator detects that the free is invalid", §2.5.3),
+// while corrupted-but-plausible metadata can corrupt the heap instead.
+func (s *Space) Free(addr uint64) *Trap {
+	payload, trap := s.alloc.free(s, addr)
+	if trap != nil {
+		return trap
+	}
+	s.stats.HeapFrees++
+	if s.stats.HeapLive >= payload {
+		s.stats.HeapLive -= payload
+	} else {
+		s.stats.HeapLive = 0
+	}
+	return nil
+}
+
+// HeapPayloadSize returns the payload size of an in-use heap buffer (the
+// paper's heapBufSize()). It traps on anything that does not look like a
+// live heap buffer.
+func (s *Space) HeapPayloadSize(addr uint64) (uint64, *Trap) {
+	return s.alloc.inUsePayload(s, addr)
+}
+
+// HeapContains reports whether addr falls inside the heap segment.
+func (s *Space) HeapContains(addr uint64) bool {
+	return addr >= s.heapBase && addr < s.heapEnd
+}
+
+func align8(x uint64) uint64 { return (x + 7) &^ 7 }

@@ -1,0 +1,418 @@
+// Package opt implements the post-transformation optimizer stage of the
+// paper's tool chain (Figure 3.4: DPMR-transformed bitcode is passed
+// through the LLVM optimizer before the backend; Figure 3.5 shows
+// "optimize" stages in every variant build). Two conservative passes are
+// provided:
+//
+//   - constant folding: block-local evaluation of integer arithmetic,
+//     comparisons, and conversions whose operands are known constants;
+//   - dead code elimination: global liveness analysis removes pure
+//     instructions whose results are never used (the DPMR transformation
+//     leaves a tail of unused companion registers — null NSOPs, shadow
+//     address computations for skipped checks — that this pass cleans up).
+//
+// Instructions that can trap (loads, stores, divisions, frees, calls,
+// heapbufsize) or perturb hidden state (RandInt advances the diversity
+// PRNG) are never removed or folded away, so optimized and unoptimized
+// variants remain observationally equivalent — asserted by the
+// differential tests.
+package opt
+
+import (
+	"dpmr/internal/ir"
+)
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	Folded  int // instructions replaced by constants
+	Removed int // dead instructions eliminated
+}
+
+// Run optimizes the module in place until a fixpoint (at most a few
+// rounds) and returns cumulative statistics.
+func Run(m *ir.Module) Stats {
+	var total Stats
+	for round := 0; round < 8; round++ {
+		var st Stats
+		for _, f := range m.Funcs {
+			if f.External {
+				continue
+			}
+			st.Folded += foldConstants(f)
+			st.Removed += eliminateDead(f)
+		}
+		total.Folded += st.Folded
+		total.Removed += st.Removed
+		if st.Folded == 0 && st.Removed == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding (block-local)
+
+type constVal struct {
+	known bool
+	val   int64
+}
+
+func foldConstants(f *ir.Func) int {
+	folded := 0
+	for _, blk := range f.Blocks {
+		known := map[int]constVal{}
+		for idx, in := range blk.Instrs {
+			switch i := in.(type) {
+			case *ir.ConstInt:
+				known[i.Dst.ID] = constVal{known: true, val: normInt(i.Val, i.Dst.Type)}
+			case *ir.Move:
+				if cv, ok := known[i.Src.ID]; ok && cv.known && i.Dst.Type.Kind() == ir.KindInt {
+					blk.Instrs[idx] = &ir.ConstInt{Dst: i.Dst, Val: cv.val}
+					known[i.Dst.ID] = cv
+					folded++
+				} else {
+					delete(known, i.Dst.ID)
+				}
+			case *ir.BinOp:
+				x, xok := known[i.X.ID]
+				y, yok := known[i.Y.ID]
+				if xok && x.known && yok && y.known && i.Dst.Type.Kind() == ir.KindInt {
+					if v, ok := evalBin(i.Op, x.val, y.val, i.Dst.Type); ok {
+						blk.Instrs[idx] = &ir.ConstInt{Dst: i.Dst, Val: v}
+						known[i.Dst.ID] = constVal{known: true, val: v}
+						folded++
+						continue
+					}
+				}
+				delete(known, i.Dst.ID)
+			case *ir.Cmp:
+				x, xok := known[i.X.ID]
+				y, yok := known[i.Y.ID]
+				if xok && x.known && yok && y.known {
+					if v, ok := evalCmp(i.Op, x.val, y.val); ok {
+						blk.Instrs[idx] = &ir.ConstInt{Dst: i.Dst, Val: v}
+						known[i.Dst.ID] = constVal{known: true, val: v}
+						folded++
+						continue
+					}
+				}
+				delete(known, i.Dst.ID)
+			case *ir.Convert:
+				if cv, ok := known[i.Src.ID]; ok && cv.known &&
+					i.Src.Type.Kind() == ir.KindInt && i.Dst.Type.Kind() == ir.KindInt {
+					v := normInt(cv.val, i.Dst.Type)
+					blk.Instrs[idx] = &ir.ConstInt{Dst: i.Dst, Val: v}
+					known[i.Dst.ID] = constVal{known: true, val: v}
+					folded++
+					continue
+				}
+				delete(known, i.Dst.ID)
+			default:
+				if d := ir.Def(in); d != nil {
+					delete(known, d.ID)
+				}
+			}
+		}
+	}
+	return folded
+}
+
+func evalBin(op ir.BinKind, x, y int64, t ir.Type) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return normInt(x+y, t), true
+	case ir.OpSub:
+		return normInt(x-y, t), true
+	case ir.OpMul:
+		return normInt(x*y, t), true
+	case ir.OpAnd:
+		return normInt(x&y, t), true
+	case ir.OpOr:
+		return normInt(x|y, t), true
+	case ir.OpXor:
+		return normInt(x^y, t), true
+	case ir.OpShl:
+		return normInt(x<<(uint64(y)&63), t), true
+	case ir.OpLShr:
+		return normInt(int64(maskTo(uint64(x), t)>>(uint64(y)&63)), t), true
+	case ir.OpAShr:
+		return normInt(x>>(uint64(y)&63), t), true
+	case ir.OpSDiv, ir.OpSRem:
+		// Folding away a potential trap would change behaviour; fold only
+		// well-defined cases.
+		if y == 0 {
+			return 0, false
+		}
+		if op == ir.OpSDiv {
+			return normInt(x/y, t), true
+		}
+		return normInt(x%y, t), true
+	case ir.OpUDiv, ir.OpURem:
+		uy := maskTo(uint64(y), t)
+		if uy == 0 {
+			return 0, false
+		}
+		ux := maskTo(uint64(x), t)
+		if op == ir.OpUDiv {
+			return normInt(int64(ux/uy), t), true
+		}
+		return normInt(int64(ux%uy), t), true
+	default:
+		return 0, false // float ops: not folded (formatting/rounding fidelity)
+	}
+}
+
+func evalCmp(op ir.CmpKind, x, y int64) (int64, bool) {
+	var b bool
+	switch op {
+	case ir.CmpEQ:
+		b = x == y
+	case ir.CmpNE:
+		b = x != y
+	case ir.CmpSLT:
+		b = x < y
+	case ir.CmpSLE:
+		b = x <= y
+	case ir.CmpSGT:
+		b = x > y
+	case ir.CmpSGE:
+		b = x >= y
+	case ir.CmpULT:
+		b = uint64(x) < uint64(y)
+	case ir.CmpULE:
+		b = uint64(x) <= uint64(y)
+	case ir.CmpUGT:
+		b = uint64(x) > uint64(y)
+	case ir.CmpUGE:
+		b = uint64(x) >= uint64(y)
+	default:
+		return 0, false
+	}
+	if b {
+		return 1, true
+	}
+	return 0, true
+}
+
+func normInt(v int64, t ir.Type) int64 {
+	it, ok := t.(*ir.IntType)
+	if !ok {
+		return v
+	}
+	switch it.Bits {
+	case 1:
+		return v & 1
+	case 8:
+		return int64(int8(v))
+	case 16:
+		return int64(int16(v))
+	case 32:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+func maskTo(v uint64, t ir.Type) uint64 {
+	it, ok := t.(*ir.IntType)
+	if !ok || it.Bits >= 64 {
+		return v
+	}
+	return v & ((1 << uint(it.Bits)) - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Dead code elimination (global liveness)
+
+// pure reports whether an instruction has no effect beyond defining its
+// destination register: safe to delete when the destination is dead.
+func pure(in ir.Instr) bool {
+	switch i := in.(type) {
+	case *ir.ConstInt, *ir.ConstFloat, *ir.ConstNull, *ir.Move, *ir.Cmp,
+		*ir.Convert, *ir.FieldAddr, *ir.IndexAddr, *ir.Bitcast,
+		*ir.PtrToInt, *ir.IntToPtr, *ir.FuncAddr, *ir.GlobalAddr:
+		return true
+	case *ir.BinOp:
+		// Divisions may trap; everything else is pure.
+		switch i.Op {
+		case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem:
+			return false
+		}
+		return true // float arithmetic never traps in this VM
+	default:
+		return false
+	}
+}
+
+// uses appends the operand registers of in to buf.
+func uses(in ir.Instr, buf []*ir.Reg) []*ir.Reg {
+	switch i := in.(type) {
+	case *ir.Move:
+		buf = append(buf, i.Src)
+	case *ir.BinOp:
+		buf = append(buf, i.X, i.Y)
+	case *ir.Cmp:
+		buf = append(buf, i.X, i.Y)
+	case *ir.Convert:
+		buf = append(buf, i.Src)
+	case *ir.Alloc:
+		if i.Count != nil {
+			buf = append(buf, i.Count)
+		}
+	case *ir.Free:
+		buf = append(buf, i.Ptr)
+	case *ir.Load:
+		buf = append(buf, i.Ptr)
+	case *ir.Store:
+		buf = append(buf, i.Ptr, i.Val)
+	case *ir.FieldAddr:
+		buf = append(buf, i.Ptr)
+	case *ir.IndexAddr:
+		buf = append(buf, i.Ptr, i.Index)
+	case *ir.Bitcast:
+		buf = append(buf, i.Src)
+	case *ir.PtrToInt:
+		buf = append(buf, i.Src)
+	case *ir.IntToPtr:
+		buf = append(buf, i.Src)
+	case *ir.Call:
+		if i.CalleePtr != nil {
+			buf = append(buf, i.CalleePtr)
+		}
+		buf = append(buf, i.Args...)
+	case *ir.Ret:
+		if i.Val != nil {
+			buf = append(buf, i.Val)
+		}
+	case *ir.CondBr:
+		buf = append(buf, i.Cond)
+	case *ir.Assert:
+		buf = append(buf, i.X, i.Y)
+	case *ir.RandInt:
+		// no operands
+	case *ir.HeapBufSize:
+		buf = append(buf, i.Ptr)
+	case *ir.Output:
+		buf = append(buf, i.Val)
+	case *ir.Exit:
+		if i.Val != nil {
+			buf = append(buf, i.Val)
+		}
+	}
+	return buf
+}
+
+// succs returns the successor blocks of a block's terminator.
+func succs(blk *ir.Block) []*ir.Block {
+	if len(blk.Instrs) == 0 {
+		return nil
+	}
+	switch t := blk.Instrs[len(blk.Instrs)-1].(type) {
+	case *ir.Br:
+		return []*ir.Block{t.Target}
+	case *ir.CondBr:
+		return []*ir.Block{t.True, t.False}
+	default:
+		return nil
+	}
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << uint(i%64) }
+
+func (b bitset) orInto(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// eliminateDead removes pure instructions whose destinations are dead.
+func eliminateDead(f *ir.Func) int {
+	n := f.NumRegs()
+	liveIn := make(map[*ir.Block]bitset, len(f.Blocks))
+	liveOut := make(map[*ir.Block]bitset, len(f.Blocks))
+	for _, blk := range f.Blocks {
+		liveIn[blk] = newBitset(n)
+		liveOut[blk] = newBitset(n)
+	}
+	var scratch []*ir.Reg
+	// Backwards dataflow to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for bi := len(f.Blocks) - 1; bi >= 0; bi-- {
+			blk := f.Blocks[bi]
+			out := liveOut[blk]
+			for _, s := range succs(blk) {
+				if out.orInto(liveIn[s]) {
+					changed = true
+				}
+			}
+			in := out.clone()
+			for k := len(blk.Instrs) - 1; k >= 0; k-- {
+				inr := blk.Instrs[k]
+				if d := ir.Def(inr); d != nil {
+					in.clear(d.ID)
+				}
+				scratch = uses(inr, scratch[:0])
+				for _, u := range scratch {
+					in.set(u.ID)
+				}
+			}
+			if liveIn[blk].orInto(in) {
+				changed = true
+			}
+		}
+	}
+	// Sweep: walk each block backwards tracking liveness, dropping pure
+	// instructions with dead destinations.
+	removed := 0
+	for _, blk := range f.Blocks {
+		live := liveOut[blk].clone()
+		keep := make([]bool, len(blk.Instrs))
+		for k := len(blk.Instrs) - 1; k >= 0; k-- {
+			inr := blk.Instrs[k]
+			d := ir.Def(inr)
+			if d != nil && !live.get(d.ID) && pure(inr) {
+				keep[k] = false
+				removed++
+				continue
+			}
+			keep[k] = true
+			if d != nil {
+				live.clear(d.ID)
+			}
+			scratch = uses(inr, scratch[:0])
+			for _, u := range scratch {
+				live.set(u.ID)
+			}
+		}
+		if removed > 0 {
+			out := blk.Instrs[:0]
+			for k, inr := range blk.Instrs {
+				if keep[k] {
+					out = append(out, inr)
+				}
+			}
+			blk.Instrs = out
+		}
+	}
+	return removed
+}

@@ -1,0 +1,169 @@
+package opt_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+	"dpmr/internal/opt"
+	"dpmr/internal/workloads"
+)
+
+func TestConstantFoldingChain(t *testing.T) {
+	m := ir.NewModule("fold")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	x := b.I64(6)
+	y := b.I64(7)
+	z := b.Mul(x, y)
+	w := b.Add(z, b.I64(0))
+	b.Ret(w)
+	st := opt.Run(m)
+	if st.Folded < 2 {
+		t.Errorf("folded = %d, want >= 2", st.Folded)
+	}
+	res := interp.Run(m, interp.Config{})
+	if res.Code != 42 {
+		t.Fatalf("result changed: %d", res.Code)
+	}
+	// After folding + DCE only constants feeding the return remain.
+	instrs := m.Func("main").Blocks[0].Instrs
+	for _, in := range instrs[:len(instrs)-1] {
+		if _, ok := in.(*ir.ConstInt); !ok {
+			t.Errorf("residual non-constant instruction %s", in)
+		}
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	m := ir.NewModule("dce")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	dead := b.Add(b.I64(1), b.I64(2)) // never used
+	_ = dead
+	deadPtr := b.Null(ir.Ptr(ir.I64)) // never used
+	_ = deadPtr
+	live := b.I64(9)
+	b.Ret(live)
+	before := m.CollectStats().Instrs
+	st := opt.Run(m)
+	after := m.CollectStats().Instrs
+	if st.Removed == 0 || after >= before {
+		t.Errorf("removed=%d, instrs %d→%d", st.Removed, before, after)
+	}
+	res := interp.Run(m, interp.Config{})
+	if res.Code != 9 {
+		t.Fatalf("result changed: %d", res.Code)
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	m := ir.NewModule("keep")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	p := b.Malloc(ir.I64) // result used only by store/free
+	b.Store(p, b.I64(5))
+	v := b.Load(p) // load result unused — but loads may trap: kept
+	_ = v
+	div := b.Bin(ir.OpSDiv, b.I64(10), b.I64(0)) // unused but trapping
+	_ = div
+	b.Free(p)
+	b.Ret(b.I64(0))
+	opt.Run(m)
+	res := interp.Run(m, interp.Config{})
+	if res.Kind != interp.ExitTrap {
+		t.Errorf("the trapping division must survive DCE: %v", res.Kind)
+	}
+}
+
+func TestDCEKeepsRandIntStream(t *testing.T) {
+	// RandInt advances the diversity PRNG: removing an "unused" draw
+	// would shift later draws.
+	m := ir.NewModule("rng")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	first := b.RandInt(1, 1000)
+	_ = first // unused, but must not be removed
+	second := b.RandInt(1, 1000)
+	b.Ret(second)
+	golden := interp.Run(m, interp.Config{Seed: 4})
+	opt.Run(m)
+	res := interp.Run(m, interp.Config{Seed: 4})
+	if res.Code != golden.Code {
+		t.Error("DCE changed the PRNG stream")
+	}
+}
+
+func TestOptimizerOnTransformedWorkloadsPreservesBehaviour(t *testing.T) {
+	// The paper's Figure 3.4 pipeline: transform, then optimize. The
+	// optimized DPMR variant must behave identically and run no slower.
+	for _, wname := range []string{"mcf", "bzip2"} {
+		w, err := workloads.ByName(wname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xm, err := dpmr.Transform(w.Build(), dpmr.Config{
+			Design: dpmr.SDS, Policy: dpmr.StaticLoadChecking{Percent: 10}, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := interp.Config{Externs: extlib.Wrapped(dpmr.SDS), Seed: 2}
+		before := interp.Run(xm, cfg)
+		st := opt.Run(xm)
+		if err := ir.Verify(xm); err != nil {
+			t.Fatalf("%s: optimized module invalid: %v", wname, err)
+		}
+		after := interp.Run(xm, cfg)
+		if after.Kind != before.Kind || after.Code != before.Code || !bytes.Equal(after.Output, before.Output) {
+			t.Fatalf("%s: optimizer changed behaviour", wname)
+		}
+		if st.Removed == 0 {
+			t.Errorf("%s: expected the optimizer to find dead DPMR residue", wname)
+		}
+		if after.Cycles > before.Cycles {
+			t.Errorf("%s: optimized run slower: %d > %d", wname, after.Cycles, before.Cycles)
+		}
+		t.Logf("%s: folded %d, removed %d, cycles %d → %d",
+			wname, st.Folded, st.Removed, before.Cycles, after.Cycles)
+	}
+}
+
+func TestOptimizerIdempotent(t *testing.T) {
+	w, _ := workloads.ByName("art")
+	m := w.Build()
+	opt.Run(m)
+	text1 := m.String()
+	st := opt.Run(m)
+	if st.Folded != 0 || st.Removed != 0 {
+		t.Errorf("second run not a no-op: %+v", st)
+	}
+	if m.String() != text1 {
+		t.Error("second run changed the module")
+	}
+}
+
+func TestPropertyOptimizerPreservesRandomPrograms(t *testing.T) {
+	// Differential: optimizing any generated workload-like module must
+	// not change observable behaviour.
+	f := func(seed int64) bool {
+		seed &= 0xFFF
+		w := workloads.All()[int(seed)%4]
+		m := w.Build()
+		golden := interp.Run(m, interp.Config{Externs: extlib.Base()})
+		opt.Run(m)
+		if err := ir.Verify(m); err != nil {
+			return false
+		}
+		res := interp.Run(m, interp.Config{Externs: extlib.Base()})
+		return res.Kind == golden.Kind && res.Code == golden.Code &&
+			bytes.Equal(res.Output, golden.Output)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,346 @@
+// Package shadow implements the paper's type algebra: shadow types st()
+// (Table 2.1, Figure 2.5), augmented types at() for both the SDS design
+// (Table 2.3, Figures 2.6–2.8) and the MDS design (Table 4.1), the
+// composition (st∘at) (Table 2.5), and the φ field-index mapping
+// (Equation 2.2).
+//
+// The paper resolves recursive types with explicit placeholders; here the
+// same role is played by identified (named) struct types whose bodies are
+// set after the recursive computation completes, which is the natural Go
+// realization of placeholder resolution ("assigning a unique type name to
+// the type ... and replacing instances of the placeholder with that
+// name", §2.2).
+package shadow
+
+import (
+	"fmt"
+
+	"dpmr/internal/ir"
+)
+
+// Design selects the pointer-in-memory strategy.
+type Design uint8
+
+// The two DPMR designs.
+const (
+	SDS Design = iota + 1 // Shadow Data Structures (Chapter 2)
+	MDS                   // Mirrored Data Structures (Chapter 4)
+)
+
+func (d Design) String() string {
+	if d == MDS {
+		return "mds"
+	}
+	return "sds"
+}
+
+// Computer memoizes shadow and augmented type computations, mirroring the
+// paper's dynamic-programming maps ST, AT, and SAT.
+type Computer struct {
+	design Design
+	st     map[string]ir.Type // Key(t) → st(t); entry may be nil (null type)
+	at     map[string]ir.Type // Key(t) → at(t)
+	sat    map[string]ir.Type // Key(t) → st(at(t))
+}
+
+// NewComputer returns a Computer for the given design. The design only
+// affects augmented function types; shadow types are design-independent.
+func NewComputer(d Design) *Computer {
+	return &Computer{
+		design: d,
+		st:     make(map[string]ir.Type),
+		at:     make(map[string]ir.Type),
+		sat:    make(map[string]ir.Type),
+	}
+}
+
+// Design returns the computer's design.
+func (c *Computer) Design() Design { return c.design }
+
+// ---------------------------------------------------------------------------
+// Shadow types: st()
+
+// Shadow returns st(t), or nil when the shadow type is null (the paper's
+// ∅). Primitive, void, and function types have null shadow types; derived
+// types without pointers (outside function types) are null by the
+// short-circuit rule of Figure 2.5 line 17; null elements drop out of
+// derived types.
+func (c *Computer) Shadow(t ir.Type) ir.Type {
+	key := t.Key()
+	if st, ok := c.st[key]; ok {
+		return st
+	}
+	if pt, ok := t.(*ir.PointerType); ok {
+		return c.shadowPointer(key, pt)
+	}
+	if !ir.ContainsPointerOutsideFunc(t) {
+		c.st[key] = nil
+		return nil
+	}
+	var rv ir.Type
+	switch tt := t.(type) {
+	case *ir.ArrayType:
+		est := c.Shadow(tt.Elem)
+		if est == nil {
+			rv = nil
+		} else {
+			rv = ir.Array(est, tt.Len)
+		}
+	case *ir.StructType:
+		if tt.Name != "" {
+			named := ir.NamedStruct(tt.Name + ".sdw")
+			c.st[key] = named // placeholder: body set after recursion
+			named.SetBody(c.shadowFields(tt.Fields())...)
+			return named
+		}
+		rv = ir.Struct(c.shadowFields(tt.Fields())...)
+	case *ir.UnionType:
+		elems := c.shadowFields(unionElems(tt))
+		if tt.Name != "" {
+			named := ir.NamedUnion(tt.Name + ".sdw")
+			c.st[key] = named
+			named.SetBody(elems...)
+			return named
+		}
+		rv = ir.Union(elems...)
+	default:
+		rv = nil
+	}
+	c.st[key] = rv
+	return rv
+}
+
+// shadowPointer builds st(τ*) = struct{τ*; st(τ)*} (or void* NSOP when
+// st(τ) is null). The in-progress entry for recursive pointees is handled
+// by the named-struct placeholder created in Shadow.
+func (c *Computer) shadowPointer(key string, pt *ir.PointerType) ir.Type {
+	// Reserve the slot eagerly with a named placeholder only when
+	// recursion is possible (pointee is a named aggregate); anonymous
+	// pointees cannot recurse.
+	var nsop ir.Type
+	est := c.Shadow(pt.Elem)
+	if est == nil {
+		nsop = ir.VoidPtr()
+	} else {
+		nsop = ir.Ptr(est)
+	}
+	rv := ir.Struct(pt, nsop)
+	c.st[key] = rv
+	return rv
+}
+
+// shadowFields maps element types to their shadow types, dropping null
+// entries (the drop-out rule).
+func (c *Computer) shadowFields(fields []ir.Type) []ir.Type {
+	out := make([]ir.Type, 0, len(fields))
+	for _, f := range fields {
+		if sf := c.Shadow(f); sf != nil {
+			out = append(out, sf)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Augmented types: at()
+
+// Aug returns at(t). Only types containing function types change; all
+// others are returned unchanged (Table 2.3/4.1: primitives, void, and
+// pointer/aggregate shapes are preserved, with function types rewritten).
+func (c *Computer) Aug(t ir.Type) ir.Type {
+	key := t.Key()
+	if at, ok := c.at[key]; ok {
+		return at
+	}
+	if !containsFuncType(t, map[string]bool{}) {
+		c.at[key] = t
+		return t
+	}
+	var rv ir.Type
+	switch tt := t.(type) {
+	case *ir.FuncType:
+		rv = c.AugFunc(tt)
+	case *ir.PointerType:
+		rv = ir.Ptr(c.Aug(tt.Elem))
+		c.at[key] = rv
+		return rv
+	case *ir.ArrayType:
+		rv = ir.Array(c.Aug(tt.Elem), tt.Len)
+	case *ir.StructType:
+		if tt.Name != "" {
+			named := ir.NamedStruct(tt.Name + ".aug")
+			c.at[key] = named
+			fields := tt.Fields()
+			augFields := make([]ir.Type, len(fields))
+			for i, f := range fields {
+				augFields[i] = c.Aug(f)
+			}
+			named.SetBody(augFields...)
+			return named
+		}
+		fields := tt.Fields()
+		augFields := make([]ir.Type, len(fields))
+		for i, f := range fields {
+			augFields[i] = c.Aug(f)
+		}
+		rv = ir.Struct(augFields...)
+	case *ir.UnionType:
+		elems := unionElems(tt)
+		augElems := make([]ir.Type, len(elems))
+		for i, e := range elems {
+			augElems[i] = c.Aug(e)
+		}
+		if tt.Name != "" {
+			named := ir.NamedUnion(tt.Name + ".aug")
+			c.at[key] = named
+			named.SetBody(augElems...)
+			return named
+		}
+		rv = ir.Union(augElems...)
+	default:
+		rv = t
+	}
+	c.at[key] = rv
+	return rv
+}
+
+// AugFunc returns the augmented function type per the active design.
+//
+// SDS (Table 2.3): at(r)(st(at(r))*, at(τ0), rpt(τ0), spt(τ0), ...) where
+// the leading shadow-object pointer parameter appears only for pointer
+// returns (π, Equation 2.4) and rpt/spt appear only for pointer params.
+//
+// MDS (Table 4.1): at(r)(rpt(r)*, at(τ0), rpt(τ0), ...) with the leading
+// ROP-pointer parameter only for pointer returns.
+func (c *Computer) AugFunc(ft *ir.FuncType) *ir.FuncType {
+	ret := c.Aug(ft.Ret)
+	params := make([]ir.Type, 0, 3*len(ft.Params)+1)
+	if ir.IsPointer(ft.Ret) {
+		if c.design == SDS {
+			params = append(params, ir.Ptr(c.ShadowAug(ft.Ret)))
+		} else {
+			params = append(params, ir.Ptr(ret)) // rvRopPtr: at(r)*
+		}
+	}
+	for _, p := range ft.Params {
+		ap := c.Aug(p)
+		params = append(params, ap)
+		if !ir.IsPointer(p) {
+			continue
+		}
+		params = append(params, ap) // rpt(p): the ROP has type at(p)
+		if c.design == SDS {
+			params = append(params, c.sptOf(p))
+		}
+	}
+	return ir.FuncOf(ret, params...)
+}
+
+// sptOf returns spt(τ*) per Table 2.3: st(at(τ))* when st(τ) ≠ ∅, void*
+// otherwise.
+func (c *Computer) sptOf(p ir.Type) ir.Type {
+	pt := p.(*ir.PointerType)
+	if est := c.ShadowAug(pt.Elem); est != nil {
+		return ir.Ptr(est)
+	}
+	return ir.VoidPtr()
+}
+
+// ---------------------------------------------------------------------------
+// Composition: (st ∘ at)
+
+// ShadowAug returns st(at(t)), or nil when it is null. It corresponds to
+// the paper's getShadowAugType (Figure 2.8); composing the memoized Aug
+// and Shadow passes is the named-struct equivalent of the single fused
+// calculation.
+func (c *Computer) ShadowAug(t ir.Type) ir.Type {
+	key := t.Key()
+	if sat, ok := c.sat[key]; ok {
+		return sat
+	}
+	rv := c.Shadow(c.Aug(t))
+	c.sat[key] = rv
+	return rv
+}
+
+// HasShadow reports whether st(at(t)) is non-null, i.e. whether DPMR must
+// carry shadow metadata for values of type t.
+func (c *Computer) HasShadow(t ir.Type) bool { return c.ShadowAug(t) != nil }
+
+// ---------------------------------------------------------------------------
+// φ: structure index mapping (Equation 2.2)
+
+// Phi converts the field index fi of struct type t into the corresponding
+// field index in t's shadow struct: the number of preceding fields with
+// non-null st(at(τj)).
+func (c *Computer) Phi(t *ir.StructType, fi int) int {
+	idx := 0
+	for j := 0; j < fi; j++ {
+		if c.ShadowAug(t.Field(j)) != nil {
+			idx++
+		}
+	}
+	return idx
+}
+
+// ShadowStructOf returns the shadow struct type of t along with a mapping
+// check; it panics if st(at(t)) is not a struct (programming error in the
+// transform).
+func (c *Computer) ShadowStructOf(t *ir.StructType) *ir.StructType {
+	sat := c.ShadowAug(t)
+	ss, ok := sat.(*ir.StructType)
+	if !ok {
+		panic(fmt.Sprintf("shadow: st(at(%s)) is %v, not a struct", t, sat))
+	}
+	return ss
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+func unionElems(u *ir.UnionType) []ir.Type {
+	out := make([]ir.Type, u.NumElems())
+	for i := range out {
+		out[i] = u.Elem(i)
+	}
+	return out
+}
+
+func containsFuncType(t ir.Type, seen map[string]bool) bool {
+	switch tt := t.(type) {
+	case *ir.FuncType:
+		return true
+	case *ir.PointerType:
+		return containsFuncType(tt.Elem, seen)
+	case *ir.ArrayType:
+		return containsFuncType(tt.Elem, seen)
+	case *ir.StructType:
+		if tt.Name != "" {
+			if seen[tt.Key()] {
+				return false
+			}
+			seen[tt.Key()] = true
+		}
+		for _, f := range tt.Fields() {
+			if containsFuncType(f, seen) {
+				return true
+			}
+		}
+		return false
+	case *ir.UnionType:
+		if tt.Name != "" {
+			if seen[tt.Key()] {
+				return false
+			}
+			seen[tt.Key()] = true
+		}
+		for _, e := range unionElems(tt) {
+			if containsFuncType(e, seen) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,248 @@
+package shadow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpmr/internal/ir"
+)
+
+// genType builds a random type of bounded depth. Named structs are
+// generated occasionally (non-recursive here; recursion is covered by the
+// dedicated linked-list tests).
+func genType(rng *rand.Rand, depth int, nameCounter *int) ir.Type {
+	prims := []ir.Type{ir.I8, ir.I16, ir.I32, ir.I64, ir.F32, ir.F64}
+	if depth <= 0 {
+		return prims[rng.Intn(len(prims))]
+	}
+	switch rng.Intn(7) {
+	case 0, 1:
+		return prims[rng.Intn(len(prims))]
+	case 2:
+		return ir.Ptr(genType(rng, depth-1, nameCounter))
+	case 3:
+		return ir.Array(genType(rng, depth-1, nameCounter), rng.Intn(5)+1)
+	case 4:
+		n := rng.Intn(4) + 1
+		fields := make([]ir.Type, n)
+		for i := range fields {
+			fields[i] = genType(rng, depth-1, nameCounter)
+		}
+		return ir.Struct(fields...)
+	case 5:
+		n := rng.Intn(3) + 1
+		elems := make([]ir.Type, n)
+		for i := range elems {
+			elems[i] = genType(rng, depth-1, nameCounter)
+		}
+		return ir.Union(elems...)
+	default:
+		// A function pointer, so at() has something to rewrite.
+		n := rng.Intn(3)
+		params := make([]ir.Type, n)
+		for i := range params {
+			if rng.Intn(2) == 0 {
+				params[i] = ir.Ptr(genType(rng, depth-1, nameCounter))
+			} else {
+				params[i] = prims[rng.Intn(len(prims))]
+			}
+		}
+		var ret ir.Type = ir.Void
+		if rng.Intn(2) == 0 {
+			ret = ir.I64
+		}
+		return ir.Ptr(ir.FuncOf(ret, params...))
+	}
+}
+
+func TestPropertyShadowNullIffNoPointers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nc := 0
+		c := NewComputer(SDS)
+		for i := 0; i < 8; i++ {
+			tt := genType(rng, 3, &nc)
+			isNull := c.Shadow(tt) == nil
+			wantNull := !ir.ContainsPointerOutsideFunc(tt)
+			if isNull != wantNull {
+				t.Logf("st(%s): null=%v, want %v", tt, isNull, wantNull)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAugIdentityWithoutFuncTypes(t *testing.T) {
+	// at(t) = t whenever t contains no function types (Table 2.3).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nc := 0
+		c := NewComputer(SDS)
+		for i := 0; i < 8; i++ {
+			tt := genType(rng, 3, &nc)
+			at := c.Aug(tt)
+			if !containsFuncType(tt, map[string]bool{}) && !ir.TypesEqual(at, tt) {
+				t.Logf("at(%s) = %s, want identity", tt, at)
+				return false
+			}
+			// at() must always preserve size for non-function types
+			// (only function signatures change).
+			if tt.Kind() != ir.KindFunc && at.Size() != tt.Size() {
+				t.Logf("at(%s) changed size %d → %d", tt, tt.Size(), at.Size())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyShadowSizeBound(t *testing.T) {
+	// §2.9: 2×sizeof(at(t)) always suffices for st(at(t)).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nc := 0
+		c := NewComputer(SDS)
+		for i := 0; i < 8; i++ {
+			tt := genType(rng, 3, &nc)
+			sat := c.ShadowAug(tt)
+			if sat == nil {
+				continue
+			}
+			if sat.Size() > 2*c.Aug(tt).Size() {
+				t.Logf("st(at(%s)).size=%d > 2×%d", tt, sat.Size(), c.Aug(tt).Size())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPhiConsistentWithShadowStruct(t *testing.T) {
+	// For any struct s: the shadow struct has exactly Σ I(st(at(fi)) ≠ ∅)
+	// fields, φ is strictly monotone over shadowed fields, and every φ
+	// value is in range.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nc := 0
+		c := NewComputer(SDS)
+		for i := 0; i < 8; i++ {
+			n := rng.Intn(5) + 1
+			fields := make([]ir.Type, n)
+			for j := range fields {
+				fields[j] = genType(rng, 2, &nc)
+			}
+			s := ir.Struct(fields...)
+			sat := c.ShadowAug(s)
+			shadowed := 0
+			prev := -1
+			for j := 0; j < n; j++ {
+				if c.ShadowAug(fields[j]) == nil {
+					continue
+				}
+				idx := c.Phi(s, j)
+				if idx != shadowed {
+					t.Logf("φ(%s, %d) = %d, want %d", s, j, idx, shadowed)
+					return false
+				}
+				if idx <= prev {
+					return false
+				}
+				prev = idx
+				shadowed++
+			}
+			if shadowed == 0 {
+				if sat != nil {
+					return false
+				}
+				continue
+			}
+			ss, ok := sat.(*ir.StructType)
+			if !ok || ss.NumFields() != shadowed {
+				t.Logf("st(at(%s)) fields = %v, want %d", s, sat, shadowed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMemoizationStable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nc := 0
+		c := NewComputer(SDS)
+		for i := 0; i < 5; i++ {
+			tt := genType(rng, 3, &nc)
+			a1, a2 := c.Aug(tt), c.Aug(tt)
+			s1, s2 := c.Shadow(tt), c.Shadow(tt)
+			if a1 != a2 {
+				return false
+			}
+			if (s1 == nil) != (s2 == nil) {
+				return false
+			}
+			if s1 != nil && s1 != s2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAugFuncParamCount(t *testing.T) {
+	// Param expansion: SDS adds 2 companions per pointer param, MDS adds
+	// 1; both add a leading slot only for pointer returns.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nPtr := rng.Intn(4)
+		nInt := rng.Intn(4)
+		params := make([]ir.Type, 0, nPtr+nInt)
+		for i := 0; i < nPtr; i++ {
+			params = append(params, ir.Ptr(ir.I64))
+		}
+		for i := 0; i < nInt; i++ {
+			params = append(params, ir.I64)
+		}
+		var ret ir.Type = ir.I64
+		retPtr := rng.Intn(2) == 0
+		if retPtr {
+			ret = ir.Ptr(ir.I32)
+		}
+		ft := ir.FuncOf(ret, params...)
+		sds := NewComputer(SDS).AugFunc(ft)
+		mds := NewComputer(MDS).AugFunc(ft)
+		lead := 0
+		if retPtr {
+			lead = 1
+		}
+		if len(sds.Params) != lead+3*nPtr+nInt {
+			t.Logf("SDS params = %d", len(sds.Params))
+			return false
+		}
+		if len(mds.Params) != lead+2*nPtr+nInt {
+			t.Logf("MDS params = %d", len(mds.Params))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+package shadow
+
+import (
+	"testing"
+
+	"dpmr/internal/ir"
+)
+
+// Table 2.2, example 1: st(int8[]*) = struct{ int8[]* rop; void* nsop }.
+func TestShadowOfByteArrayPointer(t *testing.T) {
+	c := NewComputer(SDS)
+	bap := ir.Ptr(ir.Array(ir.I8, 16))
+	st := c.Shadow(bap)
+	ss, ok := st.(*ir.StructType)
+	if !ok {
+		t.Fatalf("st(int8[]*) = %v, want struct", st)
+	}
+	if ss.NumFields() != 2 {
+		t.Fatalf("fields = %d, want 2", ss.NumFields())
+	}
+	if !ir.TypesEqual(ss.Field(0), bap) {
+		t.Errorf("rop type = %s, want %s", ss.Field(0), bap)
+	}
+	if !ir.TypesEqual(ss.Field(1), ir.VoidPtr()) {
+		t.Errorf("nsop type = %s, want void*", ss.Field(1))
+	}
+}
+
+// Table 2.2, example 2: st(int8[]**) nests the first shadow type.
+func TestShadowOfPointerToPointer(t *testing.T) {
+	c := NewComputer(SDS)
+	bap := ir.Ptr(ir.Array(ir.I8, 16))
+	bapp := ir.Ptr(bap)
+	st := c.Shadow(bapp).(*ir.StructType)
+	if !ir.TypesEqual(st.Field(0), bapp) {
+		t.Errorf("rop = %s, want %s", st.Field(0), bapp)
+	}
+	nsop, ok := st.Field(1).(*ir.PointerType)
+	if !ok {
+		t.Fatalf("nsop not a pointer: %s", st.Field(1))
+	}
+	if !ir.TypesEqual(nsop.Elem, c.Shadow(bap)) {
+		t.Errorf("nsop pointee = %s, want st(int8[]*)", nsop.Elem)
+	}
+}
+
+// Table 2.2, example 3: the recursive linked list.
+func TestShadowOfLinkedList(t *testing.T) {
+	c := NewComputer(SDS)
+	ll := ir.NamedStruct("LinkedList")
+	ll.SetBody(ir.I32, ir.Ptr(ll))
+
+	st := c.Shadow(ll)
+	ss, ok := st.(*ir.StructType)
+	if !ok {
+		t.Fatalf("st(LinkedList) = %v, want struct", st)
+	}
+	if ss.Name != "LinkedList.sdw" {
+		t.Errorf("name = %s", ss.Name)
+	}
+	// int32 drops out: one field, the nxt shadow object.
+	if ss.NumFields() != 1 {
+		t.Fatalf("fields = %d, want 1", ss.NumFields())
+	}
+	nxtSdw, ok := ss.Field(0).(*ir.StructType)
+	if !ok {
+		t.Fatalf("nxtSdwObj = %s, want struct", ss.Field(0))
+	}
+	if !ir.TypesEqual(nxtSdw.Field(0), ir.Ptr(ll)) {
+		t.Errorf("rop = %s, want LinkedList*", nxtSdw.Field(0))
+	}
+	nsop := nxtSdw.Field(1).(*ir.PointerType)
+	if !ir.TypesEqual(nsop.Elem, ss) {
+		t.Errorf("nsop pointee = %s, want LinkedList.sdw (recursive)", nsop.Elem)
+	}
+	// Memoization: recomputation returns the identical type.
+	if c.Shadow(ll) != st {
+		t.Error("shadow types must be memoized")
+	}
+}
+
+// Table 2.2, example 4: struct file with multiple pointers; non-pointer
+// fields drop out of the shadow type.
+func TestShadowOfFileStruct(t *testing.T) {
+	c := NewComputer(SDS)
+	dir := ir.NamedStruct("dir")
+	file := ir.NamedStruct("file")
+	namep := ir.Ptr(ir.Array(ir.I8, 32))
+	file.SetBody(namep, ir.I32, ir.Ptr(dir))
+	dir.SetBody(ir.Ptr(file)) // give dir a body so its shadow exists
+
+	st := c.Shadow(file).(*ir.StructType)
+	if st.NumFields() != 2 {
+		t.Fatalf("fields = %d, want 2 (int32 dropped)", st.NumFields())
+	}
+	nameSdw := st.Field(0).(*ir.StructType)
+	if !ir.TypesEqual(nameSdw.Field(0), namep) {
+		t.Errorf("name rop = %s", nameSdw.Field(0))
+	}
+	parentSdw := st.Field(1).(*ir.StructType)
+	if !ir.TypesEqual(parentSdw.Field(0), ir.Ptr(dir)) {
+		t.Errorf("parent rop = %s", parentSdw.Field(0))
+	}
+	nsop := parentSdw.Field(1).(*ir.PointerType)
+	dirSdw, ok := nsop.Elem.(*ir.StructType)
+	if !ok || dirSdw.Name != "dir.sdw" {
+		t.Errorf("parent nsop pointee = %s, want dir.sdw", nsop.Elem)
+	}
+}
+
+func TestShadowNullForPointerFreeTypes(t *testing.T) {
+	c := NewComputer(SDS)
+	for _, tt := range []ir.Type{
+		ir.I8, ir.I32, ir.I64, ir.F32, ir.F64, ir.Void,
+		ir.Array(ir.I32, 8),
+		ir.Struct(ir.I32, ir.F64, ir.Array(ir.I8, 4)),
+		ir.Union(ir.I32, ir.F64),
+		ir.FuncOf(ir.Ptr(ir.I8), ir.Ptr(ir.I8)), // function type: null shadow
+	} {
+		if st := c.Shadow(tt); st != nil {
+			t.Errorf("st(%s) = %s, want null", tt, st)
+		}
+	}
+}
+
+func TestShadowOfUnionWithPointer(t *testing.T) {
+	c := NewComputer(SDS)
+	u := ir.Union(ir.I64, ir.Ptr(ir.I32))
+	st := c.Shadow(u)
+	su, ok := st.(*ir.UnionType)
+	if !ok {
+		t.Fatalf("st(union) = %v, want union", st)
+	}
+	if su.NumElems() != 1 {
+		t.Errorf("elems = %d, want 1 (i64 dropped)", su.NumElems())
+	}
+}
+
+func TestShadowOfFunctionPointerHasVoidNSOP(t *testing.T) {
+	// Function pointers: st(fn*) = struct{ fn*; void* } since st(fn) = ∅.
+	c := NewComputer(SDS)
+	fp := ir.Ptr(ir.FuncOf(ir.I32, ir.I32))
+	st := c.Shadow(fp).(*ir.StructType)
+	if !ir.TypesEqual(st.Field(1), ir.VoidPtr()) {
+		t.Errorf("nsop = %s, want void*", st.Field(1))
+	}
+}
+
+// Table 2.4: the SDS augmented function type.
+func TestAugFuncSDS(t *testing.T) {
+	c := NewComputer(SDS)
+	bap := ir.Ptr(ir.Array(ir.I8, 16))
+	ft := ir.FuncOf(bap, bap, bap)
+	aug := c.AugFunc(ft)
+	// rvSop, s1, s1Rop, s1Nsop, s2, s2Rop, s2Nsop
+	if len(aug.Params) != 7 {
+		t.Fatalf("params = %d, want 7: %s", len(aug.Params), aug)
+	}
+	rvSop := aug.Params[0].(*ir.PointerType)
+	if !ir.TypesEqual(rvSop.Elem, c.ShadowAug(bap)) {
+		t.Errorf("rvSop pointee = %s", rvSop.Elem)
+	}
+	if !ir.TypesEqual(aug.Params[1], bap) || !ir.TypesEqual(aug.Params[2], bap) {
+		t.Error("s1 and s1Rop must keep the original pointer type")
+	}
+	if !ir.TypesEqual(aug.Params[3], ir.VoidPtr()) {
+		t.Errorf("s1Nsop = %s, want void* (st of pointee is null)", aug.Params[3])
+	}
+	if !ir.TypesEqual(aug.Ret, bap) {
+		t.Errorf("ret = %s, want %s", aug.Ret, bap)
+	}
+}
+
+// Table 4.2: the MDS augmented function type.
+func TestAugFuncMDS(t *testing.T) {
+	c := NewComputer(MDS)
+	bap := ir.Ptr(ir.Array(ir.I8, 16))
+	ft := ir.FuncOf(bap, bap, bap)
+	aug := c.AugFunc(ft)
+	// rvRopPtr, s1, s1Rop, s2, s2Rop
+	if len(aug.Params) != 5 {
+		t.Fatalf("params = %d, want 5: %s", len(aug.Params), aug)
+	}
+	rvRopPtr := aug.Params[0].(*ir.PointerType)
+	if !ir.TypesEqual(rvRopPtr.Elem, bap) {
+		t.Errorf("rvRopPtr = %s, want %s*", aug.Params[0], bap)
+	}
+}
+
+func TestAugFuncNonPointerParamsUnchanged(t *testing.T) {
+	for _, d := range []Design{SDS, MDS} {
+		c := NewComputer(d)
+		ft := ir.FuncOf(ir.I64, ir.I64, ir.F64)
+		aug := c.AugFunc(ft)
+		if len(aug.Params) != 2 {
+			t.Errorf("%v: params = %d, want 2", d, len(aug.Params))
+		}
+		if !ir.TypesEqual(aug.Ret, ir.I64) {
+			t.Errorf("%v: ret changed", d)
+		}
+	}
+}
+
+func TestAugFuncMixedParams(t *testing.T) {
+	c := NewComputer(SDS)
+	// int32 f(int32 data, LL* last) → Figure 2.9's createNode shape.
+	ll := ir.NamedStruct("LL2")
+	ll.SetBody(ir.I32, ir.Ptr(ll))
+	ft := ir.FuncOf(ir.Ptr(ll), ir.I32, ir.Ptr(ll))
+	aug := c.AugFunc(ft)
+	// rvSop, data, last, lastRop, lastNsop
+	if len(aug.Params) != 5 {
+		t.Fatalf("params = %d, want 5: %s", len(aug.Params), aug)
+	}
+	if !ir.TypesEqual(aug.Params[1], ir.I32) {
+		t.Error("non-pointer param must stay put with no companions")
+	}
+	nsop := aug.Params[4].(*ir.PointerType)
+	if ss, ok := nsop.Elem.(*ir.StructType); !ok || ss.Name != "LL2.sdw" {
+		t.Errorf("lastNsop pointee = %s, want LL2.sdw", nsop.Elem)
+	}
+}
+
+func TestAugIdentityForFunctionFreeTypes(t *testing.T) {
+	c := NewComputer(SDS)
+	ll := ir.NamedStruct("LL3")
+	ll.SetBody(ir.I32, ir.Ptr(ll))
+	for _, tt := range []ir.Type{ir.I32, ir.F64, ir.Ptr(ir.I8), ll, ir.Array(ir.Ptr(ir.I8), 4)} {
+		if at := c.Aug(tt); !ir.TypesEqual(at, tt) {
+			t.Errorf("at(%s) = %s, want identity", tt, at)
+		}
+	}
+}
+
+func TestAugRewritesEmbeddedFunctionPointers(t *testing.T) {
+	c := NewComputer(SDS)
+	cb := ir.FuncOf(ir.I32, ir.Ptr(ir.I8))
+	s := ir.NamedStruct("Handler")
+	s.SetBody(ir.I64, ir.Ptr(cb))
+	at := c.Aug(s).(*ir.StructType)
+	if at.Name != "Handler.aug" {
+		t.Errorf("name = %s", at.Name)
+	}
+	fp := at.Field(1).(*ir.PointerType)
+	augCb := fp.Elem.(*ir.FuncType)
+	// i32 cb(i8* p) → i32 cb(i8* p, i8* pRop, void* pNsop)
+	if len(augCb.Params) != 3 {
+		t.Errorf("embedded callback params = %d, want 3", len(augCb.Params))
+	}
+}
+
+// Table 2.5: (st∘at) composition matches computing shadow-of-augmented.
+func TestShadowAugComposition(t *testing.T) {
+	c := NewComputer(SDS)
+	cb := ir.Ptr(ir.FuncOf(ir.I32, ir.Ptr(ir.I8)))
+	s := ir.Struct(ir.I32, cb, ir.Ptr(ir.I64))
+	sat := c.ShadowAug(s)
+	ss, ok := sat.(*ir.StructType)
+	if !ok {
+		t.Fatalf("st(at(...)) = %v", sat)
+	}
+	// i32 drops, cb and i64* remain: 2 fields.
+	if ss.NumFields() != 2 {
+		t.Fatalf("fields = %d, want 2", ss.NumFields())
+	}
+	// The cb shadow entry's ROP must use the *augmented* callback type.
+	cbSdw := ss.Field(0).(*ir.StructType)
+	rop := cbSdw.Field(0).(*ir.PointerType)
+	augCb := rop.Elem.(*ir.FuncType)
+	if len(augCb.Params) != 3 {
+		t.Errorf("st(at) must shadow the augmented function type, got %s", rop.Elem)
+	}
+}
+
+func TestPhiMapping(t *testing.T) {
+	c := NewComputer(SDS)
+	// struct{ i8*; i32; i64*; f64; i8* } → shadow indices 0,_,1,_,2
+	s := ir.Struct(ir.Ptr(ir.I8), ir.I32, ir.Ptr(ir.I64), ir.F64, ir.Ptr(ir.I8))
+	wants := map[int]int{0: 0, 2: 1, 4: 2}
+	for fi, want := range wants {
+		if got := c.Phi(s, fi); got != want {
+			t.Errorf("phi(%d) = %d, want %d", fi, got, want)
+		}
+	}
+	ss := c.ShadowAug(s).(*ir.StructType)
+	if ss.NumFields() != 3 {
+		t.Errorf("shadow fields = %d, want 3", ss.NumFields())
+	}
+}
+
+func TestHasShadow(t *testing.T) {
+	c := NewComputer(SDS)
+	if c.HasShadow(ir.I64) {
+		t.Error("i64 has no shadow")
+	}
+	if !c.HasShadow(ir.Ptr(ir.I64)) {
+		t.Error("pointers always have shadows")
+	}
+	if c.HasShadow(ir.Struct(ir.I32, ir.F64)) {
+		t.Error("pointer-free struct has no shadow")
+	}
+}
+
+func TestShadowSizeBoundedByTwiceAug(t *testing.T) {
+	// §2.9: allocating 2×sizeof(at(t)) always suffices for the shadow
+	// object. Verify the bound for a gallery of types.
+	c := NewComputer(SDS)
+	ll := ir.NamedStruct("LL4")
+	ll.SetBody(ir.I32, ir.Ptr(ll))
+	gallery := []ir.Type{
+		ir.Ptr(ir.I8),
+		ll,
+		ir.Struct(ir.Ptr(ir.I8), ir.Ptr(ir.I8), ir.Ptr(ir.I8)),
+		ir.Array(ir.Ptr(ir.I64), 7),
+		ir.Struct(ir.I32, ir.Ptr(ir.I8), ir.F64),
+	}
+	for _, tt := range gallery {
+		sat := c.ShadowAug(tt)
+		if sat == nil {
+			continue
+		}
+		if sat.Size() > 2*c.Aug(tt).Size() {
+			t.Errorf("st(at(%s)).size = %d exceeds 2×%d", tt, sat.Size(), c.Aug(tt).Size())
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import "dpmr/internal/ir"
+
+// BuildArt constructs the art analogue: an Adaptive-Resonance-style
+// neural network scanning a synthetic thermal image (SPEC 179.art). The
+// memory profile matches the original: large flat floating point arrays
+// (F1/F2 layer weights, activations) with essentially no pointers stored
+// in memory, and a compute loop dominated by floating point
+// multiply-accumulate over heap arrays.
+func BuildArt() *ir.Module {
+	const (
+		f1     = 64 // input neurons (8×8 window)
+		f2     = 12 // category neurons
+		images = 18
+		epochs = 5
+	)
+	m := ir.NewModule("art")
+	b := ir.NewBuilder(m)
+	mustDeclareExterns(b.M, "exit", "puts")
+
+	// trainMatch computes the activation of category j for image base.
+	// Signature exercises pointer params + float return.
+	match := b.Function("activation", ir.F64, []string{"img", "w", "j"},
+		ir.Ptr(ir.F64), ir.Ptr(ir.F64), ir.I64)
+	img, w, j := match.Params[0], match.Params[1], match.Params[2]
+	acc := b.Reg("acc", ir.F64)
+	b.MoveTo(acc, b.F64c(0))
+	rowBase := b.Mul(j, b.I64(f1))
+	b.ForRange("i", b.I64(0), b.I64(f1), func(i *ir.Reg) {
+		x := b.Load(b.Index(img, i))
+		wv := b.Load(b.Index(w, b.Add(rowBase, i)))
+		b.BinTo(acc, ir.OpFAdd, acc, b.Bin(ir.OpFMul, x, wv))
+	})
+	b.Ret(acc)
+
+	// updateWeights moves the winner's templates toward the image.
+	upd := b.Function("updateWeights", ir.Void, []string{"img", "bu", "td", "w"},
+		ir.Ptr(ir.F64), ir.Ptr(ir.F64), ir.Ptr(ir.F64), ir.I64)
+	uimg, ubu, utd, uw := upd.Params[0], upd.Params[1], upd.Params[2], upd.Params[3]
+	beta := b.F64c(0.2)
+	oneMinus := b.F64c(0.8)
+	base := b.Mul(uw, b.I64(f1))
+	b.ForRange("i", b.I64(0), b.I64(f1), func(i *ir.Reg) {
+		x := b.Load(b.Index(uimg, i))
+		slot := b.Index(ubu, b.Add(base, i))
+		old := b.Load(slot)
+		b.Store(slot, b.Bin(ir.OpFAdd, b.Bin(ir.OpFMul, oneMinus, old), b.Bin(ir.OpFMul, beta, x)))
+		tslot := b.Index(utd, b.Add(base, i))
+		told := b.Load(tslot)
+		b.Store(tslot, b.Bin(ir.OpFAdd, b.Bin(ir.OpFMul, oneMinus, told), b.Bin(ir.OpFMul, beta, x)))
+	})
+	b.Ret(nil)
+
+	b.Function("main", ir.I64, nil)
+	// Allocation sites: image bank, bottom-up weights, top-down weights,
+	// activations, winner histogram.
+	imgBank := b.MallocN(ir.F64, b.I64(images*f1))
+	bu := b.MallocN(ir.F64, b.I64(f2*f1))
+	td := b.MallocN(ir.F64, b.I64(f2*f1))
+	act := b.MallocN(ir.F64, b.I64(f2))
+	hist := b.MallocN(ir.I64, b.I64(f2))
+
+	// Synthesize the thermal image bank: blobs of warm pixels.
+	rng := newLCG(b, 1770)
+	b.ForRange("p", b.I64(0), b.I64(images*f1), func(p *ir.Reg) {
+		raw := rng.nextIn(b, 1000)
+		v := b.Bin(ir.OpFDiv, b.Convert(raw, ir.F64), b.F64c(997))
+		b.Store(b.Index(imgBank, p), v)
+	})
+	// Initialize weights uniformly.
+	b.ForRange("p", b.I64(0), b.I64(f2*f1), func(p *ir.Reg) {
+		b.Store(b.Index(bu, p), b.F64c(1.0/f1))
+		b.Store(b.Index(td, p), b.F64c(1.0))
+	})
+	b.ForRange("p", b.I64(0), b.I64(f2), func(p *ir.Reg) {
+		b.Store(b.Index(hist, p), b.I64(0))
+	})
+
+	// Train: epochs × images: activations, winner-take-all, update.
+	b.ForRange("e", b.I64(0), b.I64(epochs), func(e *ir.Reg) {
+		b.ForRange("n", b.I64(0), b.I64(images), func(n *ir.Reg) {
+			imgPtr := b.Index(imgBank, b.Mul(n, b.I64(f1)))
+			b.ForRange("j", b.I64(0), b.I64(f2), func(j *ir.Reg) {
+				a := b.Call("activation", imgPtr, bu, j)
+				b.Store(b.Index(act, j), a)
+			})
+			// Winner-take-all scan.
+			best := b.Reg("best", ir.I64)
+			bestV := b.Reg("bestV", ir.F64)
+			b.MoveTo(best, b.I64(0))
+			b.MoveTo(bestV, b.Load(b.Index(act, b.I64(0))))
+			b.ForRange("j", b.I64(1), b.I64(f2), func(j *ir.Reg) {
+				v := b.Load(b.Index(act, j))
+				better := b.Cmp(ir.CmpFGT, v, bestV)
+				b.If(better, func() {
+					b.MoveTo(best, j)
+					b.MoveTo(bestV, v)
+				}, nil)
+			})
+			b.Call("updateWeights", imgPtr, bu, td, best)
+			slot := b.Index(hist, best)
+			b.Store(slot, b.Add(b.Load(slot), b.I64(1)))
+		})
+		// Per-epoch checksum of the bottom-up weights.
+		sum := b.Reg("wsum", ir.F64)
+		b.MoveTo(sum, b.F64c(0))
+		b.ForRange("p", b.I64(0), b.I64(f2*f1), func(p *ir.Reg) {
+			b.BinTo(sum, ir.OpFAdd, sum, b.Load(b.Index(bu, p)))
+		})
+		// Sanity: a NaN or wildly out-of-range checksum means the network
+		// state is corrupt — report and exit(2) (natural detection).
+		isNaN := b.Cmp(ir.CmpFNE, sum, sum)
+		tooBig := b.Cmp(ir.CmpFGT, sum, b.F64c(1e9))
+		bad := b.Bin(ir.OpOr, isNaN, tooBig)
+		b.If(bad, func() {
+			msg := buildStringLiteral(b, "art: network state corrupt")
+			b.Call("puts", msg)
+			b.Call("exit", b.I64(2))
+		}, nil)
+		b.Out(sum, ir.OutFloat)
+	})
+	// Final recognition histogram.
+	b.ForRange("j", b.I64(0), b.I64(f2), func(j *ir.Reg) {
+		b.OutInt(b.Load(b.Index(hist, j)))
+	})
+	b.Free(imgBank)
+	b.Free(bu)
+	b.Free(td)
+	b.Free(act)
+	b.Free(hist)
+	b.Ret(b.I64(0))
+	return m
+}

@@ -1,0 +1,239 @@
+package workloads
+
+import "dpmr/internal/ir"
+
+// BuildBzip2 constructs the bzip2 analogue: block compression performed
+// entirely in memory (SPEC 256.bzip2 as modified by SPEC). The pipeline is
+// run-length encoding followed by move-to-front coding, then decoded back
+// and verified against the original input — the verify step is the
+// application's own error detector, and a verification failure reports and
+// exits nonzero (natural detection). The memory profile matches the
+// original: byte buffers and small tables, no pointers stored in memory.
+func BuildBzip2() *ir.Module {
+	const blockSize = 3000
+	m := ir.NewModule("bzip2")
+	b := ir.NewBuilder(m)
+	mustDeclareExterns(b.M, "memcpy", "puts", "exit")
+
+	i8p := ir.Ptr(ir.I8)
+
+	// rleCompress encodes (runLength, byte) pairs; returns output length.
+	rle := b.Function("rleCompress", ir.I64, []string{"in", "n", "out"}, i8p, ir.I64, i8p)
+	in, n, out := rle.Params[0], rle.Params[1], rle.Params[2]
+	op := b.Reg("op", ir.I64)
+	ip := b.Reg("ip", ir.I64)
+	b.MoveTo(op, b.I64(0))
+	b.MoveTo(ip, b.I64(0))
+	b.While("rle", func() *ir.Reg {
+		return b.Cmp(ir.CmpSLT, ip, n)
+	}, func() {
+		cur := b.Load(b.Index(in, ip))
+		run := b.Reg("run", ir.I64)
+		b.MoveTo(run, b.I64(1))
+		b.While("run", func() *ir.Reg {
+			nxtIdx := b.Add(ip, run)
+			inBounds := b.Cmp(ir.CmpSLT, nxtIdx, n)
+			short := b.Cmp(ir.CmpSLT, run, b.I64(120))
+			both := b.Bin(ir.OpAnd, inBounds, short)
+			same := b.Reg("", ir.I1)
+			b.MoveTo(same, b.Const(ir.I1, 0))
+			b.If(both, func() {
+				nv := b.Load(b.Index(in, b.Add(ip, run)))
+				b.MoveTo(same, b.Cmp(ir.CmpEQ, nv, cur))
+			}, nil)
+			return same
+		}, func() {
+			b.BinTo(run, ir.OpAdd, run, b.I64(1))
+		})
+		b.Store(b.Index(out, op), b.Convert(run, ir.I8))
+		b.Store(b.Index(out, b.Add(op, b.I64(1))), cur)
+		b.BinTo(op, ir.OpAdd, op, b.I64(2))
+		b.BinTo(ip, ir.OpAdd, ip, run)
+	})
+	b.Ret(op)
+
+	// mtfEncode rewrites bytes as move-to-front ranks using a 256-entry
+	// table (allocated by the caller).
+	mtf := b.Function("mtfEncode", ir.Void, []string{"buf", "n", "table"}, i8p, ir.I64, i8p)
+	mbuf, mn, mtab := mtf.Params[0], mtf.Params[1], mtf.Params[2]
+	b.ForRange("t", b.I64(0), b.I64(256), func(t *ir.Reg) {
+		b.Store(b.Index(mtab, t), b.Convert(t, ir.I8))
+	})
+	b.ForRange("i", b.I64(0), mn, func(i *ir.Reg) {
+		v := b.Load(b.Index(mbuf, i))
+		// Find rank of v.
+		rank := b.Reg("rank", ir.I64)
+		b.MoveTo(rank, b.I64(0))
+		b.While("find", func() *ir.Reg {
+			tv := b.Load(b.Index(mtab, rank))
+			return b.Cmp(ir.CmpNE, tv, v)
+		}, func() {
+			b.BinTo(rank, ir.OpAdd, rank, b.I64(1))
+		})
+		// Shift table entries down, put v at front.
+		b.ForRange("s", b.I64(0), rank, func(s *ir.Reg) {
+			idx := b.Sub(rank, s)
+			prev := b.Load(b.Index(mtab, b.Sub(idx, b.I64(1))))
+			b.Store(b.Index(mtab, idx), prev)
+		})
+		b.Store(b.Index(mtab, b.I64(0)), v)
+		b.Store(b.Index(mbuf, i), b.Convert(rank, ir.I8))
+	})
+	b.Ret(nil)
+
+	// mtfDecode inverts mtfEncode.
+	mtfd := b.Function("mtfDecode", ir.Void, []string{"buf", "n", "table"}, i8p, ir.I64, i8p)
+	dbuf, dn, dtab := mtfd.Params[0], mtfd.Params[1], mtfd.Params[2]
+	b.ForRange("t", b.I64(0), b.I64(256), func(t *ir.Reg) {
+		b.Store(b.Index(dtab, t), b.Convert(t, ir.I8))
+	})
+	b.ForRange("i", b.I64(0), dn, func(i *ir.Reg) {
+		rank8 := b.Load(b.Index(dbuf, i))
+		rank := b.Bin(ir.OpAnd, b.Convert(rank8, ir.I64), b.I64(0xFF))
+		v := b.Load(b.Index(dtab, rank))
+		b.ForRange("s", b.I64(0), rank, func(s *ir.Reg) {
+			idx := b.Sub(rank, s)
+			prev := b.Load(b.Index(dtab, b.Sub(idx, b.I64(1))))
+			b.Store(b.Index(dtab, idx), prev)
+		})
+		b.Store(b.Index(dtab, b.I64(0)), v)
+		b.Store(b.Index(dbuf, i), v)
+	})
+	b.Ret(nil)
+
+	// rleDecode expands (run, byte) pairs; returns decoded length.
+	rled := b.Function("rleDecode", ir.I64, []string{"in", "n", "out"}, i8p, ir.I64, i8p)
+	rin, rn, rout := rled.Params[0], rled.Params[1], rled.Params[2]
+	rop := b.Reg("rop", ir.I64)
+	b.MoveTo(rop, b.I64(0))
+	rip := b.Reg("rip", ir.I64)
+	b.MoveTo(rip, b.I64(0))
+	b.While("dec", func() *ir.Reg {
+		return b.Cmp(ir.CmpSLT, rip, rn)
+	}, func() {
+		run := b.Bin(ir.OpAnd, b.Convert(b.Load(b.Index(rin, rip)), ir.I64), b.I64(0xFF))
+		v := b.Load(b.Index(rin, b.Add(rip, b.I64(1))))
+		b.ForRange("w", b.I64(0), run, func(w *ir.Reg) {
+			b.Store(b.Index(rout, b.Add(rop, w)), v)
+		})
+		b.BinTo(rop, ir.OpAdd, rop, run)
+		b.BinTo(rip, ir.OpAdd, rip, b.I64(2))
+	})
+	b.Ret(rop)
+
+	b.Function("main", ir.I64, nil)
+	// Allocation sites: input, working copy, RLE buffer, MTF tables (2),
+	// decode buffer.
+	input := b.MallocN(ir.I8, b.I64(blockSize))
+	work := b.MallocN(ir.I8, b.I64(blockSize))
+	rleBuf := b.MallocN(ir.I8, b.I64(2*blockSize))
+	encTab := b.MallocN(ir.I8, b.I64(256))
+	decTab := b.MallocN(ir.I8, b.I64(256))
+	decBuf := b.MallocN(ir.I8, b.I64(blockSize))
+
+	// Synthesize compressible input: runs of small symbols.
+	rng := newLCG(b, 256256)
+	pos := b.Reg("pos", ir.I64)
+	b.MoveTo(pos, b.I64(0))
+	b.While("gen", func() *ir.Reg {
+		return b.Cmp(ir.CmpSLT, pos, b.I64(blockSize))
+	}, func() {
+		sym := b.Convert(rng.nextIn(b, 14), ir.I8)
+		runLen := b.Add(rng.nextIn(b, 9), b.I64(1))
+		b.ForRange("g", b.I64(0), runLen, func(g *ir.Reg) {
+			idx := b.Add(pos, g)
+			ok := b.Cmp(ir.CmpSLT, idx, b.I64(blockSize))
+			b.If(ok, func() {
+				b.Store(b.Index(input, idx), sym)
+			}, nil)
+		})
+		b.BinTo(pos, ir.OpAdd, pos, runLen)
+	})
+
+	// Compress: copy input to the working buffer via the external memcpy
+	// (exercising the §2.8 wrapper), RLE, then MTF.
+	b.Call("memcpy", work, input, b.I64(blockSize))
+	rleLen := b.Call("rleCompress", work, b.I64(blockSize), rleBuf)
+	b.OutInt(rleLen) // compressed size
+	b.Call("mtfEncode", rleBuf, rleLen, encTab)
+	// Compressed checksum.
+	ck := b.Reg("ck", ir.I64)
+	b.MoveTo(ck, b.I64(0))
+	b.ForRange("c", b.I64(0), rleLen, func(c *ir.Reg) {
+		v := b.Bin(ir.OpAnd, b.Convert(b.Load(b.Index(rleBuf, c)), ir.I64), b.I64(0xFF))
+		b.MoveTo(ck, b.Add(b.Mul(ck, b.I64(131)), v))
+	})
+	b.OutInt(b.Bin(ir.OpAnd, ck, b.I64(0xFFFFFFF)))
+
+	// Decompress and verify.
+	b.Call("mtfDecode", rleBuf, rleLen, decTab)
+	decLen := b.Call("rleDecode", rleBuf, rleLen, decBuf)
+	okLen := b.Cmp(ir.CmpEQ, decLen, b.I64(blockSize))
+	b.If(okLen, nil, func() {
+		failStr := buildStringLiteral(b, "bzip2: length mismatch")
+		b.Call("puts", failStr)
+		b.Call("exit", b.I64(2))
+	})
+	b.ForRange("v", b.I64(0), b.I64(blockSize), func(v *ir.Reg) {
+		a := b.Load(b.Index(input, v))
+		d := b.Load(b.Index(decBuf, v))
+		bad := b.Cmp(ir.CmpNE, a, d)
+		b.If(bad, func() {
+			failStr := buildStringLiteral(b, "bzip2: verify failed")
+			b.Call("puts", failStr)
+			b.Call("exit", b.I64(2))
+		}, nil)
+	})
+	okStr := buildStringLiteral(b, "bzip2: ok")
+	b.Call("puts", okStr)
+	b.Free(okStr)
+
+	b.Free(input)
+	b.Free(work)
+	b.Free(rleBuf)
+	b.Free(encTab)
+	b.Free(decTab)
+	b.Free(decBuf)
+	b.Ret(b.I64(0))
+	return m
+}
+
+// buildStringLiteral materializes a NUL-terminated string on the heap and
+// returns an i8* register. (A fresh buffer per use keeps the builder
+// simple; real programs would use globals.)
+func buildStringLiteral(b *ir.Builder, s string) *ir.Reg {
+	buf := b.MallocN(ir.I8, b.I64(int64(len(s)+1)))
+	for i := 0; i < len(s); i++ {
+		b.Store(b.Index(buf, b.I64(int64(i))), b.I8(int64(s[i])))
+	}
+	b.Store(b.Index(buf, b.I64(int64(len(s)))), b.I8(0))
+	return buf
+}
+
+func mustDeclareExterns(m *ir.Module, names ...string) {
+	// Declared lazily by workload builders; extlib.Declare validates
+	// names, and a bad name is a programming error in this package.
+	for _, n := range names {
+		if m.Func(n) == nil {
+			sig, ok := externSigs()[n]
+			if !ok {
+				panic("workloads: unknown extern " + n)
+			}
+			m.AddExtern(n, sig)
+		}
+	}
+}
+
+// externSigs mirrors extlib.Sigs for the externs workloads use; kept local
+// to avoid a package cycle (extlib depends on dpmr for wrapper naming).
+func externSigs() map[string]*ir.FuncType {
+	i8p := ir.Ptr(ir.I8)
+	return map[string]*ir.FuncType{
+		"memcpy": ir.FuncOf(ir.Void, i8p, i8p, ir.I64),
+		"memset": ir.FuncOf(ir.Void, i8p, ir.I8, ir.I64),
+		"puts":   ir.FuncOf(ir.Void, i8p),
+		"exit":   ir.FuncOf(ir.Void, ir.I64),
+		"strcpy": ir.FuncOf(i8p, i8p, i8p),
+		"strlen": ir.FuncOf(ir.I64, i8p),
+	}
+}

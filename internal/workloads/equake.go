@@ -1,0 +1,151 @@
+package workloads
+
+import "dpmr/internal/ir"
+
+// BuildEquake constructs the equake analogue: seismic wave propagation
+// over an unstructured mesh (SPEC 183.equake). Like the original's sparse
+// matrix structures, the mesh is pointer-rich: an array of per-node
+// structs each holding pointers to its stiffness-coefficient row and its
+// neighbour-index row, so the time-stepping loop chases pointers stored in
+// memory on every element access — the profile that drives the SDS vs MDS
+// overhead gap (§4.5).
+func BuildEquake() *ir.Module {
+	const (
+		nodes = 56
+		deg   = 4 // ring ±1 plus chord ±9
+		steps = 90
+	)
+	m := ir.NewModule("equake")
+	b := ir.NewBuilder(m)
+	mustDeclareExterns(b.M, "exit", "puts")
+
+	// struct ENode { f64 disp; f64 vel; f64 acc; i64 deg; f64* row; i64* neigh }
+	enode := ir.NamedStruct("ENode")
+	enode.SetBody(ir.F64, ir.F64, ir.F64, ir.I64, ir.Ptr(ir.F64), ir.Ptr(ir.I64))
+	np := ir.Ptr(enode)
+	const (
+		fDisp = iota
+		fVel
+		fAcc
+		fDeg
+		fRow
+		fNeigh
+	)
+
+	// buildMesh allocates the node table and per-node rows.
+	bm := b.Function("buildMesh", ir.Ptr(np), nil)
+	tbl := b.MallocN(np, b.I64(nodes)) // array of ENode* (pointers in memory)
+	rng := newLCG(b, 183)
+	b.ForRange("i", b.I64(0), b.I64(nodes), func(i *ir.Reg) {
+		nd := b.Malloc(enode)
+		b.Store(b.Field(nd, fDisp), b.F64c(0))
+		b.Store(b.Field(nd, fVel), b.F64c(0))
+		b.Store(b.Field(nd, fAcc), b.F64c(0))
+		b.Store(b.Field(nd, fDeg), b.I64(deg))
+		row := b.MallocN(ir.F64, b.I64(deg))
+		nbr := b.MallocN(ir.I64, b.I64(deg))
+		// Stiffness coefficients in (0, 0.25].
+		b.ForRange("k", b.I64(0), b.I64(deg), func(k *ir.Reg) {
+			c := rng.nextIn(b, 240)
+			coef := b.Bin(ir.OpFDiv, b.Convert(b.Add(c, b.I64(10)), ir.F64), b.F64c(1000))
+			b.Store(b.Index(row, k), coef)
+		})
+		// Neighbours: i±1, i±9 (mod nodes).
+		offs := []int64{1, nodes - 1, 9, nodes - 9}
+		for k, off := range offs {
+			idx := b.Bin(ir.OpURem, b.Add(i, b.I64(off)), b.I64(nodes))
+			b.Store(b.Index(nbr, b.I64(int64(k))), idx)
+		}
+		b.Store(b.Field(nd, fRow), row)
+		b.Store(b.Field(nd, fNeigh), nbr)
+		b.Store(b.Index(tbl, i), nd)
+	})
+	_ = bm
+	b.Ret(tbl)
+
+	// timeStep advances the mesh by one step and returns the |disp| sum.
+	ts := b.Function("timeStep", ir.F64, []string{"tbl", "t"}, ir.Ptr(np), ir.I64)
+	ttbl, tstep := ts.Params[0], ts.Params[1]
+	dt := b.F64c(0.08)
+	damp := b.F64c(0.02)
+	// Excitation at node 0 during the first 10 steps.
+	early := b.Cmp(ir.CmpSLT, tstep, b.I64(10))
+	b.If(early, func() {
+		n0 := b.Load(b.Index(ttbl, b.I64(0)))
+		b.Store(b.Field(n0, fDisp), b.F64c(1.0))
+	}, nil)
+	// Acceleration pass: acc_i = Σ_k row[k]·(disp[neigh[k]] − disp_i) − damp·vel_i
+	b.ForRange("i", b.I64(0), b.I64(nodes), func(i *ir.Reg) {
+		nd := b.Load(b.Index(ttbl, i))
+		di := b.Load(b.Field(nd, fDisp))
+		row := b.Load(b.Field(nd, fRow))
+		nbr := b.Load(b.Field(nd, fNeigh))
+		dcount := b.Load(b.Field(nd, fDeg))
+		acc := b.Reg("acc", ir.F64)
+		b.MoveTo(acc, b.F64c(0))
+		b.ForRange("k", b.I64(0), dcount, func(k *ir.Reg) {
+			j := b.Load(b.Index(nbr, k))
+			nj := b.Load(b.Index(ttbl, j))
+			dj := b.Load(b.Field(nj, fDisp))
+			coef := b.Load(b.Index(row, k))
+			b.BinTo(acc, ir.OpFAdd, acc, b.Bin(ir.OpFMul, coef, b.Bin(ir.OpFSub, dj, di)))
+		})
+		vel := b.Load(b.Field(nd, fVel))
+		b.BinTo(acc, ir.OpFSub, acc, b.Bin(ir.OpFMul, damp, vel))
+		b.Store(b.Field(nd, fAcc), acc)
+	})
+	// Integration pass.
+	total := b.Reg("total", ir.F64)
+	b.MoveTo(total, b.F64c(0))
+	b.ForRange("i", b.I64(0), b.I64(nodes), func(i *ir.Reg) {
+		nd := b.Load(b.Index(ttbl, i))
+		acc := b.Load(b.Field(nd, fAcc))
+		vel := b.Load(b.Field(nd, fVel))
+		nvel := b.Bin(ir.OpFAdd, vel, b.Bin(ir.OpFMul, dt, acc))
+		b.Store(b.Field(nd, fVel), nvel)
+		disp := b.Load(b.Field(nd, fDisp))
+		ndisp := b.Bin(ir.OpFAdd, disp, b.Bin(ir.OpFMul, dt, nvel))
+		b.Store(b.Field(nd, fDisp), ndisp)
+		// |disp| accumulation.
+		neg := b.Cmp(ir.CmpFLT, ndisp, b.F64c(0))
+		mag := b.Reg("mag", ir.F64)
+		b.MoveTo(mag, ndisp)
+		b.If(neg, func() {
+			b.MoveTo(mag, b.Bin(ir.OpFSub, b.F64c(0), ndisp))
+		}, nil)
+		b.BinTo(total, ir.OpFAdd, total, mag)
+	})
+	b.Ret(total)
+
+	b.Function("main", ir.I64, nil)
+	tblMain := b.Call("buildMesh")
+	b.ForRange("t", b.I64(0), b.I64(steps), func(t *ir.Reg) {
+		energy := b.Call("timeStep", tblMain, t)
+		// Stability check: NaN or blow-up means the simulation state is
+		// corrupt (equake aborts on unstable meshes) — natural detection.
+		isNaN := b.Cmp(ir.CmpFNE, energy, energy)
+		blown := b.Cmp(ir.CmpFGT, energy, b.F64c(1e8))
+		bad := b.Bin(ir.OpOr, isNaN, blown)
+		b.If(bad, func() {
+			msg := buildStringLiteral(b, "equake: simulation unstable")
+			b.Call("puts", msg)
+			b.Call("exit", b.I64(2))
+		}, nil)
+		// Report every 30 steps.
+		rem := b.Bin(ir.OpSRem, t, b.I64(30))
+		report := b.Cmp(ir.CmpEQ, rem, b.I64(0))
+		b.If(report, func() {
+			b.Out(energy, ir.OutFloat)
+		}, nil)
+	})
+	// Teardown: free rows, nodes, table.
+	b.ForRange("i", b.I64(0), b.I64(nodes), func(i *ir.Reg) {
+		nd := b.Load(b.Index(tblMain, i))
+		b.Free(b.Load(b.Field(nd, fRow)))
+		b.Free(b.Load(b.Field(nd, fNeigh)))
+		b.Free(nd)
+	})
+	b.Free(tblMain)
+	b.Ret(b.I64(0))
+	return m
+}

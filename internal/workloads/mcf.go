@@ -1,0 +1,218 @@
+package workloads
+
+import "dpmr/internal/ir"
+
+// BuildMcf constructs the mcf analogue: single-depot vehicle scheduling
+// solved as a min-cost network flow (SPEC 181.mcf). Like the original's
+// network simplex structures, the graph lives in linked structs — nodes
+// carry arc-list head pointers and arcs carry head-node and next-arc
+// pointers — so nearly every step of the optimization loads pointers from
+// memory (the most pointer-heavy workload, §4.5).
+func BuildMcf() *ir.Module {
+	const (
+		nNodes = 64
+		passes = nNodes // Bellman-Ford passes
+	)
+	m := ir.NewModule("mcf")
+	b := ir.NewBuilder(m)
+	mustDeclareExterns(b.M, "exit", "puts")
+
+	// struct MNode { i64 pot; MArc* first; i64 supply }
+	// struct MArc  { i64 cost; i64 cap; i64 flow; MNode* head; MArc* next }
+	mnode := ir.NamedStruct("MNode")
+	marc := ir.NamedStruct("MArc")
+	mnode.SetBody(ir.I64, ir.Ptr(marc), ir.I64)
+	marc.SetBody(ir.I64, ir.I64, ir.I64, ir.Ptr(mnode), ir.Ptr(marc))
+	npt := ir.Ptr(mnode)
+	apt := ir.Ptr(marc)
+	const (
+		nPot = iota
+		nFirst
+		nSupply
+	)
+	const (
+		aCost = iota
+		aCap
+		aFlow
+		aHead
+		aNext
+	)
+
+	// addArc links a new arc from→head into from's adjacency list.
+	aa := b.Function("addArc", ir.Void, []string{"from", "head", "cost", "cap"},
+		npt, npt, ir.I64, ir.I64)
+	from, head, cost, cap := aa.Params[0], aa.Params[1], aa.Params[2], aa.Params[3]
+	arc := b.Malloc(marc)
+	b.Store(b.Field(arc, aCost), cost)
+	b.Store(b.Field(arc, aCap), cap)
+	b.Store(b.Field(arc, aFlow), b.I64(0))
+	b.Store(b.Field(arc, aHead), head)
+	b.Store(b.Field(arc, aNext), b.Load(b.Field(from, nFirst)))
+	b.Store(b.Field(from, nFirst), arc)
+	b.Ret(nil)
+
+	// buildNetwork allocates the node table and a deterministic arc set.
+	b.Function("buildNetwork", ir.Ptr(npt), nil)
+	tbl := b.MallocN(npt, b.I64(nNodes))
+	b.ForRange("i", b.I64(0), b.I64(nNodes), func(i *ir.Reg) {
+		nd := b.Malloc(mnode)
+		big := b.I64(1 << 40)
+		isRoot := b.Cmp(ir.CmpEQ, i, b.I64(0))
+		b.If(isRoot, func() {
+			b.Store(b.Field(nd, nPot), b.I64(0))
+		}, func() {
+			b.Store(b.Field(nd, nPot), big)
+		})
+		b.Store(b.Field(nd, nFirst), b.Null(apt))
+		b.Store(b.Field(nd, nSupply), b.Sub(b.Bin(ir.OpSRem, i, b.I64(5)), b.I64(2)))
+		b.Store(b.Index(tbl, i), nd)
+	})
+	rng := newLCG(b, 181)
+	b.ForRange("i", b.I64(0), b.I64(nNodes), func(i *ir.Reg) {
+		src := b.Load(b.Index(tbl, i))
+		// Ring arc i → i+1.
+		ring := b.Bin(ir.OpURem, b.Add(i, b.I64(1)), b.I64(nNodes))
+		dst1 := b.Load(b.Index(tbl, ring))
+		c1 := b.Add(rng.nextIn(b, 20), b.I64(1))
+		b.Call("addArc", src, dst1, c1, b.I64(8))
+		// Chord arc i → 7i+3 mod n.
+		chord := b.Bin(ir.OpURem, b.Add(b.Mul(i, b.I64(7)), b.I64(3)), b.I64(nNodes))
+		dst2 := b.Load(b.Index(tbl, chord))
+		c2 := b.Add(rng.nextIn(b, 35), b.I64(2))
+		b.Call("addArc", src, dst2, c2, b.I64(5))
+	})
+	b.Ret(tbl)
+
+	// relaxAll performs one Bellman-Ford pass; returns number of updates.
+	rx := b.Function("relaxAll", ir.I64, []string{"tbl"}, ir.Ptr(npt))
+	rtbl := rx.Params[0]
+	updates := b.Reg("updates", ir.I64)
+	b.MoveTo(updates, b.I64(0))
+	b.ForRange("i", b.I64(0), b.I64(nNodes), func(i *ir.Reg) {
+		nd := b.Load(b.Index(rtbl, i))
+		pot := b.Load(b.Field(nd, nPot))
+		cur := b.Reg("cur", apt)
+		b.MoveTo(cur, b.Load(b.Field(nd, nFirst)))
+		b.While("arcs", func() *ir.Reg {
+			return b.Cmp(ir.CmpNE, cur, b.Null(apt))
+		}, func() {
+			cost := b.Load(b.Field(cur, aCost))
+			hd := b.Load(b.Field(cur, aHead))
+			hpot := b.Load(b.Field(hd, nPot))
+			cand := b.Add(pot, cost)
+			better := b.Cmp(ir.CmpSLT, cand, hpot)
+			b.If(better, func() {
+				b.Store(b.Field(hd, nPot), cand)
+				b.BinTo(updates, ir.OpAdd, updates, b.I64(1))
+			}, nil)
+			b.MoveTo(cur, b.Load(b.Field(cur, aNext)))
+		})
+	})
+	b.Ret(updates)
+
+	// assignFlow prices arcs off the potentials and returns total cost.
+	af := b.Function("assignFlow", ir.I64, []string{"tbl"}, ir.Ptr(npt))
+	atbl := af.Params[0]
+	totalCost := b.Reg("totalCost", ir.I64)
+	b.MoveTo(totalCost, b.I64(0))
+	b.ForRange("i", b.I64(0), b.I64(nNodes), func(i *ir.Reg) {
+		nd := b.Load(b.Index(atbl, i))
+		pot := b.Load(b.Field(nd, nPot))
+		cur := b.Reg("cur", apt)
+		b.MoveTo(cur, b.Load(b.Field(nd, nFirst)))
+		b.While("arcs", func() *ir.Reg {
+			return b.Cmp(ir.CmpNE, cur, b.Null(apt))
+		}, func() {
+			cost := b.Load(b.Field(cur, aCost))
+			hd := b.Load(b.Field(cur, aHead))
+			hpot := b.Load(b.Field(hd, nPot))
+			// Reduced cost: arcs on shortest paths carry flow.
+			reduced := b.Sub(b.Add(pot, cost), hpot)
+			tight := b.Cmp(ir.CmpEQ, reduced, b.I64(0))
+			b.If(tight, func() {
+				cap := b.Load(b.Field(cur, aCap))
+				b.Store(b.Field(cur, aFlow), cap)
+				b.BinTo(totalCost, ir.OpAdd, totalCost, b.Mul(cap, cost))
+			}, nil)
+			b.MoveTo(cur, b.Load(b.Field(cur, aNext)))
+		})
+	})
+	b.Ret(totalCost)
+
+	// resetPotentials prepares a new single-source run from root.
+	rp := b.Function("resetPotentials", ir.Void, []string{"tbl", "root"}, ir.Ptr(npt), ir.I64)
+	ptbl, proot := rp.Params[0], rp.Params[1]
+	b.ForRange("i", b.I64(0), b.I64(nNodes), func(i *ir.Reg) {
+		nd := b.Load(b.Index(ptbl, i))
+		isRoot := b.Cmp(ir.CmpEQ, i, proot)
+		b.If(isRoot, func() {
+			b.Store(b.Field(nd, nPot), b.I64(0))
+		}, func() {
+			b.Store(b.Field(nd, nPot), b.I64(1<<40))
+		})
+	})
+	b.Ret(nil)
+
+	b.Function("main", ir.I64, nil)
+	tblMain := b.Call("buildNetwork")
+	// Price the network from several depots (multi-source scheduling):
+	// each root gets its own Bellman-Ford run over the shared structures.
+	totalIter := b.Reg("totalIter", ir.I64)
+	b.MoveTo(totalIter, b.I64(0))
+	grand := b.Reg("grand", ir.I64)
+	b.MoveTo(grand, b.I64(0))
+	b.ForRange("root", b.I64(0), b.I64(8), func(root *ir.Reg) {
+		b.Call("resetPotentials", tblMain, root)
+		iter := b.Reg("iter", ir.I64)
+		b.MoveTo(iter, b.I64(0))
+		changed := b.Reg("changed", ir.I64)
+		b.MoveTo(changed, b.I64(1))
+		b.While("bf", func() *ir.Reg {
+			more := b.Cmp(ir.CmpSGT, changed, b.I64(0))
+			inBudget := b.Cmp(ir.CmpSLT, iter, b.I64(passes+2))
+			return b.Bin(ir.OpAnd, more, inBudget)
+		}, func() {
+			b.MoveTo(changed, b.Call("relaxAll", tblMain))
+			b.BinTo(iter, ir.OpAdd, iter, b.I64(1))
+		})
+		// A Bellman-Ford run that never converges means a negative cycle —
+		// impossible with these costs, so it indicates corrupted network
+		// state: report and exit(2) (mcf's own infeasibility check).
+		unconverged := b.Cmp(ir.CmpSGT, changed, b.I64(0))
+		b.If(unconverged, func() {
+			msg := buildStringLiteral(b, "mcf: network infeasible")
+			b.Call("puts", msg)
+			b.Call("exit", b.I64(2))
+		}, nil)
+		b.BinTo(totalIter, ir.OpAdd, totalIter, iter)
+		// Shortest-path potentials checksum for this root.
+		pcheck := b.Reg("pcheck", ir.I64)
+		b.MoveTo(pcheck, b.I64(0))
+		b.ForRange("i", b.I64(0), b.I64(nNodes), func(i *ir.Reg) {
+			nd := b.Load(b.Index(tblMain, i))
+			b.BinTo(pcheck, ir.OpAdd, pcheck, b.Load(b.Field(nd, nPot)))
+		})
+		b.BinTo(grand, ir.OpAdd, grand, pcheck)
+		totalC := b.Call("assignFlow", tblMain)
+		b.BinTo(grand, ir.OpAdd, grand, totalC)
+	})
+	b.OutInt(totalIter)
+	b.OutInt(grand)
+	// Teardown: free arc lists, nodes, table.
+	b.ForRange("i", b.I64(0), b.I64(nNodes), func(i *ir.Reg) {
+		nd := b.Load(b.Index(tblMain, i))
+		cur := b.Reg("cur", apt)
+		b.MoveTo(cur, b.Load(b.Field(nd, nFirst)))
+		b.While("freearcs", func() *ir.Reg {
+			return b.Cmp(ir.CmpNE, cur, b.Null(apt))
+		}, func() {
+			nxt := b.Load(b.Field(cur, aNext))
+			b.Free(cur)
+			b.MoveTo(cur, nxt)
+		})
+		b.Free(nd)
+	})
+	b.Free(tblMain)
+	b.Ret(b.I64(0))
+	return m
+}

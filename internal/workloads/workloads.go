@@ -1,0 +1,100 @@
+// Package workloads provides the benchmark programs the evaluation runs
+// (§3.3): IR analogues of the four SPEC CPU2000 C benchmarks the paper
+// uses, matched on the axes that drive DPMR's behaviour — allocation-site
+// structure, pointer density in memory (art and bzip2 keep few pointers
+// in memory; equake and mcf are pointer-heavy, which drives the SDS/MDS
+// overhead gap of §4.5), and load/store mix. Each program is
+// deterministic, produces checkable output, performs application-level
+// sanity checks that exit nonzero on internal inconsistency (the
+// "application-dependent output indicating an error" form of natural
+// detection, §3.6), and frees its memory.
+package workloads
+
+import (
+	"fmt"
+
+	"dpmr/internal/ir"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name string
+	// Description summarizes what the analogue models.
+	Description string
+	// PointerHeavy marks workloads that keep many pointers in memory
+	// (drives the SDS vs MDS comparison).
+	PointerHeavy bool
+	// Build constructs a fresh module. Builders are deterministic; the
+	// harness rebuilds per experiment (per-injection variants, Fig 3.5).
+	Build func() *ir.Module
+}
+
+// All returns the benchmark suite in the paper's order.
+func All() []Workload {
+	return []Workload{
+		{
+			Name:        "art",
+			Description: "neural network recognizing objects in a thermal image (floating point)",
+			Build:       BuildArt,
+		},
+		{
+			Name:        "bzip2",
+			Description: "in-memory block compression with decompress-and-verify (integer)",
+			Build:       BuildBzip2,
+		},
+		{
+			Name:         "equake",
+			Description:  "seismic wave propagation over an unstructured mesh (floating point)",
+			PointerHeavy: true,
+			Build:        BuildEquake,
+		},
+		{
+			Name:         "mcf",
+			Description:  "vehicle scheduling via min-cost network flow (integer)",
+			PointerHeavy: true,
+			Build:        BuildMcf,
+		},
+	}
+}
+
+// ByName resolves a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// lcg is a Knuth MMIX linear congruential generator maintained in an IR
+// register, giving workloads deterministic pseudo-random input without
+// touching the VM's diversity PRNG.
+type lcg struct {
+	state *ir.Reg
+}
+
+func newLCG(b *ir.Builder, seed int64) *lcg {
+	s := b.Reg("lcg", ir.I64)
+	b.MoveTo(s, b.I64(seed))
+	return &lcg{state: s}
+}
+
+// next advances the generator and returns a register holding the new
+// state.
+func (l *lcg) next(b *ir.Builder) *ir.Reg {
+	mul := b.I64(6364136223846793005)
+	add := b.I64(1442695040888963407)
+	b.BinTo(l.state, ir.OpMul, l.state, mul)
+	b.BinTo(l.state, ir.OpAdd, l.state, add)
+	v := b.Reg("", ir.I64)
+	b.MoveTo(v, l.state)
+	return v
+}
+
+// nextIn returns a register with a value in [0, n) derived from next.
+func (l *lcg) nextIn(b *ir.Builder, n int64) *ir.Reg {
+	v := l.next(b)
+	shifted := b.Bin(ir.OpLShr, v, b.I64(33))
+	return b.Bin(ir.OpURem, shifted, b.I64(n))
+}

@@ -1,0 +1,159 @@
+package workloads_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/faultinject"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+	"dpmr/internal/workloads"
+)
+
+func TestWorkloadsBuildVerifyAndRun(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			m := w.Build()
+			if err := ir.Verify(m); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			res := interp.Run(m, interp.Config{Externs: extlib.Base()})
+			if res.Kind != interp.ExitNormal || res.Code != 0 {
+				t.Fatalf("golden run: %v code %d (%s)", res.Kind, res.Code, res.Reason)
+			}
+			if len(res.Output) == 0 {
+				t.Error("workload must produce output")
+			}
+			if res.Steps < 20000 {
+				t.Errorf("workload too small: %d steps", res.Steps)
+			}
+			st := res.Mem
+			if st.HeapAllocs < 5 {
+				t.Errorf("workload should allocate from several sites: %d allocs", st.HeapAllocs)
+			}
+			if st.HeapFrees != st.HeapAllocs {
+				t.Errorf("leaks: %d allocs vs %d frees", st.HeapAllocs, st.HeapFrees)
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, w := range workloads.All() {
+		r1 := interp.Run(w.Build(), interp.Config{Externs: extlib.Base()})
+		r2 := interp.Run(w.Build(), interp.Config{Externs: extlib.Base()})
+		if !bytes.Equal(r1.Output, r2.Output) || r1.Cycles != r2.Cycles {
+			t.Errorf("%s: non-deterministic build or run", w.Name)
+		}
+	}
+}
+
+func TestWorkloadsSatisfyRestrictions(t *testing.T) {
+	for _, w := range workloads.All() {
+		m := w.Build()
+		if err := dpmr.VerifyRestrictions(m, dpmr.SDS); err != nil {
+			t.Errorf("%s: SDS restrictions: %v", w.Name, err)
+		}
+		if err := dpmr.VerifyRestrictions(m, dpmr.MDS); err != nil {
+			t.Errorf("%s: MDS restrictions: %v", w.Name, err)
+		}
+	}
+}
+
+func TestWorkloadsEquivalentUnderDPMR(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		for _, design := range []dpmr.Design{dpmr.SDS, dpmr.MDS} {
+			design := design
+			t.Run(w.Name+"/"+design.String(), func(t *testing.T) {
+				t.Parallel()
+				m := w.Build()
+				golden := interp.Run(m, interp.Config{Externs: extlib.Base()})
+				xm, err := dpmr.Transform(w.Build(), dpmr.Config{Design: design, Seed: 11})
+				if err != nil {
+					t.Fatalf("transform: %v", err)
+				}
+				xres := interp.Run(xm, interp.Config{Externs: extlib.Wrapped(design), Seed: 5})
+				if xres.Kind != interp.ExitNormal {
+					t.Fatalf("transformed: %v (%s)", xres.Kind, xres.Reason)
+				}
+				if !bytes.Equal(golden.Output, xres.Output) {
+					t.Errorf("output diverged:\ngolden: %q\ndpmr:   %q", golden.Output, xres.Output)
+				}
+				if xres.Cycles <= golden.Cycles {
+					t.Errorf("no overhead measured: %d vs %d", xres.Cycles, golden.Cycles)
+				}
+			})
+		}
+	}
+}
+
+func TestPointerHeavyClassification(t *testing.T) {
+	// equake and mcf store pointers in memory (shadow objects exist under
+	// SDS); art and bzip2 essentially do not. Verify via SDS shadow
+	// allocations.
+	for _, w := range workloads.All() {
+		xm, err := dpmr.Transform(w.Build(), dpmr.Config{Design: dpmr.SDS})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		text := xm.String()
+		hasShadowStructs := strings.Contains(text, ".sdw")
+		if w.PointerHeavy && !hasShadowStructs {
+			t.Errorf("%s: expected shadow structures", w.Name)
+		}
+	}
+}
+
+func TestWorkloadsHaveInjectableSites(t *testing.T) {
+	for _, w := range workloads.All() {
+		m := w.Build()
+		resize := faultinject.Enumerate(m, faultinject.HeapArrayResize)
+		ifree := faultinject.Enumerate(m, faultinject.ImmediateFree)
+		if len(resize) == 0 {
+			t.Errorf("%s: no heap-array-resize sites", w.Name)
+		}
+		if len(ifree) < 3 {
+			t.Errorf("%s: too few immediate-free sites (%d)", w.Name, len(ifree))
+		}
+		t.Logf("%s: %d resize sites, %d immediate-free sites", w.Name, len(resize), len(ifree))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := workloads.ByName("mcf"); err != nil {
+		t.Error(err)
+	}
+	if _, err := workloads.ByName("gcc"); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+// TestFaultInjectionChangesBehaviour samples one injection per workload
+// and confirms the campaign machinery observes a successful injection.
+func TestFaultInjectionChangesBehaviour(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			golden := interp.Run(w.Build(), interp.Config{Externs: extlib.Base()})
+			sites := faultinject.Enumerate(w.Build(), faultinject.ImmediateFree)
+			m := w.Build()
+			if err := faultinject.Apply(m, sites[0]); err != nil {
+				t.Fatal(err)
+			}
+			res := interp.Run(m, interp.Config{
+				Externs:   extlib.Base(),
+				StepLimit: golden.Steps * 20,
+			})
+			if !res.FaultSeen {
+				t.Error("injection did not execute")
+			}
+		})
+	}
+}
