@@ -10,6 +10,7 @@
 package dpmrbench
 
 import (
+	"fmt"
 	"testing"
 
 	"dpmr/internal/dpmr"
@@ -52,9 +53,11 @@ func buildFor(b *testing.B, w workloads.Workload, v harness.Variant, inj *faulti
 	b.Helper()
 	m := w.Build()
 	if inj != nil {
-		if err := faultinject.Apply(m, *inj); err != nil {
+		fm, err := faultinject.Apply(m, *inj)
+		if err != nil {
 			b.Fatal(err)
 		}
+		m = fm
 	}
 	if !v.DPMR {
 		return m
@@ -324,6 +327,51 @@ func BenchmarkTab4_05_MDSDetectionLatencyDiversity(b *testing.B) {
 
 func BenchmarkTab4_06_MDSDetectionLatencyPolicies(b *testing.B) {
 	latencyTable(b, dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 90})
+}
+
+// ---------------------------------------------------------------------------
+// Campaign engine throughput
+
+// BenchmarkCampaign measures the two-stage campaign engine end to end: a
+// multi-site, multi-variant fault-injection campaign at increasing worker
+// counts. The serial/parallel sub-benchmark ratio is the engine's
+// speedup; every worker count produces an identical CampaignResult (the
+// determinism tests in internal/harness assert byte-identical reports).
+func BenchmarkCampaign(b *testing.B) {
+	campaign := harness.CampaignConfig{
+		Workloads: workloads.All()[:2], // art + bzip2
+		Variants: []harness.Variant{
+			harness.Stdapp(),
+			harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+			harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+		},
+		Kind:     faultinject.ImmediateFree,
+		MaxSites: 6,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("parallel%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh Runner per iteration so the module cache is
+				// cold: the benchmark covers both engine stages.
+				r := harness.NewRunner()
+				r.Runs = 1
+				r.Parallel = workers
+				cr, err := r.RunCampaign(campaign)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(r.CachedModules()), "modules-built")
+					var n int
+					for _, wname := range cr.Workloads {
+						n += cr.Cells[harness.Stdapp().Label()][wname].N
+					}
+					b.ReportMetric(float64(n), "stdapp-injections")
+				}
+			}
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,8 @@ func run() int {
 		quick    = flag.Bool("quick", false, "quick mode: fewer workloads, sites, runs")
 		runs     = flag.Int("runs", 0, "runs per experiment tuple (default 2; 1 in quick mode)")
 		maxSites = flag.Int("max-sites", 0, "cap injection sites per workload (0 = all)")
+		parallel = flag.Int("parallel", 1, "campaign worker goroutines (output is identical at any count)")
+		progress = flag.Bool("progress", false, "report per-trial campaign progress on stderr")
 	)
 	flag.Parse()
 
@@ -43,7 +45,15 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
-	opts := harness.Options{Quick: *quick, Runs: *runs, MaxSites: *maxSites}
+	opts := harness.Options{Quick: *quick, Runs: *runs, MaxSites: *maxSites, Parallel: *parallel}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials", *exp, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	var err error
 	if *exp == "all" {
 		err = harness.GenerateAll(os.Stdout, opts)

@@ -1,5 +1,7 @@
 // Command dpmr-run executes one workload under one configuration and
 // reports the outcome: exit status, output, cycles, and memory statistics.
+// With -campaign it instead runs the full sites × runs injection grid for
+// that workload/variant on the parallel campaign engine.
 //
 // Usage:
 //
@@ -7,6 +9,7 @@
 //	dpmr-run -workload mcf -dpmr -design mds             # MDS, defaults
 //	dpmr-run -workload art -dpmr -diversity rearrange-heap -policy "static 10%"
 //	dpmr-run -workload bzip2 -dpmr -inject immediate-free -site 0
+//	dpmr-run -workload mcf -dpmr -campaign -inject immediate-free -parallel 8
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"dpmr/internal/dsa"
 	"dpmr/internal/extlib"
 	"dpmr/internal/faultinject"
+	"dpmr/internal/harness"
 	"dpmr/internal/interp"
 	"dpmr/internal/workloads"
 )
@@ -39,6 +43,10 @@ func run() int {
 		useDSA    = flag.Bool("dsa", false, "use the Chapter 5 DSA-refined pipeline")
 		listSites = flag.Bool("sites", false, "list injectable allocation sites and exit")
 		showIR    = flag.Bool("dump-ir", false, "print the module IR instead of running")
+		campaign  = flag.Bool("campaign", false, "run the full sites × runs injection campaign for this workload/variant")
+		parallel  = flag.Int("parallel", 1, "campaign worker goroutines (with -campaign)")
+		runs      = flag.Int("runs", 2, "runs per injection site (with -campaign)")
+		progress  = flag.Bool("progress", false, "report campaign progress on stderr (with -campaign)")
 	)
 	flag.Parse()
 
@@ -46,7 +54,6 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	m := w.Build()
 
 	if *listSites {
 		for _, kind := range []faultinject.Kind{faultinject.HeapArrayResize, faultinject.ImmediateFree} {
@@ -57,25 +64,52 @@ func run() int {
 		return 0
 	}
 
+	var injectKind faultinject.Kind
 	if *inject != "" {
-		kind := faultinject.ImmediateFree
-		if *inject == "heap-array-resize" {
-			kind = faultinject.HeapArrayResize
-		} else if *inject != "immediate-free" {
+		switch *inject {
+		case "heap-array-resize":
+			injectKind = faultinject.HeapArrayResize
+		case "immediate-free":
+			injectKind = faultinject.ImmediateFree
+		default:
 			return fail(fmt.Errorf("unknown injection %q", *inject))
 		}
+	}
+
+	if *campaign {
+		// The campaign engine drives every site with per-run seeds; the
+		// single-run-only flags would be silently ignored, so refuse them.
+		if *useDSA {
+			return fail(fmt.Errorf("-campaign does not support the -dsa pipeline"))
+		}
+		var conflict error
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" || f.Name == "site" || f.Name == "dump-ir" {
+				conflict = fmt.Errorf("-%s only applies to single runs, not -campaign", f.Name)
+			}
+		})
+		if conflict != nil {
+			return fail(conflict)
+		}
+		return runCampaign(w, *useDPMR, *design, *diversity, *policy, injectKind, *parallel, *runs, *progress)
+	}
+
+	m := w.Build()
+	if *inject != "" {
 		var found bool
-		for _, s := range faultinject.Enumerate(m, kind) {
+		for _, s := range faultinject.Enumerate(m, injectKind) {
 			if s.ID == *site {
-				if err := faultinject.Apply(m, s); err != nil {
+				fm, err := faultinject.Apply(m, s)
+				if err != nil {
 					return fail(err)
 				}
+				m = fm
 				found = true
 				break
 			}
 		}
 		if !found {
-			return fail(fmt.Errorf("no injectable %s site %d (try dpmr-run -workload %s -sites)", kind, *site, *workload))
+			return fail(fmt.Errorf("no injectable %s site %d (try dpmr-run -workload %s -sites)", injectKind, *site, *workload))
 		}
 	}
 
@@ -128,6 +162,61 @@ func run() int {
 	if res.Kind != interp.ExitNormal {
 		return 1
 	}
+	return 0
+}
+
+// runCampaign executes the sites × runs injection grid for one workload
+// and one variant on the parallel campaign engine and prints the
+// coverage summary.
+func runCampaign(w workloads.Workload, useDPMR bool, design, diversity, policy string,
+	kind faultinject.Kind, parallel, runs int, progress bool) int {
+	if kind == 0 {
+		return fail(fmt.Errorf("-campaign requires -inject heap-array-resize or immediate-free"))
+	}
+	variant := harness.Stdapp()
+	if useDPMR {
+		d := dpmr.SDS
+		if design == "mds" {
+			d = dpmr.MDS
+		}
+		div, err := dpmr.DiversityByName(diversity)
+		if err != nil {
+			return fail(err)
+		}
+		pol, err := dpmr.PolicyByName(policy)
+		if err != nil {
+			return fail(err)
+		}
+		variant = harness.NewVariant(d, div, pol)
+	}
+	r := harness.NewRunner()
+	r.Runs = runs
+	r.Parallel = parallel
+	if progress {
+		r.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	cr, err := r.RunCampaign(harness.CampaignConfig{
+		Workloads: []workloads.Workload{w},
+		Variants:  []harness.Variant{variant},
+		Kind:      kind,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	c := cr.Cell(variant, w.Name)
+	fmt.Printf("campaign: %s %s variant %s, %d workers\n", w.Name, kind, variant.Label(), parallel)
+	fmt.Printf("injections: %d successful\n", c.N)
+	fmt.Printf("coverage:   CO %.2f + NatDet %.2f + DpmrDet %.2f = %.2f\n",
+		c.CO, c.NatDet, c.DpmrDet, c.Coverage())
+	if c.MeanT2DMS > 0 {
+		fmt.Printf("latency:    mean time to detection %.3f ms\n", c.MeanT2DMS)
+	}
+	fmt.Printf("modules:    %d distinct builds cached\n", r.CachedModules())
 	return 0
 }
 

@@ -1,0 +1,3 @@
+module dpmr
+
+go 1.21

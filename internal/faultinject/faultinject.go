@@ -107,11 +107,21 @@ func staticCount(fn *ir.Func, reg *ir.Reg) (uint64, bool) {
 	return val, true
 }
 
-// Apply injects the fault at site into m, in place. The module must be
-// freshly built (workload builders are deterministic, so the harness
-// rebuilds the module per experiment, mirroring the paper's per-injection
-// variant builds, Figure 3.5).
-func Apply(m *ir.Module, s Site) error {
+// Apply injects the fault at site s and returns the faulty module. The
+// input module is never modified: Apply deep-clones m and rewrites the
+// clone, so one built module (possibly frozen and shared across
+// concurrent VMs) can back many injections. Allocation-site IDs are
+// preserved by the clone, which is what keeps Site values portable
+// between the enumeration module and the injected module.
+func Apply(m *ir.Module, s Site) (*ir.Module, error) {
+	out := m.Clone()
+	if err := applyInPlace(out, s); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func applyInPlace(m *ir.Module, s Site) error {
 	fn := m.Func(s.Fn)
 	if fn == nil {
 		return fmt.Errorf("faultinject: no function %s", s.Fn)

@@ -69,13 +69,14 @@ func TestStaticFilterDropsBenignResizes(t *testing.T) {
 func TestApplyResizeFaultManifests(t *testing.T) {
 	m := buildProgram()
 	sites := Enumerate(m, HeapArrayResize)
-	if err := Apply(m, sites[0]); err != nil {
+	fm, err := Apply(m, sites[0])
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ir.Verify(m); err != nil {
+	if err := ir.Verify(fm); err != nil {
 		t.Fatalf("injected module fails verify: %v", err)
 	}
-	res := interp.Run(m, interp.Config{})
+	res := interp.Run(fm, interp.Config{})
 	if !res.FaultSeen {
 		t.Fatal("fault point never executed")
 	}
@@ -94,13 +95,14 @@ func TestApplyResizeFaultManifests(t *testing.T) {
 func TestApplyImmediateFreeManifests(t *testing.T) {
 	m := buildProgram()
 	site := Site{Kind: ImmediateFree, ID: 0, Fn: "main"}
-	if err := Apply(m, site); err != nil {
+	fm, err := Apply(m, site)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ir.Verify(m); err != nil {
+	if err := ir.Verify(fm); err != nil {
 		t.Fatalf("injected module fails verify: %v", err)
 	}
-	res := interp.Run(m, interp.Config{})
+	res := interp.Run(fm, interp.Config{})
 	if !res.FaultSeen {
 		t.Fatal("fault point never executed")
 	}
@@ -113,19 +115,42 @@ func TestApplyImmediateFreeManifests(t *testing.T) {
 
 func TestApplyUnknownSiteErrors(t *testing.T) {
 	m := buildProgram()
-	if err := Apply(m, Site{Kind: ImmediateFree, ID: 99, Fn: "main"}); err == nil {
+	if _, err := Apply(m, Site{Kind: ImmediateFree, ID: 99, Fn: "main"}); err == nil {
 		t.Error("unknown site must error")
 	}
-	if err := Apply(m, Site{Kind: ImmediateFree, ID: 0, Fn: "nope"}); err == nil {
+	if _, err := Apply(m, Site{Kind: ImmediateFree, ID: 0, Fn: "nope"}); err == nil {
 		t.Error("unknown function must error")
 	}
 }
 
 func TestFaultCycleRecorded(t *testing.T) {
 	m := buildProgram()
-	_ = Apply(m, Site{Kind: ImmediateFree, ID: 1, Fn: "main"})
-	res := interp.Run(m, interp.Config{})
+	fm, err := Apply(m, Site{Kind: ImmediateFree, ID: 1, Fn: "main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := interp.Run(fm, interp.Config{})
 	if !res.FaultSeen || res.FaultCycle == 0 {
 		t.Error("fault cycle must be recorded for time-to-detection")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	m := buildProgram()
+	before := m.String()
+	m.Freeze() // Apply must work on frozen (cached, shared) modules
+	for _, kind := range []Kind{HeapArrayResize, ImmediateFree} {
+		for _, s := range Enumerate(m, kind) {
+			fm, err := Apply(m, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fm.String() == before {
+				t.Errorf("%s: injected module is identical to the input", s)
+			}
+		}
+	}
+	if got := m.String(); got != before {
+		t.Errorf("Apply mutated its input module:\n--- before ---\n%s\n--- after ---\n%s", before, got)
 	}
 }

@@ -1,0 +1,138 @@
+// Campaign engine internals: the stage-1 module cache and the stage-2
+// worker pool. The cache guarantees each distinct (workload, site,
+// variant) module is built — parsed, fault-injected, DPMR-transformed,
+// optimized — exactly once per Runner, no matter how many of the
+// sites × variants × runs trials execute it or from how many goroutines.
+// The pool fans trial indices out across Parallel workers; callers
+// aggregate the indexed results in canonical order afterwards, which is
+// what keeps parallel campaigns byte-identical to serial ones.
+
+package harness
+
+import (
+	"sync"
+
+	"dpmr/internal/faultinject"
+	"dpmr/internal/ir"
+	"dpmr/internal/workloads"
+)
+
+// moduleKey identifies one distinct executable module of a campaign.
+type moduleKey struct {
+	workload string
+	site     string // faultinject.Site string, "" = no injection
+	variant  string // Variant label
+}
+
+// moduleEntry is one cache slot. The sync.Once gives per-key build
+// deduplication without holding the cache lock during the (expensive)
+// build.
+type moduleEntry struct {
+	once sync.Once
+	m    *ir.Module
+	err  error
+}
+
+type moduleCache struct {
+	mu      sync.Mutex
+	entries map[moduleKey]*moduleEntry
+}
+
+func newModuleCache() *moduleCache {
+	return &moduleCache{entries: make(map[moduleKey]*moduleEntry)}
+}
+
+// get returns the module for key, invoking build at most once per key
+// across all goroutines. The module returned by build must already be
+// frozen; every caller shares it read-only.
+func (c *moduleCache) get(key moduleKey, build func() (*ir.Module, error)) (*ir.Module, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &moduleEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.m, e.err = build() })
+	return e.m, e.err
+}
+
+// size reports how many distinct modules have been built (for tests and
+// progress diagnostics).
+func (c *moduleCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// trial is one executable experiment (W, C, D, I, RN) of a campaign grid.
+type trial struct {
+	w   workloads.Workload
+	v   Variant
+	inj *faultinject.Site
+	rn  int
+}
+
+// runTrials executes the trial grid on the worker pool and returns the
+// per-trial outcomes and errors, indexed like trials.
+func (r *Runner) runTrials(trials []trial) ([]Outcome, []error) {
+	outcomes := make([]Outcome, len(trials))
+	errs := make([]error, len(trials))
+	r.fanOut(len(trials), func(i int) {
+		t := trials[i]
+		outcomes[i], errs[i] = r.RunOnce(t.w, t.v, t.inj, t.rn)
+		// Aggregation reads only the classification fields; dropping the
+		// raw result here releases each trial's output buffer instead of
+		// pinning all of them until the campaign ends.
+		outcomes[i].Res = nil
+	})
+	return outcomes, errs
+}
+
+// fanOut runs fn(0..n-1) across the Runner's worker pool. Each index is
+// processed exactly once; fn must only write to index-i slots of shared
+// slices. Progress (if set) is reported after each completed index.
+func (r *Runner) fanOut(n int, fn func(i int)) {
+	done := 0
+	report := func() {
+		if r.Progress == nil {
+			return
+		}
+		r.progressMu.Lock()
+		done++
+		r.Progress(done, n)
+		r.progressMu.Unlock()
+	}
+	workers := r.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+			report()
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+				report()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// CachedModules reports how many distinct modules the Runner's build
+// cache currently holds.
+func (r *Runner) CachedModules() int { return r.cache.size() }

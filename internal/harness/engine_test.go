@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/faultinject"
+	"dpmr/internal/workloads"
+)
+
+// smallCampaign is a multi-workload, multi-variant grid small enough for
+// test time but wide enough to exercise stdapp reuse, DPMR variants, and
+// the conditional aggregate.
+func smallCampaign() CampaignConfig {
+	return CampaignConfig{
+		Workloads: workloads.All()[:2],
+		Variants: []Variant{
+			Stdapp(),
+			NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+			NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+		},
+		Kind:     faultinject.ImmediateFree,
+		MaxSites: 3,
+	}
+}
+
+func campaignAt(t *testing.T, parallel int) (*CampaignResult, *Runner) {
+	t.Helper()
+	r := NewRunner()
+	r.Runs = 2
+	r.Parallel = parallel
+	cr, err := r.RunCampaign(smallCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cr, r
+}
+
+// TestCampaignDeterministicAcrossWorkerCounts is the engine's core
+// contract: same config + seed ⇒ identical CampaignResult at parallel=1
+// and parallel=8, down to the rendered report bytes.
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial, _ := campaignAt(t, 1)
+	parallel, _ := campaignAt(t, 8)
+	if !reflect.DeepEqual(serial.Cells, parallel.Cells) {
+		t.Errorf("coverage cells differ between parallel=1 and parallel=8:\n%+v\nvs\n%+v",
+			serial.Cells, parallel.Cells)
+	}
+	if !reflect.DeepEqual(serial.Conditional, parallel.Conditional) {
+		t.Errorf("conditional cells differ between parallel=1 and parallel=8")
+	}
+	var bufS, bufP bytes.Buffer
+	renderCoverage(&bufS, serial, labelDiversity)
+	renderCoverage(&bufP, parallel, labelDiversity)
+	if !bytes.Equal(bufS.Bytes(), bufP.Bytes()) {
+		t.Errorf("rendered reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			bufS.String(), bufP.String())
+	}
+	var condS, condP bytes.Buffer
+	renderConditional(&condS, serial, labelDiversity)
+	renderConditional(&condP, parallel, labelDiversity)
+	if !bytes.Equal(condS.Bytes(), condP.Bytes()) {
+		t.Errorf("rendered conditional reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			condS.String(), condP.String())
+	}
+}
+
+// TestGeneratedReportByteIdenticalAcrossWorkerCounts drives the full
+// report path (the bytes dpmr-exp writes) at both worker counts.
+func TestGeneratedReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	render := func(parallel int) []byte {
+		var buf bytes.Buffer
+		err := Generate("fig3.7", &buf, Options{Quick: true, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("fig3.7 output differs by worker count:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestOverheadDeterministicAcrossWorkerCounts covers the RunOverhead
+// path of the engine.
+func TestOverheadDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(parallel int) *OverheadResult {
+		r := NewRunner()
+		r.Parallel = parallel
+		or, err := r.RunOverhead(workloads.All()[:2], []Variant{
+			Stdapp(),
+			NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+			NewVariant(dpmr.SDS, dpmr.PadMalloc{Pad: 32}, dpmr.AllLoads{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return or
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("overhead results differ between parallel=1 and parallel=4:\n%+v\nvs\n%+v",
+			serial, parallel)
+	}
+}
+
+// TestCampaignConcurrent exercises the engine under many workers (and,
+// in CI, under the race detector): shared frozen modules, the build
+// cache, golden memoization, and progress callbacks all run from 8
+// goroutines at once.
+func TestCampaignConcurrent(t *testing.T) {
+	r := NewRunner()
+	r.Runs = 1
+	r.Parallel = 8
+	var mu sync.Mutex
+	var calls, lastTotal int
+	maxDone := 0
+	r.Progress = func(done, total int) {
+		mu.Lock()
+		calls++
+		lastTotal = total
+		if done > maxDone {
+			maxDone = done
+		}
+		mu.Unlock()
+	}
+	cr, err := r.RunCampaign(smallCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Workloads) != 2 {
+		t.Fatalf("workloads = %v", cr.Workloads)
+	}
+	if calls == 0 || maxDone != lastTotal {
+		t.Errorf("progress reporting incomplete: %d calls, max done %d, total %d", calls, maxDone, lastTotal)
+	}
+}
+
+// TestModuleCacheBuildsEachModuleOnce asserts stage 1 of the engine:
+// the trial grid executes sites × variants × runs VMs but only
+// sites × variants (+ golden-equivalent stdapp) distinct modules are
+// ever built.
+func TestModuleCacheBuildsEachModuleOnce(t *testing.T) {
+	cfg := smallCampaign()
+	cfg.Workloads = cfg.Workloads[:1]
+	w := cfg.Workloads[0]
+	sites := len(sampleSites(faultinject.Enumerate(w.Build(), cfg.Kind), cfg.MaxSites))
+	r := NewRunner()
+	r.Runs = 3 // more runs than the serial engine needs modules for
+	r.Parallel = 4
+	if _, err := r.RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// One frozen base per workload, plus stdapp + 2 DPMR variants per
+	// site; non-injected variant modules are not built by the campaign
+	// (stdapp reuse covers non-DPMR variants).
+	want := 1 + sites*3
+	if got := r.CachedModules(); got != want {
+		t.Errorf("cache holds %d modules, want %d (base + sites=%d × variants=3)", got, want, sites)
+	}
+}
+
+// TestRunOnceSharedModuleConcurrently hammers one cached frozen module
+// from many goroutines; under -race this is the direct audit that a
+// read-only module is safe under concurrent VMs.
+func TestRunOnceSharedModuleConcurrently(t *testing.T) {
+	r := NewRunner()
+	w, err := workloads.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{})
+	sites := faultinject.Enumerate(w.Build(), faultinject.ImmediateFree)
+	if len(sites) == 0 {
+		t.Fatal("no sites")
+	}
+	site := sites[0]
+	var wg sync.WaitGroup
+	outs := make([]Outcome, 8)
+	for i := range outs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o, err := r.RunOnce(w, v, &site, i%2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[i] = o
+		}()
+	}
+	wg.Wait()
+	// Same rn ⇒ same outcome, even though all eight runs shared one module.
+	for i := 2; i < len(outs); i++ {
+		ref := outs[i%2]
+		if outs[i].SF != ref.SF || outs[i].CO != ref.CO ||
+			outs[i].DpmrDet != ref.DpmrDet || outs[i].NatDet != ref.NatDet ||
+			outs[i].T2DCycles != ref.T2DCycles {
+			t.Errorf("outcome %d diverged from its seed twin: %+v vs %+v", i, outs[i], ref)
+		}
+	}
+	// The workload's frozen base plus the one injected DPMR module.
+	if got := r.CachedModules(); got != 2 {
+		t.Errorf("cache holds %d modules, want 2 (base + variant)", got)
+	}
+}

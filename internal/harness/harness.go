@@ -9,6 +9,7 @@ package harness
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"dpmr/internal/dpmr"
 	"dpmr/internal/extlib"
@@ -95,6 +96,15 @@ func PolicyVariants(design dpmr.Design) []Variant {
 
 // Runner executes experiments. The zero value is not usable; construct
 // with NewRunner.
+//
+// A Runner is a two-stage campaign engine. Stage 1 (build) produces each
+// distinct (workload, site, variant) module exactly once — built,
+// fault-injected, DPMR-transformed, optimized, and frozen — in a cache
+// shared by every trial that executes that module. Stage 2 (execute)
+// fans the trial grid out across Parallel worker goroutines; each trial
+// runs its own VM over the shared read-only module (per-VM RNG, output,
+// and address space), and outcomes are aggregated in canonical trial
+// order so results are byte-identical at any worker count.
 type Runner struct {
 	// Runs per (W, C, D, I) tuple; each run RN seeds the VM differently.
 	Runs int
@@ -108,12 +118,26 @@ type Runner struct {
 	// compilation paths). Off by default so recorded numbers stay stable;
 	// the optimizer ablation bench flips it.
 	Optimize bool
+	// Parallel is the number of worker goroutines campaign drivers fan
+	// trials out across. Values <= 1 run serially. Any value produces
+	// identical results; Parallel only changes wall-clock time.
+	Parallel int
+	// Progress, when non-nil, is invoked after each completed trial with
+	// the number of finished trials and the campaign total. Calls are
+	// serialized (never concurrent) but arrive in completion order, not
+	// trial order.
+	Progress func(done, total int)
 
-	golden map[string]*goldenInfo
+	mu         sync.Mutex // guards golden
+	progressMu sync.Mutex // serializes Progress callbacks
+	golden     map[string]*goldenInfo
+	cache      *moduleCache
 }
 
 type goldenInfo struct {
-	res *interp.Result
+	once sync.Once
+	res  *interp.Result
+	err  error
 }
 
 // NewRunner returns a Runner with the paper-matching defaults.
@@ -127,54 +151,98 @@ func NewRunner() *Runner {
 			GlobalBytes: 64 * 1024,
 		},
 		golden: make(map[string]*goldenInfo),
+		cache:  newModuleCache(),
 	}
 }
 
-// Golden runs (and caches) the fault-free standard build of w.
+// Golden runs (and caches) the fault-free standard build of w. Safe for
+// concurrent use; the build-and-run happens exactly once per workload.
 func (r *Runner) Golden(w workloads.Workload) (*interp.Result, error) {
-	if g, ok := r.golden[w.Name]; ok {
-		return g.res, nil
+	r.mu.Lock()
+	g, ok := r.golden[w.Name]
+	if !ok {
+		g = &goldenInfo{}
+		r.golden[w.Name] = g
 	}
-	m := w.Build()
-	if r.Optimize {
-		opt.Run(m)
+	r.mu.Unlock()
+	g.once.Do(func() {
+		m, err := r.base(w)
+		if err != nil {
+			g.err = err
+			return
+		}
+		if r.Optimize {
+			m = m.Clone()
+			opt.Run(m)
+		}
+		res := interp.Run(m, interp.Config{Externs: extlib.Base(), Mem: r.MemConfig})
+		if res.Kind != interp.ExitNormal || res.Code != 0 {
+			g.err = fmt.Errorf("harness: golden %s failed: %v code %d (%s)", w.Name, res.Kind, res.Code, res.Reason)
+			return
+		}
+		g.res = res
+	})
+	return g.res, g.err
+}
+
+// module returns the cached executable module for (workload, variant,
+// injection), building it on first use (stage 1 of the engine). The
+// returned module is frozen and may back concurrent VMs.
+func (r *Runner) module(w workloads.Workload, v Variant, inj *faultinject.Site) (*ir.Module, error) {
+	key := moduleKey{workload: w.Name, variant: v.Label()}
+	if inj != nil {
+		key.site = inj.String()
 	}
-	res := interp.Run(m, interp.Config{Externs: extlib.Base(), Mem: r.MemConfig})
-	if res.Kind != interp.ExitNormal || res.Code != 0 {
-		return nil, fmt.Errorf("harness: golden %s failed: %v code %d (%s)", w.Name, res.Kind, res.Code, res.Reason)
-	}
-	r.golden[w.Name] = &goldenInfo{res: res}
-	return res, nil
+	return r.cache.get(key, func() (*ir.Module, error) { return r.buildVariant(w, v, inj) })
+}
+
+// base returns the cached untransformed, uninjected module of w, frozen.
+// It seeds every variant build (faultinject.Apply clones it, Transform
+// reads it) and site enumeration, so each workload is built from source
+// exactly once per Runner.
+func (r *Runner) base(w workloads.Workload) (*ir.Module, error) {
+	return r.cache.get(moduleKey{workload: w.Name, variant: "base"}, func() (*ir.Module, error) {
+		m := w.Build()
+		m.Freeze()
+		return m, nil
+	})
 }
 
 // buildVariant produces the executable module for (workload, variant,
-// injection).
+// injection): inject (a clone of base), transform, optimize, freeze.
 func (r *Runner) buildVariant(w workloads.Workload, v Variant, inj *faultinject.Site) (*ir.Module, error) {
-	m := w.Build()
-	if inj != nil {
-		if err := faultinject.Apply(m, *inj); err != nil {
-			return nil, err
-		}
-	}
-	if !v.DPMR {
-		if r.Optimize {
-			opt.Run(m)
-		}
-		return m, nil
-	}
-	xm, err := dpmr.Transform(m, dpmr.Config{
-		Design:    v.Design,
-		Diversity: v.Diversity,
-		Policy:    v.Policy,
-		Seed:      transformSeed,
-	})
+	m, err := r.base(w)
 	if err != nil {
 		return nil, err
 	}
-	if r.Optimize {
-		opt.Run(xm)
+	if inj != nil {
+		m, err = faultinject.Apply(m, *inj)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return xm, nil
+	if v.DPMR {
+		xm, err := dpmr.Transform(m, dpmr.Config{
+			Design:    v.Design,
+			Diversity: v.Diversity,
+			Policy:    v.Policy,
+			Seed:      transformSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m = xm
+	}
+	if r.Optimize && m.Frozen() {
+		// Uninjected, untransformed variant: the optimizer needs its own
+		// mutable copy of the shared base.
+		m = m.Clone()
+	}
+	if r.Optimize {
+		opt.Run(m)
+	}
+	m.Freeze()
+	return m, nil
 }
 
 // Outcome classifies one experiment run per §3.6.
@@ -201,13 +269,15 @@ func (o Outcome) Covered() bool { return o.CO || o.NatDet || o.DpmrDet }
 // Detected reports any detection.
 func (o Outcome) Detected() bool { return o.NatDet || o.DpmrDet }
 
-// RunOnce executes one experiment (W, C, D, I, RN).
+// RunOnce executes one experiment (W, C, D, I, RN). Safe for concurrent
+// use: the module comes from the shared build cache and every run gets
+// its own VM.
 func (r *Runner) RunOnce(w workloads.Workload, v Variant, inj *faultinject.Site, rn int) (Outcome, error) {
 	golden, err := r.Golden(w)
 	if err != nil {
 		return Outcome{}, err
 	}
-	m, err := r.buildVariant(w, v, inj)
+	m, err := r.module(w, v, inj)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -329,6 +399,9 @@ func (cr *CampaignResult) Cell(variant Variant, workload string) *CoverageCell {
 
 // RunCampaign executes the full injection campaign: for every workload,
 // every enumerated site of the fault kind, every variant, Runs runs.
+// Trials execute on the Runner's worker pool (Parallel goroutines), and
+// outcomes are aggregated in canonical trial order, so the result — and
+// any report rendered from it — is byte-identical at every worker count.
 func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	cr := &CampaignResult{
 		Kind:        cfg.Kind,
@@ -340,10 +413,26 @@ func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		cr.Cells[v.Label()] = make(map[string]*CoverageCell)
 		cr.Conditional[v.Label()] = &CoverageCell{}
 	}
-	for _, w := range cfg.Workloads {
+
+	// Stage 2 planning: lay the (workload, site, variant, run) grid out
+	// flat in canonical order. Each site gets Runs stdapp trials (they
+	// feed both the stdapp rows and the StdNotAllDet condition) plus
+	// Runs trials per DPMR variant; non-DPMR variants reuse the stdapp
+	// outcomes exactly as the serial engine always did.
+	type siteJob struct {
+		site faultinject.Site
+		std  int   // index of the first stdapp trial
+		vars []int // per variant: first trial index, or -1 (reuses stdapp)
+	}
+	var trials []trial
+	plan := make([][]siteJob, len(cfg.Workloads))
+	for wi, w := range cfg.Workloads {
 		cr.Workloads = append(cr.Workloads, w.Name)
-		sites := faultinject.Enumerate(w.Build(), cfg.Kind)
-		sites = sampleSites(sites, cfg.MaxSites)
+		bm, err := r.base(w)
+		if err != nil {
+			return nil, err
+		}
+		sites := sampleSites(faultinject.Enumerate(bm, cfg.Kind), cfg.MaxSites)
 		for _, v := range cfg.Variants {
 			if cr.Cells[v.Label()][w.Name] == nil {
 				cr.Cells[v.Label()][w.Name] = &CoverageCell{}
@@ -351,35 +440,52 @@ func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		}
 		for _, site := range sites {
 			site := site
+			job := siteJob{site: site, std: len(trials), vars: make([]int, len(cfg.Variants))}
+			for rn := 0; rn < r.Runs; rn++ {
+				trials = append(trials, trial{w: w, v: Stdapp(), inj: &site, rn: rn})
+			}
+			for vi, v := range cfg.Variants {
+				job.vars[vi] = -1
+				if v.DPMR {
+					job.vars[vi] = len(trials)
+					for rn := 0; rn < r.Runs; rn++ {
+						trials = append(trials, trial{w: w, v: v, inj: &site, rn: rn})
+					}
+				}
+			}
+			plan[wi] = append(plan[wi], job)
+		}
+	}
+
+	outcomes, errs := r.runTrials(trials)
+	for i, err := range errs {
+		if err != nil {
+			t := trials[i]
+			return nil, fmt.Errorf("%s %s %s: %w", t.v.Label(), t.w.Name, *t.inj, err)
+		}
+	}
+
+	// Canonical-order aggregation: identical iteration order (and thus
+	// identical floating-point accumulation) to the serial engine.
+	for wi, w := range cfg.Workloads {
+		for _, job := range plan[wi] {
+			stdOutcomes := outcomes[job.std : job.std+r.Runs]
 			// Per-injection StdNotAllDet: at least one stdapp run with
 			// incorrect output and no natural detection (Table 3.2).
 			stdNotAllDet := false
-			stdOutcomes := make([]Outcome, 0, r.Runs)
-			for rn := 0; rn < r.Runs; rn++ {
-				o, err := r.RunOnce(w, Stdapp(), &site, rn)
-				if err != nil {
-					return nil, fmt.Errorf("stdapp %s %s: %w", w.Name, site, err)
-				}
-				stdOutcomes = append(stdOutcomes, o)
+			for _, o := range stdOutcomes {
 				if o.SF && !o.CO && !o.NatDet {
 					stdNotAllDet = true
 				}
 			}
-			for _, v := range cfg.Variants {
-				outcomes := stdOutcomes
-				if v.DPMR {
-					outcomes = outcomes[:0:0]
-					for rn := 0; rn < r.Runs; rn++ {
-						o, err := r.RunOnce(w, v, &site, rn)
-						if err != nil {
-							return nil, fmt.Errorf("%s %s %s: %w", v.Label(), w.Name, site, err)
-						}
-						outcomes = append(outcomes, o)
-					}
+			for vi, v := range cfg.Variants {
+				outs := stdOutcomes
+				if job.vars[vi] >= 0 {
+					outs = outcomes[job.vars[vi] : job.vars[vi]+r.Runs]
 				}
 				cell := cr.Cells[v.Label()][w.Name]
 				cond := cr.Conditional[v.Label()]
-				for _, o := range outcomes {
+				for _, o := range outs {
 					cell.add(o)
 					if stdNotAllDet {
 						cond.add(o)
@@ -424,7 +530,9 @@ type OverheadResult struct {
 	Cycles map[string]map[string]uint64
 }
 
-// RunOverhead measures execution-time overhead for each variant.
+// RunOverhead measures execution-time overhead for each variant. Like
+// RunCampaign, the (workload, variant) grid executes on the worker pool
+// and results are recorded in canonical grid order.
 func (r *Runner) RunOverhead(ws []workloads.Workload, variants []Variant) (*OverheadResult, error) {
 	or := &OverheadResult{
 		Variants: variants,
@@ -435,32 +543,65 @@ func (r *Runner) RunOverhead(ws []workloads.Workload, variants []Variant) (*Over
 		or.Ratio[v.Label()] = make(map[string]float64)
 		or.Cycles[v.Label()] = make(map[string]uint64)
 	}
-	for _, w := range ws {
+	// Goldens are prerequisites of every ratio; compute them up front in
+	// workload order so a golden failure surfaces exactly as it would
+	// serially.
+	goldens := make([]*interp.Result, len(ws))
+	for wi, w := range ws {
 		or.Workloads = append(or.Workloads, w.Name)
-		golden, err := r.Golden(w)
+		g, err := r.Golden(w)
 		if err != nil {
 			return nil, err
 		}
+		goldens[wi] = g
+	}
+	type ovJob struct {
+		w workloads.Workload
+		v Variant
+	}
+	var jobs []ovJob
+	for _, w := range ws {
+		for _, v := range variants {
+			if v.DPMR {
+				jobs = append(jobs, ovJob{w: w, v: v})
+			}
+		}
+	}
+	cycles := make([]uint64, len(jobs))
+	errs := make([]error, len(jobs))
+	r.fanOut(len(jobs), func(i int) {
+		j := jobs[i]
+		m, err := r.module(j.w, j.v, nil)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res := interp.Run(m, interp.Config{
+			Externs: extlib.Wrapped(j.v.Design),
+			Mem:     r.MemConfig,
+			Seed:    1,
+		})
+		if res.Kind != interp.ExitNormal {
+			errs[i] = fmt.Errorf("%v (%s)", res.Kind, res.Reason)
+			return
+		}
+		cycles[i] = res.Cycles
+	})
+	ji := 0
+	for wi, w := range ws {
+		golden := goldens[wi]
 		for _, v := range variants {
 			if !v.DPMR {
 				or.Ratio[v.Label()][w.Name] = 1.0
 				or.Cycles[v.Label()][w.Name] = golden.Cycles
 				continue
 			}
-			m, err := r.buildVariant(w, v, nil)
-			if err != nil {
+			if err := errs[ji]; err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", w.Name, v.Label(), err)
 			}
-			res := interp.Run(m, interp.Config{
-				Externs: extlib.Wrapped(v.Design),
-				Mem:     r.MemConfig,
-				Seed:    1,
-			})
-			if res.Kind != interp.ExitNormal {
-				return nil, fmt.Errorf("%s/%s: %v (%s)", w.Name, v.Label(), res.Kind, res.Reason)
-			}
-			or.Ratio[v.Label()][w.Name] = float64(res.Cycles) / float64(golden.Cycles)
-			or.Cycles[v.Label()][w.Name] = res.Cycles
+			or.Ratio[v.Label()][w.Name] = float64(cycles[ji]) / float64(golden.Cycles)
+			or.Cycles[v.Label()][w.Name] = cycles[ji]
+			ji++
 		}
 	}
 	return or, nil

@@ -19,6 +19,11 @@ type Options struct {
 	MaxSites int
 	// Quick restricts to two workloads and few sites for smoke runs.
 	Quick bool
+	// Parallel is the campaign worker count (<= 1 = serial). Output is
+	// byte-identical at any worker count.
+	Parallel int
+	// Progress, when non-nil, receives per-trial completion callbacks.
+	Progress func(done, total int)
 }
 
 func (o Options) runner() *Runner {
@@ -29,6 +34,8 @@ func (o Options) runner() *Runner {
 	if o.Quick && o.Runs == 0 {
 		r.Runs = 1
 	}
+	r.Parallel = o.Parallel
+	r.Progress = o.Progress
 	return r
 }
 

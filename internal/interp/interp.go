@@ -4,6 +4,20 @@
 // behaviours the paper's evaluation measures: normal exits, crashes
 // (traps), DPMR detections, timeouts, program output, a deterministic
 // cycle clock, and the time of first execution of injected fault code.
+//
+// # Concurrency
+//
+// A VM never mutates its module: instructions, blocks, registers, types,
+// and global descriptors are only read during execution. All mutable run
+// state — the address space, register files, PRNG, output stream, and the
+// cycle/step clocks — lives in the VM (or on its Go stack). One frozen
+// ir.Module may therefore back any number of VMs running concurrently,
+// which is what the harness's parallel campaign engine relies on: each
+// distinct (workload, site, variant) module is built once and shared
+// read-only across all worker goroutines. Extern maps passed in Config
+// must not be shared between concurrently running VMs unless their
+// implementations are themselves stateless or synchronized (the extlib
+// constructors return a fresh map per call).
 package interp
 
 import (
@@ -419,7 +433,7 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 			}
 			regs[i.Dst.ID] = regs[i.Ptr.ID] + uint64(off)
 		case *ir.IndexAddr:
-			stride := indexStride(i.Ptr.Elem())
+			stride := Stride(i.Ptr.Elem())
 			idx := int64(regs[i.Index.ID])
 			regs[i.Dst.ID] = uint64(int64(regs[i.Ptr.ID]) + idx*int64(stride))
 		case *ir.Bitcast:
@@ -521,7 +535,7 @@ func (vm *VM) alloc(i *ir.Alloc, regs []uint64) (uint64, error) {
 			return 0, &mem.Trap{Reason: "negative allocation count"}
 		}
 	}
-	size := uint64(count) * uint64(paddedSize(i.Elem))
+	size := uint64(count) * uint64(PaddedSize(i.Elem))
 	switch i.Kind {
 	case ir.AllocHeap:
 		vm.cycles += costMallocOp
@@ -743,9 +757,10 @@ func fieldOffset(elem ir.Type, field int) (int, error) {
 	}
 }
 
-// paddedSize returns sizeof(t) rounded up to t's alignment, i.e. the
-// per-element footprint in arrays and array allocations.
-func paddedSize(t ir.Type) int {
+// PaddedSize returns sizeof(t) rounded up to t's alignment, i.e. the
+// per-element footprint in arrays and array allocations. Exported so
+// transforms and the fault injector share the VM's layout math.
+func PaddedSize(t ir.Type) int {
 	size := t.Size()
 	a := t.Align()
 	if a > 1 {
@@ -757,19 +772,12 @@ func paddedSize(t ir.Type) int {
 	return size
 }
 
-// indexStride returns the stride IndexAddr advances by: indexing a pointer
+// Stride returns the stride IndexAddr advances by: indexing a pointer
 // to an array steps over the array's element type; indexing any other
 // pointer steps over the pointee (C-style pointer arithmetic).
-func indexStride(elem ir.Type) int {
+func Stride(elem ir.Type) int {
 	if at, ok := elem.(*ir.ArrayType); ok {
 		elem = at.Elem
 	}
-	return paddedSize(elem)
+	return PaddedSize(elem)
 }
-
-// Stride exposes indexStride for transforms that need consistent layout
-// math.
-func Stride(elem ir.Type) int { return indexStride(elem) }
-
-// PaddedSize exposes paddedSize for transforms and the fault injector.
-func PaddedSize(t ir.Type) int { return paddedSize(t) }

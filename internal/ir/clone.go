@@ -1,0 +1,188 @@
+package ir
+
+import "fmt"
+
+// Freeze marks the module immutable. A frozen module backs shared,
+// concurrent execution: the campaign engine builds each distinct
+// (workload, site, variant) module exactly once, freezes it, and hands
+// the same *Module to many VMs at once. Module-level mutators (AddFunc,
+// AddExtern, AddGlobal, RenameFunc) panic on a frozen module; passes
+// that rewrite function bodies (faultinject, opt) must operate on a
+// Clone instead. Types are immutable by construction, so sharing them
+// across clones is safe.
+func (m *Module) Freeze() { m.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (m *Module) Frozen() bool { return m.frozen }
+
+func (m *Module) mutable(op string) {
+	if m.frozen {
+		panic("ir: " + op + " on frozen module " + m.Name)
+	}
+}
+
+// Clone returns a deep copy of the module: globals, functions, blocks,
+// instructions, and registers are all fresh, so mutating the clone never
+// perturbs the original. The clone is mutable even when m is frozen.
+// Types are shared (they are immutable), and register IDs, block indices,
+// and allocation-site IDs are preserved, so site enumeration and the
+// textual form of the clone are identical to the original's.
+func (m *Module) Clone() *Module {
+	out := NewModule(m.Name)
+	for _, g := range m.Globals {
+		ng := &Global{Name: g.Name, Elem: g.Elem}
+		if g.Init != nil {
+			ng.Init = append([]byte(nil), g.Init...)
+		}
+		if g.Refs != nil {
+			ng.Refs = append([]RefInit(nil), g.Refs...)
+		}
+		out.Globals = append(out.Globals, ng)
+		out.globalIdx[ng.Name] = ng
+	}
+	// First pass: create every function shell and its registers/blocks so
+	// cross-references (register operands, branch targets) can be remapped
+	// in the second pass.
+	type fnMaps struct {
+		regs   map[*Reg]*Reg
+		blocks map[*Block]*Block
+	}
+	maps := make([]fnMaps, len(m.Funcs))
+	for fi, f := range m.Funcs {
+		nf := &Func{
+			Name:      f.Name,
+			Sig:       f.Sig,
+			External:  f.External,
+			nextReg:   f.nextReg,
+			nextBlock: f.nextBlock,
+		}
+		fm := fnMaps{regs: make(map[*Reg]*Reg, f.nextReg), blocks: make(map[*Block]*Block, len(f.Blocks))}
+		cloneReg := func(r *Reg) *Reg {
+			nr := &Reg{ID: r.ID, Name: r.Name, Type: r.Type}
+			fm.regs[r] = nr
+			return nr
+		}
+		for _, p := range f.Params {
+			nf.Params = append(nf.Params, cloneReg(p))
+		}
+		for _, b := range f.Blocks {
+			nb := &Block{Name: b.Name, Index: b.Index}
+			fm.blocks[b] = nb
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		if f.blockNames != nil {
+			nf.blockNames = make(map[string]bool, len(f.blockNames))
+			for k, v := range f.blockNames {
+				nf.blockNames[k] = v
+			}
+		}
+		// Registers defined mid-function (not parameters) are discovered
+		// while cloning instructions; cloneReg is re-entered lazily there
+		// via the maps captured in fnMaps.
+		maps[fi] = fm
+		out.Funcs = append(out.Funcs, nf)
+		out.funcIdx[nf.Name] = nf
+	}
+	for fi, f := range m.Funcs {
+		fm := maps[fi]
+		nf := out.Funcs[fi]
+		r := func(old *Reg) *Reg {
+			if old == nil {
+				return nil
+			}
+			if nr, ok := fm.regs[old]; ok {
+				return nr
+			}
+			nr := &Reg{ID: old.ID, Name: old.Name, Type: old.Type}
+			fm.regs[old] = nr
+			return nr
+		}
+		bl := func(old *Block) *Block {
+			nb, ok := fm.blocks[old]
+			if !ok {
+				panic(fmt.Sprintf("ir: clone of %s references foreign block %s", f.Name, old.Name))
+			}
+			return nb
+		}
+		for bi, b := range f.Blocks {
+			nb := nf.Blocks[bi]
+			nb.Instrs = make([]Instr, len(b.Instrs))
+			for ii, in := range b.Instrs {
+				nb.Instrs[ii] = cloneInstr(in, r, bl)
+			}
+		}
+	}
+	return out
+}
+
+// cloneInstr copies one instruction, remapping register and block
+// references through r and bl.
+func cloneInstr(in Instr, r func(*Reg) *Reg, bl func(*Block) *Block) Instr {
+	switch i := in.(type) {
+	case *ConstInt:
+		return &ConstInt{Dst: r(i.Dst), Val: i.Val}
+	case *ConstFloat:
+		return &ConstFloat{Dst: r(i.Dst), Val: i.Val}
+	case *ConstNull:
+		return &ConstNull{Dst: r(i.Dst)}
+	case *Move:
+		return &Move{Dst: r(i.Dst), Src: r(i.Src)}
+	case *BinOp:
+		return &BinOp{Dst: r(i.Dst), X: r(i.X), Y: r(i.Y), Op: i.Op}
+	case *Cmp:
+		return &Cmp{Dst: r(i.Dst), Op: i.Op, X: r(i.X), Y: r(i.Y)}
+	case *Convert:
+		return &Convert{Dst: r(i.Dst), Src: r(i.Src)}
+	case *Alloc:
+		return &Alloc{Dst: r(i.Dst), Kind: i.Kind, Elem: i.Elem, Count: r(i.Count), Site: i.Site}
+	case *Free:
+		return &Free{Ptr: r(i.Ptr)}
+	case *Load:
+		return &Load{Dst: r(i.Dst), Ptr: r(i.Ptr)}
+	case *Store:
+		return &Store{Ptr: r(i.Ptr), Val: r(i.Val)}
+	case *FieldAddr:
+		return &FieldAddr{Dst: r(i.Dst), Ptr: r(i.Ptr), Field: i.Field}
+	case *IndexAddr:
+		return &IndexAddr{Dst: r(i.Dst), Ptr: r(i.Ptr), Index: r(i.Index)}
+	case *Bitcast:
+		return &Bitcast{Dst: r(i.Dst), Src: r(i.Src)}
+	case *PtrToInt:
+		return &PtrToInt{Dst: r(i.Dst), Src: r(i.Src)}
+	case *IntToPtr:
+		return &IntToPtr{Dst: r(i.Dst), Src: r(i.Src)}
+	case *FuncAddr:
+		return &FuncAddr{Dst: r(i.Dst), Fn: i.Fn}
+	case *GlobalAddr:
+		return &GlobalAddr{Dst: r(i.Dst), G: i.G}
+	case *Call:
+		nc := &Call{Dst: r(i.Dst), Callee: i.Callee, CalleePtr: r(i.CalleePtr)}
+		if i.Args != nil {
+			nc.Args = make([]*Reg, len(i.Args))
+			for k, a := range i.Args {
+				nc.Args[k] = r(a)
+			}
+		}
+		return nc
+	case *Ret:
+		return &Ret{Val: r(i.Val)}
+	case *Br:
+		return &Br{Target: bl(i.Target)}
+	case *CondBr:
+		return &CondBr{Cond: r(i.Cond), True: bl(i.True), False: bl(i.False)}
+	case *Assert:
+		return &Assert{X: r(i.X), Y: r(i.Y)}
+	case *FaultPoint:
+		return &FaultPoint{Site: i.Site}
+	case *RandInt:
+		return &RandInt{Dst: r(i.Dst), Lo: i.Lo, Hi: i.Hi}
+	case *HeapBufSize:
+		return &HeapBufSize{Dst: r(i.Dst), Ptr: r(i.Ptr)}
+	case *Output:
+		return &Output{Val: r(i.Val), Mode: i.Mode}
+	case *Exit:
+		return &Exit{Val: r(i.Val)}
+	default:
+		panic(fmt.Sprintf("ir: cloneInstr: unknown instruction %T", in))
+	}
+}

@@ -1,0 +1,135 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCloneFixture builds a module exercising every instruction kind the
+// workloads use: globals with refs, control flow, calls, allocs.
+func buildCloneFixture() *Module {
+	m := NewModule("clonefix")
+	g := m.AddGlobal("counter", I64)
+	g.Init = []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	b := NewBuilder(m)
+
+	b.Function("helper", I64, []string{"x"}, I64)
+	x := b.F.Params[0]
+	b.Ret(b.Bin(OpAdd, x, b.I64(1)))
+
+	b.Function("main", I64, nil)
+	n := b.I64(4)
+	arr := b.MallocN(I64, n)
+	b.ForRange("i", b.I64(0), n, func(i *Reg) {
+		b.Store(b.Index(arr, i), b.Call("helper", i))
+	})
+	s := b.Reg("s", I64)
+	b.MoveTo(s, b.I64(0))
+	b.ForRange("j", b.I64(0), n, func(j *Reg) {
+		b.BinTo(s, OpAdd, s, b.Load(b.Index(arr, j)))
+	})
+	gp := b.GlobalAddr("counter")
+	b.BinTo(s, OpAdd, s, b.Load(gp))
+	b.Free(arr)
+	b.Ret(s)
+	return m
+}
+
+func TestCloneIsDeepAndTextIdentical(t *testing.T) {
+	m := buildCloneFixture()
+	before := m.String()
+	c := m.Clone()
+	if got := c.String(); got != before {
+		t.Fatalf("clone text differs:\n--- original ---\n%s\n--- clone ---\n%s", before, got)
+	}
+	if err := Verify(c); err != nil {
+		t.Fatalf("clone fails verification: %v", err)
+	}
+	// Mutating the clone must not perturb the original.
+	cm := c.Func("main")
+	cm.Blocks[0].Instrs = append([]Instr{&FaultPoint{Site: 99}}, cm.Blocks[0].Instrs...)
+	c.Global("counter").Init[0] = 7
+	if got := m.String(); got != before {
+		t.Error("mutating the clone changed the original module")
+	}
+	if m.Global("counter").Init[0] != 1 {
+		t.Error("clone shares the global init image with the original")
+	}
+	if !strings.Contains(c.String(), "faultpoint 99") {
+		t.Error("clone mutation did not land in the clone")
+	}
+}
+
+func TestCloneSharesNoInstructions(t *testing.T) {
+	m := buildCloneFixture()
+	c := m.Clone()
+	orig := make(map[Instr]bool)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				orig[in] = true
+			}
+		}
+	}
+	for _, f := range c.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if orig[in] {
+					t.Fatalf("clone shares instruction %s with original", in)
+				}
+			}
+		}
+	}
+}
+
+func TestClonePreservesRegAndBlockIdentity(t *testing.T) {
+	m := buildCloneFixture()
+	c := m.Clone()
+	for fi, f := range m.Funcs {
+		cf := c.Funcs[fi]
+		if cf.NumRegs() != f.NumRegs() {
+			t.Errorf("%s: clone has %d regs, want %d", f.Name, cf.NumRegs(), f.NumRegs())
+		}
+		if len(cf.Blocks) != len(f.Blocks) {
+			t.Fatalf("%s: clone has %d blocks, want %d", f.Name, len(cf.Blocks), len(f.Blocks))
+		}
+		for bi, b := range f.Blocks {
+			if cf.Blocks[bi].Name != b.Name || cf.Blocks[bi].Index != b.Index {
+				t.Errorf("%s: block %d mismatch: %s/%d vs %s/%d",
+					f.Name, bi, cf.Blocks[bi].Name, cf.Blocks[bi].Index, b.Name, b.Index)
+			}
+		}
+	}
+	// NewBlock on the clone must continue the original numbering without
+	// colliding with existing names.
+	cf := c.Func("main")
+	nb := cf.NewBlock("entry")
+	if nb.Name == "entry" {
+		t.Error("clone lost block-name uniqueness state")
+	}
+}
+
+func TestFrozenModulePanicsOnMutators(t *testing.T) {
+	m := buildCloneFixture()
+	m.Freeze()
+	if !m.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on frozen module did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("AddFunc", func() { m.AddFunc("later", FuncOf(Void)) })
+	expectPanic("AddGlobal", func() { m.AddGlobal("later", I64) })
+	expectPanic("RenameFunc", func() { m.RenameFunc(m.Func("helper"), "helper2") })
+	// The clone of a frozen module is mutable again.
+	c := m.Clone()
+	if c.Frozen() {
+		t.Error("clone inherited frozen state")
+	}
+	c.AddGlobal("later", I64)
+}

@@ -103,6 +103,7 @@ type Module struct {
 
 	funcIdx   map[string]*Func
 	globalIdx map[string]*Global
+	frozen    bool
 }
 
 // NewModule returns an empty module.
@@ -117,6 +118,7 @@ func NewModule(name string) *Module {
 // AddFunc creates a function with the given signature and adds it to m.
 // Parameter registers are created from the signature's parameter types.
 func (m *Module) AddFunc(name string, sig *FuncType, paramNames ...string) *Func {
+	m.mutable("AddFunc")
 	if _, dup := m.funcIdx[name]; dup {
 		panic("ir: duplicate function " + name)
 	}
@@ -142,6 +144,7 @@ func (m *Module) AddExtern(name string, sig *FuncType) *Func {
 
 // AddGlobal adds a zero-initialized global variable of type elem.
 func (m *Module) AddGlobal(name string, elem Type) *Global {
+	m.mutable("AddGlobal")
 	if _, dup := m.globalIdx[name]; dup {
 		panic("ir: duplicate global " + name)
 	}
@@ -160,6 +163,7 @@ func (m *Module) Global(name string) *Global { return m.globalIdx[name] }
 // RenameFunc renames a function, updating the index. Used by the DPMR
 // transformation's main() handling (§3.1.1: main is renamed to mainAug).
 func (m *Module) RenameFunc(f *Func, newName string) {
+	m.mutable("RenameFunc")
 	if _, dup := m.funcIdx[newName]; dup {
 		panic("ir: rename collides with existing function " + newName)
 	}

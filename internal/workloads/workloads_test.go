@@ -143,8 +143,8 @@ func TestFaultInjectionChangesBehaviour(t *testing.T) {
 			t.Parallel()
 			golden := interp.Run(w.Build(), interp.Config{Externs: extlib.Base()})
 			sites := faultinject.Enumerate(w.Build(), faultinject.ImmediateFree)
-			m := w.Build()
-			if err := faultinject.Apply(m, sites[0]); err != nil {
+			m, err := faultinject.Apply(w.Build(), sites[0])
+			if err != nil {
 				t.Fatal(err)
 			}
 			res := interp.Run(m, interp.Config{
