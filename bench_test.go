@@ -10,6 +10,7 @@
 package dpmrbench
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -372,6 +373,56 @@ func BenchmarkCampaign(b *testing.B) {
 			}
 		})
 	}
+
+	// Sharded-merge: the same campaign as 3 shards (each on a fresh
+	// Runner, as separate processes would run them) plus the
+	// JSON round trip and the merge. The delta against parallel1 is the
+	// coordination overhead sharding pays for horizontal scale.
+	b.Run("shard3merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			const n = 3
+			parts := make([]*harness.PartialResult, n)
+			for s := 0; s < n; s++ {
+				r := harness.NewRunner()
+				r.Runs = 1
+				r.EvictModules = true
+				r.Shard = harness.ShardSpec{Index: s, Count: n}
+				p, err := r.RunCampaignPartial(campaign)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := p.Encode(&buf); err != nil {
+					b.Fatal(err)
+				}
+				if parts[s], err = harness.DecodePartial(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			r := harness.NewRunner()
+			r.Runs = 1
+			if _, err := r.MergeCampaign(campaign, parts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Eviction ablation: serial campaign with last-trial eviction;
+	// residency metrics quantify the bound eviction buys.
+	b.Run("evict", func(b *testing.B) {
+		var stats harness.CacheStats
+		for i := 0; i < b.N; i++ {
+			r := harness.NewRunner()
+			r.Runs = 1
+			r.EvictModules = true
+			if _, err := r.RunCampaign(campaign); err != nil {
+				b.Fatal(err)
+			}
+			stats = r.CacheStats()
+		}
+		b.ReportMetric(float64(stats.Peak), "peak-resident")
+		b.ReportMetric(float64(stats.Builds), "modules-built")
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,17 @@
 //	dpmr-exp -exp tab3.3 -quick      # reduced workloads/sites for a fast pass
 //	dpmr-exp -list                   # list experiment ids
 //
+// Campaign-based experiments shard across processes: each shard runs a
+// contiguous slice of the canonical trial plan and writes a partial
+// result, and -merge reassembles a report byte-identical to an unsharded
+// run (mismatched plans, duplicated shards, and missing trial ranges are
+// rejected):
+//
+//	dpmr-exp -exp fig3.7 -shard 0/3 -out part0.json
+//	dpmr-exp -exp fig3.7 -shard 1/3 -out part1.json
+//	dpmr-exp -exp fig3.7 -shard 2/3 -out part2.json
+//	dpmr-exp -merge part0.json part1.json part2.json
+//
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured comparisons.
 package main
@@ -14,55 +25,141 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dpmr/internal/harness"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpmr-exp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig3.6..fig4.14, tab3.3/3.4/4.5/4.6) or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		quick    = flag.Bool("quick", false, "quick mode: fewer workloads, sites, runs")
-		runs     = flag.Int("runs", 0, "runs per experiment tuple (default 2; 1 in quick mode)")
-		maxSites = flag.Int("max-sites", 0, "cap injection sites per workload (0 = all)")
-		parallel = flag.Int("parallel", 1, "campaign worker goroutines (output is identical at any count)")
-		progress = flag.Bool("progress", false, "report per-trial campaign progress on stderr")
+		exp      = fs.String("exp", "", "experiment id (fig3.6..fig4.14, tab3.3/3.4/4.5/4.6) or 'all'")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		quick    = fs.Bool("quick", false, "quick mode: fewer workloads, sites, runs")
+		runs     = fs.Int("runs", 0, "runs per experiment tuple (default 2; 1 in quick mode)")
+		maxSites = fs.Int("max-sites", 0, "cap injection sites per workload (0 = all)")
+		parallel = fs.Int("parallel", 1, "campaign worker goroutines (output is identical at any count)")
+		progress = fs.Bool("progress", false, "report per-trial campaign progress and module-cache residency on stderr")
+		evict    = fs.Bool("evict", true, "release each module after its final trial (bounds peak cache residency)")
+		shard    = fs.String("shard", "", "run campaign shard i/N and write a partial result (requires -exp, not 'all')")
+		outPath  = fs.String("out", "", "partial-result output file with -shard (default stdout)")
+		merge    = fs.Bool("merge", false, "merge partial-result files (the positional arguments) and render the report")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *outPath != "" && *shard == "" {
+		return fail(stderr, fmt.Errorf("-out requires -shard (merged and unsharded reports go to stdout)"))
+	}
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
 		return 0
 	}
-	if *exp == "" {
-		flag.Usage()
-		return 2
-	}
-	opts := harness.Options{Quick: *quick, Runs: *runs, MaxSites: *maxSites, Parallel: *parallel}
+	opts := harness.Options{Quick: *quick, Runs: *runs, MaxSites: *maxSites, Parallel: *parallel, Evict: *evict}
 	if *progress {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials", *exp, done, total)
+		label := *exp
+		if *merge {
+			label = "merge"
+		}
+		opts.ProgressStats = func(done, total int, st harness.CacheStats) {
+			fmt.Fprintf(stderr, "\r%s: %d/%d trials (%d modules resident, peak %d, %d evicted)",
+				label, done, total, st.Resident, st.Peak, st.Evicted)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
 		}
 	}
+
+	switch {
+	case *merge:
+		if *shard != "" {
+			return fail(stderr, fmt.Errorf("-merge and -shard are mutually exclusive"))
+		}
+		files := fs.Args()
+		if len(files) == 0 {
+			return fail(stderr, fmt.Errorf("-merge needs the partial-result files as arguments"))
+		}
+		readers := make([]io.Reader, len(files))
+		for i, name := range files {
+			f, err := os.Open(name)
+			if err != nil {
+				return runFail(stderr, err)
+			}
+			defer f.Close()
+			readers[i] = f
+		}
+		if err := harness.GenerateMerged(*exp, stdout, readers, opts); err != nil {
+			return runFail(stderr, err)
+		}
+		return 0
+	case *shard != "":
+		spec, err := harness.ParseShard(*shard)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if *exp == "" || *exp == "all" {
+			return fail(stderr, fmt.Errorf("-shard requires a single campaign experiment via -exp"))
+		}
+		out := io.Writer(stdout)
+		var f *os.File
+		if *outPath != "" && *outPath != "-" {
+			f, err = os.Create(*outPath)
+			if err != nil {
+				return runFail(stderr, err)
+			}
+			out = f
+		}
+		if err := harness.GenerateSharded(*exp, spec, out, opts); err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return runFail(stderr, err)
+		}
+		// A close error (deferred flush, ENOSPC) would leave a truncated
+		// partial behind a zero exit; surface it.
+		if f != nil {
+			if err := f.Close(); err != nil {
+				return runFail(stderr, err)
+			}
+		}
+		return 0
+	}
+
+	if *exp == "" {
+		fs.Usage()
+		return 2
+	}
 	var err error
 	if *exp == "all" {
-		err = harness.GenerateAll(os.Stdout, opts)
+		err = harness.GenerateAll(stdout, opts)
 	} else {
-		err = harness.Generate(*exp, os.Stdout, opts)
+		err = harness.Generate(*exp, stdout, opts)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dpmr-exp:", err)
-		return 1
+		return runFail(stderr, err)
 	}
 	return 0
+}
+
+// fail reports command-line misuse (bad flags or flag combinations):
+// exit 2. Failures of the run itself — unknown experiments, partial-file
+// I/O, merge validation, campaign errors — exit 1 via runFail, in every
+// mode (sharded, merged, or unsharded).
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "dpmr-exp:", err)
+	return 2
+}
+
+func runFail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "dpmr-exp:", err)
+	return 1
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagValidation is the table-driven flag/validation contract of
+// the dpmr-exp CLI: every bad combination exits nonzero with a
+// diagnostic naming the problem, without starting a campaign.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"no experiment", []string{}, 2, "Usage"},
+		{"unknown experiment", []string{"-exp", "fig9.9"}, 1, "unknown experiment"},
+		{"unknown flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"bad shard syntax", []string{"-exp", "fig3.7", "-shard", "three"}, 2, "want i/N"},
+		{"shard index past count", []string{"-exp", "fig3.7", "-shard", "3/3"}, 2, "out of range"},
+		{"negative shard index", []string{"-exp", "fig3.7", "-shard", "-1/3"}, 2, "out of range"},
+		{"zero shard count", []string{"-exp", "fig3.7", "-shard", "0/0"}, 2, "at least 1"},
+		{"shard without exp", []string{"-shard", "0/3"}, 2, "-shard requires"},
+		{"shard of all", []string{"-exp", "all", "-shard", "0/3"}, 2, "-shard requires"},
+		{"out without shard", []string{"-exp", "fig3.7", "-out", "x.json"}, 2, "-out requires -shard"},
+		{"shard of overhead experiment", []string{"-exp", "fig3.10", "-quick", "-shard", "0/2"}, 1, "only injection campaigns shard"},
+		{"merge without files", []string{"-merge"}, 2, "-merge needs"},
+		{"merge with shard", []string{"-merge", "-shard", "0/2", "x.json"}, 2, "mutually exclusive"},
+		{"merge missing file", []string{"-merge", "/nonexistent/p.json"}, 1, "no such file"},
+		{"negative parallel", []string{"-exp", "fig3.7", "-quick", "-parallel", "-2"}, 1, "at least 1 worker"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("run(%v) stderr %q does not contain %q", tc.args, stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fig3.7") || !strings.Contains(stdout.String(), "tab4.6") {
+		t.Errorf("-list output incomplete:\n%s", stdout.String())
+	}
+}
+
+// TestShardMergeEndToEnd drives the real CLI path: two shards to files,
+// merged, against the unsharded report — byte for byte.
+func TestShardMergeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var unsharded, stderr bytes.Buffer
+	if code := run([]string{"-exp", "fig3.7", "-quick"}, &unsharded, &stderr); code != 0 {
+		t.Fatalf("unsharded run failed: %s", stderr.String())
+	}
+	files := make([]string, 2)
+	for i := range files {
+		files[i] = filepath.Join(dir, "part"+string(rune('0'+i))+".json")
+		var stdout bytes.Buffer
+		stderr.Reset()
+		code := run([]string{"-exp", "fig3.7", "-quick", "-shard", string(rune('0'+i)) + "/2", "-out", files[i]}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("shard %d failed: %s", i, stderr.String())
+		}
+		if fi, err := os.Stat(files[i]); err != nil || fi.Size() == 0 {
+			t.Fatalf("shard %d wrote no partial: %v", i, err)
+		}
+	}
+	var merged bytes.Buffer
+	stderr.Reset()
+	// Out-of-order merge, experiment id taken from the partials.
+	if code := run([]string{"-merge", "-quick", files[1], files[0]}, &merged, &stderr); code != 0 {
+		t.Fatalf("merge failed: %s", stderr.String())
+	}
+	if !bytes.Equal(unsharded.Bytes(), merged.Bytes()) {
+		t.Errorf("merged report differs from unsharded:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			unsharded.String(), merged.String())
+	}
+	// Duplicated shard must be rejected (a run failure, exit 1 — the
+	// command line itself was fine).
+	stderr.Reset()
+	if code := run([]string{"-merge", "-quick", files[0], files[0]}, &bytes.Buffer{}, &stderr); code != 1 {
+		t.Errorf("duplicate shard merge exited %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	// Missing shard must be rejected with the range named.
+	stderr.Reset()
+	if code := run([]string{"-merge", "-quick", files[1]}, &bytes.Buffer{}, &stderr); code != 1 || !strings.Contains(stderr.String(), "missing trials") {
+		t.Errorf("missing shard merge exited %d, stderr %q", code, stderr.String())
+	}
+}

@@ -10,11 +10,22 @@
 //	dpmr-run -workload art -dpmr -diversity rearrange-heap -policy "static 10%"
 //	dpmr-run -workload bzip2 -dpmr -inject immediate-free -site 0
 //	dpmr-run -workload mcf -dpmr -campaign -inject immediate-free -parallel 8
+//
+// Campaigns shard across processes: each shard runs a contiguous slice
+// of the canonical trial plan and writes a partial result, and -merge
+// reassembles the summary exactly as a single-process run would compute
+// it:
+//
+//	dpmr-run -workload mcf -campaign -inject immediate-free -shard 0/3 -out p0.json
+//	dpmr-run -workload mcf -campaign -inject immediate-free -shard 1/3 -out p1.json
+//	dpmr-run -workload mcf -campaign -inject immediate-free -shard 2/3 -out p2.json
+//	dpmr-run -workload mcf -campaign -inject immediate-free -merge p0.json p1.json p2.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dpmr/internal/dpmr"
@@ -27,28 +38,40 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpmr-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
-		useDPMR   = flag.Bool("dpmr", false, "apply the DPMR transformation")
-		design    = flag.String("design", "sds", "DPMR design: sds or mds")
-		diversity = flag.String("diversity", "no-diversity", "diversity transformation")
-		policy    = flag.String("policy", "all loads", "state comparison policy")
-		inject    = flag.String("inject", "", "fault to inject: heap-array-resize or immediate-free")
-		site      = flag.Int("site", 0, "allocation site id for the injection")
-		seed      = flag.Int64("seed", 1, "VM seed (diversity randomness)")
-		useDSA    = flag.Bool("dsa", false, "use the Chapter 5 DSA-refined pipeline")
-		listSites = flag.Bool("sites", false, "list injectable allocation sites and exit")
-		showIR    = flag.Bool("dump-ir", false, "print the module IR instead of running")
-		campaign  = flag.Bool("campaign", false, "run the full sites × runs injection campaign for this workload/variant")
-		parallel  = flag.Int("parallel", 1, "campaign worker goroutines (with -campaign)")
-		runs      = flag.Int("runs", 2, "runs per injection site (with -campaign)")
-		progress  = flag.Bool("progress", false, "report campaign progress on stderr (with -campaign)")
+		workload  = fs.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
+		useDPMR   = fs.Bool("dpmr", false, "apply the DPMR transformation")
+		design    = fs.String("design", "sds", "DPMR design: sds or mds")
+		diversity = fs.String("diversity", "no-diversity", "diversity transformation")
+		policy    = fs.String("policy", "all loads", "state comparison policy")
+		inject    = fs.String("inject", "", "fault to inject: heap-array-resize or immediate-free")
+		site      = fs.Int("site", 0, "allocation site id for the injection")
+		seed      = fs.Int64("seed", 1, "VM seed (diversity randomness)")
+		useDSA    = fs.Bool("dsa", false, "use the Chapter 5 DSA-refined pipeline")
+		listSites = fs.Bool("sites", false, "list injectable allocation sites and exit")
+		showIR    = fs.Bool("dump-ir", false, "print the module IR instead of running")
+		campaign  = fs.Bool("campaign", false, "run the full sites × runs injection campaign for this workload/variant")
+		parallel  = fs.Int("parallel", 1, "campaign worker goroutines (with -campaign)")
+		runs      = fs.Int("runs", 2, "runs per injection site (with -campaign)")
+		progress  = fs.Bool("progress", false, "report campaign progress and module-cache residency on stderr (with -campaign)")
+		evict     = fs.Bool("evict", true, "release each module after its final trial (with -campaign)")
+		shard     = fs.String("shard", "", "run campaign shard i/N and write a partial result (with -campaign)")
+		outPath   = fs.String("out", "", "partial-result output file with -shard (default stdout)")
+		merge     = fs.Bool("merge", false, "merge campaign partial-result files (the positional arguments; with -campaign)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "dpmr-run:", err)
+		return 2
+	}
 
 	w, err := workloads.ByName(*workload)
 	if err != nil {
@@ -58,7 +81,7 @@ func run() int {
 	if *listSites {
 		for _, kind := range []faultinject.Kind{faultinject.HeapArrayResize, faultinject.ImmediateFree} {
 			for _, s := range faultinject.Enumerate(w.Build(), kind) {
-				fmt.Printf("%s\n", s)
+				fmt.Fprintf(stdout, "%s\n", s)
 			}
 		}
 		return 0
@@ -76,6 +99,18 @@ func run() int {
 		}
 	}
 
+	if !*campaign {
+		if *shard != "" {
+			return fail(fmt.Errorf("-shard requires -campaign"))
+		}
+		if *merge {
+			return fail(fmt.Errorf("-merge requires -campaign"))
+		}
+	}
+	if *outPath != "" && *shard == "" {
+		return fail(fmt.Errorf("-out requires -shard (merged and unsharded summaries go to stdout)"))
+	}
+
 	if *campaign {
 		// The campaign engine drives every site with per-run seeds; the
 		// single-run-only flags would be silently ignored, so refuse them.
@@ -83,7 +118,7 @@ func run() int {
 			return fail(fmt.Errorf("-campaign does not support the -dsa pipeline"))
 		}
 		var conflict error
-		flag.Visit(func(f *flag.Flag) {
+		fs.Visit(func(f *flag.Flag) {
 			if f.Name == "seed" || f.Name == "site" || f.Name == "dump-ir" {
 				conflict = fmt.Errorf("-%s only applies to single runs, not -campaign", f.Name)
 			}
@@ -91,7 +126,15 @@ func run() int {
 		if conflict != nil {
 			return fail(conflict)
 		}
-		return runCampaign(w, *useDPMR, *design, *diversity, *policy, injectKind, *parallel, *runs, *progress)
+		if *merge && *shard != "" {
+			return fail(fmt.Errorf("-merge and -shard are mutually exclusive"))
+		}
+		return runCampaign(campaignArgs{
+			w: w, useDPMR: *useDPMR, design: *design, diversity: *diversity, policy: *policy,
+			kind: injectKind, parallel: *parallel, runs: *runs, progress: *progress, evict: *evict,
+			shard: *shard, outPath: *outPath, merge: *merge, mergeFiles: fs.Args(),
+			stdout: stdout, stderr: stderr,
+		})
 	}
 
 	m := w.Build()
@@ -134,7 +177,7 @@ func run() int {
 			if err != nil {
 				return fail(err)
 			}
-			fmt.Printf("dsa:     %s; excluded sites %v\n", res.Stats(), res.ExcludedSites())
+			fmt.Fprintf(stdout, "dsa:     %s; excluded sites %v\n", res.Stats(), res.ExcludedSites())
 		} else {
 			m, err = dpmr.Transform(m, cfg)
 			if err != nil {
@@ -145,82 +188,165 @@ func run() int {
 	}
 
 	if *showIR {
-		fmt.Print(m.String())
+		fmt.Fprint(stdout, m.String())
 		return 0
 	}
 
 	res := interp.Run(m, interp.Config{Externs: externs, Seed: *seed, StepLimit: 2_000_000_000})
-	fmt.Printf("exit:    %v (code %d) %s\n", res.Kind, res.Code, res.Reason)
-	fmt.Printf("steps:   %d\n", res.Steps)
-	fmt.Printf("cycles:  %d\n", res.Cycles)
-	fmt.Printf("heap:    %d allocs, %d frees, peak %d bytes\n",
+	fmt.Fprintf(stdout, "exit:    %v (code %d) %s\n", res.Kind, res.Code, res.Reason)
+	fmt.Fprintf(stdout, "steps:   %d\n", res.Steps)
+	fmt.Fprintf(stdout, "cycles:  %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "heap:    %d allocs, %d frees, peak %d bytes\n",
 		res.Mem.HeapAllocs, res.Mem.HeapFrees, res.Mem.HeapPeak)
 	if res.FaultSeen {
-		fmt.Printf("fault:   first executed at cycle %d\n", res.FaultCycle)
+		fmt.Fprintf(stdout, "fault:   first executed at cycle %d\n", res.FaultCycle)
 	}
-	fmt.Printf("output:\n%s", res.Output)
+	fmt.Fprintf(stdout, "output:\n%s", res.Output)
 	if res.Kind != interp.ExitNormal {
 		return 1
 	}
 	return 0
 }
 
+// campaignArgs bundles the -campaign mode's flag values.
+type campaignArgs struct {
+	w                         workloads.Workload
+	useDPMR                   bool
+	design, diversity, policy string
+	kind                      faultinject.Kind
+	parallel, runs            int
+	progress, evict, merge    bool
+	shard, outPath            string
+	mergeFiles                []string
+	stdout, stderr            io.Writer
+}
+
 // runCampaign executes the sites × runs injection grid for one workload
-// and one variant on the parallel campaign engine and prints the
+// and one variant on the parallel campaign engine — whole, as one shard
+// writing a partial result, or merging shard partials — and prints the
 // coverage summary.
-func runCampaign(w workloads.Workload, useDPMR bool, design, diversity, policy string,
-	kind faultinject.Kind, parallel, runs int, progress bool) int {
-	if kind == 0 {
+func runCampaign(a campaignArgs) int {
+	fail := func(err error) int {
+		fmt.Fprintln(a.stderr, "dpmr-run:", err)
+		return 2
+	}
+	if a.kind == 0 {
 		return fail(fmt.Errorf("-campaign requires -inject heap-array-resize or immediate-free"))
 	}
 	variant := harness.Stdapp()
-	if useDPMR {
+	if a.useDPMR {
 		d := dpmr.SDS
-		if design == "mds" {
+		if a.design == "mds" {
 			d = dpmr.MDS
 		}
-		div, err := dpmr.DiversityByName(diversity)
+		div, err := dpmr.DiversityByName(a.diversity)
 		if err != nil {
 			return fail(err)
 		}
-		pol, err := dpmr.PolicyByName(policy)
+		pol, err := dpmr.PolicyByName(a.policy)
 		if err != nil {
 			return fail(err)
 		}
 		variant = harness.NewVariant(d, div, pol)
 	}
 	r := harness.NewRunner()
-	r.Runs = runs
-	r.Parallel = parallel
-	if progress {
+	r.Runs = a.runs
+	r.Parallel = a.parallel
+	r.EvictModules = a.evict
+	if a.progress {
 		r.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d trials", done, total)
+			st := r.CacheStats()
+			fmt.Fprintf(a.stderr, "\rcampaign: %d/%d trials (%d modules resident, peak %d, %d evicted)",
+				done, total, st.Resident, st.Peak, st.Evicted)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(a.stderr)
 			}
 		}
 	}
-	cr, err := r.RunCampaign(harness.CampaignConfig{
-		Workloads: []workloads.Workload{w},
+	cfg := harness.CampaignConfig{
+		Workloads: []workloads.Workload{a.w},
 		Variants:  []harness.Variant{variant},
-		Kind:      kind,
-	})
+		Kind:      a.kind,
+	}
+
+	switch {
+	case a.shard != "":
+		spec, err := harness.ParseShard(a.shard)
+		if err != nil {
+			return fail(err)
+		}
+		r.Shard = spec
+		p, err := r.RunCampaignPartial(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		out := a.stdout
+		var f *os.File
+		if a.outPath != "" && a.outPath != "-" {
+			f, err = os.Create(a.outPath)
+			if err != nil {
+				return fail(err)
+			}
+			out = f
+		}
+		if err := p.Encode(out); err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return fail(err)
+		}
+		// A close error (deferred flush, ENOSPC) would leave a truncated
+		// partial behind a zero exit; surface it.
+		if f != nil {
+			if err := f.Close(); err != nil {
+				return fail(err)
+			}
+		}
+		fmt.Fprintf(a.stderr, "shard %s: trials [%d, %d) of %d\n", spec, p.Lo, p.Hi, p.Total)
+		return 0
+	case a.merge:
+		if len(a.mergeFiles) == 0 {
+			return fail(fmt.Errorf("-merge needs the partial-result files as arguments"))
+		}
+		parts := make([]*harness.PartialResult, len(a.mergeFiles))
+		for i, name := range a.mergeFiles {
+			f, err := os.Open(name)
+			if err != nil {
+				return fail(err)
+			}
+			p, err := harness.DecodePartial(f)
+			f.Close()
+			if err != nil {
+				return fail(fmt.Errorf("%s: %w", name, err))
+			}
+			parts[i] = p
+		}
+		cr, err := r.MergeCampaign(cfg, parts)
+		if err != nil {
+			return fail(err)
+		}
+		printCampaignSummary(a.stdout, a.w, a.kind, variant, fmt.Sprintf("%d shards", len(parts)), cr)
+		return 0
+	}
+
+	cr, err := r.RunCampaign(cfg)
 	if err != nil {
 		return fail(err)
 	}
-	c := cr.Cell(variant, w.Name)
-	fmt.Printf("campaign: %s %s variant %s, %d workers\n", w.Name, kind, variant.Label(), parallel)
-	fmt.Printf("injections: %d successful\n", c.N)
-	fmt.Printf("coverage:   CO %.2f + NatDet %.2f + DpmrDet %.2f = %.2f\n",
-		c.CO, c.NatDet, c.DpmrDet, c.Coverage())
-	if c.MeanT2DMS > 0 {
-		fmt.Printf("latency:    mean time to detection %.3f ms\n", c.MeanT2DMS)
-	}
-	fmt.Printf("modules:    %d distinct builds cached\n", r.CachedModules())
+	printCampaignSummary(a.stdout, a.w, a.kind, variant, fmt.Sprintf("%d workers", a.parallel), cr)
+	st := r.CacheStats()
+	fmt.Fprintf(a.stdout, "modules:    %d built, peak %d resident, %d evicted\n", st.Builds, st.Peak, st.Evicted)
 	return 0
 }
 
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "dpmr-run:", err)
-	return 2
+func printCampaignSummary(w io.Writer, wl workloads.Workload, kind faultinject.Kind,
+	variant harness.Variant, how string, cr *harness.CampaignResult) {
+	c := cr.Cell(variant, wl.Name)
+	fmt.Fprintf(w, "campaign: %s %s variant %s, %s\n", wl.Name, kind, variant.Label(), how)
+	fmt.Fprintf(w, "injections: %d successful\n", c.N)
+	fmt.Fprintf(w, "coverage:   CO %.2f + NatDet %.2f + DpmrDet %.2f = %.2f\n",
+		c.CO, c.NatDet, c.DpmrDet, c.Coverage())
+	if c.MeanT2DMS > 0 {
+		fmt.Fprintf(w, "latency:    mean time to detection %.3f ms\n", c.MeanT2DMS)
+	}
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagValidation is the table-driven flag/validation contract of
+// the dpmr-run CLI: bad flag combinations exit nonzero with a
+// diagnostic, without running a workload or campaign.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown workload", []string{"-workload", "nope"}, "unknown workload"},
+		{"unknown injection", []string{"-inject", "wild-write"}, "unknown injection"},
+		{"campaign without inject", []string{"-campaign"}, "-campaign requires -inject"},
+		{"campaign with dsa", []string{"-campaign", "-inject", "immediate-free", "-dsa"}, "does not support"},
+		{"campaign with seed", []string{"-campaign", "-inject", "immediate-free", "-seed", "3"}, "only applies to single runs"},
+		{"campaign with site", []string{"-campaign", "-inject", "immediate-free", "-site", "1"}, "only applies to single runs"},
+		{"shard without campaign", []string{"-shard", "0/2"}, "-shard requires -campaign"},
+		{"merge without campaign", []string{"-merge"}, "-merge requires -campaign"},
+		{"out without shard", []string{"-campaign", "-inject", "immediate-free", "-out", "x.json"}, "-out requires -shard"},
+		{"merge with shard", []string{"-campaign", "-inject", "immediate-free", "-merge", "-shard", "0/2", "x.json"}, "mutually exclusive"},
+		{"merge without files", []string{"-campaign", "-inject", "immediate-free", "-merge"}, "-merge needs"},
+		{"bad shard", []string{"-campaign", "-inject", "immediate-free", "-shard", "9"}, "want i/N"},
+		{"shard out of range", []string{"-campaign", "-inject", "immediate-free", "-shard", "5/5"}, "out of range"},
+		{"zero workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "0"}, "at least 1 worker"},
+		{"negative workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "-4"}, "at least 1 worker"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Errorf("run(%v) = %d, want 2 (stderr: %s)", tc.args, code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("run(%v) stderr %q does not contain %q", tc.args, stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCampaignShardMergeEndToEnd shards one workload's campaign across
+// two partial files and merges them; the summary must match a direct
+// single-process campaign line for line (minus the execution-local
+// module statistics).
+func TestCampaignShardMergeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
+	var direct, stderr bytes.Buffer
+	if code := run(base, &direct, &stderr); code != 0 {
+		t.Fatalf("direct campaign failed: %s", stderr.String())
+	}
+	files := []string{filepath.Join(dir, "p0.json"), filepath.Join(dir, "p1.json")}
+	for i, f := range files {
+		stderr.Reset()
+		args := append(append([]string{}, base...), "-shard", string(rune('0'+i))+"/2", "-out", f)
+		if code := run(args, &bytes.Buffer{}, &stderr); code != 0 {
+			t.Fatalf("shard %d failed: %s", i, stderr.String())
+		}
+	}
+	var merged bytes.Buffer
+	stderr.Reset()
+	args := append(append([]string{}, base...), "-merge", files[1], files[0])
+	if code := run(args, &merged, &stderr); code != 0 {
+		t.Fatalf("merge failed: %s", stderr.String())
+	}
+	trim := func(s string) string {
+		var out []string
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "modules:") || strings.HasPrefix(l, "campaign:") {
+				continue // execution-local lines (worker/shard counts differ)
+			}
+			out = append(out, l)
+		}
+		return strings.Join(out, "\n")
+	}
+	if trim(direct.String()) != trim(merged.String()) {
+		t.Errorf("merged summary differs from direct:\n--- direct ---\n%s\n--- merged ---\n%s",
+			direct.String(), merged.String())
+	}
+	// A stale partial merged against different -runs is a different plan.
+	stderr.Reset()
+	args = []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "2", "-merge", files[0], files[1]}
+	if code := run(args, &bytes.Buffer{}, &stderr); code != 2 || !strings.Contains(stderr.String(), "fingerprint") {
+		t.Errorf("foreign-plan merge exited %d, stderr %q", code, stderr.String())
+	}
+}

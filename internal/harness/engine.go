@@ -11,6 +11,7 @@ package harness
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"dpmr/internal/faultinject"
 	"dpmr/internal/ir"
@@ -33,9 +34,28 @@ type moduleEntry struct {
 	err  error
 }
 
+// CacheStats counts module-cache activity over a Runner's lifetime. The
+// residency numbers are what last-trial eviction (Runner.EvictModules)
+// bounds: without eviction Peak equals Builds; with it, Peak tracks only
+// the modules whose trials are still pending.
+type CacheStats struct {
+	// Builds counts successful module builds. A module evicted before its
+	// trials finished would be rebuilt on next use, so Builds exceeding
+	// the number of distinct modules is the signature of a premature
+	// eviction.
+	Builds int
+	// Evicted counts modules released after their final trial.
+	Evicted int
+	// Resident is the number of modules currently held by the cache.
+	Resident int
+	// Peak is the high-water Resident count.
+	Peak int
+}
+
 type moduleCache struct {
 	mu      sync.Mutex
 	entries map[moduleKey]*moduleEntry
+	stats   CacheStats
 }
 
 func newModuleCache() *moduleCache {
@@ -53,16 +73,51 @@ func (c *moduleCache) get(key moduleKey, build func() (*ir.Module, error)) (*ir.
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.m, e.err = build() })
+	e.once.Do(func() {
+		e.m, e.err = build()
+		if e.err == nil {
+			c.mu.Lock()
+			c.stats.Builds++
+			c.stats.Resident++
+			if c.stats.Resident > c.stats.Peak {
+				c.stats.Peak = c.stats.Resident
+			}
+			c.mu.Unlock()
+		}
+	})
 	return e.m, e.err
 }
 
-// size reports how many distinct modules have been built (for tests and
-// progress diagnostics).
+// evict releases key's module. Callers must guarantee no trial still needs
+// the module: the campaign engine only evicts a key once the per-key
+// pending-trial count reaches zero, which also means the entry's build has
+// completed (the evicting goroutine just ran a trial through get).
+func (c *moduleCache) evict(key moduleKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	delete(c.entries, key)
+	if e.m != nil {
+		c.stats.Evicted++
+		c.stats.Resident--
+	}
+}
+
+// size reports how many distinct modules are currently resident (for
+// tests and progress diagnostics).
 func (c *moduleCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+func (c *moduleCache) statsSnapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // trial is one executable experiment (W, C, D, I, RN) of a campaign grid.
@@ -73,18 +128,58 @@ type trial struct {
 	rn  int
 }
 
+// key returns the module-cache key the trial executes.
+func (t trial) key() moduleKey {
+	k := moduleKey{workload: t.w.Name, variant: t.v.Label()}
+	if t.inj != nil {
+		k.site = t.inj.String()
+	}
+	return k
+}
+
 // runTrials executes the trial grid on the worker pool and returns the
-// per-trial outcomes and errors, indexed like trials.
-func (r *Runner) runTrials(trials []trial) ([]Outcome, []error) {
-	outcomes := make([]Outcome, len(trials))
+// per-trial classifications and errors, indexed like trials. Only the
+// serializable classification fields survive: the raw interpreter result
+// is dropped per trial, releasing each output buffer instead of pinning
+// all of them until the campaign ends.
+//
+// With EvictModules set, runTrials also releases each injected module
+// once its last trial completes. Because a site's trials are contiguous
+// in the canonical plan, this bounds peak cache residency at large site
+// counts; the per-key pending counters make it order-independent (and
+// therefore safe at any worker count): a module is only evicted when no
+// trial that uses it remains.
+func (r *Runner) runTrials(trials []trial) ([]TrialOutcome, []error) {
+	outcomes := make([]TrialOutcome, len(trials))
 	errs := make([]error, len(trials))
+	var pending map[moduleKey]*int64
+	if r.EvictModules {
+		pending = make(map[moduleKey]*int64)
+		for _, t := range trials {
+			k := t.key()
+			if k.site == "" {
+				// Uninjected modules (base builds, overhead runs) seed
+				// other builds and are shared beyond this trial list;
+				// only per-(site, variant) modules are evictable.
+				continue
+			}
+			if c := pending[k]; c != nil {
+				*c++
+			} else {
+				n := int64(1)
+				pending[k] = &n
+			}
+		}
+	}
 	r.fanOut(len(trials), func(i int) {
 		t := trials[i]
-		outcomes[i], errs[i] = r.RunOnce(t.w, t.v, t.inj, t.rn)
-		// Aggregation reads only the classification fields; dropping the
-		// raw result here releases each trial's output buffer instead of
-		// pinning all of them until the campaign ends.
-		outcomes[i].Res = nil
+		o, err := r.RunOnce(t.w, t.v, t.inj, t.rn)
+		outcomes[i], errs[i] = o.Trial(), err
+		if pending != nil {
+			if c := pending[t.key()]; c != nil && atomic.AddInt64(c, -1) == 0 {
+				r.cache.evict(t.key())
+			}
+		}
 	})
 	return outcomes, errs
 }
@@ -136,3 +231,7 @@ func (r *Runner) fanOut(n int, fn func(i int)) {
 // CachedModules reports how many distinct modules the Runner's build
 // cache currently holds.
 func (r *Runner) CachedModules() int { return r.cache.size() }
+
+// CacheStats reports the Runner's module-cache counters: builds,
+// evictions, and current/peak residency.
+func (r *Runner) CacheStats() CacheStats { return r.cache.statsSnapshot() }

@@ -167,6 +167,69 @@ func TestModuleCacheBuildsEachModuleOnce(t *testing.T) {
 	}
 }
 
+// TestEvictionBoundsResidency is the residency contract of last-trial
+// eviction: an evicting campaign produces identical results with a
+// strictly lower peak module-cache residency, and never evicts a module
+// that still has pending trials — asserted through the cache-stats
+// counters: a premature eviction would force a rebuild, so Builds
+// staying equal to the non-evicting run's count proves no module was
+// released early.
+func TestEvictionBoundsResidency(t *testing.T) {
+	for _, parallel := range []int{1, 8} {
+		run := func(evict bool) (*CampaignResult, CacheStats) {
+			r := NewRunner()
+			r.Runs = 2
+			r.Parallel = parallel
+			r.EvictModules = evict
+			cr, err := r.RunCampaign(smallCampaign())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cr, r.CacheStats()
+		}
+		keepCR, keep := run(false)
+		evictCR, evict := run(true)
+		if !reflect.DeepEqual(keepCR, evictCR) {
+			t.Errorf("parallel=%d: eviction changed campaign results", parallel)
+		}
+		if keep.Evicted != 0 || keep.Resident != keep.Builds || keep.Peak != keep.Builds {
+			t.Errorf("parallel=%d: non-evicting stats inconsistent: %+v", parallel, keep)
+		}
+		if evict.Builds != keep.Builds {
+			t.Errorf("parallel=%d: evicting run built %d modules, non-evicting %d — a module was evicted with pending trials and rebuilt",
+				parallel, evict.Builds, keep.Builds)
+		}
+		if evict.Peak >= keep.Peak {
+			t.Errorf("parallel=%d: peak residency with eviction = %d, want strictly below %d", parallel, evict.Peak, keep.Peak)
+		}
+		if evict.Evicted == 0 || evict.Resident != evict.Builds-evict.Evicted {
+			t.Errorf("parallel=%d: eviction counters inconsistent: %+v", parallel, evict)
+		}
+	}
+}
+
+// TestEvictionKeepsSerialResidencyConstant pins the serial residency
+// bound: with one worker, a site's modules are released as soon as its
+// trials pass, so peak residency is the per-site module count plus the
+// shared bases — independent of how many sites the campaign has.
+func TestEvictionKeepsSerialResidencyConstant(t *testing.T) {
+	peakAt := func(maxSites int) int {
+		cfg := smallCampaign()
+		cfg.Workloads = cfg.Workloads[:1]
+		cfg.MaxSites = maxSites
+		r := NewRunner()
+		r.Runs = 1
+		r.EvictModules = true
+		if _, err := r.RunCampaign(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return r.CacheStats().Peak
+	}
+	if p2, p4 := peakAt(2), peakAt(4); p4 != p2 {
+		t.Errorf("serial evicting peak residency grew with site count: %d sites → %d, %d sites → %d", 2, p2, 4, p4)
+	}
+}
+
 // TestRunOnceSharedModuleConcurrently hammers one cached frozen module
 // from many goroutines; under -race this is the direct audit that a
 // read-only module is safe under concurrent VMs.

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"dpmr/internal/faultinject"
+	"dpmr/internal/workloads"
+)
+
+// fuzzMergeState shares one Runner, campaign config, and a genuine
+// partial result across fuzz iterations: the Runner memoizes the base
+// module build, keeping per-exec plan recomputation cheap, and the real
+// partial seeds the corpus with bytes that pass every validation layer.
+var fuzzMergeState struct {
+	once sync.Once
+	r    *Runner
+	cfg  CampaignConfig
+	seed []byte
+	err  error
+}
+
+func fuzzMergeSetup() (*Runner, CampaignConfig, []byte, error) {
+	s := &fuzzMergeState
+	s.once.Do(func() {
+		s.r = NewRunner()
+		s.r.Runs = 1
+		s.cfg = CampaignConfig{
+			Workloads: workloads.All()[:1],
+			Variants:  []Variant{Stdapp()},
+			Kind:      faultinject.ImmediateFree,
+			MaxSites:  2,
+		}
+		p, err := s.r.RunCampaignPartial(s.cfg)
+		if err != nil {
+			s.err = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
+			s.err = err
+			return
+		}
+		s.seed = buf.Bytes()
+	})
+	return s.r, s.cfg, s.seed, s.err
+}
+
+// FuzzMergeCampaign fuzzes the partial-result decoder and the merge
+// validation stack: arbitrary bytes must either decode into a partial
+// that MergeCampaign accepts or be rejected with an error — never a
+// panic, and never an allocation sized by attacker-controlled fields
+// (the merge buffer is sized by the locally recomputed plan, not the
+// file's Total).
+func FuzzMergeCampaign(f *testing.F) {
+	_, _, seed, err := fuzzMergeSetup()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"fingerprint":"f","shard":{"index":0,"count":1},"lo":0,"hi":1,"total":1,"outcomes":[{"sf":true}]}`))
+	f.Add([]byte(`{"fingerprint":"f","lo":0,"hi":0,"total":0,"outcomes":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"lo":-5,"hi":2,"total":99999999999,"outcomes":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePartial(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		r, cfg, _, err := fuzzMergeSetup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.MergeCampaign(cfg, []*PartialResult{p}); err == nil {
+			// A single accepted partial must have covered the whole plan.
+			if p.Lo != 0 || p.Hi != p.Total {
+				t.Fatalf("merge accepted a partial covering [%d, %d) of %d", p.Lo, p.Hi, p.Total)
+			}
+		}
+	})
+}
+
+// TestFuzzMergeSeedRoundTrips pins the seed partial's behavior outside
+// fuzzing mode: a genuine encoded partial decodes and merges cleanly.
+func TestFuzzMergeSeedRoundTrips(t *testing.T) {
+	r, cfg, seed, err := fuzzMergeSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodePartial(bytes.NewReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := r.MergeCampaign(cfg, []*PartialResult{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := r.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	renderCoverage(&a, cr, labelDiversity)
+	renderCoverage(&b, direct, labelDiversity)
+	if a.String() != b.String() {
+		t.Errorf("merged single-shard report differs from direct run:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

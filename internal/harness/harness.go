@@ -8,6 +8,8 @@ package harness
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 
@@ -119,9 +121,22 @@ type Runner struct {
 	// the optimizer ablation bench flips it.
 	Optimize bool
 	// Parallel is the number of worker goroutines campaign drivers fan
-	// trials out across. Values <= 1 run serially. Any value produces
-	// identical results; Parallel only changes wall-clock time.
+	// trials out across. 1 runs serially; any value produces identical
+	// results, Parallel only changes wall-clock time. Campaign drivers
+	// reject values < 1 rather than silently running serially.
 	Parallel int
+	// Shard selects a contiguous slice of the canonical flat trial plan
+	// for RunCampaignPartial: shard Index of Count. The zero value means
+	// the whole plan. The slicing is host-independent, so Count processes
+	// each running one shard cover every trial exactly once and
+	// MergeCampaign reassembles a result byte-identical to an unsharded
+	// run.
+	Shard ShardSpec
+	// EvictModules releases each injected module from the build cache
+	// after its final trial completes, bounding peak cache residency on
+	// large campaigns (see CacheStats). Off by default: with it off, every
+	// built module stays resident for the Runner's lifetime.
+	EvictModules bool
 	// Progress, when non-nil, is invoked after each completed trial with
 	// the number of finished trials and the campaign total. Calls are
 	// serialized (never concurrent) but arrive in completion order, not
@@ -150,8 +165,9 @@ func NewRunner() *Runner {
 			StackBytes:  256 * 1024,
 			GlobalBytes: 64 * 1024,
 		},
-		golden: make(map[string]*goldenInfo),
-		cache:  newModuleCache(),
+		Parallel: 1,
+		golden:   make(map[string]*goldenInfo),
+		cache:    newModuleCache(),
 	}
 }
 
@@ -269,6 +285,34 @@ func (o Outcome) Covered() bool { return o.CO || o.NatDet || o.DpmrDet }
 // Detected reports any detection.
 func (o Outcome) Detected() bool { return o.NatDet || o.DpmrDet }
 
+// Trial reduces the outcome to its serializable classification fields —
+// everything campaign aggregation reads, and exactly what a sharded run
+// ships between processes.
+func (o Outcome) Trial() TrialOutcome {
+	return TrialOutcome{SF: o.SF, CO: o.CO, NatDet: o.NatDet, DpmrDet: o.DpmrDet, T2DCycles: o.T2DCycles}
+}
+
+// TrialOutcome is the §3.6 classification of one campaign trial in
+// serializable form. It is the unit of the partial-result format: a shard
+// runs a contiguous range of the canonical trial plan and emits one
+// TrialOutcome per trial; MergeCampaign aggregates the reassembled
+// sequence exactly as an unsharded run would, so the classification here
+// must carry every field aggregation touches (and nothing run-local like
+// raw output buffers).
+type TrialOutcome struct {
+	SF        bool   `json:"sf,omitempty"`
+	CO        bool   `json:"co,omitempty"`
+	NatDet    bool   `json:"natDet,omitempty"`
+	DpmrDet   bool   `json:"dpmrDet,omitempty"`
+	T2DCycles uint64 `json:"t2dCycles,omitempty"`
+}
+
+// Covered reports CO ∨ NatDet ∨ DpmrDet (Equation 3.2).
+func (o TrialOutcome) Covered() bool { return o.CO || o.NatDet || o.DpmrDet }
+
+// Detected reports any detection.
+func (o TrialOutcome) Detected() bool { return o.NatDet || o.DpmrDet }
+
 // RunOnce executes one experiment (W, C, D, I, RN). Safe for concurrent
 // use: the module comes from the shared build cache and every run gets
 // its own VM.
@@ -341,7 +385,7 @@ type CoverageCell struct {
 // Coverage returns total coverage.
 func (c CoverageCell) Coverage() float64 { return c.CO + c.NatDet + c.DpmrDet }
 
-func (c *CoverageCell) add(o Outcome) {
+func (c *CoverageCell) add(o TrialOutcome) {
 	if !o.SF {
 		return
 	}
@@ -397,14 +441,95 @@ func (cr *CampaignResult) Cell(variant Variant, workload string) *CoverageCell {
 	return cr.Cells[variant.Label()][workload]
 }
 
-// RunCampaign executes the full injection campaign: for every workload,
-// every enumerated site of the fault kind, every variant, Runs runs.
-// Trials execute on the Runner's worker pool (Parallel goroutines), and
-// outcomes are aggregated in canonical trial order, so the result — and
-// any report rendered from it — is byte-identical at every worker count.
-func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+// siteJob records where one injection site's trials live in the flat
+// canonical plan.
+type siteJob struct {
+	site faultinject.Site
+	std  int   // index of the first stdapp trial
+	vars []int // per variant: first trial index, or -1 (reuses stdapp)
+}
+
+// campaignPlan is the canonical flat trial layout of a campaign. It is a
+// pure function of (config, Runs): two processes planning the same
+// campaign produce identical plans, which is what makes contiguous index
+// ranges a host-independent sharding unit. The fingerprint hashes the
+// plan's identity so MergeCampaign can refuse partial results produced
+// from a different plan.
+type campaignPlan struct {
+	workloads   []string
+	trials      []trial
+	jobs        [][]siteJob // per workload, in workload order
+	fingerprint string
+}
+
+// planCampaign lays the (workload, site, variant, run) grid out flat in
+// canonical order. Each site gets Runs stdapp trials (they feed both the
+// stdapp rows and the StdNotAllDet condition) plus Runs trials per DPMR
+// variant; non-DPMR variants reuse the stdapp outcomes exactly as the
+// serial engine always did.
+func (r *Runner) planCampaign(cfg CampaignConfig) (*campaignPlan, error) {
+	p := &campaignPlan{jobs: make([][]siteJob, len(cfg.Workloads))}
+	h := sha256.New()
+	fmt.Fprintf(h, "dpmr campaign plan v1\nkind %s\nruns %d\n", cfg.Kind, r.Runs)
+	for _, v := range cfg.Variants {
+		fmt.Fprintf(h, "variant %s\n", v.Label())
+	}
+	for wi, w := range cfg.Workloads {
+		p.workloads = append(p.workloads, w.Name)
+		bm, err := r.base(w)
+		if err != nil {
+			return nil, err
+		}
+		sites := sampleSites(faultinject.Enumerate(bm, cfg.Kind), cfg.MaxSites)
+		fmt.Fprintf(h, "workload %s\n", w.Name)
+		for _, site := range sites {
+			site := site
+			fmt.Fprintf(h, "site %s\n", site)
+			job := siteJob{site: site, std: len(p.trials), vars: make([]int, len(cfg.Variants))}
+			for rn := 0; rn < r.Runs; rn++ {
+				p.trials = append(p.trials, trial{w: w, v: Stdapp(), inj: &site, rn: rn})
+			}
+			for vi, v := range cfg.Variants {
+				job.vars[vi] = -1
+				if v.DPMR {
+					job.vars[vi] = len(p.trials)
+					for rn := 0; rn < r.Runs; rn++ {
+						p.trials = append(p.trials, trial{w: w, v: v, inj: &site, rn: rn})
+					}
+				}
+			}
+			p.jobs[wi] = append(p.jobs[wi], job)
+		}
+	}
+	fmt.Fprintf(h, "trials %d\n", len(p.trials))
+	p.fingerprint = hex.EncodeToString(h.Sum(nil))
+	return p, nil
+}
+
+// execTrials runs plan.trials[lo:hi] on the worker pool and returns their
+// classifications, failing with the canonical (variant, workload, site)
+// naming of the first errored trial.
+func (r *Runner) execTrials(plan *campaignPlan, lo, hi int) ([]TrialOutcome, error) {
+	trials := plan.trials[lo:hi]
+	outcomes, errs := r.runTrials(trials)
+	for i, err := range errs {
+		if err != nil {
+			t := trials[i]
+			return nil, fmt.Errorf("trial %d: %s %s %s: %w", lo+i, t.v.Label(), t.w.Name, *t.inj, err)
+		}
+	}
+	return outcomes, nil
+}
+
+// aggregate folds the full plan's trial outcomes into a CampaignResult in
+// canonical order: identical iteration order (and thus identical
+// floating-point accumulation) to the serial engine, regardless of how
+// the outcomes were produced — one process, many workers, or merged
+// shards.
+func (r *Runner) aggregate(cfg CampaignConfig, plan *campaignPlan, outcomes []TrialOutcome) *CampaignResult {
 	cr := &CampaignResult{
 		Kind:        cfg.Kind,
+		Workloads:   plan.workloads,
 		Variants:    cfg.Variants,
 		Cells:       make(map[string]map[string]*CoverageCell),
 		Conditional: make(map[string]*CoverageCell),
@@ -412,63 +537,12 @@ func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	for _, v := range cfg.Variants {
 		cr.Cells[v.Label()] = make(map[string]*CoverageCell)
 		cr.Conditional[v.Label()] = &CoverageCell{}
-	}
-
-	// Stage 2 planning: lay the (workload, site, variant, run) grid out
-	// flat in canonical order. Each site gets Runs stdapp trials (they
-	// feed both the stdapp rows and the StdNotAllDet condition) plus
-	// Runs trials per DPMR variant; non-DPMR variants reuse the stdapp
-	// outcomes exactly as the serial engine always did.
-	type siteJob struct {
-		site faultinject.Site
-		std  int   // index of the first stdapp trial
-		vars []int // per variant: first trial index, or -1 (reuses stdapp)
-	}
-	var trials []trial
-	plan := make([][]siteJob, len(cfg.Workloads))
-	for wi, w := range cfg.Workloads {
-		cr.Workloads = append(cr.Workloads, w.Name)
-		bm, err := r.base(w)
-		if err != nil {
-			return nil, err
-		}
-		sites := sampleSites(faultinject.Enumerate(bm, cfg.Kind), cfg.MaxSites)
-		for _, v := range cfg.Variants {
-			if cr.Cells[v.Label()][w.Name] == nil {
-				cr.Cells[v.Label()][w.Name] = &CoverageCell{}
-			}
-		}
-		for _, site := range sites {
-			site := site
-			job := siteJob{site: site, std: len(trials), vars: make([]int, len(cfg.Variants))}
-			for rn := 0; rn < r.Runs; rn++ {
-				trials = append(trials, trial{w: w, v: Stdapp(), inj: &site, rn: rn})
-			}
-			for vi, v := range cfg.Variants {
-				job.vars[vi] = -1
-				if v.DPMR {
-					job.vars[vi] = len(trials)
-					for rn := 0; rn < r.Runs; rn++ {
-						trials = append(trials, trial{w: w, v: v, inj: &site, rn: rn})
-					}
-				}
-			}
-			plan[wi] = append(plan[wi], job)
+		for _, wname := range plan.workloads {
+			cr.Cells[v.Label()][wname] = &CoverageCell{}
 		}
 	}
-
-	outcomes, errs := r.runTrials(trials)
-	for i, err := range errs {
-		if err != nil {
-			t := trials[i]
-			return nil, fmt.Errorf("%s %s %s: %w", t.v.Label(), t.w.Name, *t.inj, err)
-		}
-	}
-
-	// Canonical-order aggregation: identical iteration order (and thus
-	// identical floating-point accumulation) to the serial engine.
-	for wi, w := range cfg.Workloads {
-		for _, job := range plan[wi] {
+	for wi, wname := range plan.workloads {
+		for _, job := range plan.jobs[wi] {
 			stdOutcomes := outcomes[job.std : job.std+r.Runs]
 			// Per-injection StdNotAllDet: at least one stdapp run with
 			// incorrect output and no natural detection (Table 3.2).
@@ -483,7 +557,7 @@ func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 				if job.vars[vi] >= 0 {
 					outs = outcomes[job.vars[vi] : job.vars[vi]+r.Runs]
 				}
-				cell := cr.Cells[v.Label()][w.Name]
+				cell := cr.Cells[v.Label()][wname]
 				cond := cr.Conditional[v.Label()]
 				for _, o := range outs {
 					cell.add(o)
@@ -502,7 +576,44 @@ func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	for _, c := range cr.Conditional {
 		c.finalize()
 	}
-	return cr, nil
+	return cr
+}
+
+// validate rejects Runner configurations the campaign drivers would
+// otherwise silently misinterpret: a non-positive worker count, or a
+// shard outside [0, Count).
+func (r *Runner) validate() error {
+	if r.Parallel < 1 {
+		return fmt.Errorf("harness: Parallel = %d: campaigns need at least 1 worker", r.Parallel)
+	}
+	return r.Shard.Validate()
+}
+
+// RunCampaign executes the full injection campaign: for every workload,
+// every enumerated site of the fault kind, every variant, Runs runs.
+// Trials execute on the Runner's worker pool (Parallel goroutines), and
+// outcomes are aggregated in canonical trial order, so the result — and
+// any report rendered from it — is byte-identical at every worker count.
+//
+// RunCampaign runs the whole plan: a Runner configured with a proper
+// shard (Count > 1) is refused rather than silently truncated — use
+// RunCampaignPartial and MergeCampaign for sharded execution.
+func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	if !r.Shard.IsZero() && r.Shard != (ShardSpec{Index: 0, Count: 1}) {
+		return nil, fmt.Errorf("harness: RunCampaign with Shard %s: a shard covers only part of the plan; use RunCampaignPartial and MergeCampaign", r.Shard)
+	}
+	plan, err := r.planCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	outcomes, err := r.execTrials(plan, 0, len(plan.trials))
+	if err != nil {
+		return nil, err
+	}
+	return r.aggregate(cfg, plan, outcomes), nil
 }
 
 func sampleSites(sites []faultinject.Site, max int) []faultinject.Site {
@@ -534,6 +645,9 @@ type OverheadResult struct {
 // RunCampaign, the (workload, variant) grid executes on the worker pool
 // and results are recorded in canonical grid order.
 func (r *Runner) RunOverhead(ws []workloads.Workload, variants []Variant) (*OverheadResult, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
 	or := &OverheadResult{
 		Variants: variants,
 		Ratio:    make(map[string]map[string]float64),

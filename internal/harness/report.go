@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -19,11 +20,26 @@ type Options struct {
 	MaxSites int
 	// Quick restricts to two workloads and few sites for smoke runs.
 	Quick bool
-	// Parallel is the campaign worker count (<= 1 = serial). Output is
-	// byte-identical at any worker count.
+	// Parallel is the campaign worker count (0 = default 1 = serial).
+	// Output is byte-identical at any worker count.
 	Parallel int
+	// Evict releases each injected module from the build cache after its
+	// final trial, bounding peak module residency on large campaigns.
+	Evict bool
 	// Progress, when non-nil, receives per-trial completion callbacks.
 	Progress func(done, total int)
+	// ProgressStats, when non-nil, receives per-trial completion
+	// callbacks together with the campaign Runner's module-cache
+	// statistics (resident/peak/evicted counts). Takes precedence over
+	// Progress.
+	ProgressStats func(done, total int, stats CacheStats)
+
+	// campaign/overhead interpose on experiment execution; they are how
+	// GenerateSharded and GenerateMerged reroute the campaigns inside a
+	// generator through partial runs and merges without the generator
+	// knowing.
+	campaignExec func(r *Runner, cfg CampaignConfig) (*CampaignResult, error)
+	overheadExec func(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error)
 }
 
 func (o Options) runner() *Runner {
@@ -34,9 +50,32 @@ func (o Options) runner() *Runner {
 	if o.Quick && o.Runs == 0 {
 		r.Runs = 1
 	}
-	r.Parallel = o.Parallel
-	r.Progress = o.Progress
+	if o.Parallel != 0 {
+		r.Parallel = o.Parallel
+	}
+	r.EvictModules = o.Evict
+	if o.ProgressStats != nil {
+		r.Progress = func(done, total int) { o.ProgressStats(done, total, r.CacheStats()) }
+	} else {
+		r.Progress = o.Progress
+	}
 	return r
+}
+
+// campaign runs (or reroutes) one campaign of an experiment.
+func (o Options) campaign(r *Runner, cfg CampaignConfig) (*CampaignResult, error) {
+	if o.campaignExec != nil {
+		return o.campaignExec(r, cfg)
+	}
+	return r.RunCampaign(cfg)
+}
+
+// overhead runs (or reroutes) one overhead measurement of an experiment.
+func (o Options) overhead(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error) {
+	if o.overheadExec != nil {
+		return o.overheadExec(r, ws, vs)
+	}
+	return r.RunOverhead(ws, vs)
 }
 
 func (o Options) workloads() []workloads.Workload {
@@ -154,7 +193,7 @@ func coverageGen(title string, design dpmr.Design, kind faultinject.Kind,
 	return func(w io.Writer, opts Options) error {
 		r := opts.runner()
 		ws := opts.workloads()
-		cr, err := r.RunCampaign(CampaignConfig{
+		cr, err := opts.campaign(r, CampaignConfig{
 			Workloads: ws,
 			Variants:  variantsOf(design),
 			Kind:      kind,
@@ -203,7 +242,7 @@ func overheadGen(title string, variantsOf func() []Variant, lbl labelFunc) genFu
 	return func(w io.Writer, opts Options) error {
 		r := opts.runner()
 		ws := opts.workloads()
-		or, err := r.RunOverhead(ws, variantsOf())
+		or, err := opts.overhead(r, ws, variantsOf())
 		if err != nil {
 			return err
 		}
@@ -234,7 +273,7 @@ func latencyGen(title string, design dpmr.Design, variantsOf func(dpmr.Design) [
 		ws := opts.workloads()
 		fmt.Fprintln(w, title)
 		for _, kind := range []faultinject.Kind{faultinject.HeapArrayResize, faultinject.ImmediateFree} {
-			cr, err := r.RunCampaign(CampaignConfig{
+			cr, err := opts.campaign(r, CampaignConfig{
 				Workloads: ws,
 				Variants:  variantsOf(design),
 				Kind:      kind,
@@ -275,7 +314,7 @@ func fig316(w io.Writer, opts Options) error {
 		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.TemporalHalf),
 		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.PeriodicLoadChecking{Period: 2}),
 	}
-	or, err := r.RunOverhead(ws, variants)
+	or, err := opts.overhead(r, ws, variants)
 	if err != nil {
 		return err
 	}
@@ -292,7 +331,7 @@ func fig43(w io.Writer, opts Options) error {
 		dpmr.NoDiversity{}, dpmr.ZeroBeforeFree{}, dpmr.RearrangeHeap{}, dpmr.PadMalloc{Pad: 32},
 	}
 	fmt.Fprintln(w, "Figure 4.3: Side-by-side diversity transformation overheads of SDS and MDS (×golden)")
-	return sideBySide(w, r, ws, func(design dpmr.Design) []Variant {
+	return sideBySide(w, r, opts, ws, func(design dpmr.Design) []Variant {
 		var vs []Variant
 		for _, d := range divs {
 			vs = append(vs, NewVariant(design, d, dpmr.AllLoads{}))
@@ -314,7 +353,7 @@ func fig44(w io.Writer, opts Options) error {
 		dpmr.AllLoads{},
 	}
 	fmt.Fprintln(w, "Figure 4.4: Side-by-side comparison policy overheads of SDS and MDS (rearrange-heap, ×golden)")
-	return sideBySide(w, r, ws, func(design dpmr.Design) []Variant {
+	return sideBySide(w, r, opts, ws, func(design dpmr.Design) []Variant {
 		var vs []Variant
 		for _, p := range pols {
 			vs = append(vs, NewVariant(design, dpmr.RearrangeHeap{}, p))
@@ -323,13 +362,13 @@ func fig44(w io.Writer, opts Options) error {
 	}, labelPolicy)
 }
 
-func sideBySide(w io.Writer, r *Runner, ws []workloads.Workload,
+func sideBySide(w io.Writer, r *Runner, opts Options, ws []workloads.Workload,
 	variantsOf func(dpmr.Design) []Variant, lbl labelFunc) error {
-	sds, err := r.RunOverhead(ws, variantsOf(dpmr.SDS))
+	sds, err := opts.overhead(r, ws, variantsOf(dpmr.SDS))
 	if err != nil {
 		return err
 	}
-	mds, err := r.RunOverhead(ws, variantsOf(dpmr.MDS))
+	mds, err := opts.overhead(r, ws, variantsOf(dpmr.MDS))
 	if err != nil {
 		return err
 	}
@@ -350,6 +389,134 @@ func sideBySide(w io.Writer, r *Runner, ws []workloads.Workload,
 			fmt.Fprintf(w, " %8.2f", mds.Ratio[mv.Label()][name])
 		}
 		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Sharded experiment generation
+
+// ExperimentPartial is the partial-result file one shard of a sharded
+// dpmr-exp run emits: one PartialResult per injection campaign the
+// experiment executes, in execution order (latency tables run two
+// campaigns; coverage figures run one).
+type ExperimentPartial struct {
+	Exp       string           `json:"exp"`
+	Shard     ShardSpec        `json:"shard"`
+	Campaigns []*PartialResult `json:"campaigns"`
+}
+
+// DecodeExperimentPartial reads a JSON experiment partial and validates
+// its shape. It never panics on malformed input.
+func DecodeExperimentPartial(r io.Reader) (*ExperimentPartial, error) {
+	var ep ExperimentPartial
+	if err := json.NewDecoder(r).Decode(&ep); err != nil {
+		return nil, fmt.Errorf("harness: decoding experiment partial: %w", err)
+	}
+	if ep.Exp == "" {
+		return nil, fmt.Errorf("harness: experiment partial: missing experiment id")
+	}
+	if len(ep.Campaigns) == 0 {
+		return nil, fmt.Errorf("harness: experiment partial %s: no campaigns", ep.Exp)
+	}
+	for _, p := range ep.Campaigns {
+		if p == nil {
+			return nil, fmt.Errorf("harness: experiment partial %s: nil campaign", ep.Exp)
+		}
+		if err := p.check(); err != nil {
+			return nil, err
+		}
+	}
+	return &ep, nil
+}
+
+// GenerateSharded runs shard `shard` of the named experiment's injection
+// campaigns and JSON-encodes the resulting ExperimentPartial to out.
+// Only campaign-based experiments (coverage figures, latency tables) are
+// shardable; overhead figures are refused. Merge the shards' outputs
+// with GenerateMerged.
+func GenerateSharded(id string, shard ShardSpec, out io.Writer, opts Options) error {
+	if shard.Count < 1 {
+		return fmt.Errorf("harness: GenerateSharded: shard %s: count must be at least 1", shard)
+	}
+	if err := shard.Validate(); err != nil {
+		return err
+	}
+	ep := &ExperimentPartial{Exp: id, Shard: shard}
+	opts.campaignExec = func(r *Runner, cfg CampaignConfig) (*CampaignResult, error) {
+		r.Shard = shard
+		p, plan, err := r.runCampaignPartial(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ep.Campaigns = append(ep.Campaigns, p)
+		// Rendering goes to io.Discard; a structurally complete stand-in
+		// (all cells present, zero-valued) keeps the generator's render
+		// path happy without running the other shards' trials.
+		return r.aggregate(cfg, plan, make([]TrialOutcome, len(plan.trials))), nil
+	}
+	opts.overheadExec = func(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error) {
+		return nil, fmt.Errorf("harness: experiment %s measures overhead; only injection campaigns shard", id)
+	}
+	if err := Generate(id, io.Discard, opts); err != nil {
+		return err
+	}
+	if len(ep.Campaigns) == 0 {
+		return fmt.Errorf("harness: experiment %s runs no injection campaign; nothing to shard", id)
+	}
+	if err := json.NewEncoder(out).Encode(ep); err != nil {
+		return fmt.Errorf("harness: encoding experiment partial: %w", err)
+	}
+	return nil
+}
+
+// GenerateMerged merges the shards of a sharded experiment run and
+// renders the report to out, byte-identical to an unsharded Generate of
+// the same experiment with the same Options. Each reader supplies one
+// shard's ExperimentPartial. id may be "" to take the experiment id from
+// the partials; when given, it must match them.
+func GenerateMerged(id string, out io.Writer, partials []io.Reader, opts Options) error {
+	if len(partials) == 0 {
+		return fmt.Errorf("harness: GenerateMerged: no partial results")
+	}
+	eps := make([]*ExperimentPartial, len(partials))
+	for i, rd := range partials {
+		ep, err := DecodeExperimentPartial(rd)
+		if err != nil {
+			return err
+		}
+		if id == "" {
+			id = ep.Exp
+		}
+		if ep.Exp != id {
+			return fmt.Errorf("harness: GenerateMerged: partial %d is shard %s of experiment %s, want %s", i, ep.Shard, ep.Exp, id)
+		}
+		if i > 0 && len(ep.Campaigns) != len(eps[0].Campaigns) {
+			return fmt.Errorf("harness: GenerateMerged: partial %d holds %d campaigns, partial 0 holds %d", i, len(ep.Campaigns), len(eps[0].Campaigns))
+		}
+		eps[i] = ep
+	}
+	nCampaigns := len(eps[0].Campaigns)
+	ci := 0
+	opts.campaignExec = func(r *Runner, cfg CampaignConfig) (*CampaignResult, error) {
+		if ci >= nCampaigns {
+			return nil, fmt.Errorf("harness: experiment %s runs more than the %d campaigns the partials hold", id, nCampaigns)
+		}
+		parts := make([]*PartialResult, len(eps))
+		for j, ep := range eps {
+			parts[j] = ep.Campaigns[ci]
+		}
+		ci++
+		return r.MergeCampaign(cfg, parts)
+	}
+	opts.overheadExec = func(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error) {
+		return nil, fmt.Errorf("harness: experiment %s measures overhead; only injection campaigns merge", id)
+	}
+	if err := Generate(id, out, opts); err != nil {
+		return err
+	}
+	if ci != nCampaigns {
+		return fmt.Errorf("harness: partials hold %d campaigns but experiment %s ran only %d", nCampaigns, id, ci)
 	}
 	return nil
 }

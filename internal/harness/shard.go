@@ -1,0 +1,232 @@
+package harness
+
+// Sharded campaign execution. A campaign's canonical flat trial plan is
+// a pure function of its configuration, so any process can recompute it
+// and claim a contiguous slice: shard i of N runs trials
+// [i·T/N, (i+1)·T/N). Each shard emits a PartialResult — the per-trial
+// classifications of its range plus the plan fingerprint — and
+// MergeCampaign reassembles the full outcome sequence, refusing
+// mismatched fingerprints and overlapping or missing trial ranges, then
+// aggregates in canonical order. The merged CampaignResult (and any
+// report rendered from it) is byte-identical to an unsharded run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ShardSpec names one shard of a campaign: Index of Count. The zero
+// value means "the whole plan".
+type ShardSpec struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// IsZero reports whether the spec is the unsharded zero value.
+func (s ShardSpec) IsZero() bool { return s == ShardSpec{} }
+
+// String renders the spec in the CLI's i/N form.
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// Validate rejects specs outside [0, Count). The zero value is valid
+// (unsharded).
+func (s ShardSpec) Validate() error {
+	if s.IsZero() {
+		return nil
+	}
+	if s.Count < 1 {
+		return fmt.Errorf("harness: shard %s: count must be at least 1", s)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("harness: shard %s out of range: index must be in [0, %d)", s, s.Count)
+	}
+	return nil
+}
+
+// ParseShard parses the CLI "i/N" form into a validated ShardSpec.
+func ParseShard(text string) (ShardSpec, error) {
+	iText, nText, ok := strings.Cut(text, "/")
+	if !ok {
+		return ShardSpec{}, fmt.Errorf("harness: shard %q: want i/N (e.g. 0/3)", text)
+	}
+	i, err := strconv.Atoi(strings.TrimSpace(iText))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("harness: shard %q: bad index: %v", text, err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(nText))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("harness: shard %q: bad count: %v", text, err)
+	}
+	s := ShardSpec{Index: i, Count: n}
+	if n < 1 {
+		return ShardSpec{}, fmt.Errorf("harness: shard %s: count must be at least 1", s)
+	}
+	if err := s.Validate(); err != nil {
+		return ShardSpec{}, err
+	}
+	return s, nil
+}
+
+// PartialResult is one shard's output: the classifications of the
+// contiguous trial range [Lo, Hi) of a campaign plan identified by
+// Fingerprint. It is the serialization unit of sharded campaigns —
+// JSON-encoded by the shard process, decoded and merged by the
+// coordinator.
+type PartialResult struct {
+	// Fingerprint identifies the canonical plan this shard was cut from;
+	// MergeCampaign refuses partials whose fingerprint differs from the
+	// plan it recomputes locally.
+	Fingerprint string    `json:"fingerprint"`
+	Shard       ShardSpec `json:"shard"`
+	// Lo, Hi delimit the shard's trial range [Lo, Hi) in the canonical
+	// plan; Total is the plan's trial count.
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	Total int `json:"total"`
+	// Outcomes holds one entry per trial, Outcomes[k] classifying
+	// canonical trial Lo+k.
+	Outcomes []TrialOutcome `json:"outcomes"`
+}
+
+// check validates the partial's internal shape (independent of any
+// plan). Decoded partials are checked before use so malformed input
+// surfaces as an error, never a panic.
+func (p *PartialResult) check() error {
+	if p.Lo < 0 || p.Hi < p.Lo || p.Total < p.Hi {
+		return fmt.Errorf("harness: partial result: invalid trial range [%d, %d) of %d", p.Lo, p.Hi, p.Total)
+	}
+	if len(p.Outcomes) != p.Hi-p.Lo {
+		return fmt.Errorf("harness: partial result: %d outcomes for trial range [%d, %d)", len(p.Outcomes), p.Lo, p.Hi)
+	}
+	if p.Fingerprint == "" {
+		return fmt.Errorf("harness: partial result: missing plan fingerprint")
+	}
+	return nil
+}
+
+// Encode writes the partial result as JSON.
+func (p *PartialResult) Encode(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("harness: encoding partial result: %w", err)
+	}
+	return nil
+}
+
+// DecodePartial reads a JSON partial result and validates its shape. It
+// never panics on malformed input.
+func DecodePartial(r io.Reader) (*PartialResult, error) {
+	var p PartialResult
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("harness: decoding partial result: %w", err)
+	}
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// shardRange slices [0, total) into the spec's contiguous range. Adjacent
+// shards tile the plan exactly: shard i ends where shard i+1 begins.
+func (s ShardSpec) shardRange(total int) (lo, hi int) {
+	return s.Index * total / s.Count, (s.Index + 1) * total / s.Count
+}
+
+// RunCampaignPartial executes only the Runner's shard of the campaign's
+// canonical trial plan and returns the indexed partial result. A zero
+// Shard runs the whole plan as shard 0/1. Combine the shards with
+// MergeCampaign.
+func (r *Runner) RunCampaignPartial(cfg CampaignConfig) (*PartialResult, error) {
+	p, _, err := r.runCampaignPartial(cfg)
+	return p, err
+}
+
+// runCampaignPartial also exposes the plan, for callers (GenerateSharded)
+// that need a structurally complete stand-in result.
+func (r *Runner) runCampaignPartial(cfg CampaignConfig) (*PartialResult, *campaignPlan, error) {
+	if err := r.validate(); err != nil {
+		return nil, nil, err
+	}
+	shard := r.Shard
+	if shard.IsZero() {
+		shard = ShardSpec{Index: 0, Count: 1}
+	}
+	plan, err := r.planCampaign(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	lo, hi := shard.shardRange(len(plan.trials))
+	outcomes, err := r.execTrials(plan, lo, hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &PartialResult{
+		Fingerprint: plan.fingerprint,
+		Shard:       shard,
+		Lo:          lo,
+		Hi:          hi,
+		Total:       len(plan.trials),
+		Outcomes:    outcomes,
+	}, plan, nil
+}
+
+// MergeCampaign reassembles a full CampaignResult from the partial
+// results of a sharded run. The Runner's configuration (Runs, workloads'
+// site enumeration) must reproduce the plan the shards were cut from;
+// the plan fingerprint enforces this. Partials may arrive in any order,
+// but their ranges must tile [0, total) exactly: overlapping ranges
+// (e.g. a duplicated shard) and gaps (a missing shard) are rejected with
+// the offending trial range named. The merged result is byte-identical
+// to an unsharded run of the same campaign.
+func (r *Runner) MergeCampaign(cfg CampaignConfig, parts []*PartialResult) (*CampaignResult, error) {
+	plan, err := r.planCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	total := len(plan.trials)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("harness: MergeCampaign: no partial results")
+	}
+	for _, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("harness: MergeCampaign: nil partial result")
+		}
+		if err := p.check(); err != nil {
+			return nil, err
+		}
+		if p.Fingerprint != plan.fingerprint {
+			return nil, fmt.Errorf("harness: MergeCampaign: shard %s was cut from a different plan (fingerprint %.12s, want %.12s): config, runs, or site enumeration differ",
+				p.Shard, p.Fingerprint, plan.fingerprint)
+		}
+		if p.Total != total {
+			return nil, fmt.Errorf("harness: MergeCampaign: shard %s covers a %d-trial plan, this campaign has %d trials", p.Shard, p.Total, total)
+		}
+	}
+	sorted := make([]*PartialResult, len(parts))
+	copy(sorted, parts)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Lo != sorted[j].Lo {
+			return sorted[i].Lo < sorted[j].Lo
+		}
+		return sorted[i].Hi < sorted[j].Hi
+	})
+	outcomes := make([]TrialOutcome, total)
+	next := 0
+	for _, p := range sorted {
+		if p.Lo < next {
+			return nil, fmt.Errorf("harness: MergeCampaign: shard %s overlaps already-merged trials [%d, %d): duplicate shard?", p.Shard, p.Lo, min(p.Hi, next))
+		}
+		if p.Lo > next {
+			return nil, fmt.Errorf("harness: MergeCampaign: missing trials [%d, %d): no shard covers them", next, p.Lo)
+		}
+		copy(outcomes[p.Lo:p.Hi], p.Outcomes)
+		next = p.Hi
+	}
+	if next != total {
+		return nil, fmt.Errorf("harness: MergeCampaign: missing trials [%d, %d): no shard covers them", next, total)
+	}
+	return r.aggregate(cfg, plan, outcomes), nil
+}

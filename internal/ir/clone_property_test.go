@@ -1,0 +1,171 @@
+package ir_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/faultinject"
+	"dpmr/internal/ir"
+	"dpmr/internal/workloads"
+)
+
+// propertyModules returns the richest real modules the repo has — every
+// workload, a fault-injected build, and a DPMR transformation — so the
+// clone properties are checked against all instruction kinds the
+// pipeline actually produces, not a hand-picked fixture.
+func propertyModules(t *testing.T) map[string]*ir.Module {
+	t.Helper()
+	out := make(map[string]*ir.Module)
+	for _, w := range workloads.All() {
+		out[w.Name] = w.Build()
+	}
+	base := workloads.All()[0].Build()
+	if sites := faultinject.Enumerate(base, faultinject.ImmediateFree); len(sites) > 0 {
+		base.Freeze()
+		fm, err := faultinject.Apply(base, sites[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["injected"] = fm
+	}
+	xm, err := dpmr.Transform(workloads.All()[1].Build(), dpmr.Config{
+		Design: dpmr.MDS, Diversity: dpmr.RearrangeHeap{}, Policy: dpmr.TemporalHalf, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["dpmr"] = xm
+	return out
+}
+
+// mutateEverything perturbs every mutable field reachable from the
+// module — every global, function, block, instruction, and register —
+// via reflection, so the test keeps covering instruction kinds added
+// after it was written. Shared immutable state (ir.Type values) is left
+// alone: type sharing across clones is documented behavior.
+func mutateEverything(m *ir.Module) {
+	seenRegs := make(map[*ir.Reg]bool)
+	for _, g := range m.Globals {
+		g.Name += "~"
+		for i := range g.Init {
+			g.Init[i] ^= 0xff
+		}
+		for i := range g.Refs {
+			g.Refs[i].Offset += 1000
+			g.Refs[i].Global += "~"
+			g.Refs[i].Func += "~"
+		}
+	}
+	for _, f := range m.Funcs {
+		f.Name += "~"
+		for _, p := range f.Params {
+			mutateReg(p, seenRegs)
+		}
+		for _, b := range f.Blocks {
+			b.Name += "~"
+			b.Index += 1000
+			for _, in := range b.Instrs {
+				mutateInstr(in, seenRegs)
+			}
+		}
+	}
+}
+
+func mutateReg(r *ir.Reg, seen map[*ir.Reg]bool) {
+	if r == nil || seen[r] {
+		return
+	}
+	seen[r] = true
+	r.ID += 100000
+	r.Name += "~"
+}
+
+var regType = reflect.TypeOf((*ir.Reg)(nil))
+var blockType = reflect.TypeOf((*ir.Block)(nil))
+var typeType = reflect.TypeOf((*ir.Type)(nil)).Elem()
+
+func mutateInstr(in ir.Instr, seen map[*ir.Reg]bool) {
+	v := reflect.ValueOf(in).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if !f.CanSet() {
+			continue
+		}
+		switch {
+		case f.Type() == regType:
+			if !f.IsNil() {
+				mutateReg(f.Interface().(*ir.Reg), seen)
+			}
+		case f.Type() == blockType:
+			if !f.IsNil() {
+				f.Interface().(*ir.Block).Name += "~"
+			}
+		case f.Type().Implements(typeType) || f.Type() == typeType:
+			// Types are immutable and shared by design; skip.
+		case f.Kind() == reflect.Slice && f.Type().Elem() == regType:
+			for k := 0; k < f.Len(); k++ {
+				if !f.Index(k).IsNil() {
+					mutateReg(f.Index(k).Interface().(*ir.Reg), seen)
+				}
+			}
+		case f.Kind() == reflect.String:
+			f.SetString(f.String() + "~")
+		case f.Kind() == reflect.Bool:
+			f.SetBool(!f.Bool())
+		case f.Kind() >= reflect.Int && f.Kind() <= reflect.Int64:
+			f.SetInt(f.Int() + 1000)
+		case f.Kind() >= reflect.Uint && f.Kind() <= reflect.Uint64:
+			f.SetUint(f.Uint() + 1)
+		case f.Kind() == reflect.Float64 || f.Kind() == reflect.Float32:
+			f.SetFloat(f.Float() + 1000)
+		}
+	}
+}
+
+// TestPropertyCloneIsDeep is the clone depth property over real
+// pipeline modules: freeze the original, clone it, perturb every field
+// of every instruction and global of the clone, and require the frozen
+// original's textual form to be byte-stable. Any shallowly copied field
+// shows up as a diff here.
+func TestPropertyCloneIsDeep(t *testing.T) {
+	for name, m := range propertyModules(t) {
+		name, m := name, m
+		t.Run(name, func(t *testing.T) {
+			m.Freeze()
+			before := m.String()
+			c := m.Clone()
+			if got := c.String(); got != before {
+				t.Fatalf("clone text differs from original before any mutation")
+			}
+			if c.Frozen() {
+				t.Error("clone of a frozen module must be mutable")
+			}
+			mutateEverything(c)
+			if c.String() == before {
+				t.Fatal("mutation did not change the clone; the property would be vacuous")
+			}
+			if got := m.String(); got != before {
+				t.Errorf("mutating the clone perturbed the frozen original:\n--- before ---\n%.2000s\n--- after ---\n%.2000s", before, got)
+			}
+			if !m.Frozen() {
+				t.Error("original lost its frozen mark")
+			}
+		})
+	}
+}
+
+// TestPropertyCloneOfMutatedCloneIsIndependent chains the property: a
+// clone of a (mutated) clone is again fully independent, so clones can
+// seed further build stages without aliasing.
+func TestPropertyCloneOfMutatedCloneIsIndependent(t *testing.T) {
+	m := workloads.All()[0].Build()
+	c1 := m.Clone()
+	mutateEverything(c1)
+	snap := c1.String()
+	c2 := c1.Clone()
+	mutateEverything(c2)
+	if got := c1.String(); got != snap {
+		t.Error("mutating the second-generation clone perturbed the first")
+	}
+}

@@ -1,0 +1,66 @@
+package ir_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/ir"
+	"dpmr/internal/workloads"
+)
+
+// FuzzParse fuzzes the IR text parser. The contract is the one Parse
+// documents: malformed input returns an error, never a panic — including
+// input that would trip module-construction invariants (duplicate names,
+// non-scalar registers, out-of-range field indices). Accepted input must
+// additionally survive the printer/parser round trip: the printed form
+// of a parsed module re-parses.
+//
+// Seeds are the printer's own output over every workload and a DPMR
+// transformation of one — the richest real module texts the repo has —
+// plus small handwritten texts exercising each grammar production.
+func FuzzParse(f *testing.F) {
+	for _, w := range workloads.All() {
+		f.Add(w.Build().String())
+	}
+	if xm, err := dpmr.Transform(workloads.All()[0].Build(), dpmr.Config{
+		Design: dpmr.SDS, Diversity: dpmr.RearrangeHeap{}, Policy: dpmr.AllLoads{}, Seed: 1,
+	}); err == nil {
+		f.Add(xm.String())
+	}
+	// The DPMR golden files are transformed function bodies; as seeds
+	// they exercise the instruction grammar even though they lack the
+	// module header.
+	if goldens, err := filepath.Glob(filepath.Join("..", "dpmr", "testdata", "*.golden")); err == nil {
+		for _, g := range goldens {
+			if data, err := os.ReadFile(g); err == nil {
+				f.Add(string(data))
+				f.Add("module g\n" + string(data))
+			}
+		}
+	}
+	f.Add("module m\n")
+	// Regression: a whitespace-only module name trims to "" whose printed
+	// form is bare "module"; both spellings must parse and round-trip.
+	f.Add("module \v")
+	f.Add("module")
+	f.Add("module m\ntype %t = { i64; i8* }\nglobal @g : %t\n  ref 0 @g\n")
+	f.Add("module m\ntype %u.v = union{ i64; f64 }\n")
+	f.Add("module m\nextern func @e(%p.0: i8*) void\n")
+	f.Add("module m\nfunc @f(%x.0: i64) i64 {\n.entry:\n  %r1 = const i64 2\n  %r2 = add %x.0, %r1\n  ret %r2\n}\n")
+	f.Add("module m\nfunc @f() void {\n.a:\n  br .b\n.b:\n  %c = const i1 1\n  condbr %c, .a, .b\n}\n")
+	f.Add("module m\nfunc @f() void {\n.entry:\n  %n = const i64 3\n  %p = malloc [4 x i64], count %n ; site 7\n  %q = indexaddr %p, %n\n  free %p\n  ret\n}\n")
+	f.Add("module m\nfunc @f() void {\n.entry:\n  %x = randint 1, 6\n  output int %x\n  exit %x\n}\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := ir.Parse(text)
+		if err != nil {
+			return
+		}
+		printed := m.String()
+		if _, err := ir.Parse(printed); err != nil {
+			t.Fatalf("printed form of accepted input does not re-parse: %v\n--- input ---\n%q\n--- printed ---\n%q", err, text, printed)
+		}
+	})
+}

@@ -12,6 +12,10 @@ import (
 // requirement beyond that is that a register's defining instruction
 // appears textually before its uses (true of all builder- and
 // transformer-produced modules, whose entry blocks dominate textually).
+//
+// Parse never panics: malformed input — including input that would trip
+// module-construction invariants like duplicate names or non-scalar
+// registers — is reported as an error (fuzzed by FuzzParse).
 func Parse(text string) (*Module, error) {
 	p := &parser{types: map[string]Type{}}
 	if err := p.run(text); err != nil {
@@ -40,10 +44,13 @@ func (p *parser) run(text string) error {
 		}
 		lines = append(lines, l)
 	}
-	if len(lines) == 0 || !strings.HasPrefix(lines[0], "module ") {
+	// "module" with no name is accepted: an empty (or all-whitespace)
+	// module name prints as "module " which trims back to bare "module",
+	// so the printed form of such a module must re-parse.
+	if len(lines) == 0 || (lines[0] != "module" && !strings.HasPrefix(lines[0], "module ")) {
 		return fmt.Errorf("ir parse: missing module header")
 	}
-	p.m = NewModule(strings.TrimSpace(strings.TrimPrefix(lines[0], "module ")))
+	p.m = NewModule(strings.TrimSpace(strings.TrimPrefix(lines[0], "module")))
 	lines = lines[1:]
 
 	// Sweep 1: create opaque named types so bodies can be recursive.
@@ -55,6 +62,12 @@ func (p *parser) run(text string) error {
 		name, _, ok := strings.Cut(strings.TrimPrefix(t, "type %"), " =")
 		if !ok {
 			return fmt.Errorf("ir parse: bad type line %q", l)
+		}
+		if name == "" || name == "u." {
+			return fmt.Errorf("ir parse: bad type line %q: empty type name", l)
+		}
+		if _, dup := p.types[name]; dup {
+			return fmt.Errorf("ir parse: duplicate type %%%s", name)
 		}
 		if rest, isU := strings.CutPrefix(name, "u."); isU {
 			p.types[name] = NamedUnion(rest)
@@ -126,21 +139,26 @@ func (p *parser) run(text string) error {
 
 func (p *parser) fillTypeBody(name, body string) error {
 	cur := newCursor(body)
-	if u, ok := p.types[name].(*UnionType); ok {
+	// A name mismatch between the two sweeps (they split the line on
+	// slightly different separators) means the line is malformed.
+	switch t := p.types[name].(type) {
+	case *UnionType:
 		elems, err := p.parseAggregateBody(cur, "union{")
 		if err != nil {
 			return err
 		}
-		u.SetBody(elems...)
+		t.SetBody(elems...)
 		return nil
+	case *StructType:
+		fields, err := p.parseAggregateBody(cur, "{")
+		if err != nil {
+			return err
+		}
+		t.SetBody(fields...)
+		return nil
+	default:
+		return fmt.Errorf("malformed type definition")
 	}
-	s := p.types[name].(*StructType)
-	fields, err := p.parseAggregateBody(cur, "{")
-	if err != nil {
-		return err
-	}
-	s.SetBody(fields...)
-	return nil
 }
 
 // parseAggregateBody parses "{ T; T; ... }" or "union{ ... }" bodies.
@@ -173,6 +191,9 @@ func (p *parser) parseGlobal(line string) (*Global, error) {
 	t, err := p.parseTypeString(typ)
 	if err != nil {
 		return nil, fmt.Errorf("ir parse: global @%s: %w", name, err)
+	}
+	if p.m.Global(name) != nil {
+		return nil, fmt.Errorf("ir parse: duplicate global @%s", name)
 	}
 	return p.m.AddGlobal(name, t), nil
 }
@@ -234,8 +255,14 @@ func (p *parser) parseFuncHeader(line string, external bool) (*Func, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ir parse: @%s param %s: %w", name, pn, err)
 		}
+		if !IsScalar(t) {
+			return nil, fmt.Errorf("ir parse: @%s param %s: non-scalar type %s", name, pn, t)
+		}
 		paramTypes = append(paramTypes, t)
 		paramNames = append(paramNames, regNameOf(pn))
+	}
+	if p.m.Func(name) != nil {
+		return nil, fmt.Errorf("ir parse: duplicate function @%s", name)
 	}
 	fn := p.m.AddFunc(name, FuncOf(ret, paramTypes...), paramNames...)
 	fn.External = external
@@ -325,6 +352,9 @@ func (bp *bodyParser) lookup(tok string) (*Reg, error) {
 // define creates (or reuses) the destination register for token tok with
 // type t. Reuse happens on reassignment (non-SSA moves/loops).
 func (bp *bodyParser) define(tok string, t Type) (*Reg, error) {
+	if !IsScalar(t) {
+		return nil, fmt.Errorf("register %s of non-scalar type %s", tok, t)
+	}
 	tok = strings.TrimPrefix(tok, "%")
 	if r, ok := bp.regs[tok]; ok {
 		if !TypesEqual(r.Type, t) {
@@ -335,6 +365,16 @@ func (bp *bodyParser) define(tok string, t Type) (*Reg, error) {
 	r := bp.fn.NewReg(regNameOf("%"+tok), t)
 	bp.regs[tok] = r
 	return r, nil
+}
+
+// pointee returns the pointee type of a pointer-typed register, as an
+// error (not a panic) on non-pointers.
+func pointee(r *Reg) (Type, error) {
+	pt, ok := r.Type.(*PointerType)
+	if !ok {
+		return nil, fmt.Errorf("%s is not a pointer (type %s)", r, r.Type)
+	}
+	return pt.Elem, nil
 }
 
 func (bp *bodyParser) parseInstr(line string) error {
@@ -507,11 +547,21 @@ func (bp *bodyParser) parseInstr(line string) error {
 		if err != nil {
 			return err
 		}
+		pe, err := pointee(ptr)
+		if err != nil {
+			return err
+		}
 		var ft Type
-		switch agg := ptr.Elem().(type) {
+		switch agg := pe.(type) {
 		case *StructType:
+			if field < 0 || field >= agg.NumFields() {
+				return fmt.Errorf("fieldaddr field %d out of range for %s", field, agg)
+			}
 			ft = agg.Field(field)
 		case *UnionType:
+			if field < 0 || field >= agg.NumElems() {
+				return fmt.Errorf("fieldaddr element %d out of range for %s", field, agg)
+			}
 			ft = agg.Elem(field)
 		default:
 			return fmt.Errorf("fieldaddr through %s", ptr.Type)
@@ -526,7 +576,10 @@ func (bp *bodyParser) parseInstr(line string) error {
 		if err != nil {
 			return err
 		}
-		elem := ptr.Elem()
+		elem, err := pointee(ptr)
+		if err != nil {
+			return err
+		}
 		if at, ok := elem.(*ArrayType); ok {
 			elem = at.Elem
 		}
@@ -745,7 +798,11 @@ func (bp *bodyParser) parseCall(dstTok, rest string, emit func(Instr)) error {
 			return err
 		}
 		call.CalleePtr = fp
-		ft, ok := fp.Elem().(*FuncType)
+		pe, err := pointee(fp)
+		if err != nil {
+			return err
+		}
+		ft, ok := pe.(*FuncType)
 		if !ok {
 			return fmt.Errorf("indirect call through %s", fp.Type)
 		}
@@ -838,6 +895,9 @@ func (p *parser) parseType(cur *cursor) (Type, error) {
 		n, err := strconv.Atoi(nText)
 		if err != nil {
 			return nil, fmt.Errorf("bad array length %q", nText)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative array length %d", n)
 		}
 		if !cur.eat(" x ") {
 			return nil, fmt.Errorf("bad array type at %q", cur.rest())
