@@ -11,9 +11,13 @@ package dpmrbench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"dpmr/internal/coord"
 	"dpmr/internal/dpmr"
 	"dpmr/internal/extlib"
 	"dpmr/internal/faultinject"
@@ -349,6 +353,7 @@ func BenchmarkCampaign(b *testing.B) {
 		Kind:     faultinject.ImmediateFree,
 		MaxSites: 6,
 	}
+	trials := planTrials(b, campaign)
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("parallel%d", workers), func(b *testing.B) {
@@ -371,6 +376,7 @@ func BenchmarkCampaign(b *testing.B) {
 					b.ReportMetric(float64(n), "stdapp-injections")
 				}
 			}
+			reportTrialsPerSec(b, trials)
 		})
 	}
 
@@ -422,6 +428,136 @@ func BenchmarkCampaign(b *testing.B) {
 		}
 		b.ReportMetric(float64(stats.Peak), "peak-resident")
 		b.ReportMetric(float64(stats.Builds), "modules-built")
+	})
+}
+
+// planTrials sizes the benchmark campaign's canonical plan (for the
+// trials/sec throughput metric).
+func planTrials(b *testing.B, campaign harness.CampaignConfig) int {
+	b.Helper()
+	r := harness.NewRunner()
+	r.Runs = 1
+	trials, err := r.PlanTrials(campaign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trials
+}
+
+func reportTrialsPerSec(b *testing.B, trials int) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(trials)*float64(b.N)/secs, "trials/sec")
+	}
+}
+
+// shardWorker builds the in-process coordinator worker the benchmark
+// fleets share: a fresh Runner per assignment (as concurrent fleet slots
+// require), JSON round trip included — the exact bytes a process fleet
+// would stream.
+func shardWorker(campaign harness.CampaignConfig) coord.Func {
+	return func(_ context.Context, shard harness.ShardSpec) ([]byte, error) {
+		r := harness.NewRunner()
+		r.Runs = 1
+		r.EvictModules = true
+		r.Shard = shard
+		p, err := r.RunCampaignPartial(campaign)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+// BenchmarkCoordinator measures the shard coordinator end to end: the
+// benchmark campaign cut into 2×workers shards, leased to an in-process
+// fleet, streamed back as JSON partials, and merged. The delta against
+// BenchmarkCampaign/parallelN is the coordination overhead a supervised
+// fleet pays for crash/straggler tolerance; the straggler sub-benchmark
+// injects a wedged first attempt and measures the lease-expiry retry
+// path (its wall clock ≈ lease + normal run, not the straggler's hang).
+func BenchmarkCoordinator(b *testing.B) {
+	campaign := harness.CampaignConfig{
+		Workloads: workloads.All()[:2], // art + bzip2
+		Variants: []harness.Variant{
+			harness.Stdapp(),
+			harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+			harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+		},
+		Kind:     faultinject.ImmediateFree,
+		MaxSites: 6,
+	}
+	trials := planTrials(b, campaign)
+	mergeAll := func(b *testing.B, payloads [][]byte) {
+		b.Helper()
+		parts := make([]*harness.PartialResult, len(payloads))
+		for i, payload := range payloads {
+			p, err := harness.DecodePartial(bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts[i] = p
+		}
+		r := harness.NewRunner()
+		r.Runs = 1
+		if _, err := r.MergeCampaign(campaign, parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	worker := shardWorker(campaign)
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				co, err := coord.New(coord.Config{
+					Shards:  2 * workers,
+					Workers: workers,
+					Spawn:   func(int) (coord.Worker, error) { return worker, nil },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				payloads, err := co.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				mergeAll(b, payloads)
+			}
+			reportTrialsPerSec(b, trials)
+		})
+	}
+
+	b.Run("straggler", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// The first attempt overall wedges until shutdown; the lease
+			// expires and the shard is speculatively re-leased.
+			var wedged int32
+			slow := coord.Func(func(ctx context.Context, shard harness.ShardSpec) ([]byte, error) {
+				if atomic.CompareAndSwapInt32(&wedged, 0, 1) {
+					<-ctx.Done()
+					return nil, ctx.Err()
+				}
+				return shardWorker(campaign)(ctx, shard)
+			})
+			co, err := coord.New(coord.Config{
+				Shards:  4,
+				Workers: 2,
+				Lease:   50 * time.Millisecond,
+				Spawn:   func(int) (coord.Worker, error) { return slow, nil },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payloads, err := co.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			mergeAll(b, payloads)
+		}
+		reportTrialsPerSec(b, trials)
 	})
 }
 

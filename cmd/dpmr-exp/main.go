@@ -7,35 +7,55 @@
 //	dpmr-exp -exp tab3.3 -quick      # reduced workloads/sites for a fast pass
 //	dpmr-exp -list                   # list experiment ids
 //
-// Campaign-based experiments shard across processes: each shard runs a
-// contiguous slice of the canonical trial plan and writes a partial
-// result, and -merge reassembles a report byte-identical to an unsharded
-// run (mismatched plans, duplicated shards, and missing trial ranges are
-// rejected):
+// Every experiment shards across processes: each shard runs a contiguous
+// slice of the canonical trial plan (injection campaigns and overhead
+// measurements alike) and writes a partial result, and -merge reassembles
+// a report byte-identical to an unsharded run (mismatched plans,
+// duplicated shards, and missing trial ranges are rejected):
 //
 //	dpmr-exp -exp fig3.7 -shard 0/3 -out part0.json
 //	dpmr-exp -exp fig3.7 -shard 1/3 -out part1.json
 //	dpmr-exp -exp fig3.7 -shard 2/3 -out part2.json
 //	dpmr-exp -merge part0.json part1.json part2.json
 //
+// -merge also takes directories and glob patterns ('parts/', 'part*.json'),
+// so a 16-shard run merges without enumerating files by hand.
+//
+// With -coord the same sharding runs under a supervising coordinator
+// instead of by hand: the plan is cut into -coord-shards slices, leased
+// to a fleet of workers (in-process goroutines, or spawned
+// `dpmr-exp -worker` processes with -coord-spawn, streaming partial
+// results over JSON-lines stdio), stragglers and crashed workers are
+// retried, and the merged report — still byte-identical to an unsharded
+// run — lands on stdout in one command:
+//
+//	dpmr-exp -exp fig3.7 -coord 8
+//	dpmr-exp -exp tab3.3 -coord 4 -coord-spawn -coord-lease 5m
+//
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured comparisons.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 
+	"dpmr/internal/coord"
 	"dpmr/internal/harness"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dpmr-exp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -47,10 +67,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 1, "campaign worker goroutines (output is identical at any count)")
 		progress = fs.Bool("progress", false, "report per-trial campaign progress and module-cache residency on stderr")
 		evict    = fs.Bool("evict", true, "release each module after its final trial (bounds peak cache residency)")
-		shard    = fs.String("shard", "", "run campaign shard i/N and write a partial result (requires -exp, not 'all')")
+		shard    = fs.String("shard", "", "run shard i/N of the experiment and write a partial result (requires -exp, not 'all')")
 		outPath  = fs.String("out", "", "partial-result output file with -shard (default stdout)")
-		merge    = fs.Bool("merge", false, "merge partial-result files (the positional arguments) and render the report")
+		merge    = fs.Bool("merge", false, "merge partial-result files, directories, or globs (the positional arguments) and render the report")
 	)
+	var cf coord.CLIFlags
+	cf.Register(fs, "experiment", "worker mode: serve shard assignments for -exp from stdin (JSON lines; normally spawned by a coordinator)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,14 +101,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The four execution modes are mutually exclusive; name the clash
+	// instead of silently preferring one.
+	modes := 0
+	for _, on := range []bool{*merge, *shard != "", cf.Enabled(), cf.Worker} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fail(stderr, fmt.Errorf("-merge, -shard, -coord, and -worker are mutually exclusive"))
+	}
+	if err := cf.Validate(fs); err != nil {
+		return fail(stderr, err)
+	}
+
 	switch {
 	case *merge:
-		if *shard != "" {
-			return fail(stderr, fmt.Errorf("-merge and -shard are mutually exclusive"))
-		}
-		files := fs.Args()
-		if len(files) == 0 {
-			return fail(stderr, fmt.Errorf("-merge needs the partial-result files as arguments"))
+		files, err := expandPartialArgs(fs.Args())
+		if err != nil {
+			return fail(stderr, err)
 		}
 		readers := make([]io.Reader, len(files))
 		for i, name := range files {
@@ -107,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, err)
 		}
 		if *exp == "" || *exp == "all" {
-			return fail(stderr, fmt.Errorf("-shard requires a single campaign experiment via -exp"))
+			return fail(stderr, fmt.Errorf("-shard requires a single experiment via -exp"))
 		}
 		out := io.Writer(stdout)
 		var f *os.File
@@ -132,6 +166,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		return 0
+	case cf.Worker:
+		if *exp == "" || *exp == "all" {
+			return fail(stderr, fmt.Errorf("-worker requires a single experiment via -exp"))
+		}
+		// One Runner for the worker's lifetime: shards of the same plan
+		// leased to this worker reuse its module and golden caches.
+		workerOpts := opts
+		workerOpts.Runner = harness.NewRunner()
+		err := coord.Serve(stdin, stdout, func(shard harness.ShardSpec) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := harness.GenerateSharded(*exp, shard, &buf, workerOpts); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		})
+		if err != nil {
+			return runFail(stderr, err)
+		}
+		return 0
+	case cf.Enabled():
+		if *exp == "" || *exp == "all" {
+			return fail(stderr, fmt.Errorf("-coord requires a single experiment via -exp"))
+		}
+		return runCoordinated(*exp, cf, opts, *progress, stdout, stderr)
 	}
 
 	if *exp == "" {
@@ -150,10 +208,121 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runCoordinated schedules the experiment's shards on a worker fleet and
+// renders the merged report — byte-identical to an unsharded run — to
+// stdout.
+func runCoordinated(exp string, cf coord.CLIFlags, opts harness.Options, progress bool, stdout, stderr io.Writer) int {
+	// Per-trial progress from N concurrent workers would interleave;
+	// workers run quiet and the coordinator reports shard-level events.
+	workerOpts := opts
+	workerOpts.Progress = nil
+	workerOpts.ProgressStats = nil
+
+	fleet := coord.FleetOptions{
+		Workers: cf.Workers, Shards: cf.Shards, Lease: cf.Lease,
+		Chaos: cf.Chaos, Stderr: stderr,
+		Local: func(_ context.Context, shard harness.ShardSpec) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := harness.GenerateSharded(exp, shard, &buf, workerOpts); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}
+	if cf.Spawn {
+		fleet.SpawnArgv = workerArgv(exp, opts)
+	}
+	if progress {
+		fleet.Log = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "coord: "+format+"\n", args...)
+		}
+	}
+	payloads, err := coord.RunFleet(context.Background(), fleet)
+	if err != nil {
+		return runFail(stderr, err)
+	}
+	readers := make([]io.Reader, len(payloads))
+	for i, p := range payloads {
+		readers[i] = bytes.NewReader(p)
+	}
+	if err := harness.GenerateMerged(exp, stdout, readers, opts); err != nil {
+		return runFail(stderr, err)
+	}
+	return 0
+}
+
+// workerArgv reconstructs the flag line a spawned worker needs to
+// recompute the exact same plan as the coordinator: any divergence is
+// caught downstream by the plan fingerprint, but matching flags here is
+// what makes the happy path work.
+func workerArgv(exp string, opts harness.Options) []string {
+	argv := []string{
+		"-worker", "-exp", exp,
+		"-parallel", strconv.Itoa(max(opts.Parallel, 1)),
+		"-evict=" + strconv.FormatBool(opts.Evict),
+	}
+	if opts.Quick {
+		argv = append(argv, "-quick")
+	}
+	if opts.Runs != 0 {
+		argv = append(argv, "-runs", strconv.Itoa(opts.Runs))
+	}
+	if opts.MaxSites != 0 {
+		argv = append(argv, "-max-sites", strconv.Itoa(opts.MaxSites))
+	}
+	return argv
+}
+
+// expandPartialArgs turns -merge's positional arguments into the partial
+// files to merge: a directory expands to its *.json files, an argument
+// containing glob metacharacters expands via filepath.Glob, and anything
+// else is taken literally. An argument matching nothing is an error — a
+// silently empty expansion would merge an incomplete shard set, which
+// the merge layer would then reject far more cryptically.
+func expandPartialArgs(args []string) ([]string, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("-merge needs partial-result files, directories, or globs as arguments")
+	}
+	var files []string
+	for _, arg := range args {
+		if fi, err := os.Stat(arg); err == nil {
+			if !fi.IsDir() {
+				// An existing file always means itself, even when its
+				// name contains glob metacharacters.
+				files = append(files, arg)
+				continue
+			}
+			matches, err := filepath.Glob(filepath.Join(arg, "*.json"))
+			if err != nil {
+				return nil, err
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("-merge: no *.json partials in directory %s", arg)
+			}
+			files = append(files, matches...)
+			continue
+		}
+		if strings.ContainsAny(arg, "*?[") {
+			matches, err := filepath.Glob(arg)
+			if err != nil {
+				return nil, fmt.Errorf("-merge: bad pattern %q: %w", arg, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("-merge: no partials match %q", arg)
+			}
+			files = append(files, matches...)
+			continue
+		}
+		files = append(files, arg)
+	}
+	return files, nil
+}
+
 // fail reports command-line misuse (bad flags or flag combinations):
 // exit 2. Failures of the run itself — unknown experiments, partial-file
-// I/O, merge validation, campaign errors — exit 1 via runFail, in every
-// mode (sharded, merged, or unsharded).
+// I/O, merge validation, campaign errors, a fleet that cannot finish —
+// exit 1 via runFail, in every mode (sharded, merged, coordinated, or
+// unsharded).
 func fail(stderr io.Writer, err error) int {
 	fmt.Fprintln(stderr, "dpmr-exp:", err)
 	return 2

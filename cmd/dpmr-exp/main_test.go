@@ -8,6 +8,9 @@ import (
 	"testing"
 )
 
+// noStdin stands in for an unused worker-protocol stream.
+func noStdin() *strings.Reader { return strings.NewReader("") }
+
 // TestRunFlagValidation is the table-driven flag/validation contract of
 // the dpmr-exp CLI: every bad combination exits nonzero with a
 // diagnostic naming the problem, without starting a campaign.
@@ -28,16 +31,30 @@ func TestRunFlagValidation(t *testing.T) {
 		{"shard without exp", []string{"-shard", "0/3"}, 2, "-shard requires"},
 		{"shard of all", []string{"-exp", "all", "-shard", "0/3"}, 2, "-shard requires"},
 		{"out without shard", []string{"-exp", "fig3.7", "-out", "x.json"}, 2, "-out requires -shard"},
-		{"shard of overhead experiment", []string{"-exp", "fig3.10", "-quick", "-shard", "0/2"}, 1, "only injection campaigns shard"},
 		{"merge without files", []string{"-merge"}, 2, "-merge needs"},
 		{"merge with shard", []string{"-merge", "-shard", "0/2", "x.json"}, 2, "mutually exclusive"},
 		{"merge missing file", []string{"-merge", "/nonexistent/p.json"}, 1, "no such file"},
+		{"merge empty glob", []string{"-merge", "/nonexistent/part*.json"}, 2, "no partials match"},
 		{"negative parallel", []string{"-exp", "fig3.7", "-quick", "-parallel", "-2"}, 1, "at least 1 worker"},
+		{"coord without exp", []string{"-coord", "2"}, 2, "-coord requires"},
+		{"coord of all", []string{"-exp", "all", "-coord", "2"}, 2, "-coord requires"},
+		{"negative coord", []string{"-exp", "fig3.7", "-coord", "-1"}, 2, "at least 1 worker"},
+		{"coord with shard", []string{"-exp", "fig3.7", "-coord", "2", "-shard", "0/2"}, 2, "mutually exclusive"},
+		{"coord with merge", []string{"-exp", "fig3.7", "-coord", "2", "-merge", "x.json"}, 2, "mutually exclusive"},
+		{"coord with worker", []string{"-exp", "fig3.7", "-coord", "2", "-worker"}, 2, "mutually exclusive"},
+		{"coord shards below workers", []string{"-exp", "fig3.7", "-coord", "4", "-coord-shards", "2"}, 2, "at least as fine"},
+		{"coord-shards without coord", []string{"-exp", "fig3.7", "-coord-shards", "4"}, 2, "-coord-shards requires -coord"},
+		{"coord-spawn without coord", []string{"-exp", "fig3.7", "-coord-spawn"}, 2, "-coord-spawn requires -coord"},
+		{"coord-lease without coord", []string{"-exp", "fig3.7", "-coord-lease", "30s"}, 2, "-coord-lease requires -coord"},
+		{"negative coord lease", []string{"-exp", "fig3.7", "-coord", "2", "-coord-lease", "-5s"}, 2, "negative lease"},
+		{"chaos without spawn", []string{"-exp", "fig3.7", "-coord", "2", "-coord-chaos", "1"}, 2, "-coord-chaos requires -coord-spawn"},
+		{"worker without exp", []string{"-worker"}, 2, "-worker requires"},
+		{"worker of all", []string{"-exp", "all", "-worker"}, 2, "-worker requires"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			code := run(tc.args, &stdout, &stderr)
+			code := run(tc.args, noStdin(), &stdout, &stderr)
 			if code != tc.wantCode {
 				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
 			}
@@ -50,7 +67,7 @@ func TestRunFlagValidation(t *testing.T) {
 
 func TestRunList(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-list"}, noStdin(), &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr %s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "fig3.7") || !strings.Contains(stdout.String(), "tab4.6") {
@@ -59,11 +76,12 @@ func TestRunList(t *testing.T) {
 }
 
 // TestShardMergeEndToEnd drives the real CLI path: two shards to files,
-// merged, against the unsharded report — byte for byte.
+// merged, against the unsharded report — byte for byte. It also covers
+// the -merge glob and directory forms introduced for many-shard runs.
 func TestShardMergeEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	var unsharded, stderr bytes.Buffer
-	if code := run([]string{"-exp", "fig3.7", "-quick"}, &unsharded, &stderr); code != 0 {
+	if code := run([]string{"-exp", "fig3.7", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
 		t.Fatalf("unsharded run failed: %s", stderr.String())
 	}
 	files := make([]string, 2)
@@ -71,7 +89,7 @@ func TestShardMergeEndToEnd(t *testing.T) {
 		files[i] = filepath.Join(dir, "part"+string(rune('0'+i))+".json")
 		var stdout bytes.Buffer
 		stderr.Reset()
-		code := run([]string{"-exp", "fig3.7", "-quick", "-shard", string(rune('0'+i)) + "/2", "-out", files[i]}, &stdout, &stderr)
+		code := run([]string{"-exp", "fig3.7", "-quick", "-shard", string(rune('0'+i)) + "/2", "-out", files[i]}, noStdin(), &stdout, &stderr)
 		if code != 0 {
 			t.Fatalf("shard %d failed: %s", i, stderr.String())
 		}
@@ -82,22 +100,106 @@ func TestShardMergeEndToEnd(t *testing.T) {
 	var merged bytes.Buffer
 	stderr.Reset()
 	// Out-of-order merge, experiment id taken from the partials.
-	if code := run([]string{"-merge", "-quick", files[1], files[0]}, &merged, &stderr); code != 0 {
+	if code := run([]string{"-merge", "-quick", files[1], files[0]}, noStdin(), &merged, &stderr); code != 0 {
 		t.Fatalf("merge failed: %s", stderr.String())
 	}
 	if !bytes.Equal(unsharded.Bytes(), merged.Bytes()) {
 		t.Errorf("merged report differs from unsharded:\n--- unsharded ---\n%s\n--- merged ---\n%s",
 			unsharded.String(), merged.String())
 	}
+	// The same merge via a glob pattern and via the directory, without
+	// enumerating files by hand.
+	for _, arg := range []string{filepath.Join(dir, "part*.json"), dir} {
+		var globbed bytes.Buffer
+		stderr.Reset()
+		if code := run([]string{"-merge", "-quick", arg}, noStdin(), &globbed, &stderr); code != 0 {
+			t.Fatalf("merge %q failed: %s", arg, stderr.String())
+		}
+		if !bytes.Equal(unsharded.Bytes(), globbed.Bytes()) {
+			t.Errorf("merge %q differs from unsharded", arg)
+		}
+	}
+	// A directory holding no partials is named, not silently merged.
+	stderr.Reset()
+	if code := run([]string{"-merge", "-quick", t.TempDir()}, noStdin(), &bytes.Buffer{}, &stderr); code != 2 || !strings.Contains(stderr.String(), "no *.json partials") {
+		t.Errorf("empty-directory merge exited %d, stderr %q", code, stderr.String())
+	}
 	// Duplicated shard must be rejected (a run failure, exit 1 — the
 	// command line itself was fine).
 	stderr.Reset()
-	if code := run([]string{"-merge", "-quick", files[0], files[0]}, &bytes.Buffer{}, &stderr); code != 1 {
+	if code := run([]string{"-merge", "-quick", files[0], files[0]}, noStdin(), &bytes.Buffer{}, &stderr); code != 1 {
 		t.Errorf("duplicate shard merge exited %d, want 1 (stderr: %s)", code, stderr.String())
 	}
 	// Missing shard must be rejected with the range named.
 	stderr.Reset()
-	if code := run([]string{"-merge", "-quick", files[1]}, &bytes.Buffer{}, &stderr); code != 1 || !strings.Contains(stderr.String(), "missing trials") {
+	if code := run([]string{"-merge", "-quick", files[1]}, noStdin(), &bytes.Buffer{}, &stderr); code != 1 || !strings.Contains(stderr.String(), "missing trials") {
 		t.Errorf("missing shard merge exited %d, stderr %q", code, stderr.String())
+	}
+}
+
+// TestShardedOverheadEndToEnd: overhead experiments now shard like
+// campaigns — two shards of fig3.16 merge to the unsharded bytes.
+func TestShardedOverheadEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var unsharded, stderr bytes.Buffer
+	if code := run([]string{"-exp", "fig3.16", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
+		t.Fatalf("unsharded run failed: %s", stderr.String())
+	}
+	for i := 0; i < 2; i++ {
+		f := filepath.Join(dir, "ov"+string(rune('0'+i))+".json")
+		stderr.Reset()
+		if code := run([]string{"-exp", "fig3.16", "-quick", "-shard", string(rune('0'+i)) + "/2", "-out", f}, noStdin(), &bytes.Buffer{}, &stderr); code != 0 {
+			t.Fatalf("overhead shard %d failed: %s", i, stderr.String())
+		}
+	}
+	var merged bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"-merge", "-quick", dir}, noStdin(), &merged, &stderr); code != 0 {
+		t.Fatalf("overhead merge failed: %s", stderr.String())
+	}
+	if !bytes.Equal(unsharded.Bytes(), merged.Bytes()) {
+		t.Errorf("merged fig3.16 differs from unsharded:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			unsharded.String(), merged.String())
+	}
+}
+
+// TestCoordinatorEndToEnd runs the experiment under the in-process
+// coordinator fleet: the merged report must be byte-identical to the
+// plain unsharded run.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	var unsharded, stderr bytes.Buffer
+	if code := run([]string{"-exp", "fig3.7", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
+		t.Fatalf("unsharded run failed: %s", stderr.String())
+	}
+	var coordinated bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"-exp", "fig3.7", "-quick", "-coord", "3"}, noStdin(), &coordinated, &stderr); code != 0 {
+		t.Fatalf("coordinated run failed: %s", stderr.String())
+	}
+	if !bytes.Equal(unsharded.Bytes(), coordinated.Bytes()) {
+		t.Errorf("coordinated report differs from unsharded:\n--- unsharded ---\n%s\n--- coordinated ---\n%s",
+			unsharded.String(), coordinated.String())
+	}
+}
+
+// TestWorkerModeServes speaks the JSON-lines protocol to -worker mode
+// directly: two assignments in (the second reusing the first's warm
+// module cache), two completions with embedded experiment partials out.
+func TestWorkerModeServes(t *testing.T) {
+	stdin := strings.NewReader(
+		`{"shard":{"index":0,"count":2}}` + "\n" + `{"shard":{"index":1,"count":2}}` + "\n")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-worker", "-exp", "fig3.7", "-quick"}, stdin, &stdout, &stderr); code != 0 {
+		t.Fatalf("worker mode exited %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if got := strings.Count(out, `"payload"`); got != 2 {
+		t.Errorf("want 2 completions with payloads, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, `"fingerprint"`) {
+		t.Errorf("worker completion carries no partial payload:\n%s", out)
+	}
+	if strings.Contains(out, `"error"`) {
+		t.Errorf("worker reported an error:\n%s", out)
 	}
 }

@@ -20,14 +20,26 @@
 //	dpmr-run -workload mcf -campaign -inject immediate-free -shard 1/3 -out p1.json
 //	dpmr-run -workload mcf -campaign -inject immediate-free -shard 2/3 -out p2.json
 //	dpmr-run -workload mcf -campaign -inject immediate-free -merge p0.json p1.json p2.json
+//
+// With -coord the sharding runs under a supervising coordinator: the
+// plan is cut into -coord-shards slices, leased to a worker fleet
+// (in-process goroutines, or spawned `dpmr-run -worker` processes with
+// -coord-spawn streaming partials over JSON-lines stdio), stragglers
+// and crashes are retried, and the merged summary prints in one command:
+//
+//	dpmr-run -workload mcf -campaign -inject immediate-free -coord 4
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
+	"dpmr/internal/coord"
 	"dpmr/internal/dpmr"
 	"dpmr/internal/dsa"
 	"dpmr/internal/extlib"
@@ -38,10 +50,10 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dpmr-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -65,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outPath   = fs.String("out", "", "partial-result output file with -shard (default stdout)")
 		merge     = fs.Bool("merge", false, "merge campaign partial-result files (the positional arguments; with -campaign)")
 	)
+	var cf coord.CLIFlags
+	cf.Register(fs, "campaign", "worker mode: serve campaign shard assignments from stdin (JSON lines; normally spawned by a coordinator)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -106,9 +120,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *merge {
 			return fail(fmt.Errorf("-merge requires -campaign"))
 		}
+		if cf.Enabled() {
+			return fail(fmt.Errorf("-coord requires -campaign"))
+		}
+		if cf.Worker {
+			return fail(fmt.Errorf("-worker requires -campaign"))
+		}
 	}
 	if *outPath != "" && *shard == "" {
 		return fail(fmt.Errorf("-out requires -shard (merged and unsharded summaries go to stdout)"))
+	}
+	if err := cf.Validate(fs); err != nil {
+		return fail(err)
 	}
 
 	if *campaign {
@@ -126,14 +149,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if conflict != nil {
 			return fail(conflict)
 		}
-		if *merge && *shard != "" {
-			return fail(fmt.Errorf("-merge and -shard are mutually exclusive"))
+		modes := 0
+		for _, on := range []bool{*merge, *shard != "", cf.Enabled(), cf.Worker} {
+			if on {
+				modes++
+			}
+		}
+		if modes > 1 {
+			return fail(fmt.Errorf("-merge, -shard, -coord, and -worker are mutually exclusive"))
 		}
 		return runCampaign(campaignArgs{
 			w: w, useDPMR: *useDPMR, design: *design, diversity: *diversity, policy: *policy,
-			kind: injectKind, parallel: *parallel, runs: *runs, progress: *progress, evict: *evict,
+			kind: injectKind, injectName: *inject, parallel: *parallel, runs: *runs,
+			progress: *progress, evict: *evict,
 			shard: *shard, outPath: *outPath, merge: *merge, mergeFiles: fs.Args(),
-			stdout: stdout, stderr: stderr,
+			coordFlags: cf,
+			stdin:      stdin, stdout: stdout, stderr: stderr,
 		})
 	}
 
@@ -214,22 +245,37 @@ type campaignArgs struct {
 	useDPMR                   bool
 	design, diversity, policy string
 	kind                      faultinject.Kind
+	injectName                string
 	parallel, runs            int
 	progress, evict, merge    bool
 	shard, outPath            string
 	mergeFiles                []string
+	coordFlags                coord.CLIFlags
+	stdin                     io.Reader
 	stdout, stderr            io.Writer
+}
+
+// usageFail reports command-line misuse (bad flags, names, or flag
+// combinations): exit 2. Failures of the run itself — campaign
+// execution, partial-file I/O, merge validation, a fleet that cannot
+// finish — exit 1 via execFail, matching dpmr-exp and dpmrc.
+func usageFail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "dpmr-run:", err)
+	return 2
+}
+
+func execFail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "dpmr-run:", err)
+	return 1
 }
 
 // runCampaign executes the sites × runs injection grid for one workload
 // and one variant on the parallel campaign engine — whole, as one shard
-// writing a partial result, or merging shard partials — and prints the
-// coverage summary.
+// writing a partial result, merging shard partials, or scheduled on a
+// coordinator fleet — and prints the coverage summary.
 func runCampaign(a campaignArgs) int {
-	fail := func(err error) int {
-		fmt.Fprintln(a.stderr, "dpmr-run:", err)
-		return 2
-	}
+	fail := func(err error) int { return usageFail(a.stderr, err) }
+	runFail := func(err error) int { return execFail(a.stderr, err) }
 	if a.kind == 0 {
 		return fail(fmt.Errorf("-campaign requires -inject heap-array-resize or immediate-free"))
 	}
@@ -270,6 +316,28 @@ func runCampaign(a campaignArgs) int {
 	}
 
 	switch {
+	case a.coordFlags.Worker:
+		// Serve shard assignments from the coordinator over stdio. The
+		// Runner persists across assignments, so shards of the same plan
+		// leased to this worker reuse its module cache.
+		err := coord.Serve(a.stdin, a.stdout, func(shard harness.ShardSpec) ([]byte, error) {
+			r.Shard = shard
+			p, err := r.RunCampaignPartial(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := p.Encode(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		})
+		if err != nil {
+			return runFail(err)
+		}
+		return 0
+	case a.coordFlags.Enabled():
+		return runCoordinatedCampaign(a, r, cfg, variant)
 	case a.shard != "":
 		spec, err := harness.ParseShard(a.shard)
 		if err != nil {
@@ -278,14 +346,14 @@ func runCampaign(a campaignArgs) int {
 		r.Shard = spec
 		p, err := r.RunCampaignPartial(cfg)
 		if err != nil {
-			return fail(err)
+			return runFail(err)
 		}
 		out := a.stdout
 		var f *os.File
 		if a.outPath != "" && a.outPath != "-" {
 			f, err = os.Create(a.outPath)
 			if err != nil {
-				return fail(err)
+				return runFail(err)
 			}
 			out = f
 		}
@@ -293,13 +361,13 @@ func runCampaign(a campaignArgs) int {
 			if f != nil {
 				f.Close()
 			}
-			return fail(err)
+			return runFail(err)
 		}
 		// A close error (deferred flush, ENOSPC) would leave a truncated
 		// partial behind a zero exit; surface it.
 		if f != nil {
 			if err := f.Close(); err != nil {
-				return fail(err)
+				return runFail(err)
 			}
 		}
 		fmt.Fprintf(a.stderr, "shard %s: trials [%d, %d) of %d\n", spec, p.Lo, p.Hi, p.Total)
@@ -312,18 +380,18 @@ func runCampaign(a campaignArgs) int {
 		for i, name := range a.mergeFiles {
 			f, err := os.Open(name)
 			if err != nil {
-				return fail(err)
+				return runFail(err)
 			}
 			p, err := harness.DecodePartial(f)
 			f.Close()
 			if err != nil {
-				return fail(fmt.Errorf("%s: %w", name, err))
+				return runFail(fmt.Errorf("%s: %w", name, err))
 			}
 			parts[i] = p
 		}
 		cr, err := r.MergeCampaign(cfg, parts)
 		if err != nil {
-			return fail(err)
+			return runFail(err)
 		}
 		printCampaignSummary(a.stdout, a.w, a.kind, variant, fmt.Sprintf("%d shards", len(parts)), cr)
 		return 0
@@ -331,12 +399,89 @@ func runCampaign(a campaignArgs) int {
 
 	cr, err := r.RunCampaign(cfg)
 	if err != nil {
-		return fail(err)
+		return runFail(err)
 	}
 	printCampaignSummary(a.stdout, a.w, a.kind, variant, fmt.Sprintf("%d workers", a.parallel), cr)
 	st := r.CacheStats()
 	fmt.Fprintf(a.stdout, "modules:    %d built, peak %d resident, %d evicted\n", st.Builds, st.Peak, st.Evicted)
 	return 0
+}
+
+// runCoordinatedCampaign schedules the campaign's shards on a worker
+// fleet — in-process goroutines or spawned `dpmr-run -worker` processes —
+// merges the streamed partials, and prints the same summary an unsharded
+// run computes.
+func runCoordinatedCampaign(a campaignArgs, r *harness.Runner, cfg harness.CampaignConfig, variant harness.Variant) int {
+	runFail := func(err error) int { return execFail(a.stderr, err) }
+	cf := a.coordFlags
+	fleet := coord.FleetOptions{
+		Workers: cf.Workers, Shards: cf.Shards, Lease: cf.Lease,
+		Chaos: cf.Chaos, Stderr: a.stderr,
+		// In-process workers run concurrently, so each assignment gets
+		// its own Runner (the coordinator's Runner r is reserved for the
+		// final merge).
+		Local: func(_ context.Context, shard harness.ShardSpec) ([]byte, error) {
+			wr := harness.NewRunner()
+			wr.Runs = a.runs
+			wr.Parallel = a.parallel
+			wr.EvictModules = a.evict
+			wr.Shard = shard
+			p, err := wr.RunCampaignPartial(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := p.Encode(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}
+	if cf.Spawn {
+		fleet.SpawnArgv = campaignWorkerArgv(a)
+	}
+	if a.progress {
+		fleet.Log = func(format string, args ...any) {
+			fmt.Fprintf(a.stderr, "coord: "+format+"\n", args...)
+		}
+	}
+	payloads, err := coord.RunFleet(context.Background(), fleet)
+	if err != nil {
+		return runFail(err)
+	}
+	parts := make([]*harness.PartialResult, len(payloads))
+	for i, payload := range payloads {
+		p, err := harness.DecodePartial(bytes.NewReader(payload))
+		if err != nil {
+			return runFail(fmt.Errorf("shard %d: %w", i, err))
+		}
+		parts[i] = p
+	}
+	cr, err := r.MergeCampaign(cfg, parts)
+	if err != nil {
+		return runFail(err)
+	}
+	printCampaignSummary(a.stdout, a.w, a.kind, variant,
+		fmt.Sprintf("%d shards via %d workers", len(payloads), cf.Workers), cr)
+	return 0
+}
+
+// campaignWorkerArgv reconstructs the flag line a spawned `dpmr-run
+// -worker` needs to recompute the coordinator's exact campaign plan; any
+// divergence is caught downstream by the plan fingerprint.
+func campaignWorkerArgv(a campaignArgs) []string {
+	argv := []string{
+		"-worker", "-campaign",
+		"-workload", a.w.Name,
+		"-inject", a.injectName,
+		"-runs", strconv.Itoa(a.runs),
+		"-parallel", strconv.Itoa(a.parallel),
+		"-evict=" + strconv.FormatBool(a.evict),
+	}
+	if a.useDPMR {
+		argv = append(argv, "-dpmr", "-design", a.design, "-diversity", a.diversity, "-policy", a.policy)
+	}
+	return argv
 }
 
 func printCampaignSummary(w io.Writer, wl workloads.Workload, kind faultinject.Kind,

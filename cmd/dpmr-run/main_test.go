@@ -7,43 +7,71 @@ import (
 	"testing"
 )
 
+// noStdin stands in for an unused worker-protocol stream.
+func noStdin() *strings.Reader { return strings.NewReader("") }
+
 // TestRunFlagValidation is the table-driven flag/validation contract of
-// the dpmr-run CLI: bad flag combinations exit nonzero with a
-// diagnostic, without running a workload or campaign.
+// the dpmr-run CLI: command-line misuse exits 2 and run failures exit 1
+// (matching dpmr-exp and dpmrc), each with a diagnostic naming the
+// problem.
 func TestRunFlagValidation(t *testing.T) {
 	cases := []struct {
-		name    string
-		args    []string
-		wantErr string
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
 	}{
-		{"unknown workload", []string{"-workload", "nope"}, "unknown workload"},
-		{"unknown injection", []string{"-inject", "wild-write"}, "unknown injection"},
-		{"campaign without inject", []string{"-campaign"}, "-campaign requires -inject"},
-		{"campaign with dsa", []string{"-campaign", "-inject", "immediate-free", "-dsa"}, "does not support"},
-		{"campaign with seed", []string{"-campaign", "-inject", "immediate-free", "-seed", "3"}, "only applies to single runs"},
-		{"campaign with site", []string{"-campaign", "-inject", "immediate-free", "-site", "1"}, "only applies to single runs"},
-		{"shard without campaign", []string{"-shard", "0/2"}, "-shard requires -campaign"},
-		{"merge without campaign", []string{"-merge"}, "-merge requires -campaign"},
-		{"out without shard", []string{"-campaign", "-inject", "immediate-free", "-out", "x.json"}, "-out requires -shard"},
-		{"merge with shard", []string{"-campaign", "-inject", "immediate-free", "-merge", "-shard", "0/2", "x.json"}, "mutually exclusive"},
-		{"merge without files", []string{"-campaign", "-inject", "immediate-free", "-merge"}, "-merge needs"},
-		{"bad shard", []string{"-campaign", "-inject", "immediate-free", "-shard", "9"}, "want i/N"},
-		{"shard out of range", []string{"-campaign", "-inject", "immediate-free", "-shard", "5/5"}, "out of range"},
-		{"zero workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "0"}, "at least 1 worker"},
-		{"negative workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "-4"}, "at least 1 worker"},
+		{"unknown workload", []string{"-workload", "nope"}, 2, "unknown workload"},
+		{"unknown injection", []string{"-inject", "wild-write"}, 2, "unknown injection"},
+		{"campaign without inject", []string{"-campaign"}, 2, "-campaign requires -inject"},
+		{"campaign with dsa", []string{"-campaign", "-inject", "immediate-free", "-dsa"}, 2, "does not support"},
+		{"campaign with seed", []string{"-campaign", "-inject", "immediate-free", "-seed", "3"}, 2, "only applies to single runs"},
+		{"campaign with site", []string{"-campaign", "-inject", "immediate-free", "-site", "1"}, 2, "only applies to single runs"},
+		{"shard without campaign", []string{"-shard", "0/2"}, 2, "-shard requires -campaign"},
+		{"merge without campaign", []string{"-merge"}, 2, "-merge requires -campaign"},
+		{"coord without campaign", []string{"-coord", "2"}, 2, "-coord requires -campaign"},
+		{"worker without campaign", []string{"-worker"}, 2, "-worker requires -campaign"},
+		{"out without shard", []string{"-campaign", "-inject", "immediate-free", "-out", "x.json"}, 2, "-out requires -shard"},
+		{"merge with shard", []string{"-campaign", "-inject", "immediate-free", "-merge", "-shard", "0/2", "x.json"}, 2, "mutually exclusive"},
+		{"coord with shard", []string{"-campaign", "-inject", "immediate-free", "-coord", "2", "-shard", "0/2"}, 2, "mutually exclusive"},
+		{"coord with worker", []string{"-campaign", "-inject", "immediate-free", "-coord", "2", "-worker"}, 2, "mutually exclusive"},
+		{"negative coord", []string{"-campaign", "-inject", "immediate-free", "-coord", "-2"}, 2, "at least 1 worker"},
+		{"coord shards below workers", []string{"-campaign", "-inject", "immediate-free", "-coord", "4", "-coord-shards", "2"}, 2, "at least as fine"},
+		{"coord-shards without coord", []string{"-campaign", "-inject", "immediate-free", "-coord-shards", "4"}, 2, "-coord-shards requires -coord"},
+		{"coord-spawn without coord", []string{"-campaign", "-inject", "immediate-free", "-coord-spawn"}, 2, "-coord-spawn requires -coord"},
+		{"coord-lease without coord", []string{"-campaign", "-inject", "immediate-free", "-coord-lease", "30s"}, 2, "-coord-lease requires -coord"},
+		{"chaos without spawn", []string{"-campaign", "-inject", "immediate-free", "-coord", "2", "-coord-chaos", "1"}, 2, "-coord-chaos requires -coord-spawn"},
+		{"merge without files", []string{"-campaign", "-inject", "immediate-free", "-merge"}, 2, "-merge needs"},
+		{"bad shard", []string{"-campaign", "-inject", "immediate-free", "-shard", "9"}, 2, "want i/N"},
+		{"shard out of range", []string{"-campaign", "-inject", "immediate-free", "-shard", "5/5"}, 2, "out of range"},
+		{"zero workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "0"}, 1, "at least 1 worker"},
+		{"negative workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "-4"}, 1, "at least 1 worker"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			code := run(tc.args, &stdout, &stderr)
-			if code != 2 {
-				t.Errorf("run(%v) = %d, want 2 (stderr: %s)", tc.args, code, stderr.String())
+			code := run(tc.args, noStdin(), &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
 			}
 			if !strings.Contains(stderr.String(), tc.wantErr) {
 				t.Errorf("run(%v) stderr %q does not contain %q", tc.args, stderr.String(), tc.wantErr)
 			}
 		})
 	}
+}
+
+// trimExecutionLocal drops the summary lines that legitimately differ
+// between execution strategies (worker/shard counts, module statistics).
+func trimExecutionLocal(s string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, "modules:") || strings.HasPrefix(l, "campaign:") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
 }
 
 // TestCampaignShardMergeEndToEnd shards one workload's campaign across
@@ -54,41 +82,75 @@ func TestCampaignShardMergeEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
 	var direct, stderr bytes.Buffer
-	if code := run(base, &direct, &stderr); code != 0 {
+	if code := run(base, noStdin(), &direct, &stderr); code != 0 {
 		t.Fatalf("direct campaign failed: %s", stderr.String())
 	}
 	files := []string{filepath.Join(dir, "p0.json"), filepath.Join(dir, "p1.json")}
 	for i, f := range files {
 		stderr.Reset()
 		args := append(append([]string{}, base...), "-shard", string(rune('0'+i))+"/2", "-out", f)
-		if code := run(args, &bytes.Buffer{}, &stderr); code != 0 {
+		if code := run(args, noStdin(), &bytes.Buffer{}, &stderr); code != 0 {
 			t.Fatalf("shard %d failed: %s", i, stderr.String())
 		}
 	}
 	var merged bytes.Buffer
 	stderr.Reset()
 	args := append(append([]string{}, base...), "-merge", files[1], files[0])
-	if code := run(args, &merged, &stderr); code != 0 {
+	if code := run(args, noStdin(), &merged, &stderr); code != 0 {
 		t.Fatalf("merge failed: %s", stderr.String())
 	}
-	trim := func(s string) string {
-		var out []string
-		for _, l := range strings.Split(s, "\n") {
-			if strings.HasPrefix(l, "modules:") || strings.HasPrefix(l, "campaign:") {
-				continue // execution-local lines (worker/shard counts differ)
-			}
-			out = append(out, l)
-		}
-		return strings.Join(out, "\n")
-	}
-	if trim(direct.String()) != trim(merged.String()) {
+	if trimExecutionLocal(direct.String()) != trimExecutionLocal(merged.String()) {
 		t.Errorf("merged summary differs from direct:\n--- direct ---\n%s\n--- merged ---\n%s",
 			direct.String(), merged.String())
 	}
 	// A stale partial merged against different -runs is a different plan.
 	stderr.Reset()
 	args = []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "2", "-merge", files[0], files[1]}
-	if code := run(args, &bytes.Buffer{}, &stderr); code != 2 || !strings.Contains(stderr.String(), "fingerprint") {
+	if code := run(args, noStdin(), &bytes.Buffer{}, &stderr); code != 1 || !strings.Contains(stderr.String(), "fingerprint") {
 		t.Errorf("foreign-plan merge exited %d, stderr %q", code, stderr.String())
+	}
+}
+
+// TestCampaignCoordinatorEndToEnd runs the same campaign directly and
+// under the in-process coordinator fleet; the coverage summary must
+// match line for line (minus execution-local lines).
+func TestCampaignCoordinatorEndToEnd(t *testing.T) {
+	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
+	var direct, stderr bytes.Buffer
+	if code := run(base, noStdin(), &direct, &stderr); code != 0 {
+		t.Fatalf("direct campaign failed: %s", stderr.String())
+	}
+	var coordinated bytes.Buffer
+	stderr.Reset()
+	args := append(append([]string{}, base...), "-coord", "2", "-coord-shards", "3")
+	if code := run(args, noStdin(), &coordinated, &stderr); code != 0 {
+		t.Fatalf("coordinated campaign failed: %s", stderr.String())
+	}
+	if trimExecutionLocal(direct.String()) != trimExecutionLocal(coordinated.String()) {
+		t.Errorf("coordinated summary differs from direct:\n--- direct ---\n%s\n--- coordinated ---\n%s",
+			direct.String(), coordinated.String())
+	}
+	if !strings.Contains(coordinated.String(), "3 shards via 2 workers") {
+		t.Errorf("coordinated summary does not name the fleet:\n%s", coordinated.String())
+	}
+}
+
+// TestCampaignWorkerModeServes speaks the JSON-lines protocol to -worker
+// mode directly: two assignments in, two completions with embedded
+// campaign partials out, module cache warm across them.
+func TestCampaignWorkerModeServes(t *testing.T) {
+	stdin := strings.NewReader(
+		`{"shard":{"index":0,"count":2}}` + "\n" + `{"shard":{"index":1,"count":2}}` + "\n")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1", "-worker"}
+	if code := run(args, stdin, &stdout, &stderr); code != 0 {
+		t.Fatalf("worker mode exited %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if got := strings.Count(out, `"payload"`); got != 2 {
+		t.Errorf("want 2 completions with payloads, got %d:\n%s", got, out)
+	}
+	if strings.Contains(out, `"error"`) {
+		t.Errorf("worker reported an error:\n%s", out)
 	}
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dpmr/internal/dpmr"
@@ -23,51 +24,60 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpmrc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
-		inFile    = flag.String("in", "", "read the input module from a textual IR file instead of a workload")
-		outFile   = flag.String("o", "", "write the transformed IR to a file (default stdout)")
-		design    = flag.String("design", "sds", "DPMR design: sds or mds")
-		diversity = flag.String("diversity", "no-diversity", "diversity transformation")
-		policy    = flag.String("policy", "all loads", "state comparison policy")
-		useDSA    = flag.Bool("dsa", false, "use the Chapter 5 DSA-refined pipeline (admits int↔pointer programs)")
-		optimize  = flag.Bool("O", false, "run the post-transform optimizer (Figure 3.4 pipeline stage)")
-		statsOnly = flag.Bool("stats", false, "print before/after statistics only")
+		workload  = fs.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
+		inFile    = fs.String("in", "", "read the input module from a textual IR file instead of a workload")
+		outFile   = fs.String("o", "", "write the transformed IR to a file (default stdout)")
+		design    = fs.String("design", "sds", "DPMR design: sds or mds")
+		diversity = fs.String("diversity", "no-diversity", "diversity transformation")
+		policy    = fs.String("policy", "all loads", "state comparison policy")
+		useDSA    = fs.Bool("dsa", false, "use the Chapter 5 DSA-refined pipeline (admits int↔pointer programs)")
+		optimize  = fs.Bool("O", false, "run the post-transform optimizer (Figure 3.4 pipeline stage)")
+		statsOnly = fs.Bool("stats", false, "print before/after statistics only")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	div, err := dpmr.DiversityByName(*diversity)
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
 	}
 	pol, err := dpmr.PolicyByName(*policy)
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
 	}
-	d := dpmr.SDS
-	if *design == "mds" {
+	var d dpmr.Design
+	switch *design {
+	case "sds":
+		d = dpmr.SDS
+	case "mds":
 		d = dpmr.MDS
+	default:
+		return fail(stderr, fmt.Errorf("unknown design %q: want sds or mds", *design))
 	}
 	var src *ir.Module
 	if *inFile != "" {
 		text, err := os.ReadFile(*inFile)
 		if err != nil {
-			return fail(err)
+			return runFail(stderr, err)
 		}
 		src, err = ir.Parse(string(text))
 		if err != nil {
-			return fail(err)
+			return runFail(stderr, err)
 		}
 		if err := ir.Verify(src); err != nil {
-			return fail(err)
+			return runFail(stderr, err)
 		}
 	} else {
 		w, err := workloads.ByName(*workload)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		src = w.Build()
 	}
@@ -77,42 +87,51 @@ func run() int {
 		var res *dsa.Result
 		dst, res, err = dsa.Transform(src, cfg)
 		if err != nil {
-			return fail(err)
+			return runFail(stderr, err)
 		}
-		fmt.Fprintf(os.Stderr, "%s; excluded sites: %v\n", res.Stats(), res.ExcludedSites())
+		fmt.Fprintf(stderr, "%s; excluded sites: %v\n", res.Stats(), res.ExcludedSites())
 	} else {
 		dst, err = dpmr.Transform(src, cfg)
 		if err != nil {
-			return fail(err)
+			return runFail(stderr, err)
 		}
 	}
 	if *optimize {
 		st := opt.Run(dst)
-		fmt.Fprintf(os.Stderr, "opt: folded %d, removed %d\n", st.Folded, st.Removed)
+		fmt.Fprintf(stderr, "opt: folded %d, removed %d\n", st.Folded, st.Removed)
 	}
 	if *statsOnly {
 		before, after := src.CollectStats(), dst.CollectStats()
-		fmt.Printf("%-12s %10s %10s\n", "", "before", "after")
-		fmt.Printf("%-12s %10d %10d\n", "functions", before.Funcs, after.Funcs)
-		fmt.Printf("%-12s %10d %10d\n", "blocks", before.Blocks, after.Blocks)
-		fmt.Printf("%-12s %10d %10d\n", "instrs", before.Instrs, after.Instrs)
-		fmt.Printf("%-12s %10d %10d\n", "heap sites", before.HeapSites, after.HeapSites)
-		fmt.Printf("%-12s %10d %10d\n", "loads", before.Loads, after.Loads)
-		fmt.Printf("%-12s %10d %10d\n", "stores", before.Stores, after.Stores)
-		fmt.Printf("%-12s %10d %10d\n", "asserts", before.Asserts, after.Asserts)
+		fmt.Fprintf(stdout, "%-12s %10s %10s\n", "", "before", "after")
+		fmt.Fprintf(stdout, "%-12s %10d %10d\n", "functions", before.Funcs, after.Funcs)
+		fmt.Fprintf(stdout, "%-12s %10d %10d\n", "blocks", before.Blocks, after.Blocks)
+		fmt.Fprintf(stdout, "%-12s %10d %10d\n", "instrs", before.Instrs, after.Instrs)
+		fmt.Fprintf(stdout, "%-12s %10d %10d\n", "heap sites", before.HeapSites, after.HeapSites)
+		fmt.Fprintf(stdout, "%-12s %10d %10d\n", "loads", before.Loads, after.Loads)
+		fmt.Fprintf(stdout, "%-12s %10d %10d\n", "stores", before.Stores, after.Stores)
+		fmt.Fprintf(stdout, "%-12s %10d %10d\n", "asserts", before.Asserts, after.Asserts)
 		return 0
 	}
 	if *outFile != "" {
 		if err := os.WriteFile(*outFile, []byte(dst.String()), 0o644); err != nil {
-			return fail(err)
+			return runFail(stderr, err)
 		}
 		return 0
 	}
-	fmt.Print(dst.String())
+	fmt.Fprint(stdout, dst.String())
 	return 0
 }
 
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "dpmrc:", err)
+// fail reports command-line misuse (unknown flags, workloads, designs,
+// diversities, policies): exit 2. Failures of the run itself — input IR
+// that does not read, parse, or verify; transform errors; output I/O —
+// exit 1 via runFail, matching dpmr-exp and dpmr-run.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "dpmrc:", err)
 	return 2
+}
+
+func runFail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "dpmrc:", err)
+	return 1
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagValidation is the table-driven flag/validation contract of
+// the dpmrc CLI, matching dpmr-exp and dpmr-run: command-line misuse
+// exits 2, failures of the run itself exit 1, each with a diagnostic
+// naming the problem.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"unknown flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"unknown workload", []string{"-workload", "nope"}, 2, "unknown workload"},
+		{"unknown design", []string{"-design", "tmr"}, 2, "unknown design"},
+		{"unknown diversity", []string{"-diversity", "scramble-everything"}, 2, "diversity"},
+		{"unknown policy", []string{"-policy", "sometimes"}, 2, "policy"},
+		{"missing input file", []string{"-in", "/nonexistent/mod.ir"}, 1, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("run(%v) stderr %q does not contain %q", tc.args, stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunRejectsUnparsableInput: an -in file that is not valid IR is a
+// run failure (exit 1), not usage.
+func TestRunRejectsUnparsableInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ir")
+	if err := os.WriteFile(path, []byte("this is not IR {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-in", path}, &stdout, &stderr); code != 1 {
+		t.Errorf("run(-in bad.ir) = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "dpmrc:") {
+		t.Errorf("stderr %q carries no dpmrc diagnostic", stderr.String())
+	}
+}
+
+// TestRunStats: the happy -stats path prints the before/after table to
+// stdout and exits 0.
+func TestRunStats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workload", "mcf", "-diversity", "rearrange-heap", "-stats"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-stats) = %d, stderr: %s", code, stderr.String())
+	}
+	for _, col := range []string{"functions", "heap sites", "loads", "asserts"} {
+		if !strings.Contains(stdout.String(), col) {
+			t.Errorf("-stats output missing %q:\n%s", col, stdout.String())
+		}
+	}
+}
+
+// TestRunWritesOutputFile: -o writes the transformed IR (and only run
+// failures touch the exit code).
+func TestRunWritesOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.ir")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workload", "art", "-o", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-o) = %d, stderr: %s", code, stderr.String())
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("no transformed IR written: %v", err)
+	}
+	// An unwritable output path is a run failure.
+	stderr.Reset()
+	if code := run([]string{"-workload", "art", "-o", "/nonexistent/dir/out.ir"}, &stdout, &stderr); code != 1 {
+		t.Errorf("run(-o unwritable) = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+}

@@ -1,0 +1,100 @@
+package coord_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"dpmr/internal/coord"
+	"dpmr/internal/harness"
+)
+
+// coordinate runs the named experiment through a coordinator fleet of
+// in-process workers and renders the merged report, with inject allowed
+// to sabotage attempts (return an error after the shard ran — i.e. a
+// worker forcibly failed mid-shard, its work lost).
+func coordinate(t *testing.T, exp string, cfg coord.Config,
+	inject func(shard harness.ShardSpec, payload []byte) ([]byte, error)) []byte {
+	t.Helper()
+	opts := harness.Options{Quick: true, Evict: true}
+	fn := coord.Func(func(_ context.Context, shard harness.ShardSpec) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := harness.GenerateSharded(exp, shard, &buf, opts); err != nil {
+			return nil, err
+		}
+		return inject(shard, buf.Bytes())
+	})
+	cfg.Spawn = func(int) (coord.Worker, error) { return fn, nil }
+	co, err := coord.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, len(payloads))
+	for i, p := range payloads {
+		readers[i] = bytes.NewReader(p)
+	}
+	var merged bytes.Buffer
+	if err := harness.GenerateMerged(exp, &merged, readers, opts); err != nil {
+		t.Fatal(err)
+	}
+	return merged.Bytes()
+}
+
+func unsharded(t *testing.T, exp string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := harness.Generate(exp, &buf, harness.Options{Quick: true, Evict: true}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCoordinatorMergedReportByteIdentical is the PR's acceptance
+// contract, in-process and race-clean: one worker is forcibly failed
+// mid-shard (its completed work discarded), the coordinator retries the
+// shard elsewhere, and the merged campaign report is byte-identical to
+// an unsharded run of the same experiment.
+func TestCoordinatorMergedReportByteIdentical(t *testing.T) {
+	golden := unsharded(t, "fig3.7")
+	var failed int32
+	merged := coordinate(t, "fig3.7", coord.Config{Shards: 5, Workers: 3},
+		func(_ harness.ShardSpec, payload []byte) ([]byte, error) {
+			if atomic.CompareAndSwapInt32(&failed, 0, 1) {
+				return nil, errors.New("worker forcibly failed mid-shard (injected)")
+			}
+			return payload, nil
+		})
+	if atomic.LoadInt32(&failed) != 1 {
+		t.Fatal("the fault was never injected")
+	}
+	if !bytes.Equal(golden, merged) {
+		t.Errorf("retried merge differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s", golden, merged)
+	}
+}
+
+// TestCoordinatorShardedOverheadByteIdentical drives an overhead
+// experiment (fig3.16 runs no injection campaign at all) through the
+// same coordinator pipeline: sharded RunOverhead partials, streamed,
+// merged — byte-identical to the unsharded report even with a failed
+// attempt in the mix.
+func TestCoordinatorShardedOverheadByteIdentical(t *testing.T) {
+	golden := unsharded(t, "fig3.16")
+	var failed int32
+	merged := coordinate(t, "fig3.16", coord.Config{Shards: 4, Workers: 2},
+		func(_ harness.ShardSpec, payload []byte) ([]byte, error) {
+			if atomic.CompareAndSwapInt32(&failed, 0, 1) {
+				return nil, errors.New("worker forcibly failed mid-shard (injected)")
+			}
+			return payload, nil
+		})
+	if !bytes.Equal(golden, merged) {
+		t.Errorf("sharded overhead merge differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s", golden, merged)
+	}
+}

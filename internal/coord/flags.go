@@ -1,0 +1,81 @@
+package coord
+
+// The -coord* flag family shared by the CLIs. Registering and validating
+// the flags here — next to FleetOptions — keeps the two binaries'
+// coordinator surfaces from drifting apart: a new fleet knob or a new
+// dependency rule lands in one place.
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// CLIFlags is the parsed -coord* flag family. Register it on a FlagSet,
+// parse, then Validate the combination.
+type CLIFlags struct {
+	Workers int
+	Shards  int
+	Lease   time.Duration
+	Spawn   bool
+	Chaos   int
+	Worker  bool
+
+	leaseSet bool
+}
+
+// Register declares the flag family on fs. what names the unit being
+// scheduled ("experiment", "campaign") in help text; workerHelp
+// describes the -worker mode for this binary.
+func (c *CLIFlags) Register(fs *flag.FlagSet, what, workerHelp string) {
+	fs.IntVar(&c.Workers, "coord", 0,
+		fmt.Sprintf("schedule the %s's shards on a coordinator with this many workers (0 = off)", what))
+	fs.IntVar(&c.Shards, "coord-shards", 0,
+		"shards to cut the plan into with -coord (default 2×workers; must be ≥ workers)")
+	fs.DurationVar(&c.Lease, "coord-lease", 5*time.Minute,
+		"with -coord: reassign a shard whose result has not arrived within this lease; a shard whose every retry also expires fails the run, so set it above the slowest expected shard (0 = never)")
+	fs.BoolVar(&c.Spawn, "coord-spawn", false,
+		"with -coord: workers are spawned '"+fs.Name()+" -worker' processes over JSON-lines stdio instead of in-process goroutines")
+	fs.IntVar(&c.Chaos, "coord-chaos", 0,
+		"with -coord-spawn: fault drill — kill this many workers after their first lease and rely on retry")
+	fs.BoolVar(&c.Worker, "worker", false, workerHelp)
+}
+
+// Validate rejects inconsistent flag combinations after fs has parsed:
+// every -coord-* flag needs -coord, the fleet needs at least one worker,
+// and the plan must be cut at least as fine as the fleet. Call it with
+// the parsed FlagSet so explicitly-set flags are distinguished from
+// defaults.
+func (c *CLIFlags) Validate(fs *flag.FlagSet) error {
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "coord-lease" {
+			c.leaseSet = true
+		}
+	})
+	if c.Workers < 0 {
+		return fmt.Errorf("-coord %d: the fleet needs at least 1 worker", c.Workers)
+	}
+	if c.Workers == 0 {
+		switch {
+		case c.Shards != 0:
+			return fmt.Errorf("-coord-shards requires -coord")
+		case c.Spawn:
+			return fmt.Errorf("-coord-spawn requires -coord")
+		case c.leaseSet:
+			return fmt.Errorf("-coord-lease requires -coord")
+		}
+	}
+	if c.Shards != 0 && c.Shards < c.Workers {
+		return fmt.Errorf("-coord-shards %d for %d workers: cut the plan at least as fine as the fleet", c.Shards, c.Workers)
+	}
+	if c.Lease < 0 {
+		return fmt.Errorf("-coord-lease %v: negative lease", c.Lease)
+	}
+	if c.Chaos != 0 && !c.Spawn {
+		return fmt.Errorf("-coord-chaos requires -coord-spawn (only spawned workers can be killed)")
+	}
+	return nil
+}
+
+// Enabled reports whether a coordinator run was requested.
+func (c *CLIFlags) Enabled() bool { return c.Workers != 0 }

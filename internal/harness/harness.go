@@ -628,95 +628,12 @@ func sampleSites(sites []faultinject.Site, max int) []faultinject.Site {
 	return out
 }
 
-// ---------------------------------------------------------------------------
-// Overhead experiments (no injections)
-
-// OverheadResult maps variant label → workload → overhead (×golden,
-// Equation 3.1).
-type OverheadResult struct {
-	Workloads []string
-	Variants  []Variant
-	Ratio     map[string]map[string]float64
-	// Cycles carries the raw per-variant cycles for benches.
-	Cycles map[string]map[string]uint64
-}
-
-// RunOverhead measures execution-time overhead for each variant. Like
-// RunCampaign, the (workload, variant) grid executes on the worker pool
-// and results are recorded in canonical grid order.
-func (r *Runner) RunOverhead(ws []workloads.Workload, variants []Variant) (*OverheadResult, error) {
-	if err := r.validate(); err != nil {
-		return nil, err
+// PlanTrials reports the trial count of the campaign's canonical flat
+// plan — the unit sharding and the coordinator schedule over.
+func (r *Runner) PlanTrials(cfg CampaignConfig) (int, error) {
+	plan, err := r.planCampaign(cfg)
+	if err != nil {
+		return 0, err
 	}
-	or := &OverheadResult{
-		Variants: variants,
-		Ratio:    make(map[string]map[string]float64),
-		Cycles:   make(map[string]map[string]uint64),
-	}
-	for _, v := range variants {
-		or.Ratio[v.Label()] = make(map[string]float64)
-		or.Cycles[v.Label()] = make(map[string]uint64)
-	}
-	// Goldens are prerequisites of every ratio; compute them up front in
-	// workload order so a golden failure surfaces exactly as it would
-	// serially.
-	goldens := make([]*interp.Result, len(ws))
-	for wi, w := range ws {
-		or.Workloads = append(or.Workloads, w.Name)
-		g, err := r.Golden(w)
-		if err != nil {
-			return nil, err
-		}
-		goldens[wi] = g
-	}
-	type ovJob struct {
-		w workloads.Workload
-		v Variant
-	}
-	var jobs []ovJob
-	for _, w := range ws {
-		for _, v := range variants {
-			if v.DPMR {
-				jobs = append(jobs, ovJob{w: w, v: v})
-			}
-		}
-	}
-	cycles := make([]uint64, len(jobs))
-	errs := make([]error, len(jobs))
-	r.fanOut(len(jobs), func(i int) {
-		j := jobs[i]
-		m, err := r.module(j.w, j.v, nil)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		res := interp.Run(m, interp.Config{
-			Externs: extlib.Wrapped(j.v.Design),
-			Mem:     r.MemConfig,
-			Seed:    1,
-		})
-		if res.Kind != interp.ExitNormal {
-			errs[i] = fmt.Errorf("%v (%s)", res.Kind, res.Reason)
-			return
-		}
-		cycles[i] = res.Cycles
-	})
-	ji := 0
-	for wi, w := range ws {
-		golden := goldens[wi]
-		for _, v := range variants {
-			if !v.DPMR {
-				or.Ratio[v.Label()][w.Name] = 1.0
-				or.Cycles[v.Label()][w.Name] = golden.Cycles
-				continue
-			}
-			if err := errs[ji]; err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", w.Name, v.Label(), err)
-			}
-			or.Ratio[v.Label()][w.Name] = float64(cycles[ji]) / float64(golden.Cycles)
-			or.Cycles[v.Label()][w.Name] = cycles[ji]
-			ji++
-		}
-	}
-	return or, nil
+	return len(plan.trials), nil
 }

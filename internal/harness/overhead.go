@@ -1,0 +1,291 @@
+package harness
+
+// Overhead experiments (no injections), with the same plan/partial/merge
+// treatment as injection campaigns: the canonical flat measurement plan —
+// per workload, its golden (stdapp) run followed by one run per DPMR
+// variant — is a pure function of (workloads, variants), so any process
+// can recompute it and claim a contiguous slice. Shard i of N measures
+// trials [i·T/N, (i+1)·T/N) and emits an OverheadPartial (cycle counts
+// plus the plan fingerprint); MergeOverhead validates the tiling and
+// aggregates in canonical order, so the merged OverheadResult — and any
+// report rendered from it — is byte-identical to an unsharded run.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dpmr/internal/extlib"
+	"dpmr/internal/interp"
+	"dpmr/internal/workloads"
+)
+
+// OverheadResult maps variant label → workload → overhead (×golden,
+// Equation 3.1).
+type OverheadResult struct {
+	Workloads []string
+	Variants  []Variant
+	Ratio     map[string]map[string]float64
+	// Cycles carries the raw per-variant cycles for benches.
+	Cycles map[string]map[string]uint64
+}
+
+// overheadTrial is one measurement of an overhead plan: the golden
+// (stdapp) run of a workload, or one DPMR variant run of it.
+type overheadTrial struct {
+	w workloads.Workload
+	v Variant // v.DPMR == false ⇒ the workload's golden run
+}
+
+// overheadPlan is the canonical flat measurement layout of an overhead
+// experiment. Like campaignPlan it is a pure function of its inputs, so
+// contiguous index ranges are a host-independent sharding unit and the
+// fingerprint lets MergeOverhead refuse partials cut from a different
+// plan.
+type overheadPlan struct {
+	workloads   []string
+	variants    []Variant
+	trials      []overheadTrial
+	goldenIdx   []int // per workload: index of its golden trial
+	fingerprint string
+}
+
+// planOverhead lays the measurement grid out flat in canonical order:
+// for each workload, its golden run, then one trial per DPMR variant in
+// variant order (non-DPMR variants reuse the golden measurement).
+func planOverhead(ws []workloads.Workload, variants []Variant) *overheadPlan {
+	p := &overheadPlan{variants: variants}
+	h := sha256.New()
+	fmt.Fprintf(h, "dpmr overhead plan v1\n")
+	for _, v := range variants {
+		fmt.Fprintf(h, "variant %s\n", v.Label())
+	}
+	for _, w := range ws {
+		fmt.Fprintf(h, "workload %s\n", w.Name)
+		p.workloads = append(p.workloads, w.Name)
+		p.goldenIdx = append(p.goldenIdx, len(p.trials))
+		p.trials = append(p.trials, overheadTrial{w: w, v: Stdapp()})
+		for _, v := range variants {
+			if v.DPMR {
+				p.trials = append(p.trials, overheadTrial{w: w, v: v})
+			}
+		}
+	}
+	fmt.Fprintf(h, "trials %d\n", len(p.trials))
+	p.fingerprint = hex.EncodeToString(h.Sum(nil))
+	return p
+}
+
+// execOverheadTrials measures plan.trials[lo:hi] on the worker pool and
+// returns their cycle counts, failing with the canonical naming of the
+// first errored trial. Golden measurements go through the Runner's
+// memoized golden cache, so a workload's golden executes once no matter
+// how many ratios (or shards on this Runner) need it.
+func (r *Runner) execOverheadTrials(plan *overheadPlan, lo, hi int) ([]uint64, error) {
+	cycles := make([]uint64, hi-lo)
+	errs := make([]error, hi-lo)
+	r.fanOut(hi-lo, func(i int) {
+		t := plan.trials[lo+i]
+		if !t.v.DPMR {
+			g, err := r.Golden(t.w)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cycles[i] = g.Cycles
+			return
+		}
+		m, err := r.module(t.w, t.v, nil)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res := interp.Run(m, interp.Config{
+			Externs: extlib.Wrapped(t.v.Design),
+			Mem:     r.MemConfig,
+			Seed:    1,
+		})
+		if res.Kind != interp.ExitNormal {
+			errs[i] = fmt.Errorf("%v (%s)", res.Kind, res.Reason)
+			return
+		}
+		cycles[i] = res.Cycles
+	})
+	for i, err := range errs {
+		if err != nil {
+			t := plan.trials[lo+i]
+			return nil, fmt.Errorf("overhead trial %d: %s/%s: %w", lo+i, t.w.Name, t.v.Label(), err)
+		}
+	}
+	return cycles, nil
+}
+
+// aggregateOverhead folds the full plan's cycle measurements into an
+// OverheadResult in canonical order — identical iteration (and float
+// division) whether the cycles came from one process or merged shards.
+func aggregateOverhead(plan *overheadPlan, cycles []uint64) *OverheadResult {
+	or := &OverheadResult{
+		Workloads: plan.workloads,
+		Variants:  plan.variants,
+		Ratio:     make(map[string]map[string]float64),
+		Cycles:    make(map[string]map[string]uint64),
+	}
+	for _, v := range plan.variants {
+		or.Ratio[v.Label()] = make(map[string]float64)
+		or.Cycles[v.Label()] = make(map[string]uint64)
+	}
+	for wi, wname := range plan.workloads {
+		golden := cycles[plan.goldenIdx[wi]]
+		ti := plan.goldenIdx[wi] + 1
+		for _, v := range plan.variants {
+			if !v.DPMR {
+				or.Ratio[v.Label()][wname] = 1.0
+				or.Cycles[v.Label()][wname] = golden
+				continue
+			}
+			or.Ratio[v.Label()][wname] = float64(cycles[ti]) / float64(golden)
+			or.Cycles[v.Label()][wname] = cycles[ti]
+			ti++
+		}
+	}
+	return or
+}
+
+// RunOverhead measures execution-time overhead for each variant. Like
+// RunCampaign, the measurement grid executes on the worker pool and
+// results are recorded in canonical grid order.
+//
+// RunOverhead runs the whole plan: a Runner configured with a proper
+// shard (Count > 1) is refused rather than silently truncated — use
+// RunOverheadPartial and MergeOverhead for sharded execution.
+func (r *Runner) RunOverhead(ws []workloads.Workload, variants []Variant) (*OverheadResult, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	if !r.Shard.IsZero() && r.Shard != (ShardSpec{Index: 0, Count: 1}) {
+		return nil, fmt.Errorf("harness: RunOverhead with Shard %s: a shard covers only part of the plan; use RunOverheadPartial and MergeOverhead", r.Shard)
+	}
+	plan := planOverhead(ws, variants)
+	cycles, err := r.execOverheadTrials(plan, 0, len(plan.trials))
+	if err != nil {
+		return nil, err
+	}
+	return aggregateOverhead(plan, cycles), nil
+}
+
+// OverheadPartial is one shard's output of a sharded overhead
+// experiment: the cycle measurements of the contiguous trial range
+// [Lo, Hi) of an overhead plan identified by Fingerprint. It serializes
+// exactly like PartialResult and merges with MergeOverhead.
+type OverheadPartial struct {
+	Fingerprint string    `json:"fingerprint"`
+	Shard       ShardSpec `json:"shard"`
+	Lo          int       `json:"lo"`
+	Hi          int       `json:"hi"`
+	Total       int       `json:"total"`
+	// Cycles holds one entry per trial, Cycles[k] measuring canonical
+	// trial Lo+k.
+	Cycles []uint64 `json:"cycles"`
+}
+
+// check validates the partial's internal shape (independent of any
+// plan), so malformed input surfaces as an error, never a panic.
+func (p *OverheadPartial) check() error {
+	if p.Lo < 0 || p.Hi < p.Lo || p.Total < p.Hi {
+		return fmt.Errorf("harness: overhead partial: invalid trial range [%d, %d) of %d", p.Lo, p.Hi, p.Total)
+	}
+	if len(p.Cycles) != p.Hi-p.Lo {
+		return fmt.Errorf("harness: overhead partial: %d measurements for trial range [%d, %d)", len(p.Cycles), p.Lo, p.Hi)
+	}
+	if p.Fingerprint == "" {
+		return fmt.Errorf("harness: overhead partial: missing plan fingerprint")
+	}
+	return nil
+}
+
+// Encode writes the partial result as JSON.
+func (p *OverheadPartial) Encode(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("harness: encoding overhead partial: %w", err)
+	}
+	return nil
+}
+
+// DecodeOverheadPartial reads a JSON overhead partial and validates its
+// shape. It never panics on malformed input.
+func DecodeOverheadPartial(r io.Reader) (*OverheadPartial, error) {
+	var p OverheadPartial
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("harness: decoding overhead partial: %w", err)
+	}
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// RunOverheadPartial measures only the Runner's shard of the overhead
+// plan and returns the indexed partial result. A zero Shard runs the
+// whole plan as shard 0/1. Combine the shards with MergeOverhead.
+func (r *Runner) RunOverheadPartial(ws []workloads.Workload, variants []Variant) (*OverheadPartial, error) {
+	p, _, err := r.runOverheadPartial(ws, variants)
+	return p, err
+}
+
+// runOverheadPartial also exposes the plan, for callers (GenerateSharded)
+// that need a structurally complete stand-in result.
+func (r *Runner) runOverheadPartial(ws []workloads.Workload, variants []Variant) (*OverheadPartial, *overheadPlan, error) {
+	if err := r.validate(); err != nil {
+		return nil, nil, err
+	}
+	shard := r.Shard
+	if shard.IsZero() {
+		shard = ShardSpec{Index: 0, Count: 1}
+	}
+	plan := planOverhead(ws, variants)
+	lo, hi := shard.shardRange(len(plan.trials))
+	cycles, err := r.execOverheadTrials(plan, lo, hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &OverheadPartial{
+		Fingerprint: plan.fingerprint,
+		Shard:       shard,
+		Lo:          lo,
+		Hi:          hi,
+		Total:       len(plan.trials),
+		Cycles:      cycles,
+	}, plan, nil
+}
+
+// MergeOverhead reassembles a full OverheadResult from the partial
+// results of a sharded overhead run. The (workloads, variants) inputs
+// must reproduce the plan the shards were cut from; the plan fingerprint
+// enforces this. Partials may arrive in any order, but their ranges must
+// tile [0, total) exactly — duplicated and missing shards are rejected
+// with the offending trial range named. The merged result is
+// byte-identical to an unsharded RunOverhead of the same inputs.
+func (r *Runner) MergeOverhead(ws []workloads.Workload, variants []Variant, parts []*OverheadPartial) (*OverheadResult, error) {
+	plan := planOverhead(ws, variants)
+	spans := make([]planSpan, len(parts))
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("harness: MergeOverhead: nil partial result")
+		}
+		if err := p.check(); err != nil {
+			return nil, err
+		}
+		spans[i] = planSpan{shard: p.Shard, lo: p.Lo, hi: p.Hi, total: p.Total, fingerprint: p.Fingerprint}
+	}
+	order, err := tileSpans("MergeOverhead", plan.fingerprint, len(plan.trials), spans)
+	if err != nil {
+		return nil, err
+	}
+	cycles := make([]uint64, len(plan.trials))
+	for _, i := range order {
+		copy(cycles[parts[i].Lo:parts[i].Hi], parts[i].Cycles)
+	}
+	return aggregateOverhead(plan, cycles), nil
+}

@@ -33,6 +33,12 @@ type Options struct {
 	// statistics (resident/peak/evicted counts). Takes precedence over
 	// Progress.
 	ProgressStats func(done, total int, stats CacheStats)
+	// Runner, when non-nil, executes the experiments instead of a fresh
+	// NewRunner per generator invocation (its Runs/Parallel/eviction
+	// settings are still applied from this Options). A persistent worker
+	// serving several shard assignments of one plan sets this so the
+	// module and golden caches stay warm across assignments.
+	Runner *Runner
 
 	// campaign/overhead interpose on experiment execution; they are how
 	// GenerateSharded and GenerateMerged reroute the campaigns inside a
@@ -43,7 +49,10 @@ type Options struct {
 }
 
 func (o Options) runner() *Runner {
-	r := NewRunner()
+	r := o.Runner
+	if r == nil {
+		r = NewRunner()
+	}
 	if o.Runs > 0 {
 		r.Runs = o.Runs
 	}
@@ -397,13 +406,15 @@ func sideBySide(w io.Writer, r *Runner, opts Options, ws []workloads.Workload,
 // Sharded experiment generation
 
 // ExperimentPartial is the partial-result file one shard of a sharded
-// dpmr-exp run emits: one PartialResult per injection campaign the
-// experiment executes, in execution order (latency tables run two
-// campaigns; coverage figures run one).
+// dpmr-exp run emits: one PartialResult per injection campaign and one
+// OverheadPartial per overhead measurement the experiment executes, each
+// in execution order (latency tables run two campaigns; coverage figures
+// run one campaign; overhead figures run one or more measurements).
 type ExperimentPartial struct {
-	Exp       string           `json:"exp"`
-	Shard     ShardSpec        `json:"shard"`
-	Campaigns []*PartialResult `json:"campaigns"`
+	Exp       string             `json:"exp"`
+	Shard     ShardSpec          `json:"shard"`
+	Campaigns []*PartialResult   `json:"campaigns,omitempty"`
+	Overheads []*OverheadPartial `json:"overheads,omitempty"`
 }
 
 // DecodeExperimentPartial reads a JSON experiment partial and validates
@@ -416,8 +427,8 @@ func DecodeExperimentPartial(r io.Reader) (*ExperimentPartial, error) {
 	if ep.Exp == "" {
 		return nil, fmt.Errorf("harness: experiment partial: missing experiment id")
 	}
-	if len(ep.Campaigns) == 0 {
-		return nil, fmt.Errorf("harness: experiment partial %s: no campaigns", ep.Exp)
+	if len(ep.Campaigns) == 0 && len(ep.Overheads) == 0 {
+		return nil, fmt.Errorf("harness: experiment partial %s: no campaigns or overhead measurements", ep.Exp)
 	}
 	for _, p := range ep.Campaigns {
 		if p == nil {
@@ -427,14 +438,21 @@ func DecodeExperimentPartial(r io.Reader) (*ExperimentPartial, error) {
 			return nil, err
 		}
 	}
+	for _, p := range ep.Overheads {
+		if p == nil {
+			return nil, fmt.Errorf("harness: experiment partial %s: nil overhead measurement", ep.Exp)
+		}
+		if err := p.check(); err != nil {
+			return nil, err
+		}
+	}
 	return &ep, nil
 }
 
 // GenerateSharded runs shard `shard` of the named experiment's injection
-// campaigns and JSON-encodes the resulting ExperimentPartial to out.
-// Only campaign-based experiments (coverage figures, latency tables) are
-// shardable; overhead figures are refused. Merge the shards' outputs
-// with GenerateMerged.
+// campaigns and overhead measurements and JSON-encodes the resulting
+// ExperimentPartial to out. Every experiment in the suite is shardable;
+// merge the shards' outputs with GenerateMerged.
 func GenerateSharded(id string, shard ShardSpec, out io.Writer, opts Options) error {
 	if shard.Count < 1 {
 		return fmt.Errorf("harness: GenerateSharded: shard %s: count must be at least 1", shard)
@@ -456,13 +474,21 @@ func GenerateSharded(id string, shard ShardSpec, out io.Writer, opts Options) er
 		return r.aggregate(cfg, plan, make([]TrialOutcome, len(plan.trials))), nil
 	}
 	opts.overheadExec = func(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error) {
-		return nil, fmt.Errorf("harness: experiment %s measures overhead; only injection campaigns shard", id)
+		r.Shard = shard
+		p, plan, err := r.runOverheadPartial(ws, vs)
+		if err != nil {
+			return nil, err
+		}
+		ep.Overheads = append(ep.Overheads, p)
+		// Same stand-in trick: zero cycles render as 0/NaN ratios into
+		// io.Discard without running the other shards' measurements.
+		return aggregateOverhead(plan, make([]uint64, len(plan.trials))), nil
 	}
 	if err := Generate(id, io.Discard, opts); err != nil {
 		return err
 	}
-	if len(ep.Campaigns) == 0 {
-		return fmt.Errorf("harness: experiment %s runs no injection campaign; nothing to shard", id)
+	if len(ep.Campaigns) == 0 && len(ep.Overheads) == 0 {
+		return fmt.Errorf("harness: experiment %s runs no campaign or overhead measurement; nothing to shard", id)
 	}
 	if err := json.NewEncoder(out).Encode(ep); err != nil {
 		return fmt.Errorf("harness: encoding experiment partial: %w", err)
@@ -494,10 +520,13 @@ func GenerateMerged(id string, out io.Writer, partials []io.Reader, opts Options
 		if i > 0 && len(ep.Campaigns) != len(eps[0].Campaigns) {
 			return fmt.Errorf("harness: GenerateMerged: partial %d holds %d campaigns, partial 0 holds %d", i, len(ep.Campaigns), len(eps[0].Campaigns))
 		}
+		if i > 0 && len(ep.Overheads) != len(eps[0].Overheads) {
+			return fmt.Errorf("harness: GenerateMerged: partial %d holds %d overhead measurements, partial 0 holds %d", i, len(ep.Overheads), len(eps[0].Overheads))
+		}
 		eps[i] = ep
 	}
-	nCampaigns := len(eps[0].Campaigns)
-	ci := 0
+	nCampaigns, nOverheads := len(eps[0].Campaigns), len(eps[0].Overheads)
+	ci, oi := 0, 0
 	opts.campaignExec = func(r *Runner, cfg CampaignConfig) (*CampaignResult, error) {
 		if ci >= nCampaigns {
 			return nil, fmt.Errorf("harness: experiment %s runs more than the %d campaigns the partials hold", id, nCampaigns)
@@ -510,13 +539,24 @@ func GenerateMerged(id string, out io.Writer, partials []io.Reader, opts Options
 		return r.MergeCampaign(cfg, parts)
 	}
 	opts.overheadExec = func(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error) {
-		return nil, fmt.Errorf("harness: experiment %s measures overhead; only injection campaigns merge", id)
+		if oi >= nOverheads {
+			return nil, fmt.Errorf("harness: experiment %s runs more than the %d overhead measurements the partials hold", id, nOverheads)
+		}
+		parts := make([]*OverheadPartial, len(eps))
+		for j, ep := range eps {
+			parts[j] = ep.Overheads[oi]
+		}
+		oi++
+		return r.MergeOverhead(ws, vs, parts)
 	}
 	if err := Generate(id, out, opts); err != nil {
 		return err
 	}
 	if ci != nCampaigns {
 		return fmt.Errorf("harness: partials hold %d campaigns but experiment %s ran only %d", nCampaigns, id, ci)
+	}
+	if oi != nOverheads {
+		return fmt.Errorf("harness: partials hold %d overhead measurements but experiment %s ran only %d", nOverheads, id, oi)
 	}
 	return nil
 }

@@ -173,6 +173,62 @@ func (r *Runner) runCampaignPartial(cfg CampaignConfig) (*PartialResult, *campai
 	}, plan, nil
 }
 
+// planSpan is the plan-identity and range header shared by every partial
+// kind (campaign PartialResult, OverheadPartial): which plan the shard
+// was cut from and which contiguous trial range it covers.
+type planSpan struct {
+	shard       ShardSpec
+	lo, hi      int
+	total       int
+	fingerprint string
+}
+
+// tileSpans validates a set of shard spans against a plan identity
+// (fingerprint + trial count) and returns the span indices ordered so
+// their ranges tile [0, total) exactly. Mismatched fingerprints,
+// overlapping ranges (a duplicated shard), and gaps (a missing shard)
+// are rejected with the offending shard or trial range named; what names
+// the calling merge in errors.
+func tileSpans(what, fingerprint string, total int, spans []planSpan) ([]int, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("harness: %s: no partial results", what)
+	}
+	for _, s := range spans {
+		if s.fingerprint != fingerprint {
+			return nil, fmt.Errorf("harness: %s: shard %s was cut from a different plan (fingerprint %.12s, want %.12s): config, runs, or site enumeration differ",
+				what, s.shard, s.fingerprint, fingerprint)
+		}
+		if s.total != total {
+			return nil, fmt.Errorf("harness: %s: shard %s covers a %d-trial plan, this plan has %d trials", what, s.shard, s.total, total)
+		}
+	}
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if spans[order[a]].lo != spans[order[b]].lo {
+			return spans[order[a]].lo < spans[order[b]].lo
+		}
+		return spans[order[a]].hi < spans[order[b]].hi
+	})
+	next := 0
+	for _, i := range order {
+		s := spans[i]
+		if s.lo < next {
+			return nil, fmt.Errorf("harness: %s: shard %s overlaps already-merged trials [%d, %d): duplicate shard?", what, s.shard, s.lo, min(s.hi, next))
+		}
+		if s.lo > next {
+			return nil, fmt.Errorf("harness: %s: missing trials [%d, %d): no shard covers them", what, next, s.lo)
+		}
+		next = s.hi
+	}
+	if next != total {
+		return nil, fmt.Errorf("harness: %s: missing trials [%d, %d): no shard covers them", what, next, total)
+	}
+	return order, nil
+}
+
 // MergeCampaign reassembles a full CampaignResult from the partial
 // results of a sharded run. The Runner's configuration (Runs, workloads'
 // site enumeration) must reproduce the plan the shards were cut from;
@@ -187,46 +243,23 @@ func (r *Runner) MergeCampaign(cfg CampaignConfig, parts []*PartialResult) (*Cam
 		return nil, err
 	}
 	total := len(plan.trials)
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("harness: MergeCampaign: no partial results")
-	}
-	for _, p := range parts {
+	spans := make([]planSpan, len(parts))
+	for i, p := range parts {
 		if p == nil {
 			return nil, fmt.Errorf("harness: MergeCampaign: nil partial result")
 		}
 		if err := p.check(); err != nil {
 			return nil, err
 		}
-		if p.Fingerprint != plan.fingerprint {
-			return nil, fmt.Errorf("harness: MergeCampaign: shard %s was cut from a different plan (fingerprint %.12s, want %.12s): config, runs, or site enumeration differ",
-				p.Shard, p.Fingerprint, plan.fingerprint)
-		}
-		if p.Total != total {
-			return nil, fmt.Errorf("harness: MergeCampaign: shard %s covers a %d-trial plan, this campaign has %d trials", p.Shard, p.Total, total)
-		}
+		spans[i] = planSpan{shard: p.Shard, lo: p.Lo, hi: p.Hi, total: p.Total, fingerprint: p.Fingerprint}
 	}
-	sorted := make([]*PartialResult, len(parts))
-	copy(sorted, parts)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Lo != sorted[j].Lo {
-			return sorted[i].Lo < sorted[j].Lo
-		}
-		return sorted[i].Hi < sorted[j].Hi
-	})
+	order, err := tileSpans("MergeCampaign", plan.fingerprint, total, spans)
+	if err != nil {
+		return nil, err
+	}
 	outcomes := make([]TrialOutcome, total)
-	next := 0
-	for _, p := range sorted {
-		if p.Lo < next {
-			return nil, fmt.Errorf("harness: MergeCampaign: shard %s overlaps already-merged trials [%d, %d): duplicate shard?", p.Shard, p.Lo, min(p.Hi, next))
-		}
-		if p.Lo > next {
-			return nil, fmt.Errorf("harness: MergeCampaign: missing trials [%d, %d): no shard covers them", next, p.Lo)
-		}
-		copy(outcomes[p.Lo:p.Hi], p.Outcomes)
-		next = p.Hi
-	}
-	if next != total {
-		return nil, fmt.Errorf("harness: MergeCampaign: missing trials [%d, %d): no shard covers them", next, total)
+	for _, i := range order {
+		copy(outcomes[parts[i].Lo:parts[i].Hi], parts[i].Outcomes)
 	}
 	return r.aggregate(cfg, plan, outcomes), nil
 }

@@ -221,16 +221,6 @@ func TestGenerateShardedMergedByteIdentical(t *testing.T) {
 	}
 }
 
-// TestGenerateShardedRejectsOverheadExperiments: overhead figures have no
-// campaign to shard.
-func TestGenerateShardedRejectsOverheadExperiments(t *testing.T) {
-	var buf bytes.Buffer
-	err := GenerateSharded("fig3.10", ShardSpec{Index: 0, Count: 2}, &buf, Options{Quick: true})
-	if err == nil {
-		t.Fatal("sharding an overhead experiment succeeded")
-	}
-}
-
 // TestRunnerValidation is the table-driven Runner.RunCampaign /
 // RunCampaignPartial / RunOverhead validation contract: out-of-range
 // shards and non-positive worker counts error instead of silently
