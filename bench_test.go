@@ -30,19 +30,25 @@ import (
 
 var benchMem = mem.Config{HeapBytes: 4 * 1024 * 1024, StackBytes: 256 * 1024, GlobalBytes: 64 * 1024}
 
-// benchVariant interprets one prepared module b.N times and reports the
-// cycle clock and overhead ratio.
+// benchVariant interprets one prepared module b.N times (compiled, the
+// default execution path) and reports the cycle clock and overhead ratio.
 func benchVariant(b *testing.B, w workloads.Workload, v harness.Variant, golden uint64) {
 	b.Helper()
 	m := buildFor(b, w, v, nil)
+	m.Freeze()
+	prog, err := interp.Compile(m)
+	if err != nil {
+		b.Fatal(err)
+	}
 	externs := extlib.Base()
 	if v.DPMR {
 		externs = extlib.Wrapped(v.Design)
 	}
 	var cycles uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := interp.Run(m, interp.Config{Externs: externs, Mem: benchMem, Seed: 1})
+		res := interp.Run(m, interp.Config{Externs: externs, Mem: benchMem, Seed: 1, Prog: prog})
 		if res.Kind != interp.ExitNormal {
 			b.Fatalf("%s/%s: %v (%s)", w.Name, v.Label(), res.Kind, res.Reason)
 		}
@@ -51,6 +57,38 @@ func benchVariant(b *testing.B, w workloads.Workload, v harness.Variant, golden 
 	b.ReportMetric(float64(cycles), "cycles/run")
 	if golden > 0 {
 		b.ReportMetric(float64(cycles)/float64(golden), "overhead-x")
+	}
+}
+
+// BenchmarkInterp is the interpreter microbenchmark: one golden workload
+// run per iteration, compiled bytecode vs the tree-walking reference.
+// The compiled/reference ns/op ratio is the dispatch speedup the
+// compile-once/execute-many pipeline buys; allocs/op tracks the frame
+// arena (compiled runs should not allocate per call).
+func BenchmarkInterp(b *testing.B) {
+	for _, wname := range []string{"art", "mcf"} {
+		w := mustWorkload(b, wname)
+		m := w.Build()
+		m.Freeze()
+		prog, err := interp.Compile(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, prog *interp.Program) {
+			b.Helper()
+			b.ReportAllocs()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res := interp.Run(m, interp.Config{Externs: extlib.Base(), Mem: benchMem, Seed: 1, Prog: prog})
+				if res.Kind != interp.ExitNormal {
+					b.Fatalf("%s: %v (%s)", wname, res.Kind, res.Reason)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles/run")
+		}
+		b.Run(wname+"/compiled", func(b *testing.B) { run(b, prog) })
+		b.Run(wname+"/reference", func(b *testing.B) { run(b, nil) })
 	}
 }
 
@@ -357,6 +395,7 @@ func BenchmarkCampaign(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("parallel%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				// A fresh Runner per iteration so the module cache is
 				// cold: the benchmark covers both engine stages.
@@ -374,6 +413,27 @@ func BenchmarkCampaign(b *testing.B) {
 						n += cr.Cells[harness.Stdapp().Label()][wname].N
 					}
 					b.ReportMetric(float64(n), "stdapp-injections")
+				}
+			}
+			reportTrialsPerSec(b, trials)
+		})
+	}
+
+	// Reference ablation: the same campaign on the tree-walking reference
+	// interpreter (Compile off). The parallelN/referenceN trials/sec ratio
+	// is the speedup the compiled bytecode buys; results are byte-identical
+	// (the differential test asserts it), only the clock differs.
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("reference%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := harness.NewRunner()
+				r.Runs = 1
+				r.Parallel = workers
+				r.Compile = false
+				if _, err := r.RunCampaign(campaign); err != nil {
+					b.Fatal(err)
 				}
 			}
 			reportTrialsPerSec(b, trials)

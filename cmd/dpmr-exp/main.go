@@ -49,6 +49,7 @@ import (
 
 	"dpmr/internal/coord"
 	"dpmr/internal/harness"
+	"dpmr/internal/prof"
 )
 
 func main() {
@@ -70,9 +71,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		shard    = fs.String("shard", "", "run shard i/N of the experiment and write a partial result (requires -exp, not 'all')")
 		outPath  = fs.String("out", "", "partial-result output file with -shard (default stdout)")
 		merge    = fs.Bool("merge", false, "merge partial-result files, directories, or globs (the positional arguments) and render the report")
+		compile  = fs.Bool("compile", true, "execute trials as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
 	)
 	var cf coord.CLIFlags
 	cf.Register(fs, "experiment", "worker mode: serve shard assignments for -exp from stdin (JSON lines; normally spawned by a coordinator)")
+	var pf prof.Flags
+	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -86,7 +90,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	opts := harness.Options{Quick: *quick, Runs: *runs, MaxSites: *maxSites, Parallel: *parallel, Evict: *evict}
+	opts := harness.Options{Quick: *quick, Runs: *runs, MaxSites: *maxSites, Parallel: *parallel, Evict: *evict, Reference: !*compile}
 	if *progress {
 		label := *exp
 		if *merge {
@@ -115,15 +119,57 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := cf.Validate(fs); err != nil {
 		return fail(stderr, err)
 	}
-
-	switch {
-	case *merge:
+	// Validate the mode-specific usage constraints before profiling
+	// starts, so a usage error cannot truncate an existing profile file:
+	// -cpuprofile is only created once the invocation is known-valid.
+	var shardSpec harness.ShardSpec
+	if *shard != "" {
+		spec, err := harness.ParseShard(*shard)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if *exp == "" || *exp == "all" {
+			return fail(stderr, fmt.Errorf("-shard requires a single experiment via -exp"))
+		}
+		shardSpec = spec
+	}
+	if (cf.Worker || cf.Enabled()) && (*exp == "" || *exp == "all") {
+		flagName := "-coord"
+		if cf.Worker {
+			flagName = "-worker"
+		}
+		return fail(stderr, fmt.Errorf("%s requires a single experiment via -exp", flagName))
+	}
+	if *exp == "" && !*merge {
+		fs.Usage()
+		return 2
+	}
+	var mergeFiles []string
+	if *merge {
 		files, err := expandPartialArgs(fs.Args())
 		if err != nil {
 			return fail(stderr, err)
 		}
-		readers := make([]io.Reader, len(files))
-		for i, name := range files {
+		mergeFiles = files
+	}
+	profStop, perr := pf.Start()
+	if perr != nil {
+		// Profile-file I/O failure is a run failure (exit 1), not
+		// command-line misuse.
+		return runFail(stderr, perr)
+	}
+	defer func() {
+		// Profile flushing failures can't change the exit code from a
+		// defer; surface them loudly instead of dropping them.
+		if err := profStop(); err != nil {
+			fmt.Fprintln(stderr, "dpmr-exp:", err)
+		}
+	}()
+
+	switch {
+	case *merge:
+		readers := make([]io.Reader, len(mergeFiles))
+		for i, name := range mergeFiles {
 			f, err := os.Open(name)
 			if err != nil {
 				return runFail(stderr, err)
@@ -136,23 +182,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		return 0
 	case *shard != "":
-		spec, err := harness.ParseShard(*shard)
-		if err != nil {
-			return fail(stderr, err)
-		}
-		if *exp == "" || *exp == "all" {
-			return fail(stderr, fmt.Errorf("-shard requires a single experiment via -exp"))
-		}
 		out := io.Writer(stdout)
 		var f *os.File
 		if *outPath != "" && *outPath != "-" {
+			var err error
 			f, err = os.Create(*outPath)
 			if err != nil {
 				return runFail(stderr, err)
 			}
 			out = f
 		}
-		if err := harness.GenerateSharded(*exp, spec, out, opts); err != nil {
+		if err := harness.GenerateSharded(*exp, shardSpec, out, opts); err != nil {
 			if f != nil {
 				f.Close()
 			}
@@ -167,9 +207,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		return 0
 	case cf.Worker:
-		if *exp == "" || *exp == "all" {
-			return fail(stderr, fmt.Errorf("-worker requires a single experiment via -exp"))
-		}
 		// One Runner for the worker's lifetime: shards of the same plan
 		// leased to this worker reuse its module and golden caches.
 		workerOpts := opts
@@ -186,16 +223,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		return 0
 	case cf.Enabled():
-		if *exp == "" || *exp == "all" {
-			return fail(stderr, fmt.Errorf("-coord requires a single experiment via -exp"))
-		}
 		return runCoordinated(*exp, cf, opts, *progress, stdout, stderr)
 	}
 
-	if *exp == "" {
-		fs.Usage()
-		return 2
-	}
 	var err error
 	if *exp == "all" {
 		err = harness.GenerateAll(stdout, opts)
@@ -260,6 +290,7 @@ func workerArgv(exp string, opts harness.Options) []string {
 		"-worker", "-exp", exp,
 		"-parallel", strconv.Itoa(max(opts.Parallel, 1)),
 		"-evict=" + strconv.FormatBool(opts.Evict),
+		"-compile=" + strconv.FormatBool(!opts.Reference),
 	}
 	if opts.Quick {
 		argv = append(argv, "-quick")

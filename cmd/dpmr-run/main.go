@@ -46,6 +46,7 @@ import (
 	"dpmr/internal/faultinject"
 	"dpmr/internal/harness"
 	"dpmr/internal/interp"
+	"dpmr/internal/prof"
 	"dpmr/internal/workloads"
 )
 
@@ -76,9 +77,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		shard     = fs.String("shard", "", "run campaign shard i/N and write a partial result (with -campaign)")
 		outPath   = fs.String("out", "", "partial-result output file with -shard (default stdout)")
 		merge     = fs.Bool("merge", false, "merge campaign partial-result files (the positional arguments; with -campaign)")
+		compile   = fs.Bool("compile", true, "execute as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
 	)
 	var cf coord.CLIFlags
 	cf.Register(fs, "campaign", "worker mode: serve campaign shard assignments from stdin (JSON lines; normally spawned by a coordinator)")
+	var pf prof.Flags
+	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -133,7 +137,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := cf.Validate(fs); err != nil {
 		return fail(err)
 	}
-
+	// Validate the remaining usage constraints (parsing each input once)
+	// before profiling starts, so a usage error cannot truncate an
+	// existing profile file: -cpuprofile is only created once the
+	// invocation is known-valid.
+	if *campaign && injectKind == 0 {
+		return fail(fmt.Errorf("-campaign requires -inject heap-array-resize or immediate-free"))
+	}
+	var shardSpec harness.ShardSpec
+	if *shard != "" {
+		spec, err := harness.ParseShard(*shard)
+		if err != nil {
+			return fail(err)
+		}
+		shardSpec = spec
+	}
+	variant := harness.Stdapp()
+	if *useDPMR {
+		d := dpmr.SDS
+		if *design == "mds" {
+			d = dpmr.MDS
+		}
+		div, err := dpmr.DiversityByName(*diversity)
+		if err != nil {
+			return fail(err)
+		}
+		pol, err := dpmr.PolicyByName(*policy)
+		if err != nil {
+			return fail(err)
+		}
+		variant = harness.NewVariant(d, div, pol)
+	}
 	if *campaign {
 		// The campaign engine drives every site with per-run seeds; the
 		// single-run-only flags would be silently ignored, so refuse them.
@@ -158,11 +192,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if modes > 1 {
 			return fail(fmt.Errorf("-merge, -shard, -coord, and -worker are mutually exclusive"))
 		}
+		if *merge && len(fs.Args()) == 0 {
+			return fail(fmt.Errorf("-merge needs the partial-result files as arguments"))
+		}
+	}
+	profStop, perr := pf.Start()
+	if perr != nil {
+		// Profile-file I/O failure is a run failure (exit 1), not
+		// command-line misuse.
+		return execFail(stderr, perr)
+	}
+	defer func() {
+		// Profile flushing failures can't change the exit code from a
+		// defer; surface them loudly instead of dropping them.
+		if err := profStop(); err != nil {
+			fmt.Fprintln(stderr, "dpmr-run:", err)
+		}
+	}()
+
+	if *campaign {
 		return runCampaign(campaignArgs{
 			w: w, useDPMR: *useDPMR, design: *design, diversity: *diversity, policy: *policy,
-			kind: injectKind, injectName: *inject, parallel: *parallel, runs: *runs,
-			progress: *progress, evict: *evict,
-			shard: *shard, outPath: *outPath, merge: *merge, mergeFiles: fs.Args(),
+			variant: variant,
+			kind:    injectKind, injectName: *inject, parallel: *parallel, runs: *runs,
+			progress: *progress, evict: *evict, compile: *compile,
+			shard: *shard, shardSpec: shardSpec, outPath: *outPath, merge: *merge, mergeFiles: fs.Args(),
 			coordFlags: cf,
 			stdin:      stdin, stdout: stdout, stderr: stderr,
 		})
@@ -187,21 +241,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
-	d := dpmr.SDS
-	if *design == "mds" {
-		d = dpmr.MDS
-	}
 	externs := extlib.Base()
 	if *useDPMR {
-		div, err := dpmr.DiversityByName(*diversity)
-		if err != nil {
-			return fail(err)
-		}
-		pol, err := dpmr.PolicyByName(*policy)
-		if err != nil {
-			return fail(err)
-		}
-		cfg := dpmr.Config{Design: d, Diversity: div, Policy: pol}
+		cfg := dpmr.Config{Design: variant.Design, Diversity: variant.Diversity, Policy: variant.Policy}
 		if *useDSA {
 			var res *dsa.Result
 			m, res, err = dsa.Transform(m, cfg)
@@ -215,7 +257,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 		}
-		externs = extlib.Wrapped(d)
+		externs = extlib.Wrapped(variant.Design)
 	}
 
 	if *showIR {
@@ -223,7 +265,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	res := interp.Run(m, interp.Config{Externs: externs, Seed: *seed, StepLimit: 2_000_000_000})
+	var prog *interp.Program
+	if *compile {
+		m.Freeze()
+		// A compile failure is not fatal — the run simply proceeds on the
+		// reference tree-walker with identical results, matching the
+		// harness's fallback behavior.
+		if p, err := interp.Compile(m); err == nil {
+			prog = p
+		}
+	}
+	res := interp.Run(m, interp.Config{Externs: externs, Seed: *seed, StepLimit: 2_000_000_000, Prog: prog})
 	fmt.Fprintf(stdout, "exit:    %v (code %d) %s\n", res.Kind, res.Code, res.Reason)
 	fmt.Fprintf(stdout, "steps:   %d\n", res.Steps)
 	fmt.Fprintf(stdout, "cycles:  %d\n", res.Cycles)
@@ -244,11 +296,14 @@ type campaignArgs struct {
 	w                         workloads.Workload
 	useDPMR                   bool
 	design, diversity, policy string
+	variant                   harness.Variant
 	kind                      faultinject.Kind
 	injectName                string
 	parallel, runs            int
 	progress, evict, merge    bool
+	compile                   bool
 	shard, outPath            string
+	shardSpec                 harness.ShardSpec
 	mergeFiles                []string
 	coordFlags                coord.CLIFlags
 	stdin                     io.Reader
@@ -274,31 +329,15 @@ func execFail(stderr io.Writer, err error) int {
 // writing a partial result, merging shard partials, or scheduled on a
 // coordinator fleet — and prints the coverage summary.
 func runCampaign(a campaignArgs) int {
-	fail := func(err error) int { return usageFail(a.stderr, err) }
 	runFail := func(err error) int { return execFail(a.stderr, err) }
-	if a.kind == 0 {
-		return fail(fmt.Errorf("-campaign requires -inject heap-array-resize or immediate-free"))
-	}
-	variant := harness.Stdapp()
-	if a.useDPMR {
-		d := dpmr.SDS
-		if a.design == "mds" {
-			d = dpmr.MDS
-		}
-		div, err := dpmr.DiversityByName(a.diversity)
-		if err != nil {
-			return fail(err)
-		}
-		pol, err := dpmr.PolicyByName(a.policy)
-		if err != nil {
-			return fail(err)
-		}
-		variant = harness.NewVariant(d, div, pol)
-	}
+	// run() validated the flag set and parsed the variant and shard spec
+	// before profiling started; a carries the parsed values.
+	variant := a.variant
 	r := harness.NewRunner()
 	r.Runs = a.runs
 	r.Parallel = a.parallel
 	r.EvictModules = a.evict
+	r.Compile = a.compile
 	if a.progress {
 		r.Progress = func(done, total int) {
 			st := r.CacheStats()
@@ -339,11 +378,7 @@ func runCampaign(a campaignArgs) int {
 	case a.coordFlags.Enabled():
 		return runCoordinatedCampaign(a, r, cfg, variant)
 	case a.shard != "":
-		spec, err := harness.ParseShard(a.shard)
-		if err != nil {
-			return fail(err)
-		}
-		r.Shard = spec
+		r.Shard = a.shardSpec
 		p, err := r.RunCampaignPartial(cfg)
 		if err != nil {
 			return runFail(err)
@@ -370,12 +405,9 @@ func runCampaign(a campaignArgs) int {
 				return runFail(err)
 			}
 		}
-		fmt.Fprintf(a.stderr, "shard %s: trials [%d, %d) of %d\n", spec, p.Lo, p.Hi, p.Total)
+		fmt.Fprintf(a.stderr, "shard %s: trials [%d, %d) of %d\n", a.shardSpec, p.Lo, p.Hi, p.Total)
 		return 0
 	case a.merge:
-		if len(a.mergeFiles) == 0 {
-			return fail(fmt.Errorf("-merge needs the partial-result files as arguments"))
-		}
 		parts := make([]*harness.PartialResult, len(a.mergeFiles))
 		for i, name := range a.mergeFiles {
 			f, err := os.Open(name)
@@ -425,6 +457,7 @@ func runCoordinatedCampaign(a campaignArgs, r *harness.Runner, cfg harness.Campa
 			wr.Runs = a.runs
 			wr.Parallel = a.parallel
 			wr.EvictModules = a.evict
+			wr.Compile = a.compile
 			wr.Shard = shard
 			p, err := wr.RunCampaignPartial(cfg)
 			if err != nil {
@@ -477,6 +510,7 @@ func campaignWorkerArgv(a campaignArgs) []string {
 		"-runs", strconv.Itoa(a.runs),
 		"-parallel", strconv.Itoa(a.parallel),
 		"-evict=" + strconv.FormatBool(a.evict),
+		"-compile=" + strconv.FormatBool(a.compile),
 	}
 	if a.useDPMR {
 		argv = append(argv, "-dpmr", "-design", a.design, "-diversity", a.diversity, "-policy", a.policy)

@@ -46,6 +46,7 @@ func TestRunFlagValidation(t *testing.T) {
 		{"shard out of range", []string{"-campaign", "-inject", "immediate-free", "-shard", "5/5"}, 2, "out of range"},
 		{"zero workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "0"}, 1, "at least 1 worker"},
 		{"negative workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "-4"}, 1, "at least 1 worker"},
+		{"bad cpuprofile path", []string{"-workload", "mcf", "-cpuprofile", "/no/such/dir/cpu.out"}, 1, "prof:"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -152,5 +153,24 @@ func TestCampaignWorkerModeServes(t *testing.T) {
 	}
 	if strings.Contains(out, `"error"`) {
 		t.Errorf("worker reported an error:\n%s", out)
+	}
+}
+
+// TestCompileFlagOutputIdentical asserts -compile=false (tree-walking
+// reference) and the default compiled execution print byte-identical
+// reports for a single run.
+func TestCompileFlagOutputIdentical(t *testing.T) {
+	runWith := func(extra ...string) string {
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-workload", "mcf", "-dpmr"}, extra...)
+		if code := run(args, noStdin(), &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d (stderr: %s)", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	compiled := runWith()
+	reference := runWith("-compile=false")
+	if compiled != reference {
+		t.Errorf("compiled and reference single-run outputs differ:\n%s\nvs\n%s", compiled, reference)
 	}
 }

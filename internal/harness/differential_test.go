@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/extlib"
+	"dpmr/internal/faultinject"
+	"dpmr/internal/interp"
+	"dpmr/internal/mem"
+	"dpmr/internal/workloads"
+)
+
+// differentialVariants is the full Figure 3.x/4.x variant surface: every
+// diversity and every policy under both designs, deduplicated by label.
+func differentialVariants() []Variant {
+	var out []Variant
+	seen := map[string]bool{}
+	for _, set := range [][]Variant{
+		DiversityVariants(dpmr.SDS), PolicyVariants(dpmr.SDS),
+		DiversityVariants(dpmr.MDS), PolicyVariants(dpmr.MDS),
+	} {
+		for _, v := range set {
+			if !seen[v.Label()] {
+				seen[v.Label()] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// TestCompiledMatchesReference is the compiled interpreter's differential
+// harness: every registered workload × variant × fault injection runs
+// under both the compiled bytecode (with pooled address spaces, as
+// campaigns run it) and the reference tree-walker (fresh spaces), and the
+// complete Result — exit kind and code, detection reason, steps, the
+// Cycles clock, output bytes, fault timing, and memory statistics — must
+// be identical. Identical Results imply identical §3.6 classifications,
+// golden reports, shard partials, and merge fingerprints.
+func TestCompiledMatchesReference(t *testing.T) {
+	variants := differentialVariants()
+	memCfg := NewRunner().MemConfig
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			base := w.Build()
+			base.Freeze()
+			golden := interp.Run(base, interp.Config{Externs: extlib.Base(), Mem: memCfg})
+			if golden.Kind != interp.ExitNormal {
+				t.Fatalf("golden: %v (%s)", golden.Kind, golden.Reason)
+			}
+			limit := golden.Steps * 100
+			injections := []*faultinject.Site{nil}
+			for _, kind := range []faultinject.Kind{faultinject.HeapArrayResize, faultinject.ImmediateFree} {
+				for _, s := range sampleSites(faultinject.Enumerate(base, kind), 2) {
+					s := s
+					injections = append(injections, &s)
+				}
+			}
+			pool := mem.NewPool(memCfg)
+			for _, v := range variants {
+				for _, inj := range injections {
+					m := base
+					if inj != nil {
+						fm, err := faultinject.Apply(base, *inj)
+						if err != nil {
+							t.Fatalf("%s %v: %v", v.Label(), inj, err)
+						}
+						m = fm
+					}
+					externs := extlib.Base()
+					if v.DPMR {
+						xm, err := dpmr.Transform(m, dpmr.Config{
+							Design: v.Design, Diversity: v.Diversity, Policy: v.Policy, Seed: transformSeed,
+						})
+						if err != nil {
+							t.Fatalf("%s %v: transform: %v", v.Label(), inj, err)
+						}
+						m = xm
+						externs = extlib.Wrapped(v.Design)
+					}
+					m.Freeze()
+					prog, err := interp.Compile(m)
+					if err != nil {
+						t.Fatalf("%s %v: compile: %v", v.Label(), inj, err)
+					}
+					cfg := interp.Config{Externs: externs, Mem: memCfg, Seed: 1, StepLimit: limit}
+					ref := interp.Run(m, cfg)
+					cfg.Prog = prog
+					cfg.SpacePool = pool
+					got := interp.Run(m, cfg)
+					if !reflect.DeepEqual(ref, got) {
+						t.Errorf("%s / %s / inj=%v: compiled result diverges\nref: kind=%v code=%d reason=%q steps=%d cycles=%d faultSeen=%v faultCycle=%d mem=%+v\ngot: kind=%v code=%d reason=%q steps=%d cycles=%d faultSeen=%v faultCycle=%d mem=%+v\noutput equal: %v",
+							w.Name, v.Label(), inj,
+							ref.Kind, ref.Code, ref.Reason, ref.Steps, ref.Cycles, ref.FaultSeen, ref.FaultCycle, ref.Mem,
+							got.Kind, got.Code, got.Reason, got.Steps, got.Cycles, got.FaultSeen, got.FaultCycle, got.Mem,
+							string(ref.Output) == string(got.Output))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignCompiledMatchesReference runs one real (quick) campaign
+// both ways end to end and asserts the aggregated CampaignResult — the
+// thing reports, shards, and merges are derived from — is identical.
+func TestCampaignCompiledMatchesReference(t *testing.T) {
+	cfg := CampaignConfig{
+		Workloads: workloads.All()[:2],
+		Variants: []Variant{
+			Stdapp(),
+			NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+		},
+		Kind:     faultinject.ImmediateFree,
+		MaxSites: 3,
+	}
+	run := func(compile bool) *CampaignResult {
+		r := NewRunner()
+		r.Runs = 1
+		r.Compile = compile
+		cr, err := r.RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+	if ref, got := run(false), run(true); !reflect.DeepEqual(ref, got) {
+		t.Fatalf("campaign results diverge between reference and compiled engines")
+	}
+}
+
+// TestOverheadCompiledMatchesReference does the same for the overhead
+// (cycle-ratio) experiments, whose numbers are the most sensitive to any
+// cycle-clock divergence.
+func TestOverheadCompiledMatchesReference(t *testing.T) {
+	ws := workloads.All()[:2]
+	variants := []Variant{
+		Stdapp(),
+		NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+		NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, dpmr.StaticLoadChecking{Percent: 50}),
+	}
+	run := func(compile bool) *OverheadResult {
+		r := NewRunner()
+		r.Compile = compile
+		or, err := r.RunOverhead(ws, variants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return or
+	}
+	if ref, got := run(false), run(true); !reflect.DeepEqual(ref, got) {
+		t.Fatalf("overhead results diverge between reference and compiled engines")
+	}
+}

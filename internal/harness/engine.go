@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"dpmr/internal/faultinject"
+	"dpmr/internal/interp"
 	"dpmr/internal/ir"
 	"dpmr/internal/workloads"
 )
@@ -25,12 +26,16 @@ type moduleKey struct {
 	variant  string // Variant label
 }
 
-// moduleEntry is one cache slot. The sync.Once gives per-key build
-// deduplication without holding the cache lock during the (expensive)
-// build.
+// moduleEntry is one cache slot: the frozen module plus (with
+// Runner.Compile) its pre-decoded interp.Program, compiled once alongside
+// the build and shared by every trial of the module. Eviction drops the
+// entry whole, so a module and its program always leave the cache
+// together. The sync.Once gives per-key build deduplication without
+// holding the cache lock during the (expensive) build.
 type moduleEntry struct {
 	once sync.Once
 	m    *ir.Module
+	prog *interp.Program
 	err  error
 }
 
@@ -62,10 +67,11 @@ func newModuleCache() *moduleCache {
 	return &moduleCache{entries: make(map[moduleKey]*moduleEntry)}
 }
 
-// get returns the module for key, invoking build at most once per key
-// across all goroutines. The module returned by build must already be
-// frozen; every caller shares it read-only.
-func (c *moduleCache) get(key moduleKey, build func() (*ir.Module, error)) (*ir.Module, error) {
+// get returns the module (and its compiled program, which may be nil) for
+// key, invoking build at most once per key across all goroutines. The
+// module returned by build must already be frozen; every caller shares it
+// — and the program — read-only.
+func (c *moduleCache) get(key moduleKey, build func() (*ir.Module, *interp.Program, error)) (*ir.Module, *interp.Program, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -74,7 +80,7 @@ func (c *moduleCache) get(key moduleKey, build func() (*ir.Module, error)) (*ir.
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		e.m, e.err = build()
+		e.m, e.prog, e.err = build()
 		if e.err == nil {
 			c.mu.Lock()
 			c.stats.Builds++
@@ -85,7 +91,7 @@ func (c *moduleCache) get(key moduleKey, build func() (*ir.Module, error)) (*ir.
 			c.mu.Unlock()
 		}
 	})
-	return e.m, e.err
+	return e.m, e.prog, e.err
 }
 
 // evict releases key's module. Callers must guarantee no trial still needs
@@ -171,9 +177,10 @@ func (r *Runner) runTrials(trials []trial) ([]TrialOutcome, []error) {
 			}
 		}
 	}
+	pool := r.spaces()
 	r.fanOut(len(trials), func(i int) {
 		t := trials[i]
-		o, err := r.RunOnce(t.w, t.v, t.inj, t.rn)
+		o, err := r.runOnce(t.w, t.v, t.inj, t.rn, pool)
 		outcomes[i], errs[i] = o.Trial(), err
 		if pending != nil {
 			if c := pending[t.key()]; c != nil && atomic.AddInt64(c, -1) == 0 {

@@ -137,16 +137,26 @@ type Runner struct {
 	// large campaigns (see CacheStats). Off by default: with it off, every
 	// built module stays resident for the Runner's lifetime.
 	EvictModules bool
+	// Compile lowers every frozen module to the interpreter's pre-decoded
+	// register bytecode (interp.Compile) as part of the stage-1 build; the
+	// module's trials then execute the compiled program instead of
+	// tree-walking the IR. Results are bit-identical either way (asserted
+	// by the compiled-vs-reference differential test), so the flag only
+	// trades a one-time compile per module for much cheaper per-trial
+	// dispatch. On by default via NewRunner; turn it off to run the
+	// tree-walker as the reference implementation (CLI -compile=false).
+	Compile bool
 	// Progress, when non-nil, is invoked after each completed trial with
 	// the number of finished trials and the campaign total. Calls are
 	// serialized (never concurrent) but arrive in completion order, not
 	// trial order.
 	Progress func(done, total int)
 
-	mu         sync.Mutex // guards golden
+	mu         sync.Mutex // guards golden and spacePool
 	progressMu sync.Mutex // serializes Progress callbacks
 	golden     map[string]*goldenInfo
 	cache      *moduleCache
+	spacePool  *mem.Pool
 }
 
 type goldenInfo struct {
@@ -166,9 +176,39 @@ func NewRunner() *Runner {
 			GlobalBytes: 64 * 1024,
 		},
 		Parallel: 1,
+		Compile:  true,
 		golden:   make(map[string]*goldenInfo),
 		cache:    newModuleCache(),
 	}
+}
+
+// spaces returns the Runner's address-space pool for its current
+// MemConfig. Trial VMs draw their spaces from it and return them after
+// each run, so a campaign allocates roughly Parallel spaces total instead
+// of one per trial; a reset space replays runs identically to a fresh one
+// (mem.Space.Reset), so results are unaffected.
+func (r *Runner) spaces() *mem.Pool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spacePool == nil || r.spacePool.Config() != r.MemConfig.WithDefaults() {
+		r.spacePool = mem.NewPool(r.MemConfig)
+	}
+	return r.spacePool
+}
+
+// compileModule lowers a frozen module for the fast interpreter path. A
+// compile failure is not fatal — the module's trials simply run on the
+// reference tree-walker, which is always semantically authoritative — so
+// malformed-but-executable IR behaves exactly as it always has.
+func (r *Runner) compileModule(m *ir.Module) *interp.Program {
+	if !r.Compile {
+		return nil
+	}
+	prog, err := interp.Compile(m)
+	if err != nil {
+		return nil
+	}
+	return prog
 }
 
 // Golden runs (and caches) the fault-free standard build of w. Safe for
@@ -182,7 +222,7 @@ func (r *Runner) Golden(w workloads.Workload) (*interp.Result, error) {
 	}
 	r.mu.Unlock()
 	g.once.Do(func() {
-		m, err := r.base(w)
+		m, prog, err := r.base(w)
 		if err != nil {
 			g.err = err
 			return
@@ -190,8 +230,10 @@ func (r *Runner) Golden(w workloads.Workload) (*interp.Result, error) {
 		if r.Optimize {
 			m = m.Clone()
 			opt.Run(m)
+			m.Freeze()
+			prog = r.compileModule(m)
 		}
-		res := interp.Run(m, interp.Config{Externs: extlib.Base(), Mem: r.MemConfig})
+		res := interp.Run(m, interp.Config{Externs: extlib.Base(), Mem: r.MemConfig, Prog: prog, SpacePool: r.spaces()})
 		if res.Kind != interp.ExitNormal || res.Code != 0 {
 			g.err = fmt.Errorf("harness: golden %s failed: %v code %d (%s)", w.Name, res.Kind, res.Code, res.Reason)
 			return
@@ -202,39 +244,43 @@ func (r *Runner) Golden(w workloads.Workload) (*interp.Result, error) {
 }
 
 // module returns the cached executable module for (workload, variant,
-// injection), building it on first use (stage 1 of the engine). The
-// returned module is frozen and may back concurrent VMs.
-func (r *Runner) module(w workloads.Workload, v Variant, inj *faultinject.Site) (*ir.Module, error) {
+// injection) and its compiled program (nil with Compile off), building
+// both on first use (stage 1 of the engine). The returned module is
+// frozen and, like the program, may back concurrent VMs.
+func (r *Runner) module(w workloads.Workload, v Variant, inj *faultinject.Site) (*ir.Module, *interp.Program, error) {
 	key := moduleKey{workload: w.Name, variant: v.Label()}
 	if inj != nil {
 		key.site = inj.String()
 	}
-	return r.cache.get(key, func() (*ir.Module, error) { return r.buildVariant(w, v, inj) })
+	return r.cache.get(key, func() (*ir.Module, *interp.Program, error) { return r.buildVariant(w, v, inj) })
 }
 
-// base returns the cached untransformed, uninjected module of w, frozen.
-// It seeds every variant build (faultinject.Apply clones it, Transform
-// reads it) and site enumeration, so each workload is built from source
-// exactly once per Runner.
-func (r *Runner) base(w workloads.Workload) (*ir.Module, error) {
-	return r.cache.get(moduleKey{workload: w.Name, variant: "base"}, func() (*ir.Module, error) {
+// base returns the cached untransformed, uninjected module of w, frozen
+// and compiled. It seeds every variant build (faultinject.Apply clones
+// it, Transform reads it) and site enumeration, so each workload is built
+// from source exactly once per Runner.
+func (r *Runner) base(w workloads.Workload) (*ir.Module, *interp.Program, error) {
+	return r.cache.get(moduleKey{workload: w.Name, variant: "base"}, func() (*ir.Module, *interp.Program, error) {
 		m := w.Build()
 		m.Freeze()
-		return m, nil
+		return m, r.compileModule(m), nil
 	})
 }
 
 // buildVariant produces the executable module for (workload, variant,
-// injection): inject (a clone of base), transform, optimize, freeze.
-func (r *Runner) buildVariant(w workloads.Workload, v Variant, inj *faultinject.Site) (*ir.Module, error) {
-	m, err := r.base(w)
+// injection): inject (a clone of base), transform, optimize, freeze,
+// compile. The stdapp/no-injection case returns the shared base (and its
+// already-compiled program) rather than rebuilding it.
+func (r *Runner) buildVariant(w workloads.Workload, v Variant, inj *faultinject.Site) (*ir.Module, *interp.Program, error) {
+	bm, bprog, err := r.base(w)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	m := bm
 	if inj != nil {
 		m, err = faultinject.Apply(m, *inj)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if v.DPMR {
@@ -245,7 +291,7 @@ func (r *Runner) buildVariant(w workloads.Workload, v Variant, inj *faultinject.
 			Seed:      transformSeed,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		m = xm
 	}
@@ -257,8 +303,11 @@ func (r *Runner) buildVariant(w workloads.Workload, v Variant, inj *faultinject.
 	if r.Optimize {
 		opt.Run(m)
 	}
+	if m == bm {
+		return bm, bprog, nil
+	}
 	m.Freeze()
-	return m, nil
+	return m, r.compileModule(m), nil
 }
 
 // Outcome classifies one experiment run per §3.6.
@@ -317,11 +366,18 @@ func (o TrialOutcome) Detected() bool { return o.NatDet || o.DpmrDet }
 // use: the module comes from the shared build cache and every run gets
 // its own VM.
 func (r *Runner) RunOnce(w workloads.Workload, v Variant, inj *faultinject.Site, rn int) (Outcome, error) {
+	return r.runOnce(w, v, inj, rn, r.spaces())
+}
+
+// runOnce is RunOnce with the space pool resolved by the caller, so the
+// campaign loops pay the Runner-mutex lookup once per batch rather than
+// once per trial.
+func (r *Runner) runOnce(w workloads.Workload, v Variant, inj *faultinject.Site, rn int, pool *mem.Pool) (Outcome, error) {
 	golden, err := r.Golden(w)
 	if err != nil {
 		return Outcome{}, err
 	}
-	m, err := r.module(w, v, inj)
+	m, prog, err := r.module(w, v, inj)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -334,6 +390,8 @@ func (r *Runner) RunOnce(w workloads.Workload, v Variant, inj *faultinject.Site,
 		Mem:       r.MemConfig,
 		Seed:      int64(rn) + 1,
 		StepLimit: golden.Steps * r.TimeoutFactor * 5, // DPMR variants are slower per step budget
+		Prog:      prog,
+		SpacePool: pool,
 	})
 	return r.classify(golden, res), nil
 }
@@ -476,7 +534,7 @@ func (r *Runner) planCampaign(cfg CampaignConfig) (*campaignPlan, error) {
 	}
 	for wi, w := range cfg.Workloads {
 		p.workloads = append(p.workloads, w.Name)
-		bm, err := r.base(w)
+		bm, _, err := r.base(w)
 		if err != nil {
 			return nil, err
 		}

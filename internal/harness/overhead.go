@@ -86,6 +86,7 @@ func planOverhead(ws []workloads.Workload, variants []Variant) *overheadPlan {
 func (r *Runner) execOverheadTrials(plan *overheadPlan, lo, hi int) ([]uint64, error) {
 	cycles := make([]uint64, hi-lo)
 	errs := make([]error, hi-lo)
+	pool := r.spaces()
 	r.fanOut(hi-lo, func(i int) {
 		t := plan.trials[lo+i]
 		if !t.v.DPMR {
@@ -97,15 +98,17 @@ func (r *Runner) execOverheadTrials(plan *overheadPlan, lo, hi int) ([]uint64, e
 			cycles[i] = g.Cycles
 			return
 		}
-		m, err := r.module(t.w, t.v, nil)
+		m, prog, err := r.module(t.w, t.v, nil)
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		res := interp.Run(m, interp.Config{
-			Externs: extlib.Wrapped(t.v.Design),
-			Mem:     r.MemConfig,
-			Seed:    1,
+			Externs:   extlib.Wrapped(t.v.Design),
+			Mem:       r.MemConfig,
+			Seed:      1,
+			Prog:      prog,
+			SpacePool: pool,
 		})
 		if res.Kind != interp.ExitNormal {
 			errs[i] = fmt.Errorf("%v (%s)", res.Kind, res.Reason)

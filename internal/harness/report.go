@@ -26,6 +26,11 @@ type Options struct {
 	// Evict releases each injected module from the build cache after its
 	// final trial, bounding peak module residency on large campaigns.
 	Evict bool
+	// Reference forces every trial onto the tree-walking reference
+	// interpreter instead of the compiled module bytecode (CLI
+	// -compile=false). Output is byte-identical either way; the switch
+	// exists for A/B measurement and debugging.
+	Reference bool
 	// Progress, when non-nil, receives per-trial completion callbacks.
 	Progress func(done, total int)
 	// ProgressStats, when non-nil, receives per-trial completion
@@ -63,6 +68,7 @@ func (o Options) runner() *Runner {
 		r.Parallel = o.Parallel
 	}
 	r.EvictModules = o.Evict
+	r.Compile = !o.Reference
 	if o.ProgressStats != nil {
 		r.Progress = func(done, total int) { o.ProgressStats(done, total, r.CacheStats()) }
 	} else {

@@ -1,0 +1,370 @@
+package interp
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpmr/internal/ir"
+	"dpmr/internal/mem"
+)
+
+// runBoth executes the module under the reference tree-walker and the
+// compiled bytecode and asserts the complete Results are identical,
+// returning the (shared) result.
+func runBoth(t *testing.T, m *ir.Module, cfg Config) *Result {
+	t.Helper()
+	ref := Run(m, cfg)
+	m.Freeze()
+	prog, err := Compile(m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ccfg := cfg
+	ccfg.Prog = prog
+	got := Run(m, ccfg)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("compiled result diverges from reference:\nref: %+v\ngot: %+v", ref, got)
+	}
+	return got
+}
+
+func buildMain(build func(b *ir.Builder)) *ir.Module {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	build(b)
+	return m
+}
+
+func TestCompiledMatchesWalkerBasics(t *testing.T) {
+	// Arithmetic across widths, branches, loops, memory, intrinsics.
+	m := buildMain(func(b *ir.Builder) {
+		arr := b.MallocN(ir.I64, b.I64(32))
+		b.ForRange("i", b.I64(0), b.I64(32), func(i *ir.Reg) {
+			b.Store(b.Index(arr, i), b.Mul(i, i))
+		})
+		s := b.Reg("s", ir.I64)
+		b.MoveTo(s, b.I64(0))
+		b.ForRange("j", b.I64(0), b.I64(32), func(j *ir.Reg) {
+			b.BinTo(s, ir.OpAdd, s, b.Load(b.Index(arr, j)))
+		})
+		f := b.Bin(ir.OpFMul, b.F64c(1.5), b.F64c(4))
+		b.BinTo(s, ir.OpAdd, s, b.Convert(f, ir.I64))
+		n := b.I8(127)
+		b.BinTo(s, ir.OpAdd, s, b.Convert(b.Add(n, b.I8(1)), ir.I64))
+		b.BinTo(s, ir.OpAdd, s, b.HeapBufSize(arr))
+		b.Free(arr)
+		b.Ret(s)
+	})
+	res := runBoth(t, m, Config{})
+	if res.Kind != ExitNormal {
+		t.Fatalf("got %v (%s)", res.Kind, res.Reason)
+	}
+}
+
+func TestCompiledMatchesWalkerTrapsAndDetections(t *testing.T) {
+	cases := map[string]func(b *ir.Builder){
+		"divzero":       func(b *ir.Builder) { b.Ret(b.Bin(ir.OpSDiv, b.I64(1), b.I64(0))) },
+		"nullload":      func(b *ir.Builder) { b.Ret(b.Load(b.Null(ir.Ptr(ir.I64)))) },
+		"doublefree":    func(b *ir.Builder) { p := b.Malloc(ir.I64); b.Free(p); b.Free(p); b.Ret(b.I64(0)) },
+		"assertdetect":  func(b *ir.Builder) { b.Assert(b.I64(1), b.I64(2)); b.Ret(b.I64(0)) },
+		"exitcode":      func(b *ir.Builder) { b.Exit(b.I64(9)) },
+		"negativecount": func(b *ir.Builder) { b.Ret(b.Load(b.MallocN(ir.I64, b.I64(-4)))) },
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			runBoth(t, buildMain(build), Config{})
+		})
+	}
+}
+
+func TestCompiledMatchesWalkerCallsAndIndirect(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	fib := b.Function("fib", ir.I64, []string{"n"}, ir.I64)
+	n := fib.Params[0]
+	c := b.Cmp(ir.CmpSLT, n, b.I64(2))
+	base := b.Block("base")
+	rec := b.Block("rec")
+	b.CondBr(c, base, rec)
+	b.SetBlock(base)
+	b.Ret(n)
+	b.SetBlock(rec)
+	a := b.Call("fib", b.Sub(n, b.I64(1)))
+	d := b.Call("fib", b.Sub(n, b.I64(2)))
+	b.Ret(b.Add(a, d))
+
+	b.Function("twice", ir.I64, []string{"x"}, ir.I64)
+	b.Ret(b.Mul(b.F.Params[0], b.I64(2)))
+
+	b.Function("main", ir.I64, nil)
+	fp := b.FuncAddr("twice")
+	v := b.CallPtr(fp, b.Call("fib", b.I64(14)))
+	b.Ret(v)
+	res := runBoth(t, m, Config{})
+	if res.Code != 754 { // 2 * fib(14)
+		t.Fatalf("got %d, want 754", res.Code)
+	}
+}
+
+func TestCompiledMatchesWalkerBadIndirectCall(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	p := b.Malloc(ir.I64)
+	fp := b.Cast(p, ir.FuncOf(ir.I64))
+	b.Ret(b.CallPtr(fp))
+	res := runBoth(t, m, Config{})
+	if res.Kind != ExitTrap {
+		t.Fatalf("got %v, want trap", res.Kind)
+	}
+}
+
+func TestCompiledMatchesWalkerGlobalsAndOutput(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.AddGlobal("counter", ir.I64)
+	g.Init = []byte{5, 0, 0, 0, 0, 0, 0, 0}
+	holder := m.AddGlobal("holder", ir.Ptr(ir.I64))
+	holder.Refs = []ir.RefInit{{Offset: 0, Global: "counter"}}
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	cp := b.Load(b.GlobalAddr("holder"))
+	b.Store(cp, b.Add(b.Load(cp), b.I64(37)))
+	b.OutInt(b.Load(b.GlobalAddr("counter")))
+	b.Out(b.F64c(2.5), ir.OutFloat)
+	b.Out(b.I8('x'), ir.OutByte)
+	b.Ret(b.I64(0))
+	res := runBoth(t, m, Config{})
+	if want := "42\n2.5\nx"; string(res.Output) != want {
+		t.Fatalf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestCompiledMatchesWalkerTimeout(t *testing.T) {
+	m := buildMain(func(b *ir.Builder) {
+		b.ForRange("i", b.I64(0), b.I64(1000000), func(i *ir.Reg) {})
+		b.Ret(b.I64(0))
+	})
+	res := runBoth(t, m, Config{StepLimit: 777})
+	if res.Kind != ExitTimeout {
+		t.Fatalf("got %v, want timeout", res.Kind)
+	}
+}
+
+func TestCompiledMatchesWalkerRandSequence(t *testing.T) {
+	m := buildMain(func(b *ir.Builder) {
+		s := b.Reg("s", ir.I64)
+		b.MoveTo(s, b.I64(0))
+		b.ForRange("i", b.I64(0), b.I64(100), func(i *ir.Reg) {
+			b.BinTo(s, ir.OpAdd, s, b.RandInt(1, 1000))
+		})
+		b.Ret(s)
+	})
+	runBoth(t, m, Config{Seed: 99})
+}
+
+// TestCompiledFellOffBlock asserts the synthetic guard reproduces the
+// walker's fell-off error (an unterminated block is malformed IR, but
+// executable).
+func TestCompiledFellOffBlock(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	b.B.Append(&ir.ConstInt{Dst: b.Reg("x", ir.I64), Val: 1}) // no terminator
+	res := runBoth(t, m, Config{})
+	if res.Kind != ExitError || !strings.Contains(res.Reason, "fell off block") {
+		t.Fatalf("got %v (%s), want fell-off error", res.Kind, res.Reason)
+	}
+}
+
+// TestExternArityChecked is the extern-arity bugfix test: calling an
+// external function with the wrong argument count must fail cleanly (it
+// previously invoked the implementation, which would index out of
+// bounds), on both engines.
+func TestExternArityChecked(t *testing.T) {
+	m := ir.NewModule("t")
+	m.AddExtern("add2", ir.FuncOf(ir.I64, ir.I64, ir.I64))
+	b := ir.NewBuilder(m)
+	b.Function("main", ir.I64, nil)
+	b.Ret(b.Call("add2", b.I64(1), b.I64(2)))
+	m.Freeze()
+	externs := map[string]Extern{
+		"add2": func(vm *VM, args []uint64) (uint64, error) { return args[0] + args[1], nil },
+	}
+	for _, compiled := range []bool{false, true} {
+		cfg := Config{Externs: externs}
+		if compiled {
+			prog, err := Compile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Prog = prog
+		}
+		vm, err := NewVM(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Well-formed call path still works.
+		if v, err := vm.Call(m.Func("add2"), []uint64{30, 12}); err != nil || v != 42 {
+			t.Fatalf("compiled=%v: good call got (%d, %v)", compiled, v, err)
+		}
+		// Under-supplied arguments must error, not panic inside the impl.
+		_, err = vm.Call(m.Func("add2"), []uint64{30})
+		if err == nil || !strings.Contains(err.Error(), "call of add2 with 1 args, want 2") {
+			t.Fatalf("compiled=%v: arity error = %v", compiled, err)
+		}
+	}
+}
+
+// TestRandIntDegenerateRanges is the RandInt overflow bugfix test: the
+// previously-panicking extreme ranges now produce a deterministic value
+// or a clean error, identically on both engines.
+func TestRandIntDegenerateRanges(t *testing.T) {
+	build := func(lo, hi int64) *ir.Module {
+		return buildMain(func(b *ir.Builder) {
+			b.Ret(b.RandInt(lo, hi))
+		})
+	}
+	// Full int64 range: span overflows to 0; draws from the full-width
+	// generator instead of panicking.
+	res := runBoth(t, build(math.MinInt64, math.MaxInt64), Config{Seed: 3})
+	if res.Kind != ExitNormal {
+		t.Fatalf("full range: %v (%s)", res.Kind, res.Reason)
+	}
+	// Half-open overflow: hi-lo+1 < 0.
+	res = runBoth(t, build(math.MinInt64, 5), Config{Seed: 3})
+	if res.Kind != ExitNormal {
+		t.Fatalf("overflowing span: %v (%s)", res.Kind, res.Reason)
+	}
+	// Empty range: runtime error (and rejected by ir.Verify).
+	res = runBoth(t, build(10, 9), Config{Seed: 3})
+	if res.Kind != ExitError || !strings.Contains(res.Reason, "empty range") {
+		t.Fatalf("empty range: %v (%s)", res.Kind, res.Reason)
+	}
+	// Unchanged common case: single Int63n draw, in range.
+	res = runBoth(t, build(5, 6), Config{Seed: 3})
+	if res.Code != 5 && res.Code != 6 {
+		t.Fatalf("in-range draw: %d", res.Code)
+	}
+}
+
+// TestCompileRequiresFrozen and friends: Compile's contract.
+func TestCompileRequiresFrozen(t *testing.T) {
+	m := buildMain(func(b *ir.Builder) { b.Ret(b.I64(0)) })
+	if _, err := Compile(m); err == nil {
+		t.Fatal("Compile of unfrozen module must fail")
+	}
+	m.Freeze()
+	if _, err := Compile(m); err != nil {
+		t.Fatalf("Compile of frozen module: %v", err)
+	}
+}
+
+func TestProgModuleMismatchRejected(t *testing.T) {
+	m1 := buildMain(func(b *ir.Builder) { b.Ret(b.I64(1)) })
+	m2 := buildMain(func(b *ir.Builder) { b.Ret(b.I64(2)) })
+	m1.Freeze()
+	m2.Freeze()
+	prog, err := Compile(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVM(m2, Config{Prog: prog}); err == nil {
+		t.Fatal("NewVM must reject a program compiled from a different module")
+	}
+}
+
+// TestTraceFallsBackToWalker: a traced run uses the tree-walking loop (so
+// the trace format is exact) and still produces the identical Result.
+func TestTraceFallsBackToWalker(t *testing.T) {
+	m := buildMain(func(b *ir.Builder) {
+		b.OutInt(b.Add(b.I64(40), b.I64(2)))
+		b.Ret(b.I64(0))
+	})
+	var refTrace bytes.Buffer
+	ref := Run(m, Config{Trace: &refTrace})
+	m.Freeze()
+	prog, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTrace bytes.Buffer
+	got := Run(m, Config{Trace: &gotTrace, Prog: prog})
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("traced results diverge:\nref: %+v\ngot: %+v", ref, got)
+	}
+	if refTrace.String() != gotTrace.String() || refTrace.Len() == 0 {
+		t.Fatalf("trace output diverges")
+	}
+}
+
+// TestCompiledWithSpacePool: pooled spaces replay identically across
+// compiled runs (and to unpooled runs).
+func TestCompiledWithSpacePool(t *testing.T) {
+	m := buildMain(func(b *ir.Builder) {
+		p := b.MallocN(ir.I64, b.I64(100))
+		b.ForRange("i", b.I64(0), b.I64(100), func(i *ir.Reg) {
+			b.Store(b.Index(p, i), b.RandInt(1, 50))
+		})
+		b.Free(p)
+		b.Ret(b.Load(b.Index(p, b.I64(7)))) // dangling read: deterministic garbage
+	})
+	m.Freeze()
+	prog, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mem.NewPool(mem.Config{})
+	base := Run(m, Config{Seed: 4, Prog: prog})
+	for i := 0; i < 3; i++ {
+		got := Run(m, Config{Seed: 4, Prog: prog, SpacePool: pool})
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("pooled run %d diverges:\nref: %+v\ngot: %+v", i, base, got)
+		}
+	}
+}
+
+// TestCompiledExternCallback: an extern calling back into IR (the qsort
+// pattern) runs the callee compiled and bit-identically.
+func TestCompiledExternCallback(t *testing.T) {
+	m := ir.NewModule("t")
+	m.AddExtern("apply", ir.FuncOf(ir.I64, ir.Ptr(ir.FuncOf(ir.I64, ir.I64)), ir.I64))
+	b := ir.NewBuilder(m)
+	b.Function("inc", ir.I64, []string{"x"}, ir.I64)
+	b.Ret(b.Add(b.F.Params[0], b.I64(1)))
+	b.Function("main", ir.I64, nil)
+	b.Ret(b.Call("apply", b.FuncAddr("inc"), b.I64(41)))
+	externs := map[string]Extern{
+		"apply": func(vm *VM, args []uint64) (uint64, error) {
+			fn, ok := vm.FuncByAddr(args[0])
+			if !ok {
+				return 0, &mem.Trap{Reason: "bad function pointer", Addr: args[0]}
+			}
+			return vm.Call(fn, []uint64{args[1]})
+		},
+	}
+	res := runBoth(t, m, Config{Externs: externs})
+	if res.Code != 42 {
+		t.Fatalf("got %d, want 42 (%s)", res.Code, res.Reason)
+	}
+}
+
+// TestSpacePoolConfigMismatchRejected: a pool built for a different
+// memory geometry than Config.Mem is refused rather than silently
+// running the VM in the wrong address space.
+func TestSpacePoolConfigMismatchRejected(t *testing.T) {
+	m := buildMain(func(b *ir.Builder) { b.Ret(b.I64(0)) })
+	small := mem.NewPool(mem.Config{HeapBytes: 64 * 1024, StackBytes: 8 * 1024, GlobalBytes: 4096})
+	if _, err := NewVM(m, Config{SpacePool: small}); err == nil {
+		t.Fatal("NewVM must reject a pool whose config differs from Config.Mem")
+	}
+	// A zero Mem config and a pool of spelled-out defaults are the same
+	// geometry and must be accepted.
+	def := mem.NewPool(mem.Config{})
+	if _, err := NewVM(m, Config{SpacePool: def}); err != nil {
+		t.Fatalf("defaults-vs-zero pool rejected: %v", err)
+	}
+}

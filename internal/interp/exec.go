@@ -1,0 +1,425 @@
+// The compiled-bytecode execution loop: the fast counterpart of the
+// tree-walking VM.Call body in interp.go. Dispatch is a single dense
+// switch over pre-decoded opcodes; register frames and call-argument
+// slices are carved from per-VM arenas instead of allocated per call; the
+// step/cycle clocks are kept in locals; the trace hook is absent entirely
+// (a traced VM never binds a Program — see Config.Prog). Every cycle
+// charge, trap, and error below mirrors the tree-walker exactly; the
+// differential tests assert bit-identical Results across both loops.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"dpmr/internal/ir"
+	"dpmr/internal/mem"
+)
+
+// execCompiled runs one compiled internal function. It is the compiled
+// analogue of the tree-walking VM.Call body and preserves its exact
+// check order: depth, then arity, then frame setup.
+func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
+	if vm.depth >= vm.maxDep {
+		return 0, &mem.Trap{Reason: "call stack depth exceeded"}
+	}
+	if len(args) != len(cf.params) {
+		return 0, fmt.Errorf("call of %s with %d args, want %d", cf.name, len(args), len(cf.params))
+	}
+	vm.depth++
+	mark := vm.Space.PushFrame()
+	rbase := len(vm.regStack)
+	if n := rbase + cf.numRegs; n <= cap(vm.regStack) {
+		vm.regStack = vm.regStack[:n]
+	} else {
+		vm.regStack = append(vm.regStack, make([]uint64, cf.numRegs)...)
+	}
+	frame := vm.regStack[rbase : rbase+cf.numRegs]
+	// Frames are recycled arena space: zero them so an unwritten register
+	// reads 0, exactly like the walker's fresh make.
+	clear(frame)
+	for i, p := range cf.params {
+		frame[p] = args[i]
+	}
+
+	// The step and cycle clocks live in locals for the duration of the
+	// loop, avoiding two VM-field read-modify-writes per instruction. They
+	// are flushed to the VM around anything that can observe or advance
+	// them from outside — nested calls, externs (vm.Charge), the shared
+	// allocation helper — and on every exit path by the deferred cleanup.
+	steps, cycles := vm.steps, vm.cycles
+	defer func() {
+		vm.steps, vm.cycles = steps, cycles
+		vm.regStack = vm.regStack[:rbase]
+		vm.Space.PopFrame(mark)
+		vm.depth--
+	}()
+	flush := func() { vm.steps, vm.cycles = steps, cycles }
+
+	limit := vm.limit
+	space := vm.Space
+	code := cf.code
+	pc := 0
+	for {
+		in := &code[pc]
+		steps++
+		cycles++
+		if steps > limit {
+			// The fell-off guard is exempt: the walker's ip-past-end check
+			// fires before the step is counted or the budget consulted
+			// (its case below un-counts the step for the same reason).
+			if in.op != opFellOff {
+				return 0, timeoutErr{}
+			}
+		}
+		switch in.op {
+		case opFellOff:
+			steps--
+			cycles--
+			return 0, cf.errs[in.imm]
+		case opConst:
+			frame[in.dst] = in.imm
+		case opGlobalAddr:
+			frame[in.dst] = vm.globalAddrs[in.imm]
+		case opMove:
+			frame[in.dst] = frame[in.a]
+		case opMoveNorm:
+			frame[in.dst] = normReg(frame[in.a], in.norm)
+		case opAdd:
+			frame[in.dst] = normReg(frame[in.a]+frame[in.b], in.norm)
+		case opSub:
+			frame[in.dst] = normReg(frame[in.a]-frame[in.b], in.norm)
+		case opMul:
+			frame[in.dst] = normReg(frame[in.a]*frame[in.b], in.norm)
+		case opSDiv:
+			cycles += costDiv
+			if frame[in.b] == 0 {
+				return 0, &mem.Trap{Reason: "integer division by zero"}
+			}
+			frame[in.dst] = normReg(uint64(int64(frame[in.a])/int64(frame[in.b])), in.norm)
+		case opUDiv:
+			cycles += costDiv
+			w := uint(in.imm)
+			if maskTo(frame[in.b], w) == 0 {
+				return 0, &mem.Trap{Reason: "integer division by zero"}
+			}
+			frame[in.dst] = normReg(maskTo(frame[in.a], w)/maskTo(frame[in.b], w), in.norm)
+		case opSRem:
+			cycles += costDiv
+			if frame[in.b] == 0 {
+				return 0, &mem.Trap{Reason: "integer division by zero"}
+			}
+			frame[in.dst] = normReg(uint64(int64(frame[in.a])%int64(frame[in.b])), in.norm)
+		case opURem:
+			cycles += costDiv
+			w := uint(in.imm)
+			if maskTo(frame[in.b], w) == 0 {
+				return 0, &mem.Trap{Reason: "integer division by zero"}
+			}
+			frame[in.dst] = normReg(maskTo(frame[in.a], w)%maskTo(frame[in.b], w), in.norm)
+		case opAnd:
+			frame[in.dst] = normReg(frame[in.a]&frame[in.b], in.norm)
+		case opOr:
+			frame[in.dst] = normReg(frame[in.a]|frame[in.b], in.norm)
+		case opXor:
+			frame[in.dst] = normReg(frame[in.a]^frame[in.b], in.norm)
+		case opShl:
+			frame[in.dst] = normReg(frame[in.a]<<(frame[in.b]&63), in.norm)
+		case opLShr:
+			frame[in.dst] = normReg(maskTo(frame[in.a], uint(in.imm))>>(frame[in.b]&63), in.norm)
+		case opAShr:
+			frame[in.dst] = normReg(uint64(int64(frame[in.a])>>(frame[in.b]&63)), in.norm)
+		case opFAdd64:
+			cycles += costFloatOp
+			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) + math.Float64frombits(frame[in.b]))
+		case opFSub64:
+			cycles += costFloatOp
+			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) - math.Float64frombits(frame[in.b]))
+		case opFMul64:
+			cycles += costFloatOp
+			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) * math.Float64frombits(frame[in.b]))
+		case opFDiv64:
+			cycles += costFloatOp
+			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) / math.Float64frombits(frame[in.b]))
+		case opFBin:
+			cycles += costFloatOp
+			frame[in.dst] = floatBinScalar(ir.BinKind(in.sub), frame[in.a], frame[in.b],
+				in.flags&flagX32 != 0, in.flags&flagY32 != 0, in.flags&flagD32 != 0)
+		case opCmp:
+			frame[in.dst] = cmpScalar(ir.CmpKind(in.sub), frame[in.a], frame[in.b],
+				in.flags&flagX32 != 0, in.flags&flagY32 != 0)
+		case opCmpBr:
+			// Fused compare + conditional branch (the dominant loop-header
+			// pair). Steps, cycles, and the budget check replay exactly as
+			// the two separate instructions would: the compare was counted
+			// by the loop header above; the branch is counted here.
+			v := cmpScalar(ir.CmpKind(in.sub), frame[in.a], frame[in.b],
+				in.flags&flagX32 != 0, in.flags&flagY32 != 0)
+			frame[in.dst] = v
+			steps++
+			cycles++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			cycles += costBranch
+			if v != 0 {
+				pc = int(int32(in.imm))
+			} else {
+				pc = int(int32(in.imm2))
+			}
+			continue
+		case opConvert:
+			v := frame[in.a]
+			switch in.sub {
+			case convIntToInt:
+				v = normReg(v, in.norm)
+			case convIntToFloat:
+				v = floatBitsF(float64(int64(v)), in.flags&flagD32 != 0)
+			case convFloatToInt:
+				v = normReg(uint64(int64(bitsToFloatF(v, in.flags&flagX32 != 0))), in.norm)
+			case convFloatToFloat:
+				v = floatBitsF(bitsToFloatF(v, in.flags&flagX32 != 0), in.flags&flagD32 != 0)
+			}
+			frame[in.dst] = v
+		case opAlloc:
+			count := int64(1)
+			if in.a >= 0 {
+				count = int64(frame[in.a])
+			}
+			flush()
+			addr, err := vm.allocMem(ir.AllocKind(in.sub), count, in.imm)
+			cycles = vm.cycles
+			if err != nil {
+				return 0, err
+			}
+			frame[in.dst] = addr
+		case opFree:
+			cycles += costFreeOp
+			if trap := space.Free(frame[in.a]); trap != nil {
+				return 0, trap
+			}
+		case opLoad:
+			raw, cost, trap := space.LoadCosted(frame[in.a], int(in.imm))
+			cycles += costLoadBase + cost
+			if trap != nil {
+				return 0, trap
+			}
+			frame[in.dst] = normReg(raw, in.norm)
+		case opStore:
+			cost, trap := space.StoreCosted(frame[in.a], int(in.imm), frame[in.b])
+			cycles += costStoreBase + cost
+			if trap != nil {
+				return 0, trap
+			}
+		case opLoadLoadAssert:
+			// Fused DPMR check triple: app load, replica load, equality
+			// assert. Each constituent counts its own step and budget check
+			// in sequence, so traps, timeouts, and cycles replay exactly.
+			raw, cost, trap := space.LoadCosted(frame[in.a], int(in.sub&0xF))
+			cycles += costLoadBase + cost
+			if trap != nil {
+				return 0, trap
+			}
+			x := normReg(raw, in.norm)
+			frame[in.dst] = x
+			steps++
+			cycles++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			raw, cost, trap = space.LoadCosted(frame[in.b], int(in.sub>>4))
+			cycles += costLoadBase + cost
+			if trap != nil {
+				return 0, trap
+			}
+			y := normReg(raw, in.flags)
+			frame[int32(in.imm)] = y
+			steps++
+			cycles++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			cycles += costAssert
+			if x != y {
+				return 0, &Detection{Reason: fmt.Sprintf("replica mismatch in %s: %#x != %#x", cf.name, x, y)}
+			}
+			pc += 3
+			continue
+		case opStore2:
+			// Fused replicated store pair.
+			cost, trap := space.StoreCosted(frame[in.a], int(in.sub&0xF), frame[in.b])
+			cycles += costStoreBase + cost
+			if trap != nil {
+				return 0, trap
+			}
+			steps++
+			cycles++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			cost, trap = space.StoreCosted(frame[int32(in.imm)], int(in.sub>>4), frame[int32(in.imm2)])
+			cycles += costStoreBase + cost
+			if trap != nil {
+				return 0, trap
+			}
+			pc += 2
+			continue
+		case opFieldAddr:
+			frame[in.dst] = frame[in.a] + in.imm
+		case opIndexAddr:
+			frame[in.dst] = uint64(int64(frame[in.a]) + int64(frame[in.b])*int64(in.imm))
+		case opFieldLoad, opIndexLoad:
+			// Fused address-compute + load. The address instruction was
+			// counted by the loop header; the load counts itself below,
+			// replaying the separate instructions' accounting exactly.
+			var addr uint64
+			if in.op == opFieldLoad {
+				addr = frame[in.a] + in.imm
+			} else {
+				addr = uint64(int64(frame[in.a]) + int64(frame[in.b])*int64(in.imm))
+			}
+			frame[in.dst] = addr
+			steps++
+			cycles++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			raw, cost, trap := space.LoadCosted(addr, int(in.sub))
+			cycles += costLoadBase + cost
+			if trap != nil {
+				return 0, trap
+			}
+			frame[int32(in.imm2)] = normReg(raw, in.norm)
+			pc += 2
+			continue
+		case opFieldStore, opIndexStore:
+			// Fused address-compute + store, mirroring opFieldLoad.
+			var addr uint64
+			if in.op == opFieldStore {
+				addr = frame[in.a] + in.imm
+			} else {
+				addr = uint64(int64(frame[in.a]) + int64(frame[in.b])*int64(in.imm))
+			}
+			frame[in.dst] = addr
+			steps++
+			cycles++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			cost, trap := space.StoreCosted(addr, int(in.sub), frame[int32(in.imm2)])
+			cycles += costStoreBase + cost
+			if trap != nil {
+				return 0, trap
+			}
+			pc += 2
+			continue
+		case opCall:
+			cycles += costCall
+			cs := &cf.calls[in.imm]
+			ab := len(vm.argStack)
+			for _, r := range cs.args {
+				vm.argStack = append(vm.argStack, frame[r])
+			}
+			var rv uint64
+			var err error
+			flush()
+			if cs.callee != nil {
+				rv, err = vm.execCompiled(cs.callee, vm.argStack[ab:])
+			} else {
+				rv, err = vm.Call(cs.fn, vm.argStack[ab:])
+			}
+			steps, cycles = vm.steps, vm.cycles
+			vm.argStack = vm.argStack[:ab]
+			if err != nil {
+				return 0, err
+			}
+			if in.dst >= 0 {
+				frame[in.dst] = rv
+			}
+		case opCallIndirect:
+			cycles += costCall
+			fp := frame[in.a]
+			target, ok := vm.prog.byAddr[fp]
+			if !ok {
+				return 0, &mem.Trap{Reason: "indirect call through invalid function pointer", Addr: fp}
+			}
+			cs := &cf.calls[in.imm]
+			ab := len(vm.argStack)
+			for _, r := range cs.args {
+				vm.argStack = append(vm.argStack, frame[r])
+			}
+			var rv uint64
+			var err error
+			flush()
+			if target.external {
+				rv, err = vm.Call(target.fn, vm.argStack[ab:])
+			} else {
+				rv, err = vm.execCompiled(target, vm.argStack[ab:])
+			}
+			steps, cycles = vm.steps, vm.cycles
+			vm.argStack = vm.argStack[:ab]
+			if err != nil {
+				return 0, err
+			}
+			if in.dst >= 0 {
+				frame[in.dst] = rv
+			}
+		case opRet:
+			cycles += costRet
+			if in.a >= 0 {
+				return frame[in.a], nil
+			}
+			return 0, nil
+		case opBr:
+			cycles += costBranch
+			pc = int(in.dst)
+			continue
+		case opCondBr:
+			cycles += costBranch
+			if frame[in.a] != 0 {
+				pc = int(in.dst)
+			} else {
+				pc = int(in.b)
+			}
+			continue
+		case opAssert:
+			cycles += costAssert
+			if frame[in.a] != frame[in.b] {
+				return 0, &Detection{Reason: fmt.Sprintf("replica mismatch in %s: %#x != %#x", cf.name, frame[in.a], frame[in.b])}
+			}
+		case opFaultPoint:
+			if !vm.faultSeen {
+				vm.faultSeen = true
+				vm.faultCycle = cycles
+			}
+		case opRandInt:
+			cycles += costIntrinsic
+			v, err := randInRange(vm.rng, int64(in.imm), int64(in.imm2))
+			if err != nil {
+				return 0, err
+			}
+			frame[in.dst] = v
+		case opHeapBufSize:
+			cycles += costIntrinsic
+			size, trap := space.HeapPayloadSize(frame[in.a])
+			if trap != nil {
+				return 0, trap
+			}
+			frame[in.dst] = size
+		case opOutput:
+			cycles += costOutput
+			vm.emitOutputRaw(ir.OutputMode(in.sub), in.flags&flagX32 != 0, frame[in.a])
+		case opExit:
+			code := int64(0)
+			if in.a >= 0 {
+				code = int64(frame[in.a])
+			}
+			return 0, &ExitRequest{Code: code}
+		case opErr:
+			return 0, cf.errs[in.imm]
+		default:
+			return 0, fmt.Errorf("interp: corrupt program: opcode %d in %s", in.op, cf.name)
+		}
+		pc++
+	}
+}

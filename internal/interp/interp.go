@@ -113,6 +113,22 @@ type Config struct {
 	Trace io.Writer
 	// TraceLimit caps traced instructions (0 = unlimited).
 	TraceLimit uint64
+	// Prog, when non-nil, is the module's compiled form (Compile): the VM
+	// executes the pre-decoded register bytecode instead of tree-walking
+	// the IR. Results — cycles, traps, detections, RNG sequence, output —
+	// are bit-identical either way. Prog must have been compiled from the
+	// same *ir.Module the VM runs. When Trace is also set, the VM uses the
+	// tree-walking loop, whose per-instruction hook produces the exact
+	// trace format; the compiled loop keeps that check out of its fast
+	// path entirely.
+	Prog *Program
+	// SpacePool, when non-nil, supplies the VM's address space and
+	// receives it back when Run completes (after memory statistics are
+	// captured). Pooled spaces are Reset to a pristine state, so results
+	// are identical to fresh allocation; the pool only removes the
+	// per-trial cost of allocating and zeroing multi-megabyte spaces.
+	// SpacePool's config must match Mem.
+	SpacePool *mem.Pool
 }
 
 // Instruction cycle costs beyond the base cost of 1.
@@ -152,9 +168,22 @@ type VM struct {
 
 	funcAddr map[string]uint64
 	addrFunc map[uint64]*ir.Func
+
+	// Compiled-execution state: the bound program (nil = tree-walk), the
+	// per-module-order global addresses its GlobalAddr instructions index,
+	// and the register/argument arenas its call frames are carved from.
+	prog        *Program
+	globalAddrs []uint64
+	regStack    []uint64
+	argStack    []uint64
 }
 
 const funcAddrBase = 0x7F00_0000_0000_0000
+
+// funcAddrOf is the synthetic address of the module's i-th function. The
+// compiler and the VM derive function addresses from the same formula, so
+// a Program's precomputed addresses match every VM of its module.
+func funcAddrOf(i int) uint64 { return uint64(funcAddrBase) + uint64(i)*16 }
 
 // NewVM builds a VM for module m, allocating and initializing globals.
 func NewVM(m *ir.Module, cfg Config) (*VM, error) {
@@ -166,53 +195,90 @@ func NewVM(m *ir.Module, cfg Config) (*VM, error) {
 	if maxDep == 0 {
 		maxDep = 4096
 	}
+	var space *mem.Space
+	if cfg.SpacePool != nil {
+		if got := cfg.SpacePool.Config(); got != cfg.Mem.WithDefaults() {
+			return nil, fmt.Errorf("interp: Config.SpacePool built for %+v, but Config.Mem wants %+v", got, cfg.Mem.WithDefaults())
+		}
+		space = cfg.SpacePool.Get()
+	} else {
+		space = mem.NewSpace(cfg.Mem)
+	}
+	// On setup failure a pooled space goes straight back to the pool.
+	fail := func(err error) (*VM, error) {
+		if cfg.SpacePool != nil {
+			cfg.SpacePool.Put(space)
+		}
+		return nil, err
+	}
 	vm := &VM{
-		Module:   m,
-		Space:    mem.NewSpace(cfg.Mem),
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		limit:    limit,
-		maxDep:   maxDep,
-		globals:  make(map[string]uint64, len(m.Globals)),
-		funcAddr: make(map[string]uint64, len(m.Funcs)),
-		addrFunc: make(map[uint64]*ir.Func, len(m.Funcs)),
+		Module: m,
+		Space:  space,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		limit:  limit,
+		maxDep: maxDep,
 	}
-	for i, f := range m.Funcs {
-		a := uint64(funcAddrBase) + uint64(i)*16
-		vm.funcAddr[f.Name] = a
-		vm.addrFunc[a] = f
+	if cfg.Prog != nil {
+		if cfg.Prog.mod != m {
+			return fail(fmt.Errorf("interp: Config.Prog was compiled from module %q, not %q", cfg.Prog.mod.Name, m.Name))
+		}
+		if cfg.Trace == nil {
+			vm.prog = cfg.Prog
+		}
 	}
-	for _, g := range m.Globals {
+	if vm.prog == nil {
+		// The per-VM symbol maps back the tree-walker's FuncAddr /
+		// GlobalAddr / indirect-call lookups. A program-bound VM skips
+		// building them: the Program carries shared, immutable equivalents
+		// (byAddr, globalIdx), so the per-trial setup cost disappears.
+		vm.globals = make(map[string]uint64, len(m.Globals))
+		vm.funcAddr = make(map[string]uint64, len(m.Funcs))
+		vm.addrFunc = make(map[uint64]*ir.Func, len(m.Funcs))
+		for i, f := range m.Funcs {
+			a := funcAddrOf(i)
+			vm.funcAddr[f.Name] = a
+			vm.addrFunc[a] = f
+		}
+	}
+	// Module-order global addresses: the canonical table (compiled
+	// GlobalAddr instructions index it directly; the name map, when built,
+	// mirrors it).
+	vm.globalAddrs = make([]uint64, len(m.Globals))
+	for i, g := range m.Globals {
 		addr, err := vm.Space.AllocGlobal(g.Elem.Size())
 		if err != nil {
-			return nil, fmt.Errorf("interp: global %s: %w", g.Name, err)
+			return fail(fmt.Errorf("interp: global %s: %w", g.Name, err))
 		}
-		vm.globals[g.Name] = addr
+		vm.globalAddrs[i] = addr
+		if vm.globals != nil {
+			vm.globals[g.Name] = addr
+		}
 	}
 	// Apply initial images and pointer fixups after all addresses exist.
-	for _, g := range m.Globals {
-		addr := vm.globals[g.Name]
+	for gi, g := range m.Globals {
+		addr := vm.globalAddrs[gi]
 		if g.Init != nil {
 			if len(g.Init) != g.Elem.Size() {
-				return nil, fmt.Errorf("interp: global %s init size %d, want %d", g.Name, len(g.Init), g.Elem.Size())
+				return fail(fmt.Errorf("interp: global %s init size %d, want %d", g.Name, len(g.Init), g.Elem.Size()))
 			}
 			if trap := vm.Space.WriteBytes(addr, g.Init); trap != nil {
-				return nil, fmt.Errorf("interp: global %s init: %w", g.Name, trap)
+				return fail(fmt.Errorf("interp: global %s init: %w", g.Name, trap))
 			}
 		}
 		for _, ref := range g.Refs {
 			var target uint64
 			switch {
 			case ref.Global != "":
-				target = vm.globals[ref.Global]
+				target, _ = vm.GlobalAddr(ref.Global)
 			case ref.Func != "":
-				target = vm.funcAddr[ref.Func]
+				target, _ = vm.FuncAddr(ref.Func)
 			}
 			if target == 0 {
-				return nil, fmt.Errorf("interp: global %s ref to unknown symbol", g.Name)
+				return fail(fmt.Errorf("interp: global %s ref to unknown symbol", g.Name))
 			}
 			if trap := vm.Space.Store(addr+uint64(ref.Offset), 8, target); trap != nil {
-				return nil, fmt.Errorf("interp: global %s ref fixup: %w", g.Name, trap)
+				return fail(fmt.Errorf("interp: global %s ref fixup: %w", g.Name, trap))
 			}
 		}
 	}
@@ -229,19 +295,29 @@ func Run(m *ir.Module, cfg Config) *Result {
 	return vm.Run()
 }
 
-// Run executes main() on an initialized VM.
+// Run executes main() on an initialized VM. With Config.SpacePool set,
+// the VM's address space is recycled when Run returns; the VM must not be
+// used again.
 func (vm *VM) Run() *Result {
+	release := func() {
+		if vm.cfg.SpacePool != nil {
+			vm.cfg.SpacePool.Put(vm.Space)
+			vm.Space = nil
+		}
+	}
 	mainFn := vm.Module.Func("main")
 	res := &Result{}
 	if mainFn == nil {
 		res.Kind = ExitError
 		res.Reason = "no main function"
+		release()
 		return res
 	}
 	args, err := vm.mainArgs(mainFn)
 	if err != nil {
 		res.Kind = ExitError
 		res.Reason = err.Error()
+		release()
 		return res
 	}
 	ret, err := vm.Call(mainFn, args)
@@ -273,6 +349,8 @@ func (vm *VM) Run() *Result {
 	res.FaultSeen = vm.faultSeen
 	res.FaultCycle = vm.faultCycle
 	res.Mem = vm.Space.Stats()
+	// The run is over and its statistics are captured: recycle the space.
+	release()
 	return res
 }
 
@@ -321,32 +399,64 @@ func (vm *VM) AppendOutput(b []byte) { vm.output = append(vm.output, b...) }
 
 // GlobalAddr returns the runtime address of a global.
 func (vm *VM) GlobalAddr(name string) (uint64, bool) {
+	if vm.prog != nil {
+		i, ok := vm.prog.globalIdx[name]
+		if !ok {
+			return 0, false
+		}
+		return vm.globalAddrs[i], true
+	}
 	a, ok := vm.globals[name]
 	return a, ok
 }
 
 // FuncByAddr resolves a function pointer value.
 func (vm *VM) FuncByAddr(addr uint64) (*ir.Func, bool) {
+	if vm.prog != nil {
+		cf, ok := vm.prog.byAddr[addr]
+		if !ok {
+			return nil, false
+		}
+		return cf.fn, true
+	}
 	f, ok := vm.addrFunc[addr]
 	return f, ok
 }
 
 // FuncAddr returns the synthetic address of a function.
 func (vm *VM) FuncAddr(name string) (uint64, bool) {
+	if vm.prog != nil {
+		f := vm.Module.Func(name)
+		if f == nil {
+			return 0, false
+		}
+		return vm.prog.byFn[f].addr, true
+	}
 	a, ok := vm.funcAddr[name]
 	return a, ok
 }
 
 // Call invokes fn with raw argument scalars. Used for main and by extern
 // wrappers that need to call back into IR (e.g. qsort's comparator).
+// When the VM has a compiled program bound, internal functions execute
+// their pre-decoded bytecode; otherwise (and for any function outside the
+// program's module) the tree-walking loop below runs.
 func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 	if fn.External {
 		impl, ok := vm.cfg.Externs[fn.Name]
 		if !ok {
 			return 0, fmt.Errorf("unresolved external function %s", fn.Name)
 		}
+		if len(args) != len(fn.Params) {
+			return 0, fmt.Errorf("call of %s with %d args, want %d", fn.Name, len(args), len(fn.Params))
+		}
 		vm.cycles += costCall
 		return impl(vm, args)
+	}
+	if vm.prog != nil {
+		if cf := vm.prog.byFn[fn]; cf != nil {
+			return vm.execCompiled(cf, args)
+		}
 	}
 	if vm.depth >= vm.maxDep {
 		return 0, &mem.Trap{Reason: "call stack depth exceeded"}
@@ -443,9 +553,15 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 		case *ir.IntToPtr:
 			regs[i.Dst.ID] = regs[i.Src.ID]
 		case *ir.FuncAddr:
-			regs[i.Dst.ID] = vm.funcAddr[i.Fn]
+			// Resolve through the prog-aware accessors, not the raw maps:
+			// a program-bound VM tree-walking a foreign function (the
+			// documented fallback) has no per-VM symbol maps. A miss reads
+			// as address 0, as it always has.
+			a, _ := vm.FuncAddr(i.Fn)
+			regs[i.Dst.ID] = a
 		case *ir.GlobalAddr:
-			regs[i.Dst.ID] = vm.globals[i.G]
+			a, _ := vm.GlobalAddr(i.G)
+			regs[i.Dst.ID] = a
 		case *ir.Call:
 			vm.cycles += costCall
 			var callee *ir.Func
@@ -453,7 +569,7 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 				callee = vm.Module.Func(i.Callee)
 			} else {
 				fp := regs[i.CalleePtr.ID]
-				f, ok := vm.addrFunc[fp]
+				f, ok := vm.FuncByAddr(fp)
 				if !ok {
 					return 0, &mem.Trap{Reason: "indirect call through invalid function pointer", Addr: fp}
 				}
@@ -502,8 +618,11 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 			}
 		case *ir.RandInt:
 			vm.cycles += costIntrinsic
-			span := i.Hi - i.Lo + 1
-			regs[i.Dst.ID] = uint64(i.Lo + vm.rng.Int63n(span))
+			v, err := randInRange(vm.rng, i.Lo, i.Hi)
+			if err != nil {
+				return 0, err
+			}
+			regs[i.Dst.ID] = v
 		case *ir.HeapBufSize:
 			vm.cycles += costIntrinsic
 			size, trap := vm.Space.HeapPayloadSize(regs[i.Ptr.ID])
@@ -531,36 +650,45 @@ func (vm *VM) alloc(i *ir.Alloc, regs []uint64) (uint64, error) {
 	count := int64(1)
 	if i.Count != nil {
 		count = int64(regs[i.Count.ID])
-		if count < 0 {
-			return 0, &mem.Trap{Reason: "negative allocation count"}
-		}
 	}
-	size := uint64(count) * uint64(PaddedSize(i.Elem))
-	switch i.Kind {
-	case ir.AllocHeap:
+	return vm.allocMem(i.Kind, count, uint64(PaddedSize(i.Elem)))
+}
+
+// allocMem is the allocation path shared by the tree-walker and the
+// compiled loop: identical count validation, cycle charges, and traps.
+func (vm *VM) allocMem(kind ir.AllocKind, count int64, elemSize uint64) (uint64, error) {
+	if count < 0 {
+		return 0, &mem.Trap{Reason: "negative allocation count"}
+	}
+	size := uint64(count) * elemSize
+	if kind == ir.AllocHeap {
 		vm.cycles += costMallocOp
 		addr, trap := vm.Space.Malloc(size)
 		if trap != nil {
 			return 0, trap
 		}
 		return addr, nil
-	default:
-		vm.cycles += costAlloca
-		addr, trap := vm.Space.Alloca(size)
-		if trap != nil {
-			return 0, trap
-		}
-		return addr, nil
 	}
+	vm.cycles += costAlloca
+	addr, trap := vm.Space.Alloca(size)
+	if trap != nil {
+		return 0, trap
+	}
+	return addr, nil
 }
 
 func (vm *VM) emitOutput(i *ir.Output, raw uint64) {
-	switch i.Mode {
+	vm.emitOutputRaw(i.Mode, isF32(i.Val.Type), raw)
+}
+
+// emitOutputRaw formats raw onto the output stream; shared by both loops.
+func (vm *VM) emitOutputRaw(mode ir.OutputMode, f32 bool, raw uint64) {
+	switch mode {
 	case ir.OutInt:
 		vm.output = strconv.AppendInt(vm.output, int64(raw), 10)
 		vm.output = append(vm.output, '\n')
 	case ir.OutFloat:
-		v := bitsToFloat(raw, i.Val.Type)
+		v := bitsToFloatF(raw, f32)
 		vm.output = strconv.AppendFloat(vm.output, v, 'g', 6, 64)
 		vm.output = append(vm.output, '\n')
 	case ir.OutByte:
@@ -568,24 +696,52 @@ func (vm *VM) emitOutput(i *ir.Output, raw uint64) {
 	}
 }
 
+// randInRange draws a uniform integer in [lo, hi]. The common case (a
+// span representable as a positive int64) must consume exactly one Int63n
+// call — recorded cycle counts and rearrange-heap layouts depend on the
+// draw sequence. The degenerate cases, which previously panicked inside
+// math/rand, are guarded: an empty range is a runtime error (and rejected
+// by ir.Verify), and a span of 2^63 values or more — where hi-lo+1
+// overflows int64 — draws from the full-width generator instead.
+func randInRange(rng *rand.Rand, lo, hi int64) (uint64, error) {
+	if hi < lo {
+		return 0, fmt.Errorf("randint with empty range [%d, %d]", lo, hi)
+	}
+	if span := hi - lo + 1; span > 0 {
+		return uint64(lo + rng.Int63n(span)), nil
+	}
+	v := rng.Uint64()
+	if size := uint64(hi) - uint64(lo) + 1; size != 0 {
+		v %= size
+	}
+	return uint64(lo) + v, nil
+}
+
+// floatBinScalar evaluates a floating-point binary operation on raw
+// register bits; shared by both loops. An out-of-range BinKind produces
+// 0.0, matching the tree-walker's historical fall-through.
+func floatBinScalar(op ir.BinKind, x, y uint64, xf32, yf32, df32 bool) uint64 {
+	a := bitsToFloatF(x, xf32)
+	b := bitsToFloatF(y, yf32)
+	var r float64
+	switch op {
+	case ir.OpFAdd:
+		r = a + b
+	case ir.OpFSub:
+		r = a - b
+	case ir.OpFMul:
+		r = a * b
+	case ir.OpFDiv:
+		r = a / b
+	}
+	return floatBitsF(r, df32)
+}
+
 func (vm *VM) binop(i *ir.BinOp, x, y uint64) (uint64, error) {
 	t := i.Dst.Type
 	if i.Op.IsFloat() {
 		vm.cycles += costFloatOp
-		a := bitsToFloat(x, i.X.Type)
-		b := bitsToFloat(y, i.Y.Type)
-		var r float64
-		switch i.Op {
-		case ir.OpFAdd:
-			r = a + b
-		case ir.OpFSub:
-			r = a - b
-		case ir.OpFMul:
-			r = a * b
-		case ir.OpFDiv:
-			r = a / b
-		}
-		return floatBits(r, t), nil
+		return floatBinScalar(i.Op, x, y, isF32(i.X.Type), isF32(i.Y.Type), isF32(t)), nil
 	}
 	width := uint(t.Size() * 8)
 	switch i.Op {
@@ -636,8 +792,15 @@ func (vm *VM) binop(i *ir.BinOp, x, y uint64) (uint64, error) {
 }
 
 func cmp(i *ir.Cmp, x, y uint64) uint64 {
+	return cmpScalar(i.Op, x, y, isF32(i.X.Type), isF32(i.Y.Type))
+}
+
+// cmpScalar evaluates a comparison predicate on raw register bits; shared
+// by both loops. An out-of-range CmpKind yields 0, matching the
+// tree-walker's historical fall-through.
+func cmpScalar(op ir.CmpKind, x, y uint64, xf32, yf32 bool) uint64 {
 	var b bool
-	switch i.Op {
+	switch op {
 	case ir.CmpEQ:
 		b = x == y
 	case ir.CmpNE:
@@ -659,9 +822,9 @@ func cmp(i *ir.Cmp, x, y uint64) uint64 {
 	case ir.CmpUGE:
 		b = x >= y
 	default:
-		a := bitsToFloat(x, i.X.Type)
-		c := bitsToFloat(y, i.Y.Type)
-		switch i.Op {
+		a := bitsToFloatF(x, xf32)
+		c := bitsToFloatF(y, yf32)
+		switch op {
 		case ir.CmpFEQ:
 			b = a == c
 		case ir.CmpFNE:
@@ -699,11 +862,28 @@ func convert(v uint64, from, to ir.Type) uint64 {
 // normInt sign-extends v to the canonical 64-bit register representation
 // of integer type t.
 func normInt(v uint64, t ir.Type) uint64 {
+	return normReg(v, normModeOf(t))
+}
+
+// normModeOf reduces a destination type to the normalization mode the
+// compiled bytecode stores per instruction: the narrow integer width to
+// sign-extend from, or 0 for the identity (i64, pointers, floats).
+func normModeOf(t ir.Type) uint8 {
 	it, ok := t.(*ir.IntType)
 	if !ok {
-		return v
+		return 0
 	}
 	switch it.Bits {
+	case 1, 8, 16, 32:
+		return uint8(it.Bits)
+	default:
+		return 0
+	}
+}
+
+// normReg applies a precomputed normalization mode; shared by both loops.
+func normReg(v uint64, mode uint8) uint64 {
+	switch mode {
 	case 1:
 		return v & 1
 	case 8:
@@ -732,15 +912,26 @@ func maskTo(v uint64, width uint) uint64 {
 	return v & ((1 << width) - 1)
 }
 
-func floatBits(f float64, t ir.Type) uint64 {
-	if ft, ok := t.(*ir.FloatType); ok && ft.Bits == 32 {
+// isF32 reports whether t is the 32-bit float type (whose register bits
+// are an f32 pattern rather than f64).
+func isF32(t ir.Type) bool {
+	ft, ok := t.(*ir.FloatType)
+	return ok && ft.Bits == 32
+}
+
+func floatBits(f float64, t ir.Type) uint64 { return floatBitsF(f, isF32(t)) }
+
+func floatBitsF(f float64, f32 bool) uint64 {
+	if f32 {
 		return uint64(math.Float32bits(float32(f)))
 	}
 	return math.Float64bits(f)
 }
 
-func bitsToFloat(v uint64, t ir.Type) float64 {
-	if ft, ok := t.(*ir.FloatType); ok && ft.Bits == 32 {
+func bitsToFloat(v uint64, t ir.Type) float64 { return bitsToFloatF(v, isF32(t)) }
+
+func bitsToFloatF(v uint64, f32 bool) float64 {
+	if f32 {
 		return float64(math.Float32frombits(uint32(v)))
 	}
 	return math.Float64frombits(v)

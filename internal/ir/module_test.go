@@ -188,3 +188,27 @@ func TestBuilderIfBothArms(t *testing.T) {
 		t.Fatalf("verify: %v", err)
 	}
 }
+
+func TestVerifyCatchesEmptyRandIntRange(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m)
+	b.Function("main", I64, nil)
+	dst := b.Reg("r", I64)
+	b.B.Append(&RandInt{Dst: dst, Lo: 10, Hi: 9})
+	b.Ret(dst)
+	err := Verify(m)
+	if err == nil {
+		t.Fatal("want verify error for empty randint range")
+	}
+	if !strings.Contains(err.Error(), "randint range") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// A single-value range remains legal.
+	m2 := NewModule("ok")
+	b2 := NewBuilder(m2)
+	b2.Function("main", I64, nil)
+	b2.Ret(b2.RandInt(7, 7))
+	if err := Verify(m2); err != nil {
+		t.Fatalf("verify of randint 7,7: %v", err)
+	}
+}

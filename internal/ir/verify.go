@@ -241,6 +241,13 @@ func checkInstr(m *Module, f *Func, in Instr) string {
 		if !IsPointer(i.Ptr.Type) {
 			return "heapbufsize of non-pointer"
 		}
+	case *RandInt:
+		if i.Hi < i.Lo {
+			return fmt.Sprintf("randint range [%d, %d] is empty", i.Lo, i.Hi)
+		}
+		if i.Dst.Type.Kind() != KindInt {
+			return "randint into non-integer register"
+		}
 	}
 	return ""
 }

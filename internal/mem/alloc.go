@@ -56,6 +56,13 @@ func (h *heapAlloc) init(base, end uint64) {
 	h.freeList = make(map[uint64]uint64)
 }
 
+// reset empties the allocator without reallocating its free-list map;
+// Space.Reset separately re-zeroes the dirtied heap bytes.
+func (h *heapAlloc) reset() {
+	h.cur = h.base
+	clear(h.freeList)
+}
+
 func (h *heapAlloc) header(s *Space, payload uint64) (size, magic uint64, ok bool) {
 	if payload < h.base+headerBytes || payload+8 > h.end {
 		return 0, 0, false
@@ -68,6 +75,7 @@ func (h *heapAlloc) header(s *Space, payload uint64) (size, magic uint64, ok boo
 
 func (h *heapAlloc) setHeader(s *Space, payload, size, magic uint64) {
 	hdr := payload - headerBytes
+	s.noteWrite(hdr, headerBytes)
 	binary.LittleEndian.PutUint64(s.data[hdr:hdr+8], size)
 	binary.LittleEndian.PutUint64(s.data[hdr+8:hdr+16], magic)
 }
@@ -124,6 +132,7 @@ func (h *heapAlloc) free(s *Space, payload uint64) (uint64, *Trap) {
 	h.setHeader(s, payload, size, magicFree)
 	// Thread onto the free list: the link lives in the payload itself.
 	head := h.freeList[size]
+	s.noteWrite(payload, 8)
 	binary.LittleEndian.PutUint64(s.data[payload:payload+8], head)
 	h.freeList[size] = payload
 	return size, nil

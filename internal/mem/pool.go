@@ -1,0 +1,55 @@
+package mem
+
+import "sync"
+
+// Pool recycles Spaces of one configuration across program runs. A
+// campaign executes thousands of short trial VMs against identically
+// sized address spaces; allocating (and zeroing) a multi-megabyte Space
+// per trial dominates short runs and hammers the garbage collector.
+// Get/Put instead reuse Reset spaces, whose re-zeroing cost is
+// proportional to the bytes the previous run actually dirtied.
+//
+// A reset Space replays any run exactly like a fresh one (see
+// Space.Reset), so pooling is invisible in every recorded result. Pool is
+// safe for concurrent use; at most one goroutine may use a given Space at
+// a time, as always.
+type Pool struct {
+	cfg  Config
+	mu   sync.Mutex
+	free []*Space
+}
+
+// NewPool returns an empty pool producing Spaces of cfg.
+func NewPool(cfg Config) *Pool { return &Pool{cfg: cfg.WithDefaults()} }
+
+// Config returns the configuration the pool's spaces are built with,
+// normalized (WithDefaults) — compare it against another normalized
+// config to decide whether a pool can serve it.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Get returns a pristine Space: a recycled one when available, otherwise
+// a newly allocated one.
+func (p *Pool) Get() *Space {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	return NewSpace(p.cfg)
+}
+
+// Put resets s and makes it available to future Get calls. The caller
+// must not use s afterwards. Put(nil) is a no-op.
+func (p *Pool) Put(s *Space) {
+	if s == nil {
+		return
+	}
+	s.Reset()
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}

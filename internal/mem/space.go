@@ -51,7 +51,12 @@ type Config struct {
 	DisableCache bool
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the config with zero fields replaced by their
+// defaults — the geometry a Space built from c actually gets. Callers
+// comparing configs for compatibility (e.g. pool-vs-VM checks) must
+// compare normalized forms, since a zero config and a spelled-out default
+// config produce identical spaces.
+func (c Config) WithDefaults() Config {
 	if c.GlobalBytes == 0 {
 		c.GlobalBytes = 256 * 1024
 	}
@@ -91,6 +96,16 @@ type Space struct {
 	stackTop  uint64
 	sp        uint64
 
+	// Dirty watermarks for Reset: every byte 0 of data outside
+	// [globalsBase, globalsEnd), [heapBase, heapWriteHi), and
+	// [stackWriteLo, stackTop) is still in its pristine zero state. All
+	// writes — program stores, byte copies, and the heap allocator's
+	// inline metadata — pass through noteWrite, so re-zeroing just those
+	// ranges restores a factory-fresh space at a fraction of the cost of
+	// allocating one.
+	heapWriteHi  uint64
+	stackWriteLo uint64
+
 	alloc heapAlloc
 	cache *Cache
 	stats Stats
@@ -98,7 +113,7 @@ type Space struct {
 
 // NewSpace creates a fresh address space.
 func NewSpace(cfg Config) *Space {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	globalsBase := uint64(nullPageEnd)
 	globalsEnd := globalsBase + uint64(cfg.GlobalBytes)
 	heapBase := globalsEnd + guardGap
@@ -107,15 +122,17 @@ func NewSpace(cfg Config) *Space {
 	stackTop := stackBase + uint64(cfg.StackBytes)
 
 	s := &Space{
-		data:        make([]byte, stackTop),
-		globalsBase: globalsBase,
-		globalsCur:  globalsBase,
-		globalsEnd:  globalsEnd,
-		heapBase:    heapBase,
-		heapEnd:     heapEnd,
-		stackBase:   stackBase,
-		stackTop:    stackTop,
-		sp:          stackTop,
+		data:         make([]byte, stackTop),
+		globalsBase:  globalsBase,
+		globalsCur:   globalsBase,
+		globalsEnd:   globalsEnd,
+		heapBase:     heapBase,
+		heapEnd:      heapEnd,
+		stackBase:    stackBase,
+		stackTop:     stackTop,
+		sp:           stackTop,
+		heapWriteHi:  heapBase,
+		stackWriteLo: stackTop,
 	}
 	s.alloc.init(heapBase, heapEnd)
 	if !cfg.DisableCache {
@@ -126,6 +143,48 @@ func NewSpace(cfg Config) *Space {
 
 // Stats returns a copy of the accumulated statistics.
 func (s *Space) Stats() Stats { return s.stats }
+
+// noteWrite records that [addr, addr+n) was written, maintaining the
+// dirty watermarks Reset re-zeroes. Globals are not tracked: the segment
+// is small and Reset clears it wholesale.
+func (s *Space) noteWrite(addr, n uint64) {
+	if addr >= s.stackBase {
+		if addr < s.stackWriteLo {
+			s.stackWriteLo = addr
+		}
+	} else if addr >= s.heapBase {
+		if end := addr + n; end > s.heapWriteHi {
+			s.heapWriteHi = end
+		}
+	}
+}
+
+// Reset restores the space to its pristine post-NewSpace state — zeroed
+// memory, empty heap, full stack, cold cache, zero statistics — without
+// reallocating its backing array. Only the dirtied byte ranges are
+// re-zeroed, so resetting after a short run costs proportionally little.
+// A reset space is indistinguishable from a new one: allocation addresses,
+// trap behavior, cache costs, and statistics all replay identically,
+// which is what lets the harness recycle spaces across trials without
+// perturbing any recorded result.
+func (s *Space) Reset() {
+	clear(s.data[s.globalsBase:s.globalsEnd])
+	heapHi := s.alloc.cur
+	if s.heapWriteHi > heapHi {
+		heapHi = s.heapWriteHi
+	}
+	clear(s.data[s.heapBase:heapHi])
+	clear(s.data[s.stackWriteLo:s.stackTop])
+	s.globalsCur = s.globalsBase
+	s.sp = s.stackTop
+	s.heapWriteHi = s.heapBase
+	s.stackWriteLo = s.stackTop
+	s.alloc.reset()
+	if s.cache != nil {
+		s.cache.reset()
+	}
+	s.stats = Stats{}
+}
 
 // mapped reports whether [addr, addr+n) lies entirely within one mapped
 // segment.
@@ -174,12 +233,47 @@ func (s *Space) Load(addr uint64, n int) (uint64, *Trap) {
 	return 0, &Trap{Reason: fmt.Sprintf("load of unsupported width %d", n), Addr: addr}
 }
 
+// LoadCosted is AccessCost followed by Load, fused into one call for the
+// interpreter's hot path, with the cache model's MRU-hit case inlined.
+// The cost is charged exactly as the separate calls would charge it — the
+// cache model is consulted even when the access then traps — and cache
+// state, statistics, and trap behavior are identical to AccessCost + Load.
+func (s *Space) LoadCosted(addr uint64, n int) (val, cost uint64, trap *Trap) {
+	cost = CacheHitCost
+	if c := s.cache; c != nil {
+		// Cache.Access with its MRU fast path unrolled (Access itself is
+		// past the inlining budget); the encoding lives in Cache.set.
+		if ws, tag := c.set(addr); ws[0] == tag {
+			c.hits++
+		} else {
+			cost = c.accessSlow(ws, tag)
+		}
+	}
+	if !s.mapped(addr, uint64(n)) {
+		return 0, cost, &Trap{Reason: "load from unmapped or protected memory", Addr: addr}
+	}
+	s.stats.Loads++
+	b := s.data[addr : addr+uint64(n)]
+	switch n {
+	case 1:
+		return uint64(b[0]), cost, nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), cost, nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), cost, nil
+	case 8:
+		return binary.LittleEndian.Uint64(b), cost, nil
+	}
+	return 0, cost, &Trap{Reason: fmt.Sprintf("load of unsupported width %d", n), Addr: addr}
+}
+
 // Store writes an n-byte little-endian scalar at addr.
 func (s *Space) Store(addr uint64, n int, val uint64) *Trap {
 	if !s.mapped(addr, uint64(n)) {
 		return &Trap{Reason: "store to unmapped or protected memory", Addr: addr}
 	}
 	s.stats.Stores++
+	s.noteWrite(addr, uint64(n))
 	b := s.data[addr : addr+uint64(n)]
 	switch n {
 	case 1:
@@ -194,6 +288,39 @@ func (s *Space) Store(addr uint64, n int, val uint64) *Trap {
 		return &Trap{Reason: fmt.Sprintf("store of unsupported width %d", n), Addr: addr}
 	}
 	return nil
+}
+
+// StoreCosted is AccessCost followed by Store, fused like LoadCosted.
+func (s *Space) StoreCosted(addr uint64, n int, val uint64) (cost uint64, trap *Trap) {
+	cost = CacheHitCost
+	if c := s.cache; c != nil {
+		// Cache.Access with its MRU fast path unrolled (Access itself is
+		// past the inlining budget); the encoding lives in Cache.set.
+		if ws, tag := c.set(addr); ws[0] == tag {
+			c.hits++
+		} else {
+			cost = c.accessSlow(ws, tag)
+		}
+	}
+	if !s.mapped(addr, uint64(n)) {
+		return cost, &Trap{Reason: "store to unmapped or protected memory", Addr: addr}
+	}
+	s.stats.Stores++
+	s.noteWrite(addr, uint64(n))
+	b := s.data[addr : addr+uint64(n)]
+	switch n {
+	case 1:
+		b[0] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(b, val)
+	default:
+		return cost, &Trap{Reason: fmt.Sprintf("store of unsupported width %d", n), Addr: addr}
+	}
+	return cost, nil
 }
 
 // ReadBytes copies n bytes out of the space (used by external function
@@ -218,6 +345,7 @@ func (s *Space) WriteBytes(addr uint64, b []byte) *Trap {
 	if !s.mapped(addr, uint64(len(b))) {
 		return &Trap{Reason: "write to unmapped or protected memory", Addr: addr}
 	}
+	s.noteWrite(addr, uint64(len(b)))
 	copy(s.data[addr:], b)
 	return nil
 }

@@ -1,0 +1,66 @@
+// Package prof wires the standard runtime/pprof CPU and heap profilers
+// into the CLIs behind shared -cpuprofile/-memprofile flags, so perf work
+// on the interpreter and campaign engine can attach pprof evidence to any
+// real run (dpmr-run, dpmr-exp) instead of synthetic benchmarks only.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds one command invocation's profiling flag values.
+type Flags struct {
+	CPUPath string
+	MemPath string
+}
+
+// Register installs the -cpuprofile and -memprofile flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUPath, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	fs.StringVar(&f.MemPath, "memprofile", "", "write a pprof heap profile to `file` at exit")
+}
+
+// Start begins CPU profiling if requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. The stop
+// function must be called exactly once, after the profiled work; it is a
+// no-op when no profiling flag was set.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpu *os.File
+	if f.CPUPath != "" {
+		cpu, err = os.Create(f.CPUPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if f.MemPath != "" {
+			mf, err := os.Create(f.MemPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				mf.Close()
+				return fmt.Errorf("prof: %w", err)
+			}
+			if err := mf.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

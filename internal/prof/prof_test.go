@@ -1,0 +1,61 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterAndStartWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	heap := filepath.Join(dir, "mem.out")
+
+	var f Flags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", heap}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to say.
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	_ = buf
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestStartNoFlagsIsNoOp(t *testing.T) {
+	var f Flags
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartBadPathFails(t *testing.T) {
+	f := Flags{CPUPath: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}
+	if _, err := f.Start(); err == nil {
+		t.Fatal("want error for uncreatable profile path")
+	}
+}
