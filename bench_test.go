@@ -150,14 +150,11 @@ func overheadFigure(b *testing.B, variants map[string]harness.Variant) {
 func coverageFigure(b *testing.B, design dpmr.Design, kind faultinject.Kind,
 	variant harness.Variant, conditional bool) {
 	r := harness.NewRunner()
-	r.Runs = 1
 	ws := workloads.All()[:2] // art + bzip2 keep bench time bounded
-	cr, err := r.RunCampaign(harness.CampaignConfig{
-		Workloads: ws,
-		Variants:  []harness.Variant{harness.Stdapp(), variant},
-		Kind:      kind,
-		MaxSites:  3,
-	})
+	spec := harness.CampaignSpec(kind, ws, []harness.Variant{harness.Stdapp(), variant})
+	spec.Runs = 1
+	spec.MaxSites = 3
+	cr, err := r.RunCampaign(context.Background(), spec)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -381,16 +378,7 @@ func BenchmarkTab4_06_MDSDetectionLatencyPolicies(b *testing.B) {
 // speedup; every worker count produces an identical CampaignResult (the
 // determinism tests in internal/harness assert byte-identical reports).
 func BenchmarkCampaign(b *testing.B) {
-	campaign := harness.CampaignConfig{
-		Workloads: workloads.All()[:2], // art + bzip2
-		Variants: []harness.Variant{
-			harness.Stdapp(),
-			harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
-			harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
-		},
-		Kind:     faultinject.ImmediateFree,
-		MaxSites: 6,
-	}
+	campaign := benchCampaignSpec()
 	trials := planTrials(b, campaign)
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
@@ -400,9 +388,8 @@ func BenchmarkCampaign(b *testing.B) {
 				// A fresh Runner per iteration so the module cache is
 				// cold: the benchmark covers both engine stages.
 				r := harness.NewRunner()
-				r.Runs = 1
 				r.Parallel = workers
-				cr, err := r.RunCampaign(campaign)
+				cr, err := r.RunCampaign(context.Background(), campaign)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -429,10 +416,9 @@ func BenchmarkCampaign(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				r := harness.NewRunner()
-				r.Runs = 1
 				r.Parallel = workers
 				r.Compile = false
-				if _, err := r.RunCampaign(campaign); err != nil {
+				if _, err := r.RunCampaign(context.Background(), campaign); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -450,10 +436,9 @@ func BenchmarkCampaign(b *testing.B) {
 			parts := make([]*harness.PartialResult, n)
 			for s := 0; s < n; s++ {
 				r := harness.NewRunner()
-				r.Runs = 1
 				r.EvictModules = true
 				r.Shard = harness.ShardSpec{Index: s, Count: n}
-				p, err := r.RunCampaignPartial(campaign)
+				p, err := r.RunCampaignPartial(context.Background(), campaign)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -466,7 +451,6 @@ func BenchmarkCampaign(b *testing.B) {
 				}
 			}
 			r := harness.NewRunner()
-			r.Runs = 1
 			if _, err := r.MergeCampaign(campaign, parts); err != nil {
 				b.Fatal(err)
 			}
@@ -479,9 +463,8 @@ func BenchmarkCampaign(b *testing.B) {
 		var stats harness.CacheStats
 		for i := 0; i < b.N; i++ {
 			r := harness.NewRunner()
-			r.Runs = 1
 			r.EvictModules = true
-			if _, err := r.RunCampaign(campaign); err != nil {
+			if _, err := r.RunCampaign(context.Background(), campaign); err != nil {
 				b.Fatal(err)
 			}
 			stats = r.CacheStats()
@@ -491,12 +474,25 @@ func BenchmarkCampaign(b *testing.B) {
 	})
 }
 
+// benchCampaignSpec is the benchmark campaign both BenchmarkCampaign
+// and BenchmarkCoordinator run: art + bzip2, three variants, six sites,
+// one run per tuple.
+func benchCampaignSpec() harness.Spec {
+	spec := harness.CampaignSpec(faultinject.ImmediateFree, workloads.All()[:2], []harness.Variant{
+		harness.Stdapp(),
+		harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+		harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+	})
+	spec.Runs = 1
+	spec.MaxSites = 6
+	return spec
+}
+
 // planTrials sizes the benchmark campaign's canonical plan (for the
 // trials/sec throughput metric).
-func planTrials(b *testing.B, campaign harness.CampaignConfig) int {
+func planTrials(b *testing.B, campaign harness.Spec) int {
 	b.Helper()
 	r := harness.NewRunner()
-	r.Runs = 1
 	trials, err := r.PlanTrials(campaign)
 	if err != nil {
 		b.Fatal(err)
@@ -514,13 +510,12 @@ func reportTrialsPerSec(b *testing.B, trials int) {
 // fleets share: a fresh Runner per assignment (as concurrent fleet slots
 // require), JSON round trip included — the exact bytes a process fleet
 // would stream.
-func shardWorker(campaign harness.CampaignConfig) coord.Func {
-	return func(_ context.Context, shard harness.ShardSpec) ([]byte, error) {
+func shardWorker() coord.Func {
+	return func(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
 		r := harness.NewRunner()
-		r.Runs = 1
 		r.EvictModules = true
 		r.Shard = shard
-		p, err := r.RunCampaignPartial(campaign)
+		p, err := r.RunCampaignPartial(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -540,16 +535,7 @@ func shardWorker(campaign harness.CampaignConfig) coord.Func {
 // injects a wedged first attempt and measures the lease-expiry retry
 // path (its wall clock ≈ lease + normal run, not the straggler's hang).
 func BenchmarkCoordinator(b *testing.B) {
-	campaign := harness.CampaignConfig{
-		Workloads: workloads.All()[:2], // art + bzip2
-		Variants: []harness.Variant{
-			harness.Stdapp(),
-			harness.NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
-			harness.NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
-		},
-		Kind:     faultinject.ImmediateFree,
-		MaxSites: 6,
-	}
+	campaign := benchCampaignSpec()
 	trials := planTrials(b, campaign)
 	mergeAll := func(b *testing.B, payloads [][]byte) {
 		b.Helper()
@@ -562,17 +548,17 @@ func BenchmarkCoordinator(b *testing.B) {
 			parts[i] = p
 		}
 		r := harness.NewRunner()
-		r.Runs = 1
 		if _, err := r.MergeCampaign(campaign, parts); err != nil {
 			b.Fatal(err)
 		}
 	}
-	worker := shardWorker(campaign)
+	worker := shardWorker()
 	for _, workers := range []int{1, 2, 4} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				co, err := coord.New(coord.Config{
+					Spec:    campaign,
 					Shards:  2 * workers,
 					Workers: workers,
 					Spawn:   func(int) (coord.Worker, error) { return worker, nil },
@@ -595,14 +581,15 @@ func BenchmarkCoordinator(b *testing.B) {
 			// The first attempt overall wedges until shutdown; the lease
 			// expires and the shard is speculatively re-leased.
 			var wedged int32
-			slow := coord.Func(func(ctx context.Context, shard harness.ShardSpec) ([]byte, error) {
+			slow := coord.Func(func(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
 				if atomic.CompareAndSwapInt32(&wedged, 0, 1) {
 					<-ctx.Done()
 					return nil, ctx.Err()
 				}
-				return shardWorker(campaign)(ctx, shard)
+				return shardWorker()(ctx, spec, shard)
 			})
 			co, err := coord.New(coord.Config{
+				Spec:    campaign,
 				Shards:  4,
 				Workers: 2,
 				Lease:   50 * time.Millisecond,

@@ -7,6 +7,20 @@
 //	dpmr-exp -exp tab3.3 -quick      # reduced workloads/sites for a fast pass
 //	dpmr-exp -list                   # list experiment ids
 //
+// What to run and how to run it are separate surfaces. The declarative
+// flags (-exp, -quick, -runs, -max-sites) assemble a harness.Spec — the
+// serializable experiment description whose canonical JSON is the sole
+// source of every plan fingerprint. -dump-spec prints that JSON, and
+// -spec runs an experiment from such a file instead of the flags:
+//
+//	dpmr-exp -exp fig3.7 -quick -dump-spec > fig3.7.json
+//	dpmr-exp -spec fig3.7.json       # byte-identical to the flag-driven run
+//
+// The remaining flags (-parallel, -evict, -compile, -progress, -shard,
+// -coord…) only tune execution and can never change what runs, the
+// plan, or its fingerprint. -progress writes to stderr, so report
+// pipelines reading stdout stay clean.
+//
 // Every experiment shards across processes: each shard runs a contiguous
 // slice of the canonical trial plan (injection campaigns and overhead
 // measurements alike) and writes a partial result, and -merge reassembles
@@ -24,10 +38,11 @@
 // With -coord the same sharding runs under a supervising coordinator
 // instead of by hand: the plan is cut into -coord-shards slices, leased
 // to a fleet of workers (in-process goroutines, or spawned
-// `dpmr-exp -worker` processes with -coord-spawn, streaming partial
-// results over JSON-lines stdio), stragglers and crashed workers are
-// retried, and the merged report — still byte-identical to an unsharded
-// run — lands on stdout in one command:
+// `dpmr-exp -worker` processes with -coord-spawn), stragglers and
+// crashed workers are retried, and the merged report — still
+// byte-identical to an unsharded run — lands on stdout in one command.
+// Each coord.Assignment carries the Spec over the wire, so a worker
+// process's argv holds only execution policy:
 //
 //	dpmr-exp -exp fig3.7 -coord 8
 //	dpmr-exp -exp tab3.3 -coord 4 -coord-spawn -coord-lease 5m
@@ -43,6 +58,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -53,10 +69,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+	// Interrupts cancel the context instead of killing the process: the
+	// engine stops dispatching, drains in-flight trials, and exits
+	// cleanly (a second interrupt kills outright).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dpmr-exp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -65,16 +87,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		quick    = fs.Bool("quick", false, "quick mode: fewer workloads, sites, runs")
 		runs     = fs.Int("runs", 0, "runs per experiment tuple (default 2; 1 in quick mode)")
 		maxSites = fs.Int("max-sites", 0, "cap injection sites per workload (0 = all)")
+		specFile = fs.String("spec", "", "run the experiment described by this JSON spec file instead of the declarative flags")
+		dumpSpec = fs.Bool("dump-spec", false, "print the canonical JSON spec of the requested experiment and exit (the -spec file format)")
 		parallel = fs.Int("parallel", 1, "campaign worker goroutines (output is identical at any count)")
 		progress = fs.Bool("progress", false, "report per-trial campaign progress and module-cache residency on stderr")
 		evict    = fs.Bool("evict", true, "release each module after its final trial (bounds peak cache residency)")
-		shard    = fs.String("shard", "", "run shard i/N of the experiment and write a partial result (requires -exp, not 'all')")
+		shard    = fs.String("shard", "", "run shard i/N of the experiment and write a partial result (requires a single experiment)")
 		outPath  = fs.String("out", "", "partial-result output file with -shard (default stdout)")
 		merge    = fs.Bool("merge", false, "merge partial-result files, directories, or globs (the positional arguments) and render the report")
 		compile  = fs.Bool("compile", true, "execute trials as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
 	)
 	var cf coord.CLIFlags
-	cf.Register(fs, "experiment", "worker mode: serve shard assignments for -exp from stdin (JSON lines; normally spawned by a coordinator)")
+	cf.Register(fs, "experiment", "worker mode: serve shard assignments from stdin (JSON lines carrying the spec; normally spawned by a coordinator)")
 	var pf prof.Flags
 	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -90,19 +114,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	opts := harness.Options{Quick: *quick, Runs: *runs, MaxSites: *maxSites, Parallel: *parallel, Evict: *evict, Reference: !*compile}
+
+	if cf.Worker && *specFile != "" {
+		return fail(stderr, fmt.Errorf("-spec and -worker are mutually exclusive (assignments carry the spec)"))
+	}
+	// The declarative flags assemble the Spec; -spec replaces them with a
+	// file (mixing the two is refused inside ParseSpecFlags).
+	base := harness.Spec{Kind: harness.SpecExperiment, Exp: *exp, Quick: *quick, Runs: *runs, MaxSites: *maxSites}
+	spec, err := harness.ParseSpecFlags(fs, *specFile, base, "exp", "quick", "runs", "max-sites")
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if spec.Kind != harness.SpecExperiment {
+		return fail(stderr, fmt.Errorf("-spec %s: dpmr-exp runs experiment specs, got kind %q (use dpmr-run for campaigns)", *specFile, spec.Kind))
+	}
+	if *dumpSpec {
+		if err := spec.Encode(stdout); err != nil {
+			return runFail(stderr, err)
+		}
+		return 0
+	}
+	opts := harness.Options{Parallel: *parallel, Evict: *evict, Reference: !*compile}
 	if *progress {
-		label := *exp
+		label := spec.Exp
 		if *merge {
 			label = "merge"
 		}
-		opts.ProgressStats = func(done, total int, st harness.CacheStats) {
-			fmt.Fprintf(stderr, "\r%s: %d/%d trials (%d modules resident, peak %d, %d evicted)",
-				label, done, total, st.Resident, st.Peak, st.Evicted)
-			if done == total {
-				fmt.Fprintln(stderr)
-			}
-		}
+		opts.Events = harness.RenderProgress(stderr, label)
 	}
 
 	// The four execution modes are mutually exclusive; name the clash
@@ -124,23 +162,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// -cpuprofile is only created once the invocation is known-valid.
 	var shardSpec harness.ShardSpec
 	if *shard != "" {
-		spec, err := harness.ParseShard(*shard)
+		s, err := harness.ParseShard(*shard)
 		if err != nil {
 			return fail(stderr, err)
 		}
-		if *exp == "" || *exp == "all" {
-			return fail(stderr, fmt.Errorf("-shard requires a single experiment via -exp"))
+		if spec.Exp == "" || spec.Exp == "all" {
+			return fail(stderr, fmt.Errorf("-shard requires a single experiment via -exp or -spec"))
 		}
-		shardSpec = spec
+		shardSpec = s
 	}
-	if (cf.Worker || cf.Enabled()) && (*exp == "" || *exp == "all") {
-		flagName := "-coord"
-		if cf.Worker {
-			flagName = "-worker"
-		}
-		return fail(stderr, fmt.Errorf("%s requires a single experiment via -exp", flagName))
+	if cf.Enabled() && (spec.Exp == "" || spec.Exp == "all") {
+		return fail(stderr, fmt.Errorf("-coord requires a single experiment via -exp or -spec"))
 	}
-	if *exp == "" && !*merge {
+	if spec.Exp == "" && !*merge && !cf.Worker {
 		fs.Usage()
 		return 2
 	}
@@ -177,7 +211,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			defer f.Close()
 			readers[i] = f
 		}
-		if err := harness.GenerateMerged(*exp, stdout, readers, opts); err != nil {
+		if err := harness.GenerateMerged(ctx, spec, stdout, readers, opts); err != nil {
 			return runFail(stderr, err)
 		}
 		return 0
@@ -192,7 +226,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			}
 			out = f
 		}
-		if err := harness.GenerateSharded(*exp, shardSpec, out, opts); err != nil {
+		err := runSession(ctx, spec, out, stderr, *progress,
+			harness.WithParallel(*parallel), harness.WithEviction(*evict),
+			harness.WithReference(!*compile), harness.WithShard(shardSpec))
+		if err != nil {
 			if f != nil {
 				f.Close()
 			}
@@ -208,66 +245,81 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	case cf.Worker:
 		// One Runner for the worker's lifetime: shards of the same plan
-		// leased to this worker reuse its module and golden caches.
+		// leased to this worker reuse its module and golden caches. The
+		// spec arrives with each assignment — argv carries none of it.
 		workerOpts := opts
+		workerOpts.Events = nil
 		workerOpts.Runner = harness.NewRunner()
-		err := coord.Serve(stdin, stdout, func(shard harness.ShardSpec) ([]byte, error) {
-			var buf bytes.Buffer
-			if err := harness.GenerateSharded(*exp, shard, &buf, workerOpts); err != nil {
-				return nil, err
-			}
-			return buf.Bytes(), nil
+		err := coord.Serve(stdin, stdout, func(spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
+			return harness.ShardPayload(ctx, spec, shard, workerOpts)
 		})
 		if err != nil {
 			return runFail(stderr, err)
 		}
 		return 0
 	case cf.Enabled():
-		return runCoordinated(*exp, cf, opts, *progress, stdout, stderr)
+		return runCoordinated(ctx, spec, cf, opts, *progress, stdout, stderr)
 	}
 
-	var err error
-	if *exp == "all" {
-		err = harness.GenerateAll(stdout, opts)
-	} else {
-		err = harness.Generate(*exp, stdout, opts)
+	if spec.Exp == "all" {
+		if err := harness.GenerateAll(ctx, spec, stdout, opts); err != nil {
+			return runFail(stderr, err)
+		}
+		return 0
 	}
+	err = runSession(ctx, spec, stdout, stderr, *progress,
+		harness.WithParallel(*parallel), harness.WithEviction(*evict), harness.WithReference(!*compile))
 	if err != nil {
 		return runFail(stderr, err)
 	}
 	return 0
 }
 
+// runSession starts a streaming Session for the spec, renders its event
+// stream to stderr when progress is on, and waits for completion — the
+// context-first path unsharded and sharded single-experiment runs share.
+func runSession(ctx context.Context, spec harness.Spec, report io.Writer, stderr io.Writer,
+	progress bool, opts ...harness.Option) error {
+	s, err := harness.Start(ctx, spec, append(opts, harness.WithReport(report))...)
+	if err != nil {
+		return err
+	}
+	var sink func(harness.Event)
+	if progress {
+		sink = harness.RenderProgress(stderr, spec.Exp)
+	}
+	_, err = s.Drain(sink)
+	return err
+}
+
 // runCoordinated schedules the experiment's shards on a worker fleet and
 // renders the merged report — byte-identical to an unsharded run — to
-// stdout.
-func runCoordinated(exp string, cf coord.CLIFlags, opts harness.Options, progress bool, stdout, stderr io.Writer) int {
+// stdout. The Spec rides in every assignment; spawned workers' argv
+// carries only execution policy.
+func runCoordinated(ctx context.Context, spec harness.Spec, cf coord.CLIFlags, opts harness.Options,
+	progress bool, stdout, stderr io.Writer) int {
 	// Per-trial progress from N concurrent workers would interleave;
 	// workers run quiet and the coordinator reports shard-level events.
 	workerOpts := opts
-	workerOpts.Progress = nil
-	workerOpts.ProgressStats = nil
+	workerOpts.Events = nil
 
 	fleet := coord.FleetOptions{
+		Spec:    spec,
 		Workers: cf.Workers, Shards: cf.Shards, Lease: cf.Lease,
 		Chaos: cf.Chaos, Stderr: stderr,
-		Local: func(_ context.Context, shard harness.ShardSpec) ([]byte, error) {
-			var buf bytes.Buffer
-			if err := harness.GenerateSharded(exp, shard, &buf, workerOpts); err != nil {
-				return nil, err
-			}
-			return buf.Bytes(), nil
+		Local: func(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
+			return harness.ShardPayload(ctx, spec, shard, workerOpts)
 		},
 	}
 	if cf.Spawn {
-		fleet.SpawnArgv = workerArgv(exp, opts)
+		fleet.SpawnArgv = workerArgv(opts)
 	}
 	if progress {
 		fleet.Log = func(format string, args ...any) {
 			fmt.Fprintf(stderr, "coord: "+format+"\n", args...)
 		}
 	}
-	payloads, err := coord.RunFleet(context.Background(), fleet)
+	payloads, err := coord.RunFleet(ctx, fleet)
 	if err != nil {
 		return runFail(stderr, err)
 	}
@@ -275,33 +327,22 @@ func runCoordinated(exp string, cf coord.CLIFlags, opts harness.Options, progres
 	for i, p := range payloads {
 		readers[i] = bytes.NewReader(p)
 	}
-	if err := harness.GenerateMerged(exp, stdout, readers, opts); err != nil {
+	if err := harness.GenerateMerged(ctx, spec, stdout, readers, opts); err != nil {
 		return runFail(stderr, err)
 	}
 	return 0
 }
 
-// workerArgv reconstructs the flag line a spawned worker needs to
-// recompute the exact same plan as the coordinator: any divergence is
-// caught downstream by the plan fingerprint, but matching flags here is
-// what makes the happy path work.
-func workerArgv(exp string, opts harness.Options) []string {
-	argv := []string{
-		"-worker", "-exp", exp,
+// workerArgv is the flag line of a spawned worker: pure execution
+// policy. The experiment description travels in each coord.Assignment,
+// so nothing here can change the plan or its fingerprint.
+func workerArgv(opts harness.Options) []string {
+	return []string{
+		"-worker",
 		"-parallel", strconv.Itoa(max(opts.Parallel, 1)),
 		"-evict=" + strconv.FormatBool(opts.Evict),
 		"-compile=" + strconv.FormatBool(!opts.Reference),
 	}
-	if opts.Quick {
-		argv = append(argv, "-quick")
-	}
-	if opts.Runs != 0 {
-		argv = append(argv, "-runs", strconv.Itoa(opts.Runs))
-	}
-	if opts.MaxSites != 0 {
-		argv = append(argv, "-max-sites", strconv.Itoa(opts.MaxSites))
-	}
-	return argv
 }
 
 // expandPartialArgs turns -merge's positional arguments into the partial
@@ -349,11 +390,11 @@ func expandPartialArgs(args []string) ([]string, error) {
 	return files, nil
 }
 
-// fail reports command-line misuse (bad flags or flag combinations):
-// exit 2. Failures of the run itself — unknown experiments, partial-file
-// I/O, merge validation, campaign errors, a fleet that cannot finish —
-// exit 1 via runFail, in every mode (sharded, merged, coordinated, or
-// unsharded).
+// fail reports command-line misuse (bad flags, flag combinations, or an
+// invalid -spec file): exit 2. Failures of the run itself — unknown
+// experiments, partial-file I/O, merge validation, campaign errors, a
+// fleet that cannot finish — exit 1 via runFail, in every mode (sharded,
+// merged, coordinated, or unsharded).
 func fail(stderr io.Writer, err error) int {
 	fmt.Fprintln(stderr, "dpmr-exp:", err)
 	return 2

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,10 @@ import (
 
 // noStdin stands in for an unused worker-protocol stream.
 func noStdin() *strings.Reader { return strings.NewReader("") }
+
+func runCLI(args []string, stdin *strings.Reader, stdout, stderr *bytes.Buffer) int {
+	return run(context.Background(), args, stdin, stdout, stderr)
+}
 
 // TestRunFlagValidation is the table-driven flag/validation contract of
 // the dpmr-exp CLI: every bad combination exits nonzero with a
@@ -46,15 +51,20 @@ func TestRunFlagValidation(t *testing.T) {
 		{"coord-shards without coord", []string{"-exp", "fig3.7", "-coord-shards", "4"}, 2, "-coord-shards requires -coord"},
 		{"coord-spawn without coord", []string{"-exp", "fig3.7", "-coord-spawn"}, 2, "-coord-spawn requires -coord"},
 		{"coord-lease without coord", []string{"-exp", "fig3.7", "-coord-lease", "30s"}, 2, "-coord-lease requires -coord"},
-		{"negative coord lease", []string{"-exp", "fig3.7", "-coord", "2", "-coord-lease", "-5s"}, 2, "negative lease"},
+		{"negative coord lease", []string{"-exp", "fig3.7", "-coord", "2", "-coord-lease", "-5s"}, 2, "must be positive"},
+		{"zero coord lease", []string{"-exp", "fig3.7", "-coord", "2", "-coord-lease", "0"}, 2, "must be positive"},
 		{"chaos without spawn", []string{"-exp", "fig3.7", "-coord", "2", "-coord-chaos", "1"}, 2, "-coord-chaos requires -coord-spawn"},
-		{"worker without exp", []string{"-worker"}, 2, "-worker requires"},
-		{"worker of all", []string{"-exp", "all", "-worker"}, 2, "-worker requires"},
+		{"chaos without coord", []string{"-exp", "fig3.7", "-coord-chaos", "1"}, 2, "-coord-chaos requires -coord-spawn"},
+		{"spec missing file", []string{"-spec", "/nonexistent/spec.json"}, 2, "no such file"},
+		{"spec with exp", []string{"-spec", "/nonexistent/spec.json", "-exp", "fig3.7"}, 2, "mutually exclusive"},
+		{"spec with quick", []string{"-spec", "/nonexistent/spec.json", "-quick"}, 2, "mutually exclusive"},
+		{"spec with runs", []string{"-spec", "/nonexistent/spec.json", "-runs", "3"}, 2, "mutually exclusive"},
+		{"spec with worker", []string{"-spec", "/nonexistent/spec.json", "-worker"}, 2, "mutually exclusive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			code := run(tc.args, noStdin(), &stdout, &stderr)
+			code := runCLI(tc.args, noStdin(), &stdout, &stderr)
 			if code != tc.wantCode {
 				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
 			}
@@ -67,7 +77,7 @@ func TestRunFlagValidation(t *testing.T) {
 
 func TestRunList(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-list"}, noStdin(), &stdout, &stderr); code != 0 {
+	if code := runCLI([]string{"-list"}, noStdin(), &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr %s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "fig3.7") || !strings.Contains(stdout.String(), "tab4.6") {
@@ -81,7 +91,7 @@ func TestRunList(t *testing.T) {
 func TestShardMergeEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	var unsharded, stderr bytes.Buffer
-	if code := run([]string{"-exp", "fig3.7", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
+	if code := runCLI([]string{"-exp", "fig3.7", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
 		t.Fatalf("unsharded run failed: %s", stderr.String())
 	}
 	files := make([]string, 2)
@@ -89,7 +99,7 @@ func TestShardMergeEndToEnd(t *testing.T) {
 		files[i] = filepath.Join(dir, "part"+string(rune('0'+i))+".json")
 		var stdout bytes.Buffer
 		stderr.Reset()
-		code := run([]string{"-exp", "fig3.7", "-quick", "-shard", string(rune('0'+i)) + "/2", "-out", files[i]}, noStdin(), &stdout, &stderr)
+		code := runCLI([]string{"-exp", "fig3.7", "-quick", "-shard", string(rune('0'+i)) + "/2", "-out", files[i]}, noStdin(), &stdout, &stderr)
 		if code != 0 {
 			t.Fatalf("shard %d failed: %s", i, stderr.String())
 		}
@@ -100,7 +110,7 @@ func TestShardMergeEndToEnd(t *testing.T) {
 	var merged bytes.Buffer
 	stderr.Reset()
 	// Out-of-order merge, experiment id taken from the partials.
-	if code := run([]string{"-merge", "-quick", files[1], files[0]}, noStdin(), &merged, &stderr); code != 0 {
+	if code := runCLI([]string{"-merge", "-quick", files[1], files[0]}, noStdin(), &merged, &stderr); code != 0 {
 		t.Fatalf("merge failed: %s", stderr.String())
 	}
 	if !bytes.Equal(unsharded.Bytes(), merged.Bytes()) {
@@ -112,7 +122,7 @@ func TestShardMergeEndToEnd(t *testing.T) {
 	for _, arg := range []string{filepath.Join(dir, "part*.json"), dir} {
 		var globbed bytes.Buffer
 		stderr.Reset()
-		if code := run([]string{"-merge", "-quick", arg}, noStdin(), &globbed, &stderr); code != 0 {
+		if code := runCLI([]string{"-merge", "-quick", arg}, noStdin(), &globbed, &stderr); code != 0 {
 			t.Fatalf("merge %q failed: %s", arg, stderr.String())
 		}
 		if !bytes.Equal(unsharded.Bytes(), globbed.Bytes()) {
@@ -121,40 +131,40 @@ func TestShardMergeEndToEnd(t *testing.T) {
 	}
 	// A directory holding no partials is named, not silently merged.
 	stderr.Reset()
-	if code := run([]string{"-merge", "-quick", t.TempDir()}, noStdin(), &bytes.Buffer{}, &stderr); code != 2 || !strings.Contains(stderr.String(), "no *.json partials") {
+	if code := runCLI([]string{"-merge", "-quick", t.TempDir()}, noStdin(), &bytes.Buffer{}, &stderr); code != 2 || !strings.Contains(stderr.String(), "no *.json partials") {
 		t.Errorf("empty-directory merge exited %d, stderr %q", code, stderr.String())
 	}
 	// Duplicated shard must be rejected (a run failure, exit 1 — the
 	// command line itself was fine).
 	stderr.Reset()
-	if code := run([]string{"-merge", "-quick", files[0], files[0]}, noStdin(), &bytes.Buffer{}, &stderr); code != 1 {
+	if code := runCLI([]string{"-merge", "-quick", files[0], files[0]}, noStdin(), &bytes.Buffer{}, &stderr); code != 1 {
 		t.Errorf("duplicate shard merge exited %d, want 1 (stderr: %s)", code, stderr.String())
 	}
 	// Missing shard must be rejected with the range named.
 	stderr.Reset()
-	if code := run([]string{"-merge", "-quick", files[1]}, noStdin(), &bytes.Buffer{}, &stderr); code != 1 || !strings.Contains(stderr.String(), "missing trials") {
+	if code := runCLI([]string{"-merge", "-quick", files[1]}, noStdin(), &bytes.Buffer{}, &stderr); code != 1 || !strings.Contains(stderr.String(), "missing trials") {
 		t.Errorf("missing shard merge exited %d, stderr %q", code, stderr.String())
 	}
 }
 
-// TestShardedOverheadEndToEnd: overhead experiments now shard like
+// TestShardedOverheadEndToEnd: overhead experiments shard like
 // campaigns — two shards of fig3.16 merge to the unsharded bytes.
 func TestShardedOverheadEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	var unsharded, stderr bytes.Buffer
-	if code := run([]string{"-exp", "fig3.16", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
+	if code := runCLI([]string{"-exp", "fig3.16", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
 		t.Fatalf("unsharded run failed: %s", stderr.String())
 	}
 	for i := 0; i < 2; i++ {
 		f := filepath.Join(dir, "ov"+string(rune('0'+i))+".json")
 		stderr.Reset()
-		if code := run([]string{"-exp", "fig3.16", "-quick", "-shard", string(rune('0'+i)) + "/2", "-out", f}, noStdin(), &bytes.Buffer{}, &stderr); code != 0 {
+		if code := runCLI([]string{"-exp", "fig3.16", "-quick", "-shard", string(rune('0'+i)) + "/2", "-out", f}, noStdin(), &bytes.Buffer{}, &stderr); code != 0 {
 			t.Fatalf("overhead shard %d failed: %s", i, stderr.String())
 		}
 	}
 	var merged bytes.Buffer
 	stderr.Reset()
-	if code := run([]string{"-merge", "-quick", dir}, noStdin(), &merged, &stderr); code != 0 {
+	if code := runCLI([]string{"-merge", "-quick", dir}, noStdin(), &merged, &stderr); code != 0 {
 		t.Fatalf("overhead merge failed: %s", stderr.String())
 	}
 	if !bytes.Equal(unsharded.Bytes(), merged.Bytes()) {
@@ -168,12 +178,12 @@ func TestShardedOverheadEndToEnd(t *testing.T) {
 // plain unsharded run.
 func TestCoordinatorEndToEnd(t *testing.T) {
 	var unsharded, stderr bytes.Buffer
-	if code := run([]string{"-exp", "fig3.7", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
+	if code := runCLI([]string{"-exp", "fig3.7", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
 		t.Fatalf("unsharded run failed: %s", stderr.String())
 	}
 	var coordinated bytes.Buffer
 	stderr.Reset()
-	if code := run([]string{"-exp", "fig3.7", "-quick", "-coord", "3"}, noStdin(), &coordinated, &stderr); code != 0 {
+	if code := runCLI([]string{"-exp", "fig3.7", "-quick", "-coord", "3"}, noStdin(), &coordinated, &stderr); code != 0 {
 		t.Fatalf("coordinated run failed: %s", stderr.String())
 	}
 	if !bytes.Equal(unsharded.Bytes(), coordinated.Bytes()) {
@@ -182,14 +192,77 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSpecFileEndToEnd is the -spec round trip at the CLI surface:
+// -dump-spec writes the canonical JSON of the flag-described experiment,
+// and running that file back produces a byte-identical report with no
+// declarative flags on the command line at all.
+func TestSpecFileEndToEnd(t *testing.T) {
+	var specJSON, stderr bytes.Buffer
+	if code := runCLI([]string{"-exp", "fig3.16", "-quick", "-dump-spec"}, noStdin(), &specJSON, &stderr); code != 0 {
+		t.Fatalf("-dump-spec failed: %s", stderr.String())
+	}
+	if !strings.Contains(specJSON.String(), `"kind":"experiment"`) {
+		t.Fatalf("-dump-spec wrote no spec: %s", specJSON.String())
+	}
+	path := filepath.Join(t.TempDir(), "fig3.16.json")
+	if err := os.WriteFile(path, specJSON.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var flagDriven bytes.Buffer
+	stderr.Reset()
+	if code := runCLI([]string{"-exp", "fig3.16", "-quick"}, noStdin(), &flagDriven, &stderr); code != 0 {
+		t.Fatalf("flag-driven run failed: %s", stderr.String())
+	}
+	var specDriven bytes.Buffer
+	stderr.Reset()
+	if code := runCLI([]string{"-spec", path}, noStdin(), &specDriven, &stderr); code != 0 {
+		t.Fatalf("spec-driven run failed: %s", stderr.String())
+	}
+	if !bytes.Equal(flagDriven.Bytes(), specDriven.Bytes()) {
+		t.Errorf("-spec run differs from the flag-driven run:\n--- flags ---\n%s\n--- spec ---\n%s",
+			flagDriven.String(), specDriven.String())
+	}
+}
+
+// TestProgressGoesToStderr: -progress must never pollute the stdout
+// report stream — stdout stays byte-identical with and without it, and
+// the progress lines land on stderr.
+func TestProgressGoesToStderr(t *testing.T) {
+	var quiet, stderr bytes.Buffer
+	if code := runCLI([]string{"-exp", "fig3.16", "-quick"}, noStdin(), &quiet, &stderr); code != 0 {
+		t.Fatalf("run failed: %s", stderr.String())
+	}
+	var noisy, progressErr bytes.Buffer
+	if code := runCLI([]string{"-exp", "fig3.16", "-quick", "-progress"}, noStdin(), &noisy, &progressErr); code != 0 {
+		t.Fatalf("-progress run failed: %s", progressErr.String())
+	}
+	if !bytes.Equal(quiet.Bytes(), noisy.Bytes()) {
+		t.Errorf("-progress polluted stdout:\n--- without ---\n%s\n--- with ---\n%s", quiet.String(), noisy.String())
+	}
+	if !strings.Contains(progressErr.String(), "trials") {
+		t.Errorf("-progress wrote nothing to stderr: %q", progressErr.String())
+	}
+	// The same purity holds for a shard writing its partial to stdout
+	// (-out -): the pipeline output must decode as pure JSON.
+	var shardOut, shardErr bytes.Buffer
+	if code := runCLI([]string{"-exp", "fig3.16", "-quick", "-shard", "0/2", "-out", "-", "-progress"}, noStdin(), &shardOut, &shardErr); code != 0 {
+		t.Fatalf("shard -out - failed: %s", shardErr.String())
+	}
+	if !strings.HasPrefix(shardOut.String(), "{") || !strings.Contains(shardOut.String(), `"fingerprint"`) {
+		t.Errorf("shard stdout is not a pure JSON partial: %q", shardOut.String())
+	}
+}
+
 // TestWorkerModeServes speaks the JSON-lines protocol to -worker mode
-// directly: two assignments in (the second reusing the first's warm
-// module cache), two completions with embedded experiment partials out.
+// directly: the assignments carry the Spec (argv holds no experiment
+// description), and each completion embeds the shard's partial.
 func TestWorkerModeServes(t *testing.T) {
+	spec := `{"kind":"experiment","exp":"fig3.7","quick":true}`
 	stdin := strings.NewReader(
-		`{"shard":{"index":0,"count":2}}` + "\n" + `{"shard":{"index":1,"count":2}}` + "\n")
+		`{"spec":` + spec + `,"shard":{"index":0,"count":2}}` + "\n" +
+			`{"spec":` + spec + `,"shard":{"index":1,"count":2}}` + "\n")
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-worker", "-exp", "fig3.7", "-quick"}, stdin, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-worker"}, stdin, &stdout, &stderr); code != 0 {
 		t.Fatalf("worker mode exited %d: %s", code, stderr.String())
 	}
 	out := stdout.String()
@@ -201,5 +274,35 @@ func TestWorkerModeServes(t *testing.T) {
 	}
 	if strings.Contains(out, `"error"`) {
 		t.Errorf("worker reported an error:\n%s", out)
+	}
+	// A bad spec in an assignment is an in-band shard error, not a dead
+	// worker: the process answers and stays in the loop.
+	stdin = strings.NewReader(`{"spec":{"kind":"banana"},"shard":{"index":0,"count":1}}` + "\n")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-worker"}, stdin, &stdout, &stderr); code != 0 {
+		t.Fatalf("worker mode exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"error"`) {
+		t.Errorf("bad spec not answered in-band:\n%s", stdout.String())
+	}
+}
+
+// TestSpecKindMismatchNamed: a campaign-kind spec fed to dpmr-exp is a
+// usage error naming both kinds, not a bare usage dump.
+func TestSpecKindMismatchNamed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.json")
+	spec := `{"kind":"campaign","workloads":["art"],"variants":[{}],"inject":"immediate-free"}` + "\n"
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-spec", path},
+		{"-spec", path, "-shard", "0/2"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := runCLI(args, noStdin(), &stdout, &stderr); code != 2 || !strings.Contains(stderr.String(), `got kind "campaign"`) {
+			t.Errorf("run(%v) = %d, stderr %q; want 2 naming the kind", args, code, stderr.String())
+		}
 	}
 }

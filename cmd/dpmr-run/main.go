@@ -11,6 +11,14 @@
 //	dpmr-run -workload bzip2 -dpmr -inject immediate-free -site 0
 //	dpmr-run -workload mcf -dpmr -campaign -inject immediate-free -parallel 8
 //
+// A campaign's declarative flags (-workload, -dpmr, -design, -diversity,
+// -policy, -inject, -runs) assemble a harness.Spec; -dump-spec prints
+// its canonical JSON and -spec runs a campaign from such a file instead
+// of the flags, byte-identical to the flag-driven run:
+//
+//	dpmr-run -campaign -dump-spec -workload mcf -inject immediate-free > c.json
+//	dpmr-run -campaign -spec c.json
+//
 // Campaigns shard across processes: each shard runs a contiguous slice
 // of the canonical trial plan and writes a partial result, and -merge
 // reassembles the summary exactly as a single-process run would compute
@@ -24,8 +32,9 @@
 // With -coord the sharding runs under a supervising coordinator: the
 // plan is cut into -coord-shards slices, leased to a worker fleet
 // (in-process goroutines, or spawned `dpmr-run -worker` processes with
-// -coord-spawn streaming partials over JSON-lines stdio), stragglers
-// and crashes are retried, and the merged summary prints in one command:
+// -coord-spawn), stragglers and crashes are retried, and the merged
+// summary prints in one command. Every coord.Assignment carries the
+// Spec, so a worker process's argv holds only execution policy:
 //
 //	dpmr-run -workload mcf -campaign -inject immediate-free -coord 4
 package main
@@ -37,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 
 	"dpmr/internal/coord"
@@ -51,18 +61,20 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+	// Interrupts cancel the context: a mid-campaign Ctrl-C stops
+	// dispatch, drains in-flight trials, and exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dpmr-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		workload  = fs.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
 		useDPMR   = fs.Bool("dpmr", false, "apply the DPMR transformation")
-		design    = fs.String("design", "sds", "DPMR design: sds or mds")
-		diversity = fs.String("diversity", "no-diversity", "diversity transformation")
-		policy    = fs.String("policy", "all loads", "state comparison policy")
 		inject    = fs.String("inject", "", "fault to inject: heap-array-resize or immediate-free")
 		site      = fs.Int("site", 0, "allocation site id for the injection")
 		seed      = fs.Int64("seed", 1, "VM seed (diversity randomness)")
@@ -70,6 +82,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		listSites = fs.Bool("sites", false, "list injectable allocation sites and exit")
 		showIR    = fs.Bool("dump-ir", false, "print the module IR instead of running")
 		campaign  = fs.Bool("campaign", false, "run the full sites × runs injection campaign for this workload/variant")
+		specFile  = fs.String("spec", "", "run the campaign described by this JSON spec file instead of the declarative flags (with -campaign)")
+		dumpSpec  = fs.Bool("dump-spec", false, "print the campaign's canonical JSON spec and exit (the -spec file format; with -campaign)")
 		parallel  = fs.Int("parallel", 1, "campaign worker goroutines (with -campaign)")
 		runs      = fs.Int("runs", 2, "runs per injection site (with -campaign)")
 		progress  = fs.Bool("progress", false, "report campaign progress and module-cache residency on stderr (with -campaign)")
@@ -79,8 +93,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		merge     = fs.Bool("merge", false, "merge campaign partial-result files (the positional arguments; with -campaign)")
 		compile   = fs.Bool("compile", true, "execute as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
 	)
+	var vf harness.VariantFlags
+	vf.Register(fs)
 	var cf coord.CLIFlags
-	cf.Register(fs, "campaign", "worker mode: serve campaign shard assignments from stdin (JSON lines; normally spawned by a coordinator)")
+	cf.Register(fs, "campaign", "worker mode: serve shard assignments from stdin (JSON lines carrying the spec; normally spawned by a coordinator)")
 	var pf prof.Flags
 	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -117,7 +133,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if !*campaign {
+	if !*campaign && !cf.Worker {
 		if *shard != "" {
 			return fail(fmt.Errorf("-shard requires -campaign"))
 		}
@@ -127,8 +143,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if cf.Enabled() {
 			return fail(fmt.Errorf("-coord requires -campaign"))
 		}
-		if cf.Worker {
-			return fail(fmt.Errorf("-worker requires -campaign"))
+		if *specFile != "" || *dumpSpec {
+			return fail(fmt.Errorf("-spec and -dump-spec require -campaign"))
+		}
+	}
+	if cf.Worker {
+		// A worker serves whatever Spec each assignment carries; pinning
+		// it to one campaign — or combining it with another mode — would
+		// only invite drift.
+		for flag, on := range map[string]bool{
+			"-campaign": *campaign, "-merge": *merge, "-shard": *shard != "",
+			"-coord": cf.Enabled(), "-spec": *specFile != "",
+		} {
+			if on {
+				return fail(fmt.Errorf("%s and -worker are mutually exclusive (assignments carry the spec)", flag))
+			}
 		}
 	}
 	if *outPath != "" && *shard == "" {
@@ -141,9 +170,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// before profiling starts, so a usage error cannot truncate an
 	// existing profile file: -cpuprofile is only created once the
 	// invocation is known-valid.
-	if *campaign && injectKind == 0 {
-		return fail(fmt.Errorf("-campaign requires -inject heap-array-resize or immediate-free"))
-	}
 	var shardSpec harness.ShardSpec
 	if *shard != "" {
 		spec, err := harness.ParseShard(*shard)
@@ -154,20 +180,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	variant := harness.Stdapp()
 	if *useDPMR {
-		d := dpmr.SDS
-		if *design == "mds" {
-			d = dpmr.MDS
-		}
-		div, err := dpmr.DiversityByName(*diversity)
+		variant, err = vf.Variant()
 		if err != nil {
 			return fail(err)
 		}
-		pol, err := dpmr.PolicyByName(*policy)
-		if err != nil {
-			return fail(err)
-		}
-		variant = harness.NewVariant(d, div, pol)
 	}
+	var spec harness.Spec
 	if *campaign {
 		// The campaign engine drives every site with per-run seeds; the
 		// single-run-only flags would be silently ignored, so refuse them.
@@ -184,16 +202,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(conflict)
 		}
 		modes := 0
-		for _, on := range []bool{*merge, *shard != "", cf.Enabled(), cf.Worker} {
+		for _, on := range []bool{*merge, *shard != "", cf.Enabled()} {
 			if on {
 				modes++
 			}
 		}
 		if modes > 1 {
-			return fail(fmt.Errorf("-merge, -shard, -coord, and -worker are mutually exclusive"))
+			return fail(fmt.Errorf("-merge, -shard, and -coord are mutually exclusive"))
 		}
 		if *merge && len(fs.Args()) == 0 {
 			return fail(fmt.Errorf("-merge needs the partial-result files as arguments"))
+		}
+		if *specFile == "" && injectKind == 0 {
+			return fail(fmt.Errorf("-campaign requires -inject heap-array-resize or immediate-free (or a -spec file)"))
+		}
+		// The declarative flags assemble the Spec; -spec replaces them
+		// (mixing the two is refused inside ParseSpecFlags).
+		base := harness.CampaignSpec(injectKind, []workloads.Workload{w}, []harness.Variant{variant})
+		base.Runs = *runs
+		spec, err = harness.ParseSpecFlags(fs, *specFile, base,
+			"workload", "dpmr", "design", "diversity", "policy", "inject", "runs")
+		if err != nil {
+			return fail(err)
+		}
+		if spec.Kind != harness.SpecCampaign {
+			return fail(fmt.Errorf("-spec %s: dpmr-run runs campaign specs, got kind %q (use dpmr-exp for experiments)", *specFile, spec.Kind))
+		}
+		if *dumpSpec {
+			if err := spec.Encode(stdout); err != nil {
+				return execFail(stderr, err)
+			}
+			return 0
 		}
 	}
 	profStop, perr := pf.Start()
@@ -210,15 +249,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}()
 
+	if cf.Worker {
+		// One Runner for the worker's lifetime: shards of the same plan
+		// leased to this worker reuse its module and golden caches. The
+		// spec arrives with each assignment — argv carries none of it.
+		workerOpts := harness.Options{Parallel: *parallel, Evict: *evict, Reference: !*compile,
+			Runner: harness.NewRunner()}
+		err := coord.Serve(stdin, stdout, func(spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
+			return harness.ShardPayload(ctx, spec, shard, workerOpts)
+		})
+		if err != nil {
+			return execFail(stderr, err)
+		}
+		return 0
+	}
 	if *campaign {
-		return runCampaign(campaignArgs{
-			w: w, useDPMR: *useDPMR, design: *design, diversity: *diversity, policy: *policy,
-			variant: variant,
-			kind:    injectKind, injectName: *inject, parallel: *parallel, runs: *runs,
+		return runCampaign(ctx, campaignArgs{
+			spec: spec, parallel: *parallel,
 			progress: *progress, evict: *evict, compile: *compile,
-			shard: *shard, shardSpec: shardSpec, outPath: *outPath, merge: *merge, mergeFiles: fs.Args(),
+			shardSpec: shardSpec, sharded: *shard != "", outPath: *outPath,
+			merge: *merge, mergeFiles: fs.Args(),
 			coordFlags: cf,
-			stdin:      stdin, stdout: stdout, stderr: stderr,
+			stdout:     stdout, stderr: stderr,
 		})
 	}
 
@@ -291,23 +343,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// campaignArgs bundles the -campaign mode's flag values.
+// campaignArgs bundles the -campaign mode's resolved inputs: the
+// declarative Spec plus the execution-policy flag values.
 type campaignArgs struct {
-	w                         workloads.Workload
-	useDPMR                   bool
-	design, diversity, policy string
-	variant                   harness.Variant
-	kind                      faultinject.Kind
-	injectName                string
-	parallel, runs            int
-	progress, evict, merge    bool
-	compile                   bool
-	shard, outPath            string
-	shardSpec                 harness.ShardSpec
-	mergeFiles                []string
-	coordFlags                coord.CLIFlags
-	stdin                     io.Reader
-	stdout, stderr            io.Writer
+	spec                   harness.Spec
+	parallel               int
+	progress, evict, merge bool
+	compile                bool
+	sharded                bool
+	shardSpec              harness.ShardSpec
+	outPath                string
+	mergeFiles             []string
+	coordFlags             coord.CLIFlags
+	stdout, stderr         io.Writer
+}
+
+// sessionOptions is the campaign's execution policy as Session options.
+func (a campaignArgs) sessionOptions() []harness.Option {
+	return []harness.Option{
+		harness.WithParallel(a.parallel),
+		harness.WithEviction(a.evict),
+		harness.WithReference(!a.compile),
+	}
 }
 
 // usageFail reports command-line misuse (bad flags, names, or flag
@@ -324,65 +381,43 @@ func execFail(stderr io.Writer, err error) int {
 	return 1
 }
 
-// runCampaign executes the sites × runs injection grid for one workload
-// and one variant on the parallel campaign engine — whole, as one shard
-// writing a partial result, merging shard partials, or scheduled on a
-// coordinator fleet — and prints the coverage summary.
-func runCampaign(a campaignArgs) int {
-	runFail := func(err error) int { return execFail(a.stderr, err) }
-	// run() validated the flag set and parsed the variant and shard spec
-	// before profiling started; a carries the parsed values.
-	variant := a.variant
-	r := harness.NewRunner()
-	r.Runs = a.runs
-	r.Parallel = a.parallel
-	r.EvictModules = a.evict
-	r.Compile = a.compile
+// runSession starts a streaming Session for the campaign, renders its
+// event stream to stderr when -progress is on (via the renderer the
+// binaries share), and waits — the context-first path the sharded and
+// unsharded arms share. A nonzero code means the failure was already
+// reported.
+func runSession(ctx context.Context, a campaignArgs, extra ...harness.Option) (harness.Result, int) {
+	s, err := harness.Start(ctx, a.spec, append(a.sessionOptions(), extra...)...)
+	if err != nil {
+		return harness.Result{}, usageFail(a.stderr, err)
+	}
+	var sink func(harness.Event)
 	if a.progress {
-		r.Progress = func(done, total int) {
-			st := r.CacheStats()
-			fmt.Fprintf(a.stderr, "\rcampaign: %d/%d trials (%d modules resident, peak %d, %d evicted)",
-				done, total, st.Resident, st.Peak, st.Evicted)
-			if done == total {
-				fmt.Fprintln(a.stderr)
-			}
-		}
+		sink = harness.RenderProgress(a.stderr, "campaign")
 	}
-	cfg := harness.CampaignConfig{
-		Workloads: []workloads.Workload{a.w},
-		Variants:  []harness.Variant{variant},
-		Kind:      a.kind,
+	res, err := s.Drain(sink)
+	if err != nil {
+		return harness.Result{}, execFail(a.stderr, err)
 	}
+	return res, 0
+}
+
+// runCampaign executes the campaign Spec on the streaming Session API —
+// whole, as one shard writing a partial result, merging shard partials,
+// or scheduled on a coordinator fleet — and prints the coverage summary.
+func runCampaign(ctx context.Context, a campaignArgs) int {
+	runFail := func(err error) int { return execFail(a.stderr, err) }
 
 	switch {
-	case a.coordFlags.Worker:
-		// Serve shard assignments from the coordinator over stdio. The
-		// Runner persists across assignments, so shards of the same plan
-		// leased to this worker reuse its module cache.
-		err := coord.Serve(a.stdin, a.stdout, func(shard harness.ShardSpec) ([]byte, error) {
-			r.Shard = shard
-			p, err := r.RunCampaignPartial(cfg)
-			if err != nil {
-				return nil, err
-			}
-			var buf bytes.Buffer
-			if err := p.Encode(&buf); err != nil {
-				return nil, err
-			}
-			return buf.Bytes(), nil
-		})
-		if err != nil {
-			return runFail(err)
-		}
-		return 0
 	case a.coordFlags.Enabled():
-		return runCoordinatedCampaign(a, r, cfg, variant)
-	case a.shard != "":
-		r.Shard = a.shardSpec
-		p, err := r.RunCampaignPartial(cfg)
-		if err != nil {
-			return runFail(err)
+		return runCoordinatedCampaign(ctx, a)
+	case a.sharded:
+		res, code := runSession(ctx, a, harness.WithShard(a.shardSpec))
+		if code != 0 {
+			return code
 		}
+		p := res.CampaignPartial
+		var err error
 		out := a.stdout
 		var f *os.File
 		if a.outPath != "" && a.outPath != "-" {
@@ -421,64 +456,58 @@ func runCampaign(a campaignArgs) int {
 			}
 			parts[i] = p
 		}
-		cr, err := r.MergeCampaign(cfg, parts)
+		r := harness.NewRunner()
+		r.Parallel = a.parallel
+		cr, err := r.MergeCampaign(a.spec, parts)
 		if err != nil {
 			return runFail(err)
 		}
-		printCampaignSummary(a.stdout, a.w, a.kind, variant, fmt.Sprintf("%d shards", len(parts)), cr)
+		printCampaignSummary(a.stdout, fmt.Sprintf("%d shards", len(parts)), cr)
 		return 0
 	}
 
-	cr, err := r.RunCampaign(cfg)
-	if err != nil {
-		return runFail(err)
+	res, code := runSession(ctx, a)
+	if code != 0 {
+		return code
 	}
-	printCampaignSummary(a.stdout, a.w, a.kind, variant, fmt.Sprintf("%d workers", a.parallel), cr)
-	st := r.CacheStats()
-	fmt.Fprintf(a.stdout, "modules:    %d built, peak %d resident, %d evicted\n", st.Builds, st.Peak, st.Evicted)
+	printCampaignSummary(a.stdout, fmt.Sprintf("%d workers", a.parallel), res.Campaign)
+	fmt.Fprintf(a.stdout, "modules:    %d built, peak %d resident, %d evicted\n",
+		res.Stats.Builds, res.Stats.Peak, res.Stats.Evicted)
 	return 0
 }
 
 // runCoordinatedCampaign schedules the campaign's shards on a worker
 // fleet — in-process goroutines or spawned `dpmr-run -worker` processes —
 // merges the streamed partials, and prints the same summary an unsharded
-// run computes.
-func runCoordinatedCampaign(a campaignArgs, r *harness.Runner, cfg harness.CampaignConfig, variant harness.Variant) int {
+// run computes. The Spec rides in every assignment.
+func runCoordinatedCampaign(ctx context.Context, a campaignArgs) int {
 	runFail := func(err error) int { return execFail(a.stderr, err) }
 	cf := a.coordFlags
+	workerOpts := harness.Options{Parallel: a.parallel, Evict: a.evict, Reference: !a.compile}
 	fleet := coord.FleetOptions{
+		Spec:    a.spec,
 		Workers: cf.Workers, Shards: cf.Shards, Lease: cf.Lease,
 		Chaos: cf.Chaos, Stderr: a.stderr,
-		// In-process workers run concurrently, so each assignment gets
-		// its own Runner (the coordinator's Runner r is reserved for the
-		// final merge).
-		Local: func(_ context.Context, shard harness.ShardSpec) ([]byte, error) {
-			wr := harness.NewRunner()
-			wr.Runs = a.runs
-			wr.Parallel = a.parallel
-			wr.EvictModules = a.evict
-			wr.Compile = a.compile
-			wr.Shard = shard
-			p, err := wr.RunCampaignPartial(cfg)
-			if err != nil {
-				return nil, err
-			}
-			var buf bytes.Buffer
-			if err := p.Encode(&buf); err != nil {
-				return nil, err
-			}
-			return buf.Bytes(), nil
+		// In-process workers run concurrently, so each assignment gets a
+		// fresh Runner (ShardPayload with no Options.Runner).
+		Local: func(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
+			return harness.ShardPayload(ctx, spec, shard, workerOpts)
 		},
 	}
 	if cf.Spawn {
-		fleet.SpawnArgv = campaignWorkerArgv(a)
+		fleet.SpawnArgv = []string{
+			"-worker",
+			"-parallel", strconv.Itoa(a.parallel),
+			"-evict=" + strconv.FormatBool(a.evict),
+			"-compile=" + strconv.FormatBool(a.compile),
+		}
 	}
 	if a.progress {
 		fleet.Log = func(format string, args ...any) {
 			fmt.Fprintf(a.stderr, "coord: "+format+"\n", args...)
 		}
 	}
-	payloads, err := coord.RunFleet(context.Background(), fleet)
+	payloads, err := coord.RunFleet(ctx, fleet)
 	if err != nil {
 		return runFail(err)
 	}
@@ -490,42 +519,32 @@ func runCoordinatedCampaign(a campaignArgs, r *harness.Runner, cfg harness.Campa
 		}
 		parts[i] = p
 	}
-	cr, err := r.MergeCampaign(cfg, parts)
+	r := harness.NewRunner()
+	r.Parallel = a.parallel
+	cr, err := r.MergeCampaign(a.spec, parts)
 	if err != nil {
 		return runFail(err)
 	}
-	printCampaignSummary(a.stdout, a.w, a.kind, variant,
+	printCampaignSummary(a.stdout,
 		fmt.Sprintf("%d shards via %d workers", len(payloads), cf.Workers), cr)
 	return 0
 }
 
-// campaignWorkerArgv reconstructs the flag line a spawned `dpmr-run
-// -worker` needs to recompute the coordinator's exact campaign plan; any
-// divergence is caught downstream by the plan fingerprint.
-func campaignWorkerArgv(a campaignArgs) []string {
-	argv := []string{
-		"-worker", "-campaign",
-		"-workload", a.w.Name,
-		"-inject", a.injectName,
-		"-runs", strconv.Itoa(a.runs),
-		"-parallel", strconv.Itoa(a.parallel),
-		"-evict=" + strconv.FormatBool(a.evict),
-		"-compile=" + strconv.FormatBool(a.compile),
-	}
-	if a.useDPMR {
-		argv = append(argv, "-dpmr", "-design", a.design, "-diversity", a.diversity, "-policy", a.policy)
-	}
-	return argv
-}
-
-func printCampaignSummary(w io.Writer, wl workloads.Workload, kind faultinject.Kind,
-	variant harness.Variant, how string, cr *harness.CampaignResult) {
-	c := cr.Cell(variant, wl.Name)
-	fmt.Fprintf(w, "campaign: %s %s variant %s, %s\n", wl.Name, kind, variant.Label(), how)
-	fmt.Fprintf(w, "injections: %d successful\n", c.N)
-	fmt.Fprintf(w, "coverage:   CO %.2f + NatDet %.2f + DpmrDet %.2f = %.2f\n",
-		c.CO, c.NatDet, c.DpmrDet, c.Coverage())
-	if c.MeanT2DMS > 0 {
-		fmt.Fprintf(w, "latency:    mean time to detection %.3f ms\n", c.MeanT2DMS)
+// printCampaignSummary prints one coverage block per (workload, variant)
+// cell of the result — for the flag-driven single-workload,
+// single-variant campaign that is exactly one block, identical to what
+// the pre-Spec engine printed.
+func printCampaignSummary(w io.Writer, how string, cr *harness.CampaignResult) {
+	for _, variant := range cr.Variants {
+		for _, wname := range cr.Workloads {
+			c := cr.Cell(variant, wname)
+			fmt.Fprintf(w, "campaign: %s %s variant %s, %s\n", wname, cr.Kind, variant.Label(), how)
+			fmt.Fprintf(w, "injections: %d successful\n", c.N)
+			fmt.Fprintf(w, "coverage:   CO %.2f + NatDet %.2f + DpmrDet %.2f = %.2f\n",
+				c.CO, c.NatDet, c.DpmrDet, c.Coverage())
+			if c.MeanT2DMS > 0 {
+				fmt.Fprintf(w, "latency:    mean time to detection %.3f ms\n", c.MeanT2DMS)
+			}
+		}
 	}
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -9,6 +11,10 @@ import (
 
 // noStdin stands in for an unused worker-protocol stream.
 func noStdin() *strings.Reader { return strings.NewReader("") }
+
+func runCLI(args []string, stdin *strings.Reader, stdout, stderr *bytes.Buffer) int {
+	return run(context.Background(), args, stdin, stdout, stderr)
+}
 
 // TestRunFlagValidation is the table-driven flag/validation contract of
 // the dpmr-run CLI: command-line misuse exits 2 and run failures exit 1
@@ -30,11 +36,17 @@ func TestRunFlagValidation(t *testing.T) {
 		{"shard without campaign", []string{"-shard", "0/2"}, 2, "-shard requires -campaign"},
 		{"merge without campaign", []string{"-merge"}, 2, "-merge requires -campaign"},
 		{"coord without campaign", []string{"-coord", "2"}, 2, "-coord requires -campaign"},
-		{"worker without campaign", []string{"-worker"}, 2, "-worker requires -campaign"},
+		{"worker with campaign", []string{"-worker", "-campaign", "-inject", "immediate-free"}, 2, "mutually exclusive"},
+		{"worker with spec", []string{"-worker", "-spec", "/nonexistent/c.json"}, 2, "mutually exclusive"},
+		{"spec without campaign", []string{"-spec", "/nonexistent/c.json"}, 2, "-spec and -dump-spec require -campaign"},
+		{"dump-spec without campaign", []string{"-dump-spec"}, 2, "-spec and -dump-spec require -campaign"},
+		{"spec missing file", []string{"-campaign", "-spec", "/nonexistent/c.json"}, 2, "no such file"},
+		{"spec with inject flag", []string{"-campaign", "-spec", "/nonexistent/c.json", "-inject", "immediate-free"}, 2, "mutually exclusive"},
 		{"out without shard", []string{"-campaign", "-inject", "immediate-free", "-out", "x.json"}, 2, "-out requires -shard"},
 		{"merge with shard", []string{"-campaign", "-inject", "immediate-free", "-merge", "-shard", "0/2", "x.json"}, 2, "mutually exclusive"},
 		{"coord with shard", []string{"-campaign", "-inject", "immediate-free", "-coord", "2", "-shard", "0/2"}, 2, "mutually exclusive"},
 		{"coord with worker", []string{"-campaign", "-inject", "immediate-free", "-coord", "2", "-worker"}, 2, "mutually exclusive"},
+		{"zero coord lease", []string{"-campaign", "-inject", "immediate-free", "-coord", "2", "-coord-lease", "0s"}, 2, "must be positive"},
 		{"negative coord", []string{"-campaign", "-inject", "immediate-free", "-coord", "-2"}, 2, "at least 1 worker"},
 		{"coord shards below workers", []string{"-campaign", "-inject", "immediate-free", "-coord", "4", "-coord-shards", "2"}, 2, "at least as fine"},
 		{"coord-shards without coord", []string{"-campaign", "-inject", "immediate-free", "-coord-shards", "4"}, 2, "-coord-shards requires -coord"},
@@ -51,7 +63,7 @@ func TestRunFlagValidation(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			code := run(tc.args, noStdin(), &stdout, &stderr)
+			code := runCLI(tc.args, noStdin(), &stdout, &stderr)
 			if code != tc.wantCode {
 				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
 			}
@@ -83,21 +95,21 @@ func TestCampaignShardMergeEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
 	var direct, stderr bytes.Buffer
-	if code := run(base, noStdin(), &direct, &stderr); code != 0 {
+	if code := runCLI(base, noStdin(), &direct, &stderr); code != 0 {
 		t.Fatalf("direct campaign failed: %s", stderr.String())
 	}
 	files := []string{filepath.Join(dir, "p0.json"), filepath.Join(dir, "p1.json")}
 	for i, f := range files {
 		stderr.Reset()
 		args := append(append([]string{}, base...), "-shard", string(rune('0'+i))+"/2", "-out", f)
-		if code := run(args, noStdin(), &bytes.Buffer{}, &stderr); code != 0 {
+		if code := runCLI(args, noStdin(), &bytes.Buffer{}, &stderr); code != 0 {
 			t.Fatalf("shard %d failed: %s", i, stderr.String())
 		}
 	}
 	var merged bytes.Buffer
 	stderr.Reset()
 	args := append(append([]string{}, base...), "-merge", files[1], files[0])
-	if code := run(args, noStdin(), &merged, &stderr); code != 0 {
+	if code := runCLI(args, noStdin(), &merged, &stderr); code != 0 {
 		t.Fatalf("merge failed: %s", stderr.String())
 	}
 	if trimExecutionLocal(direct.String()) != trimExecutionLocal(merged.String()) {
@@ -107,7 +119,7 @@ func TestCampaignShardMergeEndToEnd(t *testing.T) {
 	// A stale partial merged against different -runs is a different plan.
 	stderr.Reset()
 	args = []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "2", "-merge", files[0], files[1]}
-	if code := run(args, noStdin(), &bytes.Buffer{}, &stderr); code != 1 || !strings.Contains(stderr.String(), "fingerprint") {
+	if code := runCLI(args, noStdin(), &bytes.Buffer{}, &stderr); code != 1 || !strings.Contains(stderr.String(), "fingerprint") {
 		t.Errorf("foreign-plan merge exited %d, stderr %q", code, stderr.String())
 	}
 }
@@ -118,13 +130,13 @@ func TestCampaignShardMergeEndToEnd(t *testing.T) {
 func TestCampaignCoordinatorEndToEnd(t *testing.T) {
 	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
 	var direct, stderr bytes.Buffer
-	if code := run(base, noStdin(), &direct, &stderr); code != 0 {
+	if code := runCLI(base, noStdin(), &direct, &stderr); code != 0 {
 		t.Fatalf("direct campaign failed: %s", stderr.String())
 	}
 	var coordinated bytes.Buffer
 	stderr.Reset()
 	args := append(append([]string{}, base...), "-coord", "2", "-coord-shards", "3")
-	if code := run(args, noStdin(), &coordinated, &stderr); code != 0 {
+	if code := runCLI(args, noStdin(), &coordinated, &stderr); code != 0 {
 		t.Fatalf("coordinated campaign failed: %s", stderr.String())
 	}
 	if trimExecutionLocal(direct.String()) != trimExecutionLocal(coordinated.String()) {
@@ -137,14 +149,17 @@ func TestCampaignCoordinatorEndToEnd(t *testing.T) {
 }
 
 // TestCampaignWorkerModeServes speaks the JSON-lines protocol to -worker
-// mode directly: two assignments in, two completions with embedded
-// campaign partials out, module cache warm across them.
+// mode directly: each assignment carries the campaign Spec (argv holds
+// no experiment description), and the completions embed the campaign
+// partials, module cache warm across them.
 func TestCampaignWorkerModeServes(t *testing.T) {
+	spec := `{"kind":"campaign","workloads":["art"],"variants":[{}],"inject":"immediate-free","runs":1}`
 	stdin := strings.NewReader(
-		`{"shard":{"index":0,"count":2}}` + "\n" + `{"shard":{"index":1,"count":2}}` + "\n")
+		`{"spec":` + spec + `,"shard":{"index":0,"count":2}}` + "\n" +
+			`{"spec":` + spec + `,"shard":{"index":1,"count":2}}` + "\n")
 	var stdout, stderr bytes.Buffer
-	args := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1", "-worker"}
-	if code := run(args, stdin, &stdout, &stderr); code != 0 {
+	args := []string{"-worker"}
+	if code := runCLI(args, stdin, &stdout, &stderr); code != 0 {
 		t.Fatalf("worker mode exited %d: %s", code, stderr.String())
 	}
 	out := stdout.String()
@@ -163,7 +178,7 @@ func TestCompileFlagOutputIdentical(t *testing.T) {
 	runWith := func(extra ...string) string {
 		var stdout, stderr bytes.Buffer
 		args := append([]string{"-workload", "mcf", "-dpmr"}, extra...)
-		if code := run(args, noStdin(), &stdout, &stderr); code != 0 {
+		if code := runCLI(args, noStdin(), &stdout, &stderr); code != 0 {
 			t.Fatalf("run(%v) = %d (stderr: %s)", args, code, stderr.String())
 		}
 		return stdout.String()
@@ -172,5 +187,75 @@ func TestCompileFlagOutputIdentical(t *testing.T) {
 	reference := runWith("-compile=false")
 	if compiled != reference {
 		t.Errorf("compiled and reference single-run outputs differ:\n%s\nvs\n%s", compiled, reference)
+	}
+}
+
+// TestCampaignSpecFileEndToEnd: -dump-spec writes the campaign's
+// canonical JSON, and -spec runs it back with no declarative flags —
+// summary identical to the flag-driven campaign.
+func TestCampaignSpecFileEndToEnd(t *testing.T) {
+	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
+	var specJSON, stderr bytes.Buffer
+	if code := runCLI(append(append([]string{}, base...), "-dump-spec"), noStdin(), &specJSON, &stderr); code != 0 {
+		t.Fatalf("-dump-spec failed: %s", stderr.String())
+	}
+	if !strings.Contains(specJSON.String(), `"kind":"campaign"`) {
+		t.Fatalf("-dump-spec wrote no campaign spec: %s", specJSON.String())
+	}
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := os.WriteFile(path, specJSON.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var flagDriven bytes.Buffer
+	stderr.Reset()
+	if code := runCLI(base, noStdin(), &flagDriven, &stderr); code != 0 {
+		t.Fatalf("flag-driven campaign failed: %s", stderr.String())
+	}
+	var specDriven bytes.Buffer
+	stderr.Reset()
+	if code := runCLI([]string{"-campaign", "-spec", path}, noStdin(), &specDriven, &stderr); code != 0 {
+		t.Fatalf("spec-driven campaign failed: %s", stderr.String())
+	}
+	if flagDriven.String() != specDriven.String() {
+		t.Errorf("-spec campaign differs from flag-driven:\n--- flags ---\n%s\n--- spec ---\n%s",
+			flagDriven.String(), specDriven.String())
+	}
+	// An experiment spec is dpmr-exp's business, named as such.
+	expPath := filepath.Join(t.TempDir(), "exp.json")
+	if err := os.WriteFile(expPath, []byte(`{"kind":"experiment","exp":"fig3.7"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := runCLI([]string{"-campaign", "-spec", expPath}, noStdin(), &bytes.Buffer{}, &stderr); code != 2 || !strings.Contains(stderr.String(), "dpmr-exp") {
+		t.Errorf("experiment spec exited %d, stderr %q", code, stderr.String())
+	}
+}
+
+// TestCampaignProgressGoesToStderr: -progress must never pollute the
+// stdout summary or a shard partial written to stdout.
+func TestCampaignProgressGoesToStderr(t *testing.T) {
+	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
+	var quiet, stderr bytes.Buffer
+	if code := runCLI(base, noStdin(), &quiet, &stderr); code != 0 {
+		t.Fatalf("campaign failed: %s", stderr.String())
+	}
+	var noisy, progressErr bytes.Buffer
+	if code := runCLI(append(append([]string{}, base...), "-progress"), noStdin(), &noisy, &progressErr); code != 0 {
+		t.Fatalf("-progress campaign failed: %s", progressErr.String())
+	}
+	if quiet.String() != noisy.String() {
+		t.Errorf("-progress polluted stdout:\n--- without ---\n%s\n--- with ---\n%s", quiet.String(), noisy.String())
+	}
+	if !strings.Contains(progressErr.String(), "trials") {
+		t.Errorf("-progress wrote nothing to stderr: %q", progressErr.String())
+	}
+	// A shard partial on stdout (-out -) stays pure JSON under -progress.
+	var shardOut, shardErr bytes.Buffer
+	args := append(append([]string{}, base...), "-shard", "0/2", "-out", "-", "-progress")
+	if code := runCLI(args, noStdin(), &shardOut, &shardErr); code != 0 {
+		t.Fatalf("shard -out - failed: %s", shardErr.String())
+	}
+	if !strings.HasPrefix(shardOut.String(), "{") || !strings.Contains(shardOut.String(), `"fingerprint"`) {
+		t.Errorf("shard stdout is not a pure JSON partial: %q", shardOut.String())
 	}
 }

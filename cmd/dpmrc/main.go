@@ -18,6 +18,7 @@ import (
 
 	"dpmr/internal/dpmr"
 	"dpmr/internal/dsa"
+	"dpmr/internal/harness"
 	"dpmr/internal/ir"
 	"dpmr/internal/opt"
 	"dpmr/internal/workloads"
@@ -34,32 +35,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workload  = fs.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
 		inFile    = fs.String("in", "", "read the input module from a textual IR file instead of a workload")
 		outFile   = fs.String("o", "", "write the transformed IR to a file (default stdout)")
-		design    = fs.String("design", "sds", "DPMR design: sds or mds")
-		diversity = fs.String("diversity", "no-diversity", "diversity transformation")
-		policy    = fs.String("policy", "all loads", "state comparison policy")
 		useDSA    = fs.Bool("dsa", false, "use the Chapter 5 DSA-refined pipeline (admits int↔pointer programs)")
 		optimize  = fs.Bool("O", false, "run the post-transform optimizer (Figure 3.4 pipeline stage)")
 		statsOnly = fs.Bool("stats", false, "print before/after statistics only")
 	)
+	// The -design/-diversity/-policy family is shared with dpmr-run, so
+	// names, defaults, and error text cannot drift between the binaries.
+	var vf harness.VariantFlags
+	vf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	div, err := dpmr.DiversityByName(*diversity)
+	v, err := vf.Variant()
 	if err != nil {
 		return fail(stderr, err)
-	}
-	pol, err := dpmr.PolicyByName(*policy)
-	if err != nil {
-		return fail(stderr, err)
-	}
-	var d dpmr.Design
-	switch *design {
-	case "sds":
-		d = dpmr.SDS
-	case "mds":
-		d = dpmr.MDS
-	default:
-		return fail(stderr, fmt.Errorf("unknown design %q: want sds or mds", *design))
 	}
 	var src *ir.Module
 	if *inFile != "" {
@@ -81,7 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		src = w.Build()
 	}
-	cfg := dpmr.Config{Design: d, Diversity: div, Policy: pol}
+	cfg := dpmr.Config{Design: v.Design, Diversity: v.Diversity, Policy: v.Policy}
 	var dst *ir.Module
 	if *useDSA {
 		var res *dsa.Result

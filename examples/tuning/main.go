@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,8 @@ func main() {
 	for _, pol := range dpmr.Policies() {
 		variants = append(variants, harness.NewVariant(dpmr.MDS, dpmr.RearrangeHeap{}, pol))
 	}
-	or, err := r.RunOverhead([]workloads.Workload{w}, variants)
+	or, err := r.RunOverhead(context.Background(),
+		harness.OverheadSpec([]workloads.Workload{w}, variants))
 	if err != nil {
 		log.Fatal(err)
 	}

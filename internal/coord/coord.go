@@ -45,11 +45,11 @@ const chaosKillDelay = 25 * time.Millisecond
 
 // Worker executes shard assignments for a Coordinator.
 type Worker interface {
-	// Run executes one shard of the plan the worker was configured for
-	// and returns the shard's serialized partial result. Run is called
-	// serially per worker; an error means this attempt is lost (the
-	// coordinator reassigns the shard and replaces the worker).
-	Run(ctx context.Context, shard harness.ShardSpec) ([]byte, error)
+	// Run executes one shard of the Spec's canonical plan and returns
+	// the shard's serialized partial result. Run is called serially per
+	// worker; an error means this attempt is lost (the coordinator
+	// reassigns the shard and replaces the worker).
+	Run(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error)
 	// Close releases the worker. For process-backed workers it kills the
 	// process; Close may be called concurrently with Run (failing the
 	// in-flight attempt) and more than once.
@@ -59,11 +59,11 @@ type Worker interface {
 // Func adapts an in-process function to a Worker — the goroutine fleet.
 // The function must be safe for concurrent calls: the same Func may back
 // several fleet slots at once.
-type Func func(ctx context.Context, shard harness.ShardSpec) ([]byte, error)
+type Func func(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error)
 
 // Run implements Worker.
-func (f Func) Run(ctx context.Context, shard harness.ShardSpec) ([]byte, error) {
-	return f(ctx, shard)
+func (f Func) Run(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
+	return f(ctx, spec, shard)
 }
 
 // Close implements Worker; an in-process worker holds nothing.
@@ -71,6 +71,10 @@ func (Func) Close() error { return nil }
 
 // Config parameterizes a Coordinator.
 type Config struct {
+	// Spec is the declarative experiment description every assignment
+	// carries; workers recompute the identical plan (and fingerprint)
+	// from it rather than re-deriving state from their argv.
+	Spec harness.Spec
 	// Shards is M, the number of contiguous plan slices to schedule.
 	// More shards than workers (M ≥ Workers is enforced) keeps the fleet
 	// busy when shards finish unevenly and bounds the work lost to a
@@ -149,9 +153,13 @@ type completion struct {
 }
 
 // FleetOptions is the CLI-shaped fleet description dpmr-exp and dpmr-run
-// share: how many workers and shards, the straggler lease, and whether
-// workers are in-process or spawned processes.
+// share: the Spec to schedule, how many workers and shards, the
+// straggler lease, and whether workers are in-process or spawned
+// processes.
 type FleetOptions struct {
+	// Spec is the declarative experiment description carried by every
+	// shard assignment (see Config.Spec).
+	Spec harness.Spec
 	// Workers is the fleet size; Shards defaults to 2×Workers when 0.
 	Workers, Shards int
 	// Lease is the straggler lease (see Config.Lease).
@@ -193,7 +201,7 @@ func RunFleet(ctx context.Context, o FleetOptions) ([][]byte, error) {
 		spawn = func(int) (Worker, error) { return o.Local, nil }
 	}
 	co, err := New(Config{
-		Shards: shards, Workers: o.Workers, Lease: o.Lease,
+		Spec: o.Spec, Shards: shards, Workers: o.Workers, Lease: o.Lease,
 		Spawn: spawn, Chaos: o.Chaos, Log: o.Log,
 	})
 	if err != nil {
@@ -258,7 +266,7 @@ func (c *Coordinator) Run(ctx context.Context) ([][]byte, error) {
 				time.AfterFunc(chaosKillDelay, func() { _ = w.Close() })
 			}
 			first = false
-			payload, err := w.Run(ctx, harness.ShardSpec{Index: shard, Count: m})
+			payload, err := w.Run(ctx, cfg.Spec, harness.ShardSpec{Index: shard, Count: m})
 			post(completion{shard: shard, payload: payload, err: err})
 			if err != nil {
 				// An in-band shard error came from a live worker: keep

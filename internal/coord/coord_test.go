@@ -20,7 +20,7 @@ func payload(s harness.ShardSpec) []byte {
 	return []byte(fmt.Sprintf(`{"index":%d,"count":%d}`, s.Index, s.Count))
 }
 
-func okWorker(_ context.Context, s harness.ShardSpec) ([]byte, error) {
+func okWorker(_ context.Context, _ harness.Spec, s harness.ShardSpec) ([]byte, error) {
 	return payload(s), nil
 }
 
@@ -57,7 +57,7 @@ func TestCoordinatorRetriesCrashedWorker(t *testing.T) {
 	var spawns int32
 	spawn := func(id int) (coord.Worker, error) {
 		atomic.AddInt32(&spawns, 1)
-		return coord.Func(func(_ context.Context, s harness.ShardSpec) ([]byte, error) {
+		return coord.Func(func(_ context.Context, _ harness.Spec, s harness.ShardSpec) ([]byte, error) {
 			if atomic.AddInt32(&crashes, -1) >= 0 {
 				return nil, errors.New("worker killed mid-shard (injected)")
 			}
@@ -89,7 +89,7 @@ func TestCoordinatorRetriesCrashedWorker(t *testing.T) {
 func TestCoordinatorReassignsStraggler(t *testing.T) {
 	var stalled int32
 	var shard0Attempts int32
-	fn := coord.Func(func(ctx context.Context, s harness.ShardSpec) ([]byte, error) {
+	fn := coord.Func(func(ctx context.Context, _ harness.Spec, s harness.ShardSpec) ([]byte, error) {
 		if s.Index == 0 {
 			atomic.AddInt32(&shard0Attempts, 1)
 			if atomic.CompareAndSwapInt32(&stalled, 0, 1) {
@@ -134,7 +134,7 @@ func TestCoordinatorReassignsStraggler(t *testing.T) {
 // attempt exhausts its budget and Run reports the shard and the last
 // error instead of spinning forever.
 func TestCoordinatorFailsAfterMaxAttempts(t *testing.T) {
-	fn := coord.Func(func(_ context.Context, s harness.ShardSpec) ([]byte, error) {
+	fn := coord.Func(func(_ context.Context, _ harness.Spec, s harness.ShardSpec) ([]byte, error) {
 		if s.Index == 2 {
 			return nil, errors.New("shard 2 is cursed")
 		}
@@ -157,7 +157,7 @@ func TestCoordinatorFailsAfterMaxAttempts(t *testing.T) {
 // hangs without erroring must fail loudly once all MaxAttempts leases
 // have expired — never hang the fleet forever.
 func TestCoordinatorFailsWhenAllAttemptsWedge(t *testing.T) {
-	fn := coord.Func(func(ctx context.Context, s harness.ShardSpec) ([]byte, error) {
+	fn := coord.Func(func(ctx context.Context, _ harness.Spec, s harness.ShardSpec) ([]byte, error) {
 		if s.Index == 1 {
 			<-ctx.Done() // wedged: never completes, never errors
 			return nil, ctx.Err()
@@ -189,7 +189,7 @@ func TestCoordinatorFailsWhenAllAttemptsWedge(t *testing.T) {
 // TestCoordinatorHonorsContextCancel: cancelling the caller's context
 // stops the run promptly even with shards still pending.
 func TestCoordinatorHonorsContextCancel(t *testing.T) {
-	fn := coord.Func(func(ctx context.Context, s harness.ShardSpec) ([]byte, error) {
+	fn := coord.Func(func(ctx context.Context, _ harness.Spec, s harness.ShardSpec) ([]byte, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
@@ -232,13 +232,16 @@ func TestCoordinatorConfigValidation(t *testing.T) {
 }
 
 // TestServeProtocol drives the worker side of the wire protocol
-// directly: assignments in, completions out, run errors in-band.
+// directly: assignments in (each carrying the Spec), completions out,
+// run errors in-band.
 func TestServeProtocol(t *testing.T) {
 	in := strings.NewReader(
-		`{"shard":{"index":0,"count":3}}` + "\n" +
-			`{"shard":{"index":2,"count":3}}` + "\n")
+		`{"spec":{"kind":"campaign"},"shard":{"index":0,"count":3}}` + "\n" +
+			`{"spec":{"kind":"campaign"},"shard":{"index":2,"count":3}}` + "\n")
 	var out strings.Builder
-	err := coord.Serve(in, &out, func(s harness.ShardSpec) ([]byte, error) {
+	var seenKinds []harness.SpecKind
+	err := coord.Serve(in, &out, func(spec harness.Spec, s harness.ShardSpec) ([]byte, error) {
+		seenKinds = append(seenKinds, spec.Kind)
 		if s.Index == 2 {
 			return nil, errors.New("no can do")
 		}
@@ -256,5 +259,35 @@ func TestServeProtocol(t *testing.T) {
 	}
 	if !strings.Contains(lines[1], "no can do") {
 		t.Errorf("completion 1 should carry the in-band error: %s", lines[1])
+	}
+	for i, k := range seenKinds {
+		if k != harness.SpecCampaign {
+			t.Errorf("assignment %d: worker saw spec kind %q, want campaign", i, k)
+		}
+	}
+}
+
+// TestCoordinatorCarriesSpecToWorkers: the Spec in Config rides in every
+// assignment — each Worker.Run observes it verbatim, so a worker never
+// re-derives the experiment from anywhere else.
+func TestCoordinatorCarriesSpecToWorkers(t *testing.T) {
+	want := harness.ExperimentSpec("fig3.7")
+	want.Quick = true
+	var mismatches int32
+	fn := coord.Func(func(_ context.Context, spec harness.Spec, s harness.ShardSpec) ([]byte, error) {
+		if spec.Exp != want.Exp || !spec.Quick || spec.Kind != harness.SpecExperiment {
+			atomic.AddInt32(&mismatches, 1)
+		}
+		return payload(s), nil
+	})
+	co, err := coord.New(coord.Config{Spec: want, Shards: 4, Workers: 2, Spawn: spawnFunc(fn)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&mismatches) != 0 {
+		t.Errorf("%d assignments arrived with a different Spec", mismatches)
 	}
 }

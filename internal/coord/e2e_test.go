@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -19,14 +20,17 @@ import (
 func coordinate(t *testing.T, exp string, cfg coord.Config,
 	inject func(shard harness.ShardSpec, payload []byte) ([]byte, error)) []byte {
 	t.Helper()
-	opts := harness.Options{Quick: true, Evict: true}
-	fn := coord.Func(func(_ context.Context, shard harness.ShardSpec) ([]byte, error) {
-		var buf bytes.Buffer
-		if err := harness.GenerateSharded(exp, shard, &buf, opts); err != nil {
+	opts := harness.Options{Evict: true}
+	// The worker runs whatever Spec its assignment carries — exactly what
+	// a `dpmr-exp -worker` process does via harness.ShardPayload.
+	fn := coord.Func(func(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
+		payload, err := harness.ShardPayload(ctx, spec, shard, opts)
+		if err != nil {
 			return nil, err
 		}
-		return inject(shard, buf.Bytes())
+		return inject(shard, payload)
 	})
+	cfg.Spec = quickSpec(exp)
 	cfg.Spawn = func(int) (coord.Worker, error) { return fn, nil }
 	co, err := coord.New(cfg)
 	if err != nil {
@@ -41,16 +45,22 @@ func coordinate(t *testing.T, exp string, cfg coord.Config,
 		readers[i] = bytes.NewReader(p)
 	}
 	var merged bytes.Buffer
-	if err := harness.GenerateMerged(exp, &merged, readers, opts); err != nil {
+	if err := harness.GenerateMerged(context.Background(), quickSpec(exp), &merged, readers, opts); err != nil {
 		t.Fatal(err)
 	}
 	return merged.Bytes()
 }
 
+func quickSpec(exp string) harness.Spec {
+	s := harness.ExperimentSpec(exp)
+	s.Quick = true
+	return s
+}
+
 func unsharded(t *testing.T, exp string) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := harness.Generate(exp, &buf, harness.Options{Quick: true, Evict: true}); err != nil {
+	if err := harness.Generate(context.Background(), quickSpec(exp), &buf, harness.Options{Evict: true}); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -96,5 +106,72 @@ func TestCoordinatorShardedOverheadByteIdentical(t *testing.T) {
 		})
 	if !bytes.Equal(golden, merged) {
 		t.Errorf("sharded overhead merge differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s", golden, merged)
+	}
+}
+
+// TestCancelledCoordinatorSurvivorsMerge: cancelling a coordinator run
+// mid-flight loses nothing durable — the partials its workers had
+// already streamed merge cleanly with re-runs of the shards the fleet
+// never finished, byte-identical to an unsharded run.
+func TestCancelledCoordinatorSurvivorsMerge(t *testing.T) {
+	const shards = 4
+	const exp = "fig3.16"
+	golden := unsharded(t, exp)
+	opts := harness.Options{Evict: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	survived := map[int][]byte{}
+	fn := coord.Func(func(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
+		p, err := harness.ShardPayload(ctx, spec, shard, opts)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		survived[shard.Index] = p
+		n := len(survived)
+		mu.Unlock()
+		if n == 2 {
+			cancel() // kill the run with half the plan streamed
+		}
+		return p, nil
+	})
+	co, err := coord.New(coord.Config{
+		Spec: quickSpec(exp), Shards: shards, Workers: 2,
+		Spawn: func(int) (coord.Worker, error) { return fn, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	// Run returned, so every worker goroutine has exited: survived is
+	// stable. Recover by re-running only the missing shards.
+	if len(survived) < 2 {
+		t.Fatalf("only %d shards survived the cancelled run", len(survived))
+	}
+	for i := 0; i < shards; i++ {
+		if _, ok := survived[i]; ok {
+			continue
+		}
+		p, err := harness.ShardPayload(context.Background(), quickSpec(exp),
+			harness.ShardSpec{Index: i, Count: shards}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		survived[i] = p
+	}
+	readers := make([]io.Reader, shards)
+	for i := 0; i < shards; i++ {
+		readers[i] = bytes.NewReader(survived[i])
+	}
+	var merged bytes.Buffer
+	if err := harness.GenerateMerged(context.Background(), quickSpec(exp), &merged, readers, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, merged.Bytes()) {
+		t.Errorf("survivor merge differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			golden, merged.String())
 	}
 }

@@ -33,7 +33,7 @@ func (c *CLIFlags) Register(fs *flag.FlagSet, what, workerHelp string) {
 	fs.IntVar(&c.Shards, "coord-shards", 0,
 		"shards to cut the plan into with -coord (default 2×workers; must be ≥ workers)")
 	fs.DurationVar(&c.Lease, "coord-lease", 5*time.Minute,
-		"with -coord: reassign a shard whose result has not arrived within this lease; a shard whose every retry also expires fails the run, so set it above the slowest expected shard (0 = never)")
+		"with -coord: reassign a shard whose result has not arrived within this lease; a shard whose every retry also expires fails the run, so set it above the slowest expected shard (must be positive)")
 	fs.BoolVar(&c.Spawn, "coord-spawn", false,
 		"with -coord: workers are spawned '"+fs.Name()+" -worker' processes over JSON-lines stdio instead of in-process goroutines")
 	fs.IntVar(&c.Chaos, "coord-chaos", 0,
@@ -68,8 +68,8 @@ func (c *CLIFlags) Validate(fs *flag.FlagSet) error {
 	if c.Shards != 0 && c.Shards < c.Workers {
 		return fmt.Errorf("-coord-shards %d for %d workers: cut the plan at least as fine as the fleet", c.Shards, c.Workers)
 	}
-	if c.Lease < 0 {
-		return fmt.Errorf("-coord-lease %v: negative lease", c.Lease)
+	if c.Lease <= 0 {
+		return fmt.Errorf("-coord-lease %v: the lease must be positive (it bounds how long a straggling shard may withhold its result)", c.Lease)
 	}
 	if c.Chaos != 0 && !c.Spawn {
 		return fmt.Errorf("-coord-chaos requires -coord-spawn (only spawned workers can be killed)")

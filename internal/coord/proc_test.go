@@ -22,11 +22,13 @@ func TestMain(m *testing.M) {
 		case "serve-worker":
 			// A well-behaved worker; with "slow" it lingers per shard so
 			// kills land mid-run.
-			err := coord.Serve(os.Stdin, os.Stdout, func(s harness.ShardSpec) ([]byte, error) {
+			err := coord.Serve(os.Stdin, os.Stdout, func(spec harness.Spec, s harness.ShardSpec) ([]byte, error) {
 				if len(os.Args) > 2 && os.Args[2] == "slow" {
 					time.Sleep(150 * time.Millisecond)
 				}
-				return []byte(fmt.Sprintf(`{"index":%d,"count":%d}`, s.Index, s.Count)), nil
+				// Echo the spec's experiment id so tests can assert the
+				// assignment carried it over the wire.
+				return []byte(fmt.Sprintf(`{"index":%d,"count":%d,"exp":%q}`, s.Index, s.Count, spec.Exp)), nil
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -43,12 +45,12 @@ func TestMain(m *testing.M) {
 			// Fails its first assignment in-band (the process stays
 			// alive), then behaves.
 			first := true
-			err := coord.Serve(os.Stdin, os.Stdout, func(s harness.ShardSpec) ([]byte, error) {
+			err := coord.Serve(os.Stdin, os.Stdout, func(_ harness.Spec, s harness.ShardSpec) ([]byte, error) {
 				if first {
 					first = false
 					return nil, fmt.Errorf("transient shard failure (injected)")
 				}
-				return []byte(fmt.Sprintf(`{"index":%d,"count":%d}`, s.Index, s.Count)), nil
+				return []byte(fmt.Sprintf(`{"index":%d,"count":%d,"exp":""}`, s.Index, s.Count)), nil
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -72,13 +74,14 @@ func TestProcWorkerRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p.Close()
+	spec := harness.ExperimentSpec("fig3.9")
 	for i := 0; i < 3; i++ {
 		shard := harness.ShardSpec{Index: i, Count: 3}
-		payload, err := p.Run(context.Background(), shard)
+		payload, err := p.Run(context.Background(), spec, shard)
 		if err != nil {
 			t.Fatalf("shard %d: %v", i, err)
 		}
-		if want := fmt.Sprintf(`{"index":%d,"count":3}`, i); string(payload) != want {
+		if want := fmt.Sprintf(`{"index":%d,"count":3,"exp":"fig3.9"}`, i); string(payload) != want {
 			t.Errorf("shard %d payload = %s, want %s", i, payload, want)
 		}
 	}
@@ -110,7 +113,7 @@ func TestProcWorkerCrashSurfacesAndRetries(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, p := range payloads {
-		if want := fmt.Sprintf(`{"index":%d,"count":4}`, i); string(p) != want {
+		if want := fmt.Sprintf(`{"index":%d,"count":4,"exp":""}`, i); string(p) != want {
 			t.Errorf("payload %d = %s, want %s", i, p, want)
 		}
 	}
@@ -141,7 +144,7 @@ func TestProcWorkerInBandErrorKeepsProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, p := range payloads {
-		if want := fmt.Sprintf(`{"index":%d,"count":3}`, i); string(p) != want {
+		if want := fmt.Sprintf(`{"index":%d,"count":3,"exp":""}`, i); string(p) != want {
 			t.Errorf("payload %d = %s, want %s", i, p, want)
 		}
 	}
@@ -173,7 +176,7 @@ func TestProcWorkerChaosKill(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, p := range payloads {
-		if want := fmt.Sprintf(`{"index":%d,"count":4}`, i); string(p) != want {
+		if want := fmt.Sprintf(`{"index":%d,"count":4,"exp":""}`, i); string(p) != want {
 			t.Errorf("payload %d = %s, want %s", i, p, want)
 		}
 	}

@@ -20,9 +20,16 @@ import (
 	"dpmr/internal/harness"
 )
 
-// Assignment is one coordinator→worker message: run this shard of the
-// plan the worker was configured with at spawn time.
+// Assignment is one coordinator→worker message: run this shard of this
+// Spec's canonical plan. The Spec travels with every assignment, so a
+// worker process needs no experiment description in its argv — its
+// flags carry only execution policy (parallelism, compilation,
+// eviction) and the coordinator remains the single source of *what*
+// runs. Both sides hold the identical normalized Spec, so both compute
+// the identical plan fingerprint; a worker fed a different Spec would
+// produce partials the merge layer rejects.
 type Assignment struct {
+	Spec  harness.Spec      `json:"spec"`
 	Shard harness.ShardSpec `json:"shard"`
 }
 
@@ -37,11 +44,11 @@ type Completion struct {
 
 // Serve is the worker side of the streaming protocol: it decodes
 // Assignments from r until EOF, executes each with run, and encodes one
-// Completion per assignment to w. run's payload must be a JSON document
-// (every harness partial Encode emits one). A run error is reported
-// in-band and the worker stays alive for the next assignment; transport
-// errors end the loop.
-func Serve(r io.Reader, w io.Writer, run func(shard harness.ShardSpec) ([]byte, error)) error {
+// Completion per assignment to w. run receives the assignment's Spec
+// and shard; its payload must be a JSON document (every harness partial
+// Encode emits one). A run error is reported in-band and the worker
+// stays alive for the next assignment; transport errors end the loop.
+func Serve(r io.Reader, w io.Writer, run func(spec harness.Spec, shard harness.ShardSpec) ([]byte, error)) error {
 	dec := json.NewDecoder(r)
 	enc := json.NewEncoder(w)
 	for {
@@ -52,7 +59,7 @@ func Serve(r io.Reader, w io.Writer, run func(shard harness.ShardSpec) ([]byte, 
 			return fmt.Errorf("coord: worker: decoding assignment: %w", err)
 		}
 		c := Completion{Shard: a.Shard}
-		if payload, err := run(a.Shard); err != nil {
+		if payload, err := run(a.Spec, a.Shard); err != nil {
 			c.Error = err.Error()
 		} else {
 			c.Payload = json.RawMessage(payload)
@@ -118,12 +125,13 @@ func NewProc(stderr io.Writer, name string, args ...string) (*Proc, error) {
 	return &Proc{cmd: cmd, stdin: stdin, enc: json.NewEncoder(stdin), dec: json.NewDecoder(stdout)}, nil
 }
 
-// Run implements Worker: lease one shard to the process and block for
-// its completion. Cancelling ctx kills the process (the attempt is
-// lost); a process death mid-shard surfaces as the decode error.
-func (p *Proc) Run(ctx context.Context, shard harness.ShardSpec) ([]byte, error) {
+// Run implements Worker: lease one shard of the Spec's plan to the
+// process and block for its completion. Cancelling ctx kills the
+// process (the attempt is lost); a process death mid-shard surfaces as
+// the decode error.
+func (p *Proc) Run(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
 	pid := p.cmd.Process.Pid
-	if err := p.enc.Encode(Assignment{Shard: shard}); err != nil {
+	if err := p.enc.Encode(Assignment{Spec: spec, Shard: shard}); err != nil {
 		return nil, fmt.Errorf("coord: worker pid %d: leasing shard %s: %w", pid, shard, err)
 	}
 	type reply struct {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -109,20 +110,16 @@ func TestCompiledMatchesReference(t *testing.T) {
 // both ways end to end and asserts the aggregated CampaignResult — the
 // thing reports, shards, and merges are derived from — is identical.
 func TestCampaignCompiledMatchesReference(t *testing.T) {
-	cfg := CampaignConfig{
-		Workloads: workloads.All()[:2],
-		Variants: []Variant{
-			Stdapp(),
-			NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
-		},
-		Kind:     faultinject.ImmediateFree,
-		MaxSites: 3,
-	}
+	spec := CampaignSpec(faultinject.ImmediateFree, workloads.All()[:2], []Variant{
+		Stdapp(),
+		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+	})
+	spec.MaxSites = 3
+	spec.Runs = 1
 	run := func(compile bool) *CampaignResult {
 		r := NewRunner()
-		r.Runs = 1
 		r.Compile = compile
-		cr, err := r.RunCampaign(cfg)
+		cr, err := r.RunCampaign(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +143,7 @@ func TestOverheadCompiledMatchesReference(t *testing.T) {
 	run := func(compile bool) *OverheadResult {
 		r := NewRunner()
 		r.Compile = compile
-		or, err := r.RunOverhead(ws, variants)
+		or, err := r.RunOverhead(context.Background(), OverheadSpec(ws, variants))
 		if err != nil {
 			t.Fatal(err)
 		}

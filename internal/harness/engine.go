@@ -5,11 +5,15 @@
 // sites × variants × runs trials execute it or from how many goroutines.
 // The pool fans trial indices out across Parallel workers; callers
 // aggregate the indexed results in canonical order afterwards, which is
-// what keeps parallel campaigns byte-identical to serial ones.
+// what keeps parallel campaigns byte-identical to serial ones. The pool
+// is context-aware: cancellation stops dispatch and drains in-flight
+// trials, so the completed indices always form a prefix of the range
+// and no worker goroutine outlives the call.
 
 package harness
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -18,6 +22,43 @@ import (
 	"dpmr/internal/ir"
 	"dpmr/internal/workloads"
 )
+
+// Event is a typed progress notification streamed while an experiment
+// executes: TrialDone and Progress per completed trial, ShardMerged per
+// merged partial result, CacheStats as a counters snapshot. Subscribe
+// through Session.Events, or set Runner.Events / Options.Events for a
+// low-level callback sink.
+type Event interface{ event() }
+
+// TrialDone reports one completed trial: Done of Total have finished.
+// Events arrive in completion order, not trial order.
+type TrialDone struct {
+	Done  int
+	Total int
+}
+
+// Progress is the per-trial rollup the CLIs render: completion count
+// plus a module-cache snapshot.
+type Progress struct {
+	Done  int
+	Total int
+	Stats CacheStats
+}
+
+// ShardMerged reports one partial result folded into a merge: the shard
+// and the contiguous trial range [Lo, Hi) of the Total-trial plan it
+// covered. Merges emit shards in canonical (range) order.
+type ShardMerged struct {
+	Shard ShardSpec
+	Lo    int
+	Hi    int
+	Total int
+}
+
+func (TrialDone) event()   {}
+func (Progress) event()    {}
+func (ShardMerged) event() {}
+func (CacheStats) event()  {}
 
 // moduleKey identifies one distinct executable module of a campaign.
 type moduleKey struct {
@@ -42,7 +83,8 @@ type moduleEntry struct {
 // CacheStats counts module-cache activity over a Runner's lifetime. The
 // residency numbers are what last-trial eviction (Runner.EvictModules)
 // bounds: without eviction Peak equals Builds; with it, Peak tracks only
-// the modules whose trials are still pending.
+// the modules whose trials are still pending. CacheStats is also an
+// Event: sessions emit a final snapshot when an experiment completes.
 type CacheStats struct {
 	// Builds counts successful module builds. A module evicted before its
 	// trials finished would be rebuilt on next use, so Builds exceeding
@@ -144,10 +186,14 @@ func (t trial) key() moduleKey {
 }
 
 // runTrials executes the trial grid on the worker pool and returns the
-// per-trial classifications and errors, indexed like trials. Only the
-// serializable classification fields survive: the raw interpreter result
-// is dropped per trial, releasing each output buffer instead of pinning
-// all of them until the campaign ends.
+// per-trial classifications and errors, indexed like trials, plus the
+// number of completed trials. Trials are dispatched in index order, and
+// cancellation only stops dispatch (in-flight trials drain), so the
+// completed trials are exactly indices [0, done); done < len(trials)
+// means ctx was cancelled. Only the serializable classification fields
+// survive: the raw interpreter result is dropped per trial, releasing
+// each output buffer instead of pinning all of them until the campaign
+// ends.
 //
 // With EvictModules set, runTrials also releases each injected module
 // once its last trial completes. Because a site's trials are contiguous
@@ -155,7 +201,7 @@ func (t trial) key() moduleKey {
 // counts; the per-key pending counters make it order-independent (and
 // therefore safe at any worker count): a module is only evicted when no
 // trial that uses it remains.
-func (r *Runner) runTrials(trials []trial) ([]TrialOutcome, []error) {
+func (r *Runner) runTrials(ctx context.Context, trials []trial) ([]TrialOutcome, []error, int) {
 	outcomes := make([]TrialOutcome, len(trials))
 	errs := make([]error, len(trials))
 	var pending map[moduleKey]*int64
@@ -178,7 +224,7 @@ func (r *Runner) runTrials(trials []trial) ([]TrialOutcome, []error) {
 		}
 	}
 	pool := r.spaces()
-	r.fanOut(len(trials), func(i int) {
+	done := r.fanOut(ctx, len(trials), func(i int) {
 		t := trials[i]
 		o, err := r.runOnce(t.w, t.v, t.inj, t.rn, pool)
 		outcomes[i], errs[i] = o.Trial(), err
@@ -188,21 +234,27 @@ func (r *Runner) runTrials(trials []trial) ([]TrialOutcome, []error) {
 			}
 		}
 	})
-	return outcomes, errs
+	return outcomes, errs, done
 }
 
-// fanOut runs fn(0..n-1) across the Runner's worker pool. Each index is
-// processed exactly once; fn must only write to index-i slots of shared
-// slices. Progress (if set) is reported after each completed index.
-func (r *Runner) fanOut(n int, fn func(i int)) {
+// fanOut runs fn(0..n-1) across the Runner's worker pool and returns the
+// number of indices completed. Each index is processed at most once; fn
+// must only write to index-i slots of shared slices. Indices are
+// dispatched in order and cancellation stops only dispatch — every
+// dispatched index runs to completion and every worker goroutine exits
+// before fanOut returns — so the completed set is always the prefix
+// [0, done). TrialDone and Progress events are emitted after each
+// completed index.
+func (r *Runner) fanOut(ctx context.Context, n int, fn func(i int)) int {
 	done := 0
 	report := func() {
-		if r.Progress == nil {
+		if r.Events == nil {
 			return
 		}
 		r.progressMu.Lock()
 		done++
-		r.Progress(done, n)
+		r.Events(TrialDone{Done: done, Total: n})
+		r.Events(Progress{Done: done, Total: n, Stats: r.cache.statsSnapshot()})
 		r.progressMu.Unlock()
 	}
 	workers := r.Parallel
@@ -211,10 +263,13 @@ func (r *Runner) fanOut(n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return i
+			}
 			fn(i)
 			report()
 		}
-		return
+		return n
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -228,11 +283,26 @@ func (r *Runner) fanOut(n int, fn func(i int)) {
 			}
 		}()
 	}
+	dispatched := 0
 	for i := 0; i < n; i++ {
-		idx <- i
+		// Check cancellation before the blocking select: with a worker
+		// already waiting on idx, both select cases would be ready and the
+		// runtime picks randomly — which could dispatch a trial under an
+		// already-cancelled context.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case idx <- i:
+			dispatched++
+			continue
+		case <-ctx.Done():
+		}
+		break
 	}
 	close(idx)
 	wg.Wait()
+	return dispatched
 }
 
 // CachedModules reports how many distinct modules the Runner's build

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -14,25 +15,26 @@ import (
 // smallCampaign is a multi-workload, multi-variant grid small enough for
 // test time but wide enough to exercise stdapp reuse, DPMR variants, and
 // the conditional aggregate.
-func smallCampaign() CampaignConfig {
-	return CampaignConfig{
-		Workloads: workloads.All()[:2],
-		Variants: []Variant{
-			Stdapp(),
-			NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
-			NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
-		},
-		Kind:     faultinject.ImmediateFree,
-		MaxSites: 3,
-	}
+func smallCampaign() Spec {
+	s := CampaignSpec(faultinject.ImmediateFree, workloads.All()[:2], []Variant{
+		Stdapp(),
+		NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
+		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
+	})
+	s.MaxSites = 3
+	return s
+}
+
+// quickExp is the experiment Spec the quick-mode CLI assembles.
+func quickExp(id string) Spec {
+	return Spec{Kind: SpecExperiment, Exp: id, Quick: true}
 }
 
 func campaignAt(t *testing.T, parallel int) (*CampaignResult, *Runner) {
 	t.Helper()
 	r := NewRunner()
-	r.Runs = 2
 	r.Parallel = parallel
-	cr, err := r.RunCampaign(smallCampaign())
+	cr, err := r.RunCampaign(context.Background(), smallCampaign())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func campaignAt(t *testing.T, parallel int) (*CampaignResult, *Runner) {
 }
 
 // TestCampaignDeterministicAcrossWorkerCounts is the engine's core
-// contract: same config + seed ⇒ identical CampaignResult at parallel=1
+// contract: same Spec + seed ⇒ identical CampaignResult at parallel=1
 // and parallel=8, down to the rendered report bytes.
 func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 	serial, _ := campaignAt(t, 1)
@@ -73,7 +75,7 @@ func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestGeneratedReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	render := func(parallel int) []byte {
 		var buf bytes.Buffer
-		err := Generate("fig3.7", &buf, Options{Quick: true, Parallel: parallel})
+		err := Generate(context.Background(), quickExp("fig3.7"), &buf, Options{Parallel: parallel})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,11 +95,11 @@ func TestOverheadDeterministicAcrossWorkerCounts(t *testing.T) {
 	run := func(parallel int) *OverheadResult {
 		r := NewRunner()
 		r.Parallel = parallel
-		or, err := r.RunOverhead(workloads.All()[:2], []Variant{
+		or, err := r.RunOverhead(context.Background(), OverheadSpec(workloads.All()[:2], []Variant{
 			Stdapp(),
 			NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
 			NewVariant(dpmr.SDS, dpmr.PadMalloc{Pad: 32}, dpmr.AllLoads{}),
-		})
+		}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,33 +115,42 @@ func TestOverheadDeterministicAcrossWorkerCounts(t *testing.T) {
 
 // TestCampaignConcurrent exercises the engine under many workers (and,
 // in CI, under the race detector): shared frozen modules, the build
-// cache, golden memoization, and progress callbacks all run from 8
+// cache, golden memoization, and the typed event stream all run from 8
 // goroutines at once.
 func TestCampaignConcurrent(t *testing.T) {
 	r := NewRunner()
-	r.Runs = 1
 	r.Parallel = 8
 	var mu sync.Mutex
-	var calls, lastTotal int
+	var trialDone, progress, lastTotal int
 	maxDone := 0
-	r.Progress = func(done, total int) {
+	r.Events = func(ev Event) {
 		mu.Lock()
-		calls++
-		lastTotal = total
-		if done > maxDone {
-			maxDone = done
+		defer mu.Unlock()
+		switch e := ev.(type) {
+		case TrialDone:
+			trialDone++
+			lastTotal = e.Total
+			if e.Done > maxDone {
+				maxDone = e.Done
+			}
+		case Progress:
+			progress++
 		}
-		mu.Unlock()
 	}
-	cr, err := r.RunCampaign(smallCampaign())
+	spec := smallCampaign()
+	spec.Runs = 1
+	cr, err := r.RunCampaign(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cr.Workloads) != 2 {
 		t.Fatalf("workloads = %v", cr.Workloads)
 	}
-	if calls == 0 || maxDone != lastTotal {
-		t.Errorf("progress reporting incomplete: %d calls, max done %d, total %d", calls, maxDone, lastTotal)
+	if trialDone == 0 || maxDone != lastTotal {
+		t.Errorf("event stream incomplete: %d TrialDone events, max done %d, total %d", trialDone, maxDone, lastTotal)
+	}
+	if progress != trialDone {
+		t.Errorf("every TrialDone should pair with a Progress event: %d vs %d", progress, trialDone)
 	}
 }
 
@@ -148,14 +159,14 @@ func TestCampaignConcurrent(t *testing.T) {
 // sites × variants (+ golden-equivalent stdapp) distinct modules are
 // ever built.
 func TestModuleCacheBuildsEachModuleOnce(t *testing.T) {
-	cfg := smallCampaign()
-	cfg.Workloads = cfg.Workloads[:1]
-	w := cfg.Workloads[0]
-	sites := len(sampleSites(faultinject.Enumerate(w.Build(), cfg.Kind), cfg.MaxSites))
+	spec := smallCampaign()
+	spec.Workloads = spec.Workloads[:1]
+	spec.Runs = 3 // more runs than the serial engine needs modules for
+	w := workloads.All()[0]
+	sites := len(sampleSites(faultinject.Enumerate(w.Build(), faultinject.ImmediateFree), spec.MaxSites))
 	r := NewRunner()
-	r.Runs = 3 // more runs than the serial engine needs modules for
 	r.Parallel = 4
-	if _, err := r.RunCampaign(cfg); err != nil {
+	if _, err := r.RunCampaign(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
 	// One frozen base per workload, plus stdapp + 2 DPMR variants per
@@ -178,10 +189,9 @@ func TestEvictionBoundsResidency(t *testing.T) {
 	for _, parallel := range []int{1, 8} {
 		run := func(evict bool) (*CampaignResult, CacheStats) {
 			r := NewRunner()
-			r.Runs = 2
 			r.Parallel = parallel
 			r.EvictModules = evict
-			cr, err := r.RunCampaign(smallCampaign())
+			cr, err := r.RunCampaign(context.Background(), smallCampaign())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -214,13 +224,13 @@ func TestEvictionBoundsResidency(t *testing.T) {
 // shared bases — independent of how many sites the campaign has.
 func TestEvictionKeepsSerialResidencyConstant(t *testing.T) {
 	peakAt := func(maxSites int) int {
-		cfg := smallCampaign()
-		cfg.Workloads = cfg.Workloads[:1]
-		cfg.MaxSites = maxSites
+		spec := smallCampaign()
+		spec.Workloads = spec.Workloads[:1]
+		spec.MaxSites = maxSites
+		spec.Runs = 1
 		r := NewRunner()
-		r.Runs = 1
 		r.EvictModules = true
-		if _, err := r.RunCampaign(cfg); err != nil {
+		if _, err := r.RunCampaign(context.Background(), spec); err != nil {
 			t.Fatal(err)
 		}
 		return r.CacheStats().Peak

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -10,30 +11,26 @@ import (
 	"dpmr/internal/workloads"
 )
 
-// fuzzMergeState shares one Runner, campaign config, and a genuine
+// fuzzMergeState shares one Runner, campaign Spec, and a genuine
 // partial result across fuzz iterations: the Runner memoizes the base
 // module build, keeping per-exec plan recomputation cheap, and the real
 // partial seeds the corpus with bytes that pass every validation layer.
 var fuzzMergeState struct {
 	once sync.Once
 	r    *Runner
-	cfg  CampaignConfig
+	spec Spec
 	seed []byte
 	err  error
 }
 
-func fuzzMergeSetup() (*Runner, CampaignConfig, []byte, error) {
+func fuzzMergeSetup() (*Runner, Spec, []byte, error) {
 	s := &fuzzMergeState
 	s.once.Do(func() {
 		s.r = NewRunner()
-		s.r.Runs = 1
-		s.cfg = CampaignConfig{
-			Workloads: workloads.All()[:1],
-			Variants:  []Variant{Stdapp()},
-			Kind:      faultinject.ImmediateFree,
-			MaxSites:  2,
-		}
-		p, err := s.r.RunCampaignPartial(s.cfg)
+		s.spec = CampaignSpec(faultinject.ImmediateFree, workloads.All()[:1], []Variant{Stdapp()})
+		s.spec.Runs = 1
+		s.spec.MaxSites = 2
+		p, err := s.r.RunCampaignPartial(context.Background(), s.spec)
 		if err != nil {
 			s.err = err
 			return
@@ -45,7 +42,7 @@ func fuzzMergeSetup() (*Runner, CampaignConfig, []byte, error) {
 		}
 		s.seed = buf.Bytes()
 	})
-	return s.r, s.cfg, s.seed, s.err
+	return s.r, s.spec, s.seed, s.err
 }
 
 // FuzzMergeCampaign fuzzes the partial-result decoder and the merge
@@ -70,11 +67,11 @@ func FuzzMergeCampaign(f *testing.F) {
 		if err != nil {
 			return
 		}
-		r, cfg, _, err := fuzzMergeSetup()
+		r, spec, _, err := fuzzMergeSetup()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := r.MergeCampaign(cfg, []*PartialResult{p}); err == nil {
+		if _, err := r.MergeCampaign(spec, []*PartialResult{p}); err == nil {
 			// A single accepted partial must have covered the whole plan.
 			if p.Lo != 0 || p.Hi != p.Total {
 				t.Fatalf("merge accepted a partial covering [%d, %d) of %d", p.Lo, p.Hi, p.Total)
@@ -86,7 +83,7 @@ func FuzzMergeCampaign(f *testing.F) {
 // TestFuzzMergeSeedRoundTrips pins the seed partial's behavior outside
 // fuzzing mode: a genuine encoded partial decodes and merges cleanly.
 func TestFuzzMergeSeedRoundTrips(t *testing.T) {
-	r, cfg, seed, err := fuzzMergeSetup()
+	r, spec, seed, err := fuzzMergeSetup()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +91,11 @@ func TestFuzzMergeSeedRoundTrips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cr, err := r.MergeCampaign(cfg, []*PartialResult{p})
+	cr, err := r.MergeCampaign(spec, []*PartialResult{p})
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := r.RunCampaign(cfg)
+	direct, err := r.RunCampaign(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

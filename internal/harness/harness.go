@@ -4,12 +4,27 @@
 // conditional coverage, and detection latency — together with the
 // campaign drivers and renderers that regenerate every table and figure
 // of the evaluation chapters.
+//
+// The package separates *what* an experiment is from *how* it executes:
+//
+//   - Spec (spec.go) is the declarative, JSON-serializable experiment
+//     description — the single input to plan construction and the sole
+//     source of every plan fingerprint.
+//   - Session (session.go) is the context-first execution handle:
+//     Start(ctx, spec, opts...) with functional options for worker
+//     counts, compilation, eviction, and sharding, streaming typed
+//     events (TrialDone, Progress, ShardMerged, CacheStats) while the
+//     experiment runs.
+//   - Runner (below) is the mid-level two-stage campaign engine both
+//     are built on.
 package harness
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -107,13 +122,23 @@ func PolicyVariants(design dpmr.Design) []Variant {
 // runs its own VM over the shared read-only module (per-VM RNG, output,
 // and address space), and outcomes are aggregated in canonical trial
 // order so results are byte-identical at any worker count.
+//
+// The campaign entry points (RunCampaign, RunCampaignPartial,
+// RunOverhead, …) take a Spec: the Spec's declarative fields (runs,
+// timeout factor, memory geometry) are applied to the Runner before the
+// plan is built, so the plan — and its fingerprint — is a pure function
+// of the Spec. The Runner's remaining fields tune only *how* trials
+// execute.
 type Runner struct {
 	// Runs per (W, C, D, I) tuple; each run RN seeds the VM differently.
+	// Overwritten from the Spec by the campaign entry points.
 	Runs int
 	// TimeoutFactor multiplies golden steps into the step budget
 	// ("approximately 20 times the normal running time", §3.6).
+	// Overwritten from the Spec by the campaign entry points.
 	TimeoutFactor uint64
-	// MemConfig sizes experiment address spaces.
+	// MemConfig sizes experiment address spaces. Overwritten from the
+	// Spec by the campaign entry points.
 	MemConfig mem.Config
 	// Optimize runs the post-transform optimizer stage on every variant
 	// build, golden included (Figure 3.5 applies an optimize stage to all
@@ -146,14 +171,15 @@ type Runner struct {
 	// dispatch. On by default via NewRunner; turn it off to run the
 	// tree-walker as the reference implementation (CLI -compile=false).
 	Compile bool
-	// Progress, when non-nil, is invoked after each completed trial with
-	// the number of finished trials and the campaign total. Calls are
-	// serialized (never concurrent) but arrive in completion order, not
-	// trial order.
-	Progress func(done, total int)
+	// Events, when non-nil, receives the engine's typed event stream:
+	// TrialDone and Progress after each completed trial, ShardMerged per
+	// merged partial. Calls are serialized (never concurrent) but arrive
+	// in completion order, not trial order. Session wraps this sink in a
+	// channel subscription; set it directly only for low-level embedding.
+	Events func(Event)
 
 	mu         sync.Mutex // guards golden and spacePool
-	progressMu sync.Mutex // serializes Progress callbacks
+	progressMu sync.Mutex // serializes Events callbacks
 	golden     map[string]*goldenInfo
 	cache      *moduleCache
 	spacePool  *mem.Pool
@@ -170,16 +196,42 @@ func NewRunner() *Runner {
 	return &Runner{
 		Runs:          2,
 		TimeoutFactor: 20,
-		MemConfig: mem.Config{
-			HeapBytes:   4 * 1024 * 1024,
-			StackBytes:  256 * 1024,
-			GlobalBytes: 64 * 1024,
-		},
-		Parallel: 1,
-		Compile:  true,
-		golden:   make(map[string]*goldenInfo),
-		cache:    newModuleCache(),
+		MemConfig:     defaultMem(),
+		Parallel:      1,
+		Compile:       true,
+		golden:        make(map[string]*goldenInfo),
+		cache:         newModuleCache(),
 	}
+}
+
+// applySpec copies the normalized Spec's declarative execution
+// parameters onto the Runner, making the Spec the single source of the
+// values plan construction and trial execution read. A persistent
+// worker's Runner may serve Specs of different memory geometries across
+// assignments: golden results are memoized under the geometry they ran
+// with, so a geometry change drops the golden cache (like spaces()
+// rebuilds the space pool) rather than serving baselines measured under
+// a different address-space layout. Built modules are geometry-
+// independent and stay cached.
+func (r *Runner) applySpec(spec Spec) {
+	r.Runs = spec.Runs
+	r.TimeoutFactor = spec.TimeoutFactor
+	if r.MemConfig != spec.Mem {
+		r.mu.Lock()
+		r.golden = make(map[string]*goldenInfo)
+		r.mu.Unlock()
+		r.MemConfig = spec.Mem
+	}
+}
+
+// notify forwards one event to the Events sink, serialized.
+func (r *Runner) notify(ev Event) {
+	if r.Events == nil {
+		return
+	}
+	r.progressMu.Lock()
+	r.Events(ev)
+	r.progressMu.Unlock()
 }
 
 // spaces returns the Runner's address-space pool for its current
@@ -473,16 +525,6 @@ func (c *CoverageCell) finalize() {
 	}
 }
 
-// CampaignConfig controls a fault-injection campaign.
-type CampaignConfig struct {
-	Workloads []workloads.Workload
-	Variants  []Variant
-	Kind      faultinject.Kind
-	// MaxSites caps injection sites per workload (0 = all); the cap
-	// samples evenly across the site list.
-	MaxSites int
-}
-
 // CampaignResult holds per-(workload, variant) coverage plus the
 // conditional-coverage aggregate (Figures 3.8/3.9: combined across
 // applications, conditioned on StdNotAllDet).
@@ -508,50 +550,66 @@ type siteJob struct {
 }
 
 // campaignPlan is the canonical flat trial layout of a campaign. It is a
-// pure function of (config, Runs): two processes planning the same
-// campaign produce identical plans, which is what makes contiguous index
-// ranges a host-independent sharding unit. The fingerprint hashes the
-// plan's identity so MergeCampaign can refuse partial results produced
-// from a different plan.
+// pure function of the normalized campaign Spec: two processes planning
+// the same Spec produce identical plans, which is what makes contiguous
+// index ranges a host-independent sharding unit. The fingerprint hashes
+// the Spec's canonical JSON plus the enumerated sites, so MergeCampaign
+// can refuse partial results produced from a different plan.
 type campaignPlan struct {
+	kind        faultinject.Kind
+	runs        int
 	workloads   []string
+	variants    []Variant
 	trials      []trial
 	jobs        [][]siteJob // per workload, in workload order
 	fingerprint string
 }
 
 // planCampaign lays the (workload, site, variant, run) grid out flat in
-// canonical order. Each site gets Runs stdapp trials (they feed both the
-// stdapp rows and the StdNotAllDet condition) plus Runs trials per DPMR
-// variant; non-DPMR variants reuse the stdapp outcomes exactly as the
-// serial engine always did.
-func (r *Runner) planCampaign(cfg CampaignConfig) (*campaignPlan, error) {
-	p := &campaignPlan{jobs: make([][]siteJob, len(cfg.Workloads))}
-	h := sha256.New()
-	fmt.Fprintf(h, "dpmr campaign plan v1\nkind %s\nruns %d\n", cfg.Kind, r.Runs)
-	for _, v := range cfg.Variants {
-		fmt.Fprintf(h, "variant %s\n", v.Label())
+// canonical order from the normalized campaign Spec. Each site gets Runs
+// stdapp trials (they feed both the stdapp rows and the StdNotAllDet
+// condition) plus Runs trials per DPMR variant; non-DPMR variants reuse
+// the stdapp outcomes exactly as the serial engine always did.
+func (r *Runner) planCampaign(spec Spec) (*campaignPlan, error) {
+	ws, err := spec.resolveWorkloads()
+	if err != nil {
+		return nil, err
 	}
-	for wi, w := range cfg.Workloads {
+	variants, err := spec.resolveVariants()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := parseInject(spec.Inject)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	p := &campaignPlan{kind: kind, runs: spec.Runs, variants: variants, jobs: make([][]siteJob, len(ws))}
+	h := sha256.New()
+	fmt.Fprintf(h, "dpmr campaign plan v2\nspec %s\n", canon)
+	for wi, w := range ws {
 		p.workloads = append(p.workloads, w.Name)
 		bm, _, err := r.base(w)
 		if err != nil {
 			return nil, err
 		}
-		sites := sampleSites(faultinject.Enumerate(bm, cfg.Kind), cfg.MaxSites)
+		sites := sampleSites(faultinject.Enumerate(bm, kind), spec.MaxSites)
 		fmt.Fprintf(h, "workload %s\n", w.Name)
 		for _, site := range sites {
 			site := site
 			fmt.Fprintf(h, "site %s\n", site)
-			job := siteJob{site: site, std: len(p.trials), vars: make([]int, len(cfg.Variants))}
-			for rn := 0; rn < r.Runs; rn++ {
+			job := siteJob{site: site, std: len(p.trials), vars: make([]int, len(variants))}
+			for rn := 0; rn < spec.Runs; rn++ {
 				p.trials = append(p.trials, trial{w: w, v: Stdapp(), inj: &site, rn: rn})
 			}
-			for vi, v := range cfg.Variants {
+			for vi, v := range variants {
 				job.vars[vi] = -1
 				if v.DPMR {
 					job.vars[vi] = len(p.trials)
-					for rn := 0; rn < r.Runs; rn++ {
+					for rn := 0; rn < spec.Runs; rn++ {
 						p.trials = append(p.trials, trial{w: w, v: v, inj: &site, rn: rn})
 					}
 				}
@@ -566,15 +624,21 @@ func (r *Runner) planCampaign(cfg CampaignConfig) (*campaignPlan, error) {
 
 // execTrials runs plan.trials[lo:hi] on the worker pool and returns their
 // classifications, failing with the canonical (variant, workload, site)
-// naming of the first errored trial.
-func (r *Runner) execTrials(plan *campaignPlan, lo, hi int) ([]TrialOutcome, error) {
+// naming of the first errored trial. When ctx is cancelled mid-range,
+// dispatch stops, in-flight trials drain, and execTrials returns the
+// completed prefix of outcomes together with ctx.Err() — the
+// completed-prefix contract graceful cancellation is built on.
+func (r *Runner) execTrials(ctx context.Context, plan *campaignPlan, lo, hi int) ([]TrialOutcome, error) {
 	trials := plan.trials[lo:hi]
-	outcomes, errs := r.runTrials(trials)
-	for i, err := range errs {
-		if err != nil {
+	outcomes, errs, done := r.runTrials(ctx, trials)
+	for i := 0; i < done; i++ {
+		if err := errs[i]; err != nil {
 			t := trials[i]
 			return nil, fmt.Errorf("trial %d: %s %s %s: %w", lo+i, t.v.Label(), t.w.Name, *t.inj, err)
 		}
+	}
+	if done < len(trials) {
+		return outcomes[:done], context.Cause(ctx)
 	}
 	return outcomes, nil
 }
@@ -584,15 +648,15 @@ func (r *Runner) execTrials(plan *campaignPlan, lo, hi int) ([]TrialOutcome, err
 // floating-point accumulation) to the serial engine, regardless of how
 // the outcomes were produced — one process, many workers, or merged
 // shards.
-func (r *Runner) aggregate(cfg CampaignConfig, plan *campaignPlan, outcomes []TrialOutcome) *CampaignResult {
+func aggregate(plan *campaignPlan, outcomes []TrialOutcome) *CampaignResult {
 	cr := &CampaignResult{
-		Kind:        cfg.Kind,
+		Kind:        plan.kind,
 		Workloads:   plan.workloads,
-		Variants:    cfg.Variants,
+		Variants:    plan.variants,
 		Cells:       make(map[string]map[string]*CoverageCell),
 		Conditional: make(map[string]*CoverageCell),
 	}
-	for _, v := range cfg.Variants {
+	for _, v := range plan.variants {
 		cr.Cells[v.Label()] = make(map[string]*CoverageCell)
 		cr.Conditional[v.Label()] = &CoverageCell{}
 		for _, wname := range plan.workloads {
@@ -601,7 +665,7 @@ func (r *Runner) aggregate(cfg CampaignConfig, plan *campaignPlan, outcomes []Tr
 	}
 	for wi, wname := range plan.workloads {
 		for _, job := range plan.jobs[wi] {
-			stdOutcomes := outcomes[job.std : job.std+r.Runs]
+			stdOutcomes := outcomes[job.std : job.std+plan.runs]
 			// Per-injection StdNotAllDet: at least one stdapp run with
 			// incorrect output and no natural detection (Table 3.2).
 			stdNotAllDet := false
@@ -610,10 +674,10 @@ func (r *Runner) aggregate(cfg CampaignConfig, plan *campaignPlan, outcomes []Tr
 					stdNotAllDet = true
 				}
 			}
-			for vi, v := range cfg.Variants {
+			for vi, v := range plan.variants {
 				outs := stdOutcomes
 				if job.vars[vi] >= 0 {
-					outs = outcomes[job.vars[vi] : job.vars[vi]+r.Runs]
+					outs = outcomes[job.vars[vi] : job.vars[vi]+plan.runs]
 				}
 				cell := cr.Cells[v.Label()][wname]
 				cond := cr.Conditional[v.Label()]
@@ -647,31 +711,48 @@ func (r *Runner) validate() error {
 	return r.Shard.Validate()
 }
 
-// RunCampaign executes the full injection campaign: for every workload,
-// every enumerated site of the fault kind, every variant, Runs runs.
-// Trials execute on the Runner's worker pool (Parallel goroutines), and
-// outcomes are aggregated in canonical trial order, so the result — and
-// any report rendered from it — is byte-identical at every worker count.
+// cancelled reports whether err is the context's cancellation (rather
+// than a trial failure).
+func cancelled(ctx context.Context, err error) bool {
+	return ctx.Err() != nil && errors.Is(err, context.Cause(ctx))
+}
+
+// RunCampaign executes the full injection campaign the Spec describes:
+// for every workload, every enumerated site of the fault kind, every
+// variant, Runs runs. Trials execute on the Runner's worker pool
+// (Parallel goroutines), and outcomes are aggregated in canonical trial
+// order, so the result — and any report rendered from it — is
+// byte-identical at every worker count.
+//
+// Cancelling ctx stops dispatch, drains in-flight trials, and returns
+// ctx's error; callers that want the completed-prefix partial result of
+// a cancelled campaign use RunCampaignPartial (or a Session, which does
+// so automatically).
 //
 // RunCampaign runs the whole plan: a Runner configured with a proper
 // shard (Count > 1) is refused rather than silently truncated — use
 // RunCampaignPartial and MergeCampaign for sharded execution.
-func (r *Runner) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+func (r *Runner) RunCampaign(ctx context.Context, spec Spec) (*CampaignResult, error) {
+	spec, err := spec.normalizedAs(SpecCampaign, "RunCampaign")
+	if err != nil {
+		return nil, err
+	}
 	if err := r.validate(); err != nil {
 		return nil, err
 	}
 	if !r.Shard.IsZero() && r.Shard != (ShardSpec{Index: 0, Count: 1}) {
 		return nil, fmt.Errorf("harness: RunCampaign with Shard %s: a shard covers only part of the plan; use RunCampaignPartial and MergeCampaign", r.Shard)
 	}
-	plan, err := r.planCampaign(cfg)
+	r.applySpec(spec)
+	plan, err := r.planCampaign(spec)
 	if err != nil {
 		return nil, err
 	}
-	outcomes, err := r.execTrials(plan, 0, len(plan.trials))
+	outcomes, err := r.execTrials(ctx, plan, 0, len(plan.trials))
 	if err != nil {
 		return nil, err
 	}
-	return r.aggregate(cfg, plan, outcomes), nil
+	return aggregate(plan, outcomes), nil
 }
 
 func sampleSites(sites []faultinject.Site, max int) []faultinject.Site {
@@ -686,12 +767,30 @@ func sampleSites(sites []faultinject.Site, max int) []faultinject.Site {
 	return out
 }
 
-// PlanTrials reports the trial count of the campaign's canonical flat
-// plan — the unit sharding and the coordinator schedule over.
-func (r *Runner) PlanTrials(cfg CampaignConfig) (int, error) {
-	plan, err := r.planCampaign(cfg)
+// PlanTrials reports the trial count of the Spec's canonical flat plan —
+// the unit sharding and the coordinator schedule over. Campaign and
+// overhead Specs both plan; experiment Specs run several plans and are
+// refused.
+func (r *Runner) PlanTrials(spec Spec) (int, error) {
+	n, err := spec.Normalized()
 	if err != nil {
 		return 0, err
 	}
-	return len(plan.trials), nil
+	switch n.Kind {
+	case SpecCampaign:
+		r.applySpec(n)
+		plan, err := r.planCampaign(n)
+		if err != nil {
+			return 0, err
+		}
+		return len(plan.trials), nil
+	case SpecOverhead:
+		plan, err := planOverhead(n)
+		if err != nil {
+			return 0, err
+		}
+		return len(plan.trials), nil
+	default:
+		return 0, fmt.Errorf("harness: PlanTrials: %s specs run several plans; plan their campaigns/measurements individually", n.Kind)
+	}
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -102,17 +103,14 @@ func TestRunOnceWithInjectionClassifies(t *testing.T) {
 
 func TestSmallCampaignCoverage(t *testing.T) {
 	r := NewRunner()
-	r.Runs = 1
 	w, _ := workloads.ByName("mcf")
-	cr, err := r.RunCampaign(CampaignConfig{
-		Workloads: []workloads.Workload{w},
-		Variants: []Variant{
-			Stdapp(),
-			NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
-		},
-		Kind:     faultinject.ImmediateFree,
-		MaxSites: 4,
+	spec := CampaignSpec(faultinject.ImmediateFree, []workloads.Workload{w}, []Variant{
+		Stdapp(),
+		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
 	})
+	spec.Runs = 1
+	spec.MaxSites = 4
+	cr, err := r.RunCampaign(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +133,11 @@ func TestSmallCampaignCoverage(t *testing.T) {
 func TestOverheadRatiosSane(t *testing.T) {
 	r := NewRunner()
 	ws := []workloads.Workload{mustWorkload(t, "art"), mustWorkload(t, "mcf")}
-	or, err := r.RunOverhead(ws, []Variant{
+	or, err := r.RunOverhead(context.Background(), OverheadSpec(ws, []Variant{
 		Stdapp(),
 		NewVariant(dpmr.SDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
 		NewVariant(dpmr.MDS, dpmr.NoDiversity{}, dpmr.AllLoads{}),
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +173,7 @@ func TestGenerateQuickSmoke(t *testing.T) {
 	// ablation in quick mode.
 	for _, id := range []string{"fig3.10", "fig3.16"} {
 		var buf bytes.Buffer
-		if err := Generate(id, &buf, Options{Quick: true}); err != nil {
+		if err := Generate(context.Background(), quickExp(id), &buf, Options{}); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		out := buf.String()
@@ -190,7 +188,7 @@ func TestGenerateQuickSmoke(t *testing.T) {
 
 func TestGenerateUnknownID(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Generate("fig9.9", &buf, Options{}); err == nil {
+	if err := Generate(context.Background(), ExperimentSpec("fig9.9"), &buf, Options{}); err == nil {
 		t.Error("unknown id must error")
 	}
 }

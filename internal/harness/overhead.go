@@ -3,14 +3,15 @@ package harness
 // Overhead experiments (no injections), with the same plan/partial/merge
 // treatment as injection campaigns: the canonical flat measurement plan —
 // per workload, its golden (stdapp) run followed by one run per DPMR
-// variant — is a pure function of (workloads, variants), so any process
-// can recompute it and claim a contiguous slice. Shard i of N measures
-// trials [i·T/N, (i+1)·T/N) and emits an OverheadPartial (cycle counts
-// plus the plan fingerprint); MergeOverhead validates the tiling and
-// aggregates in canonical order, so the merged OverheadResult — and any
-// report rendered from it — is byte-identical to an unsharded run.
+// variant — is a pure function of the normalized overhead Spec, so any
+// process can recompute it and claim a contiguous slice. Shard i of N
+// measures trials [i·T/N, (i+1)·T/N) and emits an OverheadPartial (cycle
+// counts plus the plan fingerprint); MergeOverhead validates the tiling
+// and aggregates in canonical order, so the merged OverheadResult — and
+// any report rendered from it — is byte-identical to an unsharded run.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -40,10 +41,10 @@ type overheadTrial struct {
 }
 
 // overheadPlan is the canonical flat measurement layout of an overhead
-// experiment. Like campaignPlan it is a pure function of its inputs, so
-// contiguous index ranges are a host-independent sharding unit and the
-// fingerprint lets MergeOverhead refuse partials cut from a different
-// plan.
+// experiment. Like campaignPlan it is a pure function of its normalized
+// Spec, so contiguous index ranges are a host-independent sharding unit
+// and the fingerprint lets MergeOverhead refuse partials cut from a
+// different plan.
 type overheadPlan struct {
 	workloads   []string
 	variants    []Variant
@@ -52,18 +53,27 @@ type overheadPlan struct {
 	fingerprint string
 }
 
-// planOverhead lays the measurement grid out flat in canonical order:
-// for each workload, its golden run, then one trial per DPMR variant in
-// variant order (non-DPMR variants reuse the golden measurement).
-func planOverhead(ws []workloads.Workload, variants []Variant) *overheadPlan {
+// planOverhead lays the measurement grid out flat in canonical order
+// from the normalized overhead Spec: for each workload, its golden run,
+// then one trial per DPMR variant in variant order (non-DPMR variants
+// reuse the golden measurement).
+func planOverhead(spec Spec) (*overheadPlan, error) {
+	ws, err := spec.resolveWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	variants, err := spec.resolveVariants()
+	if err != nil {
+		return nil, err
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
 	p := &overheadPlan{variants: variants}
 	h := sha256.New()
-	fmt.Fprintf(h, "dpmr overhead plan v1\n")
-	for _, v := range variants {
-		fmt.Fprintf(h, "variant %s\n", v.Label())
-	}
+	fmt.Fprintf(h, "dpmr overhead plan v2\nspec %s\n", canon)
 	for _, w := range ws {
-		fmt.Fprintf(h, "workload %s\n", w.Name)
 		p.workloads = append(p.workloads, w.Name)
 		p.goldenIdx = append(p.goldenIdx, len(p.trials))
 		p.trials = append(p.trials, overheadTrial{w: w, v: Stdapp()})
@@ -75,19 +85,21 @@ func planOverhead(ws []workloads.Workload, variants []Variant) *overheadPlan {
 	}
 	fmt.Fprintf(h, "trials %d\n", len(p.trials))
 	p.fingerprint = hex.EncodeToString(h.Sum(nil))
-	return p
+	return p, nil
 }
 
 // execOverheadTrials measures plan.trials[lo:hi] on the worker pool and
 // returns their cycle counts, failing with the canonical naming of the
 // first errored trial. Golden measurements go through the Runner's
 // memoized golden cache, so a workload's golden executes once no matter
-// how many ratios (or shards on this Runner) need it.
-func (r *Runner) execOverheadTrials(plan *overheadPlan, lo, hi int) ([]uint64, error) {
+// how many ratios (or shards on this Runner) need it. When ctx is
+// cancelled mid-range, the completed prefix of measurements is returned
+// together with ctx.Err() (see execTrials).
+func (r *Runner) execOverheadTrials(ctx context.Context, plan *overheadPlan, lo, hi int) ([]uint64, error) {
 	cycles := make([]uint64, hi-lo)
 	errs := make([]error, hi-lo)
 	pool := r.spaces()
-	r.fanOut(hi-lo, func(i int) {
+	done := r.fanOut(ctx, hi-lo, func(i int) {
 		t := plan.trials[lo+i]
 		if !t.v.DPMR {
 			g, err := r.Golden(t.w)
@@ -116,11 +128,14 @@ func (r *Runner) execOverheadTrials(plan *overheadPlan, lo, hi int) ([]uint64, e
 		}
 		cycles[i] = res.Cycles
 	})
-	for i, err := range errs {
-		if err != nil {
+	for i := 0; i < done; i++ {
+		if err := errs[i]; err != nil {
 			t := plan.trials[lo+i]
 			return nil, fmt.Errorf("overhead trial %d: %s/%s: %w", lo+i, t.w.Name, t.v.Label(), err)
 		}
+	}
+	if done < hi-lo {
+		return cycles[:done], context.Cause(ctx)
 	}
 	return cycles, nil
 }
@@ -156,22 +171,32 @@ func aggregateOverhead(plan *overheadPlan, cycles []uint64) *OverheadResult {
 	return or
 }
 
-// RunOverhead measures execution-time overhead for each variant. Like
-// RunCampaign, the measurement grid executes on the worker pool and
-// results are recorded in canonical grid order.
+// RunOverhead measures execution-time overhead for each variant of the
+// overhead Spec. Like RunCampaign, the measurement grid executes on the
+// worker pool and results are recorded in canonical grid order;
+// cancelling ctx stops dispatch, drains in-flight measurements, and
+// returns ctx's error.
 //
 // RunOverhead runs the whole plan: a Runner configured with a proper
 // shard (Count > 1) is refused rather than silently truncated — use
 // RunOverheadPartial and MergeOverhead for sharded execution.
-func (r *Runner) RunOverhead(ws []workloads.Workload, variants []Variant) (*OverheadResult, error) {
+func (r *Runner) RunOverhead(ctx context.Context, spec Spec) (*OverheadResult, error) {
+	spec, err := spec.normalizedAs(SpecOverhead, "RunOverhead")
+	if err != nil {
+		return nil, err
+	}
 	if err := r.validate(); err != nil {
 		return nil, err
 	}
 	if !r.Shard.IsZero() && r.Shard != (ShardSpec{Index: 0, Count: 1}) {
 		return nil, fmt.Errorf("harness: RunOverhead with Shard %s: a shard covers only part of the plan; use RunOverheadPartial and MergeOverhead", r.Shard)
 	}
-	plan := planOverhead(ws, variants)
-	cycles, err := r.execOverheadTrials(plan, 0, len(plan.trials))
+	r.applySpec(spec)
+	plan, err := planOverhead(spec)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := r.execOverheadTrials(ctx, plan, 0, len(plan.trials))
 	if err != nil {
 		return nil, err
 	}
@@ -232,14 +257,23 @@ func DecodeOverheadPartial(r io.Reader) (*OverheadPartial, error) {
 // RunOverheadPartial measures only the Runner's shard of the overhead
 // plan and returns the indexed partial result. A zero Shard runs the
 // whole plan as shard 0/1. Combine the shards with MergeOverhead.
-func (r *Runner) RunOverheadPartial(ws []workloads.Workload, variants []Variant) (*OverheadPartial, error) {
-	p, _, err := r.runOverheadPartial(ws, variants)
+//
+// Cancelling ctx drains in-flight measurements and returns the
+// completed-prefix partial (Hi trimmed to the last finished trial)
+// together with ctx's error — both non-nil.
+func (r *Runner) RunOverheadPartial(ctx context.Context, spec Spec) (*OverheadPartial, error) {
+	p, _, err := r.runOverheadPartial(ctx, spec)
 	return p, err
 }
 
-// runOverheadPartial also exposes the plan, for callers (GenerateSharded)
-// that need a structurally complete stand-in result.
-func (r *Runner) runOverheadPartial(ws []workloads.Workload, variants []Variant) (*OverheadPartial, *overheadPlan, error) {
+// runOverheadPartial also exposes the plan, for callers (GenerateSharded,
+// Session) that need a structurally complete stand-in result or the full
+// aggregation.
+func (r *Runner) runOverheadPartial(ctx context.Context, spec Spec) (*OverheadPartial, *overheadPlan, error) {
+	spec, err := spec.normalizedAs(SpecOverhead, "RunOverheadPartial")
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := r.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -247,31 +281,43 @@ func (r *Runner) runOverheadPartial(ws []workloads.Workload, variants []Variant)
 	if shard.IsZero() {
 		shard = ShardSpec{Index: 0, Count: 1}
 	}
-	plan := planOverhead(ws, variants)
-	lo, hi := shard.shardRange(len(plan.trials))
-	cycles, err := r.execOverheadTrials(plan, lo, hi)
+	r.applySpec(spec)
+	plan, err := planOverhead(spec)
 	if err != nil {
+		return nil, nil, err
+	}
+	lo, hi := shard.shardRange(len(plan.trials))
+	cycles, err := r.execOverheadTrials(ctx, plan, lo, hi)
+	if err != nil && !cancelled(ctx, err) {
 		return nil, nil, err
 	}
 	return &OverheadPartial{
 		Fingerprint: plan.fingerprint,
 		Shard:       shard,
 		Lo:          lo,
-		Hi:          hi,
+		Hi:          lo + len(cycles),
 		Total:       len(plan.trials),
 		Cycles:      cycles,
-	}, plan, nil
+	}, plan, err
 }
 
 // MergeOverhead reassembles a full OverheadResult from the partial
-// results of a sharded overhead run. The (workloads, variants) inputs
-// must reproduce the plan the shards were cut from; the plan fingerprint
-// enforces this. Partials may arrive in any order, but their ranges must
-// tile [0, total) exactly — duplicated and missing shards are rejected
-// with the offending trial range named. The merged result is
-// byte-identical to an unsharded RunOverhead of the same inputs.
-func (r *Runner) MergeOverhead(ws []workloads.Workload, variants []Variant, parts []*OverheadPartial) (*OverheadResult, error) {
-	plan := planOverhead(ws, variants)
+// results of a sharded overhead run. The Spec must reproduce the plan
+// the shards were cut from; the plan fingerprint enforces this. Partials
+// may arrive in any order, but their ranges must tile [0, total) exactly
+// — duplicated and missing shards are rejected with the offending trial
+// range named. The merged result is byte-identical to an unsharded
+// RunOverhead of the same Spec. One ShardMerged event is emitted per
+// partial, in canonical range order.
+func (r *Runner) MergeOverhead(spec Spec, parts []*OverheadPartial) (*OverheadResult, error) {
+	spec, err := spec.normalizedAs(SpecOverhead, "MergeOverhead")
+	if err != nil {
+		return nil, err
+	}
+	plan, err := planOverhead(spec)
+	if err != nil {
+		return nil, err
+	}
 	spans := make([]planSpan, len(parts))
 	for i, p := range parts {
 		if p == nil {
@@ -289,6 +335,7 @@ func (r *Runner) MergeOverhead(ws []workloads.Workload, variants []Variant, part
 	cycles := make([]uint64, len(plan.trials))
 	for _, i := range order {
 		copy(cycles[parts[i].Lo:parts[i].Hi], parts[i].Cycles)
+		r.notify(ShardMerged{Shard: parts[i].Shard, Lo: parts[i].Lo, Hi: parts[i].Hi, Total: parts[i].Total})
 	}
 	return aggregateOverhead(plan, cycles), nil
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"reflect"
 	"strings"
@@ -33,7 +34,7 @@ func runOverheadShards(t *testing.T, n int) []*OverheadPartial {
 		r := NewRunner()
 		r.Parallel = 2
 		r.Shard = ShardSpec{Index: i, Count: n}
-		p, err := r.RunOverheadPartial(ws, vs)
+		p, err := r.RunOverheadPartial(context.Background(), OverheadSpec(ws, vs))
 		if err != nil {
 			t.Fatalf("shard %d/%d: %v", i, n, err)
 		}
@@ -57,7 +58,7 @@ func runOverheadShards(t *testing.T, n int) []*OverheadPartial {
 func TestOverheadShardMergeByteIdentical(t *testing.T) {
 	ws, vs := smallOverhead()
 	r := NewRunner()
-	golden, err := r.RunOverhead(ws, vs)
+	golden, err := r.RunOverhead(context.Background(), OverheadSpec(ws, vs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestOverheadShardMergeByteIdentical(t *testing.T) {
 		orders := [][]*OverheadPartial{parts, reversedOv(parts), rotatedOv(parts, n/2)}
 		for oi, order := range orders {
 			mr := NewRunner()
-			merged, err := mr.MergeOverhead(ws, vs, order)
+			merged, err := mr.MergeOverhead(OverheadSpec(ws, vs), order)
 			if err != nil {
 				t.Fatalf("n=%d order=%d: %v", n, oi, err)
 			}
@@ -105,20 +106,21 @@ func TestMergeOverheadRejects(t *testing.T) {
 	ws, vs := smallOverhead()
 	parts := runOverheadShards(t, 3)
 	r := NewRunner()
-	if _, err := r.MergeOverhead(ws, vs, []*OverheadPartial{parts[0], parts[1], parts[1], parts[2]}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+	spec := OverheadSpec(ws, vs)
+	if _, err := r.MergeOverhead(spec, []*OverheadPartial{parts[0], parts[1], parts[1], parts[2]}); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Errorf("duplicated shard not rejected: %v", err)
 	}
-	if _, err := r.MergeOverhead(ws, vs, []*OverheadPartial{parts[0], parts[2]}); err == nil || !strings.Contains(err.Error(), "missing trials") {
+	if _, err := r.MergeOverhead(spec, []*OverheadPartial{parts[0], parts[2]}); err == nil || !strings.Contains(err.Error(), "missing trials") {
 		t.Errorf("missing shard not rejected with a named range: %v", err)
 	}
-	if _, err := r.MergeOverhead(ws, vs, nil); err == nil || !strings.Contains(err.Error(), "no partial results") {
+	if _, err := r.MergeOverhead(spec, nil); err == nil || !strings.Contains(err.Error(), "no partial results") {
 		t.Errorf("empty merge not rejected: %v", err)
 	}
-	if _, err := r.MergeOverhead(ws, vs, []*OverheadPartial{parts[0], nil, parts[2]}); err == nil || !strings.Contains(err.Error(), "nil partial") {
+	if _, err := r.MergeOverhead(spec, []*OverheadPartial{parts[0], nil, parts[2]}); err == nil || !strings.Contains(err.Error(), "nil partial") {
 		t.Errorf("nil partial not rejected: %v", err)
 	}
 	// A different variant set is a different plan: refused by fingerprint.
-	if _, err := r.MergeOverhead(ws, vs[:2], parts); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+	if _, err := r.MergeOverhead(OverheadSpec(ws, vs[:2]), parts); err == nil || !strings.Contains(err.Error(), "fingerprint") {
 		t.Errorf("foreign-plan merge not rejected by fingerprint: %v", err)
 	}
 }
@@ -129,7 +131,7 @@ func TestRunOverheadRejectsShard(t *testing.T) {
 	ws, vs := smallOverhead()
 	r := NewRunner()
 	r.Shard = ShardSpec{Index: 1, Count: 2}
-	if _, err := r.RunOverhead(ws, vs); err == nil || !strings.Contains(err.Error(), "RunOverheadPartial") {
+	if _, err := r.RunOverhead(context.Background(), OverheadSpec(ws, vs)); err == nil || !strings.Contains(err.Error(), "RunOverheadPartial") {
 		t.Errorf("sharded RunOverhead: err = %v, want a pointer to RunOverheadPartial", err)
 	}
 }
@@ -156,21 +158,25 @@ func TestDecodeOverheadPartialRejectsMalformed(t *testing.T) {
 // an overhead experiment: fig3.16 generated as shards, merged out of
 // order, against the bytes an unsharded Generate writes.
 func TestGenerateShardedOverheadByteIdentical(t *testing.T) {
-	opts := Options{Quick: true, Parallel: 2, Evict: true}
+	ctx := context.Background()
+	spec := quickExp("fig3.16")
+	opts := Options{Parallel: 2, Evict: true}
 	var golden bytes.Buffer
-	if err := Generate("fig3.16", &golden, opts); err != nil {
+	if err := Generate(ctx, spec, &golden, opts); err != nil {
 		t.Fatal(err)
 	}
 	const n = 3
 	files := make([]bytes.Buffer, n)
 	for i := 0; i < n; i++ {
-		if err := GenerateSharded("fig3.16", ShardSpec{Index: i, Count: n}, &files[i], opts); err != nil {
+		if err := GenerateSharded(ctx, spec, ShardSpec{Index: i, Count: n}, &files[i], opts); err != nil {
 			t.Fatalf("shard %d: %v", i, err)
 		}
 	}
 	var merged bytes.Buffer
 	readers := []io.Reader{&files[2], &files[0], &files[1]}
-	if err := GenerateMerged("", &merged, readers, opts); err != nil {
+	idless := spec
+	idless.Exp = ""
+	if err := GenerateMerged(ctx, idless, &merged, readers, opts); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(golden.Bytes(), merged.Bytes()) {
@@ -183,7 +189,6 @@ func TestGenerateShardedOverheadByteIdentical(t *testing.T) {
 // trial count is stable across Runners and matches what the shards tile.
 func TestPlanTrials(t *testing.T) {
 	r := NewRunner()
-	r.Runs = 2
 	total, err := r.PlanTrials(smallCampaign())
 	if err != nil {
 		t.Fatal(err)

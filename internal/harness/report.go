@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,17 +10,14 @@ import (
 
 	"dpmr/internal/dpmr"
 	"dpmr/internal/faultinject"
-	"dpmr/internal/workloads"
 )
 
-// Options tunes experiment regeneration.
+// Options tunes *how* experiment regeneration executes. What to run —
+// workloads, runs, site caps, the experiment id — lives in the Spec;
+// Options carries only execution policy, so a worker process and the
+// coordinator that spawned it can hold different Options while sharing
+// one Spec (and therefore one plan fingerprint).
 type Options struct {
-	// Runs per experiment tuple (default 2).
-	Runs int
-	// MaxSites caps injection sites per workload (default 0 = all).
-	MaxSites int
-	// Quick restricts to two workloads and few sites for smoke runs.
-	Quick bool
 	// Parallel is the campaign worker count (0 = default 1 = serial).
 	// Output is byte-identical at any worker count.
 	Parallel int
@@ -31,26 +29,22 @@ type Options struct {
 	// -compile=false). Output is byte-identical either way; the switch
 	// exists for A/B measurement and debugging.
 	Reference bool
-	// Progress, when non-nil, receives per-trial completion callbacks.
-	Progress func(done, total int)
-	// ProgressStats, when non-nil, receives per-trial completion
-	// callbacks together with the campaign Runner's module-cache
-	// statistics (resident/peak/evicted counts). Takes precedence over
-	// Progress.
-	ProgressStats func(done, total int, stats CacheStats)
+	// Events, when non-nil, receives the engine's typed event stream
+	// (TrialDone, Progress, ShardMerged). Session installs its channel
+	// sink here; direct callers may install a callback.
+	Events func(Event)
 	// Runner, when non-nil, executes the experiments instead of a fresh
-	// NewRunner per generator invocation (its Runs/Parallel/eviction
-	// settings are still applied from this Options). A persistent worker
-	// serving several shard assignments of one plan sets this so the
-	// module and golden caches stay warm across assignments.
+	// NewRunner per generator invocation. A persistent worker serving
+	// several shard assignments of one plan sets this so the module and
+	// golden caches stay warm across assignments.
 	Runner *Runner
 
 	// campaign/overhead interpose on experiment execution; they are how
 	// GenerateSharded and GenerateMerged reroute the campaigns inside a
 	// generator through partial runs and merges without the generator
 	// knowing.
-	campaignExec func(r *Runner, cfg CampaignConfig) (*CampaignResult, error)
-	overheadExec func(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error)
+	campaignExec func(ctx context.Context, r *Runner, spec Spec) (*CampaignResult, error)
+	overheadExec func(ctx context.Context, r *Runner, spec Spec) (*OverheadResult, error)
 }
 
 func (o Options) runner() *Runner {
@@ -58,54 +52,46 @@ func (o Options) runner() *Runner {
 	if r == nil {
 		r = NewRunner()
 	}
-	if o.Runs > 0 {
-		r.Runs = o.Runs
-	}
-	if o.Quick && o.Runs == 0 {
-		r.Runs = 1
-	}
 	if o.Parallel != 0 {
 		r.Parallel = o.Parallel
 	}
 	r.EvictModules = o.Evict
 	r.Compile = !o.Reference
-	if o.ProgressStats != nil {
-		r.Progress = func(done, total int) { o.ProgressStats(done, total, r.CacheStats()) }
-	} else {
-		r.Progress = o.Progress
-	}
+	r.Events = o.Events
 	return r
 }
 
 // campaign runs (or reroutes) one campaign of an experiment.
-func (o Options) campaign(r *Runner, cfg CampaignConfig) (*CampaignResult, error) {
+func (o Options) campaign(ctx context.Context, r *Runner, spec Spec) (*CampaignResult, error) {
 	if o.campaignExec != nil {
-		return o.campaignExec(r, cfg)
+		return o.campaignExec(ctx, r, spec)
 	}
-	return r.RunCampaign(cfg)
+	return r.RunCampaign(ctx, spec)
 }
 
 // overhead runs (or reroutes) one overhead measurement of an experiment.
-func (o Options) overhead(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error) {
+func (o Options) overhead(ctx context.Context, r *Runner, spec Spec) (*OverheadResult, error) {
 	if o.overheadExec != nil {
-		return o.overheadExec(r, ws, vs)
+		return o.overheadExec(ctx, r, spec)
 	}
-	return r.RunOverhead(ws, vs)
+	return r.RunOverhead(ctx, spec)
 }
 
-func (o Options) workloads() []workloads.Workload {
-	all := workloads.All()
-	if o.Quick {
-		return all[:2]
-	}
-	return all
+// campaignSpec derives the generator's campaign sub-Spec from the
+// normalized experiment Spec.
+func campaignSpec(exp Spec, kind faultinject.Kind, variants []Variant) Spec {
+	s := exp.derive(SpecCampaign)
+	s.Inject = kind.String()
+	s.Variants = VariantSpecs(variants...)
+	return s
 }
 
-func (o Options) maxSites() int {
-	if o.Quick && o.MaxSites == 0 {
-		return 3
-	}
-	return o.MaxSites
+// overheadSpec derives the generator's overhead sub-Spec from the
+// normalized experiment Spec.
+func overheadSpec(exp Spec, variants []Variant) Spec {
+	s := exp.derive(SpecOverhead)
+	s.Variants = VariantSpecs(variants...)
+	return s
 }
 
 // ExperimentIDs lists every regenerable table/figure id in paper order.
@@ -121,17 +107,24 @@ func ExperimentIDs() []string {
 	}
 }
 
-// Generate regenerates the named table/figure, writing its data to w.
-func Generate(id string, w io.Writer, opts Options) error {
-	gen, ok := generators()[id]
+// Generate regenerates the table/figure the experiment Spec names
+// (spec.Exp), writing its data to w. Cancelling ctx stops the
+// experiment's campaigns mid-grid and returns ctx's error.
+func Generate(ctx context.Context, spec Spec, w io.Writer, opts Options) error {
+	n, err := spec.normalizedAs(SpecExperiment, "Generate")
+	if err != nil {
+		return err
+	}
+	gen, ok := generators()[n.Exp]
 	if !ok {
 		return fmt.Errorf("harness: unknown experiment id %q (known: %s)",
-			id, strings.Join(ExperimentIDs(), ", "))
+			n.Exp, strings.Join(ExperimentIDs(), ", "))
 	}
-	return gen(w, opts)
+	return gen(ctx, n, w, opts)
 }
 
-type genFunc func(io.Writer, Options) error
+// genFunc renders one experiment from its normalized experiment Spec.
+type genFunc func(ctx context.Context, spec Spec, w io.Writer, opts Options) error
 
 func generators() map[string]genFunc {
 	g := map[string]genFunc{}
@@ -205,15 +198,9 @@ func labelPolicy(v Variant) string    { return v.PolicyLabel() }
 
 func coverageGen(title string, design dpmr.Design, kind faultinject.Kind,
 	variantsOf func(dpmr.Design) []Variant, conditional bool, lbl labelFunc) genFunc {
-	return func(w io.Writer, opts Options) error {
+	return func(ctx context.Context, spec Spec, w io.Writer, opts Options) error {
 		r := opts.runner()
-		ws := opts.workloads()
-		cr, err := opts.campaign(r, CampaignConfig{
-			Workloads: ws,
-			Variants:  variantsOf(design),
-			Kind:      kind,
-			MaxSites:  opts.maxSites(),
-		})
+		cr, err := opts.campaign(ctx, r, campaignSpec(spec, kind, variantsOf(design)))
 		if err != nil {
 			return err
 		}
@@ -254,10 +241,9 @@ func renderConditional(w io.Writer, cr *CampaignResult, lbl labelFunc) {
 }
 
 func overheadGen(title string, variantsOf func() []Variant, lbl labelFunc) genFunc {
-	return func(w io.Writer, opts Options) error {
+	return func(ctx context.Context, spec Spec, w io.Writer, opts Options) error {
 		r := opts.runner()
-		ws := opts.workloads()
-		or, err := opts.overhead(r, ws, variantsOf())
+		or, err := opts.overhead(ctx, r, overheadSpec(spec, variantsOf()))
 		if err != nil {
 			return err
 		}
@@ -283,17 +269,11 @@ func renderOverhead(w io.Writer, or *OverheadResult, lbl labelFunc) {
 }
 
 func latencyGen(title string, design dpmr.Design, variantsOf func(dpmr.Design) []Variant, lbl labelFunc) genFunc {
-	return func(w io.Writer, opts Options) error {
+	return func(ctx context.Context, spec Spec, w io.Writer, opts Options) error {
 		r := opts.runner()
-		ws := opts.workloads()
 		fmt.Fprintln(w, title)
 		for _, kind := range []faultinject.Kind{faultinject.HeapArrayResize, faultinject.ImmediateFree} {
-			cr, err := opts.campaign(r, CampaignConfig{
-				Workloads: ws,
-				Variants:  variantsOf(design),
-				Kind:      kind,
-				MaxSites:  opts.maxSites(),
-			})
+			cr, err := opts.campaign(ctx, r, campaignSpec(spec, kind, variantsOf(design)))
 			if err != nil {
 				return err
 			}
@@ -320,16 +300,15 @@ func latencyGen(title string, design dpmr.Design, variantsOf func(dpmr.Design) [
 
 // fig316 is the Figure 3.16 ablation: naive temporal checking vs. the
 // periodicity-exploiting gate.
-func fig316(w io.Writer, opts Options) error {
+func fig316(ctx context.Context, spec Spec, w io.Writer, opts Options) error {
 	r := opts.runner()
-	ws := opts.workloads()
 	variants := []Variant{
 		Stdapp(),
 		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.AllLoads{}),
 		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.TemporalHalf),
 		NewVariant(dpmr.SDS, dpmr.RearrangeHeap{}, dpmr.PeriodicLoadChecking{Period: 2}),
 	}
-	or, err := opts.overhead(r, ws, variants)
+	or, err := opts.overhead(ctx, r, overheadSpec(spec, variants))
 	if err != nil {
 		return err
 	}
@@ -339,14 +318,12 @@ func fig316(w io.Writer, opts Options) error {
 }
 
 // fig43 renders the side-by-side SDS/MDS diversity overhead comparison.
-func fig43(w io.Writer, opts Options) error {
-	r := opts.runner()
-	ws := opts.workloads()
+func fig43(ctx context.Context, spec Spec, w io.Writer, opts Options) error {
 	divs := []dpmr.Diversity{
 		dpmr.NoDiversity{}, dpmr.ZeroBeforeFree{}, dpmr.RearrangeHeap{}, dpmr.PadMalloc{Pad: 32},
 	}
 	fmt.Fprintln(w, "Figure 4.3: Side-by-side diversity transformation overheads of SDS and MDS (×golden)")
-	return sideBySide(w, r, opts, ws, func(design dpmr.Design) []Variant {
+	return sideBySide(ctx, spec, w, opts, func(design dpmr.Design) []Variant {
 		var vs []Variant
 		for _, d := range divs {
 			vs = append(vs, NewVariant(design, d, dpmr.AllLoads{}))
@@ -358,9 +335,7 @@ func fig43(w io.Writer, opts Options) error {
 // fig44 renders the side-by-side SDS/MDS policy overhead comparison
 // (static policies plus all-loads; temporal is excluded as in the paper,
 // §4.5).
-func fig44(w io.Writer, opts Options) error {
-	r := opts.runner()
-	ws := opts.workloads()
+func fig44(ctx context.Context, spec Spec, w io.Writer, opts Options) error {
 	pols := []dpmr.Policy{
 		dpmr.StaticLoadChecking{Percent: 10},
 		dpmr.StaticLoadChecking{Percent: 50},
@@ -368,7 +343,7 @@ func fig44(w io.Writer, opts Options) error {
 		dpmr.AllLoads{},
 	}
 	fmt.Fprintln(w, "Figure 4.4: Side-by-side comparison policy overheads of SDS and MDS (rearrange-heap, ×golden)")
-	return sideBySide(w, r, opts, ws, func(design dpmr.Design) []Variant {
+	return sideBySide(ctx, spec, w, opts, func(design dpmr.Design) []Variant {
 		var vs []Variant
 		for _, p := range pols {
 			vs = append(vs, NewVariant(design, dpmr.RearrangeHeap{}, p))
@@ -377,13 +352,14 @@ func fig44(w io.Writer, opts Options) error {
 	}, labelPolicy)
 }
 
-func sideBySide(w io.Writer, r *Runner, opts Options, ws []workloads.Workload,
+func sideBySide(ctx context.Context, spec Spec, w io.Writer, opts Options,
 	variantsOf func(dpmr.Design) []Variant, lbl labelFunc) error {
-	sds, err := opts.overhead(r, ws, variantsOf(dpmr.SDS))
+	r := opts.runner()
+	sds, err := opts.overhead(ctx, r, overheadSpec(spec, variantsOf(dpmr.SDS)))
 	if err != nil {
 		return err
 	}
-	mds, err := opts.overhead(r, ws, variantsOf(dpmr.MDS))
+	mds, err := opts.overhead(ctx, r, overheadSpec(spec, variantsOf(dpmr.MDS)))
 	if err != nil {
 		return err
 	}
@@ -455,21 +431,27 @@ func DecodeExperimentPartial(r io.Reader) (*ExperimentPartial, error) {
 	return &ep, nil
 }
 
-// GenerateSharded runs shard `shard` of the named experiment's injection
-// campaigns and overhead measurements and JSON-encodes the resulting
-// ExperimentPartial to out. Every experiment in the suite is shardable;
-// merge the shards' outputs with GenerateMerged.
-func GenerateSharded(id string, shard ShardSpec, out io.Writer, opts Options) error {
+// GenerateSharded runs shard `shard` of the Spec-named experiment's
+// injection campaigns and overhead measurements and JSON-encodes the
+// resulting ExperimentPartial to out. Every experiment in the suite is
+// shardable; merge the shards' outputs with GenerateMerged. A cancelled
+// ctx fails the shard (a worker must not emit an incomplete partial as
+// if it covered its range).
+func GenerateSharded(ctx context.Context, spec Spec, shard ShardSpec, out io.Writer, opts Options) error {
 	if shard.Count < 1 {
 		return fmt.Errorf("harness: GenerateSharded: shard %s: count must be at least 1", shard)
 	}
 	if err := shard.Validate(); err != nil {
 		return err
 	}
-	ep := &ExperimentPartial{Exp: id, Shard: shard}
-	opts.campaignExec = func(r *Runner, cfg CampaignConfig) (*CampaignResult, error) {
+	n, err := spec.normalizedAs(SpecExperiment, "GenerateSharded")
+	if err != nil {
+		return err
+	}
+	ep := &ExperimentPartial{Exp: n.Exp, Shard: shard}
+	opts.campaignExec = func(ctx context.Context, r *Runner, spec Spec) (*CampaignResult, error) {
 		r.Shard = shard
-		p, plan, err := r.runCampaignPartial(cfg)
+		p, plan, err := r.runCampaignPartial(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -477,11 +459,11 @@ func GenerateSharded(id string, shard ShardSpec, out io.Writer, opts Options) er
 		// Rendering goes to io.Discard; a structurally complete stand-in
 		// (all cells present, zero-valued) keeps the generator's render
 		// path happy without running the other shards' trials.
-		return r.aggregate(cfg, plan, make([]TrialOutcome, len(plan.trials))), nil
+		return aggregate(plan, make([]TrialOutcome, len(plan.trials))), nil
 	}
-	opts.overheadExec = func(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error) {
+	opts.overheadExec = func(ctx context.Context, r *Runner, spec Spec) (*OverheadResult, error) {
 		r.Shard = shard
-		p, plan, err := r.runOverheadPartial(ws, vs)
+		p, plan, err := r.runOverheadPartial(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -490,11 +472,11 @@ func GenerateSharded(id string, shard ShardSpec, out io.Writer, opts Options) er
 		// io.Discard without running the other shards' measurements.
 		return aggregateOverhead(plan, make([]uint64, len(plan.trials))), nil
 	}
-	if err := Generate(id, io.Discard, opts); err != nil {
+	if err := Generate(ctx, n, io.Discard, opts); err != nil {
 		return err
 	}
 	if len(ep.Campaigns) == 0 && len(ep.Overheads) == 0 {
-		return fmt.Errorf("harness: experiment %s runs no campaign or overhead measurement; nothing to shard", id)
+		return fmt.Errorf("harness: experiment %s runs no campaign or overhead measurement; nothing to shard", n.Exp)
 	}
 	if err := json.NewEncoder(out).Encode(ep); err != nil {
 		return fmt.Errorf("harness: encoding experiment partial: %w", err)
@@ -504,13 +486,15 @@ func GenerateSharded(id string, shard ShardSpec, out io.Writer, opts Options) er
 
 // GenerateMerged merges the shards of a sharded experiment run and
 // renders the report to out, byte-identical to an unsharded Generate of
-// the same experiment with the same Options. Each reader supplies one
-// shard's ExperimentPartial. id may be "" to take the experiment id from
-// the partials; when given, it must match them.
-func GenerateMerged(id string, out io.Writer, partials []io.Reader, opts Options) error {
+// the same Spec. Each reader supplies one shard's ExperimentPartial.
+// spec.Exp may be "" to take the experiment id from the partials; when
+// given, it must match them. One ShardMerged event is emitted per
+// partial per merged plan.
+func GenerateMerged(ctx context.Context, spec Spec, out io.Writer, partials []io.Reader, opts Options) error {
 	if len(partials) == 0 {
 		return fmt.Errorf("harness: GenerateMerged: no partial results")
 	}
+	id := spec.Exp
 	eps := make([]*ExperimentPartial, len(partials))
 	for i, rd := range partials {
 		ep, err := DecodeExperimentPartial(rd)
@@ -531,9 +515,10 @@ func GenerateMerged(id string, out io.Writer, partials []io.Reader, opts Options
 		}
 		eps[i] = ep
 	}
+	spec.Exp = id
 	nCampaigns, nOverheads := len(eps[0].Campaigns), len(eps[0].Overheads)
 	ci, oi := 0, 0
-	opts.campaignExec = func(r *Runner, cfg CampaignConfig) (*CampaignResult, error) {
+	opts.campaignExec = func(_ context.Context, r *Runner, spec Spec) (*CampaignResult, error) {
 		if ci >= nCampaigns {
 			return nil, fmt.Errorf("harness: experiment %s runs more than the %d campaigns the partials hold", id, nCampaigns)
 		}
@@ -542,9 +527,9 @@ func GenerateMerged(id string, out io.Writer, partials []io.Reader, opts Options
 			parts[j] = ep.Campaigns[ci]
 		}
 		ci++
-		return r.MergeCampaign(cfg, parts)
+		return r.MergeCampaign(spec, parts)
 	}
-	opts.overheadExec = func(r *Runner, ws []workloads.Workload, vs []Variant) (*OverheadResult, error) {
+	opts.overheadExec = func(_ context.Context, r *Runner, spec Spec) (*OverheadResult, error) {
 		if oi >= nOverheads {
 			return nil, fmt.Errorf("harness: experiment %s runs more than the %d overhead measurements the partials hold", id, nOverheads)
 		}
@@ -553,9 +538,9 @@ func GenerateMerged(id string, out io.Writer, partials []io.Reader, opts Options
 			parts[j] = ep.Overheads[oi]
 		}
 		oi++
-		return r.MergeOverhead(ws, vs, parts)
+		return r.MergeOverhead(spec, parts)
 	}
-	if err := Generate(id, out, opts); err != nil {
+	if err := Generate(ctx, spec, out, opts); err != nil {
 		return err
 	}
 	if ci != nCampaigns {
@@ -567,12 +552,16 @@ func GenerateMerged(id string, out io.Writer, partials []io.Reader, opts Options
 	return nil
 }
 
-// GenerateAll regenerates every experiment in order.
-func GenerateAll(w io.Writer, opts Options) error {
+// GenerateAll regenerates every experiment in order, using spec (whose
+// Exp field is overridden per experiment) for the shared declarative
+// parameters.
+func GenerateAll(ctx context.Context, spec Spec, w io.Writer, opts Options) error {
 	ids := ExperimentIDs()
 	sort.SliceStable(ids, func(i, j int) bool { return false }) // keep paper order
 	for _, id := range ids {
-		if err := Generate(id, w, opts); err != nil {
+		s := spec
+		s.Exp = id
+		if err := Generate(ctx, s, w, opts); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Fprintln(w)

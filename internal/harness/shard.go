@@ -1,8 +1,8 @@
 package harness
 
 // Sharded campaign execution. A campaign's canonical flat trial plan is
-// a pure function of its configuration, so any process can recompute it
-// and claim a contiguous slice: shard i of N runs trials
+// a pure function of its normalized Spec, so any process can recompute
+// it and claim a contiguous slice: shard i of N runs trials
 // [i·T/N, (i+1)·T/N). Each shard emits a PartialResult — the per-trial
 // classifications of its range plus the plan fingerprint — and
 // MergeCampaign reassembles the full outcome sequence, refusing
@@ -11,6 +11,8 @@ package harness
 // report rendered from it) is byte-identical to an unsharded run.
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -135,18 +137,28 @@ func (s ShardSpec) shardRange(total int) (lo, hi int) {
 	return s.Index * total / s.Count, (s.Index + 1) * total / s.Count
 }
 
-// RunCampaignPartial executes only the Runner's shard of the campaign's
-// canonical trial plan and returns the indexed partial result. A zero
-// Shard runs the whole plan as shard 0/1. Combine the shards with
+// RunCampaignPartial executes only the Runner's shard of the campaign
+// Spec's canonical trial plan and returns the indexed partial result. A
+// zero Shard runs the whole plan as shard 0/1. Combine the shards with
 // MergeCampaign.
-func (r *Runner) RunCampaignPartial(cfg CampaignConfig) (*PartialResult, error) {
-	p, _, err := r.runCampaignPartial(cfg)
+//
+// Cancelling ctx stops dispatch, drains in-flight trials, and returns
+// the completed-prefix partial (Hi trimmed to the last finished trial)
+// together with ctx's error — both non-nil — so a cancelled run's
+// finished work is never discarded.
+func (r *Runner) RunCampaignPartial(ctx context.Context, spec Spec) (*PartialResult, error) {
+	p, _, err := r.runCampaignPartial(ctx, spec)
 	return p, err
 }
 
-// runCampaignPartial also exposes the plan, for callers (GenerateSharded)
-// that need a structurally complete stand-in result.
-func (r *Runner) runCampaignPartial(cfg CampaignConfig) (*PartialResult, *campaignPlan, error) {
+// runCampaignPartial also exposes the plan, for callers (GenerateSharded,
+// Session) that need a structurally complete stand-in result or the full
+// aggregation.
+func (r *Runner) runCampaignPartial(ctx context.Context, spec Spec) (*PartialResult, *campaignPlan, error) {
+	spec, err := spec.normalizedAs(SpecCampaign, "RunCampaignPartial")
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := r.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -154,23 +166,24 @@ func (r *Runner) runCampaignPartial(cfg CampaignConfig) (*PartialResult, *campai
 	if shard.IsZero() {
 		shard = ShardSpec{Index: 0, Count: 1}
 	}
-	plan, err := r.planCampaign(cfg)
+	r.applySpec(spec)
+	plan, err := r.planCampaign(spec)
 	if err != nil {
 		return nil, nil, err
 	}
 	lo, hi := shard.shardRange(len(plan.trials))
-	outcomes, err := r.execTrials(plan, lo, hi)
-	if err != nil {
+	outcomes, err := r.execTrials(ctx, plan, lo, hi)
+	if err != nil && !cancelled(ctx, err) {
 		return nil, nil, err
 	}
 	return &PartialResult{
 		Fingerprint: plan.fingerprint,
 		Shard:       shard,
 		Lo:          lo,
-		Hi:          hi,
+		Hi:          lo + len(outcomes),
 		Total:       len(plan.trials),
 		Outcomes:    outcomes,
-	}, plan, nil
+	}, plan, err
 }
 
 // planSpan is the plan-identity and range header shared by every partial
@@ -195,7 +208,7 @@ func tileSpans(what, fingerprint string, total int, spans []planSpan) ([]int, er
 	}
 	for _, s := range spans {
 		if s.fingerprint != fingerprint {
-			return nil, fmt.Errorf("harness: %s: shard %s was cut from a different plan (fingerprint %.12s, want %.12s): config, runs, or site enumeration differ",
+			return nil, fmt.Errorf("harness: %s: shard %s was cut from a different plan (fingerprint %.12s, want %.12s): spec, runs, or site enumeration differ",
 				what, s.shard, s.fingerprint, fingerprint)
 		}
 		if s.total != total {
@@ -230,15 +243,21 @@ func tileSpans(what, fingerprint string, total int, spans []planSpan) ([]int, er
 }
 
 // MergeCampaign reassembles a full CampaignResult from the partial
-// results of a sharded run. The Runner's configuration (Runs, workloads'
-// site enumeration) must reproduce the plan the shards were cut from;
-// the plan fingerprint enforces this. Partials may arrive in any order,
-// but their ranges must tile [0, total) exactly: overlapping ranges
-// (e.g. a duplicated shard) and gaps (a missing shard) are rejected with
-// the offending trial range named. The merged result is byte-identical
-// to an unsharded run of the same campaign.
-func (r *Runner) MergeCampaign(cfg CampaignConfig, parts []*PartialResult) (*CampaignResult, error) {
-	plan, err := r.planCampaign(cfg)
+// results of a sharded run. The Spec must reproduce the plan the shards
+// were cut from (same workloads, variants, injection kind, runs, site
+// enumeration); the plan fingerprint enforces this. Partials may arrive
+// in any order, but their ranges must tile [0, total) exactly:
+// overlapping ranges (e.g. a duplicated shard) and gaps (a missing
+// shard) are rejected with the offending trial range named. The merged
+// result is byte-identical to an unsharded run of the same Spec. One
+// ShardMerged event is emitted per partial, in canonical range order.
+func (r *Runner) MergeCampaign(spec Spec, parts []*PartialResult) (*CampaignResult, error) {
+	spec, err := spec.normalizedAs(SpecCampaign, "MergeCampaign")
+	if err != nil {
+		return nil, err
+	}
+	r.applySpec(spec)
+	plan, err := r.planCampaign(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -260,6 +279,52 @@ func (r *Runner) MergeCampaign(cfg CampaignConfig, parts []*PartialResult) (*Cam
 	outcomes := make([]TrialOutcome, total)
 	for _, i := range order {
 		copy(outcomes[parts[i].Lo:parts[i].Hi], parts[i].Outcomes)
+		r.notify(ShardMerged{Shard: parts[i].Shard, Lo: parts[i].Lo, Hi: parts[i].Hi, Total: parts[i].Total})
 	}
-	return r.aggregate(cfg, plan, outcomes), nil
+	return aggregate(plan, outcomes), nil
+}
+
+// ShardPayload executes one shard of any Spec kind and returns its
+// serialized partial result — the JSON document the coordinator's
+// streaming protocol carries: a PartialResult for campaign Specs, an
+// OverheadPartial for overhead Specs, an ExperimentPartial for
+// experiment Specs. It is the one worker-side entry point behind
+// `dpmr-exp -worker` and `dpmr-run -worker`, which is why a worker
+// process serves whatever Spec its Assignment carries instead of
+// re-deriving an experiment from argv. A cancelled ctx fails the shard:
+// the coordinator must retry it, not merge a prefix as if it covered
+// the range.
+func ShardPayload(ctx context.Context, spec Spec, shard ShardSpec, opts Options) ([]byte, error) {
+	n, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	switch n.Kind {
+	case SpecCampaign, SpecOverhead:
+		r := opts.runner()
+		r.Shard = shard
+		if n.Kind == SpecCampaign {
+			p, err := r.RunCampaignPartial(ctx, n)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Encode(&buf); err != nil {
+				return nil, err
+			}
+		} else {
+			p, err := r.RunOverheadPartial(ctx, n)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Encode(&buf); err != nil {
+				return nil, err
+			}
+		}
+	case SpecExperiment:
+		if err := GenerateSharded(ctx, n, shard, &buf, opts); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
 }

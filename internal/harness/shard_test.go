@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"reflect"
 	"strconv"
@@ -18,11 +19,10 @@ func runShards(t *testing.T, n int) []*PartialResult {
 	parts := make([]*PartialResult, n)
 	for i := 0; i < n; i++ {
 		r := NewRunner()
-		r.Runs = 2
 		r.Parallel = 2
 		r.EvictModules = true
 		r.Shard = ShardSpec{Index: i, Count: n}
-		p, err := r.RunCampaignPartial(smallCampaign())
+		p, err := r.RunCampaignPartial(context.Background(), smallCampaign())
 		if err != nil {
 			t.Fatalf("shard %d/%d: %v", i, n, err)
 		}
@@ -42,7 +42,6 @@ func runShards(t *testing.T, n int) []*PartialResult {
 func mergeShards(t *testing.T, parts []*PartialResult) *CampaignResult {
 	t.Helper()
 	r := NewRunner()
-	r.Runs = 2
 	cr, err := r.MergeCampaign(smallCampaign(), parts)
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +124,6 @@ func TestShardRangesTileThePlan(t *testing.T) {
 func TestMergeRejectsDuplicateShard(t *testing.T) {
 	parts := runShards(t, 3)
 	r := NewRunner()
-	r.Runs = 2
 	_, err := r.MergeCampaign(smallCampaign(), []*PartialResult{parts[0], parts[1], parts[1], parts[2]})
 	if err == nil {
 		t.Fatal("duplicated shard accepted")
@@ -140,7 +138,6 @@ func TestMergeRejectsDuplicateShard(t *testing.T) {
 func TestMergeRejectsMissingShard(t *testing.T) {
 	parts := runShards(t, 3)
 	r := NewRunner()
-	r.Runs = 2
 	_, err := r.MergeCampaign(smallCampaign(), []*PartialResult{parts[0], parts[2]})
 	if err == nil {
 		t.Fatal("missing shard accepted")
@@ -157,12 +154,13 @@ func TestMergeRejectsMissingShard(t *testing.T) {
 }
 
 // TestMergeRejectsForeignPlan: partial results from a different plan
-// (here: different Runs) must be refused by fingerprint.
+// (here: a Spec with different Runs) must be refused by fingerprint.
 func TestMergeRejectsForeignPlan(t *testing.T) {
-	parts := runShards(t, 2) // Runs = 2
+	parts := runShards(t, 2) // Runs = 2 (the normalized default)
 	r := NewRunner()
-	r.Runs = 1 // different plan
-	if _, err := r.MergeCampaign(smallCampaign(), parts); err == nil {
+	foreign := smallCampaign()
+	foreign.Runs = 1 // different plan
+	if _, err := r.MergeCampaign(foreign, parts); err == nil {
 		t.Fatal("partials from a different plan accepted")
 	} else if !strings.Contains(err.Error(), "fingerprint") {
 		t.Errorf("foreign-plan error does not mention the fingerprint: %v", err)
@@ -170,7 +168,6 @@ func TestMergeRejectsForeignPlan(t *testing.T) {
 	// Corrupted fingerprint on one shard.
 	parts[1].Fingerprint = "deadbeef"
 	r2 := NewRunner()
-	r2.Runs = 2
 	if _, err := r2.MergeCampaign(smallCampaign(), parts); err == nil {
 		t.Fatal("corrupted fingerprint accepted")
 	}
@@ -197,22 +194,26 @@ func TestDecodePartialRejectsMalformed(t *testing.T) {
 // full experiment generator run as shards, merged, against the bytes an
 // unsharded Generate writes.
 func TestGenerateShardedMergedByteIdentical(t *testing.T) {
-	opts := Options{Quick: true, Parallel: 2, Evict: true}
+	ctx := context.Background()
+	spec := quickExp("fig3.7")
+	opts := Options{Parallel: 2, Evict: true}
 	var golden bytes.Buffer
-	if err := Generate("fig3.7", &golden, opts); err != nil {
+	if err := Generate(ctx, spec, &golden, opts); err != nil {
 		t.Fatal(err)
 	}
 	const n = 3
 	files := make([]bytes.Buffer, n)
 	for i := 0; i < n; i++ {
-		if err := GenerateSharded("fig3.7", ShardSpec{Index: i, Count: n}, &files[i], opts); err != nil {
+		if err := GenerateSharded(ctx, spec, ShardSpec{Index: i, Count: n}, &files[i], opts); err != nil {
 			t.Fatalf("shard %d: %v", i, err)
 		}
 	}
 	// Merge out of order; the id is taken from the partials.
 	var merged bytes.Buffer
 	readers := []io.Reader{&files[2], &files[0], &files[1]}
-	if err := GenerateMerged("", &merged, readers, opts); err != nil {
+	idless := spec
+	idless.Exp = ""
+	if err := GenerateMerged(ctx, idless, &merged, readers, opts); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(golden.Bytes(), merged.Bytes()) {
@@ -239,15 +240,16 @@ func TestRunnerValidation(t *testing.T) {
 		{"zero count with index", 1, ShardSpec{Index: 2, Count: 0}, "count must be at least 1"},
 		{"negative count", 1, ShardSpec{Index: 0, Count: -2}, "count must be at least 1"},
 	}
+	ctx := context.Background()
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			r := NewRunner()
 			r.Parallel = tc.parallel
 			r.Shard = tc.shard
-			if _, err := r.RunCampaign(smallCampaign()); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			if _, err := r.RunCampaign(ctx, smallCampaign()); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 				t.Errorf("RunCampaign: err = %v, want %q", err, tc.wantErr)
 			}
-			if _, err := r.RunCampaignPartial(smallCampaign()); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			if _, err := r.RunCampaignPartial(ctx, smallCampaign()); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 				t.Errorf("RunCampaignPartial: err = %v, want %q", err, tc.wantErr)
 			}
 		})
@@ -255,14 +257,23 @@ func TestRunnerValidation(t *testing.T) {
 	// A sharded Runner must not silently truncate RunCampaign.
 	r := NewRunner()
 	r.Shard = ShardSpec{Index: 1, Count: 2}
-	if _, err := r.RunCampaign(smallCampaign()); err == nil || !strings.Contains(err.Error(), "RunCampaignPartial") {
+	if _, err := r.RunCampaign(ctx, smallCampaign()); err == nil || !strings.Contains(err.Error(), "RunCampaignPartial") {
 		t.Errorf("sharded RunCampaign: err = %v, want a pointer to RunCampaignPartial", err)
 	}
 	// RunOverhead shares the worker validation.
 	r2 := NewRunner()
 	r2.Parallel = 0
-	if _, err := r2.RunOverhead(nil, nil); err == nil || !strings.Contains(err.Error(), "at least 1 worker") {
+	ws, vs := smallOverhead()
+	if _, err := r2.RunOverhead(ctx, OverheadSpec(ws, vs)); err == nil || !strings.Contains(err.Error(), "at least 1 worker") {
 		t.Errorf("RunOverhead: err = %v, want worker validation", err)
+	}
+	// A Spec that cannot normalize is refused before any execution.
+	r3 := NewRunner()
+	if _, err := r3.RunOverhead(ctx, Spec{Kind: SpecOverhead}); err == nil || !strings.Contains(err.Error(), "no workloads") {
+		t.Errorf("RunOverhead empty spec: err = %v, want normalization error", err)
+	}
+	if _, err := r3.RunCampaign(ctx, OverheadSpec(ws, vs)); err == nil || !strings.Contains(err.Error(), "needs a campaign spec") {
+		t.Errorf("RunCampaign with overhead spec: err = %v, want kind guard", err)
 	}
 }
 

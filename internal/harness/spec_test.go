@@ -1,0 +1,331 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"dpmr/internal/faultinject"
+	"dpmr/internal/workloads"
+)
+
+// TestSpecRoundTripKeepsFingerprint is the Spec identity contract:
+// flags → Spec → JSON → Spec preserves the canonical form, the Spec
+// fingerprint, and therefore the plan fingerprint — so a -spec file, a
+// flag-driven run, and a coordinator assignment all name the same
+// experiment.
+func TestSpecRoundTripKeepsFingerprint(t *testing.T) {
+	specs := map[string]Spec{
+		"campaign":   smallCampaign(),
+		"overhead":   func() Spec { ws, vs := smallOverhead(); return OverheadSpec(ws, vs) }(),
+		"experiment": quickExp("fig3.7"),
+		"exp-full":   ExperimentSpec("tab3.3"),
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			fp1, err := spec.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := spec.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := DecodeSpec(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp2, err := decoded.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fp1 != fp2 {
+				t.Errorf("fingerprint changed across JSON round trip: %s vs %s", fp1, fp2)
+			}
+			// A second round trip is a fixed point: the normalized form
+			// re-encodes to identical bytes.
+			c1, _ := spec.Canonical()
+			c2, _ := decoded.Canonical()
+			if !bytes.Equal(c1, c2) {
+				t.Errorf("canonical JSON changed across round trip:\n%s\nvs\n%s", c1, c2)
+			}
+		})
+	}
+}
+
+// TestSpecFingerprintSeparatesExperiments: distinct experiments have
+// distinct fingerprints; equal experiments spelled differently (defaults
+// explicit vs. omitted) have equal fingerprints.
+func TestSpecFingerprintSeparatesExperiments(t *testing.T) {
+	base := smallCampaign()
+	fp := func(s Spec) string {
+		t.Helper()
+		f, err := s.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	same := base
+	same.Runs = 2           // the default, now explicit
+	same.TimeoutFactor = 20 // the default, now explicit
+	if fp(base) != fp(same) {
+		t.Error("explicit defaults changed the fingerprint")
+	}
+	for name, mutate := range map[string]func(*Spec){
+		"runs":     func(s *Spec) { s.Runs = 3 },
+		"sites":    func(s *Spec) { s.MaxSites = 1 },
+		"inject":   func(s *Spec) { s.Inject = faultinject.HeapArrayResize.String() },
+		"workload": func(s *Spec) { s.Workloads = s.Workloads[:1] },
+		"variants": func(s *Spec) { s.Variants = s.Variants[:2] },
+		"timeout":  func(s *Spec) { s.TimeoutFactor = 10 },
+	} {
+		other := base
+		mutate(&other)
+		if fp(base) == fp(other) {
+			t.Errorf("%s: a different experiment fingerprints equal", name)
+		}
+	}
+}
+
+// TestSpecNormalizeRejects covers validation: unknown kinds, workloads,
+// variants, and injections error — never run, never panic.
+func TestSpecNormalizeRejects(t *testing.T) {
+	ws := workloads.All()[:1]
+	cases := map[string]Spec{
+		"unknown kind":     {Kind: "banana"},
+		"empty kind":       {},
+		"no workloads":     {Kind: SpecCampaign, Inject: "immediate-free", Variants: []VariantSpec{{}}},
+		"unknown workload": {Kind: SpecCampaign, Inject: "immediate-free", Workloads: []string{"nope"}, Variants: []VariantSpec{{}}},
+		"no variants":      {Kind: SpecCampaign, Inject: "immediate-free", Workloads: []string{ws[0].Name}},
+		"unknown inject":   {Kind: SpecCampaign, Inject: "rowhammer", Workloads: []string{ws[0].Name}, Variants: []VariantSpec{{}}},
+		"no inject":        {Kind: SpecCampaign, Workloads: []string{ws[0].Name}, Variants: []VariantSpec{{}}},
+		"bad design":       {Kind: SpecOverhead, Workloads: []string{ws[0].Name}, Variants: []VariantSpec{{DPMR: true, Design: "tds"}}},
+		"bad diversity":    {Kind: SpecOverhead, Workloads: []string{ws[0].Name}, Variants: []VariantSpec{{DPMR: true, Diversity: "nope"}}},
+		"bad policy":       {Kind: SpecOverhead, Workloads: []string{ws[0].Name}, Variants: []VariantSpec{{DPMR: true, Policy: "nope"}}},
+		"exp bad workload": {Kind: SpecExperiment, Exp: "fig3.7", Workloads: []string{"nope"}},
+	}
+	for name, spec := range cases {
+		if _, err := spec.Normalized(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestVariantSpecRoundTrip: every variant of the full differential
+// surface survives Variant → VariantSpec → Variant with its label (the
+// result-map key) intact.
+func TestVariantSpecRoundTrip(t *testing.T) {
+	for _, v := range differentialVariants() {
+		vs := VariantSpecOf(v)
+		back, err := vs.Variant()
+		if err != nil {
+			t.Fatalf("%s: %v", v.Label(), err)
+		}
+		if back.Label() != v.Label() {
+			t.Errorf("variant label changed across round trip: %q vs %q", v.Label(), back.Label())
+		}
+	}
+}
+
+// TestDecodeSpecRejectsMalformed: the -spec file decoder refuses bad
+// JSON, unknown fields (typo protection), and invalid contents.
+func TestDecodeSpecRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{",
+		"unknown field": `{"kind":"campaign","workloadz":["mcf"]}`,
+		"bad kind":      `{"kind":"banana"}`,
+		"invalid":       `{"kind":"campaign"}`,
+	}
+	for name, text := range cases {
+		if _, err := DecodeSpec(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestParseSpecFlags: flags-only passes through normalized; -spec with
+// any explicitly set what-flag is refused; -spec alone loads the file.
+func TestParseSpecFlags(t *testing.T) {
+	newFS := func() (*flag.FlagSet, *string, *bool) {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		exp := fs.String("exp", "", "")
+		quick := fs.Bool("quick", false, "")
+		fs.Int("parallel", 1, "")
+		return fs, exp, quick
+	}
+
+	// Flags only.
+	fs, exp, quick := newFS()
+	if err := fs.Parse([]string{"-exp", "fig3.7", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpecFlags(fs, "", Spec{Kind: SpecExperiment, Exp: *exp, Quick: *quick}, "exp", "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Exp != "fig3.7" || spec.Runs != 1 {
+		t.Errorf("flag-built spec not normalized: %+v", spec)
+	}
+
+	// Spec file only.
+	dir := t.TempDir()
+	path := dir + "/spec.json"
+	var buf bytes.Buffer
+	if err := spec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _, _ := newFS()
+	if err := fs2.Parse([]string{"-parallel", "4"}); err != nil { // how-flags are fine alongside -spec
+		t.Fatal(err)
+	}
+	loaded, err := ParseSpecFlags(fs2, path, Spec{Kind: SpecExperiment}, "exp", "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1, _ := spec.Fingerprint(); true {
+		if f2, _ := loaded.Fingerprint(); f1 != f2 {
+			t.Errorf("spec loaded from file fingerprints differently: %s vs %s", f1, f2)
+		}
+	}
+
+	// Mixing -spec with an explicit what-flag is a usage error naming it.
+	fs3, _, _ := newFS()
+	if err := fs3.Parse([]string{"-exp", "fig3.8"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpecFlags(fs3, path, Spec{Kind: SpecExperiment, Exp: "fig3.8"}, "exp", "quick"); err == nil || !strings.Contains(err.Error(), "-exp") {
+		t.Errorf("mixed -spec and -exp: err = %v, want the flag named", err)
+	}
+
+	// A missing file errors.
+	fs4, _, _ := newFS()
+	if err := fs4.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpecFlags(fs4, dir+"/absent.json", Spec{Kind: SpecExperiment}, "exp"); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+// TestPlanFingerprintTracksSpecFingerprint: two Runners planning the
+// same Spec (via different spellings) produce one plan fingerprint, and
+// a different Spec produces a different one — the property coordinator
+// assignments rely on.
+func TestPlanFingerprintTracksSpecFingerprint(t *testing.T) {
+	ctx := context.Background()
+	partialOf := func(s Spec) *PartialResult {
+		t.Helper()
+		r := NewRunner()
+		r.Shard = ShardSpec{Index: 0, Count: 4}
+		p, err := r.RunCampaignPartial(ctx, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := partialOf(smallCampaign())
+	spelled := smallCampaign()
+	spelled.Runs = 2 // explicit default
+	b := partialOf(spelled)
+	if a.Fingerprint != b.Fingerprint {
+		t.Error("equal Specs produced different plan fingerprints")
+	}
+	other := smallCampaign()
+	other.Runs = 1
+	c := partialOf(other)
+	if a.Fingerprint == c.Fingerprint {
+		t.Error("different Specs produced one plan fingerprint")
+	}
+}
+
+// TestSpecNormalizeClampsCounts: negative Runs/MaxSites are alternate
+// spellings of the defaults and must fold into the canonical form, so
+// they cannot split the fingerprints of equal experiments. Overhead
+// Specs clear Runs entirely — the measurement plan has no per-run loop.
+func TestSpecNormalizeClampsCounts(t *testing.T) {
+	exp, err := Spec{Kind: SpecExperiment, Exp: "fig3.7", Runs: -3, MaxSites: -1}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Runs != 2 || exp.MaxSites != 0 {
+		t.Errorf("negative counts not folded: runs=%d maxSites=%d", exp.Runs, exp.MaxSites)
+	}
+	canon, err := Spec{Kind: SpecExperiment, Exp: "fig3.7"}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp, _ := (Spec{Kind: SpecExperiment, Exp: "fig3.7", Runs: -3, MaxSites: -1}).Fingerprint(); fp != canon {
+		t.Error("negative counts split the fingerprint of an equal experiment")
+	}
+	quick, err := Spec{Kind: SpecExperiment, Exp: "fig3.7", Quick: true, Runs: -1}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick.Runs != 1 {
+		t.Errorf("quick with negative runs = %d, want the quick default 1", quick.Runs)
+	}
+
+	ws, vs := smallOverhead()
+	ov := OverheadSpec(ws, vs)
+	base, err := ov.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRuns := ov
+	withRuns.Runs = 1
+	if fp, _ := withRuns.Fingerprint(); fp != base {
+		t.Error("Runs (kind-inapplicable) split the fingerprint of an equal overhead measurement")
+	}
+	n, _ := withRuns.Normalized()
+	if n.Runs != 0 {
+		t.Errorf("overhead spec kept Runs=%d, want it cleared", n.Runs)
+	}
+}
+
+// TestGoldenCacheResetsOnGeometryChange: a persistent worker's Runner
+// serving Specs of different memory geometries must re-measure goldens
+// under the new geometry, not serve the previous Spec's baselines.
+func TestGoldenCacheResetsOnGeometryChange(t *testing.T) {
+	ctx := context.Background()
+	ws, vs := smallOverhead()
+	spec := OverheadSpec(ws[:1], vs[:2])
+	r := NewRunner()
+	if _, err := r.RunOverhead(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName(spec.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger := spec
+	bigger.Mem = defaultMem()
+	bigger.Mem.HeapBytes *= 2
+	if _, err := r.RunOverhead(ctx, bigger); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := r.Golden(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 == g2 {
+		t.Error("golden cache survived a memory-geometry change")
+	}
+	// Same geometry again: memoization still applies.
+	if _, err := r.RunOverhead(ctx, bigger); err != nil {
+		t.Fatal(err)
+	}
+	if g3, _ := r.Golden(w); g3 != g2 {
+		t.Error("golden cache not memoized within one geometry")
+	}
+}
