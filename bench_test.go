@@ -457,6 +457,28 @@ func BenchmarkCampaign(b *testing.B) {
 		}
 	})
 
+	// Pipelined AOT: background workers build and compile upcoming
+	// modules ahead of the execution frontier, overlapping stage-1
+	// module construction with stage-2 trials. The delta against
+	// parallel2 isolates what the overlap buys on this core count
+	// (stage 1 is ~18% of the serial campaign); results stay
+	// byte-identical at any Precompile value.
+	for _, workers := range []int{2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("precompile%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := harness.NewRunner()
+				r.Parallel = workers
+				r.Precompile = workers
+				if _, err := r.RunCampaign(context.Background(), campaign); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportTrialsPerSec(b, trials)
+		})
+	}
+
 	// Eviction ablation: serial campaign with last-trial eviction;
 	// residency metrics quantify the bound eviction buys.
 	b.Run("evict", func(b *testing.B) {

@@ -96,6 +96,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		outPath  = fs.String("out", "", "partial-result output file with -shard (default stdout)")
 		merge    = fs.Bool("merge", false, "merge partial-result files, directories, or globs (the positional arguments) and render the report")
 		compile  = fs.Bool("compile", true, "execute trials as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
+		precomp  = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off; output is byte-identical, only speed differs)")
 	)
 	var cf coord.CLIFlags
 	cf.Register(fs, "experiment", "worker mode: serve shard assignments from stdin (JSON lines carrying the spec; normally spawned by a coordinator)")
@@ -134,7 +135,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 		return 0
 	}
-	opts := harness.Options{Parallel: *parallel, Evict: *evict, Reference: !*compile}
+	opts := harness.Options{Parallel: *parallel, Evict: *evict, Reference: !*compile, Precompile: *precomp}
 	if *progress {
 		label := spec.Exp
 		if *merge {
@@ -228,7 +229,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 		err := runSession(ctx, spec, out, stderr, *progress,
 			harness.WithParallel(*parallel), harness.WithEviction(*evict),
-			harness.WithReference(!*compile), harness.WithShard(shardSpec))
+			harness.WithReference(!*compile), harness.WithPrecompile(*precomp),
+			harness.WithShard(shardSpec))
 		if err != nil {
 			if f != nil {
 				f.Close()
@@ -268,7 +270,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return 0
 	}
 	err = runSession(ctx, spec, stdout, stderr, *progress,
-		harness.WithParallel(*parallel), harness.WithEviction(*evict), harness.WithReference(!*compile))
+		harness.WithParallel(*parallel), harness.WithEviction(*evict),
+		harness.WithReference(!*compile), harness.WithPrecompile(*precomp))
 	if err != nil {
 		return runFail(stderr, err)
 	}
@@ -342,6 +345,7 @@ func workerArgv(opts harness.Options) []string {
 		"-parallel", strconv.Itoa(max(opts.Parallel, 1)),
 		"-evict=" + strconv.FormatBool(opts.Evict),
 		"-compile=" + strconv.FormatBool(!opts.Reference),
+		"-precompile", strconv.Itoa(opts.Precompile),
 	}
 }
 

@@ -92,6 +92,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		outPath   = fs.String("out", "", "partial-result output file with -shard (default stdout)")
 		merge     = fs.Bool("merge", false, "merge campaign partial-result files (the positional arguments; with -campaign)")
 		compile   = fs.Bool("compile", true, "execute as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
+		precomp   = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off; output is byte-identical, only speed differs; with -campaign)")
+		opStats   = fs.String("opstats", "", "write the executed opcode-pair/triple histogram as JSON to `file` (\"-\" = stdout; single runs only, runs on the reference interpreter)")
 	)
 	var vf harness.VariantFlags
 	vf.Register(fs)
@@ -194,7 +196,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 		var conflict error
 		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "seed" || f.Name == "site" || f.Name == "dump-ir" {
+			if f.Name == "seed" || f.Name == "site" || f.Name == "dump-ir" || f.Name == "opstats" {
 				conflict = fmt.Errorf("-%s only applies to single runs, not -campaign", f.Name)
 			}
 		})
@@ -254,7 +256,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		// leased to this worker reuse its module and golden caches. The
 		// spec arrives with each assignment — argv carries none of it.
 		workerOpts := harness.Options{Parallel: *parallel, Evict: *evict, Reference: !*compile,
-			Runner: harness.NewRunner()}
+			Precompile: *precomp, Runner: harness.NewRunner()}
 		err := coord.Serve(stdin, stdout, func(spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
 			return harness.ShardPayload(ctx, spec, shard, workerOpts)
 		})
@@ -265,7 +267,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	if *campaign {
 		return runCampaign(ctx, campaignArgs{
-			spec: spec, parallel: *parallel,
+			spec: spec, parallel: *parallel, precompile: *precomp,
 			progress: *progress, evict: *evict, compile: *compile,
 			shardSpec: shardSpec, sharded: *shard != "", outPath: *outPath,
 			merge: *merge, mergeFiles: fs.Args(),
@@ -318,7 +320,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 
 	var prog *interp.Program
-	if *compile {
+	if *compile && *opStats == "" {
 		m.Freeze()
 		// A compile failure is not fatal — the run simply proceeds on the
 		// reference tree-walker with identical results, matching the
@@ -327,7 +329,36 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			prog = p
 		}
 	}
-	res := interp.Run(m, interp.Config{Externs: externs, Seed: *seed, StepLimit: 2_000_000_000, Prog: prog})
+	var stats *interp.OpStats
+	if *opStats != "" {
+		// Opcode profiling instruments the reference tree-walker (results
+		// stay bit-identical; only speed differs), so the compile is skipped
+		// above — the VM would not bind it anyway.
+		stats = interp.NewOpStats()
+	}
+	res := interp.Run(m, interp.Config{Externs: externs, Seed: *seed, StepLimit: 2_000_000_000, Prog: prog, OpStats: stats})
+	if stats != nil {
+		out := stdout
+		var f *os.File
+		if *opStats != "-" {
+			f, err = os.Create(*opStats)
+			if err != nil {
+				return execFail(stderr, err)
+			}
+			out = f
+		}
+		if err := stats.WriteJSON(out); err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return execFail(stderr, err)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				return execFail(stderr, err)
+			}
+		}
+	}
 	fmt.Fprintf(stdout, "exit:    %v (code %d) %s\n", res.Kind, res.Code, res.Reason)
 	fmt.Fprintf(stdout, "steps:   %d\n", res.Steps)
 	fmt.Fprintf(stdout, "cycles:  %d\n", res.Cycles)
@@ -348,6 +379,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 type campaignArgs struct {
 	spec                   harness.Spec
 	parallel               int
+	precompile             int
 	progress, evict, merge bool
 	compile                bool
 	sharded                bool
@@ -364,6 +396,7 @@ func (a campaignArgs) sessionOptions() []harness.Option {
 		harness.WithParallel(a.parallel),
 		harness.WithEviction(a.evict),
 		harness.WithReference(!a.compile),
+		harness.WithPrecompile(a.precompile),
 	}
 }
 
@@ -483,7 +516,7 @@ func runCampaign(ctx context.Context, a campaignArgs) int {
 func runCoordinatedCampaign(ctx context.Context, a campaignArgs) int {
 	runFail := func(err error) int { return execFail(a.stderr, err) }
 	cf := a.coordFlags
-	workerOpts := harness.Options{Parallel: a.parallel, Evict: a.evict, Reference: !a.compile}
+	workerOpts := harness.Options{Parallel: a.parallel, Evict: a.evict, Reference: !a.compile, Precompile: a.precompile}
 	fleet := coord.FleetOptions{
 		Spec:    a.spec,
 		Workers: cf.Workers, Shards: cf.Shards, Lease: cf.Lease,
@@ -500,6 +533,7 @@ func runCoordinatedCampaign(ctx context.Context, a campaignArgs) int {
 			"-parallel", strconv.Itoa(a.parallel),
 			"-evict=" + strconv.FormatBool(a.evict),
 			"-compile=" + strconv.FormatBool(a.compile),
+			"-precompile", strconv.Itoa(a.precompile),
 		}
 	}
 	if a.progress {

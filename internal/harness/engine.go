@@ -223,8 +223,11 @@ func (r *Runner) runTrials(ctx context.Context, trials []trial) ([]TrialOutcome,
 			}
 		}
 	}
+	notifyUse, joinPrefetch := r.startPrefetch(ctx, trials, pending)
+	defer joinPrefetch()
 	pool := r.spaces()
 	done := r.fanOut(ctx, len(trials), func(i int) {
+		notifyUse(i)
 		t := trials[i]
 		o, err := r.runOnce(t.w, t.v, t.inj, t.rn, pool)
 		outcomes[i], errs[i] = o.Trial(), err
@@ -235,6 +238,103 @@ func (r *Runner) runTrials(ctx context.Context, trials []trial) ([]TrialOutcome,
 		}
 	})
 	return outcomes, errs, done
+}
+
+// startPrefetch launches the pipelined AOT compilation stage: Precompile
+// background workers walk the trial list's distinct modules in first-use
+// order and push each through the module cache (build + compile) ahead
+// of the execution frontier, so stage-1 work overlaps stage-2 trials
+// instead of serializing ahead of each site's first trial. The window is
+// bounded in distinct modules, keeping the eviction policy's residency
+// bound intact: at most aheadWindow modules sit built-but-unreached at
+// any time, admitted as the returned notify func observes each module's
+// first trial being dispatched. The sync.Once under moduleCache.get
+// makes prefetched and demand builds indistinguishable — whoever arrives
+// second reuses the same entry, so no entry is ever half-populated.
+//
+// Cancellation stops admission and the workers drain without building;
+// the returned join blocks until every prefetch goroutine has exited, so
+// none outlives runTrials. With Precompile <= 0 both returned funcs are
+// no-ops.
+func (r *Runner) startPrefetch(ctx context.Context, trials []trial, pending map[moduleKey]*int64) (notify func(i int), join func()) {
+	workers := r.Precompile
+	if workers <= 0 {
+		return func(int) {}, func() {}
+	}
+	type item struct {
+		t trial
+		k moduleKey
+	}
+	var order []item
+	firstUse := make([]bool, len(trials))
+	seen := make(map[moduleKey]bool)
+	for i, t := range trials {
+		k := t.key()
+		if !seen[k] {
+			seen[k] = true
+			order = append(order, item{t: t, k: k})
+			firstUse[i] = true
+		}
+	}
+	ahead := 2*workers + 2
+	// Buffered to every token that can ever be sent, so notify never
+	// blocks a trial worker even after the windower has exited.
+	used := make(chan struct{}, len(order))
+	buildCh := make(chan item)
+	var wg sync.WaitGroup
+	// Windower: admit module j only once fewer than ahead admitted modules
+	// are still unreached by the execution frontier.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(buildCh)
+		usedCount := 0
+		for j, it := range order {
+			for j-usedCount >= ahead {
+				select {
+				case <-ctx.Done():
+					return
+				case <-used:
+					usedCount++
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case buildCh <- it:
+			}
+		}
+	}()
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range buildCh {
+				if ctx.Err() != nil {
+					continue // drain admitted items without building
+				}
+				if c := pending[it.k]; c != nil && atomic.LoadInt64(c) == 0 {
+					// Every trial of this module already completed (and
+					// evicted it); building now would resurrect the entry
+					// past its eviction.
+					continue
+				}
+				_, _, _ = r.module(it.t.w, it.t.v, it.t.inj)
+				if c := pending[it.k]; c != nil && atomic.LoadInt64(c) == 0 {
+					// The last trial finished while the build was in
+					// flight and its eviction raced the (re)insert;
+					// release the module again.
+					r.cache.evict(it.k)
+				}
+			}
+		}()
+	}
+	notify = func(i int) {
+		if firstUse[i] {
+			used <- struct{}{}
+		}
+	}
+	return notify, wg.Wait
 }
 
 // fanOut runs fn(0..n-1) across the Runner's worker pool and returns the

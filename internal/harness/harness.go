@@ -171,6 +171,16 @@ type Runner struct {
 	// dispatch. On by default via NewRunner; turn it off to run the
 	// tree-walker as the reference implementation (CLI -compile=false).
 	Compile bool
+	// Precompile, when positive, launches that many background AOT
+	// workers per trial batch: they walk the batch's distinct modules in
+	// first-use order and push each through the build+compile cache ahead
+	// of the execution frontier, overlapping stage-1 module construction
+	// with stage-2 trial execution. Results are byte-identical at any
+	// value (the cache's once-per-key build discipline makes prefetched
+	// and demand builds indistinguishable); the prefetch window is
+	// bounded, so EvictModules' peak-residency guarantee degrades by at
+	// most 2*Precompile+2 modules. 0 (the default) disables prefetching.
+	Precompile int
 	// Events, when non-nil, receives the engine's typed event stream:
 	// TrialDone and Progress after each completed trial, ShardMerged per
 	// merged partial. Calls are serialized (never concurrent) but arrive

@@ -29,6 +29,11 @@ type Options struct {
 	// -compile=false). Output is byte-identical either way; the switch
 	// exists for A/B measurement and debugging.
 	Reference bool
+	// Precompile launches that many background AOT workers that build
+	// and compile upcoming modules ahead of the execution frontier (see
+	// Runner.Precompile). 0 disables prefetching; output is
+	// byte-identical at any value.
+	Precompile int
 	// Events, when non-nil, receives the engine's typed event stream
 	// (TrialDone, Progress, ShardMerged). Session installs its channel
 	// sink here; direct callers may install a callback.
@@ -57,6 +62,7 @@ func (o Options) runner() *Runner {
 	}
 	r.EvictModules = o.Evict
 	r.Compile = !o.Reference
+	r.Precompile = o.Precompile
 	r.Events = o.Events
 	return r
 }

@@ -27,6 +27,7 @@ type sessionConfig struct {
 	parallelSet bool
 	reference   bool
 	evict       bool
+	precompile  int
 	shard       ShardSpec
 	spacePool   *mem.Pool
 	report      io.Writer
@@ -52,6 +53,13 @@ func WithReference(on bool) Option { return func(c *sessionConfig) { c.reference
 // WithEviction releases each injected module from the build cache after
 // its final trial, bounding peak cache residency on large campaigns.
 func WithEviction(on bool) Option { return func(c *sessionConfig) { c.evict = on } }
+
+// WithPrecompile launches n background AOT workers that build and
+// compile upcoming modules ahead of the execution frontier, overlapping
+// stage-1 module construction with stage-2 trial execution (see
+// Runner.Precompile). Results are byte-identical at any n; 0 disables
+// prefetching.
+func WithPrecompile(n int) Option { return func(c *sessionConfig) { c.precompile = n } }
 
 // WithShard restricts the session to shard Index of Count of the Spec's
 // canonical trial plan. Campaign and overhead sessions then produce a
@@ -147,6 +155,7 @@ func Start(ctx context.Context, spec Spec, opts ...Option) (*Session, error) {
 	}
 	r.EvictModules = cfg.evict
 	r.Compile = !cfg.reference
+	r.Precompile = cfg.precompile
 	r.Shard = cfg.shard
 	if cfg.spacePool != nil {
 		r.mu.Lock()

@@ -89,6 +89,15 @@ const (
 	// pair of replicated writes. Widths pack into sub as two nibbles.
 	opLoadLoadAssert
 	opStore2
+	// Profile-selected superinstructions (fusion.go): the top unfused
+	// opcode pairs/triples of the workloads' -opstats histograms. Register
+	// ids and pc targets of the second (and third) constituent pack into
+	// imm2 as 16/32-bit fields; see each fusion rule for the layout.
+	opConstAdd   // const K; add (the loop-increment pair)
+	opConstAddBr // const K; add; br (the full loop-increment tail)
+	opConstLoad  // const K; load (constant-address loads)
+	opIndexAddr2 // indexaddr; indexaddr (SDS app+replica address pair)
+	opFMulAdd64  // fmul64; fadd64 (the FP multiply-accumulate)
 	opCall
 	opCallIndirect
 	opRet
@@ -183,6 +192,10 @@ type Program struct {
 	byFn      map[*ir.Func]*compiledFunc
 	byAddr    map[uint64]*compiledFunc // synthetic address → function
 	globalIdx map[string]int           // global name → module order
+	// indirectSites counts opCallIndirect instructions across the program;
+	// each one's imm2 is its index into the per-VM inline-cache arrays
+	// (exec.go), assigned in compile order.
+	indirectSites int
 }
 
 // Module returns the module the program was compiled from.
@@ -261,85 +274,12 @@ func (p *Program) compileFunc(cf *compiledFunc, f *ir.Func) {
 			n++
 		}
 	}
-	// Pass 2: decode.
+	// Pass 2: decode every instruction plain (one decodedInstr per ir
+	// instruction, guards appended where blocks lack terminators).
 	code := make([]decodedInstr, 0, n)
 	for _, b := range f.Blocks {
-		for k, in := range b.Instrs {
-			d := p.decode(cf, f, in, start)
-			// Fuse the ubiquitous loop-header pair — a compare feeding the
-			// block's terminating conditional branch — into one dispatch.
-			// The pair's layout is preserved (the CondBr still occupies its
-			// own, now-unreachable slot, so pc assignment is unchanged) and
-			// the fused case replays both instructions' step/cycle/budget
-			// accounting exactly. Only block-start pcs are branch targets,
-			// so nothing can jump between the two.
-			if d.op == opCmp && k == len(b.Instrs)-2 {
-				if cbr, ok := b.Instrs[k+1].(*ir.CondBr); ok && cbr.Cond.ID == int(d.dst) {
-					tpc, tok := start[cbr.True]
-					fpc, fok := start[cbr.False]
-					if tok && fok {
-						d.op = opCmpBr
-						d.imm = uint64(uint32(tpc))
-						d.imm2 = uint64(uint32(fpc))
-					}
-				}
-			}
-			// Fuse DPMR's load/load/assert check triple (strictly shaped:
-			// the assert compares exactly the two loads' distinct
-			// destinations) and the replicated store/store pair into one
-			// dispatch each, layout preserved as with opCmpBr.
-			if d.op == opLoad && k+2 < len(b.Instrs) {
-				l1 := in.(*ir.Load)
-				if l2, ok := b.Instrs[k+1].(*ir.Load); ok {
-					if as, ok := b.Instrs[k+2].(*ir.Assert); ok &&
-						as.X.ID == l1.Dst.ID && as.Y.ID == l2.Dst.ID && l1.Dst.ID != l2.Dst.ID {
-						d.op = opLoadLoadAssert
-						d.b = rid(l2.Ptr)
-						d.sub = uint8(l1.Dst.Type.Size()) | uint8(l2.Dst.Type.Size())<<4
-						d.flags = normModeOf(l2.Dst.Type) // norm holds load1's mode
-						d.imm = uint64(uint32(rid(l2.Dst)))
-					}
-				}
-			}
-			if d.op == opStore && k+1 < len(b.Instrs) {
-				if s2, ok := b.Instrs[k+1].(*ir.Store); ok {
-					s1 := in.(*ir.Store)
-					d.op = opStore2
-					d.sub = uint8(s1.Val.Type.Size()) | uint8(s2.Val.Type.Size())<<4
-					d.imm = uint64(uint32(rid(s2.Ptr)))
-					d.imm2 = uint64(uint32(rid(s2.Val)))
-				}
-			}
-			// Fuse an address computation feeding the immediately following
-			// load/store (the dominant array/field access pattern), under
-			// the same layout-preserving scheme as opCmpBr: the fused case
-			// skips the (now unreachable) memory-op slot with pc += 2.
-			if (d.op == opFieldAddr || d.op == opIndexAddr) && k+1 < len(b.Instrs) {
-				switch nxt := b.Instrs[k+1].(type) {
-				case *ir.Load:
-					if nxt.Ptr.ID == int(d.dst) {
-						d.sub = uint8(nxt.Dst.Type.Size())
-						d.norm = normModeOf(nxt.Dst.Type)
-						d.imm2 = uint64(uint32(rid(nxt.Dst)))
-						if d.op == opFieldAddr {
-							d.op = opFieldLoad
-						} else {
-							d.op = opIndexLoad
-						}
-					}
-				case *ir.Store:
-					if nxt.Ptr.ID == int(d.dst) {
-						d.sub = uint8(nxt.Val.Type.Size())
-						d.imm2 = uint64(uint32(rid(nxt.Val)))
-						if d.op == opFieldAddr {
-							d.op = opFieldStore
-						} else {
-							d.op = opIndexStore
-						}
-					}
-				}
-			}
-			code = append(code, d)
+		for _, in := range b.Instrs {
+			code = append(code, p.decode(cf, f, in, start))
 		}
 		if needsGuard(b) {
 			code = append(code, decodedInstr{
@@ -348,7 +288,19 @@ func (p *Program) compileFunc(cf *compiledFunc, f *ir.Func) {
 			})
 		}
 	}
+	// Pass 3: superinstruction fusion (fusion.go). Fused heads replay each
+	// constituent's step/cycle/budget accounting exactly and the pair's
+	// layout is preserved — the constituents still occupy their own,
+	// now-unreachable slots, so pc assignment is unchanged.
+	fuseCode(code)
 	cf.code = code
+	// Pass 4: live-range frame narrowing (liveness.go) — pack registers to
+	// live width so the executor clears and carves smaller frames.
+	packFrame(cf)
+	// Pass 5: re-prove the frame- and code-bounds invariants the unchecked
+	// executor relies on (validate.go); failure aborts compilation and the
+	// caller tree-walks.
+	validateFunc(cf)
 }
 
 func rid(r *ir.Reg) int32 { return int32(r.ID) }
@@ -447,6 +399,11 @@ func (p *Program) decode(cf *compiledFunc, f *ir.Func, in ir.Instr, start map[*i
 		} else {
 			d.op = opCallIndirect
 			d.a = rid(i.CalleePtr)
+			// imm2 is this site's index into the per-VM inline-cache arrays:
+			// a monomorphic site resolves its target through one tag compare
+			// instead of the byAddr map (exec.go).
+			d.imm2 = uint64(p.indirectSites)
+			p.indirectSites++
 		}
 		d.imm = cf.addCall(cs)
 		return d

@@ -11,6 +11,7 @@ package interp
 import (
 	"fmt"
 	"math"
+	"unsafe"
 
 	"dpmr/internal/ir"
 	"dpmr/internal/mem"
@@ -41,29 +42,42 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 	for i, p := range cf.params {
 		frame[p] = args[i]
 	}
+	// Unchecked base pointers for the dispatch loop: validateFunc proved
+	// every register operand inside the frame and every reachable pc inside
+	// the code, so the per-access bounds checks the slice forms would pay
+	// (several per dispatched instruction) carry no information. The frame
+	// pointer stays valid even if a nested call grows vm.regStack onto a
+	// new backing array: this frame's slice keeps the old array alive, and
+	// only this invocation touches its region.
+	var fp unsafe.Pointer
+	if len(frame) > 0 {
+		fp = unsafe.Pointer(&frame[0])
+	}
 
 	// The step and cycle clocks live in locals for the duration of the
-	// loop, avoiding two VM-field read-modify-writes per instruction. They
-	// are flushed to the VM around anything that can observe or advance
-	// them from outside — nested calls, externs (vm.Charge), the shared
-	// allocation helper — and on every exit path by the deferred cleanup.
-	steps, cycles := vm.steps, vm.cycles
+	// loop, avoiding VM-field read-modify-writes per instruction. Because
+	// every instruction charges one base cycle alongside its step, the loop
+	// keeps only steps and the cycles-beyond-steps surplus (extra): one
+	// increment per dispatch instead of two, with cycles = steps + extra
+	// reconstructed at every point the clocks are observable from outside —
+	// nested calls, externs (vm.Charge), the shared allocation helper — and
+	// on every exit path by the deferred cleanup.
+	steps, extra := vm.steps, vm.cycles-vm.steps
 	defer func() {
-		vm.steps, vm.cycles = steps, cycles
+		vm.steps, vm.cycles = steps, steps+extra
 		vm.regStack = vm.regStack[:rbase]
 		vm.Space.PopFrame(mark)
 		vm.depth--
 	}()
-	flush := func() { vm.steps, vm.cycles = steps, cycles }
+	flush := func() { vm.steps, vm.cycles = steps, steps+extra }
 
 	limit := vm.limit
 	space := vm.Space
-	code := cf.code
+	codeBase := unsafe.Pointer(&cf.code[0])
 	pc := 0
 	for {
-		in := &code[pc]
+		in := (*decodedInstr)(unsafe.Add(codeBase, uintptr(pc)*instrSize))
 		steps++
-		cycles++
 		if steps > limit {
 			// The fell-off guard is exempt: the walker's ip-past-end check
 			// fires before the step is counted or the budget consulted
@@ -75,93 +89,91 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 		switch in.op {
 		case opFellOff:
 			steps--
-			cycles--
 			return 0, cf.errs[in.imm]
 		case opConst:
-			frame[in.dst] = in.imm
+			*reg(fp, in.dst) = in.imm
 		case opGlobalAddr:
-			frame[in.dst] = vm.globalAddrs[in.imm]
+			*reg(fp, in.dst) = vm.globalAddrs[in.imm]
 		case opMove:
-			frame[in.dst] = frame[in.a]
+			*reg(fp, in.dst) = *reg(fp, in.a)
 		case opMoveNorm:
-			frame[in.dst] = normReg(frame[in.a], in.norm)
+			*reg(fp, in.dst) = normReg(*reg(fp, in.a), in.norm)
 		case opAdd:
-			frame[in.dst] = normReg(frame[in.a]+frame[in.b], in.norm)
+			*reg(fp, in.dst) = normReg(*reg(fp, in.a)+*reg(fp, in.b), in.norm)
 		case opSub:
-			frame[in.dst] = normReg(frame[in.a]-frame[in.b], in.norm)
+			*reg(fp, in.dst) = normReg(*reg(fp, in.a)-*reg(fp, in.b), in.norm)
 		case opMul:
-			frame[in.dst] = normReg(frame[in.a]*frame[in.b], in.norm)
+			*reg(fp, in.dst) = normReg(*reg(fp, in.a)**reg(fp, in.b), in.norm)
 		case opSDiv:
-			cycles += costDiv
-			if frame[in.b] == 0 {
+			extra += costDiv
+			if *reg(fp, in.b) == 0 {
 				return 0, &mem.Trap{Reason: "integer division by zero"}
 			}
-			frame[in.dst] = normReg(uint64(int64(frame[in.a])/int64(frame[in.b])), in.norm)
+			*reg(fp, in.dst) = normReg(uint64(int64(*reg(fp, in.a))/int64(*reg(fp, in.b))), in.norm)
 		case opUDiv:
-			cycles += costDiv
+			extra += costDiv
 			w := uint(in.imm)
-			if maskTo(frame[in.b], w) == 0 {
+			if maskTo(*reg(fp, in.b), w) == 0 {
 				return 0, &mem.Trap{Reason: "integer division by zero"}
 			}
-			frame[in.dst] = normReg(maskTo(frame[in.a], w)/maskTo(frame[in.b], w), in.norm)
+			*reg(fp, in.dst) = normReg(maskTo(*reg(fp, in.a), w)/maskTo(*reg(fp, in.b), w), in.norm)
 		case opSRem:
-			cycles += costDiv
-			if frame[in.b] == 0 {
+			extra += costDiv
+			if *reg(fp, in.b) == 0 {
 				return 0, &mem.Trap{Reason: "integer division by zero"}
 			}
-			frame[in.dst] = normReg(uint64(int64(frame[in.a])%int64(frame[in.b])), in.norm)
+			*reg(fp, in.dst) = normReg(uint64(int64(*reg(fp, in.a))%int64(*reg(fp, in.b))), in.norm)
 		case opURem:
-			cycles += costDiv
+			extra += costDiv
 			w := uint(in.imm)
-			if maskTo(frame[in.b], w) == 0 {
+			if maskTo(*reg(fp, in.b), w) == 0 {
 				return 0, &mem.Trap{Reason: "integer division by zero"}
 			}
-			frame[in.dst] = normReg(maskTo(frame[in.a], w)%maskTo(frame[in.b], w), in.norm)
+			*reg(fp, in.dst) = normReg(maskTo(*reg(fp, in.a), w)%maskTo(*reg(fp, in.b), w), in.norm)
 		case opAnd:
-			frame[in.dst] = normReg(frame[in.a]&frame[in.b], in.norm)
+			*reg(fp, in.dst) = normReg(*reg(fp, in.a)&*reg(fp, in.b), in.norm)
 		case opOr:
-			frame[in.dst] = normReg(frame[in.a]|frame[in.b], in.norm)
+			*reg(fp, in.dst) = normReg(*reg(fp, in.a)|*reg(fp, in.b), in.norm)
 		case opXor:
-			frame[in.dst] = normReg(frame[in.a]^frame[in.b], in.norm)
+			*reg(fp, in.dst) = normReg(*reg(fp, in.a)^*reg(fp, in.b), in.norm)
 		case opShl:
-			frame[in.dst] = normReg(frame[in.a]<<(frame[in.b]&63), in.norm)
+			*reg(fp, in.dst) = normReg(*reg(fp, in.a)<<(*reg(fp, in.b)&63), in.norm)
 		case opLShr:
-			frame[in.dst] = normReg(maskTo(frame[in.a], uint(in.imm))>>(frame[in.b]&63), in.norm)
+			*reg(fp, in.dst) = normReg(maskTo(*reg(fp, in.a), uint(in.imm))>>(*reg(fp, in.b)&63), in.norm)
 		case opAShr:
-			frame[in.dst] = normReg(uint64(int64(frame[in.a])>>(frame[in.b]&63)), in.norm)
+			*reg(fp, in.dst) = normReg(uint64(int64(*reg(fp, in.a))>>(*reg(fp, in.b)&63)), in.norm)
 		case opFAdd64:
-			cycles += costFloatOp
-			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) + math.Float64frombits(frame[in.b]))
+			extra += costFloatOp
+			*reg(fp, in.dst) = math.Float64bits(math.Float64frombits(*reg(fp, in.a)) + math.Float64frombits(*reg(fp, in.b)))
 		case opFSub64:
-			cycles += costFloatOp
-			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) - math.Float64frombits(frame[in.b]))
+			extra += costFloatOp
+			*reg(fp, in.dst) = math.Float64bits(math.Float64frombits(*reg(fp, in.a)) - math.Float64frombits(*reg(fp, in.b)))
 		case opFMul64:
-			cycles += costFloatOp
-			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) * math.Float64frombits(frame[in.b]))
+			extra += costFloatOp
+			*reg(fp, in.dst) = math.Float64bits(math.Float64frombits(*reg(fp, in.a)) * math.Float64frombits(*reg(fp, in.b)))
 		case opFDiv64:
-			cycles += costFloatOp
-			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) / math.Float64frombits(frame[in.b]))
+			extra += costFloatOp
+			*reg(fp, in.dst) = math.Float64bits(math.Float64frombits(*reg(fp, in.a)) / math.Float64frombits(*reg(fp, in.b)))
 		case opFBin:
-			cycles += costFloatOp
-			frame[in.dst] = floatBinScalar(ir.BinKind(in.sub), frame[in.a], frame[in.b],
+			extra += costFloatOp
+			*reg(fp, in.dst) = floatBinScalar(ir.BinKind(in.sub), *reg(fp, in.a), *reg(fp, in.b),
 				in.flags&flagX32 != 0, in.flags&flagY32 != 0, in.flags&flagD32 != 0)
 		case opCmp:
-			frame[in.dst] = cmpScalar(ir.CmpKind(in.sub), frame[in.a], frame[in.b],
+			*reg(fp, in.dst) = cmpScalar(ir.CmpKind(in.sub), *reg(fp, in.a), *reg(fp, in.b),
 				in.flags&flagX32 != 0, in.flags&flagY32 != 0)
 		case opCmpBr:
 			// Fused compare + conditional branch (the dominant loop-header
 			// pair). Steps, cycles, and the budget check replay exactly as
 			// the two separate instructions would: the compare was counted
 			// by the loop header above; the branch is counted here.
-			v := cmpScalar(ir.CmpKind(in.sub), frame[in.a], frame[in.b],
+			v := cmpScalar(ir.CmpKind(in.sub), *reg(fp, in.a), *reg(fp, in.b),
 				in.flags&flagX32 != 0, in.flags&flagY32 != 0)
-			frame[in.dst] = v
+			*reg(fp, in.dst) = v
 			steps++
-			cycles++
 			if steps > limit {
 				return 0, timeoutErr{}
 			}
-			cycles += costBranch
+			extra += costBranch
 			if v != 0 {
 				pc = int(int32(in.imm))
 			} else {
@@ -169,7 +181,7 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 			}
 			continue
 		case opConvert:
-			v := frame[in.a]
+			v := *reg(fp, in.a)
 			switch in.sub {
 			case convIntToInt:
 				v = normReg(v, in.norm)
@@ -180,34 +192,34 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 			case convFloatToFloat:
 				v = floatBitsF(bitsToFloatF(v, in.flags&flagX32 != 0), in.flags&flagD32 != 0)
 			}
-			frame[in.dst] = v
+			*reg(fp, in.dst) = v
 		case opAlloc:
 			count := int64(1)
 			if in.a >= 0 {
-				count = int64(frame[in.a])
+				count = int64(*reg(fp, in.a))
 			}
 			flush()
 			addr, err := vm.allocMem(ir.AllocKind(in.sub), count, in.imm)
-			cycles = vm.cycles
+			extra = vm.cycles - steps
 			if err != nil {
 				return 0, err
 			}
-			frame[in.dst] = addr
+			*reg(fp, in.dst) = addr
 		case opFree:
-			cycles += costFreeOp
-			if trap := space.Free(frame[in.a]); trap != nil {
+			extra += costFreeOp
+			if trap := space.Free(*reg(fp, in.a)); trap != nil {
 				return 0, trap
 			}
 		case opLoad:
-			raw, cost, trap := space.LoadCosted(frame[in.a], int(in.imm))
-			cycles += costLoadBase + cost
+			raw, cost, trap := space.LoadCosted(*reg(fp, in.a), int(in.imm))
+			extra += costLoadBase + cost
 			if trap != nil {
 				return 0, trap
 			}
-			frame[in.dst] = normReg(raw, in.norm)
+			*reg(fp, in.dst) = normReg(raw, in.norm)
 		case opStore:
-			cost, trap := space.StoreCosted(frame[in.a], int(in.imm), frame[in.b])
-			cycles += costStoreBase + cost
+			cost, trap := space.StoreCosted(*reg(fp, in.a), int(in.imm), *reg(fp, in.b))
+			extra += costStoreBase + cost
 			if trap != nil {
 				return 0, trap
 			}
@@ -215,31 +227,29 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 			// Fused DPMR check triple: app load, replica load, equality
 			// assert. Each constituent counts its own step and budget check
 			// in sequence, so traps, timeouts, and cycles replay exactly.
-			raw, cost, trap := space.LoadCosted(frame[in.a], int(in.sub&0xF))
-			cycles += costLoadBase + cost
+			raw, cost, trap := space.LoadCosted(*reg(fp, in.a), int(in.sub&0xF))
+			extra += costLoadBase + cost
 			if trap != nil {
 				return 0, trap
 			}
 			x := normReg(raw, in.norm)
-			frame[in.dst] = x
+			*reg(fp, in.dst) = x
 			steps++
-			cycles++
 			if steps > limit {
 				return 0, timeoutErr{}
 			}
-			raw, cost, trap = space.LoadCosted(frame[in.b], int(in.sub>>4))
-			cycles += costLoadBase + cost
+			raw, cost, trap = space.LoadCosted(*reg(fp, in.b), int(in.sub>>4))
+			extra += costLoadBase + cost
 			if trap != nil {
 				return 0, trap
 			}
 			y := normReg(raw, in.flags)
-			frame[int32(in.imm)] = y
+			*reg(fp, int32(in.imm)) = y
 			steps++
-			cycles++
 			if steps > limit {
 				return 0, timeoutErr{}
 			}
-			cycles += costAssert
+			extra += costAssert
 			if x != y {
 				return 0, &Detection{Reason: fmt.Sprintf("replica mismatch in %s: %#x != %#x", cf.name, x, y)}
 			}
@@ -247,78 +257,147 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 			continue
 		case opStore2:
 			// Fused replicated store pair.
-			cost, trap := space.StoreCosted(frame[in.a], int(in.sub&0xF), frame[in.b])
-			cycles += costStoreBase + cost
+			cost, trap := space.StoreCosted(*reg(fp, in.a), int(in.sub&0xF), *reg(fp, in.b))
+			extra += costStoreBase + cost
 			if trap != nil {
 				return 0, trap
 			}
 			steps++
-			cycles++
 			if steps > limit {
 				return 0, timeoutErr{}
 			}
-			cost, trap = space.StoreCosted(frame[int32(in.imm)], int(in.sub>>4), frame[int32(in.imm2)])
-			cycles += costStoreBase + cost
+			cost, trap = space.StoreCosted(*reg(fp, int32(in.imm)), int(in.sub>>4), *reg(fp, int32(in.imm2)))
+			extra += costStoreBase + cost
 			if trap != nil {
 				return 0, trap
 			}
 			pc += 2
 			continue
 		case opFieldAddr:
-			frame[in.dst] = frame[in.a] + in.imm
+			*reg(fp, in.dst) = *reg(fp, in.a) + in.imm
 		case opIndexAddr:
-			frame[in.dst] = uint64(int64(frame[in.a]) + int64(frame[in.b])*int64(in.imm))
+			*reg(fp, in.dst) = uint64(int64(*reg(fp, in.a)) + int64(*reg(fp, in.b))*int64(in.imm))
 		case opFieldLoad, opIndexLoad:
 			// Fused address-compute + load. The address instruction was
 			// counted by the loop header; the load counts itself below,
 			// replaying the separate instructions' accounting exactly.
 			var addr uint64
 			if in.op == opFieldLoad {
-				addr = frame[in.a] + in.imm
+				addr = *reg(fp, in.a) + in.imm
 			} else {
-				addr = uint64(int64(frame[in.a]) + int64(frame[in.b])*int64(in.imm))
+				addr = uint64(int64(*reg(fp, in.a)) + int64(*reg(fp, in.b))*int64(in.imm))
 			}
-			frame[in.dst] = addr
+			*reg(fp, in.dst) = addr
 			steps++
-			cycles++
 			if steps > limit {
 				return 0, timeoutErr{}
 			}
 			raw, cost, trap := space.LoadCosted(addr, int(in.sub))
-			cycles += costLoadBase + cost
+			extra += costLoadBase + cost
 			if trap != nil {
 				return 0, trap
 			}
-			frame[int32(in.imm2)] = normReg(raw, in.norm)
+			*reg(fp, int32(in.imm2)) = normReg(raw, in.norm)
 			pc += 2
 			continue
 		case opFieldStore, opIndexStore:
 			// Fused address-compute + store, mirroring opFieldLoad.
 			var addr uint64
 			if in.op == opFieldStore {
-				addr = frame[in.a] + in.imm
+				addr = *reg(fp, in.a) + in.imm
 			} else {
-				addr = uint64(int64(frame[in.a]) + int64(frame[in.b])*int64(in.imm))
+				addr = uint64(int64(*reg(fp, in.a)) + int64(*reg(fp, in.b))*int64(in.imm))
 			}
-			frame[in.dst] = addr
+			*reg(fp, in.dst) = addr
 			steps++
-			cycles++
 			if steps > limit {
 				return 0, timeoutErr{}
 			}
-			cost, trap := space.StoreCosted(addr, int(in.sub), frame[int32(in.imm2)])
-			cycles += costStoreBase + cost
+			cost, trap := space.StoreCosted(addr, int(in.sub), *reg(fp, int32(in.imm2)))
+			extra += costStoreBase + cost
 			if trap != nil {
 				return 0, trap
 			}
 			pc += 2
 			continue
+		case opConstAdd:
+			// Fused const + add (profile-selected, fusion.go). The constant
+			// lands first, then the add reads its operands from the frame,
+			// so a dependent add sees exactly what the unfused pair computes.
+			*reg(fp, in.dst) = in.imm
+			steps++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			*reg(fp, int32(uint32(in.imm2))) = normReg(*reg(fp, in.a)+*reg(fp, in.b), in.norm)
+			pc += 2
+			continue
+		case opConstAddBr:
+			// Fused const + add + br: the loop-increment tail.
+			*reg(fp, in.dst) = in.imm
+			steps++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			*reg(fp, int32(in.imm2&0xFFFF)) = normReg(*reg(fp, in.a)+*reg(fp, in.b), in.norm)
+			steps++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			extra += costBranch
+			pc = int(uint32(in.imm2 >> 32))
+			continue
+		case opConstLoad:
+			// Fused const + load (the load's pointer register is read after
+			// the constant lands, covering the materialized-address shape).
+			*reg(fp, in.dst) = in.imm
+			steps++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			raw, cost, trap := space.LoadCosted(*reg(fp, in.a), int(in.sub))
+			extra += costLoadBase + cost
+			if trap != nil {
+				return 0, trap
+			}
+			*reg(fp, int32(uint32(in.imm2))) = normReg(raw, in.norm)
+			pc += 2
+			continue
+		case opIndexAddr2:
+			// Fused back-to-back element-address computes (SDS's app+replica
+			// address pair); the second compute's regs/stride unpack from
+			// imm2 as four u16 fields.
+			*reg(fp, in.dst) = uint64(int64(*reg(fp, in.a)) + int64(*reg(fp, in.b))*int64(in.imm))
+			steps++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			p2 := in.imm2
+			*reg(fp, int32(p2&0xFFFF)) = uint64(int64(*reg(fp, int32((p2>>16)&0xFFFF))) +
+				int64(*reg(fp, int32((p2>>32)&0xFFFF)))*int64(p2>>48))
+			pc += 2
+			continue
+		case opFMulAdd64:
+			// Fused all-f64 multiply + add; operands are re-read from the
+			// frame after the product lands, so dependent adds chain exactly.
+			extra += costFloatOp
+			*reg(fp, in.dst) = math.Float64bits(math.Float64frombits(*reg(fp, in.a)) * math.Float64frombits(*reg(fp, in.b)))
+			steps++
+			if steps > limit {
+				return 0, timeoutErr{}
+			}
+			extra += costFloatOp
+			p2 := in.imm2
+			*reg(fp, int32(p2&0xFFFF)) = math.Float64bits(math.Float64frombits(*reg(fp, int32((p2>>16)&0xFFFF))) +
+				math.Float64frombits(*reg(fp, int32((p2>>32)&0xFFFF))))
+			pc += 2
+			continue
 		case opCall:
-			cycles += costCall
+			extra += costCall
 			cs := &cf.calls[in.imm]
 			ab := len(vm.argStack)
 			for _, r := range cs.args {
-				vm.argStack = append(vm.argStack, frame[r])
+				vm.argStack = append(vm.argStack, *reg(fp, r))
 			}
 			var rv uint64
 			var err error
@@ -328,25 +407,44 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 			} else {
 				rv, err = vm.Call(cs.fn, vm.argStack[ab:])
 			}
-			steps, cycles = vm.steps, vm.cycles
+			steps, extra = vm.steps, vm.cycles-vm.steps
 			vm.argStack = vm.argStack[:ab]
 			if err != nil {
 				return 0, err
 			}
 			if in.dst >= 0 {
-				frame[in.dst] = rv
+				*reg(fp, in.dst) = rv
 			}
 		case opCallIndirect:
-			cycles += costCall
-			fp := frame[in.a]
-			target, ok := vm.prog.byAddr[fp]
-			if !ok {
-				return 0, &mem.Trap{Reason: "indirect call through invalid function pointer", Addr: fp}
+			extra += costCall
+			fnp := *reg(fp, in.a)
+			// Monomorphic inline cache, keyed by this site's imm2 slot: one
+			// tag compare replaces the byAddr map lookup on repeat targets.
+			// Tags start 0 and valid function addresses are all nonzero
+			// (funcAddrBase), so the fp != 0 guard makes the empty slot a
+			// guaranteed miss; a null pointer falls through to the map and
+			// traps exactly like the walker.
+			if vm.icTags == nil {
+				vm.icTags = make([]uint64, vm.prog.indirectSites)
+				vm.icFuncs = make([]*compiledFunc, vm.prog.indirectSites)
+			}
+			slot := in.imm2
+			var target *compiledFunc
+			if fnp != 0 && vm.icTags[slot] == fnp {
+				target = vm.icFuncs[slot]
+			} else {
+				t, ok := vm.prog.byAddr[fnp]
+				if !ok {
+					return 0, &mem.Trap{Reason: "indirect call through invalid function pointer", Addr: fnp}
+				}
+				vm.icTags[slot] = fnp
+				vm.icFuncs[slot] = t
+				target = t
 			}
 			cs := &cf.calls[in.imm]
 			ab := len(vm.argStack)
 			for _, r := range cs.args {
-				vm.argStack = append(vm.argStack, frame[r])
+				vm.argStack = append(vm.argStack, *reg(fp, r))
 			}
 			var rv uint64
 			var err error
@@ -356,63 +454,63 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 			} else {
 				rv, err = vm.execCompiled(target, vm.argStack[ab:])
 			}
-			steps, cycles = vm.steps, vm.cycles
+			steps, extra = vm.steps, vm.cycles-vm.steps
 			vm.argStack = vm.argStack[:ab]
 			if err != nil {
 				return 0, err
 			}
 			if in.dst >= 0 {
-				frame[in.dst] = rv
+				*reg(fp, in.dst) = rv
 			}
 		case opRet:
-			cycles += costRet
+			extra += costRet
 			if in.a >= 0 {
-				return frame[in.a], nil
+				return *reg(fp, in.a), nil
 			}
 			return 0, nil
 		case opBr:
-			cycles += costBranch
+			extra += costBranch
 			pc = int(in.dst)
 			continue
 		case opCondBr:
-			cycles += costBranch
-			if frame[in.a] != 0 {
+			extra += costBranch
+			if *reg(fp, in.a) != 0 {
 				pc = int(in.dst)
 			} else {
 				pc = int(in.b)
 			}
 			continue
 		case opAssert:
-			cycles += costAssert
-			if frame[in.a] != frame[in.b] {
-				return 0, &Detection{Reason: fmt.Sprintf("replica mismatch in %s: %#x != %#x", cf.name, frame[in.a], frame[in.b])}
+			extra += costAssert
+			if *reg(fp, in.a) != *reg(fp, in.b) {
+				return 0, &Detection{Reason: fmt.Sprintf("replica mismatch in %s: %#x != %#x", cf.name, *reg(fp, in.a), *reg(fp, in.b))}
 			}
 		case opFaultPoint:
 			if !vm.faultSeen {
 				vm.faultSeen = true
-				vm.faultCycle = cycles
+				vm.faultCycle = steps + extra
 			}
 		case opRandInt:
-			cycles += costIntrinsic
+			extra += costIntrinsic
 			v, err := randInRange(vm.rng, int64(in.imm), int64(in.imm2))
 			if err != nil {
 				return 0, err
 			}
-			frame[in.dst] = v
+			*reg(fp, in.dst) = v
 		case opHeapBufSize:
-			cycles += costIntrinsic
-			size, trap := space.HeapPayloadSize(frame[in.a])
+			extra += costIntrinsic
+			size, trap := space.HeapPayloadSize(*reg(fp, in.a))
 			if trap != nil {
 				return 0, trap
 			}
-			frame[in.dst] = size
+			*reg(fp, in.dst) = size
 		case opOutput:
-			cycles += costOutput
-			vm.emitOutputRaw(ir.OutputMode(in.sub), in.flags&flagX32 != 0, frame[in.a])
+			extra += costOutput
+			vm.emitOutputRaw(ir.OutputMode(in.sub), in.flags&flagX32 != 0, *reg(fp, in.a))
 		case opExit:
 			code := int64(0)
 			if in.a >= 0 {
-				code = int64(frame[in.a])
+				code = int64(*reg(fp, in.a))
 			}
 			return 0, &ExitRequest{Code: code}
 		case opErr:
@@ -422,4 +520,13 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 		}
 		pc++
 	}
+}
+
+// instrSize is the byte stride of the flat code array.
+const instrSize = unsafe.Sizeof(decodedInstr{})
+
+// reg returns frame slot r through the unchecked base pointer; sound for
+// every register operand validateFunc admitted.
+func reg(fp unsafe.Pointer, r int32) *uint64 {
+	return (*uint64)(unsafe.Add(fp, uintptr(uint32(r))*8))
 }

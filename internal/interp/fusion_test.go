@@ -1,0 +1,84 @@
+package interp
+
+import "testing"
+
+// TestFuseCodeBranchIntoPairGuard pins the fusion pass's mid-sequence
+// guard over flat code the IR lowering cannot produce today: a branch
+// target landing on the second or third slot of a fusible sequence must
+// keep it unfused, because control entering there executes the original
+// tail instructions. A target on the head slot must NOT block fusion —
+// control entering at the head executes the whole fused sequence.
+func TestFuseCodeBranchIntoPairGuard(t *testing.T) {
+	pair := func() []decodedInstr {
+		return []decodedInstr{
+			// Both condbr arms target the head: a self-loop, so neither arm
+			// marks the pair's second slot.
+			{op: opCmp, dst: 2, a: 0, b: 1},
+			{op: opCondBr, a: 2, dst: 0, b: 0},
+		}
+	}
+	triple := func() []decodedInstr {
+		return []decodedInstr{
+			{op: opLoad, dst: 1, a: 0, imm: 8},
+			{op: opLoad, dst: 2, a: 0, imm: 8},
+			{op: opAssert, a: 1, b: 2},
+			{op: opRet},
+		}
+	}
+	cases := []struct {
+		name string
+		code []decodedInstr
+		br   int32 // extra opBr appended, targeting this pc (-1 = none)
+		want opcode
+	}{
+		{"pair-fuses", pair(), -1, opCmpBr},
+		{"pair-head-target-still-fuses", pair(), 0, opCmpBr},
+		{"pair-blocked-by-target-on-second", pair(), 1, opCmp},
+		{"triple-fuses", triple(), -1, opLoadLoadAssert},
+		{"triple-head-target-still-fuses", triple(), 0, opLoadLoadAssert},
+		{"triple-blocked-by-target-on-second", triple(), 1, opLoad},
+		{"triple-blocked-by-target-on-third", triple(), 2, opLoad},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code := tc.code
+			if tc.br >= 0 {
+				code = append(code, decodedInstr{op: opBr, dst: tc.br})
+			}
+			orig := append([]decodedInstr(nil), code...)
+			fuseCode(code)
+			if code[0].op != tc.want {
+				t.Fatalf("head opcode after fusion = %v, want %v", code[0].op, tc.want)
+			}
+			// Layout preservation: fusion rewrites only the head slot; the
+			// constituents keep their own slots so mid-sequence entry (and
+			// pc-based branch targets anywhere) still see the original code.
+			for pc := 1; pc < len(code); pc++ {
+				if code[pc] != orig[pc] {
+					t.Errorf("slot %d changed by fusion: %+v -> %+v", pc, orig[pc], code[pc])
+				}
+			}
+		})
+	}
+}
+
+// TestFuseCodeBlockedTailStillFusable: when a target blocks a triple's
+// third slot, the pass may still fuse the shorter pair inside it if a
+// pair rule matches the tail — but never across the blocked boundary.
+// With load;load;assert there is no pair rule for load;load, so the
+// whole window must stay unfused; this pins that no rule accidentally
+// claims it.
+func TestFuseCodeBlockedTailStillFusable(t *testing.T) {
+	code := []decodedInstr{
+		{op: opLoad, dst: 1, a: 0, imm: 8},
+		{op: opLoad, dst: 2, a: 0, imm: 8},
+		{op: opAssert, a: 1, b: 2},
+		{op: opBr, dst: 2},
+	}
+	fuseCode(code)
+	for pc, in := range code[:3] {
+		if in.op != []opcode{opLoad, opLoad, opAssert}[pc] {
+			t.Fatalf("slot %d fused to %s despite target on slot 2", pc, in.op)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package interp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dpmr/internal/dpmr"
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+	"dpmr/internal/workloads"
+)
+
+// compileFuzzSeeds are FuzzCompile's handwritten seed modules, aimed at
+// the fusion table's edges. TestCompileFuzzSeedsValid pins them as
+// parse-and-verify clean so a grammar drift cannot silently turn them
+// into skipped inputs.
+var compileFuzzSeeds = []string{
+	// A loop whose header is cmp+condbr and whose latch is const+add+br —
+	// the two control-flow fusion rules — with the back edge landing on a
+	// fused head (never a mid-pair slot).
+	"module m\nfunc @main() i64 {\n.entry:\n  %i = const i64 0\n  br .head\n.head:\n  %lim = const i64 10\n  %c = cmp slt %i, %lim\n  condbr %c, .body, .done\n.body:\n  %one = const i64 1\n  %i = add %i, %one\n  br .head\n.done:\n  ret %i\n}\n",
+	// Back-to-back loads of one cell feeding an assert (the DPMR check
+	// pattern) and a double store (the replicated-write pattern), plus
+	// the indexaddr pair.
+	"module m\nfunc @main() i64 {\n.entry:\n  %n = const i64 4\n  %zero = const i64 0\n  %p = malloc [4 x i64], count %n ; site 1\n  %q = indexaddr %p, %zero\n  %v = const i64 7\n  store %v, %q\n  store %v, %q\n  %a = load i64, %q\n  %b = load i64, %q\n  assert %a == %b\n  free %p\n  ret %a\n}\n",
+	// Trap path: division by zero right after a fusible const+add.
+	"module m\nfunc @main() i64 {\n.entry:\n  %z = const i64 0\n  %x = const i64 1\n  %y = add %x, %z\n  %d = sdiv %y, %z\n  ret %d\n}\n",
+	// Indirect call through a function address (inline-cache path).
+	"module m\nfunc @f() i64 {\n.entry:\n  %r = const i64 3\n  ret %r\n}\nfunc @main() i64 {\n.entry:\n  %p = funcaddr @f\n  %v = call %p()\n  ret %v\n}\n",
+}
+
+// compileDifferential runs text under the tree-walker and the compiled
+// engine and reports a fatal error on any Result divergence. It returns
+// false when the module never reached execution (parse/verify/compile
+// rejection — all legitimate).
+func compileDifferential(t *testing.T, text string) bool {
+	t.Helper()
+	m, err := ir.Parse(text)
+	if err != nil {
+		return false
+	}
+	if err := ir.Verify(m); err != nil {
+		return false
+	}
+	// Bound runaway loops; the limit applies identically to both engines,
+	// so a limit-exit Result still has to match exactly.
+	cfg := interp.Config{StepLimit: 50_000}
+	ref := interp.Run(m, cfg)
+	m.Freeze()
+	prog, err := interp.Compile(m)
+	if err != nil {
+		// Compile may reject a module (production falls back to the
+		// walker); it may not crash or mis-execute an accepted one.
+		return false
+	}
+	ccfg := cfg
+	ccfg.Prog = prog
+	got := interp.Run(m, ccfg)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("compiled result diverges from reference:\nref: %+v\ngot: %+v\n--- module ---\n%s", ref, got, text)
+	}
+	return true
+}
+
+// TestCompileFuzzSeedsValid: every handwritten fuzz seed parses,
+// verifies, compiles, and executes identically on both engines — the
+// deterministic half of FuzzCompile's contract.
+func TestCompileFuzzSeedsValid(t *testing.T) {
+	for i, text := range compileFuzzSeeds {
+		if !compileDifferential(t, text) {
+			t.Errorf("seed %d no longer reaches execution:\n%s", i, text)
+		}
+	}
+}
+
+// FuzzCompile is the compiled engine's native fuzz target: any module
+// the verifier accepts must produce a compiled Result bit-identical to
+// the tree-walker's — cycles, traps, detections, RNG sequence, output,
+// everything reflect.DeepEqual can see. The compile pipeline (decode →
+// fuse → packFrame → validate) may also reject a module outright
+// (falling back to the walker in production); what it must never do is
+// accept one and execute it differently, panic, or fault — validateFunc
+// exists so the executor's unchecked accesses stay inside proven bounds
+// even on adversarial control and operand layouts.
+//
+// Seeds are the workloads and a DPMR transform (the richest real
+// modules, together exercising every fusion rule) plus the handwritten
+// edge-case modules above.
+func FuzzCompile(f *testing.F) {
+	for _, w := range workloads.All() {
+		f.Add(w.Build().String())
+	}
+	if xm, err := dpmr.Transform(workloads.All()[0].Build(), dpmr.Config{
+		Design: dpmr.SDS, Diversity: dpmr.RearrangeHeap{}, Policy: dpmr.AllLoads{}, Seed: 1,
+	}); err == nil {
+		f.Add(xm.String())
+	}
+	for _, s := range compileFuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		compileDifferential(t, text)
+	})
+}

@@ -113,6 +113,11 @@ type Config struct {
 	Trace io.Writer
 	// TraceLimit caps traced instructions (0 = unlimited).
 	TraceLimit uint64
+	// OpStats, when non-nil, accumulates the executed opcode-pair/triple
+	// histogram that drives superinstruction selection (profile.go). Like
+	// Trace, it routes the run through the tree-walking loop so the
+	// compiled dispatch never pays for the hook.
+	OpStats *OpStats
 	// Prog, when non-nil, is the module's compiled form (Compile): the VM
 	// executes the pre-decoded register bytecode instead of tree-walking
 	// the IR. Results — cycles, traps, detections, RNG sequence, output —
@@ -176,6 +181,13 @@ type VM struct {
 	globalAddrs []uint64
 	regStack    []uint64
 	argStack    []uint64
+
+	// Indirect-call inline caches, indexed by each opCallIndirect's imm2
+	// slot: a monomorphic site resolves its target with one tag compare.
+	// Per-VM because the Program is shared read-only across concurrent
+	// VMs; allocated lazily on the first indirect call (exec.go).
+	icTags  []uint64
+	icFuncs []*compiledFunc
 }
 
 const funcAddrBase = 0x7F00_0000_0000_0000
@@ -223,7 +235,7 @@ func NewVM(m *ir.Module, cfg Config) (*VM, error) {
 		if cfg.Prog.mod != m {
 			return fail(fmt.Errorf("interp: Config.Prog was compiled from module %q, not %q", cfg.Prog.mod.Name, m.Name))
 		}
-		if cfg.Trace == nil {
+		if cfg.Trace == nil && cfg.OpStats == nil {
 			vm.prog = cfg.Prog
 		}
 	}
@@ -477,6 +489,10 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 	}
 	block := fn.Entry()
 	ip := 0
+	// Within-block opcode window for OpStats: reset to opInvalid at every
+	// block transition, because fusion (fusion.go) only ever reaches across
+	// instructions that are adjacent inside one block.
+	prev1, prev2 := opInvalid, opInvalid
 	for {
 		if ip >= len(block.Instrs) {
 			return 0, fmt.Errorf("fell off block %s in %s", block.Name, fn.Name)
@@ -489,6 +505,11 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 		}
 		if vm.cfg.Trace != nil && (vm.cfg.TraceLimit == 0 || vm.steps <= vm.cfg.TraceLimit) {
 			fmt.Fprintf(vm.cfg.Trace, "%10d @%s.%s: %s\n", vm.cycles, fn.Name, block.Name, in)
+		}
+		if s := vm.cfg.OpStats; s != nil {
+			op := opcodeOfInstr(in)
+			s.record(prev2, prev1, op)
+			prev2, prev1 = prev1, op
 		}
 		switch i := in.(type) {
 		case *ir.ConstInt:
@@ -596,6 +617,7 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 			vm.cycles += costBranch
 			block = i.Target
 			ip = 0
+			prev1, prev2 = opInvalid, opInvalid
 			continue
 		case *ir.CondBr:
 			vm.cycles += costBranch
@@ -605,6 +627,7 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 				block = i.False
 			}
 			ip = 0
+			prev1, prev2 = opInvalid, opInvalid
 			continue
 		case *ir.Assert:
 			vm.cycles += costAssert

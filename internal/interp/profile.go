@@ -1,0 +1,295 @@
+// Opcode-pair/triple profiling: the measurement side of profile-guided
+// superinstruction selection. An OpStats-carrying VM runs the reference
+// tree-walker (like a traced VM — the compiled loop keeps every hook out
+// of its dispatch) and records, for each executed instruction, the
+// compiled opcode it would decode to, paired with its within-block
+// predecessors. The resulting histogram is exactly the quantity the
+// fusion table in fusion.go is chosen from: a (a, b) pair that dominates
+// the dynamic instruction stream is a superinstruction candidate, because
+// fusing it removes one dispatch per execution; pairs split across a
+// block boundary never fuse, so the walker resets its window on every
+// branch, mirroring the fusion pass's own reach.
+//
+// `dpmr-run -opstats prof.json ...` dumps the histogram of one run as
+// JSON; docs/perf.md shows how to read it.
+package interp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dpmr/internal/ir"
+)
+
+// numOpcodes bounds the opcode enumeration for flat histogram arrays.
+const numOpcodes = int(opExit) + 1
+
+// opNames names each opcode for -opstats output and diagnostics.
+var opNames = [numOpcodes]string{
+	opInvalid:        "invalid",
+	opFellOff:        "fell-off",
+	opErr:            "err",
+	opConst:          "const",
+	opGlobalAddr:     "globaladdr",
+	opMove:           "move",
+	opMoveNorm:       "movenorm",
+	opAdd:            "add",
+	opSub:            "sub",
+	opMul:            "mul",
+	opSDiv:           "sdiv",
+	opUDiv:           "udiv",
+	opSRem:           "srem",
+	opURem:           "urem",
+	opAnd:            "and",
+	opOr:             "or",
+	opXor:            "xor",
+	opShl:            "shl",
+	opLShr:           "lshr",
+	opAShr:           "ashr",
+	opFAdd64:         "fadd64",
+	opFSub64:         "fsub64",
+	opFMul64:         "fmul64",
+	opFDiv64:         "fdiv64",
+	opFBin:           "fbin",
+	opCmp:            "cmp",
+	opCmpBr:          "cmp+br",
+	opConvert:        "convert",
+	opAlloc:          "alloc",
+	opFree:           "free",
+	opLoad:           "load",
+	opStore:          "store",
+	opFieldAddr:      "fieldaddr",
+	opIndexAddr:      "indexaddr",
+	opFieldLoad:      "fieldaddr+load",
+	opIndexLoad:      "indexaddr+load",
+	opFieldStore:     "fieldaddr+store",
+	opIndexStore:     "indexaddr+store",
+	opLoadLoadAssert: "load+load+assert",
+	opStore2:         "store+store",
+	opConstAdd:       "const+add",
+	opConstAddBr:     "const+add+br",
+	opConstLoad:      "const+load",
+	opIndexAddr2:     "indexaddr+indexaddr",
+	opFMulAdd64:      "fmul64+fadd64",
+	opCall:           "call",
+	opCallIndirect:   "callindirect",
+	opRet:            "ret",
+	opBr:             "br",
+	opCondBr:         "condbr",
+	opAssert:         "assert",
+	opFaultPoint:     "faultpoint",
+	opRandInt:        "randint",
+	opHeapBufSize:    "heapbufsize",
+	opOutput:         "output",
+	opExit:           "exit",
+}
+
+func (op opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("opcode(%d)", uint8(op))
+}
+
+// OpStats is a dynamic opcode histogram: executed-instruction counts for
+// single opcodes, within-block adjacent pairs, and within-block adjacent
+// triples. Collect one by setting Config.OpStats (which routes the run
+// through the instrumented tree-walker); it is not safe for concurrent
+// VMs.
+type OpStats struct {
+	singles [numOpcodes]uint64
+	pairs   map[[2]opcode]uint64
+	triples map[[3]opcode]uint64
+}
+
+// NewOpStats returns an empty histogram.
+func NewOpStats() *OpStats {
+	return &OpStats{
+		pairs:   make(map[[2]opcode]uint64),
+		triples: make(map[[3]opcode]uint64),
+	}
+}
+
+// record notes one executed instruction whose within-block predecessors
+// were prev2, prev1 (opInvalid at a block start, where no pair can fuse).
+func (s *OpStats) record(prev2, prev1, op opcode) {
+	s.singles[op]++
+	if prev1 != opInvalid {
+		s.pairs[[2]opcode{prev1, op}]++
+		if prev2 != opInvalid {
+			s.triples[[3]opcode{prev2, prev1, op}]++
+		}
+	}
+}
+
+// Total returns the executed-instruction count.
+func (s *OpStats) Total() uint64 {
+	var n uint64
+	for _, c := range s.singles {
+		n += c
+	}
+	return n
+}
+
+// opCount is one histogram row of the JSON dump.
+type opCount struct {
+	Ops   []string `json:"ops"`
+	Count uint64   `json:"count"`
+	// Share is Count over the total executed-instruction count: the
+	// fraction of all dispatches a fusion of Ops could touch.
+	Share float64 `json:"share"`
+}
+
+// opStatsJSON is the -opstats document: the per-opcode counts plus the
+// pair and triple histograms, each sorted by descending count.
+type opStatsJSON struct {
+	Total   uint64    `json:"total"`
+	Singles []opCount `json:"singles"`
+	Pairs   []opCount `json:"pairs"`
+	Triples []opCount `json:"triples"`
+}
+
+// WriteJSON dumps the histogram as indented JSON, rows sorted by
+// descending count (ties by name, so output is deterministic).
+func (s *OpStats) WriteJSON(w io.Writer) error {
+	total := s.Total()
+	share := func(c uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return float64(c) / float64(total)
+	}
+	doc := opStatsJSON{Total: total}
+	for op, c := range s.singles {
+		if c > 0 {
+			doc.Singles = append(doc.Singles, opCount{Ops: []string{opcode(op).String()}, Count: c, Share: share(c)})
+		}
+	}
+	for k, c := range s.pairs {
+		doc.Pairs = append(doc.Pairs, opCount{Ops: []string{k[0].String(), k[1].String()}, Count: c, Share: share(c)})
+	}
+	for k, c := range s.triples {
+		doc.Triples = append(doc.Triples, opCount{Ops: []string{k[0].String(), k[1].String(), k[2].String()}, Count: c, Share: share(c)})
+	}
+	for _, rows := range [][]opCount{doc.Singles, doc.Pairs, doc.Triples} {
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].Count != rows[j].Count {
+				return rows[i].Count > rows[j].Count
+			}
+			return fmt.Sprint(rows[i].Ops) < fmt.Sprint(rows[j].Ops)
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// opcodeOfInstr maps an IR instruction to the unfused opcode decode would
+// assign it — the vocabulary the pair/triple histogram is expressed in.
+// It mirrors decode's opcode selection (including the all-f64 float
+// specializations) without touching operands, so profile rows line up
+// with the fusion table's entries.
+func opcodeOfInstr(in ir.Instr) opcode {
+	switch i := in.(type) {
+	case *ir.ConstInt, *ir.ConstFloat, *ir.ConstNull, *ir.FuncAddr:
+		return opConst
+	case *ir.Move, *ir.Bitcast, *ir.IntToPtr:
+		return opMove
+	case *ir.PtrToInt:
+		return opMoveNorm
+	case *ir.BinOp:
+		return binOpcodeOf(i)
+	case *ir.Cmp:
+		return opCmp
+	case *ir.Convert:
+		return opConvert
+	case *ir.Alloc:
+		return opAlloc
+	case *ir.Free:
+		return opFree
+	case *ir.Load:
+		return opLoad
+	case *ir.Store:
+		return opStore
+	case *ir.FieldAddr:
+		return opFieldAddr
+	case *ir.IndexAddr:
+		return opIndexAddr
+	case *ir.GlobalAddr:
+		return opGlobalAddr
+	case *ir.Call:
+		if i.Callee != "" {
+			return opCall
+		}
+		return opCallIndirect
+	case *ir.Ret:
+		return opRet
+	case *ir.Br:
+		return opBr
+	case *ir.CondBr:
+		return opCondBr
+	case *ir.Assert:
+		return opAssert
+	case *ir.FaultPoint:
+		return opFaultPoint
+	case *ir.RandInt:
+		return opRandInt
+	case *ir.HeapBufSize:
+		return opHeapBufSize
+	case *ir.Output:
+		return opOutput
+	case *ir.Exit:
+		return opExit
+	}
+	return opErr
+}
+
+// binOpcodeOf mirrors decodeBinOp's opcode selection.
+func binOpcodeOf(i *ir.BinOp) opcode {
+	if i.Op.IsFloat() {
+		if !isF32(i.X.Type) && !isF32(i.Y.Type) && !isF32(i.Dst.Type) {
+			switch i.Op {
+			case ir.OpFAdd:
+				return opFAdd64
+			case ir.OpFSub:
+				return opFSub64
+			case ir.OpFMul:
+				return opFMul64
+			case ir.OpFDiv:
+				return opFDiv64
+			}
+		}
+		return opFBin
+	}
+	switch i.Op {
+	case ir.OpAdd:
+		return opAdd
+	case ir.OpSub:
+		return opSub
+	case ir.OpMul:
+		return opMul
+	case ir.OpSDiv:
+		return opSDiv
+	case ir.OpSRem:
+		return opSRem
+	case ir.OpUDiv:
+		return opUDiv
+	case ir.OpURem:
+		return opURem
+	case ir.OpAnd:
+		return opAnd
+	case ir.OpOr:
+		return opOr
+	case ir.OpXor:
+		return opXor
+	case ir.OpShl:
+		return opShl
+	case ir.OpLShr:
+		return opLShr
+	case ir.OpAShr:
+		return opAShr
+	}
+	return opErr
+}

@@ -56,33 +56,28 @@ func NewCache(cfg CacheConfig) *Cache {
 	}
 }
 
-// set maps an address to its set's way array and lookup tag. This is the
-// single home of the line/set/tag encoding; it is small enough to inline,
-// which is what lets the fused Load/StoreCosted fast paths in space.go
-// share it without paying a call on every access.
-func (c *Cache) set(addr uint64) (ws []uint64, tag uint64) {
+// Access touches addr and returns the access cost in cycles. Lines are
+// maintained in LRU order within each set (move-to-front). The line/set/
+// tag encoding here is mirrored by the fused Load/StoreCosted fast paths
+// in space.go (Access itself is past their inlining budget); bit 63 marks
+// occupancy so line 0 is representable.
+func (c *Cache) Access(addr uint64) uint64 {
 	line := addr >> c.lineShift
 	base := int(line&c.setMask) * c.ways
-	// Bit 63 marks occupancy so line 0 is representable.
-	return c.tags[base : base+c.ways], line | 1<<63
-}
-
-// Access touches addr and returns the access cost in cycles. Lines are
-// maintained in LRU order within each set (move-to-front).
-func (c *Cache) Access(addr uint64) uint64 {
-	ws, tag := c.set(addr)
-	if ws[0] == tag {
+	tag := line | 1<<63
+	if c.tags[base] == tag {
 		// MRU hit: the overwhelmingly common case, no reordering needed.
 		c.hits++
 		return CacheHitCost
 	}
-	return c.accessSlow(ws, tag)
+	return c.accessSlow(base, tag)
 }
 
 // accessSlow handles the non-MRU ways of one set: an LRU-reordering hit
 // or a miss with eviction. Split out so Access (and the fused
 // Load/StoreCosted fast paths in space.go) stay small.
-func (c *Cache) accessSlow(ws []uint64, tag uint64) uint64 {
+func (c *Cache) accessSlow(base int, tag uint64) uint64 {
+	ws := c.tags[base : base+c.ways]
 	for i := 1; i < len(ws); i++ {
 		if ws[i] == tag {
 			// Hit: move to front.

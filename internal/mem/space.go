@@ -242,11 +242,13 @@ func (s *Space) LoadCosted(addr uint64, n int) (val, cost uint64, trap *Trap) {
 	cost = CacheHitCost
 	if c := s.cache; c != nil {
 		// Cache.Access with its MRU fast path unrolled (Access itself is
-		// past the inlining budget); the encoding lives in Cache.set.
-		if ws, tag := c.set(addr); ws[0] == tag {
+		// past the inlining budget); Access documents the line/set/tag
+		// encoding this mirrors.
+		line := addr >> c.lineShift
+		if base, tag := int(line&c.setMask)*c.ways, line|1<<63; c.tags[base] == tag {
 			c.hits++
 		} else {
-			cost = c.accessSlow(ws, tag)
+			cost = c.accessSlow(base, tag)
 		}
 	}
 	if !s.mapped(addr, uint64(n)) {
@@ -295,11 +297,13 @@ func (s *Space) StoreCosted(addr uint64, n int, val uint64) (cost uint64, trap *
 	cost = CacheHitCost
 	if c := s.cache; c != nil {
 		// Cache.Access with its MRU fast path unrolled (Access itself is
-		// past the inlining budget); the encoding lives in Cache.set.
-		if ws, tag := c.set(addr); ws[0] == tag {
+		// past the inlining budget); Access documents the line/set/tag
+		// encoding this mirrors.
+		line := addr >> c.lineShift
+		if base, tag := int(line&c.setMask)*c.ways, line|1<<63; c.tags[base] == tag {
 			c.hits++
 		} else {
-			cost = c.accessSlow(ws, tag)
+			cost = c.accessSlow(base, tag)
 		}
 	}
 	if !s.mapped(addr, uint64(n)) {
