@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"dpmr/internal/harness"
 	"dpmr/internal/interp"
 	"dpmr/internal/ir"
+	"dpmr/internal/journal"
 	"dpmr/internal/mem"
 	"dpmr/internal/workloads"
 )
@@ -493,6 +495,77 @@ func BenchmarkCampaign(b *testing.B) {
 		}
 		b.ReportMetric(float64(stats.Peak), "peak-resident")
 		b.ReportMetric(float64(stats.Builds), "modules-built")
+	})
+
+	// Journal ablation: the same serial campaign made crash-safe — every
+	// completed span fsynced to the journal and the progressive report
+	// atomically rewritten as it lands. The delta against parallel1 is
+	// what durability costs.
+	b.Run("journal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			j, prior, err := harness.OpenJournal(dir, false, campaign)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _, err = harness.NewRunner().RunCampaignJournaled(context.Background(), campaign, j, prior,
+				harness.DefaultResumeSpans, func(cr *harness.CampaignResult, done, total int) {
+					if werr := journal.WriteReport(dir, func(w io.Writer) error {
+						_, err := fmt.Fprintf(w, "%s: %d of %d trials\n", cr.Kind, done, total)
+						return err
+					}); werr != nil {
+						b.Fatal(werr)
+					}
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportTrialsPerSec(b, trials)
+	})
+
+	// Resume overhead: replaying a complete journal — decode, checksum
+	// verification, cross-checks, and the merge — with zero trials
+	// re-executed. This is the fixed price a resumed campaign pays before
+	// its first new trial.
+	b.Run("journalreplay", func(b *testing.B) {
+		dir := b.TempDir()
+		j, prior, err := harness.OpenJournal(dir, false, campaign)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := harness.NewRunner().RunCampaignJournaled(context.Background(), campaign, j, prior,
+			harness.DefaultResumeSpans, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j, rp, err := harness.OpenJournal(dir, true, campaign)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, executed, err := harness.NewRunner().RunCampaignJournaled(context.Background(), campaign, j, rp,
+				harness.DefaultResumeSpans, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if executed != 0 {
+				b.Fatalf("replay of a complete journal executed %d trials", executed)
+			}
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

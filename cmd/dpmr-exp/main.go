@@ -65,6 +65,7 @@ import (
 
 	"dpmr/internal/coord"
 	"dpmr/internal/harness"
+	"dpmr/internal/journal"
 	"dpmr/internal/prof"
 )
 
@@ -82,21 +83,23 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs := flag.NewFlagSet("dpmr-exp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "", "experiment id (fig3.6..fig4.14, tab3.3/3.4/4.5/4.6) or 'all'")
-		list     = fs.Bool("list", false, "list experiment ids and exit")
-		quick    = fs.Bool("quick", false, "quick mode: fewer workloads, sites, runs")
-		runs     = fs.Int("runs", 0, "runs per experiment tuple (default 2; 1 in quick mode)")
-		maxSites = fs.Int("max-sites", 0, "cap injection sites per workload (0 = all)")
-		specFile = fs.String("spec", "", "run the experiment described by this JSON spec file instead of the declarative flags")
-		dumpSpec = fs.Bool("dump-spec", false, "print the canonical JSON spec of the requested experiment and exit (the -spec file format)")
-		parallel = fs.Int("parallel", 1, "campaign worker goroutines (output is identical at any count)")
-		progress = fs.Bool("progress", false, "report per-trial campaign progress and module-cache residency on stderr")
-		evict    = fs.Bool("evict", true, "release each module after its final trial (bounds peak cache residency)")
-		shard    = fs.String("shard", "", "run shard i/N of the experiment and write a partial result (requires a single experiment)")
-		outPath  = fs.String("out", "", "partial-result output file with -shard (default stdout)")
-		merge    = fs.Bool("merge", false, "merge partial-result files, directories, or globs (the positional arguments) and render the report")
-		compile  = fs.Bool("compile", true, "execute trials as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
-		precomp  = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off; output is byte-identical, only speed differs)")
+		exp        = fs.String("exp", "", "experiment id (fig3.6..fig4.14, tab3.3/3.4/4.5/4.6) or 'all'")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		quick      = fs.Bool("quick", false, "quick mode: fewer workloads, sites, runs")
+		runs       = fs.Int("runs", 0, "runs per experiment tuple (default 2; 1 in quick mode)")
+		maxSites   = fs.Int("max-sites", 0, "cap injection sites per workload (0 = all)")
+		specFile   = fs.String("spec", "", "run the experiment described by this JSON spec file instead of the declarative flags")
+		dumpSpec   = fs.Bool("dump-spec", false, "print the canonical JSON spec of the requested experiment and exit (the -spec file format)")
+		parallel   = fs.Int("parallel", 1, "campaign worker goroutines (output is identical at any count)")
+		progress   = fs.Bool("progress", false, "report per-trial campaign progress and module-cache residency on stderr")
+		evict      = fs.Bool("evict", true, "release each module after its final trial (bounds peak cache residency)")
+		shard      = fs.String("shard", "", "run shard i/N of the experiment and write a partial result (requires a single experiment)")
+		outPath    = fs.String("out", "", "partial-result output file with -shard (default stdout)")
+		merge      = fs.Bool("merge", false, "merge partial-result files, directories, or globs (the positional arguments) and render the report")
+		compile    = fs.Bool("compile", true, "execute trials as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
+		precomp    = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off; output is byte-identical, only speed differs)")
+		journalDir = fs.String("journal", "", "journal completed trial spans to this `dir` and write a progressive report there (requires a single experiment)")
+		resumeJnl  = fs.Bool("resume", false, "resume the experiment from an existing -journal directory, re-running only the missing trials")
 	)
 	var cf coord.CLIFlags
 	cf.Register(fs, "experiment", "worker mode: serve shard assignments from stdin (JSON lines carrying the spec; normally spawned by a coordinator)")
@@ -174,6 +177,17 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	if cf.Enabled() && (spec.Exp == "" || spec.Exp == "all") {
 		return fail(stderr, fmt.Errorf("-coord requires a single experiment via -exp or -spec"))
+	}
+	if *resumeJnl && *journalDir == "" {
+		return fail(stderr, fmt.Errorf("-resume requires -journal (the directory holding the journal to continue)"))
+	}
+	if *journalDir != "" {
+		if *merge || *shard != "" || cf.Enabled() || cf.Worker {
+			return fail(stderr, fmt.Errorf("-journal is incompatible with -merge, -shard, -coord, and -worker (the journal replaces manual shard files)"))
+		}
+		if spec.Exp == "" || spec.Exp == "all" {
+			return fail(stderr, fmt.Errorf("-journal requires a single experiment via -exp or -spec"))
+		}
 	}
 	if spec.Exp == "" && !*merge && !cf.Worker {
 		fs.Usage()
@@ -261,6 +275,38 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return 0
 	case cf.Enabled():
 		return runCoordinated(ctx, spec, cf, opts, *progress, stdout, stderr)
+	case *journalDir != "":
+		// Journal open/validation errors are usage-class (exit 2): a
+		// mismatched spec, a missing journal under -resume, a clobbered or
+		// corrupt directory — all name what to fix.
+		j, prior, err := harness.OpenJournal(*journalDir, *resumeJnl, spec)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer j.Close()
+		var snapErr error
+		executed, err := harness.GenerateJournaled(ctx, spec, j, prior, harness.DefaultResumeSpans, stdout, opts,
+			func(render func(io.Writer) error, done, total int) {
+				if werr := journal.WriteReport(*journalDir, func(w io.Writer) error {
+					if err := render(w); err != nil {
+						return err
+					}
+					if done < total {
+						fmt.Fprintf(w, "# journal: %d of %d trials\n", done, total)
+					}
+					return nil
+				}); werr != nil && snapErr == nil {
+					snapErr = werr
+				}
+			})
+		if err != nil {
+			return runFail(stderr, err)
+		}
+		if snapErr != nil {
+			return runFail(stderr, snapErr)
+		}
+		fmt.Fprintf(stderr, "journal: executed %d trials\n", executed)
+		return 0
 	}
 
 	if spec.Exp == "all" {

@@ -306,3 +306,85 @@ func TestSpecKindMismatchNamed(t *testing.T) {
 		}
 	}
 }
+
+// TestJournalFlagValidation is the dpmr-exp -journal/-resume flag
+// contract: bad combinations are named exit-2 usage errors.
+func TestJournalFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"resume without journal", []string{"-exp", "fig3.7", "-resume"}, "-resume requires -journal"},
+		{"journal with shard", []string{"-exp", "fig3.7", "-journal", "j", "-shard", "0/2"}, "-journal is incompatible"},
+		{"journal with merge", []string{"-journal", "j", "-merge", "x.json"}, "-journal is incompatible"},
+		{"journal with coord", []string{"-exp", "fig3.7", "-journal", "j", "-coord", "2"}, "-journal is incompatible"},
+		{"journal with worker", []string{"-journal", "j", "-worker"}, "-journal is incompatible"},
+		{"journal of all", []string{"-exp", "all", "-journal", "j"}, "-journal requires a single experiment"},
+		{"journal without exp", []string{"-journal", "j"}, "-journal requires a single experiment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := runCLI(tc.args, noStdin(), &stdout, &stderr); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2 (stderr: %s)", tc.args, code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestJournalEndToEnd: a journaled experiment — one campaign-shaped
+// (fig3.7) and one overhead-shaped (fig3.16) — reproduces the direct
+// report byte for byte, leaves report.txt identical to stdout, refuses
+// a changed spec, and a resume of the complete journal executes nothing.
+func TestJournalEndToEnd(t *testing.T) {
+	for _, exp := range []string{"fig3.7", "fig3.16"} {
+		t.Run(exp, func(t *testing.T) {
+			base := []string{"-exp", exp, "-quick"}
+			var direct, directErr bytes.Buffer
+			if code := runCLI(base, noStdin(), &direct, &directErr); code != 0 {
+				t.Fatalf("direct run failed: %s", directErr.String())
+			}
+
+			dir := t.TempDir()
+			var journaled, jerr bytes.Buffer
+			if code := runCLI(append(base, "-journal", dir), noStdin(), &journaled, &jerr); code != 0 {
+				t.Fatalf("journaled run failed: %s", jerr.String())
+			}
+			if !bytes.Equal(direct.Bytes(), journaled.Bytes()) {
+				t.Errorf("journaled report differs from direct:\n--- direct ---\n%s\n--- journaled ---\n%s",
+					direct.String(), journaled.String())
+			}
+			report, err := os.ReadFile(filepath.Join(dir, "report.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(report, journaled.Bytes()) {
+				t.Errorf("final report.txt differs from stdout:\n--- report.txt ---\n%s\n--- stdout ---\n%s",
+					report, journaled.String())
+			}
+
+			// The journal is bound to the spec: dropping -quick changes the
+			// fingerprint and must be refused, not silently re-run.
+			var stderr bytes.Buffer
+			if code := runCLI([]string{"-exp", exp, "-journal", dir, "-resume"}, noStdin(), &bytes.Buffer{}, &stderr); code != 2 ||
+				!strings.Contains(stderr.String(), "identical to resume") {
+				t.Errorf("changed-spec resume exited %d, stderr %q", code, stderr.String())
+			}
+
+			var resumed, rerr bytes.Buffer
+			if code := runCLI(append(base, "-journal", dir, "-resume"), noStdin(), &resumed, &rerr); code != 0 {
+				t.Fatalf("resume of complete journal failed: %s", rerr.String())
+			}
+			if !bytes.Equal(direct.Bytes(), resumed.Bytes()) {
+				t.Errorf("resumed report differs from direct")
+			}
+			if !strings.Contains(rerr.String(), "executed 0") {
+				t.Errorf("resume of a complete journal re-executed trials: %q", rerr.String())
+			}
+		})
+	}
+}

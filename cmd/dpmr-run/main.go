@@ -56,6 +56,7 @@ import (
 	"dpmr/internal/faultinject"
 	"dpmr/internal/harness"
 	"dpmr/internal/interp"
+	"dpmr/internal/journal"
 	"dpmr/internal/prof"
 	"dpmr/internal/workloads"
 )
@@ -73,27 +74,29 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs := flag.NewFlagSet("dpmr-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload  = fs.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
-		useDPMR   = fs.Bool("dpmr", false, "apply the DPMR transformation")
-		inject    = fs.String("inject", "", "fault to inject: heap-array-resize or immediate-free")
-		site      = fs.Int("site", 0, "allocation site id for the injection")
-		seed      = fs.Int64("seed", 1, "VM seed (diversity randomness)")
-		useDSA    = fs.Bool("dsa", false, "use the Chapter 5 DSA-refined pipeline")
-		listSites = fs.Bool("sites", false, "list injectable allocation sites and exit")
-		showIR    = fs.Bool("dump-ir", false, "print the module IR instead of running")
-		campaign  = fs.Bool("campaign", false, "run the full sites × runs injection campaign for this workload/variant")
-		specFile  = fs.String("spec", "", "run the campaign described by this JSON spec file instead of the declarative flags (with -campaign)")
-		dumpSpec  = fs.Bool("dump-spec", false, "print the campaign's canonical JSON spec and exit (the -spec file format; with -campaign)")
-		parallel  = fs.Int("parallel", 1, "campaign worker goroutines (with -campaign)")
-		runs      = fs.Int("runs", 2, "runs per injection site (with -campaign)")
-		progress  = fs.Bool("progress", false, "report campaign progress and module-cache residency on stderr (with -campaign)")
-		evict     = fs.Bool("evict", true, "release each module after its final trial (with -campaign)")
-		shard     = fs.String("shard", "", "run campaign shard i/N and write a partial result (with -campaign)")
-		outPath   = fs.String("out", "", "partial-result output file with -shard (default stdout)")
-		merge     = fs.Bool("merge", false, "merge campaign partial-result files (the positional arguments; with -campaign)")
-		compile   = fs.Bool("compile", true, "execute as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
-		precomp   = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off; output is byte-identical, only speed differs; with -campaign)")
-		opStats   = fs.String("opstats", "", "write the executed opcode-pair/triple histogram as JSON to `file` (\"-\" = stdout; single runs only, runs on the reference interpreter)")
+		workload   = fs.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
+		useDPMR    = fs.Bool("dpmr", false, "apply the DPMR transformation")
+		inject     = fs.String("inject", "", "fault to inject: heap-array-resize or immediate-free")
+		site       = fs.Int("site", 0, "allocation site id for the injection")
+		seed       = fs.Int64("seed", 1, "VM seed (diversity randomness)")
+		useDSA     = fs.Bool("dsa", false, "use the Chapter 5 DSA-refined pipeline")
+		listSites  = fs.Bool("sites", false, "list injectable allocation sites and exit")
+		showIR     = fs.Bool("dump-ir", false, "print the module IR instead of running")
+		campaign   = fs.Bool("campaign", false, "run the full sites × runs injection campaign for this workload/variant")
+		specFile   = fs.String("spec", "", "run the campaign described by this JSON spec file instead of the declarative flags (with -campaign)")
+		dumpSpec   = fs.Bool("dump-spec", false, "print the campaign's canonical JSON spec and exit (the -spec file format; with -campaign)")
+		parallel   = fs.Int("parallel", 1, "campaign worker goroutines (with -campaign)")
+		runs       = fs.Int("runs", 2, "runs per injection site (with -campaign)")
+		progress   = fs.Bool("progress", false, "report campaign progress and module-cache residency on stderr (with -campaign)")
+		evict      = fs.Bool("evict", true, "release each module after its final trial (with -campaign)")
+		shard      = fs.String("shard", "", "run campaign shard i/N and write a partial result (with -campaign)")
+		outPath    = fs.String("out", "", "partial-result output file with -shard (default stdout)")
+		merge      = fs.Bool("merge", false, "merge campaign partial-result files (the positional arguments; with -campaign)")
+		journalDir = fs.String("journal", "", "journal completed trial spans to this `dir` and write a progressive report there (with -campaign)")
+		resume     = fs.Bool("resume", false, "resume the campaign from an existing -journal directory, re-running only the missing trials")
+		compile    = fs.Bool("compile", true, "execute as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
+		precomp    = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off; output is byte-identical, only speed differs; with -campaign)")
+		opStats    = fs.String("opstats", "", "write the executed opcode-pair/triple histogram as JSON to `file` (\"-\" = stdout; single runs only, runs on the reference interpreter)")
 	)
 	var vf harness.VariantFlags
 	vf.Register(fs)
@@ -148,6 +151,12 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		if *specFile != "" || *dumpSpec {
 			return fail(fmt.Errorf("-spec and -dump-spec require -campaign"))
 		}
+		if *journalDir != "" || *resume {
+			return fail(fmt.Errorf("-journal and -resume require -campaign"))
+		}
+	}
+	if *resume && *journalDir == "" {
+		return fail(fmt.Errorf("-resume requires -journal (the directory holding the journal to continue)"))
 	}
 	if cf.Worker {
 		// A worker serves whatever Spec each assignment carries; pinning
@@ -155,7 +164,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		// only invite drift.
 		for flag, on := range map[string]bool{
 			"-campaign": *campaign, "-merge": *merge, "-shard": *shard != "",
-			"-coord": cf.Enabled(), "-spec": *specFile != "",
+			"-coord": cf.Enabled(), "-spec": *specFile != "", "-journal": *journalDir != "",
 		} {
 			if on {
 				return fail(fmt.Errorf("%s and -worker are mutually exclusive (assignments carry the spec)", flag))
@@ -211,6 +220,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 		if modes > 1 {
 			return fail(fmt.Errorf("-merge, -shard, and -coord are mutually exclusive"))
+		}
+		if *journalDir != "" && (*merge || *shard != "") {
+			return fail(fmt.Errorf("-journal is incompatible with -shard and -merge (the journal replaces manual shard files)"))
 		}
 		if *merge && len(fs.Args()) == 0 {
 			return fail(fmt.Errorf("-merge needs the partial-result files as arguments"))
@@ -271,6 +283,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			progress: *progress, evict: *evict, compile: *compile,
 			shardSpec: shardSpec, sharded: *shard != "", outPath: *outPath,
 			merge: *merge, mergeFiles: fs.Args(),
+			journalDir: *journalDir, resume: *resume,
 			coordFlags: cf,
 			stdout:     stdout, stderr: stderr,
 		})
@@ -386,6 +399,8 @@ type campaignArgs struct {
 	shardSpec              harness.ShardSpec
 	outPath                string
 	mergeFiles             []string
+	journalDir             string
+	resume                 bool
 	coordFlags             coord.CLIFlags
 	stdout, stderr         io.Writer
 }
@@ -442,6 +457,10 @@ func runCampaign(ctx context.Context, a campaignArgs) int {
 	runFail := func(err error) int { return execFail(a.stderr, err) }
 
 	switch {
+	case a.journalDir != "" && a.coordFlags.Enabled():
+		return runCoordinatedJournaled(ctx, a)
+	case a.journalDir != "":
+		return runJournaledCampaign(ctx, a)
 	case a.coordFlags.Enabled():
 		return runCoordinatedCampaign(ctx, a)
 	case a.sharded:
@@ -506,6 +525,151 @@ func runCampaign(ctx context.Context, a campaignArgs) int {
 	printCampaignSummary(a.stdout, fmt.Sprintf("%d workers", a.parallel), res.Campaign)
 	fmt.Fprintf(a.stdout, "modules:    %d built, peak %d resident, %d evicted\n",
 		res.Stats.Builds, res.Stats.Peak, res.Stats.Evicted)
+	return 0
+}
+
+// journalRunner builds the Runner a journaled campaign executes on: the
+// journal path drives the Runner directly (not a Session), so execution
+// policy and the optional progress sink are set on it here.
+func (a campaignArgs) journalRunner() *harness.Runner {
+	r := harness.NewRunner()
+	r.Parallel = a.parallel
+	r.EvictModules = a.evict
+	r.Compile = a.compile
+	r.Precompile = a.precompile
+	if a.progress {
+		r.Events = harness.RenderProgress(a.stderr, "campaign")
+	}
+	return r
+}
+
+// writeJournaledSummary renders the journaled campaign summary: the
+// standard coverage block, plus a trailing progress comment only while
+// trials are still missing — so the final progressive report file is
+// byte-identical to the summary an uninterrupted run prints on stdout.
+func writeJournaledSummary(w io.Writer, cr *harness.CampaignResult, done, total int) {
+	printCampaignSummary(w, "journaled", cr)
+	if done < total {
+		fmt.Fprintf(w, "# journal: %d of %d trials\n", done, total)
+	}
+}
+
+// runJournaledCampaign executes the campaign against a -journal
+// directory: replayed coverage is skipped, each completed span is made
+// durable before the next starts, the progressive report re-renders as
+// spans land, and the final summary is byte-identical to a run that was
+// never interrupted.
+func runJournaledCampaign(ctx context.Context, a campaignArgs) int {
+	j, prior, err := harness.OpenJournal(a.journalDir, a.resume, a.spec)
+	if err != nil {
+		return usageFail(a.stderr, err)
+	}
+	defer j.Close()
+	var snapErr error
+	var total int
+	cr, executed, err := a.journalRunner().RunCampaignJournaled(ctx, a.spec, j, prior, harness.DefaultResumeSpans,
+		func(snapshot *harness.CampaignResult, done, planTotal int) {
+			total = planTotal
+			if werr := journal.WriteReport(a.journalDir, func(w io.Writer) error {
+				writeJournaledSummary(w, snapshot, done, planTotal)
+				return nil
+			}); werr != nil && snapErr == nil {
+				snapErr = werr
+			}
+		})
+	if err != nil {
+		return execFail(a.stderr, err)
+	}
+	if snapErr != nil {
+		return execFail(a.stderr, snapErr)
+	}
+	fmt.Fprintf(a.stderr, "journal: replayed %d trials, executed %d\n", total-executed, executed)
+	writeJournaledSummary(a.stdout, cr, total, total)
+	return 0
+}
+
+// runCoordinatedJournaled resumes the campaign under the coordinator:
+// the journal's gaps are cut into adaptively sized spans, leased to the
+// fleet, journaled as each shard's first result lands (before the shard
+// is marked done), and merged with the replayed coverage.
+func runCoordinatedJournaled(ctx context.Context, a campaignArgs) int {
+	j, prior, err := harness.OpenJournal(a.journalDir, a.resume, a.spec)
+	if err != nil {
+		return usageFail(a.stderr, err)
+	}
+	defer j.Close()
+	r := a.journalRunner()
+	c, err := r.ResumeCampaign(a.spec, prior)
+	if err != nil {
+		return execFail(a.stderr, err)
+	}
+	// -coord-shards overrides the default span count; the cut itself
+	// stays a pure function of (journal, Spec, span count) — never of the
+	// worker count.
+	spanCount := harness.DefaultResumeSpans
+	if a.coordFlags.Shards > 0 {
+		spanCount = a.coordFlags.Shards
+	}
+	parts := append([]*harness.PartialResult(nil), c.Parts...)
+	writeSnap := func() error {
+		done := 0
+		for _, p := range parts {
+			done += p.Hi - p.Lo
+		}
+		return journal.WriteReport(a.journalDir, func(w io.Writer) error {
+			writeJournaledSummary(w, c.Snapshot(parts), done, c.Total)
+			return nil
+		})
+	}
+	if err := writeSnap(); err != nil {
+		return execFail(a.stderr, err)
+	}
+	executed := 0
+	if spans := c.Spans(spanCount); len(spans) > 0 {
+		cf := a.coordFlags
+		workerOpts := harness.Options{Parallel: a.parallel, Evict: a.evict, Reference: !a.compile, Precompile: a.precompile}
+		fleet := coord.FleetOptions{
+			Spec:    a.spec,
+			Workers: cf.Workers, Spans: spans, Lease: cf.Lease,
+			Chaos: cf.Chaos, Stderr: a.stderr,
+			Local: func(ctx context.Context, spec harness.Spec, shard harness.ShardSpec) ([]byte, error) {
+				return harness.ShardPayload(ctx, spec, shard, workerOpts)
+			},
+			OnResult: func(_ int, payload []byte) error {
+				p, err := harness.AppendCampaignPayload(j, payload)
+				if err != nil {
+					return err
+				}
+				executed += p.Hi - p.Lo
+				parts = append(parts, p)
+				return writeSnap()
+			},
+		}
+		if cf.Spawn {
+			fleet.SpawnArgv = []string{
+				"-worker",
+				"-parallel", strconv.Itoa(a.parallel),
+				"-evict=" + strconv.FormatBool(a.evict),
+				"-compile=" + strconv.FormatBool(a.compile),
+				"-precompile", strconv.Itoa(a.precompile),
+			}
+		}
+		if a.progress {
+			fleet.Log = func(format string, args ...any) {
+				fmt.Fprintf(a.stderr, "coord: "+format+"\n", args...)
+			}
+		}
+		if _, err := coord.RunFleet(ctx, fleet); err != nil {
+			return execFail(a.stderr, err)
+		}
+	}
+	cr, err := r.MergeCampaign(a.spec, parts)
+	if err != nil {
+		return execFail(a.stderr, err)
+	}
+	fmt.Fprintf(a.stderr, "journal: replayed %d trials, executed %d via %d workers\n",
+		c.Done(), executed, a.coordFlags.Workers)
+	writeJournaledSummary(a.stdout, cr, c.Total, c.Total)
 	return 0
 }
 

@@ -259,3 +259,159 @@ func TestCampaignProgressGoesToStderr(t *testing.T) {
 		t.Errorf("shard stdout is not a pure JSON partial: %q", shardOut.String())
 	}
 }
+
+// TestJournalFlagValidation is the -journal/-resume flag contract:
+// every bad combination is a named exit-2 usage error, before any
+// journal directory is touched.
+func TestJournalFlagValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"resume without journal", []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-resume"}, 2, "-resume requires -journal"},
+		{"journal without campaign", []string{"-workload", "art", "-journal", "j"}, 2, "-journal and -resume require -campaign"},
+		{"resume without campaign", []string{"-workload", "art", "-resume"}, 2, "-journal and -resume require -campaign"},
+		{"journal with shard", []string{"-campaign", "-inject", "immediate-free", "-journal", "j", "-shard", "0/2"}, 2, "-journal is incompatible"},
+		{"journal with merge", []string{"-campaign", "-inject", "immediate-free", "-journal", "j", "-merge"}, 2, "-journal is incompatible"},
+		{"journal with worker", []string{"-worker", "-journal", "j"}, 2, "-journal and -worker are mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := runCLI(tc.args, noStdin(), &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr %q does not name the problem %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestJournalOpenRefusals: journal directory states that cannot be
+// safely continued — an existing journal without -resume, nothing to
+// resume, a changed spec, a corrupted file — are exit-2 refusals that
+// name the condition rather than silently re-running or dropping trials.
+func TestJournalOpenRefusals(t *testing.T) {
+	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := runCLI(append(base, "-journal", dir), noStdin(), &stdout, &stderr); code != 0 {
+		t.Fatalf("journaled campaign failed: %s", stderr.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "campaign.jnl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptDir := t.TempDir()
+	corrupt := append([]byte(nil), data...)
+	corrupt[0] ^= 0x20
+	if err := os.WriteFile(filepath.Join(corruptDir, "campaign.jnl"), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"existing journal without -resume", append(base, "-journal", dir), "pass -resume"},
+		{"resume with nothing to resume", append(base, "-journal", t.TempDir(), "-resume"), "nothing to resume"},
+		{"resume under a changed spec", []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "2", "-journal", dir, "-resume"}, "identical to resume"},
+		{"resume of a corrupt journal", append(base, "-journal", corruptDir, "-resume"), "corrupt"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := runCLI(tc.args, noStdin(), &stdout, &stderr); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr %q does not name the condition %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCampaignJournalEndToEnd: a journaled campaign prints the same
+// summary as a direct run (modulo the execution line), leaves a
+// report.txt byte-identical to its stdout, and resuming the completed
+// journal replays everything, executes nothing, and prints the same
+// summary again.
+func TestCampaignJournalEndToEnd(t *testing.T) {
+	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
+	var direct, directErr bytes.Buffer
+	if code := runCLI(base, noStdin(), &direct, &directErr); code != 0 {
+		t.Fatalf("direct campaign failed: %s", directErr.String())
+	}
+
+	dir := t.TempDir()
+	var journaled, jerr bytes.Buffer
+	if code := runCLI(append(base, "-journal", dir), noStdin(), &journaled, &jerr); code != 0 {
+		t.Fatalf("journaled campaign failed: %s", jerr.String())
+	}
+	if trimExecutionLocal(journaled.String()) != trimExecutionLocal(direct.String()) {
+		t.Errorf("journaled summary differs from direct:\n--- direct ---\n%s\n--- journaled ---\n%s",
+			direct.String(), journaled.String())
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(report) != journaled.String() {
+		t.Errorf("final report.txt differs from the journaled stdout:\n--- report.txt ---\n%s\n--- stdout ---\n%s",
+			report, journaled.String())
+	}
+
+	var resumed, rerr bytes.Buffer
+	if code := runCLI(append(base, "-journal", dir, "-resume"), noStdin(), &resumed, &rerr); code != 0 {
+		t.Fatalf("resume of complete journal failed: %s", rerr.String())
+	}
+	if resumed.String() != journaled.String() {
+		t.Errorf("resumed summary differs from the original journaled run:\n--- original ---\n%s\n--- resumed ---\n%s",
+			journaled.String(), resumed.String())
+	}
+	if !strings.Contains(rerr.String(), "executed 0") {
+		t.Errorf("resume of a complete journal re-executed trials: %q", rerr.String())
+	}
+}
+
+// TestCampaignJournalCoordinatedEndToEnd: -journal under -coord leases
+// the journal's gap spans to the fleet, journals each shard as it lands,
+// and prints the direct campaign's summary; a follow-up plain -resume
+// finds the journal complete.
+func TestCampaignJournalCoordinatedEndToEnd(t *testing.T) {
+	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
+	var direct, directErr bytes.Buffer
+	if code := runCLI(base, noStdin(), &direct, &directErr); code != 0 {
+		t.Fatalf("direct campaign failed: %s", directErr.String())
+	}
+
+	dir := t.TempDir()
+	var coordOut, coordErr bytes.Buffer
+	if code := runCLI(append(base, "-journal", dir, "-coord", "2"), noStdin(), &coordOut, &coordErr); code != 0 {
+		t.Fatalf("coordinated journaled campaign failed: %s", coordErr.String())
+	}
+	if trimExecutionLocal(coordOut.String()) != trimExecutionLocal(direct.String()) {
+		t.Errorf("coordinated journaled summary differs from direct:\n--- direct ---\n%s\n--- coordinated ---\n%s",
+			direct.String(), coordOut.String())
+	}
+	if !strings.Contains(coordErr.String(), "via 2 workers") {
+		t.Errorf("stderr does not report the fleet: %q", coordErr.String())
+	}
+
+	var resumed, rerr bytes.Buffer
+	if code := runCLI(append(base, "-journal", dir, "-resume"), noStdin(), &resumed, &rerr); code != 0 {
+		t.Fatalf("resume after coordinated run failed: %s", rerr.String())
+	}
+	if !strings.Contains(rerr.String(), "executed 0") {
+		t.Errorf("coordinated run left gaps in the journal: %q", rerr.String())
+	}
+	if trimExecutionLocal(resumed.String()) != trimExecutionLocal(direct.String()) {
+		t.Errorf("post-coordination resume summary differs from direct")
+	}
+}

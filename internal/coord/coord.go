@@ -80,6 +80,14 @@ type Config struct {
 	// busy when shards finish unevenly and bounds the work lost to a
 	// crash or straggler at 1/M of the plan.
 	Shards int
+	// Spans, when non-nil, replaces the uniform Index/Count cut with an
+	// explicit span list: shard i executes trial range Spans[i]. This is
+	// how a journaled resume leases exactly its uncovered ranges, sized
+	// adaptively from the journal's observed per-shard wall-clock so the
+	// lease scheduler sees evener attempt durations. Shards must be 0 or
+	// len(Spans), and the M ≥ Workers rule is waived — a nearly complete
+	// journal can leave fewer gaps than the fleet has workers.
+	Spans []harness.ShardSpec
 	// Workers is the fleet size.
 	Workers int
 	// Lease bounds how long one shard assignment may run before the
@@ -98,6 +106,13 @@ type Config struct {
 	// hard-killed (Worker.Close) shortly after their first assignment.
 	// Workers whose Close releases nothing (Func) are unaffected.
 	Chaos int
+	// OnResult, when non-nil, observes each shard's first completed
+	// payload from inside the scheduling loop, before the shard is
+	// marked done — the journaling hook. Duplicate (speculative)
+	// completions are never delivered. An error aborts the run: a
+	// journaled resume must not race past a payload it failed to make
+	// durable.
+	OnResult func(shard int, payload []byte) error
 	// Log, when non-nil, receives scheduling diagnostics (dispatches,
 	// retries, lease expiries, kills). Calls are serialized.
 	Log func(format string, args ...any)
@@ -115,10 +130,24 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("coord: %d workers: the fleet needs at least 1", cfg.Workers)
 	}
+	if len(cfg.Spans) > 0 {
+		if cfg.Shards != 0 && cfg.Shards != len(cfg.Spans) {
+			return nil, fmt.Errorf("coord: %d shards but %d explicit spans", cfg.Shards, len(cfg.Spans))
+		}
+		cfg.Shards = len(cfg.Spans)
+		for i, s := range cfg.Spans {
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("coord: span %d: %w", i, err)
+			}
+			if !s.Explicit() {
+				return nil, fmt.Errorf("coord: span %d (%s): explicit [lo,hi) trial spans only", i, s)
+			}
+		}
+	}
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("coord: %d shards: the plan needs at least 1 slice", cfg.Shards)
 	}
-	if cfg.Shards < cfg.Workers {
+	if cfg.Shards < cfg.Workers && cfg.Spans == nil {
 		return nil, fmt.Errorf("coord: %d shards for %d workers: cut the plan at least as fine as the fleet", cfg.Shards, cfg.Workers)
 	}
 	if cfg.Lease < 0 {
@@ -162,6 +191,12 @@ type FleetOptions struct {
 	Spec harness.Spec
 	// Workers is the fleet size; Shards defaults to 2×Workers when 0.
 	Workers, Shards int
+	// Spans, when non-nil, leases these explicit trial spans instead of
+	// the uniform Shards-way cut (see Config.Spans); Shards is ignored.
+	Spans []harness.ShardSpec
+	// OnResult observes each shard's first completed payload before it
+	// is marked done (see Config.OnResult).
+	OnResult func(shard int, payload []byte) error
 	// Lease is the straggler lease (see Config.Lease).
 	Lease time.Duration
 	// SpawnArgv, when non-nil, runs workers as spawned processes of this
@@ -184,7 +219,9 @@ type FleetOptions struct {
 // re-exec) here means the two binaries cannot drift apart.
 func RunFleet(ctx context.Context, o FleetOptions) ([][]byte, error) {
 	shards := o.Shards
-	if shards == 0 {
+	if o.Spans != nil {
+		shards = len(o.Spans)
+	} else if shards == 0 {
 		shards = 2 * o.Workers
 	}
 	var spawn func(id int) (Worker, error)
@@ -202,6 +239,7 @@ func RunFleet(ctx context.Context, o FleetOptions) ([][]byte, error) {
 	}
 	co, err := New(Config{
 		Spec: o.Spec, Shards: shards, Workers: o.Workers, Lease: o.Lease,
+		Spans: o.Spans, OnResult: o.OnResult,
 		Spawn: spawn, Chaos: o.Chaos, Log: o.Log,
 	})
 	if err != nil {
@@ -266,7 +304,11 @@ func (c *Coordinator) Run(ctx context.Context) ([][]byte, error) {
 				time.AfterFunc(chaosKillDelay, func() { _ = w.Close() })
 			}
 			first = false
-			payload, err := w.Run(ctx, cfg.Spec, harness.ShardSpec{Index: shard, Count: m})
+			assignment := harness.ShardSpec{Index: shard, Count: m}
+			if cfg.Spans != nil {
+				assignment = cfg.Spans[shard]
+			}
+			payload, err := w.Run(ctx, cfg.Spec, assignment)
 			post(completion{shard: shard, payload: payload, err: err})
 			if err != nil {
 				// An in-band shard error came from a live worker: keep
@@ -394,6 +436,11 @@ func (c *Coordinator) Run(ctx context.Context) ([][]byte, error) {
 			case done[ev.shard]:
 				c.logf("shard %d/%d: duplicate completion discarded (first result won)", ev.shard, m)
 			default:
+				if cfg.OnResult != nil {
+					if err := cfg.OnResult(ev.shard, ev.payload); err != nil {
+						return nil, fmt.Errorf("coord: shard %d/%d result sink: %w", ev.shard, m, err)
+					}
+				}
 				done[ev.shard] = true
 				results[ev.shard] = ev.payload
 				remaining--

@@ -16,6 +16,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpmr/internal/faultinject"
 	"dpmr/internal/interp"
@@ -31,10 +32,13 @@ import (
 type Event interface{ event() }
 
 // TrialDone reports one completed trial: Done of Total have finished.
-// Events arrive in completion order, not trial order.
+// Events arrive in completion order, not trial order. Elapsed is the
+// trial's monotonic wall-clock execution time — the observed-cost signal
+// the campaign journal and adaptive shard sizing consume.
 type TrialDone struct {
-	Done  int
-	Total int
+	Done    int
+	Total   int
+	Elapsed time.Duration
 }
 
 // Progress is the per-trial rollup the CLIs render: completion count
@@ -47,12 +51,15 @@ type Progress struct {
 
 // ShardMerged reports one partial result folded into a merge: the shard
 // and the contiguous trial range [Lo, Hi) of the Total-trial plan it
-// covered. Merges emit shards in canonical (range) order.
+// covered. Merges emit shards in canonical (range) order. Elapsed is the
+// shard's recorded wall-clock execution time (zero when the producing
+// process predates the timing stamp or the partial was hand-built).
 type ShardMerged struct {
-	Shard ShardSpec
-	Lo    int
-	Hi    int
-	Total int
+	Shard   ShardSpec
+	Lo      int
+	Hi      int
+	Total   int
+	Elapsed time.Duration
 }
 
 func (TrialDone) event()   {}
@@ -347,15 +354,20 @@ func (r *Runner) startPrefetch(ctx context.Context, trials []trial, pending map[
 // completed index.
 func (r *Runner) fanOut(ctx context.Context, n int, fn func(i int)) int {
 	done := 0
-	report := func() {
+	report := func(elapsed time.Duration) {
 		if r.Events == nil {
 			return
 		}
 		r.progressMu.Lock()
 		done++
-		r.Events(TrialDone{Done: done, Total: n})
+		r.Events(TrialDone{Done: done, Total: n, Elapsed: elapsed})
 		r.Events(Progress{Done: done, Total: n, Stats: r.cache.statsSnapshot()})
 		r.progressMu.Unlock()
+	}
+	timed := func(i int) time.Duration {
+		start := time.Now()
+		fn(i)
+		return time.Since(start)
 	}
 	workers := r.Parallel
 	if workers > n {
@@ -366,8 +378,7 @@ func (r *Runner) fanOut(ctx context.Context, n int, fn func(i int)) int {
 			if ctx.Err() != nil {
 				return i
 			}
-			fn(i)
-			report()
+			report(timed(i))
 		}
 		return n
 	}
@@ -378,8 +389,7 @@ func (r *Runner) fanOut(ctx context.Context, n int, fn func(i int)) int {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
-				report()
+				report(timed(i))
 			}
 		}()
 	}

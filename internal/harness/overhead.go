@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"dpmr/internal/extlib"
 	"dpmr/internal/interp"
@@ -216,6 +217,9 @@ type OverheadPartial struct {
 	// Cycles holds one entry per trial, Cycles[k] measuring canonical
 	// trial Lo+k.
 	Cycles []uint64 `json:"cycles"`
+	// ElapsedMS is the shard's wall-clock execution time in milliseconds
+	// (cost metadata only; merging ignores it).
+	ElapsedMS int64 `json:"elapsedMS,omitempty"`
 }
 
 // check validates the partial's internal shape (independent of any
@@ -287,6 +291,7 @@ func (r *Runner) runOverheadPartial(ctx context.Context, spec Spec) (*OverheadPa
 		return nil, nil, err
 	}
 	lo, hi := shard.shardRange(len(plan.trials))
+	start := time.Now()
 	cycles, err := r.execOverheadTrials(ctx, plan, lo, hi)
 	if err != nil && !cancelled(ctx, err) {
 		return nil, nil, err
@@ -298,6 +303,7 @@ func (r *Runner) runOverheadPartial(ctx context.Context, spec Spec) (*OverheadPa
 		Hi:          lo + len(cycles),
 		Total:       len(plan.trials),
 		Cycles:      cycles,
+		ElapsedMS:   time.Since(start).Milliseconds(),
 	}, plan, err
 }
 
@@ -335,7 +341,8 @@ func (r *Runner) MergeOverhead(spec Spec, parts []*OverheadPartial) (*OverheadRe
 	cycles := make([]uint64, len(plan.trials))
 	for _, i := range order {
 		copy(cycles[parts[i].Lo:parts[i].Hi], parts[i].Cycles)
-		r.notify(ShardMerged{Shard: parts[i].Shard, Lo: parts[i].Lo, Hi: parts[i].Hi, Total: parts[i].Total})
+		r.notify(ShardMerged{Shard: parts[i].Shard, Lo: parts[i].Lo, Hi: parts[i].Hi, Total: parts[i].Total,
+			Elapsed: time.Duration(parts[i].ElapsedMS) * time.Millisecond})
 	}
 	return aggregateOverhead(plan, cycles), nil
 }

@@ -78,6 +78,7 @@ func TestPrecompileCancel(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	r := NewRunner()
 	s, err := Start(ctx, smallCampaign(), WithRunner(r),
 		WithParallel(2), WithPrecompile(2), WithEviction(true))

@@ -271,6 +271,86 @@ func TestOverheadCancelReturnsPrefix(t *testing.T) {
 	}
 }
 
+// TestCancelledSessionEmitsFinalStats: a run that ends by cancellation
+// still emits the final CacheStats snapshot (exactly one) — journal and
+// adaptive-sizing consumers must see cache state even for interrupted
+// campaigns — and every TrialDone carries a monotonic wall-clock
+// duration stamp.
+func TestCancelledSessionEmitsFinalStats(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := Start(ctx, smallCampaign(), WithParallel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, trialDone, badElapsed := 0, 0, 0
+	for ev := range s.Events() {
+		switch e := ev.(type) {
+		case TrialDone:
+			trialDone++
+			if e.Elapsed <= 0 {
+				badElapsed++
+			}
+			if e.Done == 2 {
+				cancel()
+			}
+		case CacheStats:
+			stats++
+		}
+	}
+	res, err := s.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait error = %v, want context.Canceled", err)
+	}
+	if stats != 1 {
+		t.Errorf("cancelled session emitted %d CacheStats events, want exactly 1", stats)
+	}
+	if res.Stats.Builds == 0 {
+		t.Error("cancelled session's final stats snapshot is empty")
+	}
+	if trialDone == 0 {
+		t.Fatal("no TrialDone events before cancellation")
+	}
+	if badElapsed > 0 {
+		t.Errorf("%d of %d TrialDone events missing a positive Elapsed stamp", badElapsed, trialDone)
+	}
+	cancel()
+}
+
+// TestShardMergedCarriesElapsed: merges propagate the partials' recorded
+// wall-clock into ShardMerged events (the adaptive-sizing cost signal).
+func TestShardMergedCarriesElapsed(t *testing.T) {
+	spec := smallCampaign()
+	var parts []*PartialResult
+	for i := 0; i < 2; i++ {
+		r := NewRunner()
+		r.Shard = ShardSpec{Index: i, Count: 2}
+		p, err := r.RunCampaignPartial(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ElapsedMS = int64(100 * (i + 1)) // pin for determinism
+		parts = append(parts, p)
+	}
+	var merged []ShardMerged
+	r := NewRunner()
+	r.Events = func(ev Event) {
+		if sm, ok := ev.(ShardMerged); ok {
+			merged = append(merged, sm)
+		}
+	}
+	if _, err := r.MergeCampaign(spec, parts); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("%d ShardMerged events, want 2", len(merged))
+	}
+	for i, sm := range merged {
+		if want := time.Duration(100*(i+1)) * time.Millisecond; sm.Elapsed != want {
+			t.Errorf("shard %d merged with Elapsed %v, want %v", i, sm.Elapsed, want)
+		}
+	}
+}
+
 // TestSessionEventsAfterFinish: subscribing after completion still
 // replays the buffered stream and closes.
 func TestSessionEventsAfterFinish(t *testing.T) {

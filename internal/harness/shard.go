@@ -19,25 +19,62 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
-// ShardSpec names one shard of a campaign: Index of Count. The zero
-// value means "the whole plan".
+// ShardSpec names one shard of a campaign, in one of two forms. The
+// fractional form — Index of Count — cuts the plan uniformly: shard i of
+// N covers trials [i·T/N, (i+1)·T/N). The explicit form — Lo/Hi set,
+// Index and Count zero — covers exactly the trial range [Lo, Hi); it is
+// how adaptively cut resume plans name their uneven spans (see
+// CampaignResume.Spans). The zero value means "the whole plan".
 type ShardSpec struct {
 	Index int `json:"index"`
 	Count int `json:"count"`
+	// Lo, Hi delimit an explicit trial range [Lo, Hi). When Hi > Lo the
+	// spec is an explicit span and Index/Count must be zero.
+	Lo int `json:"lo,omitempty"`
+	Hi int `json:"hi,omitempty"`
 }
+
+// SpanShard names the explicit trial range [lo, hi) as a shard.
+func SpanShard(lo, hi int) ShardSpec { return ShardSpec{Lo: lo, Hi: hi} }
 
 // IsZero reports whether the spec is the unsharded zero value.
 func (s ShardSpec) IsZero() bool { return s == ShardSpec{} }
 
-// String renders the spec in the CLI's i/N form.
-func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+// explicit reports whether the spec names an explicit trial range
+// rather than a fractional Index/Count cut.
+func (s ShardSpec) explicit() bool { return s.Lo != 0 || s.Hi != 0 }
 
-// Validate rejects specs outside [0, Count). The zero value is valid
-// (unsharded).
+// Explicit reports whether the spec names an explicit [Lo, Hi) trial
+// span — the form journaled resumes cut — rather than a fractional
+// Index/Count cut.
+func (s ShardSpec) Explicit() bool { return s.explicit() }
+
+// String renders the spec: the CLI's i/N form for fractional shards,
+// [lo,hi) for explicit spans.
+func (s ShardSpec) String() string {
+	if s.explicit() {
+		return fmt.Sprintf("[%d,%d)", s.Lo, s.Hi)
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// Validate rejects fractional specs outside [0, Count), explicit spans
+// with an empty or negative range, and mixtures of the two forms. The
+// zero value is valid (unsharded).
 func (s ShardSpec) Validate() error {
 	if s.IsZero() {
+		return nil
+	}
+	if s.explicit() {
+		if s.Index != 0 || s.Count != 0 {
+			return fmt.Errorf("harness: shard %s: explicit trial span cannot also set index/count %d/%d", s, s.Index, s.Count)
+		}
+		if s.Lo < 0 || s.Hi <= s.Lo {
+			return fmt.Errorf("harness: shard: invalid explicit trial span [%d, %d)", s.Lo, s.Hi)
+		}
 		return nil
 	}
 	if s.Count < 1 {
@@ -92,6 +129,11 @@ type PartialResult struct {
 	// Outcomes holds one entry per trial, Outcomes[k] classifying
 	// canonical trial Lo+k.
 	Outcomes []TrialOutcome `json:"outcomes"`
+	// ElapsedMS is the shard's wall-clock execution time in milliseconds
+	// — observed-cost metadata for the campaign journal and adaptive
+	// shard sizing. It never participates in merging or fingerprints, so
+	// merged reports stay byte-identical whatever the timings were.
+	ElapsedMS int64 `json:"elapsedMS,omitempty"`
 }
 
 // check validates the partial's internal shape (independent of any
@@ -131,9 +173,20 @@ func DecodePartial(r io.Reader) (*PartialResult, error) {
 	return &p, nil
 }
 
-// shardRange slices [0, total) into the spec's contiguous range. Adjacent
-// shards tile the plan exactly: shard i ends where shard i+1 begins.
+// shardRange slices [0, total) into the spec's contiguous range.
+// Fractional shards tile the plan exactly: shard i ends where shard i+1
+// begins. Explicit spans cover their stated range, clamped to the plan.
 func (s ShardSpec) shardRange(total int) (lo, hi int) {
+	if s.explicit() {
+		lo, hi = s.Lo, s.Hi
+		if hi > total {
+			hi = total
+		}
+		if lo > hi {
+			lo = hi
+		}
+		return lo, hi
+	}
 	return s.Index * total / s.Count, (s.Index + 1) * total / s.Count
 }
 
@@ -172,6 +225,7 @@ func (r *Runner) runCampaignPartial(ctx context.Context, spec Spec) (*PartialRes
 		return nil, nil, err
 	}
 	lo, hi := shard.shardRange(len(plan.trials))
+	start := time.Now()
 	outcomes, err := r.execTrials(ctx, plan, lo, hi)
 	if err != nil && !cancelled(ctx, err) {
 		return nil, nil, err
@@ -183,6 +237,7 @@ func (r *Runner) runCampaignPartial(ctx context.Context, spec Spec) (*PartialRes
 		Hi:          lo + len(outcomes),
 		Total:       len(plan.trials),
 		Outcomes:    outcomes,
+		ElapsedMS:   time.Since(start).Milliseconds(),
 	}, plan, err
 }
 
@@ -279,7 +334,8 @@ func (r *Runner) MergeCampaign(spec Spec, parts []*PartialResult) (*CampaignResu
 	outcomes := make([]TrialOutcome, total)
 	for _, i := range order {
 		copy(outcomes[parts[i].Lo:parts[i].Hi], parts[i].Outcomes)
-		r.notify(ShardMerged{Shard: parts[i].Shard, Lo: parts[i].Lo, Hi: parts[i].Hi, Total: parts[i].Total})
+		r.notify(ShardMerged{Shard: parts[i].Shard, Lo: parts[i].Lo, Hi: parts[i].Hi, Total: parts[i].Total,
+			Elapsed: time.Duration(parts[i].ElapsedMS) * time.Millisecond})
 	}
 	return aggregate(plan, outcomes), nil
 }

@@ -280,10 +280,10 @@ func TestRunnerValidation(t *testing.T) {
 // TestParseShard covers the CLI "i/N" syntax both ways.
 func TestParseShard(t *testing.T) {
 	good := map[string]ShardSpec{
-		"0/1": {0, 1},
-		"0/3": {0, 3},
-		"2/3": {2, 3},
-		"6/7": {6, 7},
+		"0/1": {Index: 0, Count: 1},
+		"0/3": {Index: 0, Count: 3},
+		"2/3": {Index: 2, Count: 3},
+		"6/7": {Index: 6, Count: 7},
 	}
 	for text, want := range good {
 		got, err := ParseShard(text)
@@ -296,5 +296,85 @@ func TestParseShard(t *testing.T) {
 		if _, err := ParseShard(text); err == nil {
 			t.Errorf("ParseShard(%q) accepted", text)
 		}
+	}
+}
+
+// TestSpanShardValidate covers the explicit trial-span form of
+// ShardSpec: validation, rendering, and range clamping.
+func TestSpanShardValidate(t *testing.T) {
+	good := []ShardSpec{SpanShard(0, 5), SpanShard(3, 4), SpanShard(10, 200)}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("SpanShard %s rejected: %v", s, err)
+		}
+	}
+	bad := []ShardSpec{
+		SpanShard(-1, 5),                   // negative lo
+		SpanShard(5, 5),                    // empty
+		SpanShard(5, 3),                    // inverted
+		{Index: 1, Count: 2, Lo: 0, Hi: 5}, // mixed forms
+		{Lo: 0, Hi: -3},                    // negative hi
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid span %+v accepted", s)
+		}
+	}
+	if got := SpanShard(3, 9).String(); got != "[3,9)" {
+		t.Errorf("SpanShard String = %q", got)
+	}
+	if lo, hi := SpanShard(2, 50).shardRange(10); lo != 2 || hi != 10 {
+		t.Errorf("span range clamps to plan: got [%d, %d), want [2, 10)", lo, hi)
+	}
+	if lo, hi := SpanShard(20, 50).shardRange(10); lo != hi {
+		t.Errorf("out-of-plan span must clamp empty: got [%d, %d)", lo, hi)
+	}
+}
+
+// TestSpanShardsMergeIdentical cuts a campaign into uneven explicit
+// spans and merges them; the result must match the unsharded run — the
+// property adaptive resume plans rely on.
+func TestSpanShardsMergeIdentical(t *testing.T) {
+	spec := smallCampaign()
+	total, err := NewRunner().PlanTrials(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 4 {
+		t.Fatalf("campaign too small to span-cut: %d trials", total)
+	}
+	cuts := []int{0, 1, total / 3, total}
+	var parts []*PartialResult
+	for i := 0; i+1 < len(cuts); i++ {
+		r := NewRunner()
+		r.Shard = SpanShard(cuts[i], cuts[i+1])
+		p, err := r.RunCampaignPartial(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Lo != cuts[i] || p.Hi != cuts[i+1] {
+			t.Fatalf("span %s produced range [%d, %d)", r.Shard, p.Lo, p.Hi)
+		}
+		parts = append(parts, p)
+	}
+	merged, err := NewRunner().MergeCampaign(spec, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := campaignAt(t, 1)
+	if !reflect.DeepEqual(direct.Cells, merged.Cells) || !reflect.DeepEqual(direct.Conditional, merged.Conditional) {
+		t.Error("span-cut merge differs from unsharded campaign")
+	}
+	// A span JSON round trip survives the coordinator wire format.
+	var buf bytes.Buffer
+	if err := parts[1].Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePartial(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shard != parts[1].Shard {
+		t.Errorf("span shard %+v round-tripped to %+v", parts[1].Shard, back.Shard)
 	}
 }

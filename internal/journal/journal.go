@@ -1,0 +1,437 @@
+// Package journal persists completed campaign shards to a crash-safe
+// append-only JSON-lines file, so an interrupted campaign can be resumed
+// by re-running only the trial ranges the journal does not cover.
+//
+// The durable state per shard is deliberately tiny and self-validating —
+// (plan fingerprint, trial range, wall-clock, payload checksum) plus the
+// payload itself — in the metadata-light coordination style the harness
+// already uses: the plan fingerprint and exact-tiling merge remain the
+// end-to-end safety net, the journal only decides *what still needs to
+// run*. Records are appended with one write+fsync each, so after a crash
+// the file is a valid journal followed by at most one torn record; Parse
+// drops a torn tail (it is a valid resume point) and refuses anything
+// worse with a named error. A record whose checksum validates can only
+// have been written whole, so semantic violations — overlapping ranges,
+// duplicated shards, a plan whose trial count shifts mid-file — are
+// corruption (or a foreign file), never crash residue, and are rejected
+// rather than repaired.
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FileName is the journal file inside the -journal directory.
+const FileName = "campaign.jnl"
+
+// ReportName is the progressive report file written next to the journal:
+// the current best rendering of the campaign, re-emitted as shards land.
+const ReportName = "report.txt"
+
+// Version is the journal record format version this package writes.
+const Version = 1
+
+// Named error classes. Callers match with errors.Is; the wrapped
+// messages carry the offending record or byte offset.
+var (
+	// ErrNoJournal: Open on a directory holding no journal file.
+	ErrNoJournal = errors.New("journal: no journal found")
+	// ErrExists: Create on a directory that already holds a journal.
+	ErrExists = errors.New("journal: journal already exists")
+	// ErrSpecMismatch: the journal was written for a different Spec
+	// fingerprint than the one being resumed.
+	ErrSpecMismatch = errors.New("journal: spec fingerprint mismatch")
+	// ErrCorrupt: the journal body is damaged beyond the droppable torn
+	// tail — a bad record followed by more records, a checksum or shape
+	// violation, or semantically impossible coverage (overlap, duplicate,
+	// shifting trial totals). Resume refuses rather than guessing.
+	ErrCorrupt = errors.New("journal: corrupt")
+)
+
+// Record is one JSON line of the journal. The first record of a file is
+// the header (Kind "header": canonical Spec JSON + Spec fingerprint);
+// every following record is a completed shard (Kind "shard": plan
+// fingerprint, trial range, elapsed wall-clock, and the serialized
+// partial result guarded by a SHA-256 checksum).
+type Record struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+
+	// Header fields.
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	SpecFP string          `json:"specFP,omitempty"`
+
+	// Shard fields. [Lo, Hi) is the covered trial range of the
+	// Total-trial plan PlanFP; Payload is the shard's serialized partial
+	// result and Sum its hex SHA-256.
+	PlanFP    string          `json:"planFP,omitempty"`
+	Lo        int             `json:"lo,omitempty"`
+	Hi        int             `json:"hi,omitempty"`
+	Total     int             `json:"total,omitempty"`
+	ElapsedMS int64           `json:"elapsedMS,omitempty"`
+	Payload   json.RawMessage `json:"payload,omitempty"`
+	Sum       string          `json:"sum,omitempty"`
+}
+
+// checkShard validates a shard record's self-contained shape and
+// checksum (not its relation to other records).
+func (rec *Record) checkShard() error {
+	if rec.Kind != "shard" {
+		return fmt.Errorf("record kind %q, want \"shard\"", rec.Kind)
+	}
+	if rec.PlanFP == "" {
+		return errors.New("shard record missing plan fingerprint")
+	}
+	if rec.Lo < 0 || rec.Hi <= rec.Lo || rec.Total < rec.Hi {
+		return fmt.Errorf("shard record covers invalid trial range [%d, %d) of %d", rec.Lo, rec.Hi, rec.Total)
+	}
+	if len(rec.Payload) == 0 {
+		return errors.New("shard record missing payload")
+	}
+	if rec.Sum != payloadSum(rec.Payload) {
+		return errors.New("shard record payload checksum mismatch")
+	}
+	return nil
+}
+
+func payloadSum(payload []byte) string {
+	h := sha256.Sum256(payload)
+	return hex.EncodeToString(h[:])
+}
+
+// Replay is the validated content of a journal file: the header plus
+// every intact shard record, with the byte length of the valid prefix
+// (a torn tail past ValidLen was dropped and is safe to truncate away).
+type Replay struct {
+	Header Record
+	Shards []Record
+	// ValidLen is the byte offset just past the last valid record.
+	ValidLen int
+	// Dropped counts torn tail records discarded by Parse (0 or 1).
+	Dropped int
+
+	// covered maps plan fingerprint → recorded ranges, for overlap
+	// rejection on both replayed and live-appended records.
+	covered map[string][]span
+	totals  map[string]int
+}
+
+type span struct{ lo, hi int }
+
+// Plan returns the replayed shard records of one plan fingerprint, in
+// ascending range order.
+func (rp *Replay) Plan(planFP string) []Record {
+	var recs []Record
+	for _, rec := range rp.Shards {
+		if rec.PlanFP == planFP {
+			recs = append(recs, rec)
+		}
+	}
+	sort.SliceStable(recs, func(a, b int) bool { return recs[a].Lo < recs[b].Lo })
+	return recs
+}
+
+// admit records a shard's range in the coverage index, rejecting
+// overlaps with already-recorded ranges of the same plan and trial
+// totals that disagree with earlier records of the plan. Used by Parse
+// (replayed records) and Journal.Append (live records) alike, so a
+// journal can never come to hold double-counted trials.
+func (rp *Replay) admit(rec Record) error {
+	if t, ok := rp.totals[rec.PlanFP]; ok && t != rec.Total {
+		return fmt.Errorf("plan %.12s trial count changed from %d to %d", rec.PlanFP, t, rec.Total)
+	}
+	for _, s := range rp.covered[rec.PlanFP] {
+		if rec.Lo < s.hi && s.lo < rec.Hi {
+			return fmt.Errorf("plan %.12s trials [%d, %d) overlap already-journaled [%d, %d)", rec.PlanFP, rec.Lo, rec.Hi, s.lo, s.hi)
+		}
+	}
+	if rp.covered == nil {
+		rp.covered = make(map[string][]span)
+		rp.totals = make(map[string]int)
+	}
+	rp.covered[rec.PlanFP] = append(rp.covered[rec.PlanFP], span{rec.Lo, rec.Hi})
+	rp.totals[rec.PlanFP] = rec.Total
+	return nil
+}
+
+// Parse validates raw journal bytes into a Replay. It never panics on
+// arbitrary input. A torn tail — a final record fragment without its
+// newline, or a final line that fails to parse or checksum — is dropped
+// (that is exactly the residue of a crash mid-append, and everything
+// before it is a valid resume point). Any invalid record *before* the
+// tail, and any semantic violation even in a well-formed record
+// (overlapping ranges, inconsistent totals), is ErrCorrupt: a crash
+// cannot forge a record whose checksum validates.
+func Parse(data []byte) (*Replay, error) {
+	rp := &Replay{}
+	offset := 0
+	idx := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			// Final fragment without its newline: torn mid-write.
+			rp.Dropped++
+			break
+		}
+		line := data[offset : offset+nl]
+		lineEnd := offset + nl + 1
+		final := lineEnd == len(data)
+		var rec Record
+		reject := func(cause string) (*Replay, error) {
+			if final && idx > 0 {
+				// A damaged *last* record is indistinguishable from a torn
+				// append; drop it and resume from the prefix. (The header
+				// itself gets no such grace: without it nothing resumes.)
+				rp.Dropped++
+				return rp, nil
+			}
+			return nil, fmt.Errorf("%w: record %d (byte %d): %s", ErrCorrupt, idx, offset, cause)
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return reject(fmt.Sprintf("bad JSON: %v", err))
+		}
+		if rec.V != Version {
+			return reject(fmt.Sprintf("record version %d, want %d", rec.V, Version))
+		}
+		if idx == 0 {
+			if rec.Kind != "header" || rec.SpecFP == "" || len(rec.Spec) == 0 {
+				return nil, fmt.Errorf("%w: first record is not a valid journal header", ErrCorrupt)
+			}
+			rp.Header = rec
+		} else {
+			if err := rec.checkShard(); err != nil {
+				return reject(err.Error())
+			}
+			// Past the checksum, violations are semantic — reject even at
+			// the tail: torn writes produce garbage, not valid checksums.
+			if err := rp.admit(rec); err != nil {
+				return nil, fmt.Errorf("%w: record %d: %s", ErrCorrupt, idx, err)
+			}
+			rp.Shards = append(rp.Shards, rec)
+		}
+		rp.ValidLen = lineEnd
+		offset = lineEnd
+		idx++
+	}
+	if idx == 0 {
+		return nil, fmt.Errorf("%w: journal holds no complete record", ErrCorrupt)
+	}
+	return rp, nil
+}
+
+// Journal is an open journal accepting appends. One background writer
+// goroutine serializes write+fsync per record; Append blocks until its
+// record is durable. Close shuts the writer down and closes the file.
+type Journal struct {
+	path string
+	f    *os.File
+
+	state *Replay // live coverage index (overlap rejection)
+
+	reqs chan appendReq
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type appendReq struct {
+	line []byte
+	done chan error
+}
+
+// Create initialises a fresh journal in dir for the campaign described
+// by the canonical Spec JSON and its fingerprint, creating dir if
+// needed. A directory that already holds a journal is refused with
+// ErrExists (resume it, or pick a fresh directory).
+func Create(dir string, specCanonical []byte, specFP string) (*Journal, error) {
+	if specFP == "" || len(specCanonical) == 0 {
+		return nil, errors.New("journal: Create needs the canonical spec and its fingerprint")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w at %s: pass -resume to continue it, or choose a fresh -journal directory", ErrExists, path)
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	header := Record{V: Version, Kind: "header", Spec: json.RawMessage(specCanonical), SpecFP: specFP}
+	line, err := json.Marshal(header)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: encoding header: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: writing header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: syncing header: %w", err)
+	}
+	syncDir(dir)
+	j := &Journal{path: path, f: f, state: &Replay{Header: header}}
+	j.startWriter()
+	return j, nil
+}
+
+// Open resumes the journal in dir, validating it against the Spec
+// fingerprint of the campaign being resumed. The returned Replay holds
+// every intact shard record; a torn tail is truncated away before the
+// file is reopened for append, so later records land after valid bytes.
+func Open(dir, specFP string) (*Journal, *Replay, error) {
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("%w at %s: nothing to resume", ErrNoJournal, path)
+		}
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	rp, err := Parse(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if specFP != "" && rp.Header.SpecFP != specFP {
+		return nil, nil, fmt.Errorf("%w: journal at %s was written for spec %.12s, resuming spec %.12s — the spec must be identical to resume",
+			ErrSpecMismatch, path, rp.Header.SpecFP, specFP)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if rp.ValidLen < len(data) {
+		// Drop the torn tail so appends extend a valid prefix.
+		if err := f.Truncate(int64(rp.ValidLen)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(rp.ValidLen), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, state: rp}
+	j.startWriter()
+	return j, rp, nil
+}
+
+// Path returns the journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Dir returns the directory holding the journal.
+func (j *Journal) Dir() string { return filepath.Dir(j.path) }
+
+// Append journals one completed shard and blocks until the record is
+// written and fsynced. V, Kind, and Sum are filled in; the caller
+// provides plan fingerprint, range, elapsed time, and payload. Ranges
+// that overlap an already-journaled record of the same plan are refused
+// — a journal never double-counts a trial.
+func (j *Journal) Append(rec Record) error {
+	rec.V = Version
+	rec.Kind = "shard"
+	// Compact the payload first: json.Marshal embeds a RawMessage in
+	// compact form, so the checksum must cover the bytes that actually
+	// land in the file, not whatever whitespace the caller's encoder
+	// added.
+	if len(rec.Payload) > 0 {
+		var compacted bytes.Buffer
+		if err := json.Compact(&compacted, rec.Payload); err != nil {
+			return fmt.Errorf("journal: payload is not valid JSON: %w", err)
+		}
+		rec.Payload = compacted.Bytes()
+	}
+	rec.Sum = payloadSum(rec.Payload)
+	if err := rec.checkShard(); err != nil {
+		return fmt.Errorf("journal: %s", err)
+	}
+	if err := j.state.admit(rec); err != nil {
+		return fmt.Errorf("journal: %s", err)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	req := appendReq{line: append(line, '\n'), done: make(chan error, 1)}
+	j.reqs <- req
+	return <-req.done
+}
+
+// Close shuts the writer goroutine down and closes the file. Safe to
+// call more than once.
+func (j *Journal) Close() error {
+	j.closeOnce.Do(func() {
+		close(j.reqs)
+		j.wg.Wait()
+		j.closeErr = j.f.Close()
+	})
+	return j.closeErr
+}
+
+// startWriter launches the single append goroutine: one write + fsync
+// per record keeps the crash residue to at most one torn tail record.
+func (j *Journal) startWriter() {
+	j.reqs = make(chan appendReq)
+	j.wg.Add(1)
+	go func() {
+		defer j.wg.Done()
+		for req := range j.reqs {
+			_, err := j.f.Write(req.line)
+			if err == nil {
+				err = j.f.Sync()
+			}
+			if err != nil {
+				err = fmt.Errorf("journal: appending record: %w", err)
+			}
+			req.done <- err
+		}
+	}()
+}
+
+// syncDir best-effort fsyncs a directory so a freshly created journal
+// file survives a crash of the directory entry itself.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// WriteReport atomically replaces the progressive report next to the
+// journal: render writes the report into a temp file, which then renames
+// over ReportName — a reader (or a crash) never observes a half-written
+// report.
+func WriteReport(dir string, render func(w io.Writer) error) error {
+	tmp, err := os.CreateTemp(dir, ReportName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("journal: progressive report: %w", err)
+	}
+	if err := render(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: rendering progressive report: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: progressive report: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ReportName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: progressive report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+const (
+	testSpecFP = "aaaa1111bbbb2222"
+	testPlanFP = "cccc3333dddd4444"
+)
+
+// writeJournal creates a journal in a fresh temp dir with n contiguous
+// shard records of a 10-trial plan and returns the directory.
+func writeJournal(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := Create(dir, []byte(`{"kind":"campaign"}`), testSpecFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		payload, _ := json.Marshal(map[string]int{"lo": i * 2, "hi": i*2 + 2})
+		err := j.Append(Record{
+			PlanFP: testPlanFP, Lo: i * 2, Hi: i*2 + 2, Total: 10,
+			ElapsedMS: int64(10 * (i + 1)), Payload: payload,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func readJournal(t *testing.T, dir string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := writeJournal(t, 3)
+	j, rp, err := Open(dir, testSpecFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if rp.Header.SpecFP != testSpecFP {
+		t.Errorf("header spec fingerprint %q, want %q", rp.Header.SpecFP, testSpecFP)
+	}
+	if got := string(rp.Header.Spec); got != `{"kind":"campaign"}` {
+		t.Errorf("header spec %q", got)
+	}
+	recs := rp.Plan(testPlanFP)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Lo != i*2 || rec.Hi != i*2+2 || rec.Total != 10 {
+			t.Errorf("record %d range [%d, %d) of %d", i, rec.Lo, rec.Hi, rec.Total)
+		}
+		if rec.ElapsedMS != int64(10*(i+1)) {
+			t.Errorf("record %d elapsed %d", i, rec.ElapsedMS)
+		}
+	}
+	if rp.Dropped != 0 {
+		t.Errorf("dropped %d records from an intact journal", rp.Dropped)
+	}
+	// Appends on the reopened journal continue past the replayed state.
+	payload := []byte(`{"lo":6,"hi":10}`)
+	if err := j.Append(Record{PlanFP: testPlanFP, Lo: 6, Hi: 10, Total: 10, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp2, err := Parse(readJournal(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp2.Shards) != 4 {
+		t.Fatalf("after append: %d records, want 4", len(rp2.Shards))
+	}
+}
+
+func TestNamedErrors(t *testing.T) {
+	t.Run("create over existing", func(t *testing.T) {
+		dir := writeJournal(t, 1)
+		if _, err := Create(dir, []byte(`{}`), testSpecFP); !errors.Is(err, ErrExists) {
+			t.Fatalf("Create over existing journal: %v, want ErrExists", err)
+		}
+	})
+	t.Run("open missing", func(t *testing.T) {
+		if _, _, err := Open(t.TempDir(), testSpecFP); !errors.Is(err, ErrNoJournal) {
+			t.Fatalf("Open on empty dir: %v, want ErrNoJournal", err)
+		}
+	})
+	t.Run("spec mismatch", func(t *testing.T) {
+		dir := writeJournal(t, 1)
+		if _, _, err := Open(dir, "ffff0000eeee9999"); !errors.Is(err, ErrSpecMismatch) {
+			t.Fatalf("Open with wrong spec fingerprint: %v, want ErrSpecMismatch", err)
+		}
+	})
+	t.Run("empty file", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, FileName), nil, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(dir, testSpecFP); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open on empty file: %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("garbage header", func(t *testing.T) {
+		if _, err := Parse([]byte("not json\n")); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Parse garbage: %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("bad record before tail", func(t *testing.T) {
+		data := readJournal(t, writeJournal(t, 3))
+		lines := bytes.SplitAfter(data, []byte("\n"))
+		lines[1] = []byte("{\"v\":1,\"kind\":\"shard\"}\n") // shape-invalid, not last
+		if _, err := Parse(bytes.Join(lines, nil)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bad interior record: %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("duplicate record", func(t *testing.T) {
+		data := readJournal(t, writeJournal(t, 2))
+		lines := bytes.SplitAfter(data, []byte("\n"))
+		// A byte-exact duplicate has a valid checksum: semantic corruption
+		// even at the tail, never silently merged twice.
+		dup := append(data, lines[1]...)
+		if _, err := Parse(dup); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("duplicated record: %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// TestTruncationProperty cuts the journal at every byte offset and
+// asserts each cut is either a valid resume point (the whole records
+// before the cut, nothing more) or refused with ErrCorrupt — never a
+// panic, never records past the cut.
+func TestTruncationProperty(t *testing.T) {
+	data := readJournal(t, writeJournal(t, 4))
+	var ends []int // byte offsets where each record's line ends
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		ends = append(ends, off+nl+1)
+		off += nl + 1
+	}
+	wholeBefore := func(cut int) int {
+		n := 0
+		for _, e := range ends {
+			if e <= cut {
+				n++
+			}
+		}
+		return n
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		rp, err := Parse(data[:cut])
+		whole := wholeBefore(cut)
+		if whole == 0 {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut %d (no complete header): err %v, want ErrCorrupt", cut, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d after %d whole records: %v", cut, whole, err)
+		}
+		if len(rp.Shards) != whole-1 {
+			t.Fatalf("cut %d: replayed %d shard records, want %d", cut, len(rp.Shards), whole-1)
+		}
+		if rp.ValidLen != ends[whole-1] {
+			t.Fatalf("cut %d: ValidLen %d, want %d", cut, rp.ValidLen, ends[whole-1])
+		}
+		if torn := cut > ends[whole-1]; torn != (rp.Dropped == 1) {
+			t.Fatalf("cut %d: torn %v but Dropped %d", cut, torn, rp.Dropped)
+		}
+	}
+}
+
+// TestByteFlipSweep flips every byte of a journal in turn; Parse must
+// never panic and must either refuse with a named error or return a
+// replay whose records all carry valid checksums and non-overlapping
+// ranges (the Parse invariants — a flip can drop the tail, never forge
+// coverage).
+func TestByteFlipSweep(t *testing.T) {
+	data := readJournal(t, writeJournal(t, 3))
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x20
+		rp, err := Parse(mut)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip at %d: unnamed error %v", i, err)
+			}
+			continue
+		}
+		checkReplayInvariants(t, rp, mut)
+	}
+}
+
+// checkReplayInvariants asserts the guarantees every successful Parse
+// must uphold, whatever the input bytes were.
+func checkReplayInvariants(t *testing.T, rp *Replay, data []byte) {
+	t.Helper()
+	if rp.Header.Kind != "header" || rp.Header.SpecFP == "" {
+		t.Fatalf("replay without a valid header: %+v", rp.Header)
+	}
+	if rp.ValidLen < 0 || rp.ValidLen > len(data) {
+		t.Fatalf("ValidLen %d outside input of %d bytes", rp.ValidLen, len(data))
+	}
+	type spanT struct{ lo, hi int }
+	seen := map[string][]spanT{}
+	for _, rec := range rp.Shards {
+		if err := rec.checkShard(); err != nil {
+			t.Fatalf("replayed record fails validation: %v", err)
+		}
+		for _, s := range seen[rec.PlanFP] {
+			if rec.Lo < s.hi && s.lo < rec.Hi {
+				t.Fatalf("replayed overlapping ranges [%d, %d) and [%d, %d)", s.lo, s.hi, rec.Lo, rec.Hi)
+			}
+		}
+		seen[rec.PlanFP] = append(seen[rec.PlanFP], spanT{rec.Lo, rec.Hi})
+	}
+	// Re-parsing the valid prefix must reproduce the replay exactly.
+	rp2, err := Parse(data[:rp.ValidLen])
+	if err != nil {
+		t.Fatalf("re-parse of valid prefix failed: %v", err)
+	}
+	if len(rp2.Shards) != len(rp.Shards) || rp2.ValidLen != rp.ValidLen {
+		t.Fatalf("re-parse of valid prefix: %d records / %d bytes, want %d / %d",
+			len(rp2.Shards), rp2.ValidLen, len(rp.Shards), rp.ValidLen)
+	}
+}
+
+// TestOpenTruncatesTornTail checks a crash's torn tail is physically
+// removed on resume, so new appends extend a valid prefix.
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := writeJournal(t, 2)
+	path := filepath.Join(dir, FileName)
+	data := readJournal(t, dir)
+	if err := os.WriteFile(path, data[:len(data)-7], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	j, rp, err := Open(dir, testSpecFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Shards) != 1 || rp.Dropped != 1 {
+		t.Fatalf("replayed %d records (dropped %d), want 1 (dropped 1)", len(rp.Shards), rp.Dropped)
+	}
+	payload := []byte(`{"lo":2,"hi":4}`)
+	if err := j.Append(Record{PlanFP: testPlanFP, Lo: 2, Hi: 4, Total: 10, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp2, err := Parse(readJournal(t, dir))
+	if err != nil {
+		t.Fatalf("journal after torn-tail resume is not valid: %v", err)
+	}
+	if len(rp2.Shards) != 2 {
+		t.Fatalf("journal holds %d records after resume append, want 2", len(rp2.Shards))
+	}
+}
+
+func TestAppendRejectsOverlap(t *testing.T) {
+	dir := writeJournal(t, 1) // covers [0, 2)
+	j, _, err := Open(dir, testSpecFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	err = j.Append(Record{PlanFP: testPlanFP, Lo: 1, Hi: 3, Total: 10, Payload: []byte(`{}`)})
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlapping append: %v, want overlap rejection", err)
+	}
+	// Disagreeing totals for the same plan are corruption at the source.
+	err = j.Append(Record{PlanFP: testPlanFP, Lo: 4, Hi: 6, Total: 11, Payload: []byte(`{}`)})
+	if err == nil || !strings.Contains(err.Error(), "trial count") {
+		t.Fatalf("total-mismatch append: %v, want trial-count rejection", err)
+	}
+	// A different plan's ranges are independent.
+	if err := j.Append(Record{PlanFP: "eeee5555", Lo: 0, Hi: 2, Total: 4, Payload: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterShutdownLeaksNoGoroutine closes journals and asserts the
+// writer goroutines exit.
+func TestWriterShutdownLeaksNoGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		dir := t.TempDir()
+		j, err := Create(dir, []byte(`{}`), testSpecFP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{PlanFP: testPlanFP, Lo: 0, Hi: 1, Total: 1, Payload: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j.Close() // idempotent
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines grew from %d to %d after journal shutdown", before, n)
+	}
+}
