@@ -14,11 +14,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"dpmr/internal/coord"
+	coordnet "dpmr/internal/coord/net"
 	"dpmr/internal/dpmr"
 	"dpmr/internal/extlib"
 	"dpmr/internal/faultinject"
@@ -701,6 +703,102 @@ func BenchmarkCoordinator(b *testing.B) {
 		}
 		reportTrialsPerSec(b, trials)
 	})
+}
+
+// BenchmarkRemoteFleet measures the networked campaign service end to
+// end: the benchmark campaign submitted to an in-process dpmrd Server
+// over a loopback socket, run by 1/2/4 remote fleet workers (each a
+// persistent Runner on its own connection, frames and JSON included),
+// and merged client-side. The func sub-benchmarks run the identical
+// schedule on in-process coord.Func workers — the remoteN/funcN
+// trials/sec ratio is what the network transport costs.
+func BenchmarkRemoteFleet(b *testing.B) {
+	campaign := benchCampaignSpec()
+	trials := planTrials(b, campaign)
+	mergeAll := func(b *testing.B, payloads [][]byte) {
+		b.Helper()
+		parts := make([]*harness.PartialResult, len(payloads))
+		for i, payload := range payloads {
+			p, err := harness.DecodePartial(bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts[i] = p
+		}
+		if _, err := harness.NewRunner().MergeCampaign(campaign, parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("remote%d", workers), func(b *testing.B) {
+			srv := coordnet.NewServer(coordnet.ServerConfig{})
+			ln, err := coordnet.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			serveDone := make(chan error, 1)
+			go func() { serveDone <- srv.Serve(ctx, ln) }()
+			wctx, wcancel := context.WithCancel(context.Background())
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := coordnet.WorkerLoop(wctx, ln.Addr().String(), harness.Options{Evict: true}, nil); err != nil {
+						b.Errorf("WorkerLoop: %v", err)
+					}
+				}()
+			}
+			for srv.FleetSize() < workers {
+				time.Sleep(time.Millisecond)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				payloads, err := coordnet.Submit(context.Background(), ln.Addr().String(), campaign, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mergeAll(b, payloads)
+			}
+			b.StopTimer()
+			wcancel()
+			wg.Wait()
+			cancel()
+			if err := <-serveDone; err != nil {
+				b.Fatal(err)
+			}
+			reportTrialsPerSec(b, trials)
+		})
+	}
+
+	// The in-process baseline: the same 2×workers shard schedule on
+	// coord.Func workers — no sockets, no frames, same merge.
+	worker := shardWorker()
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("func%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				co, err := coord.New(coord.Config{
+					Spec:    campaign,
+					Shards:  2 * workers,
+					Workers: workers,
+					Spawn:   func(int) (coord.Worker, error) { return worker, nil },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				payloads, err := co.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				mergeAll(b, payloads)
+			}
+			reportTrialsPerSec(b, trials)
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -64,6 +64,7 @@ import (
 	"strings"
 
 	"dpmr/internal/coord"
+	coordnet "dpmr/internal/coord/net"
 	"dpmr/internal/harness"
 	"dpmr/internal/journal"
 	"dpmr/internal/prof"
@@ -100,6 +101,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		precomp    = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off; output is byte-identical, only speed differs)")
 		journalDir = fs.String("journal", "", "journal completed trial spans to this `dir` and write a progressive report there (requires a single experiment)")
 		resumeJnl  = fs.Bool("resume", false, "resume the experiment from an existing -journal directory, re-running only the missing trials")
+		remote     = fs.String("remote", "", "submit the experiment to the dpmrd campaign service at this `addr` (TCP host:port or Unix socket path) and merge its streamed shards")
 	)
 	var cf coord.CLIFlags
 	cf.Register(fs, "experiment", "worker mode: serve shard assignments from stdin (JSON lines carrying the spec; normally spawned by a coordinator)")
@@ -147,16 +149,16 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		opts.Events = harness.RenderProgress(stderr, label)
 	}
 
-	// The four execution modes are mutually exclusive; name the clash
+	// The five execution modes are mutually exclusive; name the clash
 	// instead of silently preferring one.
 	modes := 0
-	for _, on := range []bool{*merge, *shard != "", cf.Enabled(), cf.Worker} {
+	for _, on := range []bool{*merge, *shard != "", cf.Enabled(), cf.Worker, *remote != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fail(stderr, fmt.Errorf("-merge, -shard, -coord, and -worker are mutually exclusive"))
+		return fail(stderr, fmt.Errorf("-merge, -shard, -coord, -worker, and -remote are mutually exclusive"))
 	}
 	if err := cf.Validate(fs); err != nil {
 		return fail(stderr, err)
@@ -178,12 +180,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if cf.Enabled() && (spec.Exp == "" || spec.Exp == "all") {
 		return fail(stderr, fmt.Errorf("-coord requires a single experiment via -exp or -spec"))
 	}
+	if *remote != "" && (spec.Exp == "" || spec.Exp == "all") {
+		return fail(stderr, fmt.Errorf("-remote requires a single experiment via -exp or -spec"))
+	}
 	if *resumeJnl && *journalDir == "" {
 		return fail(stderr, fmt.Errorf("-resume requires -journal (the directory holding the journal to continue)"))
 	}
 	if *journalDir != "" {
-		if *merge || *shard != "" || cf.Enabled() || cf.Worker {
-			return fail(stderr, fmt.Errorf("-journal is incompatible with -merge, -shard, -coord, and -worker (the journal replaces manual shard files)"))
+		if *merge || *shard != "" || cf.Enabled() || cf.Worker || *remote != "" {
+			return fail(stderr, fmt.Errorf("-journal is incompatible with -merge, -shard, -coord, -worker, and -remote (a remote campaign journals on the daemon)"))
 		}
 		if spec.Exp == "" || spec.Exp == "all" {
 			return fail(stderr, fmt.Errorf("-journal requires a single experiment via -exp or -spec"))
@@ -273,6 +278,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return runFail(stderr, err)
 		}
 		return 0
+	case *remote != "":
+		return runRemote(ctx, spec, *remote, opts, *progress, stdout, stderr)
 	case cf.Enabled():
 		return runCoordinated(ctx, spec, cf, opts, *progress, stdout, stderr)
 	case *journalDir != "":
@@ -369,6 +376,31 @@ func runCoordinated(ctx context.Context, spec harness.Spec, cf coord.CLIFlags, o
 		}
 	}
 	payloads, err := coord.RunFleet(ctx, fleet)
+	if err != nil {
+		return runFail(stderr, err)
+	}
+	readers := make([]io.Reader, len(payloads))
+	for i, p := range payloads {
+		readers[i] = bytes.NewReader(p)
+	}
+	if err := harness.GenerateMerged(ctx, spec, stdout, readers, opts); err != nil {
+		return runFail(stderr, err)
+	}
+	return 0
+}
+
+// runRemote submits the experiment Spec to a dpmrd campaign service and
+// merges the shard payloads it streams back — the same fingerprint +
+// exact-tiling merge as -coord, so the report is byte-identical to a
+// local run and nothing is taken on the daemon's word. Progress renders
+// the daemon's typed shard events exactly like local session events.
+func runRemote(ctx context.Context, spec harness.Spec, addr string, opts harness.Options,
+	progress bool, stdout, stderr io.Writer) int {
+	var sink func(harness.Event)
+	if progress {
+		sink = harness.RenderProgress(stderr, spec.Exp+"@"+addr)
+	}
+	payloads, err := coordnet.Submit(ctx, addr, spec, sink)
 	if err != nil {
 		return runFail(stderr, err)
 	}

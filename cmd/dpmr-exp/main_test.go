@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	coordnet "dpmr/internal/coord/net"
 )
 
 // noStdin stands in for an unused worker-protocol stream.
@@ -60,6 +62,12 @@ func TestRunFlagValidation(t *testing.T) {
 		{"spec with quick", []string{"-spec", "/nonexistent/spec.json", "-quick"}, 2, "mutually exclusive"},
 		{"spec with runs", []string{"-spec", "/nonexistent/spec.json", "-runs", "3"}, 2, "mutually exclusive"},
 		{"spec with worker", []string{"-spec", "/nonexistent/spec.json", "-worker"}, 2, "mutually exclusive"},
+		{"remote with coord", []string{"-exp", "fig3.7", "-remote", "127.0.0.1:9", "-coord", "2"}, 2, "mutually exclusive"},
+		{"remote with shard", []string{"-exp", "fig3.7", "-remote", "127.0.0.1:9", "-shard", "0/2"}, 2, "mutually exclusive"},
+		{"remote with merge", []string{"-remote", "127.0.0.1:9", "-merge", "x.json"}, 2, "mutually exclusive"},
+		{"remote with worker", []string{"-remote", "127.0.0.1:9", "-worker"}, 2, "mutually exclusive"},
+		{"remote of all", []string{"-exp", "all", "-remote", "127.0.0.1:9"}, 2, "-remote requires a single experiment"},
+		{"remote with journal", []string{"-exp", "fig3.7", "-remote", "127.0.0.1:9", "-journal", "j"}, 2, "-journal is incompatible"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -189,6 +197,41 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 	if !bytes.Equal(unsharded.Bytes(), coordinated.Bytes()) {
 		t.Errorf("coordinated report differs from unsharded:\n--- unsharded ---\n%s\n--- coordinated ---\n%s",
 			unsharded.String(), coordinated.String())
+	}
+}
+
+// TestRemoteEndToEnd submits the experiment to an in-process dpmrd
+// campaign service over a real loopback socket; the locally merged
+// report must be byte-identical to the plain unsharded run.
+func TestRemoteEndToEnd(t *testing.T) {
+	var unsharded, stderr bytes.Buffer
+	if code := runCLI([]string{"-exp", "fig3.7", "-quick"}, noStdin(), &unsharded, &stderr); code != 0 {
+		t.Fatalf("unsharded run failed: %s", stderr.String())
+	}
+
+	srv := coordnet.NewServer(coordnet.ServerConfig{LocalWorkers: 2})
+	ln, err := coordnet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	var remote bytes.Buffer
+	stderr.Reset()
+	if code := runCLI([]string{"-exp", "fig3.7", "-quick", "-remote", ln.Addr().String()}, noStdin(), &remote, &stderr); code != 0 {
+		t.Fatalf("remote run failed: %s", stderr.String())
+	}
+	if !bytes.Equal(unsharded.Bytes(), remote.Bytes()) {
+		t.Errorf("remote report differs from unsharded:\n--- unsharded ---\n%s\n--- remote ---\n%s",
+			unsharded.String(), remote.String())
 	}
 }
 

@@ -37,6 +37,13 @@
 // Spec, so a worker process's argv holds only execution policy:
 //
 //	dpmr-run -workload mcf -campaign -inject immediate-free -coord 4
+//
+// With -remote the campaign is submitted to a running dpmrd daemon over
+// TCP or a Unix socket; the daemon's persistent fleet runs the shards,
+// typed progress events stream back, and the shard payloads are merged
+// locally — byte-identical to running the same campaign here:
+//
+//	dpmr-run -workload mcf -campaign -inject immediate-free -remote 127.0.0.1:9021
 package main
 
 import (
@@ -50,6 +57,7 @@ import (
 	"strconv"
 
 	"dpmr/internal/coord"
+	coordnet "dpmr/internal/coord/net"
 	"dpmr/internal/dpmr"
 	"dpmr/internal/dsa"
 	"dpmr/internal/extlib"
@@ -97,6 +105,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		compile    = fs.Bool("compile", true, "execute as compiled module bytecode; -compile=false forces the tree-walking reference interpreter (output is byte-identical, only speed differs)")
 		precomp    = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off; output is byte-identical, only speed differs; with -campaign)")
 		opStats    = fs.String("opstats", "", "write the executed opcode-pair/triple histogram as JSON to `file` (\"-\" = stdout; single runs only, runs on the reference interpreter)")
+		remote     = fs.String("remote", "", "submit the campaign to the dpmrd campaign service at this `addr` and merge the streamed shard results locally (with -campaign)")
 	)
 	var vf harness.VariantFlags
 	vf.Register(fs)
@@ -154,6 +163,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		if *journalDir != "" || *resume {
 			return fail(fmt.Errorf("-journal and -resume require -campaign"))
 		}
+		if *remote != "" {
+			return fail(fmt.Errorf("-remote requires -campaign (dpmrd runs campaign specs)"))
+		}
 	}
 	if *resume && *journalDir == "" {
 		return fail(fmt.Errorf("-resume requires -journal (the directory holding the journal to continue)"))
@@ -165,6 +177,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		for flag, on := range map[string]bool{
 			"-campaign": *campaign, "-merge": *merge, "-shard": *shard != "",
 			"-coord": cf.Enabled(), "-spec": *specFile != "", "-journal": *journalDir != "",
+			"-remote": *remote != "",
 		} {
 			if on {
 				return fail(fmt.Errorf("%s and -worker are mutually exclusive (assignments carry the spec)", flag))
@@ -213,16 +226,19 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return fail(conflict)
 		}
 		modes := 0
-		for _, on := range []bool{*merge, *shard != "", cf.Enabled()} {
+		for _, on := range []bool{*merge, *shard != "", cf.Enabled(), *remote != ""} {
 			if on {
 				modes++
 			}
 		}
 		if modes > 1 {
-			return fail(fmt.Errorf("-merge, -shard, and -coord are mutually exclusive"))
+			return fail(fmt.Errorf("-merge, -shard, -coord, and -remote are mutually exclusive"))
 		}
 		if *journalDir != "" && (*merge || *shard != "") {
 			return fail(fmt.Errorf("-journal is incompatible with -shard and -merge (the journal replaces manual shard files)"))
+		}
+		if *journalDir != "" && *remote != "" {
+			return fail(fmt.Errorf("-journal is incompatible with -remote (a remote campaign journals on the daemon)"))
 		}
 		if *merge && len(fs.Args()) == 0 {
 			return fail(fmt.Errorf("-merge needs the partial-result files as arguments"))
@@ -284,6 +300,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			shardSpec: shardSpec, sharded: *shard != "", outPath: *outPath,
 			merge: *merge, mergeFiles: fs.Args(),
 			journalDir: *journalDir, resume: *resume,
+			remote:     *remote,
 			coordFlags: cf,
 			stdout:     stdout, stderr: stderr,
 		})
@@ -401,6 +418,7 @@ type campaignArgs struct {
 	mergeFiles             []string
 	journalDir             string
 	resume                 bool
+	remote                 string
 	coordFlags             coord.CLIFlags
 	stdout, stderr         io.Writer
 }
@@ -457,6 +475,8 @@ func runCampaign(ctx context.Context, a campaignArgs) int {
 	runFail := func(err error) int { return execFail(a.stderr, err) }
 
 	switch {
+	case a.remote != "":
+		return runRemoteCampaign(ctx, a)
 	case a.journalDir != "" && a.coordFlags.Enabled():
 		return runCoordinatedJournaled(ctx, a)
 	case a.journalDir != "":
@@ -725,6 +745,40 @@ func runCoordinatedCampaign(ctx context.Context, a campaignArgs) int {
 	}
 	printCampaignSummary(a.stdout,
 		fmt.Sprintf("%d shards via %d workers", len(payloads), cf.Workers), cr)
+	return 0
+}
+
+// runRemoteCampaign submits the campaign Spec to a dpmrd daemon and
+// merges the shard payloads it streams back. The daemon schedules the
+// shards on its fleet (and journals them if it runs with -journal); the
+// client-side merge recomputes the summary from the exact tiling, so
+// the printed report is byte-identical to a local run no matter how the
+// fleet carved it up.
+func runRemoteCampaign(ctx context.Context, a campaignArgs) int {
+	runFail := func(err error) int { return execFail(a.stderr, err) }
+	var sink func(harness.Event)
+	if a.progress {
+		sink = harness.RenderProgress(a.stderr, "campaign@"+a.remote)
+	}
+	payloads, err := coordnet.Submit(ctx, a.remote, a.spec, sink)
+	if err != nil {
+		return runFail(err)
+	}
+	parts := make([]*harness.PartialResult, len(payloads))
+	for i, payload := range payloads {
+		p, err := harness.DecodePartial(bytes.NewReader(payload))
+		if err != nil {
+			return runFail(fmt.Errorf("shard %d: %w", i, err))
+		}
+		parts[i] = p
+	}
+	r := harness.NewRunner()
+	r.Parallel = a.parallel
+	cr, err := r.MergeCampaign(a.spec, parts)
+	if err != nil {
+		return runFail(err)
+	}
+	printCampaignSummary(a.stdout, fmt.Sprintf("%d shards via dpmrd", len(parts)), cr)
 	return 0
 }
 

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	coordnet "dpmr/internal/coord/net"
 )
 
 // noStdin stands in for an unused worker-protocol stream.
@@ -56,6 +58,12 @@ func TestRunFlagValidation(t *testing.T) {
 		{"merge without files", []string{"-campaign", "-inject", "immediate-free", "-merge"}, 2, "-merge needs"},
 		{"bad shard", []string{"-campaign", "-inject", "immediate-free", "-shard", "9"}, 2, "want i/N"},
 		{"shard out of range", []string{"-campaign", "-inject", "immediate-free", "-shard", "5/5"}, 2, "out of range"},
+		{"remote without campaign", []string{"-remote", "127.0.0.1:9"}, 2, "-remote requires -campaign"},
+		{"remote with coord", []string{"-campaign", "-inject", "immediate-free", "-remote", "127.0.0.1:9", "-coord", "2"}, 2, "mutually exclusive"},
+		{"remote with shard", []string{"-campaign", "-inject", "immediate-free", "-remote", "127.0.0.1:9", "-shard", "0/2"}, 2, "mutually exclusive"},
+		{"remote with merge", []string{"-campaign", "-inject", "immediate-free", "-remote", "127.0.0.1:9", "-merge", "x.json"}, 2, "mutually exclusive"},
+		{"remote with worker", []string{"-worker", "-remote", "127.0.0.1:9"}, 2, "mutually exclusive"},
+		{"remote with journal", []string{"-campaign", "-inject", "immediate-free", "-remote", "127.0.0.1:9", "-journal", "j"}, 2, "-journal is incompatible with -remote"},
 		{"zero workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "0"}, 1, "at least 1 worker"},
 		{"negative workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "-4"}, 1, "at least 1 worker"},
 		{"bad cpuprofile path", []string{"-workload", "mcf", "-cpuprofile", "/no/such/dir/cpu.out"}, 1, "prof:"},
@@ -145,6 +153,47 @@ func TestCampaignCoordinatorEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(coordinated.String(), "3 shards via 2 workers") {
 		t.Errorf("coordinated summary does not name the fleet:\n%s", coordinated.String())
+	}
+}
+
+// TestCampaignRemoteEndToEnd submits the campaign to an in-process
+// dpmrd service over a loopback socket; the locally merged summary must
+// match the direct run line for line (minus execution-local lines), and
+// name the daemon as the execution strategy.
+func TestCampaignRemoteEndToEnd(t *testing.T) {
+	base := []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-runs", "1"}
+	var direct, stderr bytes.Buffer
+	if code := runCLI(base, noStdin(), &direct, &stderr); code != 0 {
+		t.Fatalf("direct campaign failed: %s", stderr.String())
+	}
+
+	srv := coordnet.NewServer(coordnet.ServerConfig{LocalWorkers: 2})
+	ln, err := coordnet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	var remote bytes.Buffer
+	stderr.Reset()
+	args := append(append([]string{}, base...), "-remote", ln.Addr().String())
+	if code := runCLI(args, noStdin(), &remote, &stderr); code != 0 {
+		t.Fatalf("remote campaign failed: %s", stderr.String())
+	}
+	if trimExecutionLocal(direct.String()) != trimExecutionLocal(remote.String()) {
+		t.Errorf("remote summary differs from direct:\n--- direct ---\n%s\n--- remote ---\n%s",
+			direct.String(), remote.String())
+	}
+	if !strings.Contains(remote.String(), "shards via dpmrd") {
+		t.Errorf("remote summary does not name the daemon:\n%s", remote.String())
 	}
 }
 

@@ -1,0 +1,152 @@
+// Command dpmrd is the campaign service: an always-on daemon that holds
+// a persistent worker fleet and runs experiment Specs submitted by
+// dpmr-exp/dpmr-run over the network (their -remote flag).
+//
+// One binary, two modes:
+//
+//	dpmrd -listen 127.0.0.1:9021 -workers 4        # the daemon
+//	dpmrd -connect 127.0.0.1:9021                  # a fleet worker
+//
+// -listen accepts TCP host:port or a Unix socket path (anything
+// containing a path separator). The daemon's fleet is its -workers
+// in-process slots plus every `dpmrd -connect` process that joins; all
+// of them hold warm module/program caches across assignments, and
+// shards are checked out one at a time, so concurrent client campaigns
+// interleave fairly at shard granularity.
+//
+// With -journal, campaign submissions are journaled per Spec
+// fingerprint: a client that disconnects mid-campaign and resubmits the
+// identical Spec resumes from the completed spans instead of starting
+// over. A severed worker socket is just an expired lease — the
+// coordinator re-leases the shard, the worker redials and rejoins, and
+// the client-side fingerprint + exact-tiling merge keeps the final
+// report byte-identical regardless of how many times that happened.
+// -chaos severs worker sockets mid-shard on purpose, as a standing
+// drill of exactly that path.
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes at once,
+// in-flight submissions finish, then the fleet's sockets close so
+// -connect workers exit cleanly. A second signal kills outright.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	coordnet "dpmr/internal/coord/net"
+	"dpmr/internal/harness"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpmrd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen    = fs.String("listen", "", "serve the campaign service on this TCP host:port or Unix socket path")
+		connect   = fs.String("connect", "", "join the fleet of the daemon at this address as a worker instead of serving")
+		workers   = fs.Int("workers", 0, "in-process worker slots the daemon contributes to its own fleet (-listen mode)")
+		journal   = fs.String("journal", "", "journal campaign submissions under this `dir` (per Spec fingerprint) so a disconnected client's resubmission resumes")
+		lease     = fs.Duration("lease", 5*time.Minute, "per-shard lease; an assignment outliving it is speculatively re-leased, and a dead fleet fails submissions instead of hanging them")
+		keepalive = fs.Duration("keepalive", 30*time.Second, "ping idle worker sockets at this interval and drop the unresponsive (0 disables)")
+		chaos     = fs.Int("chaos", 0, "fault drill: sever this many worker sockets mid-shard (-listen mode)")
+		verbose   = fs.Bool("v", false, "log scheduling and fleet diagnostics to stderr")
+		parallel  = fs.Int("parallel", 1, "campaign worker goroutines per fleet slot (output is identical at any count)")
+		evict     = fs.Bool("evict", true, "release each module after its final trial (bounds peak cache residency)")
+		compile   = fs.Bool("compile", true, "execute trials as compiled module bytecode; -compile=false forces the tree-walking reference interpreter")
+		precomp   = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		return fail(stderr, fmt.Errorf("unexpected arguments %q (dpmrd takes no positionals)", fs.Args()))
+	}
+	switch {
+	case *listen == "" && *connect == "":
+		return fail(stderr, fmt.Errorf("one of -listen (serve) or -connect (join a fleet) is required"))
+	case *listen != "" && *connect != "":
+		return fail(stderr, fmt.Errorf("-listen and -connect are mutually exclusive (serve or join, not both)"))
+	}
+	if *connect != "" {
+		for name, bad := range map[string]bool{
+			"-workers": *workers != 0, "-journal": *journal != "", "-chaos": *chaos != 0,
+		} {
+			if bad {
+				return fail(stderr, fmt.Errorf("%s applies to the daemon (-listen), not a fleet worker (-connect)", name))
+			}
+		}
+	}
+	if *workers < 0 {
+		return fail(stderr, fmt.Errorf("-workers %d: a fleet cannot have negative slots", *workers))
+	}
+	if *lease <= 0 {
+		return fail(stderr, fmt.Errorf("-lease %v: the per-shard lease must be positive (it is what keeps a dead fleet from hanging submissions)", *lease))
+	}
+	if *keepalive < 0 {
+		return fail(stderr, fmt.Errorf("-keepalive %v: negative interval", *keepalive))
+	}
+	if *chaos < 0 {
+		return fail(stderr, fmt.Errorf("-chaos %d: negative sever count", *chaos))
+	}
+	opts := harness.Options{Parallel: *parallel, Evict: *evict, Reference: !*compile, Precompile: *precomp}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+	}
+
+	if *connect != "" {
+		err := coordnet.WorkerLoop(ctx, *connect, opts, func(rejoin bool) {
+			if rejoin {
+				fmt.Fprintf(stderr, "dpmrd: rejoined fleet at %s\n", *connect)
+			} else {
+				fmt.Fprintf(stderr, "dpmrd: joined fleet at %s\n", *connect)
+			}
+		})
+		if err != nil {
+			return runFail(stderr, err)
+		}
+		return 0
+	}
+
+	ln, err := coordnet.Listen(*listen)
+	if err != nil {
+		return runFail(stderr, err)
+	}
+	fmt.Fprintf(stderr, "dpmrd: listening on %s\n", ln.Addr())
+	srv := coordnet.NewServer(coordnet.ServerConfig{
+		LocalWorkers:  *workers,
+		WorkerOptions: opts,
+		JournalRoot:   *journal,
+		Lease:         *lease,
+		Keepalive:     *keepalive,
+		Chaos:         *chaos,
+		Log:           logf,
+	})
+	if err := srv.Serve(ctx, ln); err != nil {
+		return runFail(stderr, err)
+	}
+	fmt.Fprintln(stderr, "dpmrd: drained")
+	return 0
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "dpmrd:", err)
+	return 2
+}
+
+func runFail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "dpmrd:", err)
+	return 1
+}

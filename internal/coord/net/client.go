@@ -1,0 +1,71 @@
+package coordnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"dpmr/internal/harness"
+)
+
+// Submit sends one Spec to a dpmrd daemon at addr and blocks until the
+// campaign finishes, returning the shard partial payloads in ascending
+// trial order. sink, when non-nil, receives the daemon's streamed shard
+// events as they arrive — the same typed events a local Session emits,
+// so -remote progress renders identically to local progress. The caller
+// merges the payloads itself (GenerateMerged, MergeCampaign): the
+// fingerprint + exact-tiling validation happens on this side of the
+// wire, so a byte of transport corruption or a daemon running a
+// different plan is caught here, not trusted.
+func Submit(ctx context.Context, addr string, spec harness.Spec, sink func(harness.Event)) ([][]byte, error) {
+	n, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := dialerHandshake(conn, roleClient); err != nil {
+		return nil, err
+	}
+	// Cancellation severs the connection; the daemon's disconnect
+	// watchdog then cancels the submission and releases its workers.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	if err := writeFrame(conn, submitRequest{Spec: n}); err != nil {
+		return nil, fmt.Errorf("coordnet: submitting spec to %s: %w", addr, err)
+	}
+	for {
+		var frame serverFrame
+		if err := readFrame(conn, &frame); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			if errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("coordnet: daemon %s closed the connection before delivering a result", addr)
+			}
+			return nil, fmt.Errorf("coordnet: streaming from %s: %w", addr, err)
+		}
+		switch {
+		case frame.Done != nil:
+			if frame.Done.Error != "" {
+				return nil, fmt.Errorf("coordnet: daemon %s: %s", addr, frame.Done.Error)
+			}
+			return frame.Done.Payloads, nil
+		case frame.Event != nil:
+			ev, err := harness.DecodeEvent(frame.Event)
+			if err != nil {
+				return nil, fmt.Errorf("coordnet: daemon %s sent a malformed event: %w", addr, err)
+			}
+			if sink != nil {
+				sink(ev)
+			}
+		default:
+			return nil, fmt.Errorf("coordnet: daemon %s sent a frame with neither event nor result", addr)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package coordnet promotes the coordinator's JSON Assignment/Completion
+// protocol from stdio pipes to a network transport: a campaign service
+// (Server, the dpmrd daemon) that schedules Specs submitted by many
+// concurrent clients onto a persistent fleet of remote and in-process
+// workers.
+//
+// The wire format is deliberately thin: every message is one
+// length-delimited frame — a 4-byte big-endian byte count followed by
+// exactly that many bytes of JSON — and the JSON inside reuses the
+// existing protocol types (coord.Assignment, coord.Completion,
+// harness.Spec, the Session event wire form) unchanged. A connection
+// opens with a versioned hello naming the protocol and Spec-schema
+// versions plus the peer's role (worker or client); any mismatch is
+// refused by name before the first assignment, never negotiated around.
+//
+// Faults are the coordinator's existing vocabulary: a severed worker
+// socket surfaces as a failed attempt, so the shard is re-leased exactly
+// as if a spawned worker process had died — and because every shard of a
+// plan is a pure function of its range, the re-delivered result merges
+// byte-identically under the downstream fingerprint + exact-tiling
+// validation. Nothing about correctness lives in the transport.
+package coordnet
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// Protocol identity, checked by the hello handshake before any
+// assignment or submission flows.
+const (
+	// ProtoVersion is the framing + message-schema version of this
+	// package. Bump it when the wire format changes incompatibly.
+	ProtoVersion = 1
+	// SpecSchemaVersion names the harness.Spec / plan-fingerprint schema
+	// the peers must share (v2: canonical Spec JSON + enumerated sites).
+	// Two builds with different Spec schemas would compute different
+	// plans from one Spec; refusing the handshake beats a cryptic merge
+	// rejection half a campaign later.
+	SpecSchemaVersion = 2
+)
+
+// maxFrame bounds one frame's payload. Shard partials for realistic
+// campaigns are well under this; anything larger is a corrupt or hostile
+// length header, and refusing it beats a multi-gigabyte allocation.
+const maxFrame = 64 << 20
+
+// Network classifies a listen/dial address: anything containing a path
+// separator (or an abstract-socket @ prefix) is a Unix socket, the rest
+// is TCP host:port. One rule shared by Listen and Dial, so a dpmrd
+// -listen address is always dialable by the same spelling.
+func Network(addr string) string {
+	if strings.Contains(addr, "/") || strings.HasPrefix(addr, "@") {
+		return "unix"
+	}
+	return "tcp"
+}
+
+// Listen opens the daemon's listener on a TCP host:port or Unix socket
+// path (see Network). Errors name the address and network — a bad
+// -listen value must fail loudly, not hang.
+func Listen(addr string) (net.Listener, error) {
+	nw := Network(addr)
+	ln, err := net.Listen(nw, addr)
+	if err != nil {
+		return nil, fmt.Errorf("coordnet: listen %s %q: %w", nw, addr, err)
+	}
+	return ln, nil
+}
+
+// dial connects to a daemon address under ctx's cancellation.
+func dial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	nw := Network(addr)
+	conn, err := d.DialContext(ctx, nw, addr)
+	if err != nil {
+		return nil, fmt.Errorf("coordnet: dial %s %q: %w", nw, addr, err)
+	}
+	return conn, nil
+}
+
+// writeFrame sends v as one length-delimited JSON frame. The header and
+// payload go out in a single Write, so a frame is never interleaved by
+// the kernel with another writer's bytes (callers still serialize writes
+// per connection; the protocol has exactly one writer per direction).
+func writeFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("coordnet: encoding frame: %w", err)
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("coordnet: %d-byte frame exceeds the %d-byte limit", len(data), maxFrame)
+	}
+	buf := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(buf, uint32(len(data)))
+	copy(buf[4:], data)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("coordnet: writing frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-delimited JSON frame into v. A clean close
+// at a frame boundary returns io.EOF unwrapped, so callers can tell an
+// orderly shutdown from a mid-frame transport failure.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("coordnet: %d-byte frame exceeds the %d-byte limit", n, maxFrame)
+	}
+	data := make([]byte, n)
+	if m, err := io.ReadFull(r, data); err != nil {
+		return fmt.Errorf("coordnet: frame truncated after %d of %d bytes: %w", m, n, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("coordnet: decoding frame: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package coordnet
+
+// The connection-level protocol. Every connection — worker or client —
+// opens with one hello/reply exchange under a deadline, so a version
+// mismatch (or a peer speaking something else entirely) is a named
+// refusal within handshakeTimeout, never a hang. After the handshake the
+// connection speaks its role's frame vocabulary:
+//
+//	worker:  daemon → workerFrame{Ping | Assign},
+//	         worker → workerReply{Pong | Completion}
+//	client:  client → submitRequest{Spec},
+//	         daemon → serverFrame{Event}... serverFrame{Done}
+//
+// Assignment and Completion are the coordinator's existing stdio
+// protocol types, embedded verbatim; the framing is the only new layer.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"dpmr/internal/coord"
+	"dpmr/internal/harness"
+)
+
+// Peer roles named in the hello.
+const (
+	roleWorker = "worker"
+	roleClient = "client"
+)
+
+// handshakeTimeout bounds the hello exchange and the client's submit
+// frame: a silent or wedged peer is disconnected, not waited on.
+const handshakeTimeout = 10 * time.Second
+
+// hello opens every connection: the dialer names its protocol and
+// Spec-schema versions and its role.
+type hello struct {
+	Proto  int    `json:"proto"`
+	Schema int    `json:"schema"`
+	Role   string `json:"role"`
+}
+
+// helloReply answers a hello: the daemon's own versions, plus a refusal
+// naming the mismatch when the connection cannot proceed.
+type helloReply struct {
+	Proto   int    `json:"proto"`
+	Schema  int    `json:"schema"`
+	Refusal string `json:"refusal,omitempty"`
+}
+
+// workerFrame is one daemon→worker message: a keepalive ping, or a shard
+// assignment carrying the Spec (the existing coordinator encoding).
+type workerFrame struct {
+	Ping   bool              `json:"ping,omitempty"`
+	Assign *coord.Assignment `json:"assign,omitempty"`
+}
+
+// workerReply is one worker→daemon message: the pong answering a ping,
+// or the completion answering an assignment.
+type workerReply struct {
+	Pong       bool              `json:"pong,omitempty"`
+	Completion *coord.Completion `json:"completion,omitempty"`
+}
+
+// submitRequest is the client's one request: run this Spec.
+type submitRequest struct {
+	Spec harness.Spec `json:"spec"`
+}
+
+// serverFrame is one daemon→client message while a submission runs: a
+// marshaled Session event (harness.EncodeEvent bytes), or the final
+// result.
+type serverFrame struct {
+	Event json.RawMessage `json:"event,omitempty"`
+	Done  *submitResult   `json:"done,omitempty"`
+}
+
+// submitResult ends a submission: the shard partial payloads in schedule
+// order (each a JSON document the harness merge layer validates), or the
+// error that stopped the run.
+type submitResult struct {
+	Payloads [][]byte `json:"payloads"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// dialerHandshake runs the dialing side of the hello exchange for role.
+// A refusal from the daemon — or a version skew the daemon somehow
+// accepted — is a named error.
+func dialerHandshake(conn net.Conn, role string) error {
+	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return fmt.Errorf("coordnet: handshake deadline: %w", err)
+	}
+	if err := writeFrame(conn, hello{Proto: ProtoVersion, Schema: SpecSchemaVersion, Role: role}); err != nil {
+		return fmt.Errorf("coordnet: sending hello: %w", err)
+	}
+	var reply helloReply
+	if err := readFrame(conn, &reply); err != nil {
+		return fmt.Errorf("coordnet: reading hello reply: %w", err)
+	}
+	if reply.Refusal != "" {
+		return fmt.Errorf("coordnet: daemon refused the %s handshake: %s", role, reply.Refusal)
+	}
+	if reply.Proto != ProtoVersion || reply.Schema != SpecSchemaVersion {
+		return fmt.Errorf("coordnet: daemon speaks protocol %d / spec schema %d, this build speaks %d / %d",
+			reply.Proto, reply.Schema, ProtoVersion, SpecSchemaVersion)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return fmt.Errorf("coordnet: clearing handshake deadline: %w", err)
+	}
+	return nil
+}
+
+// listenerHandshake runs the daemon side of the hello exchange and
+// returns the peer's role. Mismatches are answered with a refusal frame
+// naming both sides' versions, then the error closes the connection.
+func listenerHandshake(conn net.Conn) (string, error) {
+	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return "", fmt.Errorf("coordnet: handshake deadline: %w", err)
+	}
+	var h hello
+	if err := readFrame(conn, &h); err != nil {
+		return "", fmt.Errorf("coordnet: reading hello: %w", err)
+	}
+	refuse := func(format string, args ...any) (string, error) {
+		msg := fmt.Sprintf(format, args...)
+		// Best-effort: the refusal is for the peer's benefit; the error
+		// below closes the connection either way.
+		_ = writeFrame(conn, helloReply{Proto: ProtoVersion, Schema: SpecSchemaVersion, Refusal: msg})
+		return "", fmt.Errorf("coordnet: refused %s: %s", conn.RemoteAddr(), msg)
+	}
+	if h.Proto != ProtoVersion {
+		return refuse("protocol version mismatch: peer speaks %d, this daemon speaks %d", h.Proto, ProtoVersion)
+	}
+	if h.Schema != SpecSchemaVersion {
+		return refuse("spec schema mismatch: peer speaks %d, this daemon speaks %d — one side computes different plans from the same Spec", h.Schema, SpecSchemaVersion)
+	}
+	if h.Role != roleWorker && h.Role != roleClient {
+		return refuse("unknown role %q: want %q or %q", h.Role, roleWorker, roleClient)
+	}
+	if err := writeFrame(conn, helloReply{Proto: ProtoVersion, Schema: SpecSchemaVersion}); err != nil {
+		return "", fmt.Errorf("coordnet: answering hello: %w", err)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return "", fmt.Errorf("coordnet: clearing handshake deadline: %w", err)
+	}
+	return h.Role, nil
+}

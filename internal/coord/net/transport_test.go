@@ -1,0 +1,220 @@
+package coordnet
+
+// Transport-layer tests with package-internal access: framing limits,
+// handshake refusals (both directions, bounded — a version skew must be
+// a named error, never a hang), and the keepalive sweep dropping a
+// silently dead worker socket.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dpmr/internal/harness"
+)
+
+func TestNetworkClassification(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:9021":  "tcp",
+		"fleet.host:9021": "tcp",
+		"/tmp/fleet.sock": "unix",
+		"./fleet.sock":    "unix",
+		"@fleet":          "unix",
+	}
+	for addr, want := range cases {
+		if got := Network(addr); got != want {
+			t.Errorf("Network(%q) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sent := hello{Proto: 7, Schema: 9, Role: "worker"}
+	if err := writeFrame(&buf, sent); err != nil {
+		t.Fatal(err)
+	}
+	var got hello
+	if err := readFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != sent {
+		t.Errorf("round trip changed the frame: sent %+v, got %+v", sent, got)
+	}
+}
+
+func TestFrameRejectsOversizedHeader(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	var v struct{}
+	err := readFrame(bytes.NewReader(hdr[:]), &v)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized header error = %v, want a named size refusal", err)
+	}
+}
+
+func TestFrameReportsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, hello{Proto: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	var got hello
+	err := readFrame(bytes.NewReader(cut), &got)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated frame error = %v, want a named truncation", err)
+	}
+}
+
+// refusalFor dials the listener, sends h as the opening hello, and
+// returns the daemon's reply. The 5s deadline turns a hang into a
+// test failure instead of a stuck suite.
+func refusalFor(t *testing.T, addr string, h hello) helloReply {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := writeFrame(conn, h); err != nil {
+		t.Fatal(err)
+	}
+	var reply helloReply
+	if err := readFrame(conn, &reply); err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+// TestHandshakeRefusesMismatches: wrong protocol version, wrong Spec
+// schema, and an unknown role are each refused by name before any
+// assignment flows, and the daemon's reply still carries its own
+// versions so the peer can say what would have been compatible.
+func TestHandshakeRefusesMismatches(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	cases := []struct {
+		name string
+		h    hello
+		want string
+	}{
+		{"protocol", hello{Proto: ProtoVersion + 1, Schema: SpecSchemaVersion, Role: roleWorker}, "protocol version mismatch"},
+		{"schema", hello{Proto: ProtoVersion, Schema: SpecSchemaVersion + 1, Role: roleClient}, "spec schema mismatch"},
+		{"role", hello{Proto: ProtoVersion, Schema: SpecSchemaVersion, Role: "observer"}, "unknown role"},
+	}
+	for _, tc := range cases {
+		reply := refusalFor(t, addr, tc.h)
+		if !strings.Contains(reply.Refusal, tc.want) {
+			t.Errorf("%s: refusal %q does not name %q", tc.name, reply.Refusal, tc.want)
+		}
+		if reply.Proto != ProtoVersion || reply.Schema != SpecSchemaVersion {
+			t.Errorf("%s: refusal carries versions %d/%d, want the daemon's %d/%d",
+				tc.name, reply.Proto, reply.Schema, ProtoVersion, SpecSchemaVersion)
+		}
+	}
+}
+
+// TestDialerRejectsVersionSkew: a client dialing a daemon from a
+// different protocol generation gets a named error, not a hang — here
+// the "daemon" is a stub speaking a future version.
+func TestDialerRejectsVersionSkew(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var h hello
+		_ = readFrame(conn, &h)
+		_ = writeFrame(conn, helloReply{Proto: ProtoVersion + 1, Schema: SpecSchemaVersion})
+	}()
+
+	_, err = Submit(context.Background(), ln.Addr().String(), harness.ExperimentSpec("fig3.7"), nil)
+	if err == nil || !strings.Contains(err.Error(), "speaks protocol") {
+		t.Errorf("Submit against a version-skewed daemon = %v, want a named version error", err)
+	}
+}
+
+// TestSubmitBadAddressFailsFast: an unreachable daemon address is an
+// immediate named dial error.
+func TestSubmitBadAddressFailsFast(t *testing.T) {
+	_, err := Submit(context.Background(), t.TempDir()+"/no-such-daemon.sock", harness.ExperimentSpec("fig3.7"), nil)
+	if err == nil || !strings.Contains(err.Error(), "dial unix") {
+		t.Errorf("Submit to a dead socket = %v, want a named dial error", err)
+	}
+}
+
+// TestListenBadAddress: an unbindable -listen value errors by name.
+func TestListenBadAddress(t *testing.T) {
+	if _, err := Listen("256.0.0.1:port"); err == nil || !strings.Contains(err.Error(), "listen tcp") {
+		t.Errorf("Listen on a bad address = %v, want a named listen error", err)
+	}
+}
+
+// TestKeepaliveDropsDeadWorker: a worker socket that handshakes and
+// then goes silent (a frozen process — the connection is open but
+// nothing answers) is discovered by the keepalive sweep and dropped
+// from the fleet before a shard is wasted on it.
+func TestKeepaliveDropsDeadWorker(t *testing.T) {
+	srv := NewServer(ServerConfig{Keepalive: 20 * time.Millisecond})
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := dialerHandshake(conn, roleWorker); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.FleetSize() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead worker never joined the fleet")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Never answer the pings: the sweep must evict the socket.
+	for srv.FleetSize() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("keepalive never dropped the silent worker (fleet %d)", srv.FleetSize())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

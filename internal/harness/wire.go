@@ -1,0 +1,72 @@
+package harness
+
+// Wire form of the Session event stream. A remote campaign service
+// (internal/coord/net) streams the same typed events a local Session
+// emits — TrialDone, Progress, ShardMerged, CacheStats — back to its
+// client, so a -remote run renders progress exactly like a local one.
+// Events cross the network as a tagged JSON union: exactly one field of
+// wireEvent is set, named after the event type. Durations travel as
+// int64 nanoseconds (encoding/json's time.Duration form), so elapsed
+// stamps round-trip exactly.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// wireEvent is the tagged union an Event marshals to: exactly one
+// pointer is non-nil.
+type wireEvent struct {
+	TrialDone   *TrialDone   `json:"trialDone,omitempty"`
+	Progress    *Progress    `json:"progress,omitempty"`
+	ShardMerged *ShardMerged `json:"shardMerged,omitempty"`
+	CacheStats  *CacheStats  `json:"cacheStats,omitempty"`
+}
+
+// EncodeEvent marshals a Session event for the wire. Every event type a
+// Session emits is encodable; an unknown Event implementation (there are
+// none outside this package) is an error, not a silent drop.
+func EncodeEvent(ev Event) ([]byte, error) {
+	var w wireEvent
+	switch e := ev.(type) {
+	case TrialDone:
+		w.TrialDone = &e
+	case Progress:
+		w.Progress = &e
+	case ShardMerged:
+		w.ShardMerged = &e
+	case CacheStats:
+		w.CacheStats = &e
+	default:
+		return nil, fmt.Errorf("harness: encoding event: unknown type %T", ev)
+	}
+	return json.Marshal(w)
+}
+
+// DecodeEvent unmarshals one wire event back to its typed form. A frame
+// carrying no event — or more than one — is malformed: the sender is
+// speaking a different schema, and naming that beats misrendering it.
+func DecodeEvent(data []byte) (Event, error) {
+	var w wireEvent
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("harness: decoding event: %w", err)
+	}
+	var ev Event
+	n := 0
+	if w.TrialDone != nil {
+		ev, n = *w.TrialDone, n+1
+	}
+	if w.Progress != nil {
+		ev, n = *w.Progress, n+1
+	}
+	if w.ShardMerged != nil {
+		ev, n = *w.ShardMerged, n+1
+	}
+	if w.CacheStats != nil {
+		ev, n = *w.CacheStats, n+1
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("harness: decoding event: %d event variants set, want exactly 1", n)
+	}
+	return ev, nil
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestEventWireRoundTrip: every event type a Session emits survives the
+// wire encoding exactly — including duration stamps, which the adaptive
+// shard sizing downstream consumes.
+func TestEventWireRoundTrip(t *testing.T) {
+	events := []Event{
+		TrialDone{Done: 3, Total: 40, Elapsed: 1500 * time.Microsecond},
+		Progress{Done: 7, Total: 40, Stats: CacheStats{Builds: 4, Evicted: 1, Resident: 3, Peak: 4}},
+		ShardMerged{Shard: ShardSpec{Index: 1, Count: 3}, Lo: 13, Hi: 26, Total: 40, Elapsed: 2 * time.Millisecond},
+		ShardMerged{Shard: SpanShard(5, 9), Lo: 5, Hi: 9, Total: 40},
+		CacheStats{Builds: 12, Evicted: 12, Resident: 0, Peak: 3},
+	}
+	for _, ev := range events {
+		data, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatalf("EncodeEvent(%#v): %v", ev, err)
+		}
+		got, err := DecodeEvent(data)
+		if err != nil {
+			t.Fatalf("DecodeEvent(%s): %v", data, err)
+		}
+		if !reflect.DeepEqual(got, ev) {
+			t.Errorf("round trip changed the event:\n sent %#v\n got  %#v", ev, got)
+		}
+	}
+}
+
+// TestEventWireRejectsMalformed: frames carrying zero or several event
+// variants, or an unknown Event implementation, error by name instead of
+// decoding to something misleading.
+func TestEventWireRejectsMalformed(t *testing.T) {
+	if _, err := DecodeEvent([]byte(`{}`)); err == nil {
+		t.Error("empty event frame decoded without error")
+	}
+	if _, err := DecodeEvent([]byte(`{"trialDone":{},"progress":{}}`)); err == nil {
+		t.Error("double-tagged event frame decoded without error")
+	}
+	if _, err := DecodeEvent([]byte(`not json`)); err == nil {
+		t.Error("non-JSON event frame decoded without error")
+	}
+	type rogue struct{ Event }
+	if _, err := EncodeEvent(rogue{}); err == nil {
+		t.Error("unknown event type encoded without error")
+	}
+}
