@@ -65,6 +65,7 @@ import (
 
 	"dpmr/internal/coord"
 	coordnet "dpmr/internal/coord/net"
+	"dpmr/internal/failpt"
 	"dpmr/internal/harness"
 	"dpmr/internal/journal"
 	"dpmr/internal/prof"
@@ -109,6 +110,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if sched, err := failpt.ArmFromEnv(); err != nil {
+		return fail(stderr, fmt.Errorf("%s: %w", failpt.EnvVar, err))
+	} else if sched != "" {
+		fmt.Fprintf(stderr, "dpmr-exp: failpoints armed from %s: %s\n", failpt.EnvVar, sched)
 	}
 	if *outPath != "" && *shard == "" {
 		return fail(stderr, fmt.Errorf("-out requires -shard (merged and unsharded reports go to stdout)"))
@@ -313,6 +319,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return runFail(stderr, snapErr)
 		}
 		fmt.Fprintf(stderr, "journal: executed %d trials\n", executed)
+		if derr := j.Degraded(); derr != nil {
+			fmt.Fprintf(stderr, "dpmr-exp: WARNING: the report above is complete, but the journal degraded and cannot be resumed: %v\n", derr)
+		}
 		return 0
 	}
 

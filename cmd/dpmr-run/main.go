@@ -61,6 +61,7 @@ import (
 	"dpmr/internal/dpmr"
 	"dpmr/internal/dsa"
 	"dpmr/internal/extlib"
+	"dpmr/internal/failpt"
 	"dpmr/internal/faultinject"
 	"dpmr/internal/harness"
 	"dpmr/internal/interp"
@@ -119,6 +120,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "dpmr-run:", err)
 		return 2
+	}
+	if sched, err := failpt.ArmFromEnv(); err != nil {
+		return fail(fmt.Errorf("%s: %w", failpt.EnvVar, err))
+	} else if sched != "" {
+		fmt.Fprintf(stderr, "dpmr-run: failpoints armed from %s: %s\n", failpt.EnvVar, sched)
 	}
 
 	w, err := workloads.ByName(*workload)
@@ -604,8 +610,19 @@ func runJournaledCampaign(ctx context.Context, a campaignArgs) int {
 		return execFail(a.stderr, snapErr)
 	}
 	fmt.Fprintf(a.stderr, "journal: replayed %d trials, executed %d\n", total-executed, executed)
+	warnDegraded(a.stderr, j)
 	writeJournaledSummary(a.stdout, cr, total, total)
 	return 0
+}
+
+// warnDegraded tells the operator when a journaled campaign finished on
+// a journal that went lossy mid-run: the results in hand are complete
+// and correct, but the journal cannot seed a resume — silence here would
+// surface much later as a refused -resume with no context.
+func warnDegraded(stderr io.Writer, j *journal.Journal) {
+	if derr := j.Degraded(); derr != nil {
+		fmt.Fprintf(stderr, "dpmr-run: WARNING: the campaign completed, but the journal degraded and cannot be resumed: %v\n", derr)
+	}
 }
 
 // runCoordinatedJournaled resumes the campaign under the coordinator:
@@ -689,6 +706,7 @@ func runCoordinatedJournaled(ctx context.Context, a campaignArgs) int {
 	}
 	fmt.Fprintf(a.stderr, "journal: replayed %d trials, executed %d via %d workers\n",
 		c.Done(), executed, a.coordFlags.Workers)
+	warnDegraded(a.stderr, j)
 	writeJournaledSummary(a.stdout, cr, c.Total, c.Total)
 	return 0
 }

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	coordnet "dpmr/internal/coord/net"
+	"dpmr/internal/failpt"
 	"dpmr/internal/harness"
 )
 
@@ -54,18 +55,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dpmrd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		listen    = fs.String("listen", "", "serve the campaign service on this TCP host:port or Unix socket path")
-		connect   = fs.String("connect", "", "join the fleet of the daemon at this address as a worker instead of serving")
-		workers   = fs.Int("workers", 0, "in-process worker slots the daemon contributes to its own fleet (-listen mode)")
-		journal   = fs.String("journal", "", "journal campaign submissions under this `dir` (per Spec fingerprint) so a disconnected client's resubmission resumes")
-		lease     = fs.Duration("lease", 5*time.Minute, "per-shard lease; an assignment outliving it is speculatively re-leased, and a dead fleet fails submissions instead of hanging them")
-		keepalive = fs.Duration("keepalive", 30*time.Second, "ping idle worker sockets at this interval and drop the unresponsive (0 disables)")
-		chaos     = fs.Int("chaos", 0, "fault drill: sever this many worker sockets mid-shard (-listen mode)")
-		verbose   = fs.Bool("v", false, "log scheduling and fleet diagnostics to stderr")
-		parallel  = fs.Int("parallel", 1, "campaign worker goroutines per fleet slot (output is identical at any count)")
-		evict     = fs.Bool("evict", true, "release each module after its final trial (bounds peak cache residency)")
-		compile   = fs.Bool("compile", true, "execute trials as compiled module bytecode; -compile=false forces the tree-walking reference interpreter")
-		precomp   = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off)")
+		listen     = fs.String("listen", "", "serve the campaign service on this TCP host:port or Unix socket path")
+		connect    = fs.String("connect", "", "join the fleet of the daemon at this address as a worker instead of serving")
+		workers    = fs.Int("workers", 0, "in-process worker slots the daemon contributes to its own fleet (-listen mode)")
+		journal    = fs.String("journal", "", "journal campaign submissions under this `dir` (per Spec fingerprint) so a disconnected client's resubmission resumes")
+		lease      = fs.Duration("lease", 5*time.Minute, "per-shard lease; an assignment outliving it is speculatively re-leased, and a dead fleet fails submissions instead of hanging them")
+		keepalive  = fs.Duration("keepalive", 30*time.Second, "ping idle worker sockets at this interval and drop the unresponsive (0 disables)")
+		katimeout  = fs.Duration("keepalive-timeout", 0, "how long an idle worker may take to answer a keepalive ping before it is dropped (0 = the -keepalive interval)")
+		failpoints = fs.String("failpoints", "", "arm this failpoint `schedule` (site=action@N;...) for deterministic fault drills; see docs/robustness.md")
+		chaos      = fs.Int("chaos", 0, "fault drill: sever this many worker sockets mid-shard (-listen mode)")
+		verbose    = fs.Bool("v", false, "log scheduling and fleet diagnostics to stderr")
+		parallel   = fs.Int("parallel", 1, "campaign worker goroutines per fleet slot (output is identical at any count)")
+		evict      = fs.Bool("evict", true, "release each module after its final trial (bounds peak cache residency)")
+		compile    = fs.Bool("compile", true, "execute trials as compiled module bytecode; -compile=false forces the tree-walking reference interpreter")
+		precomp    = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -97,8 +100,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *keepalive < 0 {
 		return fail(stderr, fmt.Errorf("-keepalive %v: negative interval", *keepalive))
 	}
+	if *katimeout < 0 {
+		return fail(stderr, fmt.Errorf("-keepalive-timeout %v: negative timeout", *katimeout))
+	}
+	if *katimeout > 0 && *keepalive == 0 {
+		return fail(stderr, fmt.Errorf("-keepalive-timeout %v without a keepalive: -keepalive 0 disables the sweep the timeout would bound", *katimeout))
+	}
 	if *chaos < 0 {
 		return fail(stderr, fmt.Errorf("-chaos %d: negative sever count", *chaos))
+	}
+	if *failpoints != "" {
+		if err := failpt.Arm(*failpoints); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "dpmrd: failpoints armed: %s\n", *failpoints)
+	} else if sched, err := failpt.ArmFromEnv(); err != nil {
+		return fail(stderr, fmt.Errorf("%s: %w", failpt.EnvVar, err))
+	} else if sched != "" {
+		fmt.Fprintf(stderr, "dpmrd: failpoints armed from %s: %s\n", failpt.EnvVar, sched)
 	}
 	opts := harness.Options{Parallel: *parallel, Evict: *evict, Reference: !*compile, Precompile: *precomp}
 	logf := func(string, ...any) {}
@@ -126,13 +145,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "dpmrd: listening on %s\n", ln.Addr())
 	srv := coordnet.NewServer(coordnet.ServerConfig{
-		LocalWorkers:  *workers,
-		WorkerOptions: opts,
-		JournalRoot:   *journal,
-		Lease:         *lease,
-		Keepalive:     *keepalive,
-		Chaos:         *chaos,
-		Log:           logf,
+		LocalWorkers:     *workers,
+		WorkerOptions:    opts,
+		JournalRoot:      *journal,
+		Lease:            *lease,
+		Keepalive:        *keepalive,
+		KeepaliveTimeout: *katimeout,
+		Chaos:            *chaos,
+		Log:              logf,
 	})
 	if err := srv.Serve(ctx, ln); err != nil {
 		return runFail(stderr, err)

@@ -33,8 +33,40 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dpmr/internal/failpt"
 	"dpmr/internal/harness"
 )
+
+// Failpoint sites: the scheduler's own failure shapes, drillable by
+// name. coord/dispatch misbehaves as the attempt starts (err = the
+// worker crashed taking the assignment; stall = the attempt wedges
+// long enough to blow its lease); coord/completion swallows a
+// finished shard's first result, exercising the retry path a lost
+// completion would take.
+var (
+	siteDispatch   = failpt.Register("coord/dispatch", failpt.KindErr, failpt.KindStall)
+	siteCompletion = failpt.Register("coord/completion", failpt.KindDrop)
+)
+
+// PoisonShardError is the named refusal for a poison shard: one whose
+// attempts failed on PoisonK distinct worker incarnations. The shard
+// is isolated (the run stops retrying it) and the refusal names it,
+// because a shard that kills every worker it touches is a defect in
+// the plan or the workload, not transient bad luck — retrying forever
+// would grind the fleet down worker by worker.
+type PoisonShardError struct {
+	Shard, Of   int   // shard index, total shards
+	Workers     int   // distinct worker incarnations it failed
+	Attempts    int   // dispatches consumed
+	LastFailure error // the final attempt's error
+}
+
+func (e *PoisonShardError) Error() string {
+	return fmt.Sprintf("coord: shard %d/%d is poison: failed %d distinct workers in %d attempts, isolating it; last failure: %v",
+		e.Shard, e.Of, e.Workers, e.Attempts, e.LastFailure)
+}
+
+func (e *PoisonShardError) Unwrap() error { return e.LastFailure }
 
 // chaosKillDelay is how long after its first dispatch a chaos-targeted
 // worker is killed: long enough for the assignment to reach the process
@@ -98,6 +130,18 @@ type Config struct {
 	// MaxAttempts caps dispatches per shard, counting speculative
 	// reassignments; 0 means the default of 3.
 	MaxAttempts int
+	// PoisonK is the poison-shard threshold: a shard whose attempts
+	// fail on this many distinct worker incarnations is isolated and
+	// the run refuses with a named PoisonShardError instead of
+	// retrying further. 0 means the default of 3; it cannot exceed
+	// MaxAttempts meaningfully (attempts exhaust first).
+	PoisonK int
+	// Quarantine is the base backoff before respawning a worker slot
+	// whose attempt died on a transport error. Repeated deaths double
+	// it (capped at 5s) with jitter — the circuit breaker that stops a
+	// persistent fault from hot-looping respawns. 0 means the 50ms
+	// default; negative disables quarantine entirely.
+	Quarantine time.Duration
 	// Spawn constructs the worker for fleet slot id, both for the
 	// initial fleet and to replace a worker whose attempt failed. It
 	// must be safe for concurrent use.
@@ -159,6 +203,15 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = 3
 	}
+	if cfg.PoisonK < 0 {
+		return nil, fmt.Errorf("coord: negative PoisonK %d", cfg.PoisonK)
+	}
+	if cfg.PoisonK == 0 {
+		cfg.PoisonK = 3
+	}
+	if cfg.Quarantine == 0 {
+		cfg.Quarantine = DefaultQuarantine
+	}
 	if cfg.Spawn == nil {
 		return nil, fmt.Errorf("coord: no Spawn factory")
 	}
@@ -177,6 +230,7 @@ func (c *Coordinator) logf(format string, args ...any) {
 // completion is one attempt's outcome, posted by a worker goroutine.
 type completion struct {
 	shard   int
+	worker  int // worker incarnation that ran the attempt, for poison tracking
 	payload []byte
 	err     error
 }
@@ -268,6 +322,11 @@ func (c *Coordinator) Run(ctx context.Context) ([][]byte, error) {
 	loopDone := make(chan struct{})
 
 	chaos := int64(cfg.Chaos)
+	var spawnSeq int64 // worker incarnations: a respawn is a new worker
+	quarBase := cfg.Quarantine
+	if quarBase < 0 {
+		quarBase = 0
+	}
 	var wg sync.WaitGroup
 
 	// shutdown stops the fleet: stray timers and posts unblock on
@@ -287,9 +346,10 @@ func (c *Coordinator) Run(ctx context.Context) ([][]byte, error) {
 		wg.Wait()
 	}()
 
-	worker := func(id int, w Worker) {
+	worker := func(id, wid int, w Worker) {
 		defer wg.Done()
 		defer func() { _ = w.Close() }()
+		br := NewBreaker(quarBase)
 		post := func(ev completion) {
 			select {
 			case events <- ev:
@@ -308,34 +368,56 @@ func (c *Coordinator) Run(ctx context.Context) ([][]byte, error) {
 			if cfg.Spans != nil {
 				assignment = cfg.Spans[shard]
 			}
-			payload, err := w.Run(ctx, cfg.Spec, assignment)
-			post(completion{shard: shard, payload: payload, err: err})
-			if err != nil {
-				// An in-band shard error came from a live worker: keep
-				// its warm state, retry elsewhere.
-				var inBand *ShardError
-				if errors.As(err, &inBand) {
-					continue
-				}
-				// Otherwise the worker may be dead (a killed process);
-				// replace it. At shutdown the error is just the
-				// cancellation — don't spawn a process nobody will use.
-				_ = w.Close()
-				if ctx.Err() != nil {
-					return
-				}
-				nw, serr := cfg.Spawn(id)
-				if serr != nil {
-					c.logf("worker %d: respawn failed, retiring slot: %v", id, serr)
-					select {
-					case retired <- id:
-					case <-loopDone:
-					}
-					return
-				}
-				c.logf("worker %d: respawned", id)
-				w = nw
+			var payload []byte
+			var err error
+			if act := failpt.Eval(siteDispatch); act != nil {
+				act.Sleep() // a stalled dispatch outlives its lease
+				err = act.Err()
 			}
+			if err == nil {
+				payload, err = w.Run(ctx, cfg.Spec, assignment)
+			}
+			post(completion{shard: shard, worker: wid, payload: payload, err: err})
+			if err == nil {
+				br.OK()
+				continue
+			}
+			// An in-band shard error came from a live worker: keep
+			// its warm state, retry elsewhere.
+			var inBand *ShardError
+			if errors.As(err, &inBand) {
+				continue
+			}
+			// Otherwise the worker may be dead (a killed process);
+			// replace it. At shutdown the error is just the
+			// cancellation — don't spawn a process nobody will use.
+			_ = w.Close()
+			if ctx.Err() != nil {
+				return
+			}
+			// A slot whose workers keep dying is quarantined before the
+			// respawn — backoff with jitter instead of a hot respawn
+			// loop against a persistent fault.
+			if d := br.Fail(); d > 0 {
+				c.logf("worker %d: quarantined for %v (health %.2f)", id, d.Round(time.Millisecond), br.Score())
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return
+				}
+			}
+			nw, serr := cfg.Spawn(id)
+			if serr != nil {
+				c.logf("worker %d: respawn failed, retiring slot: %v", id, serr)
+				select {
+				case retired <- id:
+				case <-loopDone:
+				}
+				return
+			}
+			wid = int(atomic.AddInt64(&spawnSeq, 1))
+			c.logf("worker %d: respawned", id)
+			w = nw
 		}
 	}
 
@@ -345,7 +427,7 @@ func (c *Coordinator) Run(ctx context.Context) ([][]byte, error) {
 			return nil, fmt.Errorf("coord: spawning worker %d: %w", i, err)
 		}
 		wg.Add(1)
-		go worker(i, w)
+		go worker(i, int(atomic.AddInt64(&spawnSeq, 1)), w)
 	}
 
 	results := make([][]byte, m)
@@ -354,6 +436,7 @@ func (c *Coordinator) Run(ctx context.Context) ([][]byte, error) {
 	attempts := make([]int, m)
 	inflight := make([]int, m)
 	expired := make([]int, m) // leases expired per shard; expired == attempts ⇒ every attempt presumed lost
+	failedBy := make([]map[int]struct{}, m)
 	queue := make([]int, 0, m)
 	for i := 0; i < m; i++ {
 		queue = append(queue, i)
@@ -419,12 +502,36 @@ func (c *Coordinator) Run(ctx context.Context) ([][]byte, error) {
 			live--
 		case ev := <-events:
 			inflight[ev.shard]--
+			// The completion-loss drill: a finished shard's result is
+			// swallowed here, exactly as if the worker died between
+			// computing it and delivering it — the retry path must
+			// recover it or refuse by name.
+			if ev.err == nil && !done[ev.shard] {
+				if act := failpt.Eval(siteCompletion); act != nil && act.Kind == failpt.KindDrop {
+					c.logf("shard %d/%d: completion dropped (failpoint %s)", ev.shard, m, siteCompletion)
+					ev.err = fmt.Errorf("coord: shard %d completion lost (failpoint %s)", ev.shard, siteCompletion)
+					ev.payload = nil
+				}
+			}
 			switch {
 			case ev.err != nil:
 				if done[ev.shard] {
 					break // a speculative sibling already finished it
 				}
 				c.logf("shard %d/%d: attempt failed: %v", ev.shard, m, ev.err)
+				if failedBy[ev.shard] == nil {
+					failedBy[ev.shard] = map[int]struct{}{}
+				}
+				failedBy[ev.shard][ev.worker] = struct{}{}
+				// Poison check first: "failed K distinct workers" is the
+				// sharper refusal than "attempts exhausted" when both hold.
+				if len(failedBy[ev.shard]) >= cfg.PoisonK {
+					return nil, &PoisonShardError{
+						Shard: ev.shard, Of: m,
+						Workers: len(failedBy[ev.shard]), Attempts: attempts[ev.shard],
+						LastFailure: ev.err,
+					}
+				}
 				if queued[ev.shard] || inflight[ev.shard] > 0 {
 					break // a retry is already queued or running
 				}

@@ -64,7 +64,11 @@ func TestCoordinatorRetriesCrashedWorker(t *testing.T) {
 			return payload(s), nil
 		}), nil
 	}
-	co, err := coord.New(coord.Config{Shards: 6, Workers: 2, Spawn: spawn})
+	// Quarantine off: both injected crashes may land on one slot, and a
+	// quarantined slot's respawn can lose the race against the healthy
+	// slot finishing the plan — this test counts respawns, so it wants
+	// the pre-breaker immediate-respawn behavior.
+	co, err := coord.New(coord.Config{Shards: 6, Workers: 2, Quarantine: -1, Spawn: spawn})
 	if err != nil {
 		t.Fatal(err)
 	}

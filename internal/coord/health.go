@@ -1,0 +1,121 @@
+package coord
+
+// Per-worker health scoring and quarantine. A worker slot whose
+// attempts keep dying (transport errors: the process crashed, the
+// connection severed) used to be respawned immediately — under a
+// persistent fault that is a hot loop burning CPU and log volume while
+// producing nothing. The Breaker turns each slot into a small circuit:
+// an EWMA over attempt outcomes scores the slot's recent health, and a
+// slot below threshold is quarantined — its respawn delayed by an
+// exponentially growing, jittered backoff — until successes pull the
+// score back up. The jitter matters as much as the delay: a fleet of
+// slots that all died together (a daemon restart, a severed network)
+// must not respawn in lockstep against whatever killed them.
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+const (
+	// healthAlpha is the EWMA smoothing factor: each outcome moves the
+	// score alpha of the way toward 1 (success) or 0 (failure).
+	healthAlpha = 0.5
+	// healthThreshold is the score below which a slot is quarantined.
+	// At alpha 0.5 one failure from healthy lands on 0.5 — still above
+	// threshold, so an isolated crash respawns immediately (crash
+	// retry must stay fast) — while a second consecutive failure lands
+	// on 0.25 and opens the circuit: that is flapping, and flapping
+	// waits.
+	healthThreshold = 0.4
+	// quarantineCap bounds the exponential backoff.
+	quarantineCap = 5 * time.Second
+	// DefaultQuarantine is the base quarantine used when Config leaves
+	// Quarantine zero.
+	DefaultQuarantine = 50 * time.Millisecond
+)
+
+// Breaker is one worker slot's health circuit: an EWMA score over
+// attempt outcomes and the consecutive-failure streak that sizes the
+// quarantine. Safe for concurrent use (the coordinator's worker
+// goroutine and any observer may race).
+type Breaker struct {
+	mu     sync.Mutex
+	score  float64
+	streak int
+	base   time.Duration
+	rng    *rand.Rand
+}
+
+// NewBreaker returns a healthy Breaker (score 1.0) whose quarantines
+// start at base and double per consecutive failure, capped at 5s.
+// A non-positive base disables quarantine: Fail still scores, but
+// returns 0.
+func NewBreaker(base time.Duration) *Breaker {
+	return &Breaker{
+		score: 1.0,
+		base:  base,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// OK records a successful attempt: the score recovers toward 1 and the
+// failure streak resets, closing the circuit.
+func (b *Breaker) OK() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.score = healthAlpha + (1-healthAlpha)*b.score
+	b.streak = 0
+}
+
+// Fail records a failed attempt and returns how long the slot should
+// stay quarantined before its worker is respawned: zero while the
+// score is still above threshold (an isolated failure respawns
+// immediately), otherwise base·2^(streak-1) capped at 5s, with uniform
+// jitter in [d/2, d) so sibling slots that failed together do not
+// respawn together.
+func (b *Breaker) Fail() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.score = (1 - healthAlpha) * b.score
+	b.streak++
+	return b.backoffLocked()
+}
+
+// Backoff reports the quarantine delay an admission should wait right
+// now, without recording an outcome: zero while the circuit is closed,
+// otherwise the same jittered exponential the last failure imposed.
+// This is the rejoin gate — a flapping fleet's reconnecting workers
+// are admitted on the breaker's schedule, not the socket's.
+func (b *Breaker) Backoff() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.backoffLocked()
+}
+
+func (b *Breaker) backoffLocked() time.Duration {
+	if b.base <= 0 || b.score >= healthThreshold || b.streak < 1 {
+		return 0
+	}
+	d := b.base << (b.streak - 1)
+	if d > quarantineCap || d <= 0 { // <= 0: shift overflow on a long streak
+		d = quarantineCap
+	}
+	return d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+}
+
+// Score reports the slot's current EWMA health in [0, 1].
+func (b *Breaker) Score() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.score
+}
+
+// Quarantined reports whether the slot is currently below the health
+// threshold — the state a scheduler should refuse to lease through.
+func (b *Breaker) Quarantined() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.score < healthThreshold
+}

@@ -1,0 +1,77 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStartsHealthy(t *testing.T) {
+	b := NewBreaker(10 * time.Millisecond)
+	if b.Quarantined() {
+		t.Error("a fresh breaker is quarantined")
+	}
+	if got := b.Score(); got != 1.0 {
+		t.Errorf("fresh score = %v, want 1.0", got)
+	}
+}
+
+func TestBreakerQuarantinesOnFailureStreak(t *testing.T) {
+	b := NewBreaker(10 * time.Millisecond)
+	if d := b.Fail(); d != 0 { // score 0.5: an isolated crash respawns at once
+		t.Fatalf("first failure from healthy quarantined for %v, want immediate respawn", d)
+	}
+	d2 := b.Fail() // score 0.25 < threshold: flapping opens the circuit
+	if d2 <= 0 {
+		t.Fatal("second consecutive failure did not quarantine")
+	}
+	if !b.Quarantined() {
+		t.Error("breaker not quarantined after a failure streak")
+	}
+	// The backoff doubles per consecutive failure: each draw is jittered
+	// in [d/2, d), so streak n's minimum (base·2^(n-1)/2) crosses the
+	// previous streak's maximum after two steps.
+	d4 := b.Fail()
+	d4 = b.Fail()
+	if d4 < d2 {
+		t.Errorf("backoff shrank across a failure streak: %v then %v", d2, d4)
+	}
+}
+
+func TestBreakerBackoffIsCappedAndJittered(t *testing.T) {
+	b := NewBreaker(time.Second)
+	var last time.Duration
+	for i := 0; i < 20; i++ { // drive the shift far past the cap
+		last = b.Fail()
+	}
+	if last >= quarantineCap {
+		t.Errorf("backoff %v not capped below %v", last, quarantineCap)
+	}
+	if last < quarantineCap/2 {
+		t.Errorf("capped backoff %v below jitter floor %v", last, quarantineCap/2)
+	}
+}
+
+func TestBreakerRecoversOnSuccess(t *testing.T) {
+	b := NewBreaker(10 * time.Millisecond)
+	b.Fail()
+	b.OK()
+	if b.Quarantined() {
+		t.Errorf("one success after one failure leaves score %v quarantined", b.Score())
+	}
+	// The streak reset means the next failure backs off from base again.
+	if d := b.Fail(); d >= 20*time.Millisecond {
+		t.Errorf("post-recovery backoff %v did not reset toward base", d)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(0)
+	for i := 0; i < 5; i++ {
+		if d := b.Fail(); d != 0 {
+			t.Fatalf("disabled breaker returned backoff %v", d)
+		}
+	}
+	if !b.Quarantined() {
+		t.Error("disabled breaker still scores health; streak of failures should read quarantined")
+	}
+}

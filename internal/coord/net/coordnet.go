@@ -29,7 +29,30 @@ import (
 	"io"
 	"net"
 	"strings"
+
+	"dpmr/internal/failpt"
 )
+
+// Failpoint sites on the framing layer, where every byte of the
+// protocol passes: net/frame-write severs the connection before (or,
+// torn, partway through) a frame goes out; net/frame-read severs it
+// before a frame is read. Both misbehaviors surface to the peers as
+// the transport failures they already know how to survive — re-leased
+// shards, redialed fleets, refused submissions — which is exactly the
+// claim the torture drill checks.
+var (
+	siteFrameWrite = failpt.Register("net/frame-write", failpt.KindSever, failpt.KindTorn)
+	siteFrameRead  = failpt.Register("net/frame-read", failpt.KindSever)
+)
+
+// sever closes the underlying connection when the stream has one — the
+// injected cut must look like a real dead socket to both ends, not a
+// polite error on one.
+func sever(stream any) {
+	if c, ok := stream.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
 
 // Protocol identity, checked by the hello handshake before any
 // assignment or submission flows.
@@ -99,6 +122,21 @@ func writeFrame(w io.Writer, v any) error {
 	buf := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(buf, uint32(len(data)))
 	copy(buf[4:], data)
+	if act := failpt.Eval(siteFrameWrite); act != nil {
+		switch act.Kind {
+		case failpt.KindSever:
+			sever(w)
+			return fmt.Errorf("coordnet: frame write severed (failpt %s)", siteFrameWrite)
+		case failpt.KindTorn:
+			n := act.N
+			if n > len(buf) {
+				n = len(buf)
+			}
+			_, _ = w.Write(buf[:n])
+			sever(w)
+			return fmt.Errorf("coordnet: frame torn after %d of %d bytes (failpt %s)", n, len(buf), siteFrameWrite)
+		}
+	}
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("coordnet: writing frame: %w", err)
 	}
@@ -109,6 +147,10 @@ func writeFrame(w io.Writer, v any) error {
 // at a frame boundary returns io.EOF unwrapped, so callers can tell an
 // orderly shutdown from a mid-frame transport failure.
 func readFrame(r io.Reader, v any) error {
+	if act := failpt.Eval(siteFrameRead); act != nil && act.Kind == failpt.KindSever {
+		sever(r)
+		return fmt.Errorf("coordnet: frame read severed (failpt %s)", siteFrameRead)
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err

@@ -1,0 +1,55 @@
+package coordnet
+
+// White-box transport drills that need the frame vocabulary directly.
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dpmr/internal/coord"
+	"dpmr/internal/harness"
+)
+
+// TestCompletionThenSocketCloseDelivers drills the worker that dies in
+// the gap between sending its Completion and the socket closing: the
+// completion must still be delivered (the shard is not re-run for a
+// result already on the wire), and the death must surface as a
+// transport error on the worker's next use — never a half-alive pool
+// slot. Together with the coordinator's duplicate discard this is why
+// a worker crash right after reporting cannot double-count a shard.
+func TestCompletionThenSocketCloseDelivers(t *testing.T) {
+	daemonSide, workerSide := net.Pipe()
+	w := newRemoteWorker(daemonSide)
+	defer w.Close()
+
+	shard := harness.ShardSpec{Index: 0, Count: 2}
+	want := []byte(`{"shard":0}`)
+	go func() {
+		var f workerFrame
+		if err := readFrame(workerSide, &f); err != nil || f.Assign == nil {
+			workerSide.Close()
+			return
+		}
+		// Report the shard, then die before anything else touches the
+		// socket — the crash window this test exists for.
+		_ = writeFrame(workerSide, workerReply{Completion: &coord.Completion{Shard: f.Assign.Shard, Payload: want}})
+		workerSide.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, err := w.Run(ctx, harness.Spec{}, shard)
+	if err != nil {
+		t.Fatalf("completion sent before the socket died was lost: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("payload %s, want %s", got, want)
+	}
+
+	if _, err := w.Run(ctx, harness.Spec{}, shard); err == nil {
+		t.Fatal("dead worker accepted a second assignment; the death went undetected")
+	}
+}

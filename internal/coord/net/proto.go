@@ -21,8 +21,14 @@ import (
 	"time"
 
 	"dpmr/internal/coord"
+	"dpmr/internal/failpt"
 	"dpmr/internal/harness"
 )
+
+// net/handshake stalls the daemon side of the hello exchange — a
+// wedged peer drill. A stall longer than handshakeTimeout turns into
+// the deadline's named disconnect; a shorter one just delays the join.
+var siteHandshake = failpt.Register("net/handshake", failpt.KindStall)
 
 // Peer roles named in the hello.
 const (
@@ -116,6 +122,9 @@ func dialerHandshake(conn net.Conn, role string) error {
 // returns the peer's role. Mismatches are answered with a refusal frame
 // naming both sides' versions, then the error closes the connection.
 func listenerHandshake(conn net.Conn) (string, error) {
+	if act := failpt.Eval(siteHandshake); act != nil {
+		act.Sleep()
+	}
 	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
 		return "", fmt.Errorf("coordnet: handshake deadline: %w", err)
 	}

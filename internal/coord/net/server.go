@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
@@ -207,6 +208,12 @@ type ServerConfig struct {
 	// interval and drops the unresponsive, so a silently dead socket is
 	// discovered before a shard is wasted on it.
 	Keepalive time.Duration
+	// KeepaliveTimeout bounds how long the sweep waits for a pong
+	// before declaring a worker dead. 0 defaults to the Keepalive
+	// interval — the old coupled behavior — while a separate value lets
+	// a tight sweep cadence tolerate slow-but-alive workers (or, set
+	// short, catch blackholed sockets fast).
+	KeepaliveTimeout time.Duration
 	// Chaos severs this many remote worker sockets mid-shard — the
 	// transport-level fault drill. Severed workers are expected to
 	// reconnect (dpmrd -connect redials); the interrupted shards ride
@@ -224,6 +231,14 @@ type Server struct {
 	pool  *pool
 	chaos int64
 
+	// fleetHealth scores the remote fleet as a whole: worker sockets
+	// dying mid-shard drive it down, completed remote shards drive it
+	// up. Below threshold, rejoining workers are admitted with a
+	// backoff instead of instantly — a fleet flapping against a
+	// persistent fault (bad build, poisoned spec, dying host) must not
+	// churn join/sever/join at socket speed.
+	fleetHealth *coord.Breaker
+
 	logMu sync.Mutex
 
 	claimMu sync.Mutex
@@ -238,11 +253,15 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Lease <= 0 {
 		cfg.Lease = 5 * time.Minute
 	}
+	if cfg.KeepaliveTimeout <= 0 {
+		cfg.KeepaliveTimeout = cfg.Keepalive
+	}
 	s := &Server{
-		cfg:    cfg,
-		pool:   newPool(),
-		chaos:  int64(cfg.Chaos),
-		claims: make(map[string]bool),
+		cfg:         cfg,
+		pool:        newPool(),
+		chaos:       int64(cfg.Chaos),
+		fleetHealth: coord.NewBreaker(coord.DefaultQuarantine),
+		claims:      make(map[string]bool),
 	}
 	for i := 0; i < cfg.LocalWorkers; i++ {
 		s.pool.add(newLocalWorker(cfg.WorkerOptions))
@@ -317,7 +336,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // sweep pings every idle remote worker and drops the unresponsive.
 func (s *Server) sweep() {
 	for _, w := range s.pool.takeIdleRemotes() {
-		if err := w.ping(s.cfg.Keepalive); err != nil {
+		if err := w.ping(s.cfg.KeepaliveTimeout); err != nil {
 			s.logf("dpmrd: keepalive dropped a worker: %v", err)
 			s.pool.discard(w)
 			continue
@@ -339,6 +358,15 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 	switch role {
 	case roleWorker:
 		w := newRemoteWorker(conn)
+		// A flapping fleet rejoins through the breaker: the worker is
+		// admitted, but only after the fleet's quarantine backoff, so a
+		// persistent fault cannot churn join/sever/join at socket speed.
+		if d := s.fleetHealth.Backoff(); d > 0 {
+			s.logf("dpmrd: fleet flapping (health %.2f): quarantining join from %s for %v",
+				s.fleetHealth.Score(), w.Addr(), d.Round(time.Millisecond))
+			time.AfterFunc(d, func() { s.pool.add(w) })
+			return
+		}
 		s.logf("dpmrd: worker joined from %s", w.Addr())
 		s.pool.add(w)
 	case roleClient:
@@ -482,7 +510,16 @@ func (s *Server) executeJournaled(ctx context.Context, spec harness.Spec, fp str
 	if err != nil {
 		return nil, err
 	}
-	defer j.Close()
+	defer func() {
+		_ = j.Close()
+		// A journal that degraded mid-campaign (disk full, fsync
+		// failure) did not stop the run — results stream to the client
+		// regardless — but the lossy state must be named: the next
+		// submission of this Spec cannot resume from it.
+		if derr := j.Degraded(); derr != nil {
+			s.logf("dpmrd: spec %.12s: journal degraded, campaign completed but cannot be resumed: %v", fp, derr)
+		}
+	}()
 
 	cr, err := harness.NewRunner().ResumeCampaign(spec, rp)
 	if err != nil {
@@ -597,9 +634,17 @@ func (p *poolProxy) Run(ctx context.Context, spec harness.Spec, shard harness.Sh
 		if errors.As(err, &inBand) {
 			p.s.pool.put(w)
 		} else {
+			// A transport death scores against the fleet's health; the
+			// breaker throttles rejoins once deaths outpace completions.
+			if w.remote() && ctx.Err() == nil {
+				p.s.fleetHealth.Fail()
+			}
 			p.s.pool.discard(w)
 		}
 		return nil, err
+	}
+	if w.remote() {
+		p.s.fleetHealth.OK()
 	}
 	p.s.pool.put(w)
 	return payload, nil
@@ -629,6 +674,7 @@ func WorkerLoop(ctx context.Context, addr string, opts harness.Options, onJoin f
 	run := workerPayloadRunner(opts)
 	joined := false
 	backoff := 100 * time.Millisecond
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
 		conn, err := dialFleet(ctx, addr)
 		if err != nil {
@@ -645,11 +691,13 @@ func WorkerLoop(ctx context.Context, addr string, opts harness.Options, onJoin f
 		if ctx.Err() != nil {
 			return nil
 		}
-		// Severed mid-fleet: back off briefly, then rejoin.
+		// Severed mid-fleet: back off briefly, then rejoin. The delay is
+		// jittered in [backoff/2, backoff] — when a daemon restart severs a
+		// whole fleet at once, its workers must not redial in lockstep.
 		select {
 		case <-ctx.Done():
 			return nil
-		case <-time.After(backoff):
+		case <-time.After(backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))):
 		}
 		if backoff < 2*time.Second {
 			backoff *= 2

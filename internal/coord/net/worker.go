@@ -10,8 +10,15 @@ import (
 	"time"
 
 	"dpmr/internal/coord"
+	"dpmr/internal/failpt"
 	"dpmr/internal/harness"
 )
+
+// net/keepalive blackholes a worker's pong: the ping arrives and is
+// swallowed, so the daemon's sweep sees a silent socket and must drop
+// the worker within its keepalive timeout — the detection path a
+// half-dead connection (live TCP, wedged process) exercises.
+var siteKeepalive = failpt.Register("net/keepalive", failpt.KindDrop)
 
 // RemoteWorker is the daemon's handle on one connected worker process:
 // a coord.Worker whose Run ships the assignment over the socket and
@@ -190,6 +197,9 @@ func serveFleetConn(ctx context.Context, conn net.Conn, addr string, run func(ct
 		}
 		switch {
 		case frame.Ping:
+			if act := failpt.Eval(siteKeepalive); act != nil && act.Kind == failpt.KindDrop {
+				continue // blackhole: swallow the ping, send no pong
+			}
 			if err := writeFrame(conn, workerReply{Pong: true}); err != nil {
 				if ctx.Err() != nil {
 					return nil

@@ -1,0 +1,389 @@
+// Package failpt is a deterministic failpoint registry: named fault
+// sites compiled permanently into the four layers that have failure
+// behavior (journal I/O, coordinator scheduling, network framing,
+// harness resume), armed at runtime by a textual schedule that says
+// exactly which hit of which site misbehaves and how.
+//
+// The design constraints, in order:
+//
+//  1. Zero cost when disarmed. Every site evaluation is one atomic
+//     load and a predictable branch; no map lookup, no lock, no
+//     allocation. The registry ships in release binaries — a fault
+//     drill must exercise the exact code that runs in production, not
+//     a build-tagged cousin — so the disarmed path is gated in CI
+//     (BenchmarkFailpointDisabled, see bench_test.go).
+//  2. Deterministic. A schedule triggers on exact per-site hit
+//     counts, so the same binary, schedule, and workload misbehave at
+//     the same place every run; RandomSchedule derives a schedule
+//     from a seed, so a failed torture run replays from one integer.
+//  3. Observable. Per-site hit counters are exported (Hits, Sites)
+//     so tests can assert a drill actually exercised the site it
+//     aimed at, instead of passing vacuously.
+//
+// Schedule syntax — entries separated by ';', each entry one site:
+//
+//	journal/fsync=err(ENOSPC)@3;net/frame-write=sever@7
+//
+//	site=action            every hit
+//	site=action@N          hit N only (1-based)
+//	site=action@N+         every hit from N on
+//
+// Actions: err(ERRNO) (fail with the named errno: ENOSPC, EIO, or
+// free text), sever (transport cut), stall(MS) (delay MS
+// milliseconds), torn(N) (write only N bytes, then fail), drop
+// (swallow a message: keepalive blackhole, completion loss). Which
+// kinds a site honors is declared when the site registers; Arm
+// refuses a schedule naming an unknown site or an inapplicable kind,
+// so a typo is a loud error, not a drill that silently never fires.
+package failpt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// EnvVar is the environment variable the CLIs arm a schedule from at
+// startup, so spawned worker processes and daemons can be drilled
+// without code changes: DPMR_FAILPOINTS="journal/fsync=err(ENOSPC)@2".
+const EnvVar = "DPMR_FAILPOINTS"
+
+// Action kinds a site may honor.
+const (
+	KindErr   = "err"   // return the named error
+	KindSever = "sever" // cut the transport
+	KindStall = "stall" // delay N milliseconds
+	KindTorn  = "torn"  // write only N bytes, then fail
+	KindDrop  = "drop"  // swallow the message
+)
+
+// Action is what an armed site evaluation tells its caller to do.
+type Action struct {
+	Kind string
+	// Errno names the error for KindErr (ENOSPC and EIO map to the
+	// real syscall errnos, anything else is a plain error string).
+	Errno string
+	// N is the millisecond delay for stall, the byte budget for torn.
+	N int
+	// Site is the evaluating site, for error wrapping.
+	Site string
+}
+
+// Err materializes the action as an error: the injected failure a
+// site returns in place of the real operation's result. ENOSPC and
+// EIO wrap the genuine syscall errnos so errors.Is classification
+// downstream (journal.ErrNoSpace) treats an injected disk-full
+// exactly like a real one.
+func (a *Action) Err() error {
+	switch a.Errno {
+	case "ENOSPC":
+		return fmt.Errorf("failpt %s: injected: %w", a.Site, syscall.ENOSPC)
+	case "EIO":
+		return fmt.Errorf("failpt %s: injected: %w", a.Site, syscall.EIO)
+	case "":
+		return fmt.Errorf("failpt %s: injected failure", a.Site)
+	default:
+		return fmt.Errorf("failpt %s: injected: %s", a.Site, a.Errno)
+	}
+}
+
+// Sleep performs a stall action's delay.
+func (a *Action) Sleep() {
+	if a.Kind == KindStall && a.N > 0 {
+		time.Sleep(time.Duration(a.N) * time.Millisecond)
+	}
+}
+
+// trigger is one armed schedule entry: fire action on hits [from, to].
+type trigger struct {
+	act      Action
+	from, to int // 1-based hit interval, inclusive; to = maxInt for open
+}
+
+const maxHit = int(^uint(0) >> 1)
+
+// armed is the global registry state. Sites are registered once at
+// package init of their layer; schedules come and go per drill.
+var (
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	sites    = map[string][]string{} // site -> applicable kinds
+	hits     = map[string]int{}
+	schedule = map[string][]trigger{}
+)
+
+// Register declares a failpoint site and the action kinds it honors.
+// Called from package-level vars at init; returns the name so the
+// site constant and its registration are one declaration. Registering
+// the same name twice widens the kind set (harmless, supports tests).
+func Register(name string, kinds ...string) string {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[name] = append(sites[name], kinds...)
+	return name
+}
+
+// Arm parses and installs a schedule, replacing any previous one and
+// resetting hit counters. An empty schedule disarms. Unknown sites,
+// unknown or inapplicable action kinds, and malformed hit specs are
+// named errors — an armed drill that cannot fire is worse than one
+// that fails to arm.
+func Arm(sched string) error {
+	sched = strings.TrimSpace(sched)
+	if sched == "" {
+		Disarm()
+		return nil
+	}
+	parsed := map[string][]trigger{}
+	for _, entry := range strings.Split(sched, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, tr, err := parseEntry(entry)
+		if err != nil {
+			return fmt.Errorf("failpt: %q: %w", entry, err)
+		}
+		parsed[site] = append(parsed[site], tr)
+	}
+	if len(parsed) == 0 {
+		return errors.New("failpt: schedule holds no entries")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for site, trs := range parsed {
+		kinds, ok := sites[site]
+		if !ok {
+			return fmt.Errorf("failpt: unknown site %q (known: %s)", site, strings.Join(siteNamesLocked(), ", "))
+		}
+		for _, tr := range trs {
+			if !contains(kinds, tr.act.Kind) {
+				return fmt.Errorf("failpt: site %s does not honor %q (honors: %s)", site, tr.act.Kind, strings.Join(kinds, ", "))
+			}
+		}
+	}
+	schedule = parsed
+	hits = map[string]int{}
+	enabled.Store(true)
+	return nil
+}
+
+// ArmFromEnv arms the schedule in $DPMR_FAILPOINTS, if set. Returns
+// the schedule it armed ("" when the variable is unset or empty).
+func ArmFromEnv() (string, error) {
+	sched := strings.TrimSpace(os.Getenv(EnvVar))
+	if sched == "" {
+		return "", nil
+	}
+	if err := Arm(sched); err != nil {
+		return "", err
+	}
+	return sched, nil
+}
+
+// Disarm removes the schedule; every site returns to the zero-cost
+// disabled path. Hit counters are preserved for post-drill assertions
+// until the next Arm.
+func Disarm() {
+	enabled.Store(false)
+	mu.Lock()
+	schedule = map[string][]trigger{}
+	mu.Unlock()
+}
+
+// Enabled reports whether a schedule is armed.
+func Enabled() bool { return enabled.Load() }
+
+// Eval is the site hook: the n-th call for a site under an armed
+// schedule returns the action scheduled for hit n, or nil. Disarmed,
+// it is a single atomic load — the hot path every layer pays always.
+func Eval(site string) *Action {
+	if !enabled.Load() {
+		return nil
+	}
+	return evalSlow(site)
+}
+
+func evalSlow(site string) *Action {
+	mu.Lock()
+	defer mu.Unlock()
+	hits[site]++
+	n := hits[site]
+	for _, tr := range schedule[site] {
+		if n >= tr.from && n <= tr.to {
+			act := tr.act
+			act.Site = site
+			return &act
+		}
+	}
+	return nil
+}
+
+// Err evaluates a site and returns the injected error if the
+// scheduled action is err-kind — the one-liner for sites whose only
+// failure mode is an error return.
+func Err(site string) error {
+	act := Eval(site)
+	if act == nil || act.Kind != KindErr {
+		return nil
+	}
+	return act.Err()
+}
+
+// Hits reports how many times a site has been evaluated under the
+// current (or, after Disarm, the last) schedule.
+func Hits(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[site]
+}
+
+// Sites returns every registered site and its hit count — the
+// assertion surface for drills and the enumeration RandomSchedule
+// draws from.
+func Sites() map[string]int {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]int, len(sites))
+	for name := range sites {
+		out[name] = hits[name]
+	}
+	return out
+}
+
+// RandomSchedule derives a schedule of n entries from a seed: random
+// registered sites, random applicable kinds, random small arguments
+// and hit counts. The draw is deterministic — sites are iterated in
+// sorted order and all randomness flows from one source — so a
+// torture run's whole fault pattern replays from the seed alone.
+func RandomSchedule(seed int64, n int) string {
+	rng := rand.New(rand.NewSource(seed))
+	mu.Lock()
+	names := siteNamesLocked()
+	kindsOf := make(map[string][]string, len(sites))
+	for name, kinds := range sites {
+		kindsOf[name] = append([]string(nil), kinds...)
+	}
+	mu.Unlock()
+	if len(names) == 0 || n < 1 {
+		return ""
+	}
+	var entries []string
+	for i := 0; i < n; i++ {
+		site := names[rng.Intn(len(names))]
+		kinds := kindsOf[site]
+		kind := kinds[rng.Intn(len(kinds))]
+		var act string
+		switch kind {
+		case KindErr:
+			act = fmt.Sprintf("err(%s)", []string{"ENOSPC", "EIO"}[rng.Intn(2)])
+		case KindStall:
+			act = fmt.Sprintf("stall(%d)", 1+rng.Intn(50))
+		case KindTorn:
+			act = fmt.Sprintf("torn(%d)", 1+rng.Intn(32))
+		default:
+			act = kind
+		}
+		hit := 1 + rng.Intn(8)
+		switch rng.Intn(3) {
+		case 0:
+			entries = append(entries, fmt.Sprintf("%s=%s@%d", site, act, hit))
+		case 1:
+			entries = append(entries, fmt.Sprintf("%s=%s@%d+", site, act, hit))
+		default:
+			// Every hit — only for one-shot-safe kinds; an every-hit
+			// err on a retried path would starve every retry, turning
+			// "retryable" into "always refused", which is still a legal
+			// outcome but drills less.
+			entries = append(entries, fmt.Sprintf("%s=%s@%d", site, act, hit))
+		}
+	}
+	return strings.Join(entries, ";")
+}
+
+func siteNamesLocked() []string {
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// parseEntry parses one "site=action@hits" schedule entry.
+func parseEntry(entry string) (site string, tr trigger, err error) {
+	eq := strings.Index(entry, "=")
+	if eq <= 0 {
+		return "", tr, errors.New("want site=action")
+	}
+	site = strings.TrimSpace(entry[:eq])
+	rest := strings.TrimSpace(entry[eq+1:])
+	actPart := rest
+	tr.from, tr.to = 1, maxHit
+	if at := strings.LastIndex(rest, "@"); at >= 0 {
+		actPart = strings.TrimSpace(rest[:at])
+		hitSpec := strings.TrimSpace(rest[at+1:])
+		open := strings.HasSuffix(hitSpec, "+")
+		hitSpec = strings.TrimSuffix(hitSpec, "+")
+		n, perr := strconv.Atoi(hitSpec)
+		if perr != nil || n < 1 {
+			return "", tr, fmt.Errorf("bad hit spec %q: want a positive hit number, optionally followed by +", rest[at+1:])
+		}
+		tr.from = n
+		if !open {
+			tr.to = n
+		}
+	}
+	tr.act, err = parseAction(actPart)
+	return site, tr, err
+}
+
+// parseAction parses "kind" or "kind(arg)".
+func parseAction(s string) (Action, error) {
+	name, arg := s, ""
+	if open := strings.Index(s, "("); open >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return Action{}, fmt.Errorf("unbalanced parens in action %q", s)
+		}
+		name = s[:open]
+		arg = s[open+1 : len(s)-1]
+	}
+	switch name {
+	case KindErr:
+		if arg == "" {
+			arg = "EIO"
+		}
+		return Action{Kind: KindErr, Errno: arg}, nil
+	case KindSever, KindDrop:
+		if arg != "" {
+			return Action{}, fmt.Errorf("action %s takes no argument", name)
+		}
+		return Action{Kind: name}, nil
+	case KindStall, KindTorn:
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			return Action{}, fmt.Errorf("action %s needs a non-negative integer argument, got %q", name, arg)
+		}
+		return Action{Kind: name, N: n}, nil
+	default:
+		return Action{}, fmt.Errorf("unknown action %q (want err, sever, stall, torn, drop)", name)
+	}
+}

@@ -1,0 +1,225 @@
+package failpt
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+// Test sites registered once for the whole file; production sites live
+// in their own layers and are exercised by those layers' tests.
+var (
+	tSiteErr   = Register("test/err", KindErr)
+	tSiteMulti = Register("test/multi", KindErr, KindSever, KindStall, KindTorn, KindDrop)
+)
+
+func arm(t *testing.T, sched string) {
+	t.Helper()
+	if err := Arm(sched); err != nil {
+		t.Fatalf("Arm(%q): %v", sched, err)
+	}
+	t.Cleanup(Disarm)
+}
+
+func TestDisarmedEvalIsNil(t *testing.T) {
+	Disarm()
+	if act := Eval(tSiteErr); act != nil {
+		t.Fatalf("disarmed Eval returned %+v", act)
+	}
+	if err := Err(tSiteErr); err != nil {
+		t.Fatalf("disarmed Err returned %v", err)
+	}
+}
+
+func TestExactHitTriggering(t *testing.T) {
+	arm(t, "test/err=err(EIO)@3")
+	for i := 1; i <= 5; i++ {
+		err := Err(tSiteErr)
+		if (i == 3) != (err != nil) {
+			t.Errorf("hit %d: err = %v, want failure exactly at hit 3", i, err)
+		}
+		if i == 3 && !errors.Is(err, syscall.EIO) {
+			t.Errorf("hit 3: %v does not wrap EIO", err)
+		}
+	}
+	if got := Hits(tSiteErr); got != 5 {
+		t.Errorf("Hits = %d, want 5", got)
+	}
+}
+
+func TestOpenEndedAndEveryHit(t *testing.T) {
+	arm(t, "test/err=err(ENOSPC)@2+")
+	if Err(tSiteErr) != nil {
+		t.Error("hit 1 fired under @2+")
+	}
+	for i := 2; i <= 4; i++ {
+		if err := Err(tSiteErr); !errors.Is(err, syscall.ENOSPC) {
+			t.Errorf("hit %d under @2+: %v, want ENOSPC", i, err)
+		}
+	}
+
+	arm(t, "test/err=err")
+	for i := 1; i <= 3; i++ {
+		if Err(tSiteErr) == nil {
+			t.Errorf("hit %d under bare action never fired", i)
+		}
+	}
+}
+
+func TestActionArguments(t *testing.T) {
+	arm(t, "test/multi=torn(7)@1;test/multi=stall(12)@2;test/multi=sever@3;test/multi=drop@4")
+	want := []Action{
+		{Kind: KindTorn, N: 7},
+		{Kind: KindStall, N: 12},
+		{Kind: KindSever},
+		{Kind: KindDrop},
+	}
+	for i, w := range want {
+		act := Eval(tSiteMulti)
+		if act == nil {
+			t.Fatalf("hit %d: no action", i+1)
+		}
+		if act.Kind != w.Kind || act.N != w.N {
+			t.Errorf("hit %d: got %+v, want kind %s n %d", i+1, act, w.Kind, w.N)
+		}
+	}
+	if act := Eval(tSiteMulti); act != nil {
+		t.Errorf("hit 5: unexpected action %+v", act)
+	}
+}
+
+func TestArmRejectsBadSchedules(t *testing.T) {
+	defer Disarm()
+	for _, sched := range []string{
+		"nosuch/site=err@1",       // unknown site
+		"test/err=sever@1",        // kind the site does not honor
+		"test/err=frob@1",         // unknown action
+		"test/err=err@0",          // hits are 1-based
+		"test/err=err@x",          // malformed hit
+		"test/err=torn@1",         // torn needs an argument
+		"test/multi=stall(-3)@1",  // negative argument
+		"test/multi=sever(oops)",  // sever takes no argument
+		"test/multi=stall(2oops)", // malformed argument
+		"garbage",                 // no =
+		";;",                      // empty
+	} {
+		if err := Arm(sched); err == nil {
+			t.Errorf("Arm(%q) accepted a bad schedule", sched)
+			Disarm()
+		}
+	}
+	if Enabled() {
+		t.Error("a rejected schedule left the registry armed")
+	}
+}
+
+func TestArmResetsCounters(t *testing.T) {
+	arm(t, "test/err=err@1")
+	Err(tSiteErr)
+	arm(t, "test/err=err@2")
+	if got := Hits(tSiteErr); got != 0 {
+		t.Errorf("Hits after re-arm = %d, want 0", got)
+	}
+	if Err(tSiteErr) != nil {
+		t.Error("hit 1 fired under @2 — counters not reset by Arm")
+	}
+}
+
+func TestRandomScheduleIsDeterministicAndArms(t *testing.T) {
+	a := RandomSchedule(42, 6)
+	b := RandomSchedule(42, 6)
+	if a != b {
+		t.Errorf("same seed produced different schedules:\n%s\n%s", a, b)
+	}
+	if c := RandomSchedule(43, 6); c == a {
+		t.Errorf("different seeds produced the identical schedule %q", a)
+	}
+	if err := Arm(a); err != nil {
+		t.Errorf("RandomSchedule produced an unarmable schedule %q: %v", a, err)
+	}
+	Disarm()
+}
+
+func TestConcurrentEval(t *testing.T) {
+	arm(t, "test/err=err@50")
+	var wg sync.WaitGroup
+	fired := make(chan struct{}, 100)
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if Err(tSiteErr) != nil {
+					fired <- struct{}{}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fired)
+	n := 0
+	for range fired {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("@50 fired %d times across 100 concurrent hits, want exactly 1", n)
+	}
+	if got := Hits(tSiteErr); got != 100 {
+		t.Errorf("Hits = %d, want 100", got)
+	}
+}
+
+func TestSitesExported(t *testing.T) {
+	arm(t, "test/err=err@1")
+	Err(tSiteErr)
+	m := Sites()
+	if m["test/err"] != 1 {
+		t.Errorf("Sites()[test/err] = %d, want 1", m["test/err"])
+	}
+	if _, ok := m["test/multi"]; !ok {
+		t.Error("Sites() does not enumerate registered-but-unhit sites")
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "test/err=err(ENOSPC)@1")
+	sched, err := ArmFromEnv()
+	if err != nil || sched == "" {
+		t.Fatalf("ArmFromEnv: %q, %v", sched, err)
+	}
+	defer Disarm()
+	if !errors.Is(Err(tSiteErr), syscall.ENOSPC) {
+		t.Error("env-armed schedule did not fire")
+	}
+
+	t.Setenv(EnvVar, "")
+	Disarm()
+	if sched, err := ArmFromEnv(); err != nil || sched != "" || Enabled() {
+		t.Errorf("empty env armed something: %q, %v, enabled=%v", sched, err, Enabled())
+	}
+
+	t.Setenv(EnvVar, "nosuch/site=err")
+	if _, err := ArmFromEnv(); err == nil {
+		t.Error("bad env schedule accepted")
+	}
+}
+
+func TestErrSpelling(t *testing.T) {
+	arm(t, "test/err=err(custom-cause)")
+	err := Err(tSiteErr)
+	if err == nil || !strings.Contains(err.Error(), "custom-cause") || !strings.Contains(err.Error(), "test/err") {
+		t.Errorf("injected error %v does not name its cause and site", err)
+	}
+}
+
+func BenchmarkFailpointDisabled(b *testing.B) {
+	Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if act := Eval(tSiteErr); act != nil {
+			b.Fatal("armed?")
+		}
+	}
+}

@@ -21,7 +21,18 @@ import (
 	"fmt"
 	"io"
 
+	"dpmr/internal/failpt"
 	"dpmr/internal/journal"
+)
+
+// Failpoint sites on the session/resume paths: harness/resume fails
+// the plan-vs-journal diff (a resume that cannot trust its replay must
+// refuse, not guess), harness/span fails one span execution inside a
+// journaled run (the retry/refusal behavior of the drivers above it is
+// what the drill exercises).
+var (
+	siteResume = failpt.Register("harness/resume", failpt.KindErr)
+	siteSpan   = failpt.Register("harness/span", failpt.KindErr)
 )
 
 // DefaultResumeSpans is how many spans a journaled in-process run cuts
@@ -68,6 +79,9 @@ func (c *CampaignResume) Done() int {
 func (r *Runner) ResumeCampaign(spec Spec, rp *journal.Replay) (*CampaignResume, error) {
 	spec, err := spec.normalizedAs(SpecCampaign, "ResumeCampaign")
 	if err != nil {
+		return nil, err
+	}
+	if err := failpt.Err(siteResume); err != nil {
 		return nil, err
 	}
 	if err := r.validate(); err != nil {
@@ -442,6 +456,9 @@ func (r *Runner) runCampaignJournaled(ctx context.Context, spec Spec, j *journal
 // runSpan executes one explicit span on the Runner, preserving its
 // configured Shard around the call.
 func (r *Runner) runSpan(ctx context.Context, spec Spec, span ShardSpec) (*PartialResult, error) {
+	if err := failpt.Err(siteSpan); err != nil {
+		return nil, err
+	}
 	saved := r.Shard
 	r.Shard = span
 	p, _, err := r.runCampaignPartial(ctx, spec)

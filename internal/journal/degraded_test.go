@@ -1,0 +1,155 @@
+package journal
+
+// Degraded-mode drills: failpoint-injected append/fsync failures must
+// downgrade the journal to the named lossy state — the campaign's
+// appends keep succeeding (dropped, not fatal), the degradation is
+// named and durable, and a later resume is refused by name.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpmr/internal/failpt"
+)
+
+func armFP(t *testing.T, sched string) {
+	t.Helper()
+	if err := failpt.Arm(sched); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpt.Disarm)
+}
+
+func appendN(t *testing.T, j *Journal, lo, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		payload, _ := json.Marshal(map[string]int{"lo": lo + i*2, "hi": lo + i*2 + 2})
+		if err := j.Append(Record{
+			PlanFP: testPlanFP, Lo: lo + i*2, Hi: lo + i*2 + 2, Total: 10, Payload: payload,
+		}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func TestFsyncENOSPCDegrades(t *testing.T) {
+	armFP(t, "journal/fsync=err(ENOSPC)@2")
+	dir := t.TempDir()
+	j, err := Create(dir, []byte(`{"kind":"campaign"}`), testSpecFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 1 lands; record 2's fsync blows up with ENOSPC; record 3
+	// is silently dropped. None of the three appends may fail — the
+	// campaign completes, only resumability is lost.
+	appendN(t, j, 0, 3)
+
+	d := j.Degraded()
+	if !errors.Is(d, ErrDegraded) {
+		t.Fatalf("Degraded() = %v, want ErrDegraded", d)
+	}
+	if !errors.Is(d, ErrNoSpace) {
+		t.Errorf("Degraded() = %v does not name ENOSPC distinctly (ErrNoSpace)", d)
+	}
+
+	// Close propagates the lossy state instead of pretending all is well.
+	if cerr := j.Close(); !errors.Is(cerr, ErrDegraded) {
+		t.Errorf("Close() = %v, want ErrDegraded propagated", cerr)
+	}
+
+	// The marker is durable and a resume is refused by name.
+	if _, err := os.Stat(filepath.Join(dir, DegradedName)); err != nil {
+		t.Fatalf("no degraded marker: %v", err)
+	}
+	if _, _, err := Open(dir, testSpecFP); !errors.Is(err, ErrDegraded) {
+		t.Errorf("Open of a degraded journal = %v, want ErrDegraded", err)
+	}
+}
+
+func TestGenericIOFailureIsNotENOSPC(t *testing.T) {
+	armFP(t, "journal/append=err(EIO)@1")
+	dir := t.TempDir()
+	j, err := Create(dir, []byte(`{}`), testSpecFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 1)
+	d := j.Degraded()
+	if !errors.Is(d, ErrDegraded) {
+		t.Fatalf("Degraded() = %v, want ErrDegraded", d)
+	}
+	if errors.Is(d, ErrNoSpace) {
+		t.Errorf("generic I/O failure %v classified as ErrNoSpace", d)
+	}
+	_ = j.Close()
+}
+
+func TestTornAppendDegradesAndLeavesValidPrefix(t *testing.T) {
+	armFP(t, "journal/append=torn(5)@2")
+	dir := t.TempDir()
+	j, err := Create(dir, []byte(`{}`), testSpecFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 2)
+	if j.Degraded() == nil {
+		t.Fatal("torn append did not degrade the journal")
+	}
+	_ = j.Close()
+
+	// The file itself is still a valid journal plus a droppable torn
+	// tail — exactly crash residue — even though resume refuses on the
+	// marker before ever parsing it.
+	rp, err := Parse(readJournal(t, dir))
+	if err != nil {
+		t.Fatalf("torn-degraded journal does not parse: %v", err)
+	}
+	if len(rp.Shards) != 1 || rp.Dropped != 1 {
+		t.Errorf("parsed %d shards, %d dropped; want 1 shard and 1 dropped torn tail", len(rp.Shards), rp.Dropped)
+	}
+}
+
+func TestDegradedAppendsDropWithoutTouchingDisk(t *testing.T) {
+	armFP(t, "journal/fsync=err(ENOSPC)@1")
+	dir := t.TempDir()
+	j, err := Create(dir, []byte(`{}`), testSpecFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 5)
+	_ = j.Close()
+	// Only the degrading record's bytes (its write preceded the failed
+	// fsync) may follow the header; the four later appends were dropped.
+	lines := strings.Count(string(readJournal(t, dir)), "\n")
+	if lines > 2 {
+		t.Errorf("degraded journal holds %d records; appends after degradation were not dropped", lines-1)
+	}
+	if got := failpt.Hits("journal/fsync"); got != 1 {
+		t.Errorf("journal/fsync evaluated %d times after degradation, want 1 (degraded appends skip I/O)", got)
+	}
+}
+
+func TestWriteReportRenameFailpoint(t *testing.T) {
+	armFP(t, "journal/rename=err(EIO)@1")
+	dir := t.TempDir()
+	err := WriteReport(dir, func(w io.Writer) error {
+		_, werr := w.Write([]byte("partial report\n"))
+		return werr
+	})
+	if err == nil || !strings.Contains(err.Error(), "progressive report") {
+		t.Fatalf("WriteReport under an injected rename failure = %v, want a named error", err)
+	}
+	if _, serr := os.Stat(filepath.Join(dir, ReportName)); !os.IsNotExist(serr) {
+		t.Error("a failed rename still left a report behind")
+	}
+	// No temp litter either: the atomic-replace contract holds under the fault.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("failed WriteReport left %d files behind", len(entries))
+	}
+}

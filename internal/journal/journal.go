@@ -28,7 +28,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"syscall"
+
+	"dpmr/internal/failpt"
 )
 
 // FileName is the journal file inside the -journal directory.
@@ -37,6 +41,22 @@ const FileName = "campaign.jnl"
 // ReportName is the progressive report file written next to the journal:
 // the current best rendering of the campaign, re-emitted as shards land.
 const ReportName = "report.txt"
+
+// DegradedName is the marker file recording that the journal entered
+// the degraded lossy state (an append or fsync failed mid-campaign):
+// the campaign itself completed, but the journal no longer covers it,
+// so a resume is refused by name instead of silently re-running — or
+// worse, silently trusting — a lossy record set.
+const DegradedName = "degraded"
+
+// Failpoint sites on the journal's durability path (internal/failpt):
+// deterministic fault drills inject ENOSPC, generic I/O failure, and
+// torn writes exactly where a real disk would.
+var (
+	siteAppend = failpt.Register("journal/append", failpt.KindErr, failpt.KindTorn)
+	siteFsync  = failpt.Register("journal/fsync", failpt.KindErr)
+	siteRename = failpt.Register("journal/rename", failpt.KindErr)
+)
 
 // Version is the journal record format version this package writes.
 const Version = 1
@@ -56,7 +76,26 @@ var (
 	// violation, or semantically impossible coverage (overlap, duplicate,
 	// shifting trial totals). Resume refuses rather than guessing.
 	ErrCorrupt = errors.New("journal: corrupt")
+	// ErrNoSpace: an append or sync failed with ENOSPC. Named apart
+	// from generic I/O failure because the operator's remedy differs —
+	// free disk space versus replace a failing device.
+	ErrNoSpace = errors.New("journal: no space left on device")
+	// ErrDegraded: the journal is (or was found) in the degraded lossy
+	// state — a mid-campaign append or fsync failure downgraded it from
+	// crash-safe to advisory. The campaign that degraded it still
+	// completed (results live in memory and in the final report); only
+	// resumability was lost, so Open refuses a degraded journal by name.
+	ErrDegraded = errors.New("journal: degraded (lossy)")
 )
+
+// classify names ENOSPC distinctly from generic I/O failure, wrapping
+// real and failpoint-injected disk-full errors alike under ErrNoSpace.
+func classify(err error) error {
+	if errors.Is(err, syscall.ENOSPC) {
+		return fmt.Errorf("%w: %v", ErrNoSpace, err)
+	}
+	return err
+}
 
 // Record is one JSON line of the journal. The first record of a file is
 // the header (Kind "header": canonical Spec JSON + Spec fingerprint);
@@ -232,6 +271,14 @@ func Parse(data []byte) (*Replay, error) {
 // Journal is an open journal accepting appends. One background writer
 // goroutine serializes write+fsync per record; Append blocks until its
 // record is durable. Close shuts the writer down and closes the file.
+//
+// A journal that hits an I/O failure mid-campaign (ENOSPC, a failing
+// device, an injected fault) does not abort the campaign: it degrades.
+// The failed append — and every append after it — is dropped, Append
+// returns nil, and the run completes on in-memory results exactly as
+// an unjournaled run would; what is lost is resumability, which is why
+// the degradation is recorded durably (the DegradedName marker) and
+// surfaced by name from Degraded, Close, and any later Open.
 type Journal struct {
 	path string
 	f    *os.File
@@ -240,6 +287,9 @@ type Journal struct {
 
 	reqs chan appendReq
 	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	degraded error
 
 	closeOnce sync.Once
 	closeErr  error
@@ -295,6 +345,10 @@ func Create(dir string, specCanonical []byte, specFP string) (*Journal, error) {
 // file is reopened for append, so later records land after valid bytes.
 func Open(dir, specFP string) (*Journal, *Replay, error) {
 	path := filepath.Join(dir, FileName)
+	if cause, err := os.ReadFile(filepath.Join(dir, DegradedName)); err == nil {
+		return nil, nil, fmt.Errorf("%w: journal at %s lost records mid-campaign (%s) — it cannot be resumed; remove the directory and start fresh",
+			ErrDegraded, path, strings.TrimSpace(string(cause)))
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -341,7 +395,16 @@ func (j *Journal) Dir() string { return filepath.Dir(j.path) }
 // provides plan fingerprint, range, elapsed time, and payload. Ranges
 // that overlap an already-journaled record of the same plan are refused
 // — a journal never double-counts a trial.
+//
+// An I/O failure does not propagate: it flips the journal into the
+// degraded lossy state (see Degraded) and Append returns nil, so the
+// campaign completes instead of aborting mid-run. Semantic refusals
+// (invalid record, overlapping range) still error — those are caller
+// bugs, not disk weather.
 func (j *Journal) Append(rec Record) error {
+	if j.Degraded() != nil {
+		return nil // lossy state: the record is dropped, the campaign goes on
+	}
 	rec.V = Version
 	rec.Kind = "shard"
 	// Compact the payload first: json.Marshal embeds a RawMessage in
@@ -371,35 +434,105 @@ func (j *Journal) Append(rec Record) error {
 	return <-req.done
 }
 
-// Close shuts the writer goroutine down and closes the file. Safe to
-// call more than once.
+// Degraded reports the journal's lossy state: nil while every append
+// has been made durable, otherwise the named cause (wrapping
+// ErrDegraded, and ErrNoSpace when the cause was a full disk). Drivers
+// check it after a journaled run to tell the operator the campaign
+// finished but cannot be resumed.
+func (j *Journal) Degraded() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
+// degrade flips the journal into the lossy state (first cause wins)
+// and records the cause in a durable marker file so a resume attempt
+// in a later process is refused by name. On a genuinely full disk the
+// marker write may itself fail; the journal then merely looks
+// interrupted and a resume re-runs the missing spans — safe either
+// way, the marker only sharpens the refusal.
+func (j *Journal) degrade(cause error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.degraded != nil {
+		return
+	}
+	j.degraded = fmt.Errorf("%w: %w", ErrDegraded, cause)
+	_ = os.WriteFile(filepath.Join(filepath.Dir(j.path), DegradedName), []byte(cause.Error()+"\n"), 0o666)
+}
+
+// Close shuts the writer goroutine down, makes a final fsync (its
+// error propagates — a durability failure at close is a failure, not
+// a detail to swallow), and closes the file. A degraded journal's
+// cause is part of the return, so even a caller that only checks
+// Close learns the journal went lossy. Safe to call more than once.
 func (j *Journal) Close() error {
 	j.closeOnce.Do(func() {
 		close(j.reqs)
 		j.wg.Wait()
-		j.closeErr = j.f.Close()
+		var errs []error
+		if j.Degraded() == nil {
+			if err := j.f.Sync(); err != nil {
+				err = classify(fmt.Errorf("journal: final sync: %w", err))
+				j.degrade(err)
+				errs = append(errs, err)
+			}
+		}
+		if err := j.f.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("journal: close: %w", err))
+		}
+		if d := j.Degraded(); d != nil {
+			errs = append(errs, d)
+		}
+		j.closeErr = errors.Join(errs...)
 	})
 	return j.closeErr
 }
 
 // startWriter launches the single append goroutine: one write + fsync
 // per record keeps the crash residue to at most one torn tail record.
+// An I/O failure (real or failpoint-injected) degrades the journal
+// instead of failing the append — see the type comment.
 func (j *Journal) startWriter() {
 	j.reqs = make(chan appendReq)
 	j.wg.Add(1)
 	go func() {
 		defer j.wg.Done()
 		for req := range j.reqs {
-			_, err := j.f.Write(req.line)
-			if err == nil {
-				err = j.f.Sync()
+			if err := j.writeDurable(req.line); err != nil {
+				j.degrade(err)
 			}
-			if err != nil {
-				err = fmt.Errorf("journal: appending record: %w", err)
-			}
-			req.done <- err
+			req.done <- nil
 		}
 	}()
+}
+
+// writeDurable lands one record line: write, then fsync, with the
+// journal/append and journal/fsync failpoint sites standing in for the
+// disk's real failure modes (a torn append writes the scheduled prefix
+// before failing, exactly the residue of a crash or full disk).
+func (j *Journal) writeDurable(line []byte) error {
+	if act := failpt.Eval(siteAppend); act != nil {
+		if act.Kind == failpt.KindTorn {
+			n := act.N
+			if n > len(line) {
+				n = len(line)
+			}
+			_, _ = j.f.Write(line[:n])
+			return classify(fmt.Errorf("journal: torn append after %d of %d bytes: %w", n, len(line), act.Err()))
+		}
+		return classify(fmt.Errorf("journal: appending record: %w", act.Err()))
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return classify(fmt.Errorf("journal: appending record: %w", err))
+	}
+	if err := failpt.Err(siteFsync); err != nil {
+		return classify(fmt.Errorf("journal: syncing record: %w", err))
+	}
+	if err := j.f.Sync(); err != nil {
+		return classify(fmt.Errorf("journal: syncing record: %w", err))
+	}
+	return nil
 }
 
 // syncDir best-effort fsyncs a directory so a freshly created journal
@@ -426,6 +559,10 @@ func WriteReport(dir string, render func(w io.Writer) error) error {
 		return fmt.Errorf("journal: rendering progressive report: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: progressive report: %w", err)
+	}
+	if err := failpt.Err(siteRename); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("journal: progressive report: %w", err)
 	}
