@@ -29,6 +29,7 @@ import (
 	"dpmr/internal/ir"
 	"dpmr/internal/journal"
 	"dpmr/internal/mem"
+	"dpmr/internal/sched"
 	"dpmr/internal/workloads"
 )
 
@@ -867,4 +868,44 @@ func BenchmarkAblationOptimizerPipeline(b *testing.B) {
 			b.ReportMetric(float64(cycles)/float64(golden), "overhead-x")
 		})
 	}
+}
+
+// BenchmarkScheduler measures the deterministic interleaving scheduler
+// (internal/sched): one scheduled chash group per iteration. serial1 is
+// the degenerate single-VM group (no handovers — the walker baseline);
+// interleavedN adds N-VM cooperative scheduling with yields at every
+// load/store/atomic; the traced variant layers per-replica trace
+// recording on top, the full concurrent-campaign trial configuration.
+// The serial/interleaved trials-per-second ratio is the scheduling cost,
+// and interleaved/traced isolates the recorder's share.
+func BenchmarkScheduler(b *testing.B) {
+	w, err := workloads.ConcurrentByName("chash")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, threads int, traced bool) {
+		m := w.Build(threads)
+		m.Freeze()
+		var switches uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := sched.Run(m, sched.Config{
+				Threads:       threads,
+				Seed:          1,
+				TraceDisabled: !traced,
+				VM:            interp.Config{Externs: extlib.Base(), Mem: benchMem},
+			})
+			c := res.Combined
+			if c.Kind != interp.ExitNormal || c.Code != 0 {
+				b.Fatalf("chash (%d threads): %v code %d (%s)", threads, c.Kind, c.Code, c.Reason)
+			}
+			switches = res.Switches
+		}
+		b.ReportMetric(float64(switches), "switches/run")
+		reportTrialsPerSec(b, 1)
+	}
+	b.Run("serial1", func(b *testing.B) { run(b, 1, false) })
+	b.Run("interleaved3", func(b *testing.B) { run(b, 3, false) })
+	b.Run("interleaved3traced", func(b *testing.B) { run(b, 3, true) })
 }

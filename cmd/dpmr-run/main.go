@@ -44,6 +44,17 @@
 // locally — byte-identical to running the same campaign here:
 //
 //	dpmr-run -workload mcf -campaign -inject immediate-free -remote 127.0.0.1:9021
+//
+// Naming a concurrent workload (chash, cpipe, csteal) runs a concurrent
+// campaign instead: -threads VMs share one address space under the
+// deterministic interleaving scheduler, run rn explores schedule
+// -sched-seed+rn, and every trial's memory trace passes through the
+// offline consistency checker — the ConsistViol report column. There is
+// no injection axis; the schedule is the fault model. All campaign
+// machinery (-shard/-merge/-coord/-journal/-resume/-remote, -spec files)
+// applies unchanged:
+//
+//	dpmr-run -workload chash -campaign -threads 3 -sched-seed 1 -parallel 8
 package main
 
 import (
@@ -83,7 +94,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs := flag.NewFlagSet("dpmr-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload   = fs.String("workload", "mcf", "workload: art, bzip2, equake, mcf")
+		workload   = fs.String("workload", "mcf", "workload: art, bzip2, equake, mcf — or a concurrent group: chash, cpipe, csteal (with -campaign)")
 		useDPMR    = fs.Bool("dpmr", false, "apply the DPMR transformation")
 		inject     = fs.String("inject", "", "fault to inject: heap-array-resize or immediate-free")
 		site       = fs.Int("site", 0, "allocation site id for the injection")
@@ -107,6 +118,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		precomp    = fs.Int("precompile", 0, "background AOT workers building upcoming modules ahead of the execution frontier (0 = off; output is byte-identical, only speed differs; with -campaign)")
 		opStats    = fs.String("opstats", "", "write the executed opcode-pair/triple histogram as JSON to `file` (\"-\" = stdout; single runs only, runs on the reference interpreter)")
 		remote     = fs.String("remote", "", "submit the campaign to the dpmrd campaign service at this `addr` and merge the streamed shard results locally (with -campaign)")
+		threads    = fs.Int("threads", 3, "VM count of a concurrent workload group (with a concurrent -campaign)")
+		schedSeed  = fs.Int64("sched-seed", 1, "base interleaving-schedule seed; run rn explores schedule sched-seed+rn (with a concurrent -campaign)")
 	)
 	var vf harness.VariantFlags
 	vf.Register(fs)
@@ -127,9 +140,24 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		fmt.Fprintf(stderr, "dpmr-run: failpoints armed from %s: %s\n", failpt.EnvVar, sched)
 	}
 
+	// A concurrent group name selects the scheduler-driven concurrent
+	// campaign kind; everything downstream branches on the Spec's kind,
+	// so a -spec file can select it too.
 	w, err := workloads.ByName(*workload)
+	var cw workloads.ConcurrentWorkload
+	concurrent := false
 	if err != nil {
-		return fail(err)
+		gw, gerr := workloads.ConcurrentByName(*workload)
+		if gerr != nil {
+			return fail(err)
+		}
+		cw, concurrent = gw, true
+	}
+	if concurrent && !*campaign {
+		return fail(fmt.Errorf("concurrent workload %s runs under the interleaving scheduler; use -campaign (there is no single-run mode for scheduled groups)", cw.Name))
+	}
+	if concurrent && *listSites {
+		return fail(fmt.Errorf("-sites applies to sequential workloads (concurrent campaigns take no injection)"))
 	}
 
 	if *listSites {
@@ -171,6 +199,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 		if *remote != "" {
 			return fail(fmt.Errorf("-remote requires -campaign (dpmrd runs campaign specs)"))
+		}
+		var concFlag error
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "threads" || f.Name == "sched-seed" {
+				concFlag = fmt.Errorf("-%s requires a concurrent -campaign", f.Name)
+			}
+		})
+		if concFlag != nil {
+			return fail(concFlag)
 		}
 	}
 	if *resume && *journalDir == "" {
@@ -227,6 +264,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			if f.Name == "seed" || f.Name == "site" || f.Name == "dump-ir" || f.Name == "opstats" {
 				conflict = fmt.Errorf("-%s only applies to single runs, not -campaign", f.Name)
 			}
+			if !concurrent && *specFile == "" && (f.Name == "threads" || f.Name == "sched-seed") {
+				conflict = fmt.Errorf("-%s only applies to concurrent campaigns", f.Name)
+			}
 		})
 		if conflict != nil {
 			return fail(conflict)
@@ -249,21 +289,34 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		if *merge && len(fs.Args()) == 0 {
 			return fail(fmt.Errorf("-merge needs the partial-result files as arguments"))
 		}
-		if *specFile == "" && injectKind == 0 {
-			return fail(fmt.Errorf("-campaign requires -inject heap-array-resize or immediate-free (or a -spec file)"))
+		if *specFile == "" && injectKind == 0 && !concurrent {
+			return fail(fmt.Errorf("-campaign requires -inject heap-array-resize or immediate-free (or a -spec file, or a concurrent workload)"))
 		}
 		// The declarative flags assemble the Spec; -spec replaces them
 		// (mixing the two is refused inside ParseSpecFlags).
-		base := harness.CampaignSpec(injectKind, []workloads.Workload{w}, []harness.Variant{variant})
+		var base harness.Spec
+		if concurrent {
+			if injectKind != 0 {
+				return fail(fmt.Errorf("-inject does not apply to concurrent campaigns (the interleaving schedule is the fault axis)"))
+			}
+			base = harness.ConcurrentSpec([]string{cw.Name}, []harness.Variant{variant})
+			base.Threads = *threads
+			base.SchedSeed = *schedSeed
+		} else {
+			base = harness.CampaignSpec(injectKind, []workloads.Workload{w}, []harness.Variant{variant})
+		}
 		base.Runs = *runs
 		spec, err = harness.ParseSpecFlags(fs, *specFile, base,
-			"workload", "dpmr", "design", "diversity", "policy", "inject", "runs")
+			"workload", "dpmr", "design", "diversity", "policy", "inject", "runs", "threads", "sched-seed")
 		if err != nil {
 			return fail(err)
 		}
-		if spec.Kind != harness.SpecCampaign {
-			return fail(fmt.Errorf("-spec %s: dpmr-run runs campaign specs, got kind %q (use dpmr-exp for experiments)", *specFile, spec.Kind))
+		switch spec.Kind {
+		case harness.SpecCampaign, harness.SpecConcurrent:
+		default:
+			return fail(fmt.Errorf("-spec %s: dpmr-run runs campaign and concurrent specs, got kind %q (use dpmr-exp for experiments)", *specFile, spec.Kind))
 		}
+		concurrent = spec.Kind == harness.SpecConcurrent
 		if *dumpSpec {
 			if err := spec.Encode(stdout); err != nil {
 				return execFail(stderr, err)
@@ -429,6 +482,10 @@ type campaignArgs struct {
 	stdout, stderr         io.Writer
 }
 
+// concurrent reports whether the Spec runs the scheduler-driven
+// concurrent kind — the arms below only diverge at merge/render time.
+func (a campaignArgs) concurrent() bool { return a.spec.Kind == harness.SpecConcurrent }
+
 // sessionOptions is the campaign's execution policy as Session options.
 func (a campaignArgs) sessionOptions() []harness.Option {
 	return []harness.Option{
@@ -437,6 +494,28 @@ func (a campaignArgs) sessionOptions() []harness.Option {
 		harness.WithReference(!a.compile),
 		harness.WithPrecompile(a.precompile),
 	}
+}
+
+// mergeAndPrint reassembles shard partials with the Spec's kind-specific
+// merge and prints the kind's summary block — the tail the -merge,
+// -coord, and -remote arms share.
+func mergeAndPrint(a campaignArgs, parts []*harness.PartialResult, how string) int {
+	r := harness.NewRunner()
+	r.Parallel = a.parallel
+	if a.concurrent() {
+		cr, err := r.MergeConcurrent(a.spec, parts)
+		if err != nil {
+			return execFail(a.stderr, err)
+		}
+		harness.RenderConcurrent(a.stdout, cr)
+		return 0
+	}
+	cr, err := r.MergeCampaign(a.spec, parts)
+	if err != nil {
+		return execFail(a.stderr, err)
+	}
+	printCampaignSummary(a.stdout, how, cr)
+	return 0
 }
 
 // usageFail reports command-line misuse (bad flags, names, or flag
@@ -485,6 +564,8 @@ func runCampaign(ctx context.Context, a campaignArgs) int {
 		return runRemoteCampaign(ctx, a)
 	case a.journalDir != "" && a.coordFlags.Enabled():
 		return runCoordinatedJournaled(ctx, a)
+	case a.journalDir != "" && a.concurrent():
+		return runJournaledConcurrent(ctx, a)
 	case a.journalDir != "":
 		return runJournaledCampaign(ctx, a)
 	case a.coordFlags.Enabled():
@@ -495,6 +576,9 @@ func runCampaign(ctx context.Context, a campaignArgs) int {
 			return code
 		}
 		p := res.CampaignPartial
+		if a.concurrent() {
+			p = res.ConcurrentPartial
+		}
 		var err error
 		out := a.stdout
 		var f *os.File
@@ -534,21 +618,18 @@ func runCampaign(ctx context.Context, a campaignArgs) int {
 			}
 			parts[i] = p
 		}
-		r := harness.NewRunner()
-		r.Parallel = a.parallel
-		cr, err := r.MergeCampaign(a.spec, parts)
-		if err != nil {
-			return runFail(err)
-		}
-		printCampaignSummary(a.stdout, fmt.Sprintf("%d shards", len(parts)), cr)
-		return 0
+		return mergeAndPrint(a, parts, fmt.Sprintf("%d shards", len(parts)))
 	}
 
 	res, code := runSession(ctx, a)
 	if code != 0 {
 		return code
 	}
-	printCampaignSummary(a.stdout, fmt.Sprintf("%d workers", a.parallel), res.Campaign)
+	if a.concurrent() {
+		harness.RenderConcurrent(a.stdout, res.Concurrent)
+	} else {
+		printCampaignSummary(a.stdout, fmt.Sprintf("%d workers", a.parallel), res.Campaign)
+	}
 	fmt.Fprintf(a.stdout, "modules:    %d built, peak %d resident, %d evicted\n",
 		res.Stats.Builds, res.Stats.Peak, res.Stats.Evicted)
 	return 0
@@ -578,6 +659,56 @@ func writeJournaledSummary(w io.Writer, cr *harness.CampaignResult, done, total 
 	if done < total {
 		fmt.Fprintf(w, "# journal: %d of %d trials\n", done, total)
 	}
+}
+
+// writeJournaledConcurrentSummary is writeJournaledSummary's concurrent
+// analogue: the shared RenderConcurrent block plus the trailing progress
+// comment while trials are still missing.
+func writeJournaledConcurrentSummary(w io.Writer, cr *harness.ConcurrentResult, done, total int) {
+	harness.RenderConcurrent(w, cr)
+	if done < total {
+		fmt.Fprintf(w, "# journal: %d of %d trials\n", done, total)
+	}
+}
+
+// runJournaledConcurrent is runJournaledCampaign for the concurrent
+// kind: same journal directory, progressive report, and resume behavior,
+// with the concurrent merge and report block.
+func runJournaledConcurrent(ctx context.Context, a campaignArgs) int {
+	j, prior, err := harness.OpenJournal(a.journalDir, a.resume, a.spec)
+	if err != nil {
+		return usageFail(a.stderr, err)
+	}
+	defer j.Close()
+	var snapErr error
+	var total int
+	cr, executed, err := a.journalRunner().RunConcurrentJournaled(ctx, a.spec, j, prior, harness.DefaultResumeSpans,
+		func(snapshot *harness.ConcurrentResult, done, planTotal int) {
+			total = planTotal
+			if werr := journal.WriteReport(a.journalDir, func(w io.Writer) error {
+				writeJournaledConcurrentSummary(w, snapshot, done, planTotal)
+				return nil
+			}); werr != nil && snapErr == nil {
+				snapErr = werr
+			}
+		})
+	if err != nil {
+		return execFail(a.stderr, err)
+	}
+	if snapErr != nil {
+		return execFail(a.stderr, snapErr)
+	}
+	if total == 0 {
+		// A fully replayed journal runs no span, so the snapshot callback
+		// never fired; the plan size still frames the replay message.
+		if total, err = a.journalRunner().PlanTrials(a.spec); err != nil {
+			return execFail(a.stderr, err)
+		}
+	}
+	fmt.Fprintf(a.stderr, "journal: replayed %d trials, executed %d\n", total-executed, executed)
+	warnDegraded(a.stderr, j)
+	writeJournaledConcurrentSummary(a.stdout, cr, total, total)
+	return 0
 }
 
 // runJournaledCampaign executes the campaign against a -journal
@@ -636,7 +767,11 @@ func runCoordinatedJournaled(ctx context.Context, a campaignArgs) int {
 	}
 	defer j.Close()
 	r := a.journalRunner()
-	c, err := r.ResumeCampaign(a.spec, prior)
+	resume := r.ResumeCampaign
+	if a.concurrent() {
+		resume = r.ResumeConcurrent
+	}
+	c, err := resume(a.spec, prior)
 	if err != nil {
 		return execFail(a.stderr, err)
 	}
@@ -654,7 +789,11 @@ func runCoordinatedJournaled(ctx context.Context, a campaignArgs) int {
 			done += p.Hi - p.Lo
 		}
 		return journal.WriteReport(a.journalDir, func(w io.Writer) error {
-			writeJournaledSummary(w, c.Snapshot(parts), done, c.Total)
+			if a.concurrent() {
+				writeJournaledConcurrentSummary(w, c.SnapshotConcurrent(parts), done, c.Total)
+			} else {
+				writeJournaledSummary(w, c.Snapshot(parts), done, c.Total)
+			}
 			return nil
 		})
 	}
@@ -700,13 +839,21 @@ func runCoordinatedJournaled(ctx context.Context, a campaignArgs) int {
 			return execFail(a.stderr, err)
 		}
 	}
+	fmt.Fprintf(a.stderr, "journal: replayed %d trials, executed %d via %d workers\n",
+		c.Done(), executed, a.coordFlags.Workers)
+	warnDegraded(a.stderr, j)
+	if a.concurrent() {
+		cr, err := r.MergeConcurrent(a.spec, parts)
+		if err != nil {
+			return execFail(a.stderr, err)
+		}
+		writeJournaledConcurrentSummary(a.stdout, cr, c.Total, c.Total)
+		return 0
+	}
 	cr, err := r.MergeCampaign(a.spec, parts)
 	if err != nil {
 		return execFail(a.stderr, err)
 	}
-	fmt.Fprintf(a.stderr, "journal: replayed %d trials, executed %d via %d workers\n",
-		c.Done(), executed, a.coordFlags.Workers)
-	warnDegraded(a.stderr, j)
 	writeJournaledSummary(a.stdout, cr, c.Total, c.Total)
 	return 0
 }
@@ -755,15 +902,7 @@ func runCoordinatedCampaign(ctx context.Context, a campaignArgs) int {
 		}
 		parts[i] = p
 	}
-	r := harness.NewRunner()
-	r.Parallel = a.parallel
-	cr, err := r.MergeCampaign(a.spec, parts)
-	if err != nil {
-		return runFail(err)
-	}
-	printCampaignSummary(a.stdout,
-		fmt.Sprintf("%d shards via %d workers", len(payloads), cf.Workers), cr)
-	return 0
+	return mergeAndPrint(a, parts, fmt.Sprintf("%d shards via %d workers", len(payloads), cf.Workers))
 }
 
 // runRemoteCampaign submits the campaign Spec to a dpmrd daemon and
@@ -790,14 +929,7 @@ func runRemoteCampaign(ctx context.Context, a campaignArgs) int {
 		}
 		parts[i] = p
 	}
-	r := harness.NewRunner()
-	r.Parallel = a.parallel
-	cr, err := r.MergeCampaign(a.spec, parts)
-	if err != nil {
-		return runFail(err)
-	}
-	printCampaignSummary(a.stdout, fmt.Sprintf("%d shards via dpmrd", len(parts)), cr)
-	return 0
+	return mergeAndPrint(a, parts, fmt.Sprintf("%d shards via dpmrd", len(parts)))
 }
 
 // printCampaignSummary prints one coverage block per (workload, variant)

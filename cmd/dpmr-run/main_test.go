@@ -64,6 +64,14 @@ func TestRunFlagValidation(t *testing.T) {
 		{"remote with merge", []string{"-campaign", "-inject", "immediate-free", "-remote", "127.0.0.1:9", "-merge", "x.json"}, 2, "mutually exclusive"},
 		{"remote with worker", []string{"-worker", "-remote", "127.0.0.1:9"}, 2, "mutually exclusive"},
 		{"remote with journal", []string{"-campaign", "-inject", "immediate-free", "-remote", "127.0.0.1:9", "-journal", "j"}, 2, "-journal is incompatible with -remote"},
+		{"concurrent without campaign", []string{"-workload", "chash"}, 2, "use -campaign"},
+		{"concurrent with sites", []string{"-workload", "cpipe", "-campaign", "-sites"}, 2, "applies to sequential workloads"},
+		{"concurrent with inject", []string{"-workload", "chash", "-campaign", "-inject", "immediate-free"}, 2, "does not apply to concurrent campaigns"},
+		{"concurrent with dsa", []string{"-workload", "chash", "-campaign", "-dsa"}, 2, "does not support"},
+		{"threads without campaign", []string{"-workload", "mcf", "-threads", "4"}, 2, "-threads requires a concurrent -campaign"},
+		{"sched-seed without campaign", []string{"-workload", "mcf", "-sched-seed", "4"}, 2, "-sched-seed requires a concurrent -campaign"},
+		{"threads on injection campaign", []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-threads", "4"}, 2, "only applies to concurrent campaigns"},
+		{"sched-seed on injection campaign", []string{"-workload", "art", "-campaign", "-inject", "immediate-free", "-sched-seed", "9"}, 2, "only applies to concurrent campaigns"},
 		{"zero workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "0"}, 1, "at least 1 worker"},
 		{"negative workers", []string{"-campaign", "-inject", "immediate-free", "-parallel", "-4"}, 1, "at least 1 worker"},
 		{"bad cpuprofile path", []string{"-workload", "mcf", "-cpuprofile", "/no/such/dir/cpu.out"}, 1, "prof:"},
@@ -306,6 +314,117 @@ func TestCampaignProgressGoesToStderr(t *testing.T) {
 	}
 	if !strings.HasPrefix(shardOut.String(), "{") || !strings.Contains(shardOut.String(), `"fingerprint"`) {
 		t.Errorf("shard stdout is not a pure JSON partial: %q", shardOut.String())
+	}
+}
+
+// TestConcurrentCampaignEndToEnd drives the scheduler-driven concurrent
+// kind through the CLI's execution strategies: the direct summary names
+// the scheduler configuration and the ConsistViol column, and sharded
+// -merge, the in-process -coord fleet, and a -spec round trip all print
+// the identical report.
+func TestConcurrentCampaignEndToEnd(t *testing.T) {
+	base := []string{"-workload", "chash", "-campaign", "-runs", "2", "-threads", "2", "-sched-seed", "7"}
+	var direct, stderr bytes.Buffer
+	if code := runCLI(base, noStdin(), &direct, &stderr); code != 0 {
+		t.Fatalf("direct concurrent campaign failed: %s", stderr.String())
+	}
+	if !strings.Contains(direct.String(), "concurrent campaign: 2 threads, schedule seed 7") {
+		t.Fatalf("summary does not name the scheduler configuration:\n%s", direct.String())
+	}
+	if !strings.Contains(direct.String(), "ConsistViol") {
+		t.Fatalf("summary lacks the ConsistViol column:\n%s", direct.String())
+	}
+
+	dir := t.TempDir()
+	files := []string{filepath.Join(dir, "p0.json"), filepath.Join(dir, "p1.json")}
+	for i, f := range files {
+		stderr.Reset()
+		args := append(append([]string{}, base...), "-shard", string(rune('0'+i))+"/2", "-out", f)
+		if code := runCLI(args, noStdin(), &bytes.Buffer{}, &stderr); code != 0 {
+			t.Fatalf("shard %d failed: %s", i, stderr.String())
+		}
+	}
+	var merged bytes.Buffer
+	stderr.Reset()
+	if code := runCLI(append(append([]string{}, base...), "-merge", files[1], files[0]), noStdin(), &merged, &stderr); code != 0 {
+		t.Fatalf("merge failed: %s", stderr.String())
+	}
+	if trimExecutionLocal(direct.String()) != trimExecutionLocal(merged.String()) {
+		t.Errorf("merged summary differs from direct:\n--- direct ---\n%s\n--- merged ---\n%s",
+			direct.String(), merged.String())
+	}
+
+	var coordinated bytes.Buffer
+	stderr.Reset()
+	if code := runCLI(append(append([]string{}, base...), "-coord", "2"), noStdin(), &coordinated, &stderr); code != 0 {
+		t.Fatalf("coordinated concurrent campaign failed: %s", stderr.String())
+	}
+	if trimExecutionLocal(direct.String()) != trimExecutionLocal(coordinated.String()) {
+		t.Errorf("coordinated summary differs from direct:\n--- direct ---\n%s\n--- coordinated ---\n%s",
+			direct.String(), coordinated.String())
+	}
+
+	var specJSON bytes.Buffer
+	stderr.Reset()
+	if code := runCLI(append(append([]string{}, base...), "-dump-spec"), noStdin(), &specJSON, &stderr); code != 0 {
+		t.Fatalf("-dump-spec failed: %s", stderr.String())
+	}
+	if !strings.Contains(specJSON.String(), `"kind":"concurrent"`) {
+		t.Fatalf("-dump-spec wrote no concurrent spec: %s", specJSON.String())
+	}
+	path := filepath.Join(dir, "concurrent.json")
+	if err := os.WriteFile(path, specJSON.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var specDriven bytes.Buffer
+	stderr.Reset()
+	if code := runCLI([]string{"-campaign", "-spec", path}, noStdin(), &specDriven, &stderr); code != 0 {
+		t.Fatalf("spec-driven concurrent campaign failed: %s", stderr.String())
+	}
+	if direct.String() != specDriven.String() {
+		t.Errorf("-spec campaign differs from flag-driven:\n--- flags ---\n%s\n--- spec ---\n%s",
+			direct.String(), specDriven.String())
+	}
+}
+
+// TestConcurrentJournalEndToEnd: a journaled concurrent campaign prints
+// the direct summary, leaves a report.txt byte-identical to its stdout,
+// and resuming the completed journal executes nothing.
+func TestConcurrentJournalEndToEnd(t *testing.T) {
+	base := []string{"-workload", "cpipe", "-campaign", "-runs", "2", "-threads", "2"}
+	var direct, stderr bytes.Buffer
+	if code := runCLI(base, noStdin(), &direct, &stderr); code != 0 {
+		t.Fatalf("direct concurrent campaign failed: %s", stderr.String())
+	}
+
+	dir := t.TempDir()
+	var journaled, jerr bytes.Buffer
+	if code := runCLI(append(base, "-journal", dir), noStdin(), &journaled, &jerr); code != 0 {
+		t.Fatalf("journaled concurrent campaign failed: %s", jerr.String())
+	}
+	if trimExecutionLocal(journaled.String()) != trimExecutionLocal(direct.String()) {
+		t.Errorf("journaled summary differs from direct:\n--- direct ---\n%s\n--- journaled ---\n%s",
+			direct.String(), journaled.String())
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(report) != journaled.String() {
+		t.Errorf("final report.txt differs from the journaled stdout:\n--- report.txt ---\n%s\n--- stdout ---\n%s",
+			report, journaled.String())
+	}
+
+	var resumed, rerr bytes.Buffer
+	if code := runCLI(append(base, "-journal", dir, "-resume"), noStdin(), &resumed, &rerr); code != 0 {
+		t.Fatalf("resume of complete journal failed: %s", rerr.String())
+	}
+	if resumed.String() != journaled.String() {
+		t.Errorf("resumed summary differs from the original journaled run:\n--- original ---\n%s\n--- resumed ---\n%s",
+			journaled.String(), resumed.String())
+	}
+	if !strings.Contains(rerr.String(), "executed 0") {
+		t.Errorf("resume of a complete journal re-executed trials: %q", rerr.String())
 	}
 }
 

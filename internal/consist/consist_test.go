@@ -1,0 +1,129 @@
+package consist
+
+import (
+	"testing"
+
+	"dpmr/internal/mem"
+)
+
+func ld(seq, addr uint64, w uint8, val uint64) mem.TraceEvent {
+	return mem.TraceEvent{Seq: seq, Op: mem.TraceLoad, Addr: addr, Width: w, Val: val}
+}
+
+func st(seq, addr uint64, w uint8, val uint64) mem.TraceEvent {
+	return mem.TraceEvent{Seq: seq, Op: mem.TraceStore, Addr: addr, Width: w, Val: val}
+}
+
+func TestCleanTrace(t *testing.T) {
+	// Two threads, interleaved writes and reads, every read sees the most
+	// recent write in seq order.
+	r := CheckEvents([][]mem.TraceEvent{
+		{st(0, 0x100, 8, 1), ld(2, 0x100, 8, 2), st(4, 0x108, 8, 7)},
+		{st(1, 0x100, 8, 2), ld(3, 0x100, 8, 2), ld(5, 0x108, 8, 7)},
+	})
+	if !r.Clean() {
+		t.Fatalf("expected clean, got %v", r.Violations)
+	}
+	if r.Events != 6 {
+		t.Fatalf("want 6 events checked, got %d", r.Events)
+	}
+}
+
+func TestStaleRead(t *testing.T) {
+	// The read at seq 3 returns the superseded value 1: a lost update.
+	r := CheckEvents([][]mem.TraceEvent{
+		{st(0, 0x200, 8, 1), st(1, 0x200, 8, 2)},
+		{ld(3, 0x200, 8, 1)},
+	})
+	if r.Clean() {
+		t.Fatal("expected a violation")
+	}
+	v := r.Violations[0]
+	if v.Class != ClassStaleRead {
+		t.Fatalf("want %s, got %s", ClassStaleRead, v.Class)
+	}
+	if v.Thread != 1 || v.Got != 1 || v.Want != 2 || v.WriteSeq != 1 {
+		t.Fatalf("bad violation detail: %+v", v)
+	}
+}
+
+func TestThinAirRead(t *testing.T) {
+	// The read returns 0xdead, which no traced write ever stored.
+	r := CheckEvents([][]mem.TraceEvent{
+		{st(0, 0x300, 4, 5), ld(1, 0x300, 4, 0xdead)},
+	})
+	if r.Clean() {
+		t.Fatal("expected a violation")
+	}
+	if got := r.Violations[0].Class; got != ClassThinAir {
+		t.Fatalf("want %s, got %s", ClassThinAir, got)
+	}
+}
+
+func TestFirstReadUnconstrained(t *testing.T) {
+	// Reads before the first traced write see the untraced initial image
+	// and must not be flagged; once a write lands, reads are constrained.
+	r := CheckEvents([][]mem.TraceEvent{
+		{ld(0, 0x400, 8, 0xabc), st(1, 0x400, 8, 9), ld(2, 0x400, 8, 0xabc)},
+	})
+	if len(r.Violations) != 1 {
+		t.Fatalf("want exactly the post-write read flagged, got %v", r.Violations)
+	}
+	if r.Violations[0].Seq != 2 {
+		t.Fatalf("wrong read flagged: %+v", r.Violations[0])
+	}
+}
+
+func TestWidthsAreDistinctLocations(t *testing.T) {
+	// A 4-byte read of a cell only ever written at 8 bytes is a different
+	// location key: unconstrained, not a violation.
+	r := CheckEvents([][]mem.TraceEvent{
+		{st(0, 0x500, 8, 0x1122334455667788), ld(1, 0x500, 4, 0x55667788)},
+	})
+	if !r.Clean() {
+		t.Fatalf("expected clean, got %v", r.Violations)
+	}
+}
+
+func TestRepeatedValueNotStale(t *testing.T) {
+	// Writing the same value twice must not register it as "older": a
+	// read returning it still matches the current write.
+	r := CheckEvents([][]mem.TraceEvent{
+		{st(0, 0x600, 8, 3), st(1, 0x600, 8, 3), ld(2, 0x600, 8, 3)},
+	})
+	if !r.Clean() {
+		t.Fatalf("expected clean, got %v", r.Violations)
+	}
+}
+
+// TestTwoValued: every checked trace is either clean or carries at least
+// one named violation — metadata (truncation, drops) never manufactures
+// a third verdict.
+func TestTwoValued(t *testing.T) {
+	s := mem.NewSpace(mem.Config{})
+	tr := mem.NewTraceRec(1, 2)
+	s.SetTrace(tr)
+	addr, trap := s.Malloc(8)
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	for i := 0; i < 5; i++ {
+		// Overflow the 2-event buffer: the trace truncates.
+		if trap := s.Store(addr, 8, uint64(i)); trap != nil {
+			t.Fatal(trap)
+		}
+	}
+	r := Check(tr)
+	if !r.Truncated {
+		t.Fatal("expected truncation metadata")
+	}
+	if !r.Clean() {
+		t.Fatalf("truncation must not be a violation: %v", r.Violations)
+	}
+}
+
+func TestNilRecorderClean(t *testing.T) {
+	if r := Check(nil); !r.Clean() || r.Events != 0 {
+		t.Fatalf("nil recorder must verify clean, got %+v", r)
+	}
+}

@@ -480,6 +480,12 @@ func (t *transformer) emit(in ir.Instr) {
 		t.ins(&ir.HeapBufSize{Dst: t.x(i.Dst), Ptr: t.x(i.Ptr)})
 	case *ir.Output:
 		t.ins(&ir.Output{Val: t.x(i.Val), Mode: i.Mode})
+	case *ir.AtomicRMW:
+		t.emitAtomicRMW(i)
+	case *ir.AtomicCAS:
+		t.emitAtomicCAS(i)
+	case *ir.Fence:
+		t.ins(&ir.Fence{})
 	case *ir.Exit:
 		var v *ir.Reg
 		if i.Val != nil {
@@ -635,6 +641,36 @@ func (t *transformer) emitStore(i *ir.Store) {
 	}
 	// MDS: the ROP is stored to replica memory (Table 4.3).
 	t.ins(&ir.Store{Ptr: t.xr(i.Ptr), Val: t.xr(i.Val)})
+}
+
+// emitAtomicRMW instruments an atomic read-modify-write. Atomics are
+// restricted to integer memory (enforced by ir.Verify), so the replica
+// slot holds the identical value under both designs and the whole
+// check reduces to the load-check pattern of Table 2.6 — except that an
+// atomic's load and store must stay one indivisible step even relative
+// to its own instrumentation. Emitting a separate replica RMW would
+// reintroduce a window where another thread's pair interleaves between
+// application and replica update, making the *instrumentation* racy in
+// a race-free program. Instead the replica pointer is bound onto the
+// instruction itself (RPtr); the interpreter updates both slots in the
+// same indivisible step and traps a DPMR detection if the two loaded
+// values differ.
+func (t *transformer) emitAtomicRMW(i *ir.AtomicRMW) {
+	n := &ir.AtomicRMW{Dst: t.x(i.Dst), Ptr: t.x(i.Ptr), Val: t.x(i.Val), Op: i.Op}
+	if !t.excludedReg(i.Ptr) {
+		n.RPtr = t.xr(i.Ptr)
+	}
+	t.ins(n)
+}
+
+// emitAtomicCAS instruments an atomic compare-and-swap; see
+// emitAtomicRMW for why the replica binding is fused.
+func (t *transformer) emitAtomicCAS(i *ir.AtomicCAS) {
+	n := &ir.AtomicCAS{Dst: t.x(i.Dst), Ptr: t.x(i.Ptr), Old: t.x(i.Old), New: t.x(i.New)}
+	if !t.excludedReg(i.Ptr) {
+		n.RPtr = t.xr(i.Ptr)
+	}
+	t.ins(n)
 }
 
 func (t *transformer) emitFieldAddr(i *ir.FieldAddr) {

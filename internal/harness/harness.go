@@ -388,6 +388,11 @@ type Outcome struct {
 	// T2DCycles: time to fault detection (total − time to first
 	// successful injection), valid when Detected() and SF.
 	T2DCycles uint64
+	// ConsistViol: the offline consistency checker flagged the trial's
+	// shared-memory trace (concurrent kind only). Independent of the
+	// §3.6 classes above — a violating trial can still be CO, which is
+	// exactly the silent failure the trace checker surfaces.
+	ConsistViol bool
 }
 
 // Covered reports CO ∨ NatDet ∨ DpmrDet (Equation 3.2).
@@ -400,7 +405,7 @@ func (o Outcome) Detected() bool { return o.NatDet || o.DpmrDet }
 // everything campaign aggregation reads, and exactly what a sharded run
 // ships between processes.
 func (o Outcome) Trial() TrialOutcome {
-	return TrialOutcome{SF: o.SF, CO: o.CO, NatDet: o.NatDet, DpmrDet: o.DpmrDet, T2DCycles: o.T2DCycles}
+	return TrialOutcome{SF: o.SF, CO: o.CO, NatDet: o.NatDet, DpmrDet: o.DpmrDet, T2DCycles: o.T2DCycles, ConsistViol: o.ConsistViol}
 }
 
 // TrialOutcome is the §3.6 classification of one campaign trial in
@@ -416,6 +421,9 @@ type TrialOutcome struct {
 	NatDet    bool   `json:"natDet,omitempty"`
 	DpmrDet   bool   `json:"dpmrDet,omitempty"`
 	T2DCycles uint64 `json:"t2dCycles,omitempty"`
+	// ConsistViol is the concurrent kind's trace-checker verdict; always
+	// false for injection-campaign trials.
+	ConsistViol bool `json:"consistViol,omitempty"`
 }
 
 // Covered reports CO ∨ NatDet ∨ DpmrDet (Equation 3.2).
@@ -778,9 +786,9 @@ func sampleSites(sites []faultinject.Site, max int) []faultinject.Site {
 }
 
 // PlanTrials reports the trial count of the Spec's canonical flat plan —
-// the unit sharding and the coordinator schedule over. Campaign and
-// overhead Specs both plan; experiment Specs run several plans and are
-// refused.
+// the unit sharding and the coordinator schedule over. Campaign,
+// overhead, and concurrent Specs all plan; experiment Specs run several
+// plans and are refused.
 func (r *Runner) PlanTrials(spec Spec) (int, error) {
 	n, err := spec.Normalized()
 	if err != nil {
@@ -796,6 +804,12 @@ func (r *Runner) PlanTrials(spec Spec) (int, error) {
 		return len(plan.trials), nil
 	case SpecOverhead:
 		plan, err := planOverhead(n)
+		if err != nil {
+			return 0, err
+		}
+		return len(plan.trials), nil
+	case SpecConcurrent:
+		plan, err := planConcurrent(n)
 		if err != nil {
 			return 0, err
 		}

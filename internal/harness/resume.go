@@ -45,8 +45,9 @@ const DefaultResumeSpans = 8
 // replay: which trial ranges are already covered (Parts) and which still
 // need to run (Gaps).
 type CampaignResume struct {
-	spec Spec
-	plan *campaignPlan
+	spec  Spec
+	plan  *campaignPlan
+	cplan *concurrentPlan // set instead of plan by ResumeConcurrent
 	// PlanFP is the canonical plan's fingerprint — the key shard records
 	// are journaled under.
 	PlanFP string

@@ -89,10 +89,12 @@ func WithReport(w io.Writer) Option { return func(c *sessionConfig) { c.report =
 //
 //   - campaign:   CampaignPartial, plus Campaign when the whole plan ran
 //   - overhead:   OverheadPartial, plus Overhead when the whole plan ran
+//   - concurrent: ConcurrentPartial, plus Concurrent when the whole
+//     plan ran
 //   - experiment: nothing here — the report went to WithReport's writer
 //
-// A cancelled campaign or overhead session still carries the
-// completed-prefix partial of its shard.
+// A cancelled campaign, overhead, or concurrent session still carries
+// the completed-prefix partial of its shard.
 type Result struct {
 	// Spec is the normalized Spec the session ran.
 	Spec Spec
@@ -106,6 +108,11 @@ type Result struct {
 	// OverheadPartial holds the shard's (or cancelled run's prefix of)
 	// cycle measurements.
 	OverheadPartial *OverheadPartial
+	// Concurrent is the aggregated result of a whole-plan concurrent run.
+	Concurrent *ConcurrentResult
+	// ConcurrentPartial holds the shard's (or cancelled run's prefix of)
+	// per-trial outcomes of a concurrent run.
+	ConcurrentPartial *PartialResult
 	// Stats is the final module-cache snapshot.
 	Stats CacheStats
 }
@@ -291,6 +298,13 @@ func (s *Session) run(ctx context.Context, r *Runner, cfg sessionConfig) {
 		s.err = err
 		if err == nil && p.Lo == 0 && p.Hi == p.Total {
 			s.result.Overhead = aggregateOverhead(plan, p.Cycles)
+		}
+	case SpecConcurrent:
+		p, plan, err := r.runConcurrentPartial(ctx, s.spec)
+		s.result.ConcurrentPartial = p
+		s.err = err
+		if err == nil && p.Lo == 0 && p.Hi == p.Total {
+			s.result.Concurrent = aggregateConcurrent(plan, p.Outcomes)
 		}
 	case SpecExperiment:
 		o := Options{Evict: cfg.evict, Reference: cfg.reference, Events: s.emit, Runner: r}

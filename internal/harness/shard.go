@@ -342,9 +342,9 @@ func (r *Runner) MergeCampaign(spec Spec, parts []*PartialResult) (*CampaignResu
 
 // ShardPayload executes one shard of any Spec kind and returns its
 // serialized partial result — the JSON document the coordinator's
-// streaming protocol carries: a PartialResult for campaign Specs, an
-// OverheadPartial for overhead Specs, an ExperimentPartial for
-// experiment Specs. It is the one worker-side entry point behind
+// streaming protocol carries: a PartialResult for campaign and
+// concurrent Specs, an OverheadPartial for overhead Specs, an
+// ExperimentPartial for experiment Specs. It is the one worker-side entry point behind
 // `dpmr-exp -worker` and `dpmr-run -worker`, which is why a worker
 // process serves whatever Spec its Assignment carries instead of
 // re-deriving an experiment from argv. A cancelled ctx fails the shard:
@@ -357,10 +357,11 @@ func ShardPayload(ctx context.Context, spec Spec, shard ShardSpec, opts Options)
 	}
 	var buf bytes.Buffer
 	switch n.Kind {
-	case SpecCampaign, SpecOverhead:
+	case SpecCampaign, SpecOverhead, SpecConcurrent:
 		r := opts.runner()
 		r.Shard = shard
-		if n.Kind == SpecCampaign {
+		switch n.Kind {
+		case SpecCampaign:
 			p, err := r.RunCampaignPartial(ctx, n)
 			if err != nil {
 				return nil, err
@@ -368,7 +369,15 @@ func ShardPayload(ctx context.Context, spec Spec, shard ShardSpec, opts Options)
 			if err := p.Encode(&buf); err != nil {
 				return nil, err
 			}
-		} else {
+		case SpecConcurrent:
+			p, err := r.RunConcurrentPartial(ctx, n)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Encode(&buf); err != nil {
+				return nil, err
+			}
+		default:
 			p, err := r.RunOverheadPartial(ctx, n)
 			if err != nil {
 				return nil, err

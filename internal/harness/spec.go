@@ -30,7 +30,7 @@ import (
 // SpecKind selects what a Spec describes.
 type SpecKind string
 
-// The three experiment kinds.
+// The four experiment kinds.
 const (
 	// SpecCampaign is a fault-injection campaign: the sites × variants ×
 	// runs grid of one injection kind.
@@ -41,6 +41,11 @@ const (
 	// SpecExperiment is a named figure/table of the paper (fig3.7,
 	// tab4.6, …), which may run several campaigns and measurements.
 	SpecExperiment SpecKind = "experiment"
+	// SpecConcurrent is a concurrent-workload campaign: the workloads ×
+	// variants × runs grid under the deterministic interleaving
+	// scheduler, with trace-checked consistency as an extra detection
+	// axis and the schedule seed varied per run instead of a fault kind.
+	SpecConcurrent SpecKind = "concurrent"
 )
 
 // VariantSpec is the serializable form of a Variant: the design,
@@ -108,6 +113,8 @@ func VariantSpecs(vs ...Variant) []VariantSpec {
 //   - overhead:   Workloads, Variants, TimeoutFactor, Mem
 //   - experiment: Exp (the figure/table id), plus Quick/Runs/MaxSites/
 //     Workloads overriding the generator's defaults
+//   - concurrent: Workloads (concurrent set), Variants, Runs, Threads,
+//     SchedSeed, TimeoutFactor, Mem
 //
 // The zero value is not runnable; Normalized fills defaults and
 // validates. Specs marshal to JSON (the CLI -spec file format) and the
@@ -124,6 +131,11 @@ type Spec struct {
 	Runs int `json:"runs,omitempty"`
 	// MaxSites caps injection sites per workload (0 = all).
 	MaxSites int `json:"maxSites,omitempty"`
+	// Threads is the VM count of a concurrent group (0 = default 3).
+	Threads int `json:"threads,omitempty"`
+	// SchedSeed is the base interleaving seed of a concurrent campaign;
+	// run rn explores schedule SchedSeed+rn (0 = default 1).
+	SchedSeed int64 `json:"schedSeed,omitempty"`
 	// TimeoutFactor multiplies golden steps into the step budget
 	// (0 = default 20).
 	TimeoutFactor uint64 `json:"timeoutFactor,omitempty"`
@@ -154,6 +166,13 @@ func OverheadSpec(ws []workloads.Workload, vs []Variant) Spec {
 
 // ExperimentSpec describes the named figure/table.
 func ExperimentSpec(id string) Spec { return Spec{Kind: SpecExperiment, Exp: id} }
+
+// ConcurrentSpec describes the concurrent campaign of the named
+// concurrent workloads over the variant grid, with the default thread
+// count and schedule seed; adjust fields on the result as needed.
+func ConcurrentSpec(names []string, vs []Variant) Spec {
+	return Spec{Kind: SpecConcurrent, Workloads: names, Variants: VariantSpecs(vs...)}
+}
 
 func workloadNames(ws []workloads.Workload) []string {
 	names := make([]string, len(ws))
@@ -206,6 +225,9 @@ func (s Spec) Normalized() (Spec, error) {
 	if n.MaxSites < 0 {
 		n.MaxSites = 0
 	}
+	if n.Threads < 0 {
+		n.Threads = 0
+	}
 	if (n.Mem == mem.Config{}) {
 		n.Mem = defaultMem()
 	}
@@ -237,7 +259,9 @@ func (s Spec) Normalized() (Spec, error) {
 	}
 	switch n.Kind {
 	case SpecCampaign:
-		n.Exp, n.Quick = "", false
+		// Threads and SchedSeed are concurrent-kind knobs: cleared here so
+		// two spellings of one campaign cannot fingerprint apart.
+		n.Exp, n.Quick, n.Threads, n.SchedSeed = "", false, 0, 0
 		if n.Runs <= 0 {
 			n.Runs = 2
 		}
@@ -253,8 +277,10 @@ func (s Spec) Normalized() (Spec, error) {
 	case SpecOverhead:
 		// The overhead plan measures each variant exactly once — Runs is
 		// kind-inapplicable and cleared, so two spellings of one
-		// measurement cannot fingerprint apart.
+		// measurement cannot fingerprint apart; the concurrency knobs are
+		// cleared for the same reason.
 		n.Exp, n.Quick, n.Inject, n.MaxSites, n.Runs = "", false, "", 0, 0
+		n.Threads, n.SchedSeed = 0, 0
 		if err := checkWorkloads(); err != nil {
 			return Spec{}, err
 		}
@@ -264,8 +290,10 @@ func (s Spec) Normalized() (Spec, error) {
 	case SpecExperiment:
 		// The figure/table id is resolved by Generate at run time (so an
 		// id-less merge Spec can take the id from its partials); variants
-		// and injection kinds are the generator's business.
+		// and injection kinds are the generator's business, and the
+		// concurrency knobs apply only to the concurrent kind.
 		n.Variants, n.Inject = nil, ""
+		n.Threads, n.SchedSeed = 0, 0
 		if n.Quick {
 			if n.Runs == 0 {
 				n.Runs = 1
@@ -290,8 +318,30 @@ func (s Spec) Normalized() (Spec, error) {
 				return Spec{}, err
 			}
 		}
+	case SpecConcurrent:
+		n.Exp, n.Quick, n.Inject, n.MaxSites = "", false, "", 0
+		if n.Runs <= 0 {
+			n.Runs = 2
+		}
+		if n.Threads == 0 {
+			n.Threads = 3
+		}
+		if n.SchedSeed == 0 {
+			n.SchedSeed = 1
+		}
+		if len(n.Workloads) == 0 {
+			return Spec{}, fmt.Errorf("harness: %s spec: no workloads", n.Kind)
+		}
+		for _, name := range n.Workloads {
+			if _, err := workloads.ConcurrentByName(name); err != nil {
+				return Spec{}, err
+			}
+		}
+		if err := canonVariants(); err != nil {
+			return Spec{}, err
+		}
 	default:
-		return Spec{}, fmt.Errorf("harness: spec kind %q: want campaign, overhead, or experiment", n.Kind)
+		return Spec{}, fmt.Errorf("harness: spec kind %q: want campaign, overhead, experiment, or concurrent", n.Kind)
 	}
 	return n, nil
 }

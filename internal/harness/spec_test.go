@@ -23,6 +23,7 @@ func TestSpecRoundTripKeepsFingerprint(t *testing.T) {
 		"overhead":   func() Spec { ws, vs := smallOverhead(); return OverheadSpec(ws, vs) }(),
 		"experiment": quickExp("fig3.7"),
 		"exp-full":   ExperimentSpec("tab3.3"),
+		"concurrent": smallConcurrent(),
 	}
 	for name, spec := range specs {
 		t.Run(name, func(t *testing.T) {
@@ -107,6 +108,13 @@ func TestSpecNormalizeRejects(t *testing.T) {
 		"bad diversity":    {Kind: SpecOverhead, Workloads: []string{ws[0].Name}, Variants: []VariantSpec{{DPMR: true, Diversity: "nope"}}},
 		"bad policy":       {Kind: SpecOverhead, Workloads: []string{ws[0].Name}, Variants: []VariantSpec{{DPMR: true, Policy: "nope"}}},
 		"exp bad workload": {Kind: SpecExperiment, Exp: "fig3.7", Workloads: []string{"nope"}},
+		// Concurrent specs take the concurrent workload set only; a
+		// sequential workload name (or none, or no variants) is refused.
+		"conc no workloads": {Kind: SpecConcurrent, Variants: []VariantSpec{{}}},
+		"conc seq workload": {Kind: SpecConcurrent, Workloads: []string{ws[0].Name}, Variants: []VariantSpec{{}}},
+		"conc bad workload": {Kind: SpecConcurrent, Workloads: []string{"nope"}, Variants: []VariantSpec{{}}},
+		"conc no variants":  {Kind: SpecConcurrent, Workloads: []string{"chash"}},
+		"conc bad variant":  {Kind: SpecConcurrent, Workloads: []string{"chash"}, Variants: []VariantSpec{{DPMR: true, Design: "tds"}}},
 	}
 	for name, spec := range cases {
 		if _, err := spec.Normalized(); err == nil {
@@ -286,6 +294,64 @@ func TestSpecNormalizeClampsCounts(t *testing.T) {
 	n, _ := withRuns.Normalized()
 	if n.Runs != 0 {
 		t.Errorf("overhead spec kept Runs=%d, want it cleared", n.Runs)
+	}
+}
+
+// TestSpecClearsConcurrencyFields: Threads and SchedSeed apply only to
+// the concurrent kind. Campaign, overhead, and experiment Specs must
+// clear them during normalization so two spellings of one experiment —
+// with and without stray concurrency knobs — cannot fingerprint apart;
+// concurrent Specs fill their defaults instead.
+func TestSpecClearsConcurrencyFields(t *testing.T) {
+	fp := func(s Spec) string {
+		t.Helper()
+		f, err := s.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	ws, vs := smallOverhead()
+	for name, base := range map[string]Spec{
+		"campaign":   smallCampaign(),
+		"overhead":   OverheadSpec(ws, vs),
+		"experiment": quickExp("fig3.7"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			withKnobs := base
+			withKnobs.Threads = 7
+			withKnobs.SchedSeed = 42
+			if fp(base) != fp(withKnobs) {
+				t.Error("kind-inapplicable concurrency fields split the fingerprint of an equal experiment")
+			}
+			n, err := withKnobs.Normalized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n.Threads != 0 || n.SchedSeed != 0 {
+				t.Errorf("normalized %s spec kept threads=%d schedSeed=%d, want both cleared", name, n.Threads, n.SchedSeed)
+			}
+		})
+	}
+
+	// The concurrent kind fills defaults rather than clearing, and a
+	// negative thread count folds to the default spelling.
+	conc, err := smallConcurrent().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Threads != 3 || conc.SchedSeed != 1 || conc.Runs != 2 {
+		t.Errorf("concurrent defaults: threads=%d schedSeed=%d runs=%d, want 3/1/2", conc.Threads, conc.SchedSeed, conc.Runs)
+	}
+	negative := smallConcurrent()
+	negative.Threads = -4
+	if fp(smallConcurrent()) != fp(negative) {
+		t.Error("negative thread count split the fingerprint of an equal concurrent campaign")
+	}
+	distinct := smallConcurrent()
+	distinct.Threads = 2
+	if fp(smallConcurrent()) == fp(distinct) {
+		t.Error("a different thread count fingerprints equal")
 	}
 }
 

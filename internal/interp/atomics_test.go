@@ -1,0 +1,121 @@
+package interp
+
+import (
+	"testing"
+
+	"dpmr/internal/ir"
+)
+
+// TestCompiledMatchesWalkerAtomics: every atomic combining op, CAS in
+// both outcomes, and fence execute identically in the walker and the
+// compiled engine — same results, same cycle clock.
+func TestCompiledMatchesWalkerAtomics(t *testing.T) {
+	m := buildMain(func(b *ir.Builder) {
+		p := b.Malloc(ir.I64)
+		b.Store(p, b.I64(0x0F0))
+		s := b.Reg("s", ir.I64)
+		b.MoveTo(s, b.I64(0))
+		acc := func(v *ir.Reg) { b.BinTo(s, ir.OpAdd, s, v) }
+		acc(b.AtomicRMW(ir.AtomicAdd, p, b.I64(5)))    // old 240, cell 245
+		acc(b.AtomicRMW(ir.AtomicAnd, p, b.I64(0xFF))) // old 245, cell 245
+		acc(b.AtomicRMW(ir.AtomicOr, p, b.I64(0x100))) // old 245, cell 501
+		acc(b.AtomicRMW(ir.AtomicXor, p, b.I64(0xFF))) // old 501, cell 266
+		acc(b.AtomicRMW(ir.AtomicXchg, p, b.I64(42)))  // old 266, cell 42
+		b.Fence()
+		acc(b.AtomicCAS(p, b.I64(42), b.I64(7))) // succeeds: old 42, cell 7
+		acc(b.AtomicCAS(p, b.I64(42), b.I64(9))) // fails: returns current 7
+		acc(b.Load(p))                           // 7
+		b.Free(p)
+
+		// Narrow-width atomics exercise result normalization.
+		q := b.Malloc(ir.I32)
+		b.Store(q, b.I32(-16))
+		acc(b.Convert(b.AtomicRMW(ir.AtomicAdd, q, b.I32(1)), ir.I64))
+		acc(b.Convert(b.AtomicCAS(q, b.I32(-15), b.I32(3)), ir.I64))
+		acc(b.Convert(b.Load(q), ir.I64))
+		b.Free(q)
+		b.Ret(s)
+	})
+	res := runBoth(t, m, Config{})
+	if res.Kind != ExitNormal {
+		t.Fatalf("got %v (%s)", res.Kind, res.Reason)
+	}
+	// i64 part sums to 1553; i32 part adds -16 + -15 + 3.
+	if want := int64(1553 - 16 - 15 + 3); res.Code != want {
+		t.Fatalf("code = %d, want %d", res.Code, want)
+	}
+}
+
+// bindReplicas points every atomic in main at a replica cell, the way
+// the DPMR transform does, by rewriting RPtr in place.
+func bindReplicas(m *ir.Module, rptr *ir.Reg) {
+	for _, blk := range m.Func("main").Blocks {
+		for _, in := range blk.Instrs {
+			switch a := in.(type) {
+			case *ir.AtomicRMW:
+				a.RPtr = rptr
+			case *ir.AtomicCAS:
+				a.RPtr = rptr
+			}
+		}
+	}
+}
+
+// buildReplicaMain builds a main whose single shared cell and replica
+// start at the given values, then runs one bound RMW and one bound CAS.
+func buildReplicaMain(appInit, repInit int64) *ir.Module {
+	var rptr *ir.Reg
+	m := buildMain(func(b *ir.Builder) {
+		p := b.Malloc(ir.I64)
+		r := b.Malloc(ir.I64)
+		rptr = r
+		b.Store(p, b.I64(appInit))
+		b.Store(r, b.I64(repInit))
+		s := b.AtomicRMW(ir.AtomicAdd, p, b.I64(10))
+		c := b.AtomicCAS(p, b.Add(s, b.I64(10)), b.I64(99))
+		b.Ret(b.Add(s, c))
+	})
+	bindReplicas(m, rptr)
+	return m
+}
+
+// TestCompiledMatchesWalkerReplicaAtomics: replica-bound atomics update
+// both copies in one indivisible step and agree across engines — clean
+// when the copies agree, an ExitDetect when they diverge.
+func TestCompiledMatchesWalkerReplicaAtomics(t *testing.T) {
+	clean := runBoth(t, buildReplicaMain(30, 30), Config{})
+	if clean.Kind != ExitNormal {
+		t.Fatalf("matched replicas: %v (%s)", clean.Kind, clean.Reason)
+	}
+	if want := int64(30 + 40); clean.Code != want {
+		t.Fatalf("code = %d, want %d", clean.Code, want)
+	}
+
+	div := runBoth(t, buildReplicaMain(30, 31), Config{})
+	if div.Kind != ExitDetect {
+		t.Fatalf("diverged replicas: got %v (%s), want ExitDetect", div.Kind, div.Reason)
+	}
+}
+
+// TestReplicaAtomicKeepsCopiesInSync: after a bound RMW, the replica
+// cell holds the same updated value as the app cell.
+func TestReplicaAtomicKeepsCopiesInSync(t *testing.T) {
+	var rptr *ir.Reg
+	m := buildMain(func(b *ir.Builder) {
+		p := b.Malloc(ir.I64)
+		r := b.Malloc(ir.I64)
+		rptr = r
+		b.Store(p, b.I64(5))
+		b.Store(r, b.I64(5))
+		b.AtomicRMW(ir.AtomicAdd, p, b.I64(2))
+		app := b.Load(p)
+		rep := b.Load(r)
+		// 7*100 + 7 = 707 proves both cells advanced.
+		b.Ret(b.Add(b.Mul(app, b.I64(100)), rep))
+	})
+	bindReplicas(m, rptr)
+	res := runBoth(t, m, Config{})
+	if res.Kind != ExitNormal || res.Code != 707 {
+		t.Fatalf("got %v code %d (%s)", res.Kind, res.Code, res.Reason)
+	}
+}

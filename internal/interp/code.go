@@ -109,6 +109,15 @@ const (
 	opHeapBufSize
 	opOutput
 	opExit
+	// Atomic memory operations (sub = AtomicOp for RMW, imm = width, norm =
+	// result normalization). The optional DPMR replica slot packs as
+	// register+1 (0 = unbound) into imm2 — RMW uses all of imm2, CAS packs
+	// its New register into the low half and replica+1 into the high half.
+	// Both execute through the same VM helpers as the tree-walker, so
+	// cycles, traps, and fused replica detections replay bit-identically.
+	opAtomicRMW
+	opAtomicCAS
+	opFence
 )
 
 // Operand-width flags (decodedInstr.flags).
@@ -425,6 +434,23 @@ func (p *Program) decode(cf *compiledFunc, f *ir.Func, in ir.Instr, start map[*i
 		return decodedInstr{op: opRandInt, dst: rid(i.Dst), imm: uint64(i.Lo), imm2: uint64(i.Hi)}
 	case *ir.HeapBufSize:
 		return decodedInstr{op: opHeapBufSize, dst: rid(i.Dst), a: rid(i.Ptr)}
+	case *ir.AtomicRMW:
+		d := decodedInstr{op: opAtomicRMW, sub: uint8(i.Op), norm: normModeOf(i.Dst.Type),
+			dst: rid(i.Dst), a: rid(i.Ptr), b: rid(i.Val), imm: uint64(i.Dst.Type.Size())}
+		if i.RPtr != nil {
+			d.imm2 = uint64(rid(i.RPtr)) + 1
+		}
+		return d
+	case *ir.AtomicCAS:
+		d := decodedInstr{op: opAtomicCAS, norm: normModeOf(i.Dst.Type),
+			dst: rid(i.Dst), a: rid(i.Ptr), b: rid(i.Old), imm: uint64(i.Dst.Type.Size()),
+			imm2: uint64(uint32(rid(i.New)))}
+		if i.RPtr != nil {
+			d.imm2 |= (uint64(rid(i.RPtr)) + 1) << 32
+		}
+		return d
+	case *ir.Fence:
+		return decodedInstr{op: opFence, dst: -1, a: -1, b: -1}
 	case *ir.Output:
 		d := decodedInstr{op: opOutput, sub: uint8(i.Mode), a: rid(i.Val)}
 		if isF32(i.Val.Type) {

@@ -513,6 +513,37 @@ func (vm *VM) execCompiled(cf *compiledFunc, args []uint64) (uint64, error) {
 				code = int64(*reg(fp, in.a))
 			}
 			return 0, &ExitRequest{Code: code}
+		case opAtomicRMW:
+			// The shared helper charges cycles on the VM fields, so the
+			// local clocks flush around it exactly like opAlloc.
+			raddr, replica := uint64(0), in.imm2 != 0
+			if replica {
+				raddr = *reg(fp, int32(in.imm2-1))
+			}
+			addr, val := *reg(fp, in.a), *reg(fp, in.b)
+			flush()
+			old, err := vm.atomicRMW(ir.AtomicOp(in.sub), addr, val, int(in.imm), in.norm, raddr, replica)
+			extra = vm.cycles - steps
+			if err != nil {
+				return 0, err
+			}
+			*reg(fp, in.dst) = old
+		case opAtomicCAS:
+			raddr, replica := uint64(0), in.imm2>>32 != 0
+			if replica {
+				raddr = *reg(fp, int32(in.imm2>>32)-1)
+			}
+			addr, oldv := *reg(fp, in.a), *reg(fp, in.b)
+			newv := *reg(fp, int32(uint32(in.imm2)))
+			flush()
+			cur, err := vm.atomicCAS(addr, oldv, newv, int(in.imm), in.norm, raddr, replica)
+			extra = vm.cycles - steps
+			if err != nil {
+				return 0, err
+			}
+			*reg(fp, in.dst) = cur
+		case opFence:
+			extra += costFence
 		case opErr:
 			return 0, cf.errs[in.imm]
 		default:

@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"strconv"
 
+	"dpmr/internal/failpt"
 	"dpmr/internal/ir"
 	"dpmr/internal/mem"
 )
@@ -134,6 +135,26 @@ type Config struct {
 	// per-trial cost of allocating and zeroing multi-megabyte spaces.
 	// SpacePool's config must match Mem.
 	SpacePool *mem.Pool
+	// Yield, when non-nil, is invoked before every load, store, atomic,
+	// and fence — the cooperative scheduling points of the interleaving
+	// scheduler (internal/sched). Like Trace and OpStats it routes the
+	// run through the tree-walking loop, so the compiled dispatch never
+	// pays for the hook; the walker stays the oracle for concurrent
+	// execution.
+	Yield func()
+	// ThreadID labels this VM's accesses in the shared Space's trace
+	// recorder (see mem.TraceRec). Only meaningful under a scheduler.
+	ThreadID int
+	// SharedSpace, when non-nil, is an externally owned address space the
+	// VM joins instead of allocating its own: globals are not re-created
+	// (the primary VM of the scheduler group already laid them out and
+	// shares its symbol tables via SharedGlobals), and the space is not
+	// pooled or released by Run. Secondary VMs of a concurrent group set
+	// this together with a per-thread stack window.
+	SharedSpace *mem.Space
+	// SharedGlobals maps module-order global indices to their addresses
+	// in SharedSpace, as built by the primary VM (GlobalTable).
+	SharedGlobals []uint64
 }
 
 // Instruction cycle costs beyond the base cost of 1.
@@ -151,7 +172,15 @@ const (
 	costOutput    = 20
 	costAssert    = 2
 	costIntrinsic = 5
+	costFence     = 1
 )
+
+// YieldStallSite is the interpreter-layer failpoint: a stall scheduled
+// here delays the cooperative yield path (the handover between VMs of a
+// concurrent group), drilling scheduler robustness against slow
+// threads. Evaluated only when a Yield hook is installed, so
+// single-threaded execution never pays for it.
+var YieldStallSite = failpt.Register("interp/yield-stall", failpt.KindStall)
 
 // VM is one executing program instance.
 type VM struct {
@@ -208,12 +237,18 @@ func NewVM(m *ir.Module, cfg Config) (*VM, error) {
 		maxDep = 4096
 	}
 	var space *mem.Space
-	if cfg.SpacePool != nil {
+	switch {
+	case cfg.SharedSpace != nil:
+		if cfg.SpacePool != nil {
+			return nil, fmt.Errorf("interp: Config.SharedSpace and Config.SpacePool are mutually exclusive")
+		}
+		space = cfg.SharedSpace
+	case cfg.SpacePool != nil:
 		if got := cfg.SpacePool.Config(); got != cfg.Mem.WithDefaults() {
 			return nil, fmt.Errorf("interp: Config.SpacePool built for %+v, but Config.Mem wants %+v", got, cfg.Mem.WithDefaults())
 		}
 		space = cfg.SpacePool.Get()
-	} else {
+	default:
 		space = mem.NewSpace(cfg.Mem)
 	}
 	// On setup failure a pooled space goes straight back to the pool.
@@ -235,7 +270,7 @@ func NewVM(m *ir.Module, cfg Config) (*VM, error) {
 		if cfg.Prog.mod != m {
 			return fail(fmt.Errorf("interp: Config.Prog was compiled from module %q, not %q", cfg.Prog.mod.Name, m.Name))
 		}
-		if cfg.Trace == nil && cfg.OpStats == nil {
+		if cfg.Trace == nil && cfg.OpStats == nil && cfg.Yield == nil {
 			vm.prog = cfg.Prog
 		}
 	}
@@ -252,6 +287,21 @@ func NewVM(m *ir.Module, cfg Config) (*VM, error) {
 			vm.funcAddr[f.Name] = a
 			vm.addrFunc[a] = f
 		}
+	}
+	if cfg.SharedGlobals != nil {
+		// A secondary VM of a concurrent group: the primary already laid
+		// the globals out in the shared space and initialized them; adopt
+		// its address table instead of allocating a second copy.
+		if len(cfg.SharedGlobals) != len(m.Globals) {
+			return fail(fmt.Errorf("interp: SharedGlobals has %d entries, module has %d globals", len(cfg.SharedGlobals), len(m.Globals)))
+		}
+		vm.globalAddrs = cfg.SharedGlobals
+		if vm.globals != nil {
+			for i, g := range m.Globals {
+				vm.globals[g.Name] = vm.globalAddrs[i]
+			}
+		}
+		return vm, nil
 	}
 	// Module-order global addresses: the canonical table (compiled
 	// GlobalAddr instructions index it directly; the name map, when built,
@@ -332,11 +382,23 @@ func (vm *VM) Run() *Result {
 		release()
 		return res
 	}
-	ret, err := vm.Call(mainFn, args)
+	res = vm.RunEntry(mainFn, args)
+	// The run is over and its statistics are captured: recycle the space.
+	release()
+	return res
+}
+
+// RunEntry executes fn(args) on an initialized VM and classifies the
+// outcome exactly like Run, without the main-specific setup or space
+// recycling. The interleaving scheduler uses it to run worker-thread
+// entry points on secondary VMs of a concurrent group.
+func (vm *VM) RunEntry(fn *ir.Func, args []uint64) *Result {
+	res := &Result{}
+	ret, err := vm.Call(fn, args)
 	switch e := err.(type) {
 	case nil:
 		res.Kind = ExitNormal
-		if mainFn.Sig.Ret.Kind() != ir.KindVoid {
+		if fn.Sig.Ret.Kind() != ir.KindVoid {
 			res.Code = int64(ret)
 		}
 	case *mem.Trap:
@@ -361,8 +423,6 @@ func (vm *VM) Run() *Result {
 	res.FaultSeen = vm.faultSeen
 	res.FaultCycle = vm.faultCycle
 	res.Mem = vm.Space.Stats()
-	// The run is over and its statistics are captured: recycle the space.
-	release()
 	return res
 }
 
@@ -542,6 +602,7 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 				return 0, trap
 			}
 		case *ir.Load:
+			vm.yield()
 			addr := regs[i.Ptr.ID]
 			n := i.Dst.Type.Size()
 			vm.cycles += costLoadBase + vm.Space.AccessCost(addr)
@@ -551,6 +612,7 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 			}
 			regs[i.Dst.ID] = normLoaded(raw, i.Dst.Type)
 		case *ir.Store:
+			vm.yield()
 			addr := regs[i.Ptr.ID]
 			n := i.Val.Type.Size()
 			vm.cycles += costStoreBase + vm.Space.AccessCost(addr)
@@ -656,6 +718,33 @@ func (vm *VM) Call(fn *ir.Func, args []uint64) (uint64, error) {
 		case *ir.Output:
 			vm.cycles += costOutput
 			vm.emitOutput(i, regs[i.Val.ID])
+		case *ir.AtomicRMW:
+			vm.yield()
+			raddr := uint64(0)
+			if i.RPtr != nil {
+				raddr = regs[i.RPtr.ID]
+			}
+			old, err := vm.atomicRMW(i.Op, regs[i.Ptr.ID], regs[i.Val.ID],
+				i.Dst.Type.Size(), normModeOf(i.Dst.Type), raddr, i.RPtr != nil)
+			if err != nil {
+				return 0, err
+			}
+			regs[i.Dst.ID] = old
+		case *ir.AtomicCAS:
+			vm.yield()
+			raddr := uint64(0)
+			if i.RPtr != nil {
+				raddr = regs[i.RPtr.ID]
+			}
+			old, err := vm.atomicCAS(regs[i.Ptr.ID], regs[i.Old.ID], regs[i.New.ID],
+				i.Dst.Type.Size(), normModeOf(i.Dst.Type), raddr, i.RPtr != nil)
+			if err != nil {
+				return 0, err
+			}
+			regs[i.Dst.ID] = old
+		case *ir.Fence:
+			vm.yield()
+			vm.cycles += costFence
 		case *ir.Exit:
 			code := int64(0)
 			if i.Val != nil {
@@ -698,6 +787,107 @@ func (vm *VM) allocMem(kind ir.AllocKind, count int64, elemSize uint64) (uint64,
 		return 0, trap
 	}
 	return addr, nil
+}
+
+// yield hands control to the interleaving scheduler at a cooperative
+// scheduling point. No-op (one nil check) outside concurrent execution.
+func (vm *VM) yield() {
+	if vm.cfg.Yield == nil {
+		return
+	}
+	if act := failpt.Eval(YieldStallSite); act != nil {
+		act.Sleep()
+	}
+	vm.cfg.Yield()
+}
+
+// GlobalTable exposes the module-order global address table, which the
+// scheduler hands to secondary VMs joining this VM's address space
+// (Config.SharedGlobals).
+func (vm *VM) GlobalTable() []uint64 { return vm.globalAddrs }
+
+// atomicCombine evaluates an atomic read-modify-write's combining
+// function on the value read.
+func atomicCombine(op ir.AtomicOp, old, val uint64) uint64 {
+	switch op {
+	case ir.AtomicAdd:
+		return old + val
+	case ir.AtomicAnd:
+		return old & val
+	case ir.AtomicOr:
+		return old | val
+	case ir.AtomicXor:
+		return old ^ val
+	default: // AtomicXchg
+		return val
+	}
+}
+
+// atomicRMW is the atomic read-modify-write path shared by the
+// tree-walker and the compiled loop: identical cycle charges, traps,
+// and replica handling, so compiled and reference execution stay
+// bit-identical. The whole operation — including the replica update and
+// check when bound — is one indivisible step: the caller yields before
+// it, never inside. A replica mismatch on the value read is a DPMR
+// detection fused into the atomic (see ir.AtomicRMW).
+func (vm *VM) atomicRMW(op ir.AtomicOp, addr, val uint64, n int, mode uint8, raddr uint64, replica bool) (uint64, error) {
+	vm.cycles += costLoadBase + costStoreBase + vm.Space.AccessCost(addr)
+	raw, trap := vm.Space.Load(addr, n)
+	if trap != nil {
+		return 0, trap
+	}
+	old := normReg(raw, mode)
+	if trap := vm.Space.Store(addr, n, atomicCombine(op, old, val)); trap != nil {
+		return 0, trap
+	}
+	if replica {
+		vm.cycles += costLoadBase + costStoreBase + costAssert + vm.Space.AccessCost(raddr)
+		rraw, trap := vm.Space.Load(raddr, n)
+		if trap != nil {
+			return 0, trap
+		}
+		rold := normReg(rraw, mode)
+		if rold != old {
+			return 0, &Detection{Reason: fmt.Sprintf("atomic replica mismatch: %#x != %#x", old, rold)}
+		}
+		if trap := vm.Space.Store(raddr, n, atomicCombine(op, rold, val)); trap != nil {
+			return 0, trap
+		}
+	}
+	return old, nil
+}
+
+// atomicCAS is the compare-and-swap path shared by both loops; see
+// atomicRMW for the replica semantics.
+func (vm *VM) atomicCAS(addr, oldv, newv uint64, n int, mode uint8, raddr uint64, replica bool) (uint64, error) {
+	vm.cycles += costLoadBase + costStoreBase + vm.Space.AccessCost(addr)
+	raw, trap := vm.Space.Load(addr, n)
+	if trap != nil {
+		return 0, trap
+	}
+	cur := normReg(raw, mode)
+	if cur == oldv {
+		if trap := vm.Space.Store(addr, n, newv); trap != nil {
+			return 0, trap
+		}
+	}
+	if replica {
+		vm.cycles += costLoadBase + costStoreBase + costAssert + vm.Space.AccessCost(raddr)
+		rraw, trap := vm.Space.Load(raddr, n)
+		if trap != nil {
+			return 0, trap
+		}
+		rcur := normReg(rraw, mode)
+		if rcur != cur {
+			return 0, &Detection{Reason: fmt.Sprintf("atomic replica mismatch: %#x != %#x", cur, rcur)}
+		}
+		if rcur == oldv {
+			if trap := vm.Space.Store(raddr, n, newv); trap != nil {
+				return 0, trap
+			}
+		}
+	}
+	return cur, nil
 }
 
 func (vm *VM) emitOutput(i *ir.Output, raw uint64) {

@@ -122,6 +122,20 @@ func appendRefs(refs []regRef, in *decodedInstr, calls []callSite) []regRef {
 			def(int32(in.imm2&0xFFFF)))
 	case opAlloc:
 		add(use(in.a), def(in.dst))
+	case opAtomicRMW:
+		add(use(in.a), use(in.b))
+		if in.imm2 != 0 {
+			add(use(int32(in.imm2 - 1)))
+		}
+		add(def(in.dst))
+	case opAtomicCAS:
+		add(use(in.a), use(in.b), use(int32(uint32(in.imm2))))
+		if r := in.imm2 >> 32; r != 0 {
+			add(use(int32(r - 1)))
+		}
+		add(def(in.dst))
+	case opFence:
+		// no registers
 	case opFree, opOutput, opCondBr, opRet, opExit:
 		add(use(in.a))
 	case opAssert:
@@ -433,6 +447,20 @@ func remapInstr(in *decodedInstr, mapReg func(int32) int32) {
 		in.dst, in.a, in.b = mapReg(in.dst), mapReg(in.a), mapReg(in.b)
 		in.imm2 = in.imm2&^0xFFFFFFFFFFFF |
 			mapU16(in.imm2) | mapU16(in.imm2>>16)<<16 | mapU16(in.imm2>>32)<<32
+	case opAtomicRMW:
+		in.dst, in.a, in.b = mapReg(in.dst), mapReg(in.a), mapReg(in.b)
+		if in.imm2 != 0 {
+			in.imm2 = uint64(uint32(mapReg(int32(in.imm2-1)))) + 1
+		}
+	case opAtomicCAS:
+		in.dst, in.a, in.b = mapReg(in.dst), mapReg(in.a), mapReg(in.b)
+		packed := uint64(uint32(mapReg(int32(uint32(in.imm2)))))
+		if r := in.imm2 >> 32; r != 0 {
+			packed |= (uint64(uint32(mapReg(int32(r-1)))) + 1) << 32
+		}
+		in.imm2 = packed
+	case opFence:
+		// no registers
 	case opCall:
 		in.dst = mapReg(in.dst) // args live in the callSite, remapped once
 	case opCallIndirect:

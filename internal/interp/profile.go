@@ -24,7 +24,7 @@ import (
 )
 
 // numOpcodes bounds the opcode enumeration for flat histogram arrays.
-const numOpcodes = int(opExit) + 1
+const numOpcodes = int(opFence) + 1
 
 // opNames names each opcode for -opstats output and diagnostics.
 var opNames = [numOpcodes]string{
@@ -84,6 +84,9 @@ var opNames = [numOpcodes]string{
 	opHeapBufSize:    "heapbufsize",
 	opOutput:         "output",
 	opExit:           "exit",
+	opAtomicRMW:      "atomicrmw",
+	opAtomicCAS:      "atomiccas",
+	opFence:          "fence",
 }
 
 func (op opcode) String() string {
@@ -242,6 +245,12 @@ func opcodeOfInstr(in ir.Instr) opcode {
 		return opOutput
 	case *ir.Exit:
 		return opExit
+	case *ir.AtomicRMW:
+		return opAtomicRMW
+	case *ir.AtomicCAS:
+		return opAtomicCAS
+	case *ir.Fence:
+		return opFence
 	}
 	return opErr
 }

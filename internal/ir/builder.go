@@ -314,6 +314,33 @@ func (b *Builder) OutInt(v *Reg) { b.Out(v, OutInt) }
 // Exit emits program termination with code v.
 func (b *Builder) Exit(v *Reg) { b.emit(&Exit{Val: v}) }
 
+// AtomicRMW emits an atomic read-modify-write on the integer pointee of
+// p, returning the value read (the "old" value).
+func (b *Builder) AtomicRMW(op AtomicOp, p, v *Reg) *Reg {
+	elem := p.Elem()
+	if elem.Kind() != KindInt {
+		panic(fmt.Sprintf("ir: atomicrmw on non-integer memory through %s", p))
+	}
+	r := b.tmp(elem)
+	b.emit(&AtomicRMW{Dst: r, Ptr: p, Val: v, Op: op})
+	return r
+}
+
+// AtomicCAS emits an atomic compare-and-swap on the integer pointee of
+// p, returning the value read (equal to old on success).
+func (b *Builder) AtomicCAS(p, old, new *Reg) *Reg {
+	elem := p.Elem()
+	if elem.Kind() != KindInt {
+		panic(fmt.Sprintf("ir: atomiccas on non-integer memory through %s", p))
+	}
+	r := b.tmp(elem)
+	b.emit(&AtomicCAS{Dst: r, Ptr: p, Old: old, New: new})
+	return r
+}
+
+// Fence emits a scheduler-visible memory fence.
+func (b *Builder) Fence() { b.emit(&Fence{}) }
+
 // RandInt emits a deterministic-PRNG random draw in [lo, hi].
 func (b *Builder) RandInt(lo, hi int64) *Reg {
 	r := b.tmp(I64)

@@ -182,6 +182,12 @@ func cloneInstr(in Instr, r func(*Reg) *Reg, bl func(*Block) *Block) Instr {
 		return &Output{Val: r(i.Val), Mode: i.Mode}
 	case *Exit:
 		return &Exit{Val: r(i.Val)}
+	case *AtomicRMW:
+		return &AtomicRMW{Dst: r(i.Dst), Ptr: r(i.Ptr), Val: r(i.Val), Op: i.Op, RPtr: r(i.RPtr)}
+	case *AtomicCAS:
+		return &AtomicCAS{Dst: r(i.Dst), Ptr: r(i.Ptr), Old: r(i.Old), New: r(i.New), RPtr: r(i.RPtr)}
+	case *Fence:
+		return &Fence{}
 	default:
 		panic(fmt.Sprintf("ir: cloneInstr: unknown instruction %T", in))
 	}

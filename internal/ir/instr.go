@@ -168,6 +168,10 @@ func Def(in Instr) *Reg {
 		return i.Dst
 	case *HeapBufSize:
 		return i.Dst
+	case *AtomicRMW:
+		return i.Dst
+	case *AtomicCAS:
+		return i.Dst
 	}
 	return nil
 }
@@ -237,6 +241,55 @@ type Load struct{ Dst, Ptr *Reg }
 
 // Store stores the scalar Val to memory at Ptr.
 type Store struct{ Ptr, Val *Reg }
+
+// AtomicOp enumerates atomic read-modify-write combining operations.
+type AtomicOp uint8
+
+// Atomic combining kinds. Xchg ignores the old value and stores Val
+// unconditionally.
+const (
+	AtomicAdd AtomicOp = iota + 1
+	AtomicAnd
+	AtomicOr
+	AtomicXor
+	AtomicXchg
+)
+
+var atomicNames = map[AtomicOp]string{
+	AtomicAdd: "add", AtomicAnd: "and", AtomicOr: "or", AtomicXor: "xor",
+	AtomicXchg: "xchg",
+}
+
+func (k AtomicOp) String() string { return atomicNames[k] }
+
+// AtomicRMW atomically loads the integer at Ptr, combines it with Val
+// per Op, stores the result back, and sets Dst to the value read. The
+// load-modify-store is one indivisible step: the interleaving scheduler
+// never yields inside it, only before it. RPtr, when non-nil, is a
+// replica slot bound by the DPMR transformation: the same indivisible
+// step performs the identical update on *RPtr and traps with a DPMR
+// detection if the two loaded values differ — fusing the check into the
+// atomic keeps the instrumentation itself immune to interleaving.
+type AtomicRMW struct {
+	Dst, Ptr, Val *Reg
+	Op            AtomicOp
+	RPtr          *Reg // nil until the transform binds replica memory
+}
+
+// AtomicCAS atomically loads the integer at Ptr, compares it with Old,
+// stores New when they are equal, and sets Dst to the value read either
+// way (callers detect success by comparing Dst with Old). RPtr is the
+// DPMR replica binding, as in AtomicRMW.
+type AtomicCAS struct {
+	Dst, Ptr, Old, New *Reg
+	RPtr               *Reg
+}
+
+// Fence is a scheduler-visible memory fence. Memory state is unchanged
+// (the interpreter is sequentially consistent already); under the
+// interleaving scheduler it is a pure yield point, letting workloads
+// mark back-off spins without touching shared memory.
+type Fence struct{}
 
 // FieldAddr computes Dst = &(Ptr->field). Ptr must point to a struct (or a
 // union, in which case Field selects the union member and the offset is
@@ -380,6 +433,9 @@ func (*RandInt) isInstr()     {}
 func (*HeapBufSize) isInstr() {}
 func (*Output) isInstr()      {}
 func (*Exit) isInstr()        {}
+func (*AtomicRMW) isInstr()   {}
+func (*AtomicCAS) isInstr()   {}
+func (*Fence) isInstr()       {}
 
 func (i *ConstInt) String() string {
 	return fmt.Sprintf("%s = const %s %d", i.Dst, i.Dst.Type, i.Val)
@@ -471,6 +527,20 @@ func (i *Exit) String() string {
 	}
 	return fmt.Sprintf("exit %s", i.Val)
 }
+
+func (i *AtomicRMW) String() string {
+	if i.RPtr != nil {
+		return fmt.Sprintf("%s = atomicrmw %s %s, %s, replica %s", i.Dst, i.Op, i.Ptr, i.Val, i.RPtr)
+	}
+	return fmt.Sprintf("%s = atomicrmw %s %s, %s", i.Dst, i.Op, i.Ptr, i.Val)
+}
+func (i *AtomicCAS) String() string {
+	if i.RPtr != nil {
+		return fmt.Sprintf("%s = atomiccas %s, %s, %s, replica %s", i.Dst, i.Ptr, i.Old, i.New, i.RPtr)
+	}
+	return fmt.Sprintf("%s = atomiccas %s, %s, %s", i.Dst, i.Ptr, i.Old, i.New)
+}
+func (i *Fence) String() string { return "fence" }
 
 // IsTerminator reports whether in ends a basic block.
 func IsTerminator(in Instr) bool {

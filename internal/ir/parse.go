@@ -723,6 +723,61 @@ func (bp *bodyParser) parseInstr(line string) error {
 			return err
 		}
 		emit(&HeapBufSize{Dst: dst, Ptr: ptr})
+	case "atomicrmw":
+		opText, ops, _ := strings.Cut(rest, " ")
+		akind, ok := atomicByName[opText]
+		if !ok {
+			return fmt.Errorf("unknown atomic operation %q", opText)
+		}
+		ops, rptr, err := bp.cutReplica(ops)
+		if err != nil {
+			return err
+		}
+		ptr, val, err := bp.twoRegsOrdered(ops)
+		if err != nil {
+			return err
+		}
+		elem, err := pointee(ptr)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, elem)
+		if err != nil {
+			return err
+		}
+		emit(&AtomicRMW{Dst: dst, Ptr: ptr, Val: val, Op: akind, RPtr: rptr})
+	case "atomiccas":
+		ops, rptr, err := bp.cutReplica(rest)
+		if err != nil {
+			return err
+		}
+		parts := splitTopLevel(ops, ',')
+		if len(parts) != 3 {
+			return fmt.Errorf("bad atomiccas")
+		}
+		ptr, err := bp.lookup(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return err
+		}
+		oldV, err := bp.lookup(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return err
+		}
+		newV, err := bp.lookup(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return err
+		}
+		elem, err := pointee(ptr)
+		if err != nil {
+			return err
+		}
+		dst, err := bp.define(dstTok, elem)
+		if err != nil {
+			return err
+		}
+		emit(&AtomicCAS{Dst: dst, Ptr: ptr, Old: oldV, New: newV, RPtr: rptr})
+	case "fence":
+		emit(&Fence{})
 	case "output":
 		modeText, valTok, ok := strings.Cut(rest, " ")
 		if !ok {
@@ -854,6 +909,28 @@ var cmpByName = func() map[string]CmpKind {
 	}
 	return out
 }()
+
+var atomicByName = func() map[string]AtomicOp {
+	out := map[string]AtomicOp{}
+	for k, v := range atomicNames {
+		out[v] = k
+	}
+	return out
+}()
+
+// cutReplica strips a trailing ", replica %reg" from an atomic
+// instruction's operand list, resolving the replica register.
+func (bp *bodyParser) cutReplica(s string) (string, *Reg, error) {
+	ops, repTok, ok := cutTopLevelStr(s, ", replica ")
+	if !ok {
+		return s, nil, nil
+	}
+	r, err := bp.lookup(strings.TrimSpace(repTok))
+	if err != nil {
+		return "", nil, err
+	}
+	return ops, r, nil
+}
 
 // ---------------------------------------------------------------------------
 // Type expressions

@@ -248,6 +248,45 @@ func checkInstr(m *Module, f *Func, in Instr) string {
 		if i.Dst.Type.Kind() != KindInt {
 			return "randint into non-integer register"
 		}
+	case *AtomicRMW:
+		if p := checkAtomicSlot(i.Ptr, i.Dst, i.RPtr); p != "" {
+			return p
+		}
+		if !TypesEqual(i.Val.Type, i.Dst.Type) {
+			return "atomicrmw operand type differs from loaded type"
+		}
+		if atomicNames[i.Op] == "" {
+			return "atomicrmw with unknown operation"
+		}
+	case *AtomicCAS:
+		if p := checkAtomicSlot(i.Ptr, i.Dst, i.RPtr); p != "" {
+			return p
+		}
+		if !TypesEqual(i.Old.Type, i.Dst.Type) || !TypesEqual(i.New.Type, i.Dst.Type) {
+			return "atomiccas operand type differs from loaded type"
+		}
+	}
+	return ""
+}
+
+// checkAtomicSlot validates the shared operands of the atomic
+// instructions: an integer slot (atomics never operate on pointers or
+// floats — nothing DPMR's pointer companions would have to mirror
+// atomically), a matching destination, and a same-typed replica slot
+// when one is bound.
+func checkAtomicSlot(ptr, dst, rptr *Reg) string {
+	if !IsPointer(ptr.Type) {
+		return "atomic through non-pointer"
+	}
+	elem := ptr.Elem()
+	if elem.Kind() != KindInt {
+		return "atomic on non-integer memory"
+	}
+	if !TypesEqual(dst.Type, elem) {
+		return "atomic result type differs from pointee"
+	}
+	if rptr != nil && !TypesEqual(rptr.Type, ptr.Type) {
+		return "atomic replica slot type differs from application slot"
 	}
 	return ""
 }

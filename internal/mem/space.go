@@ -96,6 +96,16 @@ type Space struct {
 	stackTop  uint64
 	sp        uint64
 
+	// Concurrent execution state: the stack segment can be partitioned
+	// into per-thread windows (PartitionStack/SwitchStack), in which case
+	// spLo is the current window's floor instead of stackBase, and an
+	// attached recorder observes every scalar access to the shared tiers
+	// (globals + heap; thread-private stacks are not traced).
+	spLo    uint64
+	windows []stackWin
+	curWin  int
+	trace   *TraceRec
+
 	// Dirty watermarks for Reset: every byte 0 of data outside
 	// [globalsBase, globalsEnd), [heapBase, heapWriteHi), and
 	// [stackWriteLo, stackTop) is still in its pristine zero state. All
@@ -131,6 +141,7 @@ func NewSpace(cfg Config) *Space {
 		stackBase:    stackBase,
 		stackTop:     stackTop,
 		sp:           stackTop,
+		spLo:         stackBase,
 		heapWriteHi:  heapBase,
 		stackWriteLo: stackTop,
 	}
@@ -177,6 +188,10 @@ func (s *Space) Reset() {
 	clear(s.data[s.stackWriteLo:s.stackTop])
 	s.globalsCur = s.globalsBase
 	s.sp = s.stackTop
+	s.spLo = s.stackBase
+	s.windows = nil
+	s.curWin = 0
+	s.trace = nil
 	s.heapWriteHi = s.heapBase
 	s.stackWriteLo = s.stackTop
 	s.alloc.reset()
@@ -220,17 +235,23 @@ func (s *Space) Load(addr uint64, n int) (uint64, *Trap) {
 	}
 	s.stats.Loads++
 	b := s.data[addr : addr+uint64(n)]
+	var v uint64
 	switch n {
 	case 1:
-		return uint64(b[0]), nil
+		v = uint64(b[0])
 	case 2:
-		return uint64(binary.LittleEndian.Uint16(b)), nil
+		v = uint64(binary.LittleEndian.Uint16(b))
 	case 4:
-		return uint64(binary.LittleEndian.Uint32(b)), nil
+		v = uint64(binary.LittleEndian.Uint32(b))
 	case 8:
-		return binary.LittleEndian.Uint64(b), nil
+		v = binary.LittleEndian.Uint64(b)
+	default:
+		return 0, &Trap{Reason: fmt.Sprintf("load of unsupported width %d", n), Addr: addr}
 	}
-	return 0, &Trap{Reason: fmt.Sprintf("load of unsupported width %d", n), Addr: addr}
+	if s.trace != nil && addr < s.stackBase {
+		s.trace.record(TraceLoad, addr, n, v)
+	}
+	return v, nil
 }
 
 // LoadCosted is AccessCost followed by Load, fused into one call for the
@@ -256,17 +277,23 @@ func (s *Space) LoadCosted(addr uint64, n int) (val, cost uint64, trap *Trap) {
 	}
 	s.stats.Loads++
 	b := s.data[addr : addr+uint64(n)]
+	var v uint64
 	switch n {
 	case 1:
-		return uint64(b[0]), cost, nil
+		v = uint64(b[0])
 	case 2:
-		return uint64(binary.LittleEndian.Uint16(b)), cost, nil
+		v = uint64(binary.LittleEndian.Uint16(b))
 	case 4:
-		return uint64(binary.LittleEndian.Uint32(b)), cost, nil
+		v = uint64(binary.LittleEndian.Uint32(b))
 	case 8:
-		return binary.LittleEndian.Uint64(b), cost, nil
+		v = binary.LittleEndian.Uint64(b)
+	default:
+		return 0, cost, &Trap{Reason: fmt.Sprintf("load of unsupported width %d", n), Addr: addr}
 	}
-	return 0, cost, &Trap{Reason: fmt.Sprintf("load of unsupported width %d", n), Addr: addr}
+	if s.trace != nil && addr < s.stackBase {
+		s.trace.record(TraceLoad, addr, n, v)
+	}
+	return v, cost, nil
 }
 
 // Store writes an n-byte little-endian scalar at addr.
@@ -288,6 +315,9 @@ func (s *Space) Store(addr uint64, n int, val uint64) *Trap {
 		binary.LittleEndian.PutUint64(b, val)
 	default:
 		return &Trap{Reason: fmt.Sprintf("store of unsupported width %d", n), Addr: addr}
+	}
+	if s.trace != nil && addr < s.stackBase {
+		s.trace.record(TraceStore, addr, n, maskWidth(val, n))
 	}
 	return nil
 }
@@ -323,6 +353,9 @@ func (s *Space) StoreCosted(addr uint64, n int, val uint64) (cost uint64, trap *
 		binary.LittleEndian.PutUint64(b, val)
 	default:
 		return cost, &Trap{Reason: fmt.Sprintf("store of unsupported width %d", n), Addr: addr}
+	}
+	if s.trace != nil && addr < s.stackBase {
+		s.trace.record(TraceStore, addr, n, maskWidth(val, n))
 	}
 	return cost, nil
 }
@@ -390,7 +423,7 @@ func (s *Space) Alloca(size uint64) (uint64, *Trap) {
 		size = 1
 	}
 	newSP := (s.sp - size) &^ 7
-	if newSP < s.stackBase || newSP > s.sp {
+	if newSP < s.spLo || newSP > s.sp {
 		return 0, &Trap{Reason: "stack overflow", Addr: newSP}
 	}
 	s.sp = newSP
@@ -399,6 +432,72 @@ func (s *Space) Alloca(size uint64) (uint64, *Trap) {
 
 // StackPointer exposes the current stack pointer (for diagnostics).
 func (s *Space) StackPointer() uint64 { return s.sp }
+
+// ---------------------------------------------------------------------------
+// Stack windows (concurrent execution)
+
+// stackWin is one thread's slice of the stack segment.
+type stackWin struct {
+	lo, top uint64
+	sp      uint64
+}
+
+// PartitionStack splits the stack segment into n equal per-thread
+// windows and selects window 0. Each window is an independent downward-
+// growing stack with its own pointer; the interleaving scheduler calls
+// SwitchStack before resuming a thread so allocas land in that thread's
+// window while the globals and heap tiers stay fully shared. Thread
+// stacks remain mapped for every thread (like a real process), so a
+// wild cross-stack access reads or corrupts rather than trapping.
+// Partitioning requires an empty stack (no live frames) and is undone
+// by Reset.
+func (s *Space) PartitionStack(n int) error {
+	if n < 1 {
+		return fmt.Errorf("mem: PartitionStack with %d windows", n)
+	}
+	if s.sp != s.stackTop || s.windows != nil {
+		return fmt.Errorf("mem: PartitionStack on a live stack")
+	}
+	size := ((s.stackTop - s.stackBase) / uint64(n)) &^ 7
+	if size < 64 {
+		return fmt.Errorf("mem: stack too small for %d windows", n)
+	}
+	s.windows = make([]stackWin, n)
+	for i := range s.windows {
+		lo := s.stackBase + uint64(i)*size
+		s.windows[i] = stackWin{lo: lo, top: lo + size, sp: lo + size}
+	}
+	s.curWin = 0
+	s.spLo, s.sp = s.windows[0].lo, s.windows[0].sp
+	return nil
+}
+
+// SwitchStack makes thread tid's stack window current, saving the
+// previous window's stack pointer. No-op on an unpartitioned space.
+func (s *Space) SwitchStack(tid int) {
+	if s.windows == nil || tid == s.curWin {
+		return
+	}
+	s.windows[s.curWin].sp = s.sp
+	w := &s.windows[tid]
+	s.curWin = tid
+	s.spLo, s.sp = w.lo, w.sp
+}
+
+// SetTrace attaches (or, with nil, detaches) a shared-tier access
+// recorder. Tracing is purely observational: costs, statistics, and
+// trap behavior are unchanged.
+func (s *Space) SetTrace(t *TraceRec) { s.trace = t }
+
+// maskWidth truncates val to an n-byte store's significant bits, so
+// recorded store values compare equal to what a same-width load of the
+// slot returns.
+func maskWidth(val uint64, n int) uint64 {
+	if n >= 8 {
+		return val
+	}
+	return val & (1<<(uint(n)*8) - 1)
+}
 
 // ---------------------------------------------------------------------------
 // Heap

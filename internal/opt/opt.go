@@ -299,6 +299,16 @@ func uses(in ir.Instr, buf []*ir.Reg) []*ir.Reg {
 		if i.Val != nil {
 			buf = append(buf, i.Val)
 		}
+	case *ir.AtomicRMW:
+		buf = append(buf, i.Ptr, i.Val)
+		if i.RPtr != nil {
+			buf = append(buf, i.RPtr)
+		}
+	case *ir.AtomicCAS:
+		buf = append(buf, i.Ptr, i.Old, i.New)
+		if i.RPtr != nil {
+			buf = append(buf, i.RPtr)
+		}
 	}
 	return buf
 }

@@ -1,0 +1,271 @@
+// Package sched runs concurrent multi-VM workloads under a seeded,
+// deterministic interleaving scheduler.
+//
+// A concurrent group is N interpreter VMs sharing one mem.Space: thread 0
+// runs main(), threads 1..N-1 run worker(tid). Execution is cooperative —
+// every VM yields at each load, store, atomic, and fence (Config.Yield in
+// interp) — and strictly serialized: exactly one VM executes at any
+// instant, with control handed over through unbuffered channels, so the
+// group contains no Go-level data races even though the simulated threads
+// race freely over shared simulated memory. At every yield the scheduler
+// draws the next runnable thread from a PRNG seeded with the schedule
+// seed, making the interleaving a pure function of (seed, program): the
+// same trial replays bit-identically at any host parallelism, which is
+// what extends the harness's byte-identity guarantees (shard/merge/
+// journal/coordinator) to the concurrent kind.
+//
+// The first thread to exit abnormally (trap, DPMR detection, timeout)
+// aborts the group: remaining threads are resumed once to unwind via a
+// sentinel panic and the failing thread's exit classifies the trial.
+// Because the walker is the oracle for concurrent execution (the Yield
+// hook routes every VM through the tree-walking loop), compiled-engine
+// divergence cannot leak into concurrent results.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dpmr/internal/interp"
+	"dpmr/internal/ir"
+	"dpmr/internal/mem"
+)
+
+// WorkerFunc is the entry point worker threads run: worker(tid).
+const WorkerFunc = "worker"
+
+// Config configures one concurrent group run.
+type Config struct {
+	// Threads is the total VM count (>= 1): one main plus Threads-1
+	// workers. A module without a worker function admits only Threads=1.
+	Threads int
+	// Seed seeds the interleaving PRNG. It is independent of the VM
+	// PRNG seed (Config.VM.Seed): the same program can be explored under
+	// many schedules and vice versa.
+	Seed int64
+	// TraceLimit caps each thread's recorded shared-tier accesses
+	// (0 = mem.NewTraceRec's default). Overflow marks the trace
+	// truncated rather than failing the run.
+	TraceLimit int
+	// TraceDisabled skips trace recording entirely (benchmarks).
+	TraceDisabled bool
+	// VM is the per-thread VM configuration. Mem sizes the one shared
+	// space; Seed seeds thread 0, with worker seeds derived per thread;
+	// SpacePool, SharedSpace, SharedGlobals, Yield, and ThreadID are
+	// managed by the scheduler and must be unset. StepLimit bounds each
+	// thread separately.
+	VM interp.Config
+}
+
+// Result is the outcome of one concurrent group run.
+type Result struct {
+	// Combined classifies the whole group: the first abnormal thread
+	// exit, or a normal exit carrying thread 0's code. Steps and Cycles
+	// sum over threads (interleaving is serial, so the sum is the
+	// group's clock); Output concatenates per-thread output in thread
+	// order; Mem is the shared space's statistics.
+	Combined *interp.Result
+	// Threads holds each thread's own result; aborted threads (unwound
+	// after another thread failed first) are nil.
+	Threads []*interp.Result
+	// FailedThread is the thread whose exit classified an abnormal
+	// Combined (-1 when the group exited normally).
+	FailedThread int
+	// Trace is the shared-tier access trace (nil when disabled).
+	Trace *mem.TraceRec
+	// Switches counts scheduler handovers (context switches).
+	Switches uint64
+}
+
+// abortUnwind is the sentinel panic that unwinds a parked thread after
+// the group has aborted.
+type abortUnwind struct{}
+
+// thread is one scheduled VM's control block.
+type thread struct {
+	id     int
+	resume chan struct{}
+	parked chan struct{} // signaled at every yield and at exit
+	done   bool
+	res    *interp.Result
+}
+
+// yield hands control back to the scheduler; it returns when the
+// scheduler next picks this thread, or panics the abort sentinel if the
+// group failed in between.
+func (t *thread) yield(aborted *bool) {
+	t.parked <- struct{}{}
+	<-t.resume
+	if *aborted {
+		panic(abortUnwind{})
+	}
+}
+
+// derivedSeed spreads the base VM seed across worker threads (splitmix
+// increment) so threads draw independent RandInt streams.
+func derivedSeed(base int64, tid int) int64 {
+	return base + int64(tid)*-0x61C8864680B583EB
+}
+
+// Run executes one concurrent group of m and returns its outcome. Setup
+// failures (bad config, missing worker function) are reported as an
+// ExitError Combined result, mirroring interp.Run.
+func Run(m *ir.Module, cfg Config) *Result {
+	fail := func(format string, args ...any) *Result {
+		return &Result{
+			Combined:     &interp.Result{Kind: interp.ExitError, Reason: fmt.Sprintf(format, args...)},
+			FailedThread: -1,
+		}
+	}
+	n := cfg.Threads
+	if n < 1 {
+		return fail("sched: Threads must be >= 1, got %d", n)
+	}
+	if cfg.VM.SharedSpace != nil || cfg.VM.SharedGlobals != nil || cfg.VM.SpacePool != nil || cfg.VM.Yield != nil {
+		return fail("sched: Config.VM space and yield fields are scheduler-managed")
+	}
+	mainFn := m.Func("main")
+	if mainFn == nil {
+		return fail("sched: no main function")
+	}
+	workerFn := m.Func(WorkerFunc)
+	if n > 1 {
+		if workerFn == nil {
+			return fail("sched: %d threads but module has no %s function", n, WorkerFunc)
+		}
+		if len(workerFn.Params) != 1 {
+			return fail("sched: %s must take one (tid) parameter, has %d", WorkerFunc, len(workerFn.Params))
+		}
+	}
+
+	space := mem.NewSpace(cfg.VM.Mem)
+	if err := space.PartitionStack(n); err != nil {
+		return fail("sched: %v", err)
+	}
+	var trace *mem.TraceRec
+	if !cfg.TraceDisabled {
+		trace = mem.NewTraceRec(n, cfg.TraceLimit)
+		space.SetTrace(trace)
+	}
+
+	aborted := false
+	threads := make([]*thread, n)
+	vms := make([]*interp.VM, n)
+	for tid := 0; tid < n; tid++ {
+		t := &thread{id: tid, resume: make(chan struct{}), parked: make(chan struct{})}
+		threads[tid] = t
+		vcfg := cfg.VM
+		vcfg.SharedSpace = space
+		vcfg.ThreadID = tid
+		vcfg.Yield = func() { t.yield(&aborted) }
+		if tid > 0 {
+			vcfg.Seed = derivedSeed(cfg.VM.Seed, tid)
+			vcfg.SharedGlobals = vms[0].GlobalTable()
+		}
+		// Globals must land in thread 0's part of the setup, so build VMs
+		// in thread order with window 0 current (allocas during argv
+		// materialization land in thread 0's window; workloads take no
+		// args, so in practice setup allocates globals only).
+		vm, err := interp.NewVM(m, vcfg)
+		if err != nil {
+			return fail("sched: thread %d: %v", tid, err)
+		}
+		vms[tid] = vm
+	}
+
+	// One goroutine per thread, each parked until its first resume. The
+	// unbuffered handover (parked/resume) means the scheduler and all
+	// threads form a single logical thread of control.
+	for tid := range threads {
+		t := threads[tid]
+		vm := vms[tid]
+		go func() {
+			<-t.resume
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortUnwind); !ok {
+						panic(r)
+					}
+					t.res = nil // unwound after the group aborted
+				}
+				t.done = true
+				t.parked <- struct{}{}
+			}()
+			if t.id == 0 {
+				t.res = vm.Run()
+			} else {
+				t.res = vm.RunEntry(workerFn, []uint64{uint64(t.id)})
+			}
+		}()
+	}
+
+	// The interleaving loop: repeatedly pick a live thread, hand it the
+	// space (stack window + trace labeling), run it to its next yield.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	live := make([]*thread, n)
+	copy(live, threads)
+	res := &Result{Threads: make([]*interp.Result, n), FailedThread: -1, Trace: trace}
+	runOne := func(t *thread) {
+		space.SwitchStack(t.id)
+		if trace != nil {
+			trace.SetThread(t.id)
+		}
+		t.resume <- struct{}{}
+		<-t.parked
+		res.Switches++
+	}
+	for len(live) > 0 {
+		i := rng.Intn(len(live))
+		t := live[i]
+		runOne(t)
+		if !t.done {
+			continue
+		}
+		live = append(live[:i], live[i+1:]...)
+		res.Threads[t.id] = t.res
+		if t.res != nil && t.res.Kind != interp.ExitNormal && !aborted {
+			// First abnormal exit: classify the group and unwind the rest.
+			aborted = true
+			res.FailedThread = t.id
+			for len(live) > 0 {
+				u := live[0]
+				live = live[1:]
+				runOne(u) // resumes into the abort sentinel
+				res.Threads[u.id] = u.res
+			}
+		}
+	}
+
+	// Combine per-thread results into the group classification.
+	comb := &interp.Result{Kind: interp.ExitNormal}
+	if res.FailedThread >= 0 {
+		f := res.Threads[res.FailedThread]
+		comb.Kind = f.Kind
+		comb.Reason = fmt.Sprintf("thread %d: %s", res.FailedThread, f.Reason)
+	} else {
+		// A normal group exit carries the first nonzero thread exit code
+		// (in thread order), so a worker's error-signalling exit(2) is as
+		// visible to natural-detection classification as main's.
+		for _, r := range res.Threads {
+			if r != nil && r.Code != 0 {
+				comb.Code = r.Code
+				break
+			}
+		}
+	}
+	for _, r := range res.Threads {
+		if r == nil {
+			continue
+		}
+		comb.Steps += r.Steps
+		comb.Cycles += r.Cycles
+		comb.Output = append(comb.Output, r.Output...)
+		if r.FaultSeen && (!comb.FaultSeen || r.FaultCycle < comb.FaultCycle) {
+			comb.FaultSeen = true
+			comb.FaultCycle = r.FaultCycle
+		}
+	}
+	comb.Mem = space.Stats()
+	res.Combined = comb
+	return res
+}

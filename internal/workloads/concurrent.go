@@ -1,0 +1,349 @@
+// Concurrent multi-VM workloads for the interleaving scheduler
+// (internal/sched): thread 0 runs main, threads 1..n-1 run worker(tid),
+// all sharing one address space. Each workload is data-race-free by
+// construction — cross-thread data moves only through atomic operations
+// or through plain memory whose ownership is handed over by an atomic
+// (publish flags, CAS-claimed slots) — and its output is a commutative
+// reduction (sums over a fixed task multiset), so the printed result is
+// a pure function of (workload, thread count), identical under every
+// interleaving the seeded scheduler draws. That schedule-independence is
+// what keeps campaign classification stable: an injection that perturbs
+// shared state changes the output or trips a check under any schedule.
+//
+// Because thread counts are baked into the module, builders take the
+// total thread count as a parameter (ConcurrentWorkload.Build), unlike
+// the fixed serial suite.
+package workloads
+
+import (
+	"fmt"
+
+	"dpmr/internal/ir"
+)
+
+// ConcurrentWorkload is one concurrent benchmark program.
+type ConcurrentWorkload struct {
+	Name        string
+	Description string
+	// Build constructs a fresh module for n total threads (main plus
+	// n-1 workers), n >= 1.
+	Build func(threads int) *ir.Module
+}
+
+// Concurrent returns the concurrent workload suite.
+func Concurrent() []ConcurrentWorkload {
+	return []ConcurrentWorkload{
+		{
+			Name:        "chash",
+			Description: "hash-table stress: threads scatter atomic adds over shared buckets",
+			Build:       BuildCHash,
+		},
+		{
+			Name:        "cpipe",
+			Description: "producer/consumer pipeline over a slot-published shared ring",
+			Build:       BuildCPipe,
+		},
+		{
+			Name:        "csteal",
+			Description: "work-stealing task queues with CAS-claimed entries",
+			Build:       BuildCSteal,
+		},
+	}
+}
+
+// ConcurrentByName resolves a concurrent workload.
+func ConcurrentByName(name string) (ConcurrentWorkload, error) {
+	for _, w := range Concurrent() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return ConcurrentWorkload{}, fmt.Errorf("workloads: unknown concurrent workload %q", name)
+}
+
+// atomicLoad64 is the atomic-load idiom: fetch-add of zero.
+func atomicLoad64(b *ir.Builder, p *ir.Reg) *ir.Reg {
+	return b.AtomicRMW(ir.AtomicAdd, p, b.I64(0))
+}
+
+// spinUntilEq busy-waits until the i64 global named g atomically reads
+// want. Every probe is a scheduling point, so spinning threads hand
+// control to the scheduler at full granularity.
+func spinUntilEq(b *ir.Builder, g string, want int64) {
+	b.While("spin."+g, func() *ir.Reg {
+		return b.Cmp(ir.CmpNE, atomicLoad64(b, b.GlobalAddr(g)), b.I64(want))
+	}, func() {})
+}
+
+// threadMix derives a deterministic per-(tid, i) i64 work item.
+func threadMix(b *ir.Builder, tid, i *ir.Reg, stride int64) *ir.Reg {
+	h := b.Mul(b.Add(b.Mul(tid, b.I64(stride)), i), b.I64(6364136223846793005))
+	return b.Bin(ir.OpLShr, h, b.I64(17))
+}
+
+// BuildCHash constructs the hash-table stress workload: every thread
+// (main included) scatters a deterministic per-thread stream of atomic
+// increments over a shared bucket table and accumulates the increments
+// it issued into a shared total. Addition commutes, so the final table
+// is interleaving-independent, and the closing invariant — table sum
+// equals the atomic op total — fails under any lost or corrupted update
+// (natural detection via exit(2)).
+func BuildCHash(threads int) *ir.Module {
+	const (
+		buckets = 64
+		ops     = 400
+	)
+	m := ir.NewModule(fmt.Sprintf("chash%d", threads))
+	b := ir.NewBuilder(m)
+	mustDeclareExterns(b.M, "exit", "puts")
+	m.AddGlobal("table", ir.Ptr(ir.I64))
+	m.AddGlobal("start", ir.I64)
+	m.AddGlobal("done", ir.I64)
+	m.AddGlobal("total", ir.I64)
+
+	// thrash is the shared per-thread op loop.
+	th := b.Function("thrash", ir.Void, []string{"tid"}, ir.I64)
+	tid := th.Params[0]
+	tp := b.Load(b.GlobalAddr("table"))
+	s := b.Reg("s", ir.I64)
+	b.MoveTo(s, b.Add(b.Mul(tid, b.I64(2654435761)), b.I64(0x243F6A88)))
+	sum := b.Reg("sum", ir.I64)
+	b.MoveTo(sum, b.I64(0))
+	b.ForRange("i", b.I64(0), b.I64(ops), func(_ *ir.Reg) {
+		b.BinTo(s, ir.OpMul, s, b.I64(6364136223846793005))
+		b.BinTo(s, ir.OpAdd, s, b.I64(1442695040888963407))
+		k := b.Bin(ir.OpLShr, s, b.I64(33))
+		bucket := b.Bin(ir.OpURem, k, b.I64(buckets))
+		inc := b.Add(b.Bin(ir.OpAnd, k, b.I64(0xFF)), b.I64(1))
+		b.AtomicRMW(ir.AtomicAdd, b.Index(tp, bucket), inc)
+		b.BinTo(sum, ir.OpAdd, sum, inc)
+	})
+	b.AtomicRMW(ir.AtomicAdd, b.GlobalAddr("total"), sum)
+	b.AtomicRMW(ir.AtomicAdd, b.GlobalAddr("done"), b.I64(1))
+	b.Ret(nil)
+
+	wk := b.Function("worker", ir.Void, []string{"tid"}, ir.I64)
+	spinUntilEq(b, "start", 1)
+	b.Call("thrash", wk.Params[0])
+	b.Ret(nil)
+
+	b.Function("main", ir.I64, nil)
+	table := b.MallocN(ir.I64, b.I64(buckets))
+	b.ForRange("z", b.I64(0), b.I64(buckets), func(z *ir.Reg) {
+		b.Store(b.Index(table, z), b.I64(0))
+	})
+	b.Store(b.GlobalAddr("table"), table)
+	b.AtomicRMW(ir.AtomicXchg, b.GlobalAddr("start"), b.I64(1))
+	b.Call("thrash", b.I64(0))
+	spinUntilEq(b, "done", int64(threads))
+	// Quiescent: every thread published its ops; plain scan is race-free.
+	chk := b.Reg("chk", ir.I64)
+	b.MoveTo(chk, b.I64(0))
+	b.ForRange("j", b.I64(0), b.I64(buckets), func(j *ir.Reg) {
+		v := b.Load(b.Index(table, j))
+		b.BinTo(chk, ir.OpAdd, chk, v)
+		b.OutInt(v)
+	})
+	tot := atomicLoad64(b, b.GlobalAddr("total"))
+	bad := b.Cmp(ir.CmpNE, chk, tot)
+	b.If(bad, func() {
+		msg := buildStringLiteral(b, "chash: table sum diverges from op total")
+		b.Call("puts", msg)
+		b.Call("exit", b.I64(2))
+	}, nil)
+	b.OutInt(chk)
+	b.Free(table)
+	b.Ret(b.I64(0))
+	return m
+}
+
+// BuildCPipe constructs the producer/consumer pipeline: producers claim
+// globally unique ring slots with an atomic fetch-add, fill them with
+// plain stores, and publish each slot with a CAS on its full flag; the
+// consumer (main) walks slots in order, spinning on each flag. Which
+// producer fills which slot is schedule-dependent, but the value
+// multiset is fixed, so the consumer's sum matches a serially computed
+// expectation under every interleaving.
+func BuildCPipe(threads int) *ir.Module {
+	const perProducer = 300
+	prodLo, prodHi := 1, threads // producer tids [lo, hi)
+	if threads == 1 {
+		prodLo, prodHi = 0, 1 // degenerate: main produces, then consumes
+	}
+	producers := prodHi - prodLo
+	slots := int64(producers) * perProducer
+
+	m := ir.NewModule(fmt.Sprintf("cpipe%d", threads))
+	b := ir.NewBuilder(m)
+	mustDeclareExterns(b.M, "exit", "puts")
+	m.AddGlobal("ring", ir.Ptr(ir.I64))
+	m.AddGlobal("full", ir.Ptr(ir.I64))
+	m.AddGlobal("claim", ir.I64)
+	m.AddGlobal("start", ir.I64)
+
+	pr := b.Function("produce", ir.Void, []string{"tid"}, ir.I64)
+	ptid := pr.Params[0]
+	rp := b.Load(b.GlobalAddr("ring"))
+	fp := b.Load(b.GlobalAddr("full"))
+	b.ForRange("i", b.I64(0), b.I64(perProducer), func(i *ir.Reg) {
+		slot := b.AtomicRMW(ir.AtomicAdd, b.GlobalAddr("claim"), b.I64(1))
+		v := threadMix(b, ptid, i, perProducer)
+		b.Store(b.Index(rp, slot), v) // exclusive: slot was claimed atomically
+		b.AtomicCAS(b.Index(fp, slot), b.I64(0), b.I64(1))
+	})
+	b.Ret(nil)
+
+	wk := b.Function("worker", ir.Void, []string{"tid"}, ir.I64)
+	spinUntilEq(b, "start", 1)
+	b.Call("produce", wk.Params[0])
+	b.Ret(nil)
+
+	b.Function("main", ir.I64, nil)
+	ring := b.MallocN(ir.I64, b.I64(slots))
+	full := b.MallocN(ir.I64, b.I64(slots))
+	b.ForRange("z", b.I64(0), b.I64(slots), func(z *ir.Reg) {
+		b.Store(b.Index(ring, z), b.I64(0))
+		b.Store(b.Index(full, z), b.I64(0))
+	})
+	b.Store(b.GlobalAddr("ring"), ring)
+	b.Store(b.GlobalAddr("full"), full)
+	b.AtomicRMW(ir.AtomicXchg, b.GlobalAddr("start"), b.I64(1))
+	if threads == 1 {
+		b.Call("produce", b.I64(0))
+	}
+	// Consume slots in order; each spin probe is a scheduling point.
+	chk := b.Reg("chk", ir.I64)
+	b.MoveTo(chk, b.I64(0))
+	b.ForRange("slot", b.I64(0), b.I64(slots), func(slot *ir.Reg) {
+		b.While("spin.full", func() *ir.Reg {
+			return b.Cmp(ir.CmpEQ, atomicLoad64(b, b.Index(full, slot)), b.I64(0))
+		}, func() {})
+		b.BinTo(chk, ir.OpAdd, chk, b.Load(b.Index(ring, slot)))
+	})
+	// Serially recompute the expected value multiset sum.
+	want := b.Reg("want", ir.I64)
+	b.MoveTo(want, b.I64(0))
+	b.ForRange("t", b.I64(int64(prodLo)), b.I64(int64(prodHi)), func(t *ir.Reg) {
+		b.ForRange("i", b.I64(0), b.I64(perProducer), func(i *ir.Reg) {
+			b.BinTo(want, ir.OpAdd, want, threadMix(b, t, i, perProducer))
+		})
+	})
+	bad := b.Cmp(ir.CmpNE, chk, want)
+	b.If(bad, func() {
+		msg := buildStringLiteral(b, "cpipe: consumed sum diverges from produced sum")
+		b.Call("puts", msg)
+		b.Call("exit", b.I64(2))
+	}, nil)
+	b.OutInt(chk)
+	b.Free(ring)
+	b.Free(full)
+	b.Ret(b.I64(0))
+	return m
+}
+
+// BuildCSteal constructs the work-stealing workload: every thread owns a
+// task queue it seeds and drains, stealing from the next queues over
+// when its own runs dry. Entries are claimed exclusively with a CAS on
+// the queue head (no fetch-add overshoot), task values are plain memory
+// handed over by the claim, and a shared remaining counter drives
+// termination. The checksum sums a mix of every task exactly once, so
+// it is independent of who stole what.
+func BuildCSteal(threads int) *ir.Module {
+	const perQueue = 250
+	n := int64(threads)
+
+	m := ir.NewModule(fmt.Sprintf("csteal%d", threads))
+	b := ir.NewBuilder(m)
+	mustDeclareExterns(b.M, "exit", "puts")
+	m.AddGlobal("tasks", ir.Ptr(ir.I64))
+	m.AddGlobal("heads", ir.Ptr(ir.I64))
+	m.AddGlobal("tails", ir.Ptr(ir.I64))
+	m.AddGlobal("remaining", ir.I64)
+	m.AddGlobal("chk", ir.I64)
+	m.AddGlobal("procd", ir.I64)
+	m.AddGlobal("start", ir.I64)
+	m.AddGlobal("done", ir.I64)
+
+	rt := b.Function("runThread", ir.Void, []string{"tid"}, ir.I64)
+	tid := rt.Params[0]
+	tp := b.Load(b.GlobalAddr("tasks"))
+	hp := b.Load(b.GlobalAddr("heads"))
+	tlp := b.Load(b.GlobalAddr("tails"))
+	// Seed the own queue: plain task writes, each published by an atomic
+	// tail bump (stealers read an entry only below the tail).
+	myBase := b.Mul(tid, b.I64(perQueue))
+	b.ForRange("i", b.I64(0), b.I64(perQueue), func(i *ir.Reg) {
+		b.Store(b.Index(tp, b.Add(myBase, i)), threadMix(b, tid, i, perQueue))
+		b.AtomicRMW(ir.AtomicAdd, b.Index(tlp, tid), b.I64(1))
+	})
+	local := b.Reg("local", ir.I64)
+	count := b.Reg("count", ir.I64)
+	b.MoveTo(local, b.I64(0))
+	b.MoveTo(count, b.I64(0))
+	b.While("work", func() *ir.Reg {
+		return b.Cmp(ir.CmpSGT, atomicLoad64(b, b.GlobalAddr("remaining")), b.I64(0))
+	}, func() {
+		// Probe own queue first, then victims in ring order.
+		got := b.Reg("got", ir.I64)
+		b.MoveTo(got, b.I64(0))
+		b.ForRange("q", b.I64(0), b.I64(n), func(q *ir.Reg) {
+			b.If(b.Cmp(ir.CmpEQ, got, b.I64(0)), func() {
+				vq := b.Bin(ir.OpURem, b.Add(tid, q), b.I64(n))
+				h := atomicLoad64(b, b.Index(hp, vq))
+				t := atomicLoad64(b, b.Index(tlp, vq))
+				b.If(b.Cmp(ir.CmpSLT, h, t), func() {
+					old := b.AtomicCAS(b.Index(hp, vq), h, b.Add(h, b.I64(1)))
+					b.If(b.Cmp(ir.CmpEQ, old, h), func() {
+						// Claim won: entry h of queue vq is exclusively ours.
+						v := b.Load(b.Index(tp, b.Add(b.Mul(vq, b.I64(perQueue)), h)))
+						g := b.Mul(v, b.I64(2862933555777941757))
+						g = b.Bin(ir.OpXor, g, b.Bin(ir.OpLShr, g, b.I64(29)))
+						b.BinTo(local, ir.OpAdd, local, g)
+						b.BinTo(count, ir.OpAdd, count, b.I64(1))
+						b.AtomicRMW(ir.AtomicAdd, b.GlobalAddr("remaining"), b.I64(-1))
+						b.MoveTo(got, b.I64(1))
+					}, nil)
+				}, nil)
+			}, nil)
+		})
+	})
+	b.AtomicRMW(ir.AtomicAdd, b.GlobalAddr("chk"), local)
+	b.AtomicRMW(ir.AtomicAdd, b.GlobalAddr("procd"), count)
+	b.AtomicRMW(ir.AtomicAdd, b.GlobalAddr("done"), b.I64(1))
+	b.Ret(nil)
+
+	wk := b.Function("worker", ir.Void, []string{"tid"}, ir.I64)
+	spinUntilEq(b, "start", 1)
+	b.Call("runThread", wk.Params[0])
+	b.Ret(nil)
+
+	b.Function("main", ir.I64, nil)
+	tasks := b.MallocN(ir.I64, b.I64(n*perQueue))
+	heads := b.MallocN(ir.I64, b.I64(n))
+	tails := b.MallocN(ir.I64, b.I64(n))
+	b.ForRange("z", b.I64(0), b.I64(n), func(z *ir.Reg) {
+		b.Store(b.Index(heads, z), b.I64(0))
+		b.Store(b.Index(tails, z), b.I64(0))
+	})
+	b.Store(b.GlobalAddr("tasks"), tasks)
+	b.Store(b.GlobalAddr("heads"), heads)
+	b.Store(b.GlobalAddr("tails"), tails)
+	b.AtomicRMW(ir.AtomicXchg, b.GlobalAddr("remaining"), b.I64(n*perQueue))
+	b.AtomicRMW(ir.AtomicXchg, b.GlobalAddr("start"), b.I64(1))
+	b.Call("runThread", b.I64(0))
+	spinUntilEq(b, "done", n)
+	procd := atomicLoad64(b, b.GlobalAddr("procd"))
+	bad := b.Cmp(ir.CmpNE, procd, b.I64(n*perQueue))
+	b.If(bad, func() {
+		msg := buildStringLiteral(b, "csteal: processed count diverges from task count")
+		b.Call("puts", msg)
+		b.Call("exit", b.I64(2))
+	}, nil)
+	b.OutInt(atomicLoad64(b, b.GlobalAddr("chk")))
+	b.OutInt(procd)
+	b.Free(tasks)
+	b.Free(heads)
+	b.Free(tails)
+	b.Ret(b.I64(0))
+	return m
+}
